@@ -1,0 +1,754 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   (see DESIGN.md's per-experiment index) and runs Bechamel
+   micro-benchmarks over the eight course kernels - the performance
+   "tables" of this systems reproduction.
+
+   Usage:
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe -- fig8     # one experiment
+     dune exec bench/main.exe -- perf     # timing tables only
+     dune exec bench/main.exe -- ablations
+*)
+
+module Expr = Vc_cube.Expr
+module Cover = Vc_cube.Cover
+module Urp = Vc_cube.Urp
+module Bdd = Vc_bdd.Bdd
+module Network = Vc_network.Network
+module Map = Vc_techmap.Map
+module Pnet = Vc_place.Pnet
+module Router = Vc_route.Router
+
+let header title =
+  Printf.printf "\n==========================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==========================================================\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* bechamel driver                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bench_group label tests =
+  let open Bechamel in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:label tests) in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+      instance raw
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ ns ] ->
+        let pretty =
+          if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+          else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+          else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+          else Printf.sprintf "%8.0f ns" ns
+        in
+        Printf.printf "  %-46s %s/run\n" name pretty
+      | Some _ | None -> Printf.printf "  %-46s (no estimate)\n" name)
+    (List.sort compare rows);
+  flush stdout
+
+let mk name f = Bechamel.Test.make ~name (Bechamel.Staged.stage f)
+
+(* ------------------------------------------------------------------ *)
+(* shared workloads                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let adder_network bits =
+  let e = Expr.parse in
+  let bindings = ref [] in
+  let carry = ref "cin" in
+  for i = 0 to bits - 1 do
+    let a = Printf.sprintf "a%d" i and b = Printf.sprintf "b%d" i in
+    let s = Printf.sprintf "s%d" i and c = Printf.sprintf "c%d" i in
+    bindings := (s, e (Printf.sprintf "%s ^ %s ^ %s" a b !carry)) :: !bindings;
+    bindings :=
+      ( c,
+        e
+          (Printf.sprintf "(%s & %s) | (%s & %s) | (%s & %s)" a b a !carry b
+             !carry) )
+      :: !bindings;
+    carry := c
+  done;
+  let inputs =
+    List.concat_map
+      (fun i -> [ Printf.sprintf "a%d" i; Printf.sprintf "b%d" i ])
+      (List.init bits (fun i -> i))
+    @ [ "cin" ]
+  in
+  Network.of_exprs ~name:(Printf.sprintf "adder%d" bits) ~inputs
+    (List.rev !bindings)
+
+let random_cover ~seed ~nvars ~cubes =
+  let rng = Vc_util.Rng.create seed in
+  let cube _ =
+    String.init nvars (fun _ ->
+        match Vc_util.Rng.int rng 4 with 0 -> '0' | 1 -> '1' | _ -> '-')
+  in
+  Cover.of_strings nvars (List.init cubes cube)
+
+let fract () =
+  match Vc_place.Netgen.by_name "fract" with
+  | Some p -> Vc_place.Netgen.generate ~seed:202 p
+  | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* figures                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  header "Fig. 1 - concept map (traditional course -> MOOC selection)";
+  print_string (Vc_mooc.Concept_map.render_fig1 ())
+
+let fig2 () =
+  header "Fig. 2 - week-by-week video lecture content";
+  print_string (Vc_mooc.Syllabus.render_fig2 ())
+
+let fig4 () =
+  header "Fig. 4 - tool portals: text in, text out, history kept";
+  let session = Vc_mooc.Portal.create_session () in
+  let demos =
+    [
+      (Vc_mooc.Portal.kbdd, "boolean a b c\nf = a & b | c\nsatcount f\nprint f");
+      (Vc_mooc.Portal.espresso, ".i 3\n.o 1\n110 1\n111 1\n011 1\n010 1\n.e");
+      ( Vc_mooc.Portal.sis,
+        ".model demo\n.inputs a b c d\n.outputs x\n.names a b c d x\n\
+         11-- 1\n1-1- 1\n1--1 1\n.end\n%script\nsweep\nsimplify\nprint_stats" );
+      (Vc_mooc.Portal.minisat, "p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0");
+      (Vc_mooc.Portal.axb, "n 2\nmethod cg\nrow 4 1\nrow 1 3\nrhs 1 2");
+    ]
+  in
+  List.iter
+    (fun (tool, input) ->
+      Printf.printf "\n-- portal %-8s : %s\n" tool.Vc_mooc.Portal.tool_name
+        tool.Vc_mooc.Portal.description;
+      let out = Vc_mooc.Portal.submit session tool input in
+      String.split_on_char '\n' out
+      |> List.iteri (fun i l -> if i < 8 && l <> "" then Printf.printf "   | %s\n" l))
+    demos;
+  Printf.printf "\n(Auto-graders share the architecture: see fig5/fig6.)\n"
+
+let fig5 () =
+  header "Fig. 5 - the four software design projects";
+  print_string (Vc_mooc.Projects.render_fig5 ());
+  (* show a grading round trip for each project *)
+  List.iter
+    (fun p ->
+      let g =
+        Vc_mooc.Autograder.grade p.Vc_mooc.Projects.p_grader
+          (p.Vc_mooc.Projects.p_reference ())
+      in
+      Printf.printf "  project %d reference submission: %d/%d points\n"
+        p.Vc_mooc.Projects.p_id g.Vc_mooc.Autograder.earned
+        g.Vc_mooc.Autograder.possible)
+    Vc_mooc.Projects.all
+
+let fig6 () =
+  header "Fig. 6 - router unit tests (gradable units)";
+  print_string (Vc_mooc.Projects.render_fig6 ())
+
+let fig7 () =
+  header "Fig. 7 - placement & routing on MCNC-profile benchmarks";
+  let net = fract () in
+  Printf.printf "%s: %d cells, %d nets, %d pads\n" net.Pnet.name
+    net.Pnet.num_cells (Array.length net.Pnet.nets) (Array.length net.Pnet.pads);
+  let t0 = Sys.time () in
+  let qp = Vc_place.Quadratic.place net in
+  let legal = Vc_place.Legalize.to_grid net qp.Vc_place.Quadratic.placement in
+  Printf.printf "recursive quadratic placer: HPWL %.0f (%.2fs, %d CG iters)\n"
+    (Pnet.hpwl net legal)
+    (Sys.time () -. t0)
+    qp.Vc_place.Quadratic.iterations;
+  let problem = Vc_mooc.Flow.routing_problem_of net legal 10 in
+  let t0 = Sys.time () in
+  Vc_route.Maze.astar := true;
+  let result = Router.route ~rip_up_passes:4 problem in
+  Vc_route.Maze.astar := false;
+  Printf.printf
+    "2-layer maze router (A-star): %d/%d nets, wirelength %d, vias %d (%.2fs)\n"
+    result.Router.completed result.Router.total result.Router.wirelength
+    result.Router.vias
+    (Sys.time () -. t0);
+  let positions =
+    Array.init net.Pnet.num_cells (fun i ->
+        (legal.Pnet.xs.(i), legal.Pnet.ys.(i)))
+  in
+  Out_channel.with_open_text "fig7_placement.svg" (fun oc ->
+      Out_channel.output_string oc
+        (Vc_route.Render.placement_svg ~width:net.Pnet.width
+           ~height:net.Pnet.height positions));
+  Out_channel.with_open_text "fig7_routing.svg" (fun oc ->
+      Out_channel.output_string oc (Vc_route.Render.result_svg result));
+  Printf.printf "wrote fig7_placement.svg and fig7_routing.svg\n"
+
+let simulated_cohort = lazy (Vc_mooc.Cohort.simulate ~seed:2013 Vc_mooc.Cohort.paper_params)
+
+let fig8 () =
+  header "Fig. 8 - participation funnel (paper vs simulated cohort)";
+  let f = Vc_mooc.Cohort.funnel_of (Lazy.force simulated_cohort) in
+  let p = Vc_mooc.Cohort.paper_funnel in
+  Printf.printf "%-34s %10s %10s\n" "stage" "paper" "simulated";
+  List.iter
+    (fun (name, pv, sv) -> Printf.printf "%-34s %10d %10d\n" name pv sv)
+    [
+      ("registered at peak", p.Vc_mooc.Cohort.registered, f.Vc_mooc.Cohort.registered);
+      ("watched a video", p.Vc_mooc.Cohort.watched_video, f.Vc_mooc.Cohort.watched_video);
+      ("did a homework", p.Vc_mooc.Cohort.did_homework, f.Vc_mooc.Cohort.did_homework);
+      ("tried a software assignment", p.Vc_mooc.Cohort.tried_software, f.Vc_mooc.Cohort.tried_software);
+      ("took the final exam", p.Vc_mooc.Cohort.took_final, f.Vc_mooc.Cohort.took_final);
+      ("certificates", p.Vc_mooc.Cohort.certificates, f.Vc_mooc.Cohort.certificates);
+    ];
+  print_newline ();
+  print_string (Vc_mooc.Cohort.render_fig8 f)
+
+let fig9 () =
+  header "Fig. 9 - viewers per lecture video";
+  print_string
+    (Vc_mooc.Cohort.render_fig9
+       (Vc_mooc.Cohort.viewers_per_video (Lazy.force simulated_cohort)))
+
+let demographics_summary =
+  lazy
+    (let f = Vc_mooc.Cohort.funnel_of (Lazy.force simulated_cohort) in
+     Vc_mooc.Demographics.summarize
+       (Vc_mooc.Demographics.sample ~seed:1729 f.Vc_mooc.Cohort.watched_video))
+
+let fig10 () =
+  header "Fig. 10 - participation by country";
+  print_string (Vc_mooc.Demographics.render_fig10 (Lazy.force demographics_summary))
+
+let stats () =
+  header "Section 4 demographics (age / degrees / gender)";
+  print_string (Vc_mooc.Demographics.render_stats (Lazy.force demographics_summary));
+  Printf.printf "paper: average 30, min 15, max 75; 30%% BS, 29%% MS/PhD; 88/12.\n"
+
+let fig11 () =
+  header "Fig. 11 - survey word cloud (requested future topics)";
+  let responses = Vc_mooc.Survey.generate_responses ~seed:11 500 in
+  print_string (Vc_mooc.Survey.render_fig11 (Vc_mooc.Survey.word_frequencies responses))
+
+(* ------------------------------------------------------------------ *)
+(* perf tables                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let perf_urp () =
+  header "Perf 1 - computational Boolean algebra (URP)";
+  let small = random_cover ~seed:3 ~nvars:8 ~cubes:12 in
+  let big = random_cover ~seed:4 ~nvars:12 ~cubes:24 in
+  bench_group "urp"
+    [
+      mk "tautology/8var-12cubes" (fun () -> Urp.tautology small);
+      mk "tautology/12var-24cubes" (fun () -> Urp.tautology big);
+      mk "complement/8var-12cubes" (fun () -> Urp.complement small);
+      mk "complement/12var-24cubes" (fun () -> Urp.complement big);
+    ]
+
+let perf_bdd () =
+  header "Perf 2 - BDD construction and ITE";
+  let e8 = Network.output_expr (adder_network 4) "c3" in
+  bench_group "bdd"
+    [
+      mk "build/adder4-carry" (fun () ->
+          let m = Bdd.create () in
+          ignore (Bdd.of_expr m e8));
+      mk "satcount/adder4-carry" (fun () ->
+          let m = Bdd.create () in
+          let f = Bdd.of_expr m e8 in
+          ignore (Bdd.sat_count m f ~nvars:(Bdd.num_vars m)));
+      mk "quantify-all/adder4-carry" (fun () ->
+          let m = Bdd.create () in
+          let f = Bdd.of_expr m e8 in
+          ignore (Bdd.exists m (Bdd.support m f) f));
+    ]
+
+let perf_sat () =
+  header "Perf 3 - SAT: CDCL vs DPLL (random 3-SAT near the phase transition)";
+  let sat_easy = Vc_sat.Cnf.random_ksat ~seed:5 ~num_vars:50 ~num_clauses:180 ~k:3 in
+  let hard = Vc_sat.Cnf.random_ksat ~seed:5 ~num_vars:50 ~num_clauses:213 ~k:3 in
+  let unsat = Vc_sat.Cnf.random_ksat ~seed:5 ~num_vars:50 ~num_clauses:280 ~k:3 in
+  bench_group "sat"
+    [
+      mk "cdcl/50v-ratio3.6" (fun () -> ignore (Vc_sat.Solver.solve sat_easy));
+      mk "cdcl/50v-ratio4.26" (fun () -> ignore (Vc_sat.Solver.solve hard));
+      mk "cdcl/50v-ratio5.6-unsat" (fun () -> ignore (Vc_sat.Solver.solve unsat));
+      mk "dpll/50v-ratio3.6" (fun () -> ignore (Vc_sat.Dpll.solve sat_easy));
+      mk "dpll/50v-ratio4.26" (fun () -> ignore (Vc_sat.Dpll.solve hard));
+    ]
+
+let perf_two_level () =
+  header "Perf 4 - two-level minimization: Espresso vs exact QM";
+  let mk_fn seed nvars =
+    let rng = Vc_util.Rng.create seed in
+    let on = ref [] in
+    for m = 0 to (1 lsl nvars) - 1 do
+      if Vc_util.Rng.bernoulli rng 0.35 then on := m :: !on
+    done;
+    !on
+  in
+  let on6 = mk_fn 7 6 and on8 = mk_fn 9 8 in
+  let cover_of nvars ms =
+    Cover.make nvars
+      (List.map
+         (fun m ->
+           Vc_cube.Cube.of_literals nvars
+             (List.init nvars (fun i -> (i, m land (1 lsl (nvars - 1 - i)) <> 0))))
+         ms)
+  in
+  let c6 = cover_of 6 on6 and c8 = cover_of 8 on8 in
+  bench_group "two-level"
+    [
+      mk "espresso/6var" (fun () ->
+          ignore (Vc_two_level.Espresso.minimize ~dc:(Cover.empty 6) c6));
+      mk "espresso/8var" (fun () ->
+          ignore (Vc_two_level.Espresso.minimize ~dc:(Cover.empty 8) c8));
+      mk "qm-exact/6var" (fun () ->
+          ignore (Vc_two_level.Qm.minimize ~num_vars:6 ~on:on6 ~dc:[]));
+      mk "qm-exact/8var" (fun () ->
+          ignore (Vc_two_level.Qm.minimize ~num_vars:8 ~on:on8 ~dc:[]));
+    ];
+  let esp = Vc_two_level.Espresso.minimize ~dc:(Cover.empty 8) c8 in
+  let qm = Vc_two_level.Qm.minimize ~num_vars:8 ~on:on8 ~dc:[] in
+  Printf.printf "  quality: espresso %d cubes vs exact %d cubes (8 vars)\n"
+    (Cover.num_cubes esp) (List.length qm);
+  (* multi-output sharing on a random 3-output PLA *)
+  let rng = Vc_util.Rng.create 77 in
+  let rows =
+    List.init 12 (fun _ ->
+        let inp =
+          String.init 4 (fun _ ->
+              match Vc_util.Rng.int rng 3 with 0 -> '0' | 1 -> '1' | _ -> '-')
+        in
+        let out =
+          String.init 3 (fun _ -> if Vc_util.Rng.bool rng then '1' else '0')
+        in
+        inp ^ " " ^ out)
+  in
+  let pla =
+    Vc_two_level.Pla.parse (".i 4\n.o 3\n" ^ String.concat "\n" rows ^ "\n.e\n")
+  in
+  let joint = Vc_two_level.Multi.minimize pla in
+  Printf.printf
+    "  quality: multi-output 3-out PLA: %d shared terms vs %d per-output rows\n"
+    (Vc_two_level.Multi.cube_count joint)
+    (Vc_two_level.Pla.cube_count (Vc_two_level.Espresso.minimize_pla pla))
+
+let perf_multilevel () =
+  header "Perf 5 - multi-level synthesis (kernels + rugged script)";
+  let net = adder_network 4 in
+  let node_sop =
+    [
+      [ ("a", true); ("d", true); ("f", true) ];
+      [ ("a", true); ("e", true); ("f", true) ];
+      [ ("b", true); ("d", true); ("f", true) ];
+      [ ("b", true); ("e", true); ("f", true) ];
+      [ ("c", true); ("d", true); ("f", true) ];
+      [ ("c", true); ("e", true); ("f", true) ];
+      [ ("g", true) ];
+    ]
+  in
+  bench_group "multilevel"
+    [
+      mk "kernels/lecture-sop" (fun () ->
+          ignore (Vc_multilevel.Algebraic.kernels node_sop));
+      mk "factor/lecture-sop" (fun () ->
+          ignore (Vc_multilevel.Factor.factor node_sop));
+      mk "script-rugged/adder4" (fun () ->
+          ignore (Vc_multilevel.Script.run net Vc_multilevel.Script.script_rugged));
+    ];
+  let shared =
+    Network.of_exprs ~inputs:[ "a"; "b"; "c"; "d"; "e" ]
+      [
+        ("x", Expr.parse "a c + a d + b c + b d");
+        ("y", Expr.parse "a c e + a d e + e b c");
+      ]
+  in
+  let r = Vc_multilevel.Script.run shared Vc_multilevel.Script.script_rugged in
+  Printf.printf "  quality: shared-kernel design %d -> %d literals\n"
+    (Network.literal_count shared)
+    (Network.literal_count r.Vc_multilevel.Script.network)
+
+let perf_techmap () =
+  header "Perf 6 - technology mapping (tree covering DP)";
+  let net = adder_network 4 in
+  let subject = Vc_techmap.Subject.of_network net in
+  let cells = Vc_techmap.Cell_lib.standard () in
+  bench_group "techmap"
+    [
+      mk "subject-graph/adder4" (fun () ->
+          ignore (Vc_techmap.Subject.of_network net));
+      mk "cover-min-area/adder4" (fun () ->
+          ignore (Map.cover ~mode:Map.Min_area cells subject));
+      mk "cover-min-delay/adder4" (fun () ->
+          ignore (Map.cover ~mode:Map.Min_delay cells subject));
+    ];
+  let ma = Map.cover ~mode:Map.Min_area cells subject in
+  let md = Map.cover ~mode:Map.Min_delay cells subject in
+  Printf.printf
+    "  quality: min-area %.0f area / %.2f delay; min-delay %.0f area / %.2f delay\n"
+    ma.Map.area ma.Map.delay md.Map.area md.Map.delay
+
+let laplacian n =
+  let b = Vc_linalg.Sparse.builder n in
+  for i = 0 to n - 1 do
+    Vc_linalg.Sparse.add b i i 2.0;
+    if i > 0 then Vc_linalg.Sparse.add b i (i - 1) (-1.0);
+    if i < n - 1 then Vc_linalg.Sparse.add b i (i + 1) (-1.0)
+  done;
+  let rhs = Array.make n 0.0 in
+  rhs.(0) <- 1.0;
+  rhs.(n - 1) <- float_of_int n;
+  (Vc_linalg.Sparse.finalize b, rhs)
+
+let perf_linalg () =
+  header "Perf 7 - Ax=b solvers (the quadratic placement system shape)";
+  let m200, b200 = laplacian 200 in
+  let dense = Vc_linalg.Sparse.to_dense m200 in
+  bench_group "linalg"
+    [
+      mk "cg/laplacian-200" (fun () ->
+          ignore (Vc_linalg.Sparse.conjugate_gradient m200 b200));
+      mk "gauss-seidel/laplacian-200" (fun () ->
+          ignore (Vc_linalg.Sparse.gauss_seidel ~max_iters:200_000 m200 b200));
+      mk "dense-lu/laplacian-200" (fun () ->
+          ignore (Vc_linalg.Dense.solve dense b200));
+    ];
+  let _, cg_it = Vc_linalg.Sparse.conjugate_gradient m200 b200 in
+  let _, gs_it = Vc_linalg.Sparse.gauss_seidel ~max_iters:200_000 m200 b200 in
+  Printf.printf "  iterations: CG %d vs Gauss-Seidel %d\n" cg_it gs_it
+
+let perf_place () =
+  header "Perf 8 - placement: recursive quadratic vs simulated annealing";
+  let net = fract () in
+  bench_group "place"
+    [
+      mk "quadratic-recursive/fract" (fun () ->
+          ignore (Vc_place.Quadratic.place net));
+      mk "annealing/fract" (fun () -> ignore (Vc_place.Annealing.place net));
+      mk "fm-bipartition/fract" (fun () ->
+          ignore (Vc_place.Fm.bipartition net));
+    ];
+  let qp = Vc_place.Quadratic.place net in
+  let legal = Vc_place.Legalize.to_grid net qp.Vc_place.Quadratic.placement in
+  let pa, _ = Vc_place.Annealing.place net in
+  Printf.printf
+    "  quality: quadratic+legalize HPWL %.0f vs annealing HPWL %.0f\n"
+    (Pnet.hpwl net legal) (Pnet.hpwl net pa)
+
+let perf_route () =
+  header "Perf 9 - maze routing";
+  let problem =
+    Router.parse_problem
+      "grid 48 48\nnet a 2 2 45 2\nnet b 2 4 45 40 20 20\nnet c 4 2 4 45\n\
+       net d 10 10 40 40\nnet e 2 45 45 4\nnet f 30 2 30 45\n"
+  in
+  bench_group "route"
+    [
+      mk "route-6nets/48x48" (fun () -> ignore (Router.route problem));
+      mk "route-6nets/48x48-astar" (fun () ->
+          Vc_route.Maze.astar := true;
+          let r = Router.route problem in
+          Vc_route.Maze.astar := false;
+          ignore r);
+    ];
+  let r = Router.route problem in
+  Printf.printf "  quality: %d/%d nets, wirelength %d, vias %d\n"
+    r.Router.completed r.Router.total r.Router.wirelength r.Router.vias
+
+let perf_timing () =
+  header "Perf 10 - static timing analysis and Elmore";
+  let mapping = Map.map_network (Vc_techmap.Cell_lib.standard ()) (adder_network 8) in
+  let graph = Vc_timing.Tgraph.of_mapping mapping in
+  let route =
+    Router.route (Router.parse_problem "grid 32 32\nnet a 1 1 30 1 30 30 1 30\n")
+  in
+  let paths =
+    match route.Router.routed with [ r ] -> r.Router.r_paths | _ -> []
+  in
+  bench_group "timing"
+    [
+      mk "sta/adder8" (fun () -> ignore (Vc_timing.Tgraph.analyze graph));
+      mk "elmore/3-sink-route" (fun () ->
+          ignore (Vc_timing.Elmore.delays (Vc_timing.Elmore.of_route paths)));
+    ];
+  let rep = Vc_timing.Tgraph.analyze graph in
+  Printf.printf "  adder8 critical path: %.2f over %d nodes\n"
+    rep.Vc_timing.Tgraph.worst_arrival
+    (List.length rep.Vc_timing.Tgraph.critical_path)
+
+let perf_flow () =
+  header "Perf 11 - the push-button logic-to-layout flow";
+  let net = adder_network 4 in
+  bench_group "flow"
+    [ mk "flow/adder4" (fun () -> ignore (Vc_mooc.Flow.run net)) ];
+  let r = Vc_mooc.Flow.run net in
+  print_string (Vc_mooc.Flow.report_to_string r)
+
+(* ------------------------------------------------------------------ *)
+(* ablations (deterministic quality numbers)                            *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  header "Ablation 1 - BDD variable order (a0b0+a1b1+...)";
+  let mux n =
+    Expr.parse
+      (String.concat " | "
+         (List.init n (fun i -> Printf.sprintf "(a%d & b%d)" i i)))
+  in
+  List.iter
+    (fun n ->
+      let e = mux n in
+      let good = Vc_bdd.Bdd_order.build_size e (Vc_bdd.Bdd_order.interleaved_order n "a" "b") in
+      let bad = Vc_bdd.Bdd_order.build_size e (Vc_bdd.Bdd_order.blocked_order n "a" "b") in
+      let _, sifted = Vc_bdd.Bdd_order.sift e (Vc_bdd.Bdd_order.blocked_order n "a" "b") in
+      Printf.printf "  n=%d: interleaved %4d nodes | blocked %5d | sifted-from-blocked %4d\n"
+        n good bad sifted)
+    [ 3; 5; 7; 9 ];
+
+  header "Ablation 2 - Espresso REDUCE iteration";
+  let totals = ref (0, 0, 0) in
+  for seed = 1 to 20 do
+    let on = random_cover ~seed ~nvars:7 ~cubes:14 in
+    let full = Vc_two_level.Espresso.minimize ~dc:(Cover.empty 7) on in
+    let single = Vc_two_level.Espresso.minimize ~single_pass:true ~dc:(Cover.empty 7) on in
+    let a, b, c = !totals in
+    totals := (a + Cover.num_cubes on, b + Cover.num_cubes full, c + Cover.num_cubes single)
+  done;
+  let input, full, single = !totals in
+  Printf.printf "  20 random 7-var functions: input %d cubes -> full loop %d | single pass %d\n"
+    input full single;
+
+  header "Ablation 3 - CDCL feature knockouts (pigeonhole 6 into 5)";
+  let php =
+    let pigeons = 6 and holes = 5 in
+    let var p h = (p * holes) + h + 1 in
+    let alo = List.init pigeons (fun p -> List.init holes (fun h -> var p h)) in
+    let amo =
+      List.concat_map
+        (fun h ->
+          List.concat_map
+            (fun p1 ->
+              List.filter_map
+                (fun p2 -> if p1 < p2 then Some [ -var p1 h; -var p2 h ] else None)
+                (List.init pigeons (fun p -> p)))
+            (List.init pigeons (fun p -> p)))
+        (List.init holes (fun h -> h))
+    in
+    Vc_sat.Cnf.make (pigeons * holes) (alo @ amo)
+  in
+  List.iter
+    (fun (name, config) ->
+      let _, stats = Vc_sat.Solver.solve ~config php in
+      Printf.printf "  %-22s %7d conflicts %8d decisions %9d propagations\n" name
+        stats.Vc_sat.Solver.conflicts stats.Vc_sat.Solver.decisions
+        stats.Vc_sat.Solver.propagations)
+    [
+      ("full CDCL", Vc_sat.Solver.default_config);
+      ("no learning", { Vc_sat.Solver.default_config with use_learning = false });
+      ("no VSIDS", { Vc_sat.Solver.default_config with use_vsids = false });
+      ("no restarts", { Vc_sat.Solver.default_config with use_restarts = false });
+    ];
+
+  header "Ablation 4 - placement strategies (fract profile)";
+  let net = fract () in
+  let random = Pnet.random_placement ~seed:1 net in
+  let global = Vc_place.Quadratic.global net in
+  let global_legal = Vc_place.Legalize.to_grid net global.Vc_place.Quadratic.placement in
+  let recur = Vc_place.Quadratic.place net in
+  let recur_legal = Vc_place.Legalize.to_grid net recur.Vc_place.Quadratic.placement in
+  let refined, swaps = Vc_place.Legalize.refine net recur_legal in
+  let annealed, _ = Vc_place.Annealing.place net in
+  let greedy, _ = Vc_place.Annealing.greedy net in
+  Printf.printf "  random                         HPWL %8.0f\n" (Pnet.hpwl net random);
+  Printf.printf "  quadratic global + legalize    HPWL %8.0f\n" (Pnet.hpwl net global_legal);
+  Printf.printf "  quadratic recursive + legalize HPWL %8.0f\n" (Pnet.hpwl net recur_legal);
+  Printf.printf "  ... + detailed swaps (%3d)     HPWL %8.0f\n" swaps (Pnet.hpwl net refined);
+  Printf.printf "  greedy descent                 HPWL %8.0f\n" (Pnet.hpwl net greedy);
+  Printf.printf "  simulated annealing            HPWL %8.0f\n" (Pnet.hpwl net annealed);
+
+  header "Ablation 5 - router: rip-up, A-star, bend penalty";
+  let congested =
+    (* a dense instance on which greedy net-at-a-time ordering strands one
+       net until rip-up frees the blockage *)
+    Router.parse_problem
+      "grid 10 10\nnet n0 7 9 7 0\nnet n1 3 2 6 5\nnet n2 7 6 3 4\n\
+       net n3 3 0 6 6\nnet n4 8 0 1 6\nnet n5 0 5 6 0\n"
+  in
+  let without = Router.route ~order:`Given ~rip_up_passes:0 congested in
+  let with_rip = Router.route ~order:`Given ~rip_up_passes:3 congested in
+  Printf.printf "  rip-up off: %d/%d routed | rip-up on: %d/%d routed\n"
+    without.Router.completed without.Router.total with_rip.Router.completed
+    with_rip.Router.total;
+  Vc_route.Maze.astar := false;
+  let e0 = Vc_route.Maze.expansions () in
+  ignore (Router.route congested);
+  let dij = Vc_route.Maze.expansions () - e0 in
+  Vc_route.Maze.astar := true;
+  let e1 = Vc_route.Maze.expansions () in
+  ignore (Router.route congested);
+  let ast = Vc_route.Maze.expansions () - e1 in
+  Vc_route.Maze.astar := false;
+  Printf.printf "  wavefront expansions: dijkstra %d vs A-star %d\n" dij ast;
+  let no_bend =
+    Router.route
+      { congested with Router.cost_params = { Vc_route.Grid.default_costs with Vc_route.Grid.bend = 0 } }
+  in
+  let heavy_bend =
+    Router.route
+      { congested with Router.cost_params = { Vc_route.Grid.default_costs with Vc_route.Grid.bend = 10 } }
+  in
+  Printf.printf "  vias at bend penalty 0: %d | at bend penalty 10: %d\n"
+    no_bend.Router.vias heavy_bend.Router.vias;
+
+  header "Ablation 6 - mapping objective (adder4)";
+  let subject = Vc_techmap.Subject.of_network (adder_network 4) in
+  let cells = Vc_techmap.Cell_lib.standard () in
+  let ma = Map.cover ~mode:Map.Min_area cells subject in
+  let md = Map.cover ~mode:Map.Min_delay cells subject in
+  let mmin = Map.cover ~mode:Map.Min_area (Vc_techmap.Cell_lib.minimal ()) subject in
+  Printf.printf "  min-area, full library:    %2d gates, area %5.1f, delay %5.2f\n"
+    (Map.gate_count ma) ma.Map.area ma.Map.delay;
+  Printf.printf "  min-delay, full library:   %2d gates, area %5.1f, delay %5.2f\n"
+    (Map.gate_count md) md.Map.area md.Map.delay;
+  Printf.printf "  min-area, INV+NAND2 only:  %2d gates, area %5.1f, delay %5.2f\n"
+    (Map.gate_count mmin) mmin.Map.area mmin.Map.delay;
+
+  header "Ablation 7 - omitted-topic extensions (test / partitioning / channel / DCs)";
+  let carry =
+    Network.of_exprs ~inputs:[ "a"; "b"; "cin" ]
+      [
+        ("cout", Expr.parse "a b + a cin + b cin");
+        ("s", Expr.parse "a ^ b ^ cin");
+      ]
+  in
+  let atpg = Vc_network.Atpg.generate_all carry in
+  Printf.printf
+    "  ATPG on a full adder: %d faults, %d detected, %d vectors -> %d after compaction\n"
+    atpg.Vc_network.Atpg.total atpg.Vc_network.Atpg.detected
+    (List.length atpg.Vc_network.Atpg.vectors)
+    (List.length (Vc_network.Atpg.compact carry atpg));
+  let part_net =
+    Vc_place.Netgen.generate ~seed:9
+      { Vc_place.Netgen.p_name = "part"; cells = 150; nets = 220; pads = 12; avg_pins = 2.7 }
+  in
+  let kl = Vc_place.Kl.bipartition ~seed:3 part_net in
+  let fm_r = Vc_place.Fm.bipartition ~seed:3 part_net in
+  let random_side =
+    Array.init part_net.Pnet.num_cells (fun i -> i mod 2 = 0)
+  in
+  Printf.printf "  partitioning cut: random %d | KL %d | FM %d\n"
+    (Vc_place.Fm.cut_size part_net random_side)
+    kl.Vc_place.Kl.cut fm_r.Vc_place.Fm.cut;
+  let channel =
+    Vc_route.Channel.parse "top    1 0 2 3 0 4 0 2\nbottom 0 1 0 2 3 0 4 0\n"
+  in
+  (match Vc_route.Channel.route channel with
+  | Ok a ->
+    Printf.printf "  channel routing: density %d, left-edge used %d tracks\n"
+      (Vc_route.Channel.density channel)
+      a.Vc_route.Channel.num_tracks
+  | Error e -> Printf.printf "  channel routing failed: %s\n" e);
+  let hot = Network.create ~inputs:[ "s" ] ~outputs:[ "f" ] () in
+  Network.add_node hot ~name:"hot0" ~fanins:[ "s" ]
+    ~func:(Vc_cube.Cover.of_strings 1 [ "0" ]);
+  Network.add_node hot ~name:"hot1" ~fanins:[ "s" ]
+    ~func:(Vc_cube.Cover.of_strings 1 [ "1" ]);
+  Network.add_node hot ~name:"f" ~fanins:[ "hot0"; "hot1" ]
+    ~func:(Vc_cube.Cover.of_strings 2 [ "10"; "01" ]);
+  Printf.printf
+    "  SDC simplification on a decoder consumer: saved %d literal(s)\n"
+    (Vc_multilevel.Dc.simplify hot);
+  let machine =
+    Vc_network.Fsm.of_rows ~reset:"even"
+      [
+        (("even", "zero"), ("even", [ false ]));
+        (("even", "one"), ("odd_a", [ true ]));
+        (("odd_a", "zero"), ("odd_b", [ true ]));
+        (("odd_a", "one"), ("even", [ false ]));
+        (("odd_b", "zero"), ("odd_a", [ true ]));
+        (("odd_b", "one"), ("even", [ false ]));
+      ]
+  in
+  let reduced, _ = Vc_network.Fsm.minimize machine in
+  Printf.printf "  FSM minimization: %d -> %d states (equivalent: %b)\n"
+    (List.length (Vc_network.Fsm.states machine))
+    (List.length (Vc_network.Fsm.states reduced))
+    (Vc_network.Fsm.equivalent machine reduced);
+  let drc_problem =
+    Router.parse_problem
+      "grid 14 14\nnet a 1 1 12 1\nnet b 1 3 12 3\nnet c 6 0 6 13\n"
+  in
+  let drc_routed = Router.route drc_problem in
+  let violations, drc_rects = Vc_route.Geom.drc_check drc_routed in
+  Printf.printf
+    "  scanline DRC on a routed layout: %d strips, %d cross-net violations, metal area %d\n"
+    (List.length drc_rects) (List.length violations)
+    (Vc_route.Geom.union_area drc_rects);
+  let hazard_net =
+    Network.of_exprs ~inputs:[ "a"; "b"; "c" ]
+      [ ("f", Expr.parse "a b + !a c") ]
+  in
+  let hazard_map =
+    Map.map_network (Vc_techmap.Cell_lib.standard ()) hazard_net
+  in
+  let waves =
+    Vc_timing.Eventsim.simulate hazard_map
+      [
+        ("a", [ (0.0, true); (10.0, false) ]);
+        ("b", [ (0.0, true) ]);
+        ("c", [ (0.0, true) ]);
+      ]
+  in
+  Printf.printf
+    "  event-driven sim: static-1 hazard on f = ab + a'c shows %d glitch transition(s)\n"
+    (Vc_timing.Eventsim.glitches (List.assoc "f" waves))
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let figures =
+  [
+    ("fig1", fig1); ("fig2", fig2); ("fig4", fig4); ("fig5", fig5);
+    ("fig6", fig6); ("fig7", fig7); ("fig8", fig8); ("fig9", fig9);
+    ("fig10", fig10); ("stats", stats); ("fig11", fig11);
+  ]
+
+let perf_tables =
+  [
+    perf_urp; perf_bdd; perf_sat; perf_two_level; perf_multilevel;
+    perf_techmap; perf_linalg; perf_place; perf_route; perf_timing; perf_flow;
+  ]
+
+let run_all () =
+  List.iter (fun (_, f) -> f ()) figures;
+  List.iter (fun f -> f ()) perf_tables;
+  ablations ();
+  header "Done";
+  Printf.printf
+    "Every table/figure regenerated; see EXPERIMENTS.md for paper-vs-measured.\n"
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] | [ _; "all" ] -> run_all ()
+  | [ _; "perf" ] -> List.iter (fun f -> f ()) perf_tables
+  | [ _; "ablations" ] -> ablations ()
+  | [ _; name ] -> begin
+    match List.assoc_opt name figures with
+    | Some f -> f ()
+    | None ->
+      Printf.eprintf
+        "unknown experiment %s (try: fig1 fig2 fig4..fig11 stats perf ablations all)\n"
+        name;
+      exit 2
+  end
+  | _ ->
+    prerr_endline "usage: main.exe [experiment]";
+    exit 2

@@ -1,0 +1,1 @@
+bin/atpg.ml: Array In_channel List Printf String Sys Vc_network

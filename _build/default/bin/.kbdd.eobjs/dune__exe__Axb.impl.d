@@ -1,0 +1,1 @@
+bin/axb.ml: In_channel Sys Vc_linalg

@@ -1,0 +1,1 @@
+bin/espresso.ml: Array In_channel String Sys Vc_two_level

@@ -1,0 +1,1 @@
+bin/flow.ml: Array In_channel Out_channel Printf Sys Vc_mooc Vc_network Vc_route Vc_techmap

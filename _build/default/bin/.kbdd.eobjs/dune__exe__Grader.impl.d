@@ -1,0 +1,1 @@
+bin/grader.ml: In_channel List Sys Vc_mooc

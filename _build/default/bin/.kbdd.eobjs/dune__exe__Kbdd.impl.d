@@ -1,0 +1,1 @@
+bin/kbdd.ml: In_channel List Sys Vc_bdd

@@ -1,0 +1,1 @@
+bin/minisat.ml: Array In_channel List String Sys Vc_sat

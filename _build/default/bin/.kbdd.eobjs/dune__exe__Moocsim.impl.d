@@ -1,0 +1,1 @@
+bin/moocsim.ml: Sys Vc_mooc

@@ -1,0 +1,1 @@
+bin/sis.ml: In_channel List Sys Vc_multilevel Vc_network

@@ -1,0 +1,12 @@
+(* axb: the linear-system portal tool. Usage: axb [system-file] *)
+
+let () =
+  let text =
+    match Sys.argv with
+    | [| _ |] -> In_channel.input_all stdin
+    | [| _; path |] -> In_channel.with_open_text path In_channel.input_all
+    | _ ->
+      prerr_endline "usage: axb [system-file]";
+      exit 2
+  in
+  print_endline (Vc_linalg.Axb.run text)

@@ -1,0 +1,14 @@
+(* kbdd: the BDD calculator portal tool as a command-line filter.
+   Usage: kbdd [script-file]   (stdin when no file is given) *)
+
+let read_input () =
+  match Sys.argv with
+  | [| _ |] -> In_channel.input_all stdin
+  | [| _; path |] -> In_channel.with_open_text path In_channel.input_all
+  | _ ->
+    prerr_endline "usage: kbdd [script-file]";
+    exit 2
+
+let () =
+  let script = read_input () in
+  List.iter print_endline (Vc_bdd.Bdd_script.run_script script)

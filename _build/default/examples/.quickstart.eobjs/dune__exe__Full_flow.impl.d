@@ -1,0 +1,1 @@
+examples/full_flow.ml: List Out_channel Printf Vc_cube Vc_mooc Vc_network Vc_route Vc_techmap

@@ -1,0 +1,1 @@
+examples/omitted_topics.ml: Array List Printf String Vc_cube Vc_multilevel Vc_network Vc_place Vc_route Vc_techmap Vc_timing

@@ -1,0 +1,1 @@
+examples/omitted_topics.mli:

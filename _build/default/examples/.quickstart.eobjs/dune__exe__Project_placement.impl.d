@@ -1,0 +1,1 @@
+examples/project_placement.ml: Array Out_channel Printf Sys Vc_mooc Vc_place Vc_route

@@ -1,0 +1,1 @@
+examples/project_repair.ml: List Vc_bdd Vc_cube Vc_mooc

@@ -1,0 +1,1 @@
+examples/project_routing.ml: Out_channel Printf Vc_mooc Vc_place Vc_route

@@ -1,0 +1,1 @@
+examples/project_urp.ml: List String Vc_mooc

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf String Vc_bdd Vc_cube Vc_mooc Vc_multilevel Vc_network Vc_sat Vc_techmap Vc_two_level

@@ -1,0 +1,71 @@
+(* Logic to layout, literally: a 4-bit ripple-carry adder and a 7-segment
+   decoder pushed through synthesis, mapping (both objectives), placement,
+   routing and timing - the complete arc of the course in one run. *)
+
+let adder4 () =
+  let e = Vc_cube.Expr.parse in
+  let bindings = ref [] in
+  let carry = ref "cin" in
+  for i = 0 to 3 do
+    let a = Printf.sprintf "a%d" i and b = Printf.sprintf "b%d" i in
+    let s = Printf.sprintf "s%d" i and c = Printf.sprintf "c%d" i in
+    bindings :=
+      (s, e (Printf.sprintf "%s ^ %s ^ %s" a b !carry)) :: !bindings;
+    bindings :=
+      ( c,
+        e
+          (Printf.sprintf "(%s & %s) | (%s & %s) | (%s & %s)" a b a !carry b
+             !carry) )
+      :: !bindings;
+    carry := c
+  done;
+  let inputs =
+    List.concat_map
+      (fun i -> [ Printf.sprintf "a%d" i; Printf.sprintf "b%d" i ])
+      [ 0; 1; 2; 3 ]
+    @ [ "cin" ]
+  in
+  Vc_network.Network.of_exprs ~name:"adder4" ~inputs (List.rev !bindings)
+
+(* segments of a 7-segment display decoding a 4-bit value 0-9 *)
+let seven_segment () =
+  let seg_minterms =
+    [
+      ("seg_a", [ 0; 2; 3; 5; 6; 7; 8; 9 ]);
+      ("seg_b", [ 0; 1; 2; 3; 4; 7; 8; 9 ]);
+      ("seg_c", [ 0; 1; 3; 4; 5; 6; 7; 8; 9 ]);
+      ("seg_d", [ 0; 2; 3; 5; 6; 8; 9 ]);
+      ("seg_e", [ 0; 2; 6; 8 ]);
+      ("seg_f", [ 0; 4; 5; 6; 8; 9 ]);
+      ("seg_g", [ 2; 3; 4; 5; 6; 8; 9 ]);
+    ]
+  in
+  let order = [ "d3"; "d2"; "d1"; "d0" ] in
+  Vc_network.Network.of_exprs ~name:"seven_seg" ~inputs:order
+    (List.map
+       (fun (name, ms) -> (name, Vc_cube.Expr.of_minterms order ms))
+       seg_minterms)
+
+let run name net =
+  Printf.printf "\n================ %s ================\n" name;
+  List.iter
+    (fun (mode, label) ->
+      Printf.printf "--- %s mapping ---\n" label;
+      let options = { Vc_mooc.Flow.default_options with Vc_mooc.Flow.mode } in
+      let r = Vc_mooc.Flow.run ~options net in
+      print_string (Vc_mooc.Flow.report_to_string r);
+      assert r.Vc_mooc.Flow.equivalent)
+    [
+      (Vc_techmap.Map.Min_area, "min-area");
+      (Vc_techmap.Map.Min_delay, "min-delay");
+    ]
+
+let () =
+  run "4-bit ripple-carry adder" (adder4 ());
+  run "7-segment decoder" (seven_segment ());
+  (* keep a routed layout around as an artifact *)
+  let r = Vc_mooc.Flow.run (adder4 ()) in
+  Out_channel.with_open_text "adder4_layout.svg" (fun oc ->
+      Out_channel.output_string oc
+        (Vc_route.Render.result_svg r.Vc_mooc.Flow.routing));
+  print_endline "\nwrote adder4_layout.svg"

@@ -1,0 +1,40 @@
+(* Software project 4: two-layer maze routing - the Fig. 6 unit tests, the
+   grader round trip, and a Fig. 7-style larger benchmark rendered as SVG. *)
+
+let () =
+  (* the unit-test battery, solved and drawn (Fig. 6) *)
+  print_string (Vc_mooc.Projects.render_fig6 ());
+
+  (* grade the reference router like a participant upload *)
+  let p = Vc_mooc.Projects.project4 in
+  let submission = p.Vc_mooc.Projects.p_reference () in
+  print_string
+    (Vc_mooc.Autograder.render
+       (Vc_mooc.Autograder.grade p.Vc_mooc.Projects.p_grader submission));
+
+  (* an illegal submission is rejected with a reason *)
+  print_endline "--- grading a submission with a broken path ---";
+  let broken =
+    "problem short_horizontal\nnet a\n0 1 1\n0 3 1\n0 6 1\nendnet\n"
+  in
+  print_string
+    (Vc_mooc.Autograder.render
+       (Vc_mooc.Autograder.grade p.Vc_mooc.Projects.p_grader broken));
+
+  (* Fig. 7 right: route a placed MCNC-profile design *)
+  let fract =
+    match Vc_place.Netgen.by_name "fract" with Some pr -> pr | None -> assert false
+  in
+  let net = Vc_place.Netgen.generate ~seed:202 fract in
+  let qp = Vc_place.Quadratic.place net in
+  let legal = Vc_place.Legalize.to_grid net qp.Vc_place.Quadratic.placement in
+  let problem = Vc_mooc.Flow.routing_problem_of net legal 10 in
+  Vc_route.Maze.astar := true;
+  let result = Vc_route.Router.route ~rip_up_passes:4 problem in
+  Vc_route.Maze.astar := false;
+  Printf.printf "fract routing: %d/%d nets, wirelength %d, vias %d\n"
+    result.Vc_route.Router.completed result.Vc_route.Router.total
+    result.Vc_route.Router.wirelength result.Vc_route.Router.vias;
+  Out_channel.with_open_text "fract_routing.svg" (fun oc ->
+      Out_channel.output_string oc (Vc_route.Render.result_svg result));
+  print_endline "wrote fract_routing.svg"

@@ -1,0 +1,27 @@
+(* Software project 1 end to end: download the assignment, "implement" the
+   URP solution (here: the library's own reference), upload, get graded. *)
+
+let () =
+  let p = Vc_mooc.Projects.project1 in
+  print_endline "--- assignment (as downloaded by a participant) ---";
+  print_string p.Vc_mooc.Projects.p_assignment;
+  print_endline "--- submission built with Urp.complement / Urp.tautology ---";
+  let submission = p.Vc_mooc.Projects.p_reference () in
+  print_string submission;
+  print_endline "--- auto-grader output ---";
+  let grade = Vc_mooc.Autograder.grade p.Vc_mooc.Projects.p_grader submission in
+  print_string (Vc_mooc.Autograder.render grade);
+  (* what partial credit looks like: submit only the first function *)
+  print_endline "--- a partial submission (first complement only) ---";
+  let partial =
+    let lines = String.split_on_char '\n' submission in
+    let rec take acc = function
+      | [] -> List.rev acc
+      | "end" :: _ -> List.rev ("end" :: acc)
+      | l :: rest -> take (l :: acc) rest
+    in
+    String.concat "\n" (take [] lines)
+  in
+  print_string
+    (Vc_mooc.Autograder.render
+       (Vc_mooc.Autograder.grade p.Vc_mooc.Projects.p_grader partial))

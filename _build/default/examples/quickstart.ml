@@ -1,0 +1,81 @@
+(* Quickstart: a ten-minute tour of the toolkit's public API, following
+   the course's own arc - Boolean algebra, BDDs, SAT, two-level and
+   multi-level synthesis, mapping, and timing. Run with:
+
+     dune exec examples/quickstart.exe
+*)
+
+let section title =
+  Printf.printf "\n=== %s ===\n" title
+
+let () =
+  section "Week 1: computational Boolean algebra";
+  let f = Vc_cube.Expr.parse "a & b | !a & c" in
+  Printf.printf "f        = %s\n" (Vc_cube.Expr.to_string f);
+  Printf.printf "df/da    = %s\n"
+    (Vc_cube.Expr.to_string (Vc_cube.Expr.boolean_difference "a" f));
+  Printf.printf "exists a = %s\n"
+    (Vc_cube.Expr.to_string (Vc_cube.Expr.exists "a" f));
+  let cover = Vc_cube.Cover.of_expr [ "a"; "b"; "c" ] f in
+  Printf.printf "URP tautology(f)? %b; complement has %d cubes\n"
+    (Vc_cube.Urp.tautology cover)
+    (Vc_cube.Cover.num_cubes (Vc_cube.Urp.complement cover));
+
+  section "Week 2: BDDs and SAT";
+  let m = Vc_bdd.Bdd.create () in
+  let fb = Vc_bdd.Bdd.of_expr m f in
+  Printf.printf "BDD size %d, %g satisfying assignments over 3 vars\n"
+    (Vc_bdd.Bdd.size m fb)
+    (Vc_bdd.Bdd.sat_count m fb ~nvars:3);
+  let g = Vc_cube.Expr.parse "(a | c) & (!a | b)" in
+  Printf.printf "f == g (by SAT miter)? %b\n" (Vc_sat.Tseitin.equivalent f g);
+
+  section "Week 3: two-level minimization";
+  let on = Vc_cube.Cover.of_strings 3 [ "110"; "111"; "011"; "010" ] in
+  let minimized = Vc_two_level.Espresso.minimize ~dc:(Vc_cube.Cover.empty 3) on in
+  Printf.printf "espresso: %d cubes -> %d cube(s): %s\n"
+    (Vc_cube.Cover.num_cubes on)
+    (Vc_cube.Cover.num_cubes minimized)
+    (String.concat " + " (Vc_cube.Cover.to_strings minimized));
+
+  section "Week 4: multi-level synthesis";
+  let net =
+    Vc_network.Network.of_exprs ~name:"demo" ~inputs:[ "a"; "b"; "c"; "d"; "e" ]
+      [
+        ("x", Vc_cube.Expr.parse "a d + a e + b d + b e + c d + c e");
+        ("y", Vc_cube.Expr.parse "a b + a c");
+      ]
+  in
+  let before = Vc_network.Network.literal_count net in
+  let report = Vc_multilevel.Script.run net Vc_multilevel.Script.script_rugged in
+  let optimized = report.Vc_multilevel.Script.network in
+  Printf.printf "script.rugged: %d -> %d literals (equivalent: %b)\n" before
+    (Vc_network.Network.literal_count optimized)
+    (Vc_network.Equiv.equivalent net optimized);
+
+  section "Week 5: technology mapping";
+  let mapping =
+    Vc_techmap.Map.map_network (Vc_techmap.Cell_lib.standard ()) optimized
+  in
+  Printf.printf "%d gates, area %.1f, delay %.2f\n"
+    (Vc_techmap.Map.gate_count mapping)
+    mapping.Vc_techmap.Map.area mapping.Vc_techmap.Map.delay;
+
+  section "Weeks 6-8: place, route, time (push-button flow)";
+  let flow = Vc_mooc.Flow.run net in
+  print_string (Vc_mooc.Flow.report_to_string flow);
+
+  section "The MOOC itself";
+  Printf.printf
+    "concept map: %d concepts / %d slides; syllabus: %d videos, %.1f h\n"
+    Vc_mooc.Concept_map.total_concepts Vc_mooc.Concept_map.total_slides
+    Vc_mooc.Syllabus.total_videos
+    (float_of_int Vc_mooc.Syllabus.total_minutes /. 60.0);
+  let funnel =
+    Vc_mooc.Cohort.funnel_of
+      (Vc_mooc.Cohort.simulate Vc_mooc.Cohort.paper_params)
+  in
+  Printf.printf "simulated funnel: %d -> %d -> %d -> %d/%d -> %d\n"
+    funnel.Vc_mooc.Cohort.registered funnel.Vc_mooc.Cohort.watched_video
+    funnel.Vc_mooc.Cohort.did_homework funnel.Vc_mooc.Cohort.tried_software
+    funnel.Vc_mooc.Cohort.took_final funnel.Vc_mooc.Cohort.certificates

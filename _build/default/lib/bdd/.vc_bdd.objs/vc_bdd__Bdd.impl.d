@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Array Buffer Float Hashtbl List Printf Vc_cube

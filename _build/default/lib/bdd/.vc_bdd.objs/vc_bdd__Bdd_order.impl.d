@@ -1,0 +1,1 @@
+lib/bdd/bdd_order.ml: Array Bdd List Printf Vc_cube Vc_util

@@ -1,0 +1,1 @@
+lib/bdd/bdd_script.ml: Bdd Hashtbl List Printf String Vc_cube Vc_util

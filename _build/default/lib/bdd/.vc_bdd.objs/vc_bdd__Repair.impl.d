@@ -1,0 +1,1 @@
+lib/bdd/repair.ml: Bdd List Printf Vc_cube

@@ -1,0 +1,1 @@
+lib/bdd/repair.mli: Bdd Vc_cube

@@ -1,0 +1,104 @@
+(** Reduced Ordered Binary Decision Diagrams, in the style of the
+    Brace-Rudell-Bryant package the course's kbdd tool is built on: a
+    manager holding a unique table (for canonicity) and an ITE computed
+    table (for memoized apply).
+
+    Nodes are integers into the manager's arrays; the constants are
+    [zero] and [one]. Canonicity invariant: for any two functions built in
+    the same manager under the same variable order, [f = g] (integer
+    equality) iff the functions are equal. *)
+
+type man
+(** A BDD manager: variable order, unique table, computed table. *)
+
+type t = int
+(** A node handle, valid only with the manager that created it. *)
+
+val create : ?cache_size:int -> unit -> man
+
+val zero : t
+val one : t
+
+val var : man -> string -> t
+(** [var m name] is the function of the named variable, creating the
+    variable (at the bottom of the current order) on first use. *)
+
+val ith_var : man -> int -> t
+(** [ith_var m i] is variable of index [i], creating indices up to [i] with
+    default names ["x<i>"] as needed. *)
+
+val num_vars : man -> int
+
+val var_name : man -> int -> string
+
+val var_index : man -> string -> int option
+
+val mk_not : man -> t -> t
+val mk_and : man -> t -> t -> t
+val mk_or : man -> t -> t -> t
+val mk_xor : man -> t -> t -> t
+val mk_nand : man -> t -> t -> t
+val mk_nor : man -> t -> t -> t
+val mk_imp : man -> t -> t -> t
+val mk_iff : man -> t -> t -> t
+
+val mk_ite : man -> t -> t -> t -> t
+(** The universal connective: [mk_ite m f g h] = IF f THEN g ELSE h. *)
+
+val restrict : man -> t -> var:int -> value:bool -> t
+(** Shannon cofactor with respect to one variable. *)
+
+val compose : man -> t -> var:int -> t -> t
+(** [compose m f ~var g] substitutes function [g] for variable [var] in
+    [f]. *)
+
+val exists : man -> int list -> t -> t
+(** Existential quantification over a set of variable indices. *)
+
+val forall : man -> int list -> t -> t
+
+val support : man -> t -> int list
+(** Variable indices [f] depends on, ascending. *)
+
+val size : man -> t -> int
+(** Number of distinct internal nodes of [f] (constants excluded). *)
+
+val node_count : man -> int
+(** Total live entries ever allocated in the manager's node table. *)
+
+val eval : man -> t -> (int -> bool) -> bool
+(** [eval m f env] evaluates under the assignment [env] (by var index). *)
+
+val sat_count : man -> t -> nvars:int -> float
+(** Number of satisfying assignments over variables [0..nvars-1]. All of
+    [support f] must be below [nvars]. *)
+
+val any_sat : man -> t -> (int * bool) list option
+(** Some satisfying partial assignment (unmentioned variables are free),
+    or [None] for [zero]. *)
+
+val all_sat : ?limit:int -> man -> t -> (int * bool) list list
+(** Cubes (partial assignments) whose union is [f], at most [limit]
+    (default 1_000_000). *)
+
+val of_expr : man -> Vc_cube.Expr.t -> t
+(** Build a BDD from an expression; variables resolved/created by name. *)
+
+val to_expr : man -> t -> Vc_cube.Expr.t
+(** A (multiplexer-structured) expression computing [f]. *)
+
+val of_cover : man -> names:string array -> Vc_cube.Cover.t -> t
+(** Build from a cube cover; variable [i] of the cover is [names.(i)]. *)
+
+val gc : man -> roots:t list -> t list
+(** Compacting garbage collection: rebuilds the manager keeping only the
+    nodes reachable from [roots] and returns the remapped roots (in order).
+    All other handles become invalid. *)
+
+val to_dot : man -> ?name:string -> t -> string
+(** Graphviz rendering of [f]'s DAG: solid edges for the 1-branch, dashed
+    for the 0-branch, boxes for the constants. *)
+
+val cache_stats : man -> int * int
+(** (ITE cache hits, misses) since creation - the lectures' motivation for
+    the computed table. *)

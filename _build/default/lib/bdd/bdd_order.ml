@@ -1,0 +1,74 @@
+module Expr = Vc_cube.Expr
+let full_order e order =
+  let missing = List.filter (fun v -> not (List.mem v order)) (Expr.vars e) in
+  order @ missing
+
+let build_size e order =
+  let order = full_order e order in
+  let m = Bdd.create () in
+  List.iter (fun v -> ignore (Bdd.var m v)) order;
+  let f = Bdd.of_expr m e in
+  Bdd.size m f
+
+let insert_at xs x i =
+  let rec go j = function
+    | rest when j = i -> x :: rest
+    | [] -> [ x ]
+    | y :: rest -> y :: go (j + 1) rest
+  in
+  go 0 xs
+
+let sift e order =
+  let order = ref (full_order e order) in
+  let best_size = ref (build_size e !order) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let vars = !order in
+    let try_var v =
+      let without = List.filter (fun x -> x <> v) !order in
+      let n = List.length without in
+      let best_pos = ref None in
+      for i = 0 to n do
+        let candidate = insert_at without v i in
+        let s = build_size e candidate in
+        if s < !best_size then begin
+          best_size := s;
+          best_pos := Some candidate
+        end
+      done;
+      match !best_pos with
+      | Some candidate ->
+        order := candidate;
+        improved := true
+      | None -> ()
+    in
+    List.iter try_var vars
+  done;
+  (!order, !best_size)
+
+let random_restarts ~seed ~tries e order =
+  let rng = Vc_util.Rng.create seed in
+  let base = Array.of_list (full_order e order) in
+  let best_order = ref (Array.to_list base) in
+  let best_size = ref (build_size e !best_order) in
+  for _ = 1 to tries do
+    let candidate = Array.copy base in
+    Vc_util.Rng.shuffle rng candidate;
+    let candidate = Array.to_list candidate in
+    let s = build_size e candidate in
+    if s < !best_size then begin
+      best_size := s;
+      best_order := candidate
+    end
+  done;
+  (!best_order, !best_size)
+
+let interleaved_order n a b =
+  List.concat_map
+    (fun i -> [ Printf.sprintf "%s%d" a i; Printf.sprintf "%s%d" b i ])
+    (List.init n (fun i -> i))
+
+let blocked_order n a b =
+  List.map (fun i -> Printf.sprintf "%s%d" a i) (List.init n (fun i -> i))
+  @ List.map (fun i -> Printf.sprintf "%s%d" b i) (List.init n (fun i -> i))

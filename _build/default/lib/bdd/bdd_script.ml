@@ -1,0 +1,151 @@
+module Expr = Vc_cube.Expr
+type state = {
+  man : Bdd.man;
+  defs : (string, Bdd.t) Hashtbl.t;
+  mutable declared : string list; (* declaration order, reversed *)
+}
+
+let create () = { man = Bdd.create (); defs = Hashtbl.create 16; declared = [] }
+
+let manager st = st.man
+
+let lookup st name = Hashtbl.find_opt st.defs name
+
+let declared_vars st = List.rev st.declared
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* Build the BDD of an expression, resolving identifiers first as defined
+   functions, then as declared variables. *)
+let build st expr_text =
+  let e =
+    try Expr.parse expr_text
+    with Expr.Parse_error msg -> fail "parse error: %s" msg
+  in
+  let rec go = function
+    | Expr.Const true -> Bdd.one
+    | Expr.Const false -> Bdd.zero
+    | Expr.Var v -> begin
+      match Hashtbl.find_opt st.defs v with
+      | Some f -> f
+      | None ->
+        if Bdd.var_index st.man v <> None then Bdd.var st.man v
+        else fail "undeclared identifier %s (declare with: boolean %s)" v v
+    end
+    | Expr.Not a -> Bdd.mk_not st.man (go a)
+    | Expr.And (a, b) -> Bdd.mk_and st.man (go a) (go b)
+    | Expr.Or (a, b) -> Bdd.mk_or st.man (go a) (go b)
+    | Expr.Xor (a, b) -> Bdd.mk_xor st.man (go a) (go b)
+  in
+  go e
+
+let get_fn st name =
+  match Hashtbl.find_opt st.defs name with
+  | Some f -> f
+  | None -> fail "unknown function %s" name
+
+let get_var st name =
+  match Bdd.var_index st.man name with
+  | Some i -> i
+  | None -> fail "unknown variable %s" name
+
+let assignment_to_string st assignment =
+  match assignment with
+  | [] -> "(any assignment)"
+  | _ ->
+    String.concat " "
+      (List.map
+         (fun (v, b) ->
+           Printf.sprintf "%s=%d" (Bdd.var_name st.man v) (if b then 1 else 0))
+         assignment)
+
+let cube_strings st f =
+  let cubes = Bdd.all_sat ~limit:256 st.man f in
+  let lit (v, b) =
+    if b then Bdd.var_name st.man v else Bdd.var_name st.man v ^ "'"
+  in
+  List.map
+    (fun cube ->
+      match cube with [] -> "1" | _ -> String.concat "." (List.map lit cube))
+    cubes
+
+let exec_line st line =
+  let line = Vc_util.Tok.strip_comment ~comment:'#' line in
+  match Vc_util.Tok.split_words line with
+  | [] -> []
+  | "boolean" :: vars ->
+    if vars = [] then fail "boolean: expected variable names";
+    let declare v =
+      if Hashtbl.mem st.defs v then fail "%s is already a function" v;
+      if Bdd.var_index st.man v = None then begin
+        ignore (Bdd.var st.man v);
+        st.declared <- v :: st.declared
+      end
+    in
+    List.iter declare vars;
+    [ Printf.sprintf "declared %d variable(s)" (List.length vars) ]
+  | name :: "=" :: rest when rest <> [] ->
+    let f = build st (String.concat " " rest) in
+    Hashtbl.replace st.defs name f;
+    [ Printf.sprintf "%s: %d node(s)" name (Bdd.size st.man f) ]
+  | [ "print"; name ] ->
+    let f = get_fn st name in
+    if f = Bdd.zero then [ "0" ]
+    else if f = Bdd.one then [ "1" ]
+    else [ String.concat " + " (cube_strings st f) ]
+  | [ "size"; name ] ->
+    [ string_of_int (Bdd.size st.man (get_fn st name)) ]
+  | [ "sat"; name ] -> begin
+    match Bdd.any_sat st.man (get_fn st name) with
+    | None -> [ "unsatisfiable" ]
+    | Some a -> [ assignment_to_string st a ]
+  end
+  | [ "satcount"; name ] ->
+    let f = get_fn st name in
+    let n = List.length (declared_vars st) in
+    [ Printf.sprintf "%.0f" (Bdd.sat_count st.man f ~nvars:(max n (Bdd.num_vars st.man))) ]
+  | [ "tautology"; name ] ->
+    [ (if get_fn st name = Bdd.one then "yes" else "no") ]
+  | [ "equal"; a; b ] ->
+    [ (if get_fn st a = get_fn st b then "yes" else "no") ]
+  | [ "dot"; name ] ->
+    String.split_on_char '\n' (Bdd.to_dot st.man ~name (get_fn st name))
+  | [ "support"; name ] ->
+    let vs = Bdd.support st.man (get_fn st name) in
+    [ String.concat " " (List.map (Bdd.var_name st.man) vs) ]
+  | [ "cofactor"; g; f; x; v ] ->
+    let value =
+      match v with
+      | "0" -> false
+      | "1" -> true
+      | _ -> fail "cofactor: value must be 0 or 1"
+    in
+    let r = Bdd.restrict st.man (get_fn st f) ~var:(get_var st x) ~value in
+    Hashtbl.replace st.defs g r;
+    [ Printf.sprintf "%s: %d node(s)" g (Bdd.size st.man r) ]
+  | "exists" :: g :: f :: (_ :: _ as vars) ->
+    let vs = List.map (get_var st) vars in
+    let r = Bdd.exists st.man vs (get_fn st f) in
+    Hashtbl.replace st.defs g r;
+    [ Printf.sprintf "%s: %d node(s)" g (Bdd.size st.man r) ]
+  | "forall" :: g :: f :: (_ :: _ as vars) ->
+    let vs = List.map (get_var st) vars in
+    let r = Bdd.forall st.man vs (get_fn st f) in
+    Hashtbl.replace st.defs g r;
+    [ Printf.sprintf "%s: %d node(s)" g (Bdd.size st.man r) ]
+  | [ "compose"; g; f; x; h ] ->
+    let r =
+      Bdd.compose st.man (get_fn st f) ~var:(get_var st x) (get_fn st h)
+    in
+    Hashtbl.replace st.defs g r;
+    [ Printf.sprintf "%s: %d node(s)" g (Bdd.size st.man r) ]
+  | cmd :: _ -> fail "unknown command %s" cmd
+
+let run st text =
+  let lines = String.split_on_char '\n' text in
+  List.concat_map
+    (fun line ->
+      try exec_line st line with Failure msg -> [ "error: " ^ msg ])
+    lines
+
+let run_script text = run (create ()) text

@@ -1,0 +1,40 @@
+(** A kbdd-style Boolean calculator: the scripting language of the course's
+    BDD tool portal. Text in, text out (Fig. 4 architecture).
+
+    Commands, one per line ([#] comments):
+    {v
+    boolean a b c        declare variables, in BDD order
+    f = a & b | !c       define a function (may use earlier functions)
+    print f              SOP cubes of f
+    size f               node count
+    sat f                one satisfying assignment
+    satcount f           number of satisfying assignments (over declared vars)
+    tautology f          is f identically 1?
+    equal f g            are two functions the same node?
+    support f            variables f depends on
+    dot f                graphviz dump of f's DAG
+    cofactor g f x 1     g := f with x forced to 1 (or 0)
+    exists g f x y       g := exists x,y . f
+    forall g f x y       g := forall x,y . f
+    compose g f x h      g := f with function h substituted for variable x
+    v} *)
+
+type state
+
+val create : unit -> state
+
+val manager : state -> Bdd.man
+
+val lookup : state -> string -> Bdd.t option
+(** Defined function by name. *)
+
+val exec_line : state -> string -> string list
+(** Execute one command; returns its output lines.
+    @raise Failure with a user-facing message on bad commands. *)
+
+val run : state -> string -> string list
+(** Execute a whole script; failures are reported inline as
+    ["error: ..."] lines and execution continues (portal behaviour). *)
+
+val run_script : string -> string list
+(** [run_script text] on a fresh state. *)

@@ -1,0 +1,86 @@
+module Expr = Vc_cube.Expr
+type gate_table = {
+  d00 : bool;
+  d01 : bool;
+  d10 : bool;
+  d11 : bool;
+}
+
+let bit b = if b then '1' else '0'
+
+let raw_table t =
+  Printf.sprintf "TABLE:%c%c%c%c" (bit t.d00) (bit t.d01) (bit t.d10)
+    (bit t.d11)
+
+let gate_name ({ d00; d01; d10; d11 } as t) =
+  match (d00, d01, d10, d11) with
+  | false, false, false, true -> "AND"
+  | true, true, true, false -> "NAND"
+  | false, true, true, true -> "OR"
+  | true, false, false, false -> "NOR"
+  | false, true, true, false -> "XOR"
+  | true, false, false, true -> "XNOR"
+  | false, false, true, true -> "BUF(a)"
+  | true, true, false, false -> "NOT(a)"
+  | false, true, false, true -> "BUF(b)"
+  | true, false, true, false -> "NOT(b)"
+  | false, false, false, false -> "ZERO"
+  | true, true, true, true -> "ONE"
+  | false, false, true, false
+  | false, true, false, false
+  | true, false, true, true
+  | true, true, false, true -> raw_table t
+
+let repair_2input ~inputs ~spec ~build =
+  let m = Bdd.create () in
+  (* order: primary inputs first, then the four d unknowns; quantifying the
+     inputs (top of the order) leaves a function of d only *)
+  List.iter (fun v -> ignore (Bdd.var m v)) inputs;
+  let d00 = Bdd.var m "_d00" in
+  let d01 = Bdd.var m "_d01" in
+  let d10 = Bdd.var m "_d10" in
+  let d11 = Bdd.var m "_d11" in
+  let hole u v =
+    (* H(u, v) = mux of the four table entries selected by (u, v) *)
+    Bdd.mk_ite m u (Bdd.mk_ite m v d11 d10) (Bdd.mk_ite m v d01 d00)
+  in
+  let patched = build m ~hole in
+  let spec_bdd = Bdd.of_expr m spec in
+  let agrees = Bdd.mk_iff m patched spec_bdd in
+  let input_indices =
+    List.map
+      (fun v ->
+        match Bdd.var_index m v with
+        | Some i -> i
+        | None ->
+          (* spec/network may not mention an input; it was still created *)
+          assert false)
+      inputs
+  in
+  let repair = Bdd.forall m input_indices agrees in
+  (* enumerate all 16 tables rather than decoding partial assignments *)
+  let tables = ref [] in
+  for code = 15 downto 0 do
+    let t =
+      {
+        d00 = code land 8 <> 0;
+        d01 = code land 4 <> 0;
+        d10 = code land 2 <> 0;
+        d11 = code land 1 <> 0;
+      }
+    in
+    let env i =
+      let name = Bdd.var_name m i in
+      match name with
+      | "_d00" -> t.d00
+      | "_d01" -> t.d01
+      | "_d10" -> t.d10
+      | "_d11" -> t.d11
+      | _ -> false
+    in
+    if Bdd.eval m repair env then tables := t :: !tables
+  done;
+  !tables
+
+let repairable ~inputs ~spec ~build =
+  repair_2input ~inputs ~spec ~build <> []

@@ -1,0 +1,42 @@
+(** BDD-based formal network repair (software project 2).
+
+    The setting from the lectures: a combinational network disagrees with
+    its specification, and one suspect 2-input gate has been identified.
+    Replace the suspect gate by a "hole" whose truth table is four unknown
+    Boolean variables d00, d01, d10, d11 (duv = output when the hole's
+    inputs are u,v). Build the miter of the patched network against the
+    spec, then universally quantify the primary inputs:
+
+      Repair(d) = forall inputs . (patched(x, d) == spec(x))
+
+    Any satisfying assignment of Repair gives a truth table - i.e. a gate -
+    that fixes the network for all inputs. *)
+
+type gate_table = {
+  d00 : bool;
+  d01 : bool;
+  d10 : bool;
+  d11 : bool;
+}
+(** Truth table of a 2-input gate: output at (u,v) = (0,0), (0,1), (1,0),
+    (1,1). *)
+
+val gate_name : gate_table -> string
+(** Conventional name when the table is a standard gate ("AND", "NAND",
+    "OR", "NOR", "XOR", "XNOR", "BUF(a)", "NOT(a)", "BUF(b)", "NOT(b)",
+    "ZERO", "ONE"), or the raw table as ["TABLE:abcd"]. *)
+
+val repair_2input :
+  inputs:string list ->
+  spec:Vc_cube.Expr.t ->
+  build:(Bdd.man -> hole:(Bdd.t -> Bdd.t -> Bdd.t) -> Bdd.t) ->
+  gate_table list
+(** [repair_2input ~inputs ~spec ~build] returns every 2-input gate that
+    repairs the network. [build m ~hole] must construct the suspect
+    network's output in manager [m], calling [hole u v] exactly where the
+    suspect gate was. [inputs] are the primary input names (shared with
+    [spec]). Empty result means no single-gate repair at that location
+    exists. *)
+
+val repairable : inputs:string list -> spec:Vc_cube.Expr.t ->
+  build:(Bdd.man -> hole:(Bdd.t -> Bdd.t -> Bdd.t) -> Bdd.t) -> bool

@@ -1,0 +1,1 @@
+lib/cube/cover.ml: Array Cube Expr List Option

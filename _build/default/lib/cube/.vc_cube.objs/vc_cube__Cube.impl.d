@@ -1,0 +1,1 @@
+lib/cube/cube.ml: Array Bytes Char List Printf String

@@ -1,0 +1,1 @@
+lib/cube/expr.ml: Array Hashtbl List Printf String

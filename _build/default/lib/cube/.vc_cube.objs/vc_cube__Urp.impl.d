@@ -1,0 +1,1 @@
+lib/cube/urp.ml: Cover Cube List

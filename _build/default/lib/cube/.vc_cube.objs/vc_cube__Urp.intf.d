@@ -1,0 +1,1 @@
+lib/cube/urp.mli: Cover Cube

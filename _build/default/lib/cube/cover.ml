@@ -1,0 +1,170 @@
+type t = { num_vars : int; cubes : Cube.t list }
+
+let make n cubes =
+  let check c =
+    if Cube.num_vars c <> n then
+      invalid_arg "Cover.make: cube width mismatch"
+  in
+  List.iter check cubes;
+  { num_vars = n; cubes = List.filter (fun c -> not (Cube.is_empty c)) cubes }
+
+let empty n = { num_vars = n; cubes = [] }
+
+let top n = { num_vars = n; cubes = [ Cube.universe n ] }
+
+let of_strings n strs = make n (List.map Cube.of_string strs)
+
+let to_strings f = List.map Cube.to_string f.cubes
+
+let num_cubes f = List.length f.cubes
+
+let is_empty f = f.cubes = []
+
+let eval f point = List.exists (fun c -> Cube.eval c point) f.cubes
+
+let union a b =
+  if a.num_vars <> b.num_vars then invalid_arg "Cover.union: width mismatch";
+  { a with cubes = a.cubes @ b.cubes }
+
+let add_cube f c =
+  if Cube.num_vars c <> f.num_vars then
+    invalid_arg "Cover.add_cube: width mismatch";
+  if Cube.is_empty c then f else { f with cubes = c :: f.cubes }
+
+let cofactor f ~var ~value =
+  let cubes = List.filter_map (fun c -> Cube.cofactor c ~var ~value) f.cubes in
+  { f with cubes }
+
+let cofactor_cube f c =
+  let n = f.num_vars in
+  let rec apply f i =
+    if i >= n then f
+    else
+      match Cube.get c i with
+      | Cube.Pos -> apply (cofactor f ~var:i ~value:true) (i + 1)
+      | Cube.Neg -> apply (cofactor f ~var:i ~value:false) (i + 1)
+      | Cube.Both -> apply f (i + 1)
+      | Cube.Empty -> empty n
+  in
+  apply f 0
+
+type polarity = Unate_pos | Unate_neg | Binate | Absent
+
+let var_polarity f i =
+  let has_pos = ref false and has_neg = ref false in
+  let scan c =
+    match Cube.get c i with
+    | Cube.Pos -> has_pos := true
+    | Cube.Neg -> has_neg := true
+    | Cube.Both | Cube.Empty -> ()
+  in
+  List.iter scan f.cubes;
+  match (!has_pos, !has_neg) with
+  | true, true -> Binate
+  | true, false -> Unate_pos
+  | false, true -> Unate_neg
+  | false, false -> Absent
+
+let is_unate f =
+  let rec check i =
+    i >= f.num_vars || (var_polarity f i <> Binate && check (i + 1))
+  in
+  check 0
+
+let most_binate_var f =
+  (* count pos/neg literal occurrences per variable in one pass *)
+  let pos = Array.make f.num_vars 0 and neg = Array.make f.num_vars 0 in
+  let scan c =
+    for i = 0 to f.num_vars - 1 do
+      match Cube.get c i with
+      | Cube.Pos -> pos.(i) <- pos.(i) + 1
+      | Cube.Neg -> neg.(i) <- neg.(i) + 1
+      | Cube.Both | Cube.Empty -> ()
+    done
+  in
+  List.iter scan f.cubes;
+  let best = ref None in
+  for i = 0 to f.num_vars - 1 do
+    if pos.(i) > 0 && neg.(i) > 0 then begin
+      let total = pos.(i) + neg.(i) in
+      let balance = -abs (pos.(i) - neg.(i)) in
+      let key = (total, balance) in
+      match !best with
+      | Some (best_key, _) when best_key >= key -> ()
+      | _ -> best := Some (key, i)
+    end
+  done;
+  Option.map snd !best
+
+let has_universe_cube f =
+  List.exists (fun c -> Cube.literal_count c = 0) f.cubes
+
+let single_cube_containment f =
+  let rec keep acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+      let contained_elsewhere =
+        List.exists (fun d -> not (Cube.equal c d) && Cube.contains d c) rest
+        || List.exists (fun d -> Cube.contains d c) acc
+      in
+      if contained_elsewhere then keep acc rest else keep (c :: acc) rest
+  in
+  { f with cubes = keep [] f.cubes }
+
+let truth_table f =
+  let n = f.num_vars in
+  if n > 20 then invalid_arg "Cover.truth_table: too many variables";
+  let rows = 1 lsl n in
+  Array.init rows (fun row ->
+      let point = Array.init n (fun i -> row land (1 lsl (n - 1 - i)) <> 0) in
+      eval f point)
+
+let of_expr order e =
+  let n = List.length order in
+  let tt = Expr.truth_table order e in
+  let cubes = ref [] in
+  Array.iteri
+    (fun row v ->
+      if v then begin
+        let lits =
+          List.init n (fun i -> (i, row land (1 lsl (n - 1 - i)) <> 0))
+        in
+        cubes := Cube.of_literals n lits :: !cubes
+      end)
+    tt;
+  make n (List.rev !cubes)
+
+let to_expr order f =
+  let order = Array.of_list order in
+  if Array.length order <> f.num_vars then
+    invalid_arg "Cover.to_expr: order length mismatch";
+  let cube_expr c =
+    let lits =
+      List.filter_map
+        (fun i ->
+          match Cube.get c i with
+          | Cube.Pos -> Some (Expr.Var order.(i))
+          | Cube.Neg -> Some (Expr.Not (Var order.(i)))
+          | Cube.Both -> None
+          | Cube.Empty -> Some (Expr.Const false))
+        (List.init f.num_vars (fun i -> i))
+    in
+    match lits with
+    | [] -> Expr.Const true
+    | first :: rest -> List.fold_left (fun a b -> Expr.And (a, b)) first rest
+  in
+  match f.cubes with
+  | [] -> Expr.Const false
+  | first :: rest ->
+    List.fold_left
+      (fun acc c -> Expr.Or (acc, cube_expr c))
+      (cube_expr first) rest
+
+let minterms f =
+  let tt = truth_table f in
+  let out = ref [] in
+  Array.iteri (fun i v -> if v then out := i :: !out) tt;
+  List.rev !out
+
+let equivalent a b =
+  a.num_vars = b.num_vars && truth_table a = truth_table b

@@ -1,0 +1,73 @@
+(** Covers: sum-of-products lists of {!Cube.t} over a shared variable count,
+    with the cover-level operations the URP recursion is built from. *)
+
+type t = private { num_vars : int; cubes : Cube.t list }
+
+val make : int -> Cube.t list -> t
+(** [make n cubes] drops empty cubes and checks widths.
+    @raise Invalid_argument if a cube has a different variable count. *)
+
+val empty : int -> t
+(** The constant-0 cover. *)
+
+val top : int -> t
+(** The constant-1 cover (a single universe cube). *)
+
+val of_strings : int -> string list -> t
+(** Cubes from {!Cube.of_string} notation. *)
+
+val to_strings : t -> string list
+
+val num_cubes : t -> int
+
+val is_empty : t -> bool
+
+val eval : t -> bool array -> bool
+
+val union : t -> t -> t
+
+val add_cube : t -> Cube.t -> t
+
+val cofactor : t -> var:int -> value:bool -> t
+(** Shannon cofactor of the cover: cube-wise, dropping vanished cubes. *)
+
+val cofactor_cube : t -> Cube.t -> t
+(** [cofactor_cube f c] is the generalized cofactor f|_c used by the cube
+    containment check (cofactor with respect to each literal of [c]). *)
+
+type polarity = Unate_pos | Unate_neg | Binate | Absent
+
+val var_polarity : t -> int -> polarity
+(** How variable [i] appears across the cover. *)
+
+val is_unate : t -> bool
+(** True when no variable is binate. *)
+
+val most_binate_var : t -> int option
+(** The standard URP splitting heuristic: the binate variable appearing in
+    the most cubes, ties broken by the more balanced pos/neg split then by
+    index; [None] if the cover is unate. *)
+
+val has_universe_cube : t -> bool
+(** True if some cube is the all-don't-care cube (instant tautology). *)
+
+val single_cube_containment : t -> t
+(** Remove cubes contained in another cube of the cover (a weak but cheap
+    redundancy cleanup). *)
+
+val truth_table : t -> bool array
+(** Truth table over the cover's own [num_vars] (MSB = variable 0).
+    Requires [num_vars <= 20]. *)
+
+val of_expr : string list -> Expr.t -> t
+(** Minterm-canonical cover of an expression under a variable order
+    (small n only; used by tests and homework-scale problems). *)
+
+val to_expr : string list -> t -> Expr.t
+(** Sum-of-products expression naming variables by the given order. *)
+
+val minterms : t -> int list
+(** Indices (as in {!truth_table}) of covered minterms, ascending. *)
+
+val equivalent : t -> t -> bool
+(** Semantic equality via truth tables (small n). *)

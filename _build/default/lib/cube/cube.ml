@@ -1,0 +1,140 @@
+type field = Empty | Neg | Pos | Both
+
+(* Fields are packed two bits per variable in a bytes value: bit0 = "may be
+   0" (complemented form allowed), bit1 = "may be 1" (true form allowed).
+   Neg = 01, Pos = 10, Both = 11, Empty = 00.  We store one field per byte
+   for simplicity; cubes in this toolkit are small (course-scale). *)
+type t = Bytes.t
+
+let field_to_int = function Empty -> 0 | Neg -> 1 | Pos -> 2 | Both -> 3
+
+let field_of_int = function
+  | 0 -> Empty
+  | 1 -> Neg
+  | 2 -> Pos
+  | 3 -> Both
+  | _ -> assert false
+
+let universe n = Bytes.make n '\003'
+
+let num_vars c = Bytes.length c
+
+let get c i = field_of_int (Char.code (Bytes.get c i))
+
+let set c i f =
+  let c' = Bytes.copy c in
+  Bytes.set c' i (Char.chr (field_to_int f));
+  c'
+
+let of_literals n lits =
+  let c = Bytes.copy (universe n) in
+  let add (i, positive) =
+    let cur = Char.code (Bytes.get c i) in
+    let mask = if positive then 2 else 1 in
+    Bytes.set c i (Char.chr (cur land mask))
+  in
+  List.iter add lits;
+  c
+
+let of_string s =
+  let n = String.length s in
+  let c = Bytes.create n in
+  let decode ch =
+    match ch with
+    | '1' -> 2
+    | '0' -> 1
+    | '-' | 'x' | 'X' | '2' -> 3
+    | '@' -> 0
+    | _ -> failwith (Printf.sprintf "Cube.of_string: bad character %C" ch)
+  in
+  String.iteri (fun i ch -> Bytes.set c i (Char.chr (decode ch))) s;
+  c
+
+let to_string c =
+  String.init (num_vars c) (fun i ->
+      match get c i with Empty -> '@' | Neg -> '0' | Pos -> '1' | Both -> '-')
+
+let is_empty c =
+  let n = num_vars c in
+  let rec check i = i < n && (Bytes.get c i = '\000' || check (i + 1)) in
+  check 0
+
+let intersect a b =
+  let n = num_vars a in
+  assert (num_vars b = n);
+  Bytes.init n (fun i ->
+      Char.chr (Char.code (Bytes.get a i) land Char.code (Bytes.get b i)))
+
+let contains a b =
+  let n = num_vars a in
+  assert (num_vars b = n);
+  let rec check i =
+    i >= n
+    ||
+    let fa = Char.code (Bytes.get a i) and fb = Char.code (Bytes.get b i) in
+    fa land fb = fb && check (i + 1)
+  in
+  check 0
+
+let cofactor c ~var ~value =
+  let needed = if value then 2 else 1 in
+  let f = Char.code (Bytes.get c var) in
+  if f land needed = 0 then None else Some (set c var Both)
+
+let literal_count c =
+  let n = num_vars c in
+  let rec count i acc =
+    if i >= n then acc
+    else
+      match get c i with
+      | Pos | Neg -> count (i + 1) (acc + 1)
+      | Both | Empty -> count (i + 1) acc
+  in
+  count 0 0
+
+let minterm_count c =
+  if is_empty c then 0
+  else begin
+    let n = num_vars c in
+    if n > 62 then invalid_arg "Cube.minterm_count: too many variables";
+    let free = n - literal_count c in
+    1 lsl free
+  end
+
+let eval c point =
+  let n = num_vars c in
+  assert (Array.length point = n);
+  let rec check i =
+    i >= n
+    ||
+    let ok =
+      match get c i with
+      | Both -> true
+      | Pos -> point.(i)
+      | Neg -> not point.(i)
+      | Empty -> false
+    in
+    ok && check (i + 1)
+  in
+  check 0
+
+let complement_literals c =
+  let n = num_vars c in
+  if is_empty c then [ universe n ]
+  else begin
+    let lit_cube i f =
+      (* one cube per literal of c, with the literal's polarity flipped *)
+      match f with
+      | Pos -> Some (set (universe n) i Neg)
+      | Neg -> Some (set (universe n) i Pos)
+      | Both -> None
+      | Empty -> assert false
+    in
+    List.filter_map
+      (fun i -> lit_cube i (get c i))
+      (List.init n (fun i -> i))
+  end
+
+let compare = Bytes.compare
+
+let equal = Bytes.equal

@@ -1,0 +1,76 @@
+(** Positional cube notation (PCN), exactly as taught in the course's URP
+    lectures and required by software project 1.
+
+    A cube over [n] variables stores one 2-bit field per variable:
+
+    - [11] — the variable does not appear (don't care);
+    - [10] — the variable appears in true form (x);
+    - [01] — the variable appears complemented (x');
+    - [00] — empty: the cube denotes the empty set.
+
+    Cube intersection is bitwise AND of the fields; a cube is empty as soon
+    as any field is [00]. *)
+
+type field = Empty | Neg | Pos | Both
+(** One variable's 2-bit field; [Both] is don't-care. *)
+
+type t
+(** A cube; immutable from the outside. *)
+
+val universe : int -> t
+(** [universe n] is the cube over [n] variables with every field [Both],
+    i.e. the constant-1 function. *)
+
+val num_vars : t -> int
+
+val get : t -> int -> field
+
+val set : t -> int -> field -> t
+(** Functional update: a copy of the cube with variable [i]'s field set. *)
+
+val of_literals : int -> (int * bool) list -> t
+(** [of_literals n lits] has variable [i] in true form for [(i, true)] and
+    complemented for [(i, false)]; later bindings for the same variable are
+    intersected (so [(i,true); (i,false)] yields an empty field). *)
+
+val of_string : string -> t
+(** One character per variable: ['1'] true form, ['0'] complemented,
+    ['-'] or ['x'] don't care. @raise Failure on other characters. *)
+
+val to_string : t -> string
+(** Inverse of {!of_string}; empty fields print as ['@']. *)
+
+val is_empty : t -> bool
+(** True if any field is [Empty] (the cube denotes no minterms). *)
+
+val intersect : t -> t -> t
+(** Bitwise AND per field. The result may be empty. *)
+
+val contains : t -> t -> bool
+(** [contains a b] is true when cube [b]'s minterms are a subset of [a]'s
+    (fieldwise: every field of [b] is included in [a]'s). Both non-empty. *)
+
+val cofactor : t -> var:int -> value:bool -> t option
+(** [cofactor c ~var ~value] is the Shannon cofactor of the single cube:
+    [None] if the cube vanishes (its literal conflicts with [value]),
+    otherwise the cube with [var]'s field forced to don't-care. *)
+
+val literal_count : t -> int
+(** Number of [Pos]/[Neg] fields. *)
+
+val minterm_count : t -> int
+(** Number of minterms covered: 2^(number of don't-care fields), or 0 for an
+    empty cube. Requires [num_vars <= 62]. *)
+
+val eval : t -> bool array -> bool
+(** [eval c point] is true when [point] (one bool per variable) lies in [c]. *)
+
+val complement_literals : t -> t list
+(** De Morgan over a single cube: a list with one single-literal cube per
+    literal of [c], whose union is the complement of [c]. Empty cube maps to
+    [[universe]]; the universe maps to []. *)
+
+val compare : t -> t -> int
+(** Total order (for sorting and sets); not semantically meaningful. *)
+
+val equal : t -> t -> bool

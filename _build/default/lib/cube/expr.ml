@@ -1,0 +1,248 @@
+type t =
+  | Const of bool
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tok_var of string
+  | Tok_const of bool
+  | Tok_not
+  | Tok_post_not
+  | Tok_and
+  | Tok_or
+  | Tok_xor
+  | Tok_lparen
+  | Tok_rparen
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let tokenize s =
+  let n = String.length s in
+  let rec ident i j = if j < n && is_ident_char s.[j] then ident i (j + 1) else j in
+  let rec loop i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> loop (i + 1) acc
+      | '!' | '~' -> loop (i + 1) (Tok_not :: acc)
+      | '\'' -> loop (i + 1) (Tok_post_not :: acc)
+      | '&' | '*' -> loop (i + 1) (Tok_and :: acc)
+      | '|' | '+' -> loop (i + 1) (Tok_or :: acc)
+      | '^' -> loop (i + 1) (Tok_xor :: acc)
+      | '(' -> loop (i + 1) (Tok_lparen :: acc)
+      | ')' -> loop (i + 1) (Tok_rparen :: acc)
+      | '0' -> loop (i + 1) (Tok_const false :: acc)
+      | '1' -> loop (i + 1) (Tok_const true :: acc)
+      | c when is_ident_start c ->
+        let j = ident i (i + 1) in
+        loop j (Tok_var (String.sub s i (j - i)) :: acc)
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %C" c))
+  in
+  loop 0 []
+
+(* Recursive descent; each level returns (expr, remaining tokens). *)
+let parse s =
+  let rec p_or toks =
+    let lhs, toks = p_xor toks in
+    match toks with
+    | Tok_or :: rest ->
+      let rhs, toks = p_or rest in
+      (Or (lhs, rhs), toks)
+    | _ -> (lhs, toks)
+  and p_xor toks =
+    let lhs, toks = p_and toks in
+    match toks with
+    | Tok_xor :: rest ->
+      let rhs, toks = p_xor rest in
+      (Xor (lhs, rhs), toks)
+    | _ -> (lhs, toks)
+  and p_and toks =
+    let lhs, toks = p_unary toks in
+    match toks with
+    | Tok_and :: rest ->
+      let rhs, toks = p_and rest in
+      (And (lhs, rhs), toks)
+    (* juxtaposition: [a b] and [a (b|c)] mean AND *)
+    | (Tok_var _ | Tok_const _ | Tok_lparen | Tok_not) :: _ ->
+      let rhs, toks = p_and toks in
+      (And (lhs, rhs), toks)
+    | _ -> (lhs, toks)
+  and p_unary toks =
+    match toks with
+    | Tok_not :: rest ->
+      let e, toks = p_unary rest in
+      (Not e, toks)
+    | _ -> p_atom toks
+  and p_atom toks =
+    let base, toks =
+      match toks with
+      | Tok_var v :: rest -> (Var v, rest)
+      | Tok_const b :: rest -> (Const b, rest)
+      | Tok_lparen :: rest -> begin
+        let e, toks = p_or rest in
+        match toks with
+        | Tok_rparen :: rest -> (e, rest)
+        | _ -> raise (Parse_error "missing closing parenthesis")
+      end
+      | _ -> raise (Parse_error "expected variable, constant or '('")
+    in
+    p_postfix base toks
+  and p_postfix e toks =
+    match toks with
+    | Tok_post_not :: rest -> p_postfix (Not e) rest
+    | _ -> (e, toks)
+  in
+  match tokenize s with
+  | [] -> raise (Parse_error "empty expression")
+  | toks -> begin
+    let e, rest = p_or toks in
+    match rest with
+    | [] -> e
+    | _ -> raise (Parse_error "trailing tokens after expression")
+  end
+
+let rec to_string = function
+  | Const true -> "1"
+  | Const false -> "0"
+  | Var v -> v
+  | Not e -> "!" ^ atom_string e
+  | And (a, b) -> Printf.sprintf "(%s & %s)" (to_string a) (to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s | %s)" (to_string a) (to_string b)
+  | Xor (a, b) -> Printf.sprintf "(%s ^ %s)" (to_string a) (to_string b)
+
+and atom_string e =
+  match e with
+  | Const _ | Var _ -> to_string e
+  | Not _ | And _ | Or _ | Xor _ -> "(" ^ to_string e ^ ")"
+
+(* ------------------------------------------------------------------ *)
+(* Semantics                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let vars e =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec visit = function
+    | Const _ -> ()
+    | Var v ->
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out := v :: !out
+      end
+    | Not a -> visit a
+    | And (a, b) | Or (a, b) | Xor (a, b) ->
+      visit a;
+      visit b
+  in
+  visit e;
+  List.rev !out
+
+let rec eval env = function
+  | Const b -> b
+  | Var v -> env v
+  | Not a -> not (eval env a)
+  | And (a, b) -> eval env a && eval env b
+  | Or (a, b) -> eval env a || eval env b
+  | Xor (a, b) -> eval env a <> eval env b
+
+let truth_table order e =
+  let n = List.length order in
+  if n > 20 then invalid_arg "Expr.truth_table: too many variables";
+  let missing = List.filter (fun v -> not (List.mem v order)) (vars e) in
+  if missing <> [] then
+    invalid_arg
+      ("Expr.truth_table: variable not in order: " ^ List.hd missing);
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace index v i) order;
+  let rows = 1 lsl n in
+  Array.init rows (fun row ->
+      let env v =
+        let i = Hashtbl.find index v in
+        (* MSB-first: variable 0 of [order] is the highest bit *)
+        row land (1 lsl (n - 1 - i)) <> 0
+      in
+      eval env e)
+
+let equivalent a b =
+  let union =
+    vars a @ List.filter (fun v -> not (List.mem v (vars a))) (vars b)
+  in
+  truth_table union a = truth_table union b
+
+let rec simplify e =
+  match e with
+  | Const _ | Var _ -> e
+  | Not a -> begin
+    match simplify a with
+    | Const b -> Const (not b)
+    | Not inner -> inner
+    | a' -> Not a'
+  end
+  | And (a, b) -> begin
+    match (simplify a, simplify b) with
+    | Const false, _ | _, Const false -> Const false
+    | Const true, x | x, Const true -> x
+    | a', b' when a' = b' -> a'
+    | a', b' -> And (a', b')
+  end
+  | Or (a, b) -> begin
+    match (simplify a, simplify b) with
+    | Const true, _ | _, Const true -> Const true
+    | Const false, x | x, Const false -> x
+    | a', b' when a' = b' -> a'
+    | a', b' -> Or (a', b')
+  end
+  | Xor (a, b) -> begin
+    match (simplify a, simplify b) with
+    | Const false, x | x, Const false -> x
+    | Const true, x | x, Const true -> simplify (Not x)
+    | a', b' when a' = b' -> Const false
+    | a', b' -> Xor (a', b')
+  end
+
+let cofactor x v e =
+  let rec subst = function
+    | Const b -> Const b
+    | Var y -> if y = x then Const v else Var y
+    | Not a -> Not (subst a)
+    | And (a, b) -> And (subst a, subst b)
+    | Or (a, b) -> Or (subst a, subst b)
+    | Xor (a, b) -> Xor (subst a, subst b)
+  in
+  simplify (subst e)
+
+let boolean_difference x e =
+  simplify (Xor (cofactor x true e, cofactor x false e))
+
+let exists x e = simplify (Or (cofactor x true e, cofactor x false e))
+
+let forall x e = simplify (And (cofactor x true e, cofactor x false e))
+
+let of_minterms order ms =
+  let n = List.length order in
+  let order = Array.of_list order in
+  let minterm m =
+    if m < 0 || m >= 1 lsl n then
+      invalid_arg "Expr.of_minterms: minterm out of range";
+    let lit i =
+      let bit = m land (1 lsl (n - 1 - i)) <> 0 in
+      if bit then Var order.(i) else Not (Var order.(i))
+    in
+    let rec conj i = if i = n - 1 then lit i else And (lit i, conj (i + 1)) in
+    if n = 0 then Const true else conj 0
+  in
+  match ms with
+  | [] -> Const false
+  | m :: rest -> List.fold_left (fun acc m -> Or (acc, minterm m)) (minterm m) rest

@@ -1,0 +1,66 @@
+(** Boolean expressions: the front door of the computational Boolean algebra
+    week. An AST with a small concrete syntax, evaluation, truth tables, and
+    the Shannon-expansion operators (cofactor, Boolean difference,
+    quantification) defined directly on expressions.
+
+    Concrete syntax accepted by {!parse}:
+    - variables: identifiers ([a], [x1], [sel_n]);
+    - constants [0] and [1];
+    - negation: prefix [!] or [~], or postfix ['] ([a'] is NOT a);
+    - conjunction: [&] or [*];
+    - disjunction: [|] or [+];
+    - exclusive or: [^];
+    - parentheses.
+
+    Precedence (tightest first): negation, AND, XOR, OR. *)
+
+type t =
+  | Const of bool
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val to_string : t -> string
+(** Fully parenthesised round-trippable rendering. *)
+
+val vars : t -> string list
+(** Variables in first-appearance order (deterministic). *)
+
+val eval : (string -> bool) -> t -> bool
+(** [eval env e] evaluates [e]; [env] must be defined on all of [vars e]. *)
+
+val truth_table : string list -> t -> bool array
+(** [truth_table order e] lists [e]'s value for all assignments to [order];
+    index [i]'s bit [k] (MSB = first variable of [order]) gives the value of
+    variable [k]. Requires [vars e] to be a subset of [order] and
+    [List.length order <= 20].
+    @raise Invalid_argument otherwise. *)
+
+val equivalent : t -> t -> bool
+(** Semantic equivalence over the union of both variable sets. *)
+
+val cofactor : string -> bool -> t -> t
+(** [cofactor x v e] is the Shannon cofactor e|_{x=v}, simplified. *)
+
+val boolean_difference : string -> t -> t
+(** d e / d x = e|x=1 XOR e|x=0 : true exactly when [e] is sensitive to x. *)
+
+val exists : string -> t -> t
+(** Existential quantification (smoothing): e|x=1 OR e|x=0. *)
+
+val forall : string -> t -> t
+(** Universal quantification (consensus): e|x=1 AND e|x=0. *)
+
+val simplify : t -> t
+(** Constant propagation and local identities; semantics-preserving. *)
+
+val of_minterms : string list -> int list -> t
+(** [of_minterms order ms] is the canonical sum of the given minterm indices
+    (indexing as in {!truth_table}); [Const false] for the empty list. *)

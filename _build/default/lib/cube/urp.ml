@@ -1,0 +1,87 @@
+let rec tautology (f : Cover.t) =
+  if Cover.has_universe_cube f then true
+  else if Cover.is_empty f then false
+  else
+    match Cover.most_binate_var f with
+    | None ->
+      (* unate cover: tautology iff it has a universe cube, checked above *)
+      false
+    | Some x ->
+      tautology (Cover.cofactor f ~var:x ~value:true)
+      && tautology (Cover.cofactor f ~var:x ~value:false)
+
+let rec complement (f : Cover.t) =
+  let n = f.Cover.num_vars in
+  if Cover.has_universe_cube f then Cover.empty n
+  else
+    match f.Cover.cubes with
+    | [] -> Cover.top n
+    | [ c ] -> Cover.make n (Cube.complement_literals c)
+    | _ -> begin
+      let x =
+        match Cover.most_binate_var f with
+        | Some x -> x
+        | None -> begin
+          (* unate cover: still split, on the most frequent literal column *)
+          let occupancy i =
+            List.length
+              (List.filter (fun c -> Cube.get c i <> Cube.Both) f.Cover.cubes)
+          in
+          let best = ref 0 and best_count = ref (-1) in
+          for i = 0 to n - 1 do
+            let k = occupancy i in
+            if k > !best_count then begin
+              best := i;
+              best_count := k
+            end
+          done;
+          !best
+        end
+      in
+      let comp_pos = complement (Cover.cofactor f ~var:x ~value:true) in
+      let comp_neg = complement (Cover.cofactor f ~var:x ~value:false) in
+      let with_literal value (g : Cover.t) =
+        let fld = if value then Cube.Pos else Cube.Neg in
+        Cover.make n (List.map (fun c -> Cube.set c x fld) g.Cover.cubes)
+      in
+      Cover.union (with_literal true comp_pos) (with_literal false comp_neg)
+    end
+
+let cube_in_cover c f = tautology (Cover.cofactor_cube f c)
+
+let cover_contains f (g : Cover.t) =
+  List.for_all (fun c -> cube_in_cover c f) g.Cover.cubes
+
+let equivalent f g = cover_contains f g && cover_contains g f
+
+let sharp a b =
+  let n = Cube.num_vars a in
+  if Cube.num_vars b <> n then invalid_arg "Urp.sharp: width mismatch";
+  if Cube.is_empty (Cube.intersect a b) then [ a ]
+  else begin
+    (* a # b = union over literals i of b of: a AND (flipped literal i) *)
+    let pieces =
+      List.filter_map
+        (fun i ->
+          match Cube.get b i with
+          | Cube.Pos -> Some (Cube.intersect a (Cube.set (Cube.universe n) i Cube.Neg))
+          | Cube.Neg -> Some (Cube.intersect a (Cube.set (Cube.universe n) i Cube.Pos))
+          | Cube.Both | Cube.Empty -> None)
+        (List.init n (fun i -> i))
+    in
+    List.filter (fun c -> not (Cube.is_empty c)) pieces
+  end
+
+let cover_sharp (f : Cover.t) b =
+  Cover.make f.Cover.num_vars
+    (List.concat_map (fun c -> sharp c b) f.Cover.cubes)
+
+let intersect (f : Cover.t) (g : Cover.t) =
+  if f.Cover.num_vars <> g.Cover.num_vars then
+    invalid_arg "Urp.intersect: width mismatch";
+  let cubes =
+    List.concat_map
+      (fun a -> List.map (fun b -> Cube.intersect a b) g.Cover.cubes)
+      f.Cover.cubes
+  in
+  Cover.make f.Cover.num_vars cubes

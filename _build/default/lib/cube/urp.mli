@@ -1,0 +1,34 @@
+(** The Unate Recursive Paradigm: divide-and-conquer over Shannon cofactors
+    with unate-cover terminal cases, the central algorithm of the course's
+    first software project. *)
+
+val tautology : Cover.t -> bool
+(** URP tautology check: true iff the cover is the constant-1 function.
+    Terminal cases: a universe cube present (yes); an empty cover (no); a
+    unate cover without a universe cube (no). Otherwise split on the most
+    binate variable. *)
+
+val complement : Cover.t -> Cover.t
+(** URP complement: [x . (F_x)' + x' . (F_x')'] with single-cube De Morgan
+    terminals. The result is a (possibly redundant) SOP of the complement. *)
+
+val cube_in_cover : Cube.t -> Cover.t -> bool
+(** [cube_in_cover c f]: all of [c]'s minterms are covered by [f]
+    (tautology of the generalized cofactor f|_c). *)
+
+val cover_contains : Cover.t -> Cover.t -> bool
+(** [cover_contains f g]: every cube of [g] is inside [f]. *)
+
+val equivalent : Cover.t -> Cover.t -> bool
+(** Mutual containment; unlike {!Cover.equivalent} this does not build truth
+    tables, so it scales past 20 variables. *)
+
+val sharp : Cube.t -> Cube.t -> Cube.t list
+(** The sharp operation [a # b]: a cover of the minterms in [a] but not in
+    [b] (the basic step the lectures build complement intuition from). *)
+
+val cover_sharp : Cover.t -> Cube.t -> Cover.t
+(** Sharp of every cube of the cover against [b]. *)
+
+val intersect : Cover.t -> Cover.t -> Cover.t
+(** Pairwise cube intersections (AND of two SOP covers). *)

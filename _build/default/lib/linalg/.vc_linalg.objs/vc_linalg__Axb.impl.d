@@ -1,0 +1,1 @@
+lib/linalg/axb.ml: Array Dense List Printf Sparse String Vc_util

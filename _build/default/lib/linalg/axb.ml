@@ -1,0 +1,94 @@
+type spec = {
+  mutable dim : int option;
+  mutable meth : [ `Lu | `Cg | `Gs ];
+  mutable dense_rows : float array list; (* reversed *)
+  mutable triplets : (int * int * float) list;
+  mutable rhs : float array option;
+}
+
+let parse_spec text =
+  let spec =
+    { dim = None; meth = `Lu; dense_rows = []; triplets = []; rhs = None }
+  in
+  let floats ctx toks = Array.of_list (List.map (Vc_util.Tok.parse_float ~context:ctx) toks) in
+  let handle line =
+    match Vc_util.Tok.split_words line with
+    | [] -> ()
+    | [ "n"; v ] -> spec.dim <- Some (Vc_util.Tok.parse_int ~context:"n" v)
+    | [ "method"; "lu" ] -> spec.meth <- `Lu
+    | [ "method"; "cg" ] -> spec.meth <- `Cg
+    | [ "method"; "gs" ] -> spec.meth <- `Gs
+    | [ "method"; m ] -> failwith ("unknown method " ^ m)
+    | "row" :: toks -> spec.dense_rows <- floats "row" toks :: spec.dense_rows
+    | [ "entry"; i; j; v ] ->
+      spec.triplets <-
+        ( Vc_util.Tok.parse_int ~context:"entry row" i,
+          Vc_util.Tok.parse_int ~context:"entry col" j,
+          Vc_util.Tok.parse_float ~context:"entry value" v )
+        :: spec.triplets
+    | "rhs" :: toks -> spec.rhs <- Some (floats "rhs" toks)
+    | cmd :: _ -> failwith ("unknown directive " ^ cmd)
+  in
+  List.iter handle (Vc_util.Tok.logical_lines ~comment:'#' text);
+  spec
+
+let solve spec =
+  let n =
+    match spec.dim with Some n when n > 0 -> n | Some _ | None -> failwith "missing or bad 'n'"
+  in
+  let b =
+    match spec.rhs with
+    | Some b when Array.length b = n -> b
+    | Some _ -> failwith "rhs length differs from n"
+    | None -> failwith "missing 'rhs'"
+  in
+  let have_dense = spec.dense_rows <> [] in
+  let have_sparse = spec.triplets <> [] in
+  if have_dense && have_sparse then failwith "mix of 'row' and 'entry' input";
+  if not (have_dense || have_sparse) then failwith "no matrix given";
+  let sparse () =
+    if have_sparse then Sparse.of_triplets n spec.triplets
+    else begin
+      let rows = Array.of_list (List.rev spec.dense_rows) in
+      let triplets = ref [] in
+      Array.iteri
+        (fun i row ->
+          Array.iteri
+            (fun j v -> if v <> 0.0 then triplets := (i, j, v) :: !triplets)
+            row)
+        rows;
+      Sparse.of_triplets n !triplets
+    end
+  in
+  let dense () =
+    if have_dense then begin
+      let rows = Array.of_list (List.rev spec.dense_rows) in
+      if Array.length rows <> n then failwith "row count differs from n";
+      Array.iter
+        (fun r -> if Array.length r <> n then failwith "row length differs from n")
+        rows;
+      Dense.of_rows rows
+    end
+    else Sparse.to_dense (sparse ())
+  in
+  match spec.meth with
+  | `Lu -> (Dense.solve (dense ()) b, 0)
+  | `Cg -> Sparse.conjugate_gradient (sparse ()) b
+  | `Gs -> Sparse.gauss_seidel (sparse ()) b
+
+let run text =
+  match
+    let spec = parse_spec text in
+    solve spec
+  with
+  | x, iters ->
+    let lines =
+      Array.to_list (Array.mapi (fun i v -> Printf.sprintf "x%d = %.10g" i v) x)
+    in
+    let lines =
+      if iters > 0 then lines @ [ Printf.sprintf "# %d iteration(s)" iters ]
+      else lines
+    in
+    String.concat "\n" lines
+  | exception Failure msg -> "error: " ^ msg
+  | exception Invalid_argument msg -> "error: " ^ msg

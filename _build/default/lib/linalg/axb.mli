@@ -1,0 +1,16 @@
+(** Text-file front end of the course's [Ax=b] portal tool (Fig. 4): a
+    linear system uploaded as ASCII, solved in the cloud, answer returned
+    as ASCII.
+
+    Input format ([#] comments):
+    {v
+    n <dimension>
+    method lu | cg | gs          (optional; default lu)
+    row a1 a2 ... an             (n dense rows)  -- or --
+    entry i j v                  (any number of sparse triplets, 0-based)
+    rhs b1 b2 ... bn
+    v} *)
+
+val run : string -> string
+(** Solve the uploaded system; returns the solution (one [x<i> = v] line
+    each) or an ["error: ..."] line. Never raises. *)

@@ -1,0 +1,120 @@
+type t = { r : int; c : int; data : float array }
+
+let create ~rows ~cols = { r = rows; c = cols; data = Array.make (rows * cols) 0.0 }
+
+let of_rows arr =
+  let r = Array.length arr in
+  if r = 0 then invalid_arg "Dense.of_rows: empty";
+  let c = Array.length arr.(0) in
+  Array.iter
+    (fun row -> if Array.length row <> c then invalid_arg "Dense.of_rows: ragged")
+    arr;
+  let m = create ~rows:r ~cols:c in
+  Array.iteri (fun i row -> Array.blit row 0 m.data (i * c) c) arr;
+  m
+
+let identity n =
+  let m = create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    m.data.((i * n) + i) <- 1.0
+  done;
+  m
+
+let rows m = m.r
+let cols m = m.c
+let get m i j = m.data.((i * m.c) + j)
+let set m i j v = m.data.((i * m.c) + j) <- v
+let copy m = { m with data = Array.copy m.data }
+
+let mat_vec m x =
+  if Array.length x <> m.c then invalid_arg "Dense.mat_vec: shape mismatch";
+  Array.init m.r (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to m.c - 1 do
+        acc := !acc +. (get m i j *. x.(j))
+      done;
+      !acc)
+
+let transpose m =
+  let t = create ~rows:m.c ~cols:m.r in
+  for i = 0 to m.r - 1 do
+    for j = 0 to m.c - 1 do
+      set t j i (get m i j)
+    done
+  done;
+  t
+
+let mul a b =
+  if a.c <> b.r then invalid_arg "Dense.mul: shape mismatch";
+  let m = create ~rows:a.r ~cols:b.c in
+  for i = 0 to a.r - 1 do
+    for k = 0 to a.c - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.c - 1 do
+          set m i j (get m i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  m
+
+let solve a b =
+  if a.r <> a.c then invalid_arg "Dense.solve: matrix not square";
+  if Array.length b <> a.r then invalid_arg "Dense.solve: shape mismatch";
+  let n = a.r in
+  let m = copy a in
+  let x = Array.copy b in
+  for col = 0 to n - 1 do
+    (* partial pivoting *)
+    let pivot = ref col in
+    for i = col + 1 to n - 1 do
+      if abs_float (get m i col) > abs_float (get m !pivot col) then pivot := i
+    done;
+    if abs_float (get m !pivot col) < 1e-12 then
+      failwith "Dense.solve: singular matrix";
+    if !pivot <> col then begin
+      for j = 0 to n - 1 do
+        let tmp = get m col j in
+        set m col j (get m !pivot j);
+        set m !pivot j tmp
+      done;
+      let tmp = x.(col) in
+      x.(col) <- x.(!pivot);
+      x.(!pivot) <- tmp
+    end;
+    let d = get m col col in
+    for i = col + 1 to n - 1 do
+      let factor = get m i col /. d in
+      if factor <> 0.0 then begin
+        for j = col to n - 1 do
+          set m i j (get m i j -. (factor *. get m col j))
+        done;
+        x.(i) <- x.(i) -. (factor *. x.(col))
+      end
+    done
+  done;
+  (* back substitution *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (get m i j *. x.(j))
+    done;
+    x.(i) <- !acc /. get m i i
+  done;
+  x
+
+let residual_norm a x b =
+  let ax = mat_vec a x in
+  let acc = ref 0.0 in
+  Array.iteri (fun i v -> acc := !acc +. ((v -. b.(i)) ** 2.0)) ax;
+  sqrt !acc
+
+let to_string m =
+  let buf = Buffer.create 128 in
+  for i = 0 to m.r - 1 do
+    for j = 0 to m.c - 1 do
+      Buffer.add_string buf (Printf.sprintf "%10.4f " (get m i j))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

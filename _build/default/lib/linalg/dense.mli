@@ -1,0 +1,39 @@
+(** Dense linear algebra: the direct solver behind the course's [Ax=b]
+    portal tool and the small-system fallback of the quadratic placer. *)
+
+type t
+(** A dense matrix (row-major). *)
+
+val create : rows:int -> cols:int -> t
+(** Zero-filled. *)
+
+val of_rows : float array array -> t
+(** @raise Invalid_argument on ragged input. *)
+
+val identity : int -> t
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+
+val mat_vec : t -> float array -> float array
+
+val transpose : t -> t
+
+val mul : t -> t -> t
+
+val solve : t -> float array -> float array
+(** Gaussian elimination with partial pivoting.
+    @raise Failure on singular systems; @raise Invalid_argument on shape
+    mismatch. *)
+
+val residual_norm : t -> float array -> float array -> float
+(** [residual_norm a x b] is ||Ax - b||_2. *)
+
+val to_string : t -> string

@@ -1,0 +1,144 @@
+type t = {
+  n : int;
+  row_start : int array; (* length n+1 *)
+  col : int array;
+  value : float array;
+}
+
+type builder = {
+  bn : int;
+  entries : (int * int, float ref) Hashtbl.t;
+}
+
+let builder n = { bn = n; entries = Hashtbl.create (4 * n) }
+
+let add b i j v =
+  if i < 0 || i >= b.bn || j < 0 || j >= b.bn then
+    invalid_arg "Sparse.add: index out of range";
+  match Hashtbl.find_opt b.entries (i, j) with
+  | Some r -> r := !r +. v
+  | None -> Hashtbl.add b.entries (i, j) (ref v)
+
+let finalize b =
+  let per_row = Array.make b.bn [] in
+  Hashtbl.iter
+    (fun (i, j) v -> if !v <> 0.0 then per_row.(i) <- (j, !v) :: per_row.(i))
+    b.entries;
+  let row_start = Array.make (b.bn + 1) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i entries ->
+      row_start.(i) <- !total;
+      total := !total + List.length entries)
+    per_row;
+  row_start.(b.bn) <- !total;
+  let col = Array.make (max 1 !total) 0 in
+  let value = Array.make (max 1 !total) 0.0 in
+  Array.iteri
+    (fun i entries ->
+      let sorted = List.sort compare entries in
+      List.iteri
+        (fun k (j, v) ->
+          col.(row_start.(i) + k) <- j;
+          value.(row_start.(i) + k) <- v)
+        sorted)
+    per_row;
+  { n = b.bn; row_start; col; value }
+
+let of_triplets n triplets =
+  let b = builder n in
+  List.iter (fun (i, j, v) -> add b i j v) triplets;
+  finalize b
+
+let dim m = m.n
+
+let nnz m = m.row_start.(m.n)
+
+let mat_vec m x =
+  if Array.length x <> m.n then invalid_arg "Sparse.mat_vec: shape mismatch";
+  Array.init m.n (fun i ->
+      let acc = ref 0.0 in
+      for k = m.row_start.(i) to m.row_start.(i + 1) - 1 do
+        acc := !acc +. (m.value.(k) *. x.(m.col.(k)))
+      done;
+      !acc)
+
+let get m i j =
+  let rec scan k =
+    if k >= m.row_start.(i + 1) then 0.0
+    else if m.col.(k) = j then m.value.(k)
+    else scan (k + 1)
+  in
+  scan m.row_start.(i)
+
+let to_dense m =
+  let d = Dense.create ~rows:m.n ~cols:m.n in
+  for i = 0 to m.n - 1 do
+    for k = m.row_start.(i) to m.row_start.(i + 1) - 1 do
+      Dense.set d i m.col.(k) m.value.(k)
+    done
+  done;
+  d
+
+let dot a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i v -> acc := !acc +. (v *. b.(i))) a;
+  !acc
+
+let norm x = sqrt (dot x x)
+
+let conjugate_gradient ?(tol = 1e-10) ?max_iters m b =
+  let n = m.n in
+  let max_iters = Option.value ~default:(4 * n) max_iters in
+  let x = Array.make n 0.0 in
+  let r = Array.copy b in
+  let p = Array.copy b in
+  let b_norm = max (norm b) 1e-30 in
+  let rs_old = ref (dot r r) in
+  let iters = ref 0 in
+  let continue_ = ref (sqrt !rs_old /. b_norm > tol) in
+  while !continue_ && !iters < max_iters do
+    let ap = mat_vec m p in
+    let alpha = !rs_old /. dot p ap in
+    for i = 0 to n - 1 do
+      x.(i) <- x.(i) +. (alpha *. p.(i));
+      r.(i) <- r.(i) -. (alpha *. ap.(i))
+    done;
+    let rs_new = dot r r in
+    if sqrt rs_new /. b_norm <= tol then continue_ := false
+    else begin
+      let beta = rs_new /. !rs_old in
+      for i = 0 to n - 1 do
+        p.(i) <- r.(i) +. (beta *. p.(i))
+      done
+    end;
+    rs_old := rs_new;
+    incr iters
+  done;
+  (x, !iters)
+
+let gauss_seidel ?(tol = 1e-10) ?max_iters m b =
+  let n = m.n in
+  let max_iters = Option.value ~default:(100 * n) max_iters in
+  let x = Array.make n 0.0 in
+  let b_norm = max (norm b) 1e-30 in
+  let iters = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iters < max_iters do
+    for i = 0 to n - 1 do
+      let sigma = ref 0.0 and diag = ref 0.0 in
+      for k = m.row_start.(i) to m.row_start.(i + 1) - 1 do
+        let j = m.col.(k) in
+        if j = i then diag := m.value.(k)
+        else sigma := !sigma +. (m.value.(k) *. x.(j))
+      done;
+      if !diag = 0.0 then failwith "Sparse.gauss_seidel: zero diagonal";
+      x.(i) <- (b.(i) -. !sigma) /. !diag
+    done;
+    incr iters;
+    let res = mat_vec m x in
+    let err = ref 0.0 in
+    Array.iteri (fun i v -> err := !err +. (((v -. b.(i)) ** 2.0))) res;
+    if sqrt !err /. b_norm <= tol then converged := true
+  done;
+  (x, !iters)

@@ -1,0 +1,39 @@
+(** Sparse symmetric-positive-definite systems in compressed-sparse-row
+    form, with the iterative solvers the quadratic placer relies on. *)
+
+type t
+(** An immutable CSR matrix. *)
+
+type builder
+(** Accumulates (row, col, value) triplets; duplicates are summed. *)
+
+val builder : int -> builder
+(** [builder n] for an [n] x [n] matrix. *)
+
+val add : builder -> int -> int -> float -> unit
+
+val finalize : builder -> t
+
+val of_triplets : int -> (int * int * float) list -> t
+
+val dim : t -> int
+
+val nnz : t -> int
+
+val mat_vec : t -> float array -> float array
+
+val get : t -> int -> int -> float
+(** Zero for absent entries; O(row nnz). *)
+
+val to_dense : t -> Dense.t
+
+val conjugate_gradient :
+  ?tol:float -> ?max_iters:int -> t -> float array -> float array * int
+(** [conjugate_gradient a b] solves [a x = b] for SPD [a]; returns the
+    solution and the iteration count. [tol] (default 1e-10) is the relative
+    residual target; [max_iters] defaults to [4 * dim]. *)
+
+val gauss_seidel :
+  ?tol:float -> ?max_iters:int -> t -> float array -> float array * int
+(** Gauss-Seidel sweep iteration - the slower baseline for the solver
+    ablation. Requires non-zero diagonal. *)

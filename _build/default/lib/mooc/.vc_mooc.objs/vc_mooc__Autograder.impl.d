@@ -1,0 +1,1 @@
+lib/mooc/autograder.ml: Buffer Hashtbl List Printf String Vc_place Vc_route Vc_util

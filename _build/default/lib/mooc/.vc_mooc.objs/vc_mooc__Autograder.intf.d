@@ -1,0 +1,1 @@
+lib/mooc/autograder.mli: Vc_place Vc_route

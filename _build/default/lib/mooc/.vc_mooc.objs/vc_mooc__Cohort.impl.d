@@ -1,0 +1,1 @@
+lib/mooc/cohort.ml: Array Buffer List Printf String Vc_util

@@ -1,0 +1,1 @@
+lib/mooc/concept_map.ml: Buffer List Printf String

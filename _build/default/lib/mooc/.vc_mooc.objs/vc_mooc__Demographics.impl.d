@@ -1,0 +1,1 @@
+lib/mooc/demographics.ml: Buffer Float Hashtbl List Option Printf String Vc_util

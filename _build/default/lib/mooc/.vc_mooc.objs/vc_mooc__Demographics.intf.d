@@ -1,0 +1,1 @@
+lib/mooc/demographics.mli:

@@ -1,0 +1,1 @@
+lib/mooc/flow.ml: Array Float Hashtbl List Option Printf String Vc_multilevel Vc_network Vc_place Vc_route Vc_techmap Vc_timing

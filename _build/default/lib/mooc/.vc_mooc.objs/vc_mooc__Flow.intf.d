@@ -1,0 +1,1 @@
+lib/mooc/flow.mli: Vc_network Vc_place Vc_route Vc_techmap

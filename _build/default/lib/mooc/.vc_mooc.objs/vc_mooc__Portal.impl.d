@@ -1,0 +1,1 @@
+lib/mooc/portal.ml: Array Hashtbl List Printf String Vc_bdd Vc_linalg Vc_multilevel Vc_network Vc_sat Vc_two_level

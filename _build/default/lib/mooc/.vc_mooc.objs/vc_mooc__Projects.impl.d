@@ -1,0 +1,1 @@
+lib/mooc/projects.ml: Autograder Buffer Hashtbl Lazy List Option Printf String Vc_bdd Vc_cube Vc_place Vc_route Vc_util

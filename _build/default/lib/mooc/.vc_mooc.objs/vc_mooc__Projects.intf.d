@@ -1,0 +1,1 @@
+lib/mooc/projects.mli: Autograder Vc_route

@@ -1,0 +1,1 @@
+lib/mooc/survey.ml: Buffer Char Hashtbl List Option Printf String Vc_util

@@ -1,0 +1,1 @@
+lib/mooc/syllabus.ml: Buffer List Printf String

@@ -1,0 +1,247 @@
+type unit_test = {
+  ut_name : string;
+  ut_points : int;
+  ut_check : string -> bool * string;
+}
+
+type unit_result = {
+  ur_name : string;
+  ur_passed : bool;
+  ur_points : int;
+  ur_max : int;
+  ur_message : string;
+}
+
+type grade = {
+  earned : int;
+  possible : int;
+  units : unit_result list;
+}
+
+let make_test ~name ~points check =
+  let safe input =
+    match check input with
+    | result -> result
+    | exception Failure msg -> (false, msg)
+    | exception Invalid_argument msg -> (false, msg)
+    | exception Not_found -> (false, "internal lookup failed")
+  in
+  { ut_name = name; ut_points = points; ut_check = safe }
+
+let grade tests submission =
+  let units =
+    List.map
+      (fun t ->
+        let passed, message = t.ut_check submission in
+        {
+          ur_name = t.ut_name;
+          ur_passed = passed;
+          ur_points = (if passed then t.ut_points else 0);
+          ur_max = t.ut_points;
+          ur_message = message;
+        })
+      tests
+  in
+  {
+    earned = List.fold_left (fun acc u -> acc + u.ur_points) 0 units;
+    possible = List.fold_left (fun acc u -> acc + u.ur_max) 0 units;
+    units;
+  }
+
+let render g =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "score: %d / %d\n" g.earned g.possible);
+  List.iter
+    (fun u ->
+      Buffer.add_string buf
+        (Printf.sprintf "  [%s] %-32s %d/%d  %s\n"
+           (if u.ur_passed then "PASS" else "FAIL")
+           u.ur_name u.ur_points u.ur_max u.ur_message))
+    g.units;
+  Buffer.contents buf
+
+(* -------------------- routing validator -------------------- *)
+
+type routing_check = {
+  rc_wirelength : int;
+  rc_vias : int;
+}
+
+type parsed_net = { pn_name : string; pn_paths : Vc_route.Grid.point list list }
+
+let parse_routing_solution text =
+  let lines = Vc_util.Tok.logical_lines ~comment:'#' text in
+  let nets = ref [] in
+  let current_name = ref None in
+  let current_paths = ref [] and current_path = ref [] in
+  let flush_path () =
+    if !current_path <> [] then begin
+      current_paths := List.rev !current_path :: !current_paths;
+      current_path := []
+    end
+  in
+  let flush_net () =
+    match !current_name with
+    | None -> ()
+    | Some name ->
+      flush_path ();
+      nets := { pn_name = name; pn_paths = List.rev !current_paths } :: !nets;
+      current_name := None;
+      current_paths := []
+  in
+  let handle line =
+    match Vc_util.Tok.split_words line with
+    | [] -> ()
+    | [ "net"; name ] ->
+      flush_net ();
+      current_name := Some name
+    | [ "break" ] -> flush_path ()
+    | [ "endnet" ] -> flush_net ()
+    | [ l; x; y ] -> begin
+      match !current_name with
+      | None -> failwith "routing solution: coordinates outside a net block"
+      | Some _ ->
+        current_path :=
+          {
+            Vc_route.Grid.layer = Vc_util.Tok.parse_int ~context:"layer" l;
+            x = Vc_util.Tok.parse_int ~context:"x" x;
+            y = Vc_util.Tok.parse_int ~context:"y" y;
+          }
+          :: !current_path
+    end
+    | toks -> failwith ("routing solution: malformed line: " ^ String.concat " " toks)
+  in
+  List.iter handle lines;
+  flush_net ();
+  List.rev !nets
+
+let validate_routing (problem : Vc_route.Router.problem) text =
+  match parse_routing_solution text with
+  | exception Failure msg -> Error msg
+  | nets -> begin
+    let g =
+      Vc_route.Grid.create ~costs:problem.Vc_route.Router.cost_params
+        ~width:problem.Vc_route.Router.grid_width
+        ~height:problem.Vc_route.Router.grid_height ()
+    in
+    List.iter (Vc_route.Grid.add_obstacle g) problem.Vc_route.Router.obstacles;
+    let specs = problem.Vc_route.Router.net_specs in
+    let errors = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+    (* every spec net must appear exactly once *)
+    List.iter
+      (fun (spec : Vc_route.Router.net_spec) ->
+        match
+          List.filter (fun n -> n.pn_name = spec.Vc_route.Router.rn_name) nets
+        with
+        | [] -> err "net %s missing from solution" spec.Vc_route.Router.rn_name
+        | [ _ ] -> ()
+        | _ -> err "net %s appears more than once" spec.Vc_route.Router.rn_name)
+      specs;
+    List.iter
+      (fun n ->
+        if
+          not
+            (List.exists
+               (fun (s : Vc_route.Router.net_spec) ->
+                 s.Vc_route.Router.rn_name = n.pn_name)
+               specs)
+        then err "unknown net %s in solution" n.pn_name)
+      nets;
+    let wirelength = ref 0 and vias = ref 0 in
+    (* claim cells per net; Grid.occupy rejects overlaps and obstacles *)
+    List.iteri
+      (fun id n ->
+        List.iter
+          (fun path ->
+            if not (Vc_route.Maze.path_contiguous path) then
+              err "net %s: path is not contiguous" n.pn_name;
+            List.iter
+              (fun pt ->
+                if not (Vc_route.Grid.in_bounds g pt) then
+                  err "net %s: point off grid" n.pn_name
+                else if Vc_route.Grid.is_obstacle g pt then
+                  err "net %s: path crosses an obstacle" n.pn_name
+                else begin
+                  match Vc_route.Grid.occupant g pt with
+                  | Some other when other <> id ->
+                    err "net %s: overlaps another net" n.pn_name
+                  | Some _ | None -> Vc_route.Grid.occupy g id pt
+                end)
+              path;
+            let rec steps = function
+              | (a : Vc_route.Grid.point) :: (b :: _ as rest) ->
+                if a.Vc_route.Grid.layer <> b.Vc_route.Grid.layer then incr vias
+                else incr wirelength;
+                steps rest
+              | [ _ ] | [] -> ()
+            in
+            steps path)
+          n.pn_paths)
+      nets;
+    (* connectivity: per net, all pins reachable through claimed cells *)
+    List.iteri
+      (fun id n ->
+        match
+          List.find_opt
+            (fun (s : Vc_route.Router.net_spec) ->
+              s.Vc_route.Router.rn_name = n.pn_name)
+            specs
+        with
+        | None -> ()
+        | Some spec ->
+          let points = List.concat n.pn_paths in
+          let points = List.sort_uniq compare points in
+          let index = Hashtbl.create 64 in
+          List.iteri (fun i pt -> Hashtbl.replace index pt i) points;
+          let uf = Vc_util.Union_find.create (max 1 (List.length points)) in
+          List.iter
+            (fun (pt : Vc_route.Grid.point) ->
+              let try_join (q : Vc_route.Grid.point) =
+                match Hashtbl.find_opt index q with
+                | Some j -> Vc_util.Union_find.union uf (Hashtbl.find index pt) j
+                | None -> ()
+              in
+              try_join { pt with Vc_route.Grid.x = pt.Vc_route.Grid.x + 1 };
+              try_join { pt with Vc_route.Grid.y = pt.Vc_route.Grid.y + 1 };
+              try_join { pt with Vc_route.Grid.layer = 1 - pt.Vc_route.Grid.layer })
+            points;
+          let pin_index (x, y) =
+            Hashtbl.find_opt index { Vc_route.Grid.layer = 0; x; y }
+          in
+          begin
+            match List.map pin_index spec.Vc_route.Router.rn_pins with
+            | [] -> ()
+            | first :: rest ->
+              let check_pin p =
+                match (first, p) with
+                | Some a, Some b ->
+                  if not (Vc_util.Union_find.same uf a b) then
+                    err "net %s: pins not connected" n.pn_name
+                | None, _ | _, None ->
+                  err "net %s: a pin is not covered by the route" n.pn_name
+              in
+              List.iter check_pin (first :: rest)
+          end;
+          ignore id)
+      nets;
+    match !errors with
+    | [] -> Ok { rc_wirelength = !wirelength; rc_vias = !vias }
+    | es -> Error (String.concat "; " (List.rev es))
+  end
+
+(* -------------------- placement validator -------------------- *)
+
+let validate_placement net ~max_overlaps text =
+  match Vc_place.Pnet.parse_placement net text with
+  | exception Failure msg -> Error msg
+  | p ->
+    if not (Vc_place.Legalize.inside_core net p) then
+      Error "placement: cells outside the core region"
+    else begin
+      let overlaps = Vc_place.Legalize.overlap_count net p in
+      if overlaps > max_overlaps then
+        Error (Printf.sprintf "placement: %d overlapping cell pairs" overlaps)
+      else Ok (Vc_place.Pnet.hpwl net p)
+    end

@@ -1,0 +1,58 @@
+(** Cloud auto-grading (Figs. 4-6): projects are decomposed into gradable
+    units so benchmarks test individual aspects of a submission and
+    partial credit is assignable - "exactly like building a large
+    regression suite for a commercial EDA tool".
+
+    A grader is a list of unit tests, each mapping the student's uploaded
+    text to pass/fail plus a message. This module provides the framework
+    and the submission validators shared by the project graders in
+    {!Projects}. *)
+
+type unit_test = {
+  ut_name : string;
+  ut_points : int;
+  ut_check : string -> bool * string;  (** Must not raise. *)
+}
+
+type unit_result = {
+  ur_name : string;
+  ur_passed : bool;
+  ur_points : int;  (** Earned. *)
+  ur_max : int;
+  ur_message : string;
+}
+
+type grade = {
+  earned : int;
+  possible : int;
+  units : unit_result list;
+}
+
+val make_test :
+  name:string -> points:int -> (string -> bool * string) -> unit_test
+(** Wraps the check so exceptions become failed units, never crashes. *)
+
+val grade : unit_test list -> string -> grade
+
+val render : grade -> string
+(** The web-page text a participant sees. *)
+
+(* -------------------- submission validators -------------------- *)
+
+type routing_check = {
+  rc_wirelength : int;  (** Occupied cells, vias excluded. *)
+  rc_vias : int;
+}
+
+val validate_routing :
+  Vc_route.Router.problem -> string -> (routing_check, string) result
+(** Parse a project-4 upload ([net]/[<layer> <x> <y>]/[break]/[endnet])
+    and check every net: path contiguity, all pins connected, bounds,
+    obstacles, and disjointness between nets. *)
+
+val validate_placement :
+  Vc_place.Pnet.t ->
+  max_overlaps:int ->
+  string ->
+  (float, string) result
+(** Parse a project-3 upload and check legality; returns the HPWL. *)

@@ -1,0 +1,60 @@
+(** Generative model of the MOOC's participant population, calibrated to
+    the paper's Section 4 numbers, and the analysis code that regenerates
+    the participation funnel (Fig. 8) and the per-lecture viewer series
+    (Fig. 9).
+
+    The paper reports: ~17,500 registered at peak; 7,191 watched a video;
+    1,377 did a homework; 369 tried a software project; 530 took the final;
+    386 earned certificates. Stage probabilities below are those ratios;
+    the simulation draws each participant's journey and the analysis
+    aggregates - so expected values match the paper and sampled values land
+    within binomial noise. *)
+
+type participant = {
+  id : int;
+  watched : int;  (** Videos watched: 0 if never showed up, else 1-69. *)
+  did_homework : bool;
+  tried_software : bool;
+  took_final : bool;
+  certificate : bool;
+}
+
+type params = {
+  registered : int;
+  p_watch : float;  (** Watched at least one video. *)
+  p_completer : float;  (** Of watchers: watches everything. *)
+  p_continue : float;  (** Of non-completers: per-video survival. *)
+  p_homework : float;  (** Of watchers. *)
+  p_software : float;  (** Of homework-doers. *)
+  p_final : float;  (** Of homework-doers. *)
+  p_cert : float;  (** Of final-takers. *)
+}
+
+val paper_params : params
+(** Calibrated to the DAC'14 numbers. *)
+
+val simulate : ?seed:int -> params -> participant list
+
+type funnel = {
+  registered : int;
+  watched_video : int;
+  did_homework : int;
+  tried_software : int;
+  took_final : int;
+  certificates : int;
+}
+
+val funnel_of : participant list -> funnel
+
+val paper_funnel : funnel
+(** The exact numbers from Fig. 8 (registered listed as 17,500). *)
+
+val viewers_per_video : participant list -> int array
+(** Length 69: how many participants watched each video (Fig. 9). *)
+
+val render_fig8 : funnel -> string
+
+val render_fig9 : int array -> string
+(** Bar chart with the paper's three reference lines (EDA-vendor
+    headcount ~7,000, DAC'13 attendance ~5,000, 40-years-of-classes
+    ~2,000). *)

@@ -1,0 +1,159 @@
+type concept = {
+  area : string;
+  concept : string;
+  slides : int;
+  in_mooc : bool;
+}
+
+let c area concept slides in_mooc = { area; concept; slides; in_mooc }
+
+let all =
+  [
+    c "Foundations and ASIC Flow" "ASIC design flow overview" 12 true;
+    c "Foundations and ASIC Flow" "Standard-cell methodology" 9 true;
+    c "Foundations and ASIC Flow" "Abstraction levels and views" 7 false;
+    c "Foundations and ASIC Flow" "Course roadmap" 4 true;
+    c "Computational Boolean Algebra" "Shannon cofactors" 8 true;
+    c "Computational Boolean Algebra" "Boolean difference" 6 true;
+    c "Computational Boolean Algebra" "Quantification definitions" 7 true;
+    c "Computational Boolean Algebra" "Network repair formulation" 10 true;
+    c "Computational Boolean Algebra" "Compute strategies" 8 false;
+    c "Computational Boolean Algebra" "Unate recursive paradigm" 20 true;
+    c "Computational Boolean Algebra" "Positional cube notation" 9 true;
+    c "Computational Boolean Algebra" "Tautology checking" 8 true;
+    c "Computational Boolean Algebra" "Cofactor trees" 6 false;
+    c "Computational Boolean Algebra" "Recursive complement" 9 true;
+    c "BDDs" "BDD basic definitions, ROBDD" 12 true;
+    c "BDDs" "Building BDDs, variable order, simple SAT" 35 true;
+    c "BDDs" "Multi-rooted BDDs, garbage collection" 8 false;
+    c "BDDs" "Negation arcs" 7 false;
+    c "BDDs" "BDD operations, Restrict and ITE" 15 true;
+    c "BDDs" "ITE implementation, hash tables" 12 true;
+    c "BDDs" "Canonicity proofs" 7 false;
+    c "BDDs" "Ordering heuristics" 9 false;
+    c "SAT" "CNF and DIMACS" 6 true;
+    c "SAT" "DPLL search" 10 true;
+    c "SAT" "Unit propagation and implication graphs" 9 true;
+    c "SAT" "Clause learning" 11 true;
+    c "SAT" "Watched literals" 7 true;
+    c "SAT" "SAT-based verification" 8 true;
+    c "Two-Level Synthesis" "Karnaugh maps and implicants" 8 false;
+    c "Two-Level Synthesis" "Prime and essential primes" 9 true;
+    c "Two-Level Synthesis" "Quine-McCluskey" 12 false;
+    c "Two-Level Synthesis" "Unate covering" 9 false;
+    c "Two-Level Synthesis" "Espresso EXPAND" 11 true;
+    c "Two-Level Synthesis" "Espresso IRREDUNDANT" 9 true;
+    c "Two-Level Synthesis" "Espresso REDUCE" 8 true;
+    c "Two-Level Synthesis" "Multi-output minimization" 8 false;
+    c "Two-Level Synthesis" "PLAs and their optimization" 9 true;
+    c "Multi-Level Synthesis" "Boolean network model" 9 true;
+    c "Multi-Level Synthesis" "Algebraic model and weak division" 13 true;
+    c "Multi-Level Synthesis" "Kernels and co-kernels" 14 true;
+    c "Multi-Level Synthesis" "Kernel extraction" 11 true;
+    c "Multi-Level Synthesis" "Common cube extraction" 8 true;
+    c "Multi-Level Synthesis" "Factoring" 11 true;
+    c "Multi-Level Synthesis" "Resubstitution" 7 false;
+    c "Multi-Level Synthesis" "Don't cares: SDC and ODC" 14 false;
+    c "Multi-Level Synthesis" "Node simplification" 9 true;
+    c "Multi-Level Synthesis" "Sweep and eliminate" 6 false;
+    c "Technology Mapping" "Library cells and patterns" 8 true;
+    c "Technology Mapping" "Subject graph decomposition" 9 true;
+    c "Technology Mapping" "Tree covering by DP" 14 true;
+    c "Technology Mapping" "Min-area vs min-delay mapping" 9 true;
+    c "Technology Mapping" "DAG partitioning into trees" 7 true;
+    c "Technology Mapping" "Load and fanout issues" 6 false;
+    c "Verification" "Combinational equivalence" 9 true;
+    c "Verification" "Miter construction" 6 true;
+    c "Verification" "BDD vs SAT engines" 7 true;
+    c "Verification" "Simulation and vectors" 6 false;
+    c "Partitioning" "Min-cut objectives" 6 false;
+    c "Partitioning" "Kernighan-Lin" 9 false;
+    c "Partitioning" "Fiduccia-Mattheyses" 12 false;
+    c "Partitioning" "Gain buckets and rollback" 8 false;
+    c "Partitioning" "Balance constraints" 5 false;
+    c "Partitioning" "Multi-way and replication" 6 false;
+    c "Placement" "Placement problem and HPWL" 8 true;
+    c "Placement" "Simulated annealing" 15 true;
+    c "Placement" "Annealing schedules" 8 false;
+    c "Placement" "Quadratic wirelength model" 10 true;
+    c "Placement" "Solving Ax=b, conjugate gradient" 9 true;
+    c "Placement" "Recursive bipartition legalization" 11 true;
+    c "Placement" "Slot assignment and legalization" 6 false;
+    c "Placement" "Congestion and density" 6 false;
+    c "Routing" "Routing regions and grids" 7 true;
+    c "Routing" "Lee's algorithm" 13 true;
+    c "Routing" "Non-unit costs, cost wavefronts" 10 true;
+    c "Routing" "Multi-layer and vias" 9 true;
+    c "Routing" "Multi-point nets" 8 true;
+    c "Routing" "Net ordering and rip-up" 9 true;
+    c "Routing" "Global vs detailed routing" 7 false;
+    c "Routing" "Channel routing" 9 false;
+    c "Timing" "Timing graphs and arrival times" 10 true;
+    c "Timing" "Required times and slack" 9 true;
+    c "Timing" "Critical paths" 7 true;
+    c "Timing" "False paths" 6 false;
+    c "Timing" "Elmore delay derivation" 12 true;
+    c "Timing" "RC trees and moments" 8 false;
+    c "Timing" "Wire sizing intuition" 6 false;
+    c "Geometry and DRC" "Scanline algorithms" 9 false;
+    c "Geometry and DRC" "Rectangle Booleans" 8 false;
+    c "Geometry and DRC" "Design-rule checking" 8 false;
+    c "Geometry and DRC" "Extraction basics" 7 false;
+    c "Geometry and DRC" "Corner stitching" 8 false;
+    c "Geometry and DRC" "Net-to-layout correspondence" 5 false;
+    c "Sequential Logic" "FSM models and state graphs" 10 false;
+    c "Sequential Logic" "State minimization" 11 false;
+    c "Sequential Logic" "State encoding" 10 false;
+    c "Sequential Logic" "Retiming overview" 9 false;
+    c "Test" "Fault models" 9 false;
+    c "Test" "ATPG basics" 12 false;
+    c "Test" "Scan design" 8 false;
+    c "Simulation" "Logic simulation" 13 false;
+    c "Simulation" "Event-driven simulation" 14 false;
+    c "Simulation" "Delay models in simulation" 13 false;
+  ]
+
+let total_slides = List.fold_left (fun acc x -> acc + x.slides) 0 all
+
+let total_concepts = List.length all
+
+let areas =
+  List.fold_left
+    (fun acc x -> if List.mem x.area acc then acc else acc @ [ x.area ])
+    [] all
+
+let by_area a = List.filter (fun x -> x.area = a) all
+
+let kept = List.filter (fun x -> x.in_mooc) all
+
+let kept_slide_fraction =
+  float_of_int (List.fold_left (fun acc x -> acc + x.slides) 0 kept)
+  /. float_of_int total_slides
+
+let fig1_rows =
+  let bdd_ish =
+    List.filter
+      (fun x -> x.area = "Computational Boolean Algebra" || x.area = "BDDs")
+      all
+  in
+  List.map (fun x -> (x.concept, x.slides)) bdd_ish
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let render_fig1 () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Fig. 1: concept map snapshot (Boolean algebra + BDD concepts, slide counts)\n";
+  let widest =
+    List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 fig1_rows
+  in
+  List.iter
+    (fun (name, slides) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s %3d %s\n" widest name slides
+           (String.make slides '#')))
+    fig1_rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  (full map: %d concepts, %d slides, %.0f%% kept for the MOOC)\n"
+       total_concepts total_slides (100.0 *. kept_slide_fraction));
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** The concept map of the traditional 15-16 week course (Section 2 /
+    Fig. 1): every lecture slide of the classroom class partitioned into
+    unique EDA concepts with slide counts, used to decide what the 8-week
+    MOOC keeps and at what depth.
+
+    Invariants (checked by the test suite): 102 concepts, 948 slides -
+    the numbers the paper reports for the analysis. *)
+
+type concept = {
+  area : string;
+  concept : string;
+  slides : int;
+  in_mooc : bool;  (** Kept for the 8-week MOOC version. *)
+}
+
+val all : concept list
+
+val total_slides : int
+(** 948. *)
+
+val total_concepts : int
+(** 102. *)
+
+val areas : string list
+(** Distinct areas, course order. *)
+
+val by_area : string -> concept list
+
+val kept : concept list
+
+val kept_slide_fraction : float
+(** Fraction of classroom slides whose concepts survive into the MOOC
+    (the paper says the MOOC comprises roughly 50-60% of the material). *)
+
+val fig1_rows : (string * int) list
+(** The Fig. 1 snapshot: BDD-and-Boolean-algebra concepts with slide
+    counts, largest first. *)
+
+val render_fig1 : unit -> string
+(** ASCII bar chart matching Fig. 1's content. *)

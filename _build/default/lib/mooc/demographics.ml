@@ -1,0 +1,134 @@
+type degree = No_degree_yet | Bachelors | Masters_or_phd
+
+type person = {
+  age : int;
+  gender : [ `Male | `Female ];
+  degree : degree;
+  country : string;
+}
+
+(* Fig. 10's map shows the US and India in the top band, visible
+   concentrations in China, Brazil, Egypt and across Europe. Shares below
+   reproduce that banding. *)
+let country_shares =
+  [
+    ("United States", 0.185);
+    ("India", 0.155);
+    ("China", 0.052);
+    ("Brazil", 0.040);
+    ("Egypt", 0.031);
+    ("United Kingdom", 0.030);
+    ("Germany", 0.029);
+    ("Russia", 0.028);
+    ("Spain", 0.026);
+    ("Canada", 0.025);
+    ("Greece", 0.018);
+    ("Pakistan", 0.017);
+    ("Iran", 0.016);
+    ("Vietnam", 0.014);
+    ("Mexico", 0.013);
+    ("France", 0.013);
+    ("Taiwan", 0.012);
+    ("South Korea", 0.012);
+    ("Singapore", 0.010);
+    ("Other", 0.274);
+  ]
+
+let () =
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 country_shares in
+  assert (abs_float (total -. 1.0) < 1e-9)
+
+let sample ?(seed = 1729) n =
+  let rng = Vc_util.Rng.create seed in
+  let person _ =
+    (* age: gaussian bulk around 29 with a small uniform senior tail, so
+       the sample reproduces the paper's mean 30 / min 15 / max 75 *)
+    let age =
+      if Vc_util.Rng.bernoulli rng 0.015 then 55 + Vc_util.Rng.int rng 21
+      else begin
+        let a = Vc_util.Rng.gaussian rng ~mu:29.0 ~sigma:8.0 in
+        let a = int_of_float (Float.round a) in
+        max 15 (min 75 (if a < 15 then 15 + Vc_util.Rng.int rng 10 else a))
+      end
+    in
+    let gender = if Vc_util.Rng.bernoulli rng 0.88 then `Male else `Female in
+    let degree =
+      let u = Vc_util.Rng.float rng 1.0 in
+      if u < 0.30 then Bachelors
+      else if u < 0.59 then Masters_or_phd
+      else No_degree_yet
+    in
+    let country = Vc_util.Rng.choose_weighted rng country_shares in
+    { age; gender; degree; country }
+  in
+  List.init n person
+
+type summary = {
+  n : int;
+  mean_age : float;
+  min_age : int;
+  max_age : int;
+  pct_bachelors : float;
+  pct_ms_phd : float;
+  pct_male : float;
+  pct_female : float;
+  by_country : (string * int) list;
+}
+
+let summarize people =
+  let n = List.length people in
+  if n = 0 then invalid_arg "Demographics.summarize: empty";
+  let fn = float_of_int n in
+  let pct f = 100.0 *. float_of_int (List.length (List.filter f people)) /. fn in
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace counts p.country
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts p.country)))
+    people;
+  {
+    n;
+    mean_age =
+      List.fold_left (fun acc p -> acc +. float_of_int p.age) 0.0 people /. fn;
+    min_age = List.fold_left (fun acc p -> min acc p.age) max_int people;
+    max_age = List.fold_left (fun acc p -> max acc p.age) 0 people;
+    pct_bachelors = pct (fun p -> p.degree = Bachelors);
+    pct_ms_phd = pct (fun p -> p.degree = Masters_or_phd);
+    pct_male = pct (fun p -> p.gender = `Male);
+    pct_female = pct (fun p -> p.gender = `Female);
+    by_country =
+      Hashtbl.fold (fun c k acc -> (c, k) :: acc) counts []
+      |> List.sort (fun (_, a) (_, b) -> compare b a);
+  }
+
+let fig10_band pct =
+  if pct <= 0.0 then "0%"
+  else if pct <= 1.0 then "0.01 - 1%"
+  else if pct <= 2.5 then "1.01 - 2.5%"
+  else if pct <= 5.0 then "2.51 - 5%"
+  else if pct <= 10.0 then "5.01 - 10%"
+  else "10.01 - 30%"
+
+let render_fig10 s =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Fig. 10: participation by country (share bands)\n";
+  List.iter
+    (fun (c, k) ->
+      let pct = 100.0 *. float_of_int k /. float_of_int s.n in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-15s %6d  %5.2f%%  band %s\n" c k pct
+           (fig10_band pct)))
+    s.by_country;
+  Buffer.contents buf
+
+let render_stats s =
+  String.concat "\n"
+    [
+      "Section 4 demographics:";
+      Printf.sprintf "  average age: %.0f. min age: %d. max age: %d." s.mean_age
+        s.min_age s.max_age;
+      Printf.sprintf "  have a bachelor's degree: %.0f%%. have MS/PhD: %.0f%%."
+        s.pct_bachelors s.pct_ms_phd;
+      Printf.sprintf "  male: %.0f%%. female: %.0f%%." s.pct_male s.pct_female;
+      "";
+    ]

@@ -1,0 +1,43 @@
+(** Demographic model of the participant population, calibrated to
+    Section 4: average age 30 (range 15-75), 30% Bachelor's / 29% MS-PhD,
+    88% / 12% gender split, and a country mix led by the US and India
+    (Fig. 10). *)
+
+type degree = No_degree_yet | Bachelors | Masters_or_phd
+
+type person = {
+  age : int;
+  gender : [ `Male | `Female ];
+  degree : degree;
+  country : string;
+}
+
+val country_shares : (string * float) list
+(** Share of participants per country, descending; includes an explicit
+    "Other" bucket; sums to 1. *)
+
+val sample : ?seed:int -> int -> person list
+
+type summary = {
+  n : int;
+  mean_age : float;
+  min_age : int;
+  max_age : int;
+  pct_bachelors : float;
+  pct_ms_phd : float;
+  pct_male : float;
+  pct_female : float;
+  by_country : (string * int) list;  (** Descending count. *)
+}
+
+val summarize : person list -> summary
+
+val fig10_band : float -> string
+(** The Fig. 10 legend band for a country's percentage share:
+    "0%", "0.01 - 1%", "1.01 - 2.5%", "2.51 - 5%", "5.01 - 10%",
+    "10.01 - 30%". *)
+
+val render_fig10 : summary -> string
+
+val render_stats : summary -> string
+(** The Section 4 bullet list (age / degrees / gender). *)

@@ -1,0 +1,130 @@
+type tool = {
+  tool_name : string;
+  description : string;
+  max_input_lines : int;
+  execute : string -> string;
+}
+
+let guard_errors f input =
+  match f input with
+  | output -> output
+  | exception Failure msg -> "error: " ^ msg
+  | exception Invalid_argument msg -> "error: " ^ msg
+
+let kbdd =
+  {
+    tool_name = "kbdd";
+    description = "BDD-based Boolean calculator with a scripting language";
+    max_input_lines = 2000;
+    execute =
+      (fun input -> String.concat "\n" (Vc_bdd.Bdd_script.run_script input));
+  }
+
+let espresso =
+  {
+    tool_name = "espresso";
+    description = "two-level logic minimizer on PLA files";
+    max_input_lines = 5000;
+    execute =
+      guard_errors (fun input ->
+          let pla = Vc_two_level.Pla.parse input in
+          if pla.Vc_two_level.Pla.num_inputs > 16 then
+            failwith "espresso portal: at most 16 inputs"
+          else Vc_two_level.Pla.to_string (Vc_two_level.Espresso.minimize_pla pla));
+  }
+
+let split_sis_input input =
+  let lines = String.split_on_char '\n' input in
+  let rec split blif = function
+    | [] -> (List.rev blif, [])
+    | line :: rest when String.trim line = "%script" -> (List.rev blif, rest)
+    | line :: rest -> split (line :: blif) rest
+  in
+  let blif, script = split [] lines in
+  (String.concat "\n" blif, String.concat "\n" script)
+
+let sis =
+  {
+    tool_name = "sis";
+    description = "multi-level logic optimization scripts on BLIF networks";
+    max_input_lines = 5000;
+    execute =
+      guard_errors (fun input ->
+          let blif_text, script_text = split_sis_input input in
+          let net = Vc_network.Blif.parse blif_text in
+          let script_text =
+            if String.trim script_text = "" then
+              Vc_multilevel.Script.script_rugged
+            else script_text
+          in
+          let report = Vc_multilevel.Script.run net script_text in
+          String.concat "\n"
+            (report.Vc_multilevel.Script.log
+            @ [ ""; Vc_network.Blif.to_string report.Vc_multilevel.Script.network ]));
+  }
+
+let minisat =
+  {
+    tool_name = "minisat";
+    description = "CDCL Boolean satisfiability solver on DIMACS CNF";
+    max_input_lines = 50_000;
+    execute =
+      guard_errors (fun input ->
+          let cnf = Vc_sat.Cnf.parse_dimacs input in
+          match Vc_sat.Solver.solve cnf with
+          | Vc_sat.Solver.Sat model, stats ->
+            let lits =
+              List.init cnf.Vc_sat.Cnf.num_vars (fun i ->
+                  let v = i + 1 in
+                  string_of_int (if model.(v) then v else -v))
+            in
+            Printf.sprintf
+              "SATISFIABLE\nv %s 0\nc %d conflicts, %d decisions, %d propagations"
+              (String.concat " " lits)
+              stats.Vc_sat.Solver.conflicts stats.Vc_sat.Solver.decisions
+              stats.Vc_sat.Solver.propagations
+          | Vc_sat.Solver.Unsat, stats ->
+            Printf.sprintf "UNSATISFIABLE\nc %d conflicts"
+              stats.Vc_sat.Solver.conflicts
+          | Vc_sat.Solver.Unknown, _ -> "UNKNOWN");
+  }
+
+let axb =
+  {
+    tool_name = "axb";
+    description = "linear system solver for quadratic-placement homeworks";
+    max_input_lines = 5000;
+    execute = Vc_linalg.Axb.run;
+  }
+
+let all_tools = [ kbdd; espresso; sis; minisat; axb ]
+
+let find_tool name = List.find_opt (fun t -> t.tool_name = name) all_tools
+
+type session = (string, (string * string) list ref) Hashtbl.t
+
+let create_session () : session = Hashtbl.create 8
+
+let submit session tool input =
+  let lines = List.length (String.split_on_char '\n' input) in
+  let output =
+    if lines > tool.max_input_lines then
+      Printf.sprintf "error: input too large (%d lines; portal limit %d)" lines
+        tool.max_input_lines
+    else tool.execute input
+  in
+  let log =
+    match Hashtbl.find_opt session tool.tool_name with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add session tool.tool_name l;
+      l
+  in
+  log := (input, output) :: !log;
+  output
+
+let history session tool =
+  match Hashtbl.find_opt session tool.tool_name with
+  | Some l -> List.rev !l
+  | None -> []

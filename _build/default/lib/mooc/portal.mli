@@ -1,0 +1,46 @@
+(** The Fig. 4 architecture: tool portals that consume ASCII text and
+    produce ASCII text, with per-participant run history and a runaway
+    guard. The five deployed tools mirror the paper's list - kbdd,
+    espresso, SIS, miniSAT, and the custom Ax=b solver - each backed by
+    this repository's own implementation. *)
+
+type tool = {
+  tool_name : string;
+  description : string;
+  max_input_lines : int;  (** Runaway guard: larger uploads are rejected. *)
+  execute : string -> string;
+}
+
+val kbdd : tool
+(** BDD calculator scripts ({!Vc_bdd.Bdd_script}). *)
+
+val espresso : tool
+(** PLA in, minimized PLA out ({!Vc_two_level.Espresso}). *)
+
+val sis : tool
+(** Input is a BLIF model, then a line containing only [%script], then
+    SIS commands ({!Vc_multilevel.Script}); output is the log and the
+    optimized BLIF. *)
+
+val minisat : tool
+(** DIMACS in; "SATISFIABLE" plus a model line, or "UNSATISFIABLE". *)
+
+val axb : tool
+(** Linear systems ({!Vc_linalg.Axb}). *)
+
+val all_tools : tool list
+
+type session
+(** One participant's portal state: private run history per tool. *)
+
+val create_session : unit -> session
+
+val submit : session -> tool -> string -> string
+(** Run the tool on the uploaded text (never raises; errors come back as
+    ["error: ..."] text) and append to the tool's history. *)
+
+val history : session -> tool -> (string * string) list
+(** (input, output) pairs, oldest first - the "older outputs available by
+    scrolling" behaviour. *)
+
+val find_tool : string -> tool option

@@ -1,0 +1,596 @@
+module Cover = Vc_cube.Cover
+module Cube = Vc_cube.Cube
+module Urp = Vc_cube.Urp
+module Expr = Vc_cube.Expr
+
+type project = {
+  p_id : int;
+  p_title : string;
+  p_assignment : string;
+  p_reference : unit -> string;
+  p_grader : Autograder.unit_test list;
+}
+
+(* ================= project 1: URP / PCN ========================== *)
+
+(* (name, num_vars, cover) benchmark functions, small to mid-size *)
+let p1_benchmarks =
+  [
+    ("and2", 2, [ "11" ]);
+    ("mux", 3, [ "1-1"; "01-" ]);
+    ("maj3", 3, [ "11-"; "1-1"; "-11" ]);
+    ("parity4", 4, [ "1000"; "0100"; "0010"; "0001"; "1110"; "1101"; "1011"; "0111" ]);
+    ("sparse6", 6, [ "110---"; "0-11--"; "---011"; "1----1" ]);
+  ]
+
+let p1_covers =
+  List.map (fun (n, v, cubes) -> (n, Cover.of_strings v cubes)) p1_benchmarks
+
+(* tautology questions: (name, cover, expected answer) *)
+let p1_tautology_questions =
+  [
+    ("t_yes", Cover.of_strings 3 [ "1--"; "0--" ], true);
+    ("t_no", Cover.of_strings 3 [ "1--"; "01-" ], false);
+    ("t_yes2", Cover.of_strings 4 [ "1---"; "01--"; "001-"; "000-" ], true);
+  ]
+
+let p1_assignment =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Project 1: Boolean data structures & computation (URP, PCN)\n\
+     Represent each function in positional cube notation and implement the\n\
+     unate recursive paradigm. For each function below, upload its\n\
+     complement as a cube list; answer each tautology question yes/no.\n\n\
+     Submission format:\n\
+    \  complement <name>\n\
+    \  <one cube per line, or the single word 'empty'>\n\
+    \  end\n\
+    \  tautology <name> yes|no\n\n";
+  List.iter
+    (fun (name, nvars, cubes) ->
+      Buffer.add_string buf (Printf.sprintf "function %s\nvars %d\n" name nvars);
+      List.iter (fun c -> Buffer.add_string buf (c ^ "\n")) cubes;
+      Buffer.add_string buf "end\n\n")
+    p1_benchmarks;
+  List.iter
+    (fun (name, (cover : Cover.t), _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "question %s\nvars %d\n" name cover.Cover.num_vars);
+      List.iter
+        (fun c -> Buffer.add_string buf (c ^ "\n"))
+        (Cover.to_strings cover);
+      Buffer.add_string buf "end\n\n")
+    p1_tautology_questions;
+  Buffer.contents buf
+
+(* Parse a project-1 submission into complements and tautology answers. *)
+let p1_parse text =
+  let lines = Vc_util.Tok.logical_lines ~comment:'#' text in
+  let complements = Hashtbl.create 8 and answers = Hashtbl.create 8 in
+  let current = ref None in
+  let cubes = ref [] in
+  let flush () =
+    match !current with
+    | Some name ->
+      Hashtbl.replace complements name (List.rev !cubes);
+      current := None;
+      cubes := []
+    | None -> ()
+  in
+  let handle line =
+    match Vc_util.Tok.split_words line with
+    | [] -> ()
+    | [ "complement"; name ] ->
+      flush ();
+      current := Some name
+    | [ "end" ] -> flush ()
+    | [ "empty" ] -> ()
+    | [ "tautology"; name; answer ] ->
+      flush ();
+      Hashtbl.replace answers name (String.lowercase_ascii answer = "yes")
+    | [ cube ] when !current <> None -> cubes := cube :: !cubes
+    | toks -> failwith ("project1: malformed line: " ^ String.concat " " toks)
+  in
+  List.iter handle lines;
+  flush ();
+  (complements, answers)
+
+let p1_grader =
+  let complement_test (name, (cover : Cover.t)) =
+    Autograder.make_test
+      ~name:(Printf.sprintf "complement(%s)" name)
+      ~points:4
+      (fun submission ->
+        let complements, _ = p1_parse submission in
+        match Hashtbl.find_opt complements name with
+        | None -> (false, "no complement submitted")
+        | Some cube_strings -> begin
+          match Cover.of_strings cover.Cover.num_vars cube_strings with
+          | exception Failure msg -> (false, msg)
+          | exception Invalid_argument msg -> (false, msg)
+          | submitted ->
+            let disjoint = Cover.is_empty (Urp.intersect submitted cover) in
+            let covers_all = Urp.tautology (Cover.union submitted cover) in
+            if disjoint && covers_all then (true, "exact complement")
+            else if not disjoint then (false, "overlaps the ON-set")
+            else (false, "union is not a tautology")
+        end)
+  in
+  let tautology_test (name, _, expected) =
+    Autograder.make_test
+      ~name:(Printf.sprintf "tautology(%s)" name)
+      ~points:2
+      (fun submission ->
+        let _, answers = p1_parse submission in
+        match Hashtbl.find_opt answers name with
+        | None -> (false, "no answer submitted")
+        | Some got ->
+          if got = expected then (true, "correct")
+          else (false, "wrong answer"))
+  in
+  List.map complement_test p1_covers
+  @ List.map tautology_test p1_tautology_questions
+
+let p1_reference () =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, cover) ->
+      Buffer.add_string buf ("complement " ^ name ^ "\n");
+      let comp = Urp.complement cover in
+      let comp = Cover.single_cube_containment comp in
+      if Cover.is_empty comp then Buffer.add_string buf "empty\n"
+      else
+        List.iter (fun c -> Buffer.add_string buf (c ^ "\n")) (Cover.to_strings comp);
+      Buffer.add_string buf "end\n")
+    p1_covers;
+  List.iter
+    (fun (name, cover, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "tautology %s %s\n" name
+           (if Urp.tautology cover then "yes" else "no")))
+    p1_tautology_questions;
+  Buffer.contents buf
+
+let project1 =
+  {
+    p_id = 1;
+    p_title = "Boolean data structures & computation (URP, PCN)";
+    p_assignment = p1_assignment;
+    p_reference = p1_reference;
+    p_grader = p1_grader;
+  }
+
+(* ================= project 2: network repair ===================== *)
+
+type p2_bench = {
+  b_name : string;
+  b_inputs : string list;
+  b_spec : string;  (** Expression text. *)
+  b_netlist : string;  (** Human-readable description of the broken net. *)
+  b_build : Vc_bdd.Bdd.man -> hole:(Vc_bdd.Bdd.t -> Vc_bdd.Bdd.t -> Vc_bdd.Bdd.t) -> Vc_bdd.Bdd.t;
+}
+
+let p2_benchmarks =
+  let v m name = Vc_bdd.Bdd.var m name in
+  [
+    {
+      b_name = "gate_or";
+      b_inputs = [ "a"; "b" ];
+      b_spec = "a | b";
+      b_netlist = "out = G?(a, b)           # single suspect gate";
+      b_build = (fun m ~hole -> hole (v m "a") (v m "b"));
+    };
+    {
+      b_name = "mux_fix";
+      b_inputs = [ "a"; "b"; "s" ];
+      b_spec = "(s & a) | (!s & b)";
+      b_netlist =
+        "t1 = AND(s, a)\n\
+         t2 = G?(s, b)            # suspect: should make out a 2:1 mux\n\
+         out = OR(t1, t2)";
+      b_build =
+        (fun m ~hole ->
+          let t1 = Vc_bdd.Bdd.mk_and m (v m "s") (v m "a") in
+          let t2 = hole (v m "s") (v m "b") in
+          Vc_bdd.Bdd.mk_or m t1 t2);
+    };
+    {
+      b_name = "carry";
+      b_inputs = [ "a"; "b"; "c" ];
+      b_spec = "(a & b) | (c & (a ^ b))";
+      b_netlist =
+        "p  = XOR(a, b)\n\
+         g  = G?(a, b)            # suspect generate gate\n\
+         t  = AND(p, c)\n\
+         out = OR(g, t)";
+      b_build =
+        (fun m ~hole ->
+          let p = Vc_bdd.Bdd.mk_xor m (v m "a") (v m "b") in
+          let g = hole (v m "a") (v m "b") in
+          let t = Vc_bdd.Bdd.mk_and m p (v m "c") in
+          Vc_bdd.Bdd.mk_or m g t);
+    };
+    {
+      b_name = "no_fix";
+      b_inputs = [ "a"; "b"; "c" ];
+      b_spec = "a ^ b ^ c";
+      b_netlist =
+        "t  = G?(a, b)            # no 2-input gate here can realize parity\n\
+         out = AND(t, c)";
+      b_build =
+        (fun m ~hole ->
+          let t = hole (v m "a") (v m "b") in
+          Vc_bdd.Bdd.mk_and m t (v m "c"));
+    };
+  ]
+
+let p2_valid_gates bench =
+  Vc_bdd.Repair.repair_2input ~inputs:bench.b_inputs
+    ~spec:(Expr.parse bench.b_spec) ~build:bench.b_build
+  |> List.map Vc_bdd.Repair.gate_name
+
+let p2_assignment =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Project 2: BDD-based formal network repair\n\
+     Each netlist below disagrees with its specification; the suspect gate\n\
+     is marked G?. Using BDDs, universally quantify the inputs and find a\n\
+     2-input gate that repairs the network for ALL inputs, or report that\n\
+     none exists.\n\n\
+     Submission format: one line per benchmark:\n\
+    \  repair <bench> <GATE>     GATE in {AND OR NAND NOR XOR XNOR\n\
+    \                                     BUF(a) NOT(a) BUF(b) NOT(b)\n\
+    \                                     ZERO ONE} or NONE\n\n";
+  List.iter
+    (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "benchmark %s\ninputs %s\nspec %s\n%s\nend\n\n" b.b_name
+           (String.concat " " b.b_inputs)
+           b.b_spec b.b_netlist))
+    p2_benchmarks;
+  Buffer.contents buf
+
+let p2_parse text =
+  let answers = Hashtbl.create 8 in
+  let handle line =
+    match Vc_util.Tok.split_words line with
+    | [] -> ()
+    | [ "repair"; bench; gate ] ->
+      Hashtbl.replace answers bench (String.uppercase_ascii gate)
+    | toks -> failwith ("project2: malformed line: " ^ String.concat " " toks)
+  in
+  List.iter handle (Vc_util.Tok.logical_lines ~comment:'#' text);
+  answers
+
+let p2_grader =
+  List.map
+    (fun bench ->
+      Autograder.make_test
+        ~name:(Printf.sprintf "repair(%s)" bench.b_name)
+        ~points:5
+        (fun submission ->
+          let answers = p2_parse submission in
+          match Hashtbl.find_opt answers bench.b_name with
+          | None -> (false, "no answer submitted")
+          | Some gate ->
+            let valid =
+              List.map String.uppercase_ascii (p2_valid_gates bench)
+            in
+            if valid = [] then
+              if gate = "NONE" then (true, "correctly reported unrepairable")
+              else (false, "no repair exists at this location")
+            else if List.mem gate valid then (true, "valid repair")
+            else if gate = "NONE" then (false, "a repair does exist")
+            else
+              ( false,
+                "that gate does not repair the network for all inputs" )))
+    p2_benchmarks
+
+let p2_reference () =
+  String.concat "\n"
+    (List.map
+       (fun bench ->
+         let valid = p2_valid_gates bench in
+         Printf.sprintf "repair %s %s" bench.b_name
+           (match valid with g :: _ -> g | [] -> "NONE"))
+       p2_benchmarks)
+  ^ "\n"
+
+let project2 =
+  {
+    p_id = 2;
+    p_title = "BDD-based formal network repair";
+    p_assignment = p2_assignment;
+    p_reference = p2_reference;
+    p_grader = p2_grader;
+  }
+
+(* ================= project 3: quadratic placement ================ *)
+
+let p3_benchmarks =
+  [
+    (Vc_place.Netgen.tiny, 101);
+    ( (match Vc_place.Netgen.by_name "fract" with
+      | Some p -> p
+      | None -> assert false),
+      202 );
+  ]
+
+let p3_nets =
+  List.map (fun (prof, seed) -> Vc_place.Netgen.generate ~seed prof) p3_benchmarks
+
+(* grading threshold: student HPWL must be within this factor of the
+   reference flow's result *)
+let p3_threshold = 1.5
+
+let p3_reference_hpwl net =
+  let r = Vc_place.Quadratic.place net in
+  let legal = Vc_place.Legalize.to_grid net r.Vc_place.Quadratic.placement in
+  let refined, _ = Vc_place.Legalize.refine net legal in
+  Vc_place.Pnet.hpwl net refined
+
+let p3_assignment =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Project 3: quadratic placement\n\
+        Implement quadratic placement (clique wirelength model, Ax=b via\n\
+        conjugate gradient) with recursive bipartitioning legalization.\n\
+        Upload one 'place <cell> <x> <y>' line per cell, per design.\n\
+        Grading: all cells placed inside the core, no overlapping slots,\n\
+        and HPWL within %.1fx of the reference placer.\n\n"
+       p3_threshold);
+  List.iter
+    (fun net ->
+      Buffer.add_string buf (Vc_place.Pnet.to_string net);
+      Buffer.add_string buf "\n")
+    p3_nets;
+  Buffer.contents buf
+
+(* submissions carry multiple designs: 'design <name>' headers split them *)
+let p3_split_submission text =
+  let lines = String.split_on_char '\n' text in
+  let sections = Hashtbl.create 4 in
+  let current = ref None in
+  List.iter
+    (fun line ->
+      match Vc_util.Tok.split_words line with
+      | [ "design"; name ] ->
+        current := Some name;
+        Hashtbl.replace sections name []
+      | [] -> ()
+      | _ -> begin
+        match !current with
+        | Some name ->
+          Hashtbl.replace sections name (line :: Hashtbl.find sections name)
+        | None -> ()
+      end)
+    lines;
+  fun name ->
+    Option.map
+      (fun ls -> String.concat "\n" (List.rev ls))
+      (Hashtbl.find_opt sections name)
+
+let p3_grader =
+  List.concat_map
+    (fun net ->
+      let name = net.Vc_place.Pnet.name in
+      let reference = lazy (p3_reference_hpwl net) in
+      [
+        Autograder.make_test
+          ~name:(Printf.sprintf "legal(%s)" name)
+          ~points:4
+          (fun submission ->
+            match p3_split_submission submission name with
+            | None -> (false, "design section missing")
+            | Some text -> begin
+              match Autograder.validate_placement net ~max_overlaps:0 text with
+              | Ok _ -> (true, "legal placement")
+              | Error msg -> (false, msg)
+            end);
+        Autograder.make_test
+          ~name:(Printf.sprintf "hpwl(%s)" name)
+          ~points:6
+          (fun submission ->
+            match p3_split_submission submission name with
+            | None -> (false, "design section missing")
+            | Some text -> begin
+              match Autograder.validate_placement net ~max_overlaps:0 text with
+              | Error msg -> (false, msg)
+              | Ok hpwl ->
+                let bound = p3_threshold *. Lazy.force reference in
+                if hpwl <= bound then
+                  (true, Printf.sprintf "HPWL %.0f <= %.0f" hpwl bound)
+                else (false, Printf.sprintf "HPWL %.0f > %.0f" hpwl bound)
+            end);
+      ])
+    p3_nets
+
+let p3_reference () =
+  String.concat ""
+    (List.map
+       (fun net ->
+         let r = Vc_place.Quadratic.place net in
+         let legal =
+           Vc_place.Legalize.to_grid net r.Vc_place.Quadratic.placement
+         in
+         let refined, _ = Vc_place.Legalize.refine net legal in
+         Printf.sprintf "design %s\n%s" net.Vc_place.Pnet.name
+           (Vc_place.Pnet.placement_to_string net refined))
+       p3_nets)
+
+let project3 =
+  {
+    p_id = 3;
+    p_title = "Quadratic placement";
+    p_assignment = p3_assignment;
+    p_reference = p3_reference;
+    p_grader = p3_grader;
+  }
+
+(* ================= project 4: maze routing ======================= *)
+
+let parse_rp = Vc_route.Router.parse_problem
+
+let router_unit_tests =
+  [
+    ("short_horizontal", parse_rp "grid 8 4\nnet a 1 1 6 1\n");
+    ("short_vertical", parse_rp "grid 4 8\nnet a 1 1 1 6\n");
+    ("single_bend", parse_rp "grid 8 8\nnet a 1 1 6 6\n");
+    ( "around_obstacle",
+      parse_rp
+        "grid 9 7\n\
+         obstacle 0 4 1\nobstacle 0 4 2\nobstacle 0 4 3\nobstacle 0 4 4\n\
+         obstacle 1 4 1\nobstacle 1 4 2\nobstacle 1 4 3\nobstacle 1 4 4\n\
+         net a 1 2 7 2\n" );
+    ( "forced_via",
+      parse_rp
+        "grid 9 5\n\
+         obstacle 0 4 0\nobstacle 0 4 1\nobstacle 0 4 2\nobstacle 0 4 3\n\
+         obstacle 0 4 4\n\
+         net a 1 2 7 2\n" );
+    ("multi_pin", parse_rp "grid 10 10\nnet a 1 1 8 1 5 8\n");
+    ( "two_nets_cross",
+      parse_rp "grid 9 9\nnet a 1 4 7 4\nnet b 4 1 4 7\n" );
+    ( "congestion",
+      parse_rp
+        "grid 12 6\nnet a 1 1 10 1\nnet b 1 2 10 2\nnet c 1 3 10 3\nnet d 1 4 10 4\n"
+    );
+  ]
+
+(* big benchmark: route the fract-profile placement's nets *)
+let p4_threshold = 1.6
+
+let p4_reference_result problem = Vc_route.Router.route problem
+
+let p4_assignment =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Project 4: two-layer maze routing\n\
+        Implement Lee-style maze routing on a two-layer grid: layer 0\n\
+        prefers horizontal, layer 1 vertical; vias connect layers; costs\n\
+        are given per problem (step/bend/via/wrong-way). Route every net;\n\
+        nets must not overlap. Upload, per problem:\n\
+       \  problem <name>\n\
+       \  net <netname> / '<layer> <x> <y>' lines / break / endnet\n\
+        Grading: every unit test routed legally with wirelength within\n\
+        %.1fx of the reference router.\n\n"
+       p4_threshold);
+  List.iter
+    (fun (name, problem) ->
+      Buffer.add_string buf (Printf.sprintf "problem %s\n" name);
+      Buffer.add_string buf (Vc_route.Router.problem_to_string problem);
+      Buffer.add_string buf "\n")
+    router_unit_tests;
+  Buffer.contents buf
+
+let p4_split_submission text =
+  let lines = String.split_on_char '\n' text in
+  let sections = Hashtbl.create 8 in
+  let current = ref None in
+  List.iter
+    (fun line ->
+      match Vc_util.Tok.split_words line with
+      | [ "problem"; name ] ->
+        current := Some name;
+        Hashtbl.replace sections name []
+      | _ -> begin
+        match !current with
+        | Some name ->
+          Hashtbl.replace sections name (line :: Hashtbl.find sections name)
+        | None -> ()
+      end)
+    lines;
+  fun name ->
+    Option.map
+      (fun ls -> String.concat "\n" (List.rev ls))
+      (Hashtbl.find_opt sections name)
+
+let p4_grader =
+  List.concat_map
+    (fun (name, problem) ->
+      let reference = lazy (p4_reference_result problem) in
+      [
+        Autograder.make_test
+          ~name:(Printf.sprintf "legal(%s)" name)
+          ~points:2
+          (fun submission ->
+            match p4_split_submission submission name with
+            | None -> (false, "problem section missing")
+            | Some text -> begin
+              match Autograder.validate_routing problem text with
+              | Ok _ -> (true, "legal routing")
+              | Error msg -> (false, msg)
+            end);
+        Autograder.make_test
+          ~name:(Printf.sprintf "quality(%s)" name)
+          ~points:2
+          (fun submission ->
+            match p4_split_submission submission name with
+            | None -> (false, "problem section missing")
+            | Some text -> begin
+              match Autograder.validate_routing problem text with
+              | Error msg -> (false, msg)
+              | Ok check ->
+                let ref_result = Lazy.force reference in
+                let bound =
+                  int_of_float
+                    (p4_threshold
+                    *. float_of_int
+                         (ref_result.Vc_route.Router.wirelength
+                         + ref_result.Vc_route.Router.vias))
+                in
+                let got =
+                  check.Autograder.rc_wirelength + check.Autograder.rc_vias
+                in
+                if got <= bound then
+                  (true, Printf.sprintf "wirelength %d <= %d" got bound)
+                else (false, Printf.sprintf "wirelength %d > %d" got bound)
+            end);
+      ])
+    router_unit_tests
+
+let p4_reference () =
+  String.concat ""
+    (List.map
+       (fun (name, problem) ->
+         let result = Vc_route.Router.route problem in
+         Printf.sprintf "problem %s\n%s" name
+           (Vc_route.Router.solution_to_string result))
+       router_unit_tests)
+
+let project4 =
+  {
+    p_id = 4;
+    p_title = "Two-layer maze routing";
+    p_assignment = p4_assignment;
+    p_reference = p4_reference;
+    p_grader = p4_grader;
+  }
+
+let all = [ project1; project2; project3; project4 ]
+
+let render_fig5 () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "Fig. 5: the four software design projects\n";
+  List.iter
+    (fun p ->
+      let g = Autograder.grade p.p_grader (p.p_reference ()) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d. %-48s %2d gradable units, %3d points\n" p.p_id
+           p.p_title (List.length p.p_grader) g.Autograder.possible))
+    all;
+  Buffer.contents buf
+
+let render_fig6 () =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "Fig. 6: router unit tests (reference solutions)\n\n";
+  List.iter
+    (fun (name, problem) ->
+      let result = Vc_route.Router.route problem in
+      Buffer.add_string buf (Printf.sprintf "--- %s ---\n" name);
+      Buffer.add_string buf (Vc_route.Render.result_ascii result);
+      Buffer.add_char buf '\n')
+    router_unit_tests;
+  Buffer.contents buf

@@ -1,0 +1,41 @@
+(** The four auto-graded software design projects (Fig. 5), each with its
+    downloadable assignment, a reference solution produced by this
+    repository's own libraries, and a gradable-unit test list for
+    {!Autograder}. *)
+
+type project = {
+  p_id : int;
+  p_title : string;
+  p_assignment : string;  (** What the participant downloads. *)
+  p_reference : unit -> string;  (** A full-credit submission. *)
+  p_grader : Autograder.unit_test list;
+}
+
+val project1 : project
+(** Boolean data structures and computation (URP, PCN): complement covers
+    and answer tautology questions. *)
+
+val project2 : project
+(** BDD-based formal network repair: name a 2-input gate fixing each
+    broken netlist. *)
+
+val project3 : project
+(** Quadratic placement on synthetic MCNC-profile netlists: upload legal
+    placements beating HPWL thresholds. *)
+
+val project4 : project
+(** Two-layer maze routing with vias and preferred directions: upload
+    routed paths passing the Fig. 6 unit-test battery. *)
+
+val all : project list
+
+val router_unit_tests : (string * Vc_route.Router.problem) list
+(** The Fig. 6 battery: short wires, vertical/horizontal segments, bends,
+    obstacle detours, forced vias, multi-pin nets, crossing nets. *)
+
+val render_fig5 : unit -> string
+(** Summary card for the four projects. *)
+
+val render_fig6 : unit -> string
+(** ASCII rendering of each router unit test, solved by the reference
+    router. *)

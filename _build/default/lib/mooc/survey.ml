@@ -1,0 +1,84 @@
+let topic_phrases =
+  [
+    ("more verilog and hdl based design entry", 9.0);
+    ("sequential logic and state machine synthesis", 8.0);
+    ("more on timing closure and static timing", 7.0);
+    ("physical design and floorplanning detail", 7.0);
+    ("test and design for testability", 6.0);
+    ("low power design techniques", 6.0);
+    ("simulation and verification flows", 6.0);
+    ("fpga targeted synthesis and mapping", 5.0);
+    ("more placement and routing benchmarks", 5.0);
+    ("clock tree synthesis and skew", 4.0);
+    ("parasitic extraction and drc", 4.0);
+    ("analog and mixed signal design", 3.0);
+    ("bigger projects with industrial netlists", 3.0);
+    ("systemverilog and uvm methodology", 3.0);
+    ("great course thank you professor", 8.0);
+    ("excellent lectures and fun projects", 5.0);
+    ("more depth on bdd and sat algorithms", 4.0);
+    ("logic optimization with don't cares", 3.0);
+    ("advanced routing congestion and layers", 3.0);
+    ("machine arithmetic and datapath synthesis", 2.0);
+  ]
+
+let generate_responses ?(seed = 11) n =
+  let rng = Vc_util.Rng.create seed in
+  List.init n (fun _ ->
+      (* 1-3 phrases per respondent *)
+      let phrases = 1 + Vc_util.Rng.int rng 3 in
+      String.concat ". "
+        (List.init phrases (fun _ ->
+             Vc_util.Rng.choose_weighted rng topic_phrases)))
+
+let stopwords =
+  [
+    "the"; "and"; "a"; "an"; "of"; "on"; "in"; "to"; "for"; "with"; "more";
+    "is"; "are"; "was"; "i"; "we"; "you"; "it"; "this"; "that"; "based";
+    "detail"; "s"; "t"; "don";
+  ]
+
+let word_frequencies responses =
+  let counts = Hashtbl.create 128 in
+  let add word =
+    if String.length word > 1 && not (List.mem word stopwords) then
+      Hashtbl.replace counts word
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts word))
+  in
+  let clean response =
+    String.map
+      (fun c ->
+        if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c
+        else if c >= 'A' && c <= 'Z' then Char.lowercase_ascii c
+        else ' ')
+      response
+  in
+  List.iter
+    (fun r -> List.iter add (Vc_util.Tok.split_words (clean r)))
+    responses;
+  Hashtbl.fold (fun w k acc -> (w, k) :: acc) counts []
+  |> List.sort (fun (w1, a) (w2, b) ->
+         match compare b a with 0 -> compare w1 w2 | c -> c)
+
+let render_fig11 ?(top = 25) freqs =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Fig. 11: survey word cloud (top requested-topic words)\n";
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let top_list = take top freqs in
+  let peak = match top_list with (_, k) :: _ -> k | [] -> 1 in
+  List.iter
+    (fun (w, k) ->
+      let size = 1 + (k * 5 / max 1 peak) in
+      let shout =
+        if size >= 4 then String.uppercase_ascii w
+        else if size >= 2 then String.capitalize_ascii w
+        else w
+      in
+      Buffer.add_string buf (Printf.sprintf "  %-18s %4d %s\n" shout k (String.make (min 60 (k * 60 / max 1 peak)) '#')))
+    top_list;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** The end-of-course survey pipeline (Fig. 11): synthesize free-text
+    responses about topics participants wanted more of, then mine word
+    frequencies - the word-cloud data. The response generator draws topic
+    phrases with weights matching the themes visible in the paper's cloud
+    (verilog, sequential logic, test, physical design, low power, ...). *)
+
+val topic_phrases : (string * float) list
+(** Phrase templates and their sampling weights. *)
+
+val generate_responses : ?seed:int -> int -> string list
+
+val stopwords : string list
+
+val word_frequencies : string list -> (string * int) list
+(** Lowercased, punctuation-stripped, stopword-filtered, descending. *)
+
+val render_fig11 : ?top:int -> (string * int) list -> string
+(** Word-cloud stand-in: top words scaled by count. *)

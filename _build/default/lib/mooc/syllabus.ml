@@ -1,0 +1,128 @@
+type video = {
+  week : int;
+  index : int;
+  title : string;
+  minutes : int;
+  slides : int;
+}
+
+let v week index title minutes slides = { week; index; title; minutes; slides }
+
+let videos =
+  [
+    v 1 1 "Why EDA? The logic-to-layout landscape" 15 9;
+    v 1 2 "Boolean functions and Shannon cofactors" 9 9;
+    v 1 3 "Boolean difference and sensitivity" 18 7;
+    v 1 4 "Quantification: exists and forall" 18 8;
+    v 1 5 "Positional cube notation" 11 10;
+    v 1 6 "The unate recursive paradigm" 10 10;
+    v 1 7 "URP tautology checking" 8 5;
+    v 1 8 "URP complement and applications" 13 9;
+    v 2 1 "Decision diagrams and reduction rules" 17 11;
+    v 2 2 "ROBDDs: canonicity and variable order" 16 6;
+    v 2 3 "Building BDDs: the ITE operator" 18 6;
+    v 2 4 "ITE implementation: unique and computed tables" 9 7;
+    v 2 5 "BDD applications: equivalence and satisfiability" 9 8;
+    v 2 6 "CNF, DIMACS and the SAT problem" 13 12;
+    v 2 7 "DPLL search and unit propagation" 17 10;
+    v 2 8 "Modern CDCL solvers: learning, VSIDS, restarts" 15 8;
+    v 3 1 "Two-level forms, implicants and primes" 21 10;
+    v 3 2 "Exact minimization: Quine-McCluskey flavor" 10 9;
+    v 3 3 "The covering problem" 16 12;
+    v 3 4 "Espresso: the EXPAND step" 20 9;
+    v 3 5 "Espresso: IRREDUNDANT and essential primes" 14 12;
+    v 3 6 "Espresso: REDUCE and iteration" 9 12;
+    v 3 7 "Multi-output PLAs" 15 6;
+    v 3 8 "Two-level wrap-up and tool demo" 11 11;
+    v 4 1 "Boolean networks and literal cost" 16 12;
+    v 4 2 "The algebraic model" 15 12;
+    v 4 3 "Weak division" 21 7;
+    v 4 4 "Kernels and co-kernels" 10 11;
+    v 4 5 "Extraction: kernels and cubes" 19 9;
+    v 4 6 "Factoring SOPs" 14 11;
+    v 4 7 "Node simplification with don't cares" 12 8;
+    v 4 8 "A complete multi-level script" 19 11;
+    v 5 1 "From networks to gates: the mapping problem" 16 10;
+    v 5 2 "Cell libraries and pattern trees" 13 8;
+    v 5 3 "Subject graphs in the NAND2/INV basis" 15 6;
+    v 5 4 "Tree covering by dynamic programming" 17 8;
+    v 5 5 "Min-area mapping worked example" 11 10;
+    v 5 6 "Min-delay mapping and the area/delay trade" 14 11;
+    v 5 7 "DAGs, fanout and tree boundaries" 11 11;
+    v 5 8 "Mapping wrap-up" 11 8;
+    v 6 1 "The placement problem and wirelength" 19 6;
+    v 6 2 "Half-perimeter wirelength and nets" 15 12;
+    v 6 3 "Placement by simulated annealing" 19 8;
+    v 6 4 "Annealing moves and schedules" 13 6;
+    v 6 5 "Quadratic placement: the clique model" 9 9;
+    v 6 6 "Solving the placement equations: Ax=b" 14 12;
+    v 6 7 "Recursive bipartition legalization" 9 6;
+    v 6 8 "Placement wrap-up and benchmarks" 20 11;
+    v 7 1 "The routing problem and grids" 12 10;
+    v 7 2 "Lee's algorithm: wavefront expansion" 21 11;
+    v 7 3 "Non-unit costs: bends, vias, wrong-way" 20 10;
+    v 7 4 "Two-layer routing and preferred directions" 16 11;
+    v 7 5 "Multi-point nets: routing trees" 21 6;
+    v 7 6 "Net ordering, rip-up and reroute" 20 10;
+    v 7 7 "Detailed vs global routing" 15 8;
+    v 7 8 "Routing wrap-up" 14 8;
+    v 8 1 "Timing graphs and arrival times" 20 6;
+    v 8 2 "Required times and slack" 19 7;
+    v 8 3 "Critical paths and false paths" 21 11;
+    v 8 4 "Logic-level STA worked example" 21 6;
+    v 8 5 "Interconnect: RC trees" 10 7;
+    v 8 6 "The Elmore delay" 16 7;
+    v 8 7 "Wire delay in the flow" 15 8;
+    v 8 8 "Course wrap-up: logic to layout" 10 6;
+    v 9 1 "Tutorial: the kbdd Boolean calculator" 14 8;
+    v 9 2 "Tutorial: espresso on PLA files" 10 8;
+    v 9 3 "Tutorial: SIS scripts for multi-level logic" 16 7;
+    v 9 4 "Tutorial: miniSAT and DIMACS" 10 12;
+    v 9 5 "Tutorial: the Ax=b solver and placement homework" 15 9;
+  ]
+
+let week_titles =
+  [
+    (1, "Computational Boolean Algebra");
+    (2, "Formal Verification: BDDs and SAT");
+    (3, "Logic Synthesis I: Two-Level");
+    (4, "Logic Synthesis II: Multi-Level");
+    (5, "Technology Mapping");
+    (6, "Placement");
+    (7, "Routing");
+    (8, "Timing Analysis");
+    (9, "Tool Tutorials");
+  ]
+
+let total_videos = List.length videos
+
+let total_minutes = List.fold_left (fun acc x -> acc + x.minutes) 0 videos
+
+let total_slides = List.fold_left (fun acc x -> acc + x.slides) 0 videos
+
+let average_minutes = float_of_int total_minutes /. float_of_int total_videos
+
+let by_week w = List.filter (fun x -> x.week = w) videos
+
+let render_fig2 () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "Fig. 2: week-by-week video lectures (minutes per video)\n";
+  List.iter
+    (fun (w, title) ->
+      Buffer.add_string buf (Printf.sprintf "-- week %d: %s\n" w title);
+      List.iter
+        (fun x ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %d.%-2d %2d min %s %s\n" x.week x.index
+               x.minutes
+               (String.make x.minutes '#')
+               x.title))
+        (by_week w))
+    week_titles;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "total: %d videos, %d minutes (%.1f h), avg %.1f min, %d slides\n"
+       total_videos total_minutes
+       (float_of_int total_minutes /. 60.0)
+       average_minutes total_slides);
+  Buffer.contents buf

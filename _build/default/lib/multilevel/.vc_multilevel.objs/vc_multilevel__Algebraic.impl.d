@@ -1,0 +1,1 @@
+lib/multilevel/algebraic.ml: Array Hashtbl List Option String Vc_cube Vc_network

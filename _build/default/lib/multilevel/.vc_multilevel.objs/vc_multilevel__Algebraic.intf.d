@@ -1,0 +1,1 @@
+lib/multilevel/algebraic.mli: Vc_cube Vc_network

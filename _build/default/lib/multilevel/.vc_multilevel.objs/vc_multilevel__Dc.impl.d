@@ -1,0 +1,1 @@
+lib/multilevel/dc.ml: List Vc_bdd Vc_cube Vc_network Vc_two_level

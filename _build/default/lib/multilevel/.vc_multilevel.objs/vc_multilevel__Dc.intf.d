@@ -1,0 +1,1 @@
+lib/multilevel/dc.mli: Vc_cube Vc_network

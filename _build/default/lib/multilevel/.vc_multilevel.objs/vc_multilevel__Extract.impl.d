@@ -1,0 +1,1 @@
+lib/multilevel/extract.ml: Algebraic Array Hashtbl List Option Printf String Vc_network

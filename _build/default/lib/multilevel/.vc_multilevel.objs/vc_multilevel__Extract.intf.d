@@ -1,0 +1,1 @@
+lib/multilevel/extract.mli: Vc_network

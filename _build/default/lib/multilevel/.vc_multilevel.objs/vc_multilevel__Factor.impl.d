@@ -1,0 +1,1 @@
+lib/multilevel/factor.ml: Algebraic List String Vc_cube

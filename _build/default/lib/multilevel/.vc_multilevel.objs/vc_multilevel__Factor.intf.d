@@ -1,0 +1,1 @@
+lib/multilevel/factor.mli: Algebraic Vc_cube

@@ -1,0 +1,1 @@
+lib/multilevel/opt.ml: List Vc_cube Vc_network Vc_two_level

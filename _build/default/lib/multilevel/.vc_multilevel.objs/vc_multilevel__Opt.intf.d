@@ -1,0 +1,1 @@
+lib/multilevel/opt.mli: Vc_network

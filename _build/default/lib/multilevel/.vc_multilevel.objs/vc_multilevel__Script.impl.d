@@ -1,0 +1,1 @@
+lib/multilevel/script.ml: Algebraic Dc Extract Factor List Opt Printf String Vc_network Vc_util

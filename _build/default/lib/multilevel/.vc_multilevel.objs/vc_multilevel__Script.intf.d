@@ -1,0 +1,1 @@
+lib/multilevel/script.mli: Vc_network

@@ -1,0 +1,195 @@
+module Network = Vc_network.Network
+module Cover = Vc_cube.Cover
+module Cube = Vc_cube.Cube
+
+type lit = string * bool
+
+type acube = lit list
+
+type sop = acube list
+
+let lit_to_string (s, pos) = if pos then s else s ^ "'"
+
+let cube_to_string = function
+  | [] -> "1"
+  | lits -> String.concat "." (List.map lit_to_string lits)
+
+let to_string = function
+  | [] -> "0"
+  | cubes -> String.concat " + " (List.map cube_to_string cubes)
+
+let normalize sop =
+  let clean_cube cube =
+    let cube = List.sort_uniq compare cube in
+    let contradictory =
+      List.exists (fun (s, p) -> List.mem (s, not p) cube) cube
+    in
+    if contradictory then None else Some cube
+  in
+  List.filter_map clean_cube sop |> List.sort_uniq compare
+
+let of_node (node : Network.node) =
+  let fanins = Array.of_list node.Network.fanins in
+  let cube_of c =
+    List.filter_map
+      (fun i ->
+        match Cube.get c i with
+        | Cube.Pos -> Some (fanins.(i), true)
+        | Cube.Neg -> Some (fanins.(i), false)
+        | Cube.Both -> None
+        | Cube.Empty -> None)
+      (List.init (Array.length fanins) (fun i -> i))
+  in
+  normalize (List.map cube_of node.Network.func.Cover.cubes)
+
+let to_cover ~fanins sop =
+  let n = List.length fanins in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i s -> Hashtbl.replace index s i) fanins;
+  let cube_of acube =
+    let lits =
+      List.map
+        (fun (s, pos) ->
+          match Hashtbl.find_opt index s with
+          | Some i -> (i, pos)
+          | None -> invalid_arg ("Algebraic.to_cover: unknown signal " ^ s))
+        acube
+    in
+    Cube.of_literals n lits
+  in
+  Cover.make n (List.map cube_of sop)
+
+let support sop =
+  List.concat_map (List.map fst) sop |> List.sort_uniq compare
+
+let literal_count sop = List.fold_left (fun acc c -> acc + List.length c) 0 sop
+
+let cube_divide c d =
+  if List.for_all (fun l -> List.mem l c) d then
+    Some (List.filter (fun l -> not (List.mem l d)) c)
+  else None
+
+let divide f d =
+  match normalize d with
+  | [] -> ([], f)
+  | d ->
+    (* quotient = intersection over divisor cubes of {c/di | di divides c} *)
+    let quotients_per_cube =
+      List.map (fun di -> List.filter_map (fun c -> cube_divide c di) f) d
+    in
+    let quotient =
+      match quotients_per_cube with
+      | [] -> []
+      | first :: rest ->
+        List.fold_left
+          (fun acc qs -> List.filter (fun c -> List.mem c qs) acc)
+          first rest
+    in
+    let quotient = normalize quotient in
+    if quotient = [] then ([], f)
+    else begin
+      (* remainder = f - quotient * d *)
+      let product =
+        List.concat_map
+          (fun q -> List.map (fun di -> List.sort_uniq compare (q @ di)) d)
+          quotient
+      in
+      let remainder = List.filter (fun c -> not (List.mem c product)) f in
+      (quotient, normalize remainder)
+    end
+
+let common_cube = function
+  | [] -> []
+  | first :: rest ->
+    List.fold_left
+      (fun acc cube -> List.filter (fun l -> List.mem l cube) acc)
+      first rest
+
+let cube_free sop =
+  match sop with
+  | [] | [ _ ] -> false
+  | _ -> common_cube sop = []
+
+let make_cube_free sop =
+  let c = common_cube sop in
+  if c = [] then ([], sop)
+  else
+    ( c,
+      normalize
+        (List.map (fun cube -> List.filter (fun l -> not (List.mem l c)) cube) sop)
+    )
+
+(* Kernel enumeration (Brayton-McMullen): recursively divide by literals,
+   factoring out common cubes, pruning revisits via a literal order. *)
+let kernels sop =
+  let sop = normalize sop in
+  let lits = List.sort_uniq compare (List.concat sop) in
+  let lit_index = List.mapi (fun i l -> (l, i)) lits in
+  let index_of l = List.assoc l lit_index in
+  let results = ref [] in
+  let add cokernel kernel =
+    results := (List.sort compare cokernel, kernel) :: !results
+  in
+  let rec explore f cokernel min_index =
+    if List.length f >= 2 && common_cube f = [] then add cokernel f;
+    List.iter
+      (fun l ->
+        let i = index_of l in
+        if i >= min_index then begin
+          let with_l = List.filter (fun c -> List.mem l c) f in
+          if List.length with_l >= 2 then begin
+            let quotient =
+              normalize
+                (List.map (List.filter (fun m -> m <> l)) with_l)
+            in
+            let c, cube_free_q = make_cube_free quotient in
+            (* skip if the factored cube contains an already-tried literal:
+               that kernel was found via the earlier literal *)
+            let dup = List.exists (fun m -> index_of m < i) c in
+            if not dup then begin
+              let cokernel' = List.sort_uniq compare ((l :: c) @ cokernel) in
+              if List.length cube_free_q >= 2 then add cokernel' cube_free_q;
+              explore cube_free_q cokernel' (i + 1)
+            end
+          end
+        end)
+      lits
+  in
+  explore sop [] 0;
+  (* dedupe *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (ck, k) ->
+      let key = (ck, k) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    (List.rev !results)
+
+let kernel_level0 sop =
+  let ks = kernels sop in
+  (* a level-0 kernel has no kernels other than itself *)
+  let is_level0 k =
+    List.for_all (fun (_, k') -> k' = k) (kernels k)
+  in
+  match List.filter (fun (_, k) -> is_level0 k) ks with
+  | (_, k) :: _ -> Some k
+  | [] -> None
+
+let most_common_literal sop =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun l ->
+         Hashtbl.replace counts l
+           (1 + Option.value ~default:0 (Hashtbl.find_opt counts l))))
+    sop;
+  Hashtbl.fold
+    (fun l n best ->
+      match best with
+      | Some (_, bn) when bn >= n -> best
+      | _ when n >= 2 -> Some (l, n)
+      | _ -> best)
+    counts None
+  |> Option.map fst

@@ -1,0 +1,66 @@
+(** The algebraic model of Logic Synthesis II: SOP expressions treated as
+    polynomials whose literals are opaque symbols (a variable and its
+    complement are unrelated atoms), supporting weak division and
+    kernel/co-kernel enumeration. *)
+
+type lit = string * bool
+(** A signal name and polarity ([true] = positive literal). *)
+
+type acube = lit list
+(** A product term: sorted, duplicate-free literal list. *)
+
+type sop = acube list
+(** A sum of products: duplicate-free cube list. *)
+
+val lit_to_string : lit -> string
+
+val cube_to_string : acube -> string
+
+val to_string : sop -> string
+
+val normalize : sop -> sop
+(** Sort literals in cubes, sort cubes, drop duplicates and cubes that
+    contain both polarities of a signal. *)
+
+val of_node : Vc_network.Network.node -> sop
+(** A node's SOP with fanin indices replaced by fanin names. *)
+
+val to_cover : fanins:string list -> sop -> Vc_cube.Cover.t
+(** Back to a positional cover over the given fanin order; every literal's
+    signal must appear in [fanins]. *)
+
+val support : sop -> string list
+(** Signals appearing, sorted. *)
+
+val literal_count : sop -> int
+
+val cube_divide : acube -> acube -> acube option
+(** [cube_divide c d] is [Some (c / d)] when [d]'s literals are all in
+    [c]. *)
+
+val divide : sop -> sop -> sop * sop
+(** Weak (algebraic) division [f / d = (quotient, remainder)] with
+    [f = quotient*d + remainder] and quotient maximal. Quotient is [[]]
+    when [d] does not divide [f]. *)
+
+val common_cube : sop -> acube
+(** Largest cube dividing every cube of the SOP ([[]] if none). *)
+
+val cube_free : sop -> bool
+(** No non-trivial common cube and more than one cube. *)
+
+val make_cube_free : sop -> acube * sop
+(** Factor out the largest common cube. *)
+
+val kernels : sop -> (acube * sop) list
+(** All (co-kernel, kernel) pairs: kernels are the cube-free quotients of
+    the SOP by cubes; includes the SOP itself with co-kernel [[]] when it
+    is cube-free. Duplicate kernels (same kernel, different co-kernel) are
+    all returned. *)
+
+val kernel_level0 : sop -> sop option
+(** Some level-0 kernel (one with no kernels of its own except itself),
+    used as the quick-factor divisor. *)
+
+val most_common_literal : sop -> lit option
+(** The literal occurring in the most cubes (at least two), if any. *)

@@ -1,0 +1,73 @@
+module Network = Vc_network.Network
+module Cover = Vc_cube.Cover
+module Cube = Vc_cube.Cube
+module Bdd = Vc_bdd.Bdd
+module Espresso = Vc_two_level.Espresso
+
+let node_dc_cover ?(max_support = 16) t name =
+  match Network.find_node t name with
+  | None -> None
+  | Some node ->
+    let fanins = node.Network.fanins in
+    let k = List.length fanins in
+    (* collapse each fanin cone to an expression over primary inputs *)
+    let exprs =
+      List.map
+        (fun f ->
+          if List.mem f (Network.inputs t) then Vc_cube.Expr.Var f
+          else Network.output_expr t f)
+        fanins
+    in
+    let support =
+      List.sort_uniq compare (List.concat_map Vc_cube.Expr.vars exprs)
+    in
+    if List.length support > max_support then None
+    else begin
+      let m = Bdd.create () in
+      List.iter (fun v -> ignore (Bdd.var m v)) support;
+      let fanin_bdds = List.map (Bdd.of_expr m) exprs in
+      (* a fanin pattern is reachable iff the conjunction of (fi <-> bit_i)
+         is satisfiable over the primary inputs *)
+      let unreachable = ref [] in
+      for pattern = 0 to (1 lsl k) - 1 do
+        let conj =
+          List.fold_left
+            (fun acc (i, fb) ->
+              let want = pattern land (1 lsl i) <> 0 in
+              let lit = if want then fb else Bdd.mk_not m fb in
+              Bdd.mk_and m acc lit)
+            Bdd.one
+            (List.mapi (fun i fb -> (i, fb)) fanin_bdds)
+        in
+        if conj = Bdd.zero then begin
+          let lits =
+            List.init k (fun i -> (i, pattern land (1 lsl i) <> 0))
+          in
+          unreachable := Cube.of_literals k lits :: !unreachable
+        end
+      done;
+      Some (Cover.make k !unreachable)
+    end
+
+let simplify ?(max_fanins = 8) ?max_support t =
+  let saved = ref 0 in
+  List.iter
+    (fun name ->
+      match Network.find_node t name with
+      | None -> ()
+      | Some node ->
+        if List.length node.Network.fanins <= max_fanins then begin
+          match node_dc_cover ?max_support t name with
+          | None -> ()
+          | Some dc ->
+            let before = (Espresso.cost node.Network.func).Espresso.literals in
+            let minimized = Espresso.minimize ~dc node.Network.func in
+            let after = (Espresso.cost minimized).Espresso.literals in
+            if after < before then begin
+              saved := !saved + before - after;
+              Network.add_node t ~name ~fanins:node.Network.fanins
+                ~func:minimized
+            end
+        end)
+    (Network.node_names t);
+  !saved

@@ -1,0 +1,21 @@
+(** Don't-care-based node simplification: the full-strength week-4 topic.
+
+    For a node with fanins f1..fk, the satisfiability don't-cares are the
+    fanin-value patterns that no primary-input assignment can produce
+    (because the fi are correlated). Minimizing the node's cover against
+    that DC set with Espresso can only shrink it, and cannot change the
+    network's behaviour - unreachable patterns never occur.
+
+    Patterns are enumerated through BDDs of the fanin cones, so nodes are
+    processed only when [fanins <= max_fanins] (default 8) and the cone
+    support is at most [max_support] (default 16) primary inputs. *)
+
+val node_dc_cover :
+  ?max_support:int -> Vc_network.Network.t -> string -> Vc_cube.Cover.t option
+(** The SDC cover (over the node's fanin space) of one node, or [None]
+    when the node is missing or the cone is too large. *)
+
+val simplify :
+  ?max_fanins:int -> ?max_support:int -> Vc_network.Network.t -> int
+(** Espresso every eligible node against its SDC cover; returns literals
+    saved. Behaviour-preserving (the test suite checks equivalence). *)

@@ -1,0 +1,162 @@
+module Network = Vc_network.Network
+module A = Algebraic
+
+(* Literal cost of rewriting [sop] with [divisor] named by a fresh positive
+   literal: quotient literals + one new-node literal per quotient cube +
+   remainder literals. Negative if the division is trivial. *)
+let rewrite_saving sop divisor =
+  let q, r = A.divide sop divisor in
+  if q = [] then 0
+  else
+    A.literal_count sop
+    - (A.literal_count q + List.length q + A.literal_count r)
+
+let rewrite_with sop divisor new_name =
+  let q, r = A.divide sop divisor in
+  assert (q <> []);
+  let q' = List.map (fun cube -> (new_name, true) :: cube) q in
+  A.normalize (q' @ r)
+
+let node_sops t =
+  List.filter_map
+    (fun name -> Option.map (fun n -> (name, A.of_node n)) (Network.find_node t name))
+    (Network.node_names t)
+
+let set_node t name sop =
+  let fanins = A.support sop in
+  Network.add_node t ~name ~fanins ~func:(A.to_cover ~fanins sop)
+
+(* One greedy round: pick the best divisor among [candidates], apply it to
+   every node it helps.  Returns true if a divisor was extracted. *)
+let extract_round t candidates new_name =
+  let sops = node_sops t in
+  let total_saving divisor =
+    List.fold_left
+      (fun acc (_, sop) -> acc + max 0 (rewrite_saving sop divisor))
+      (- (A.literal_count divisor))
+      sops
+  in
+  let best =
+    List.fold_left
+      (fun acc divisor ->
+        let s = total_saving divisor in
+        match acc with
+        | Some (_, bs) when bs >= s -> acc
+        | _ when s > 0 -> Some (divisor, s)
+        | _ -> acc)
+      None candidates
+  in
+  match best with
+  | None -> false
+  | Some (divisor, _) ->
+    set_node t new_name divisor;
+    List.iter
+      (fun (name, sop) ->
+        if rewrite_saving sop divisor > 0 then
+          set_node t name (rewrite_with sop divisor new_name))
+      sops;
+    true
+
+let kernel_candidates t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (_, sop) ->
+      List.iter
+        (fun (_, k) ->
+          if List.length k >= 2 then Hashtbl.replace tbl (A.normalize k) ())
+        (A.kernels sop))
+    (node_sops t);
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+
+let cube_candidates t =
+  (* pairwise intersections of cubes with >= 2 common literals *)
+  let tbl = Hashtbl.create 64 in
+  let all_cubes = List.concat_map (fun (_, sop) -> sop) (node_sops t) in
+  let arr = Array.of_list all_cubes in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if i < j then begin
+            let common = List.filter (fun l -> List.mem l b) a in
+            if List.length common >= 2 then
+              Hashtbl.replace tbl (List.sort compare common) ()
+          end)
+        arr)
+    arr;
+  Hashtbl.fold (fun c () acc -> [ c ] :: acc) tbl []
+
+let run_extraction t candidates_of ~max_new_nodes ~prefix =
+  let rec go i =
+    if i >= max_new_nodes then i
+    else begin
+      let name = Printf.sprintf "%s%d" prefix i in
+      (* regenerate candidates each round: the network changed *)
+      if extract_round t (candidates_of t) name then go (i + 1) else i
+    end
+  in
+  go 0
+
+let fresh_prefix t prefix =
+  (* avoid clashing with existing node names *)
+  let rec unique k =
+    let p = if k = 0 then prefix else Printf.sprintf "%s%d_" prefix k in
+    let clash =
+      List.exists
+        (fun n -> String.length n >= String.length p
+                  && String.sub n 0 (String.length p) = p)
+        (Network.node_names t)
+    in
+    if clash then unique (k + 1) else p
+  in
+  unique 0
+
+let extract_kernels ?(max_new_nodes = 1000) ?(prefix = "k_") t =
+  run_extraction t kernel_candidates ~max_new_nodes
+    ~prefix:(fresh_prefix t prefix)
+
+let extract_cubes ?(max_new_nodes = 1000) ?(prefix = "c_") t =
+  run_extraction t cube_candidates ~max_new_nodes
+    ~prefix:(fresh_prefix t prefix)
+
+let resubstitute t =
+  let rewrites = ref 0 in
+  let rec stable () =
+    let sops = node_sops t in
+    let applied = ref false in
+    List.iter
+      (fun (name, _) ->
+        List.iter
+          (fun (divisor_name, divisor) ->
+            if divisor_name <> name && List.length divisor >= 1 then begin
+              (* avoid creating a cycle: divisor must not depend on name *)
+              let depends =
+                let rec reaches seen s =
+                  s = name
+                  || (not (List.mem s seen))
+                     &&
+                     match Network.find_node t s with
+                     | None -> false
+                     | Some n ->
+                       List.exists (reaches (s :: seen)) n.Network.fanins
+                in
+                reaches [] divisor_name
+              in
+              if not depends then begin
+                match Network.find_node t name with
+                | None -> ()
+                | Some current_node ->
+                  let current = A.of_node current_node in
+                  if rewrite_saving current divisor > 0 then begin
+                    set_node t name (rewrite_with current divisor divisor_name);
+                    incr rewrites;
+                    applied := true
+                  end
+              end
+            end)
+          sops)
+      sops;
+    if !applied then stable ()
+  in
+  stable ();
+  !rewrites

@@ -1,0 +1,19 @@
+(** Shared-divisor extraction across a Boolean network: greedy kernel
+    extraction and common-cube extraction, plus algebraic resubstitution.
+    Each round evaluates candidate divisors by the exact literal-count
+    delta of performing the rewrite, and applies the best one while it
+    saves literals. *)
+
+val extract_kernels :
+  ?max_new_nodes:int -> ?prefix:string -> Vc_network.Network.t -> int
+(** Repeatedly extract the best-saving kernel as a new node; returns how
+    many nodes were created. New nodes are named [<prefix><i>] (default
+    prefix ["k_"]). *)
+
+val extract_cubes :
+  ?max_new_nodes:int -> ?prefix:string -> Vc_network.Network.t -> int
+(** Same, with single-cube divisors (common cube extraction). *)
+
+val resubstitute : Vc_network.Network.t -> int
+(** Try dividing every node by every other node's function; apply
+    substitutions that save literals. Returns the number of rewrites. *)

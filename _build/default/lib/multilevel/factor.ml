@@ -1,0 +1,91 @@
+module Expr = Vc_cube.Expr
+
+type form =
+  | Lit of Algebraic.lit
+  | And of form list
+  | Or of form list
+
+let rec to_string = function
+  | Lit l -> Algebraic.lit_to_string l
+  | And [] -> "1"
+  | And fs -> String.concat " " (List.map paren_or fs)
+  | Or [] -> "0"
+  | Or fs -> String.concat " + " (List.map to_string fs)
+
+and paren_or f =
+  match f with
+  | Or (_ :: _ :: _) -> "(" ^ to_string f ^ ")"
+  | Or _ | Lit _ | And _ -> to_string f
+
+let rec literal_count = function
+  | Lit _ -> 1
+  | And fs | Or fs -> List.fold_left (fun acc f -> acc + literal_count f) 0 fs
+
+let lit_expr (s, pos) = if pos then Expr.Var s else Expr.Not (Expr.Var s)
+
+let rec to_expr = function
+  | Lit l -> lit_expr l
+  | And [] -> Expr.Const true
+  | And (f :: fs) ->
+    List.fold_left (fun acc g -> Expr.And (acc, to_expr g)) (to_expr f) fs
+  | Or [] -> Expr.Const false
+  | Or (f :: fs) ->
+    List.fold_left (fun acc g -> Expr.Or (acc, to_expr g)) (to_expr f) fs
+
+let sop_to_expr sop =
+  let cube_expr = function
+    | [] -> Expr.Const true
+    | l :: ls ->
+      List.fold_left (fun acc m -> Expr.And (acc, lit_expr m)) (lit_expr l) ls
+  in
+  match sop with
+  | [] -> Expr.Const false
+  | c :: cs ->
+    List.fold_left (fun acc d -> Expr.Or (acc, cube_expr d)) (cube_expr c) cs
+
+let flatten_and fs =
+  List.concat_map (function And gs -> gs | (Lit _ | Or _) as f -> [ f ]) fs
+
+let flatten_or fs =
+  List.concat_map (function Or gs -> gs | (Lit _ | And _) as f -> [ f ]) fs
+
+let mk_and fs =
+  match flatten_and fs with [ f ] -> f | fs -> And fs
+
+let mk_or fs =
+  match flatten_or (List.filter (fun f -> f <> Or []) fs) with
+  | [ f ] -> f
+  | fs -> Or fs
+
+let rec factor sop =
+  let sop = Algebraic.normalize sop in
+  match sop with
+  | [] -> Or []
+  | [ [] ] -> And []
+  | [ cube ] -> mk_and (List.map (fun l -> Lit l) cube)
+  | _ -> begin
+    let divisor =
+      match Algebraic.kernel_level0 sop with
+      | Some k when k <> sop -> Some k
+      | Some _ | None -> begin
+        match Algebraic.most_common_literal sop with
+        | Some l -> Some [ [ l ] ]
+        | None -> None
+      end
+    in
+    match divisor with
+    | None ->
+      (* no sharing at all: flat SOP *)
+      mk_or (List.map (fun cube -> mk_and (List.map (fun l -> Lit l) cube)) sop)
+    | Some d -> begin
+      let q, r = Algebraic.divide sop d in
+      if q = [] then
+        mk_or
+          (List.map (fun cube -> mk_and (List.map (fun l -> Lit l) cube)) sop)
+      else begin
+        let fq = factor q and fd = factor d in
+        let product = mk_and [ fq; fd ] in
+        if r = [] then product else mk_or [ product; factor r ]
+      end
+    end
+  end

@@ -1,0 +1,23 @@
+(** Factoring: rewriting a two-level SOP as a nested AND/OR form with fewer
+    literals - the headline transformation of Logic Synthesis II. *)
+
+type form =
+  | Lit of Algebraic.lit
+  | And of form list
+  | Or of form list
+
+val to_string : form -> string
+(** Conventional notation, e.g. ["a (b + c) + d'"]. *)
+
+val literal_count : form -> int
+
+val to_expr : form -> Vc_cube.Expr.t
+
+val factor : Algebraic.sop -> form
+(** Quick-factor: divide by a level-0 kernel (falling back to the most
+    common literal), recurse on quotient, divisor and remainder. Constants:
+    the empty SOP factors to [Or []] (false) and the SOP containing the
+    empty cube to [And []] (true). *)
+
+val sop_to_expr : Algebraic.sop -> Vc_cube.Expr.t
+(** The flat SOP as an expression (for verifying factorizations). *)

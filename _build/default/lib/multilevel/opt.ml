@@ -1,0 +1,198 @@
+module Network = Vc_network.Network
+module Cover = Vc_cube.Cover
+module Expr = Vc_cube.Expr
+module Espresso = Vc_two_level.Espresso
+
+let node_expr (node : Network.node) =
+  Cover.to_expr node.Network.fanins node.Network.func
+
+let is_output t s = List.mem s (Network.outputs t)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let classify (node : Network.node) =
+  let cubes = node.Network.func.Cover.cubes in
+  match cubes with
+  | [] -> `Const false
+  | _ when Cover.has_universe_cube node.Network.func -> `Const true
+  | [ c ] -> begin
+    match
+      List.filter_map
+        (fun i ->
+          match Vc_cube.Cube.get c i with
+          | Vc_cube.Cube.Pos -> Some (i, true)
+          | Vc_cube.Cube.Neg -> Some (i, false)
+          | Vc_cube.Cube.Both | Vc_cube.Cube.Empty -> None)
+        (List.init node.Network.func.Cover.num_vars (fun i -> i))
+    with
+    | [ (i, pos) ] -> `Wire (List.nth node.Network.fanins i, pos)
+    | _ -> `Logic
+  end
+  | _ -> `Logic
+
+(* Substitute a signal by a constant or a (possibly inverted) wire in one
+   node, going through the expression representation. *)
+let substitute_in t ~target ~replacement =
+  match Network.find_node t target with
+  | None -> ()
+  | Some node ->
+    let e = node_expr node in
+    let e' =
+      let rec subst = function
+        | Expr.Const b -> Expr.Const b
+        | Expr.Var v -> if v = fst replacement then snd replacement else Expr.Var v
+        | Expr.Not a -> Expr.Not (subst a)
+        | Expr.And (a, b) -> Expr.And (subst a, subst b)
+        | Expr.Or (a, b) -> Expr.Or (subst a, subst b)
+        | Expr.Xor (a, b) -> Expr.Xor (subst a, subst b)
+      in
+      Expr.simplify (subst e)
+    in
+    let support = Expr.vars e' in
+    (* the canonical cover from of_expr is minterm-expanded; minimize it so
+       literal-count comparisons reflect the real cost *)
+    let func =
+      Espresso.minimize
+        ~dc:(Cover.empty (List.length support))
+        (Cover.of_expr support e')
+    in
+    Network.add_node t ~name:target ~fanins:support ~func
+
+let sweep t =
+  let removed = ref 0 in
+  let rec pass () =
+    let progress = ref false in
+    (* dead logic: internal nodes with no fanouts that are not outputs *)
+    List.iter
+      (fun name ->
+        if
+          (not (is_output t name))
+          && Network.fanouts t name = []
+          && Network.find_node t name <> None
+        then begin
+          Network.remove_node t name;
+          incr removed;
+          progress := true
+        end)
+      (Network.node_names t);
+    (* constants and wires: inline into fanouts, then the node dies on the
+       next dead-logic pass (unless it is an output) *)
+    List.iter
+      (fun name ->
+        match Network.find_node t name with
+        | None -> ()
+        | Some node ->
+          if not (is_output t name) then begin
+            let replacement =
+              match classify node with
+              | `Const b -> Some (Expr.Const b)
+              | `Wire (sig_, pos) ->
+                Some (if pos then Expr.Var sig_ else Expr.Not (Expr.Var sig_))
+              | `Logic -> None
+            in
+            match replacement with
+            | None -> ()
+            | Some repl ->
+              let users = Network.fanouts t name in
+              if users <> [] then begin
+                List.iter
+                  (fun u -> substitute_in t ~target:u ~replacement:(name, repl))
+                  users;
+                progress := true
+              end
+          end)
+      (Network.node_names t);
+    if !progress then pass ()
+  in
+  pass ();
+  !removed
+
+(* ------------------------------------------------------------------ *)
+(* simplify                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let simplify t =
+  let saved = ref 0 in
+  List.iter
+    (fun name ->
+      match Network.find_node t name with
+      | None -> ()
+      | Some node ->
+        let n = node.Network.func.Cover.num_vars in
+        let before = (Espresso.cost node.Network.func).Espresso.literals in
+        let minimized = Espresso.minimize ~dc:(Cover.empty n) node.Network.func in
+        let after = (Espresso.cost minimized).Espresso.literals in
+        if after < before then begin
+          saved := !saved + before - after;
+          Network.add_node t ~name ~fanins:node.Network.fanins ~func:minimized
+        end)
+    (Network.node_names t);
+  !saved
+
+(* ------------------------------------------------------------------ *)
+(* eliminate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let max_collapse_support = 14
+
+let collapse_node t name =
+  match Network.find_node t name with
+  | None -> false
+  | Some node ->
+    if is_output t name then false
+    else begin
+      let users = Network.fanouts t name in
+      let repl = node_expr node in
+      let feasible =
+        List.for_all
+          (fun u ->
+            match Network.find_node t u with
+            | None -> false
+            | Some un ->
+              let support =
+                List.sort_uniq compare
+                  (List.filter (fun s -> s <> name) un.Network.fanins
+                  @ node.Network.fanins)
+              in
+              List.length support <= max_collapse_support)
+          users
+      in
+      if not feasible then false
+      else begin
+        List.iter
+          (fun u -> substitute_in t ~target:u ~replacement:(name, repl))
+          users;
+        Network.remove_node t name;
+        true
+      end
+    end
+
+let eliminate ~threshold t =
+  let eliminated = ref 0 in
+  let rec pass () =
+    let progress = ref false in
+    List.iter
+      (fun name ->
+        match Network.find_node t name with
+        | None -> ()
+        | Some _ when is_output t name -> ()
+        | Some _ ->
+          (* measure the literal delta of collapsing on a copy *)
+          let trial = Network.copy t in
+          let before = Network.literal_count trial in
+          if collapse_node trial name then begin
+            let after = Network.literal_count trial in
+            if after - before <= threshold then begin
+              if collapse_node t name then begin
+                incr eliminated;
+                progress := true
+              end
+            end
+          end)
+      (Network.node_names t);
+    if !progress then pass ()
+  in
+  pass ();
+  !eliminated

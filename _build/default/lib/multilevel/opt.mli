@@ -1,0 +1,23 @@
+(** Network cleanup and restructuring operators in the SIS style:
+    sweep (constants, buffers, dead logic), per-node two-level
+    simplification, and eliminate (collapse low-value nodes). *)
+
+val sweep : Vc_network.Network.t -> int
+(** Remove dead internal nodes, propagate constant nodes, inline buffer and
+    inverter nodes. Returns how many nodes were removed. Iterates to a fixed
+    point. *)
+
+val simplify : Vc_network.Network.t -> int
+(** Run Espresso on every node function (no don't-cares; local-DC-aware
+    simplification is listed as future work). Returns literals saved. *)
+
+val eliminate : threshold:int -> Vc_network.Network.t -> int
+(** Collapse every internal non-output node whose elimination changes the
+    network literal count by at most [threshold] (SIS's value-based
+    eliminate; [threshold >= 0] also removes value-0 nodes). Returns nodes
+    eliminated. Nodes whose collapsed support would exceed 14 variables are
+    kept. *)
+
+val collapse_node : Vc_network.Network.t -> string -> bool
+(** Force-collapse one node into all its fanouts (false if impossible:
+    node is an output, missing, or support too large). *)

@@ -1,0 +1,56 @@
+module Network = Vc_network.Network
+type report = { log : string list; network : Network.t }
+
+let script_rugged =
+  String.concat "\n"
+    [
+      "sweep"; "simplify"; "fx"; "resub"; "sweep"; "eliminate 0"; "simplify";
+      "sweep"; "print_stats";
+    ]
+
+let stats_line t =
+  Printf.sprintf "nodes=%d literals=%d depth=%d" (Network.node_count t)
+    (Network.literal_count t) (Network.depth t)
+
+let run network text =
+  let t = Network.copy network in
+  let log = ref [] in
+  let say fmt = Printf.ksprintf (fun s -> log := s :: !log) fmt in
+  let exec line =
+    match Vc_util.Tok.split_words line with
+    | [] -> ()
+    | [ "sweep" ] -> say "sweep: removed %d node(s)" (Opt.sweep t)
+    | [ "simplify" ] -> say "simplify: saved %d literal(s)" (Opt.simplify t)
+    | [ "full_simplify" ] ->
+      say "full_simplify: saved %d literal(s) using satisfiability don't-cares"
+        (Dc.simplify t)
+    | [ "fx" ] ->
+      let k = Extract.extract_kernels t in
+      let c = Extract.extract_cubes t in
+      say "fx: extracted %d kernel(s), %d cube(s)" k c
+    | [ "gkx" ] -> say "gkx: extracted %d kernel(s)" (Extract.extract_kernels t)
+    | [ "gcx" ] -> say "gcx: extracted %d cube(s)" (Extract.extract_cubes t)
+    | [ "resub" ] -> say "resub: %d substitution(s)" (Extract.resubstitute t)
+    | [ "eliminate"; k ] ->
+      let threshold = Vc_util.Tok.parse_int ~context:"eliminate" k in
+      say "eliminate %d: collapsed %d node(s)" threshold
+        (Opt.eliminate ~threshold t)
+    | [ "collapse"; node ] ->
+      if Opt.collapse_node t node then say "collapsed %s" node
+      else say "error: cannot collapse %s" node
+    | [ "print_stats" ] -> say "%s" (stats_line t)
+    | [ "print_factor"; node ] -> begin
+      match Network.find_node t node with
+      | None -> say "error: unknown node %s" node
+      | Some n ->
+        let form = Factor.factor (Algebraic.of_node n) in
+        say "%s = %s  [%d literal(s)]" node (Factor.to_string form)
+          (Factor.literal_count form)
+    end
+    | cmd :: _ -> say "error: unknown command %s" cmd
+  in
+  let lines =
+    Vc_util.Tok.logical_lines ~comment:'#' ~continuation:false text
+  in
+  List.iter exec lines;
+  { log = List.rev !log; network = t }

@@ -1,0 +1,28 @@
+(** A SIS-like scripting surface over the multi-level operators: the
+    command language of the course's multi-level portal tool.
+
+    Commands (one per line, [#] comments):
+    {v
+    read_blif <inline not supported: scripts run against a loaded network>
+    sweep                remove dead logic, constants, wires
+    simplify             Espresso each node
+    full_simplify        Espresso each node against its SDC don't-cares
+    fx                   extract kernels then cubes (fast_extract analogue)
+    gkx                  kernel extraction only
+    gcx                  cube extraction only
+    resub                algebraic resubstitution
+    eliminate <k>        collapse nodes with value <= k
+    collapse <node>      force-collapse one node
+    print_stats          nodes / literals / depth
+    print_factor <node>  factored form of a node
+    v} *)
+
+type report = { log : string list; network : Vc_network.Network.t }
+
+val run : Vc_network.Network.t -> string -> report
+(** Execute a script against a copy of the network. Unknown commands are
+    reported inline and skipped (portal behaviour). *)
+
+val script_rugged : string
+(** The course's canned optimization script (a rugged-script analogue):
+    sweep; simplify; fx; resub; sweep; eliminate 0; simplify. *)

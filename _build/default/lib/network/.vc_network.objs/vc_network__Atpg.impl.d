@@ -1,0 +1,1 @@
+lib/network/atpg.ml: Equiv Hashtbl List Network Option Printf Vc_cube

@@ -1,0 +1,1 @@
+lib/network/atpg.mli: Equiv Network

@@ -1,0 +1,1 @@
+lib/network/blif.ml: Buffer List Network String Vc_cube Vc_util

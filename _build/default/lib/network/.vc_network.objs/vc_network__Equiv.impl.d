@@ -1,0 +1,1 @@
+lib/network/equiv.ml: Array Hashtbl List Network Option Vc_bdd Vc_cube Vc_sat

@@ -1,0 +1,1 @@
+lib/network/equiv.mli: Network Vc_bdd

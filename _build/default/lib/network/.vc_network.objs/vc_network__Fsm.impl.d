@@ -1,0 +1,1 @@
+lib/network/fsm.ml: Buffer Hashtbl List Network Printf Queue String Vc_cube Vc_util

@@ -1,0 +1,1 @@
+lib/network/fsm.mli: Network

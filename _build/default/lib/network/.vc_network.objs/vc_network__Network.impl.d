@@ -1,0 +1,1 @@
+lib/network/network.ml: Array Hashtbl List Option String Vc_cube Vc_two_level

@@ -1,0 +1,106 @@
+module Cover = Vc_cube.Cover
+
+type fault = {
+  signal : string;
+  stuck_at : bool;
+}
+
+let fault_to_string f =
+  Printf.sprintf "%s/%d" f.signal (if f.stuck_at then 1 else 0)
+
+let all_faults t =
+  let signals = Network.inputs t @ List.sort compare (Network.node_names t) in
+  List.concat_map
+    (fun s -> [ { signal = s; stuck_at = false }; { signal = s; stuck_at = true } ])
+    signals
+
+let constant_cover v = if v then Cover.top 0 else Cover.empty 0
+
+let inject t fault =
+  let faulty = Network.copy t in
+  if List.mem fault.signal (Network.inputs t) then begin
+    (* inputs cannot be redefined: alias the stuck value through a fresh
+       internal signal and rewire every user *)
+    let alias = fault.signal ^ "__fault" in
+    Network.add_node faulty ~name:alias ~fanins:[]
+      ~func:(constant_cover fault.stuck_at);
+    List.iter
+      (fun user ->
+        match Network.find_node faulty user with
+        | None -> ()
+        | Some node ->
+          let fanins =
+            List.map
+              (fun f -> if f = fault.signal then alias else f)
+              node.Network.fanins
+          in
+          Network.add_node faulty ~name:user ~fanins ~func:node.Network.func)
+      (Network.fanouts faulty fault.signal);
+    faulty
+  end
+  else begin
+    (match Network.find_node faulty fault.signal with
+    | Some _ -> ()
+    | None -> invalid_arg ("Atpg.inject: unknown signal " ^ fault.signal));
+    Network.add_node faulty ~name:fault.signal ~fanins:[]
+      ~func:(constant_cover fault.stuck_at);
+    faulty
+  end
+
+let test_for ?engine t fault =
+  let faulty = inject t fault in
+  match Equiv.check ?engine t faulty with
+  | Equiv.Equivalent -> None
+  | Equiv.Different (assignment, _) -> Some assignment
+
+type report = {
+  total : int;
+  detected : int;
+  redundant : int;
+  vectors : (fault * (string * bool) list) list;
+}
+
+let generate_all ?engine t =
+  let faults = all_faults t in
+  let vectors = ref [] and redundant = ref 0 in
+  List.iter
+    (fun f ->
+      match test_for ?engine t f with
+      | Some v -> vectors := (f, v) :: !vectors
+      | None -> incr redundant)
+    faults;
+  {
+    total = List.length faults;
+    detected = List.length !vectors;
+    redundant = !redundant;
+    vectors = List.rev !vectors;
+  }
+
+let coverage r =
+  if r.total = 0 then 1.0 else float_of_int r.detected /. float_of_int r.total
+
+let detects t fault vector =
+  let env v = Option.value ~default:false (List.assoc_opt v vector) in
+  let good = Network.simulate t env in
+  let bad = Network.simulate (inject t fault) env in
+  good <> bad
+
+let compact t r =
+  let detected_faults = List.map fst r.vectors in
+  let covered = Hashtbl.create 64 in
+  let kept = ref [] in
+  List.iter
+    (fun (_, vector) ->
+      let newly =
+        List.filter
+          (fun f ->
+            (not (Hashtbl.mem covered (fault_to_string f)))
+            && detects t f vector)
+          detected_faults
+      in
+      if newly <> [] then begin
+        List.iter (fun f -> Hashtbl.replace covered (fault_to_string f) ()) newly;
+        kept := vector :: !kept
+      end)
+    r.vectors;
+  List.rev !kept

@@ -1,0 +1,116 @@
+module Cover = Vc_cube.Cover
+module Cube = Vc_cube.Cube
+module Urp = Vc_cube.Urp
+
+type pending = {
+  p_name : string;
+  p_fanins : string list;
+  mutable p_rows : (string * char) list; (* input plane, output char *)
+}
+
+let parse text =
+  let lines = Vc_util.Tok.logical_lines ~comment:'#' text in
+  let model = ref "blif" in
+  let inputs = ref [] and outputs = ref [] in
+  let pendings = ref [] in
+  let current = ref None in
+  let flush_current () =
+    match !current with
+    | None -> ()
+    | Some p ->
+      pendings := p :: !pendings;
+      current := None
+  in
+  let handle line =
+    match Vc_util.Tok.split_words line with
+    | [] -> ()
+    | ".model" :: m :: _ ->
+      flush_current ();
+      model := m
+    | ".inputs" :: names ->
+      flush_current ();
+      inputs := !inputs @ names
+    | ".outputs" :: names ->
+      flush_current ();
+      outputs := !outputs @ names
+    | ".names" :: signals -> begin
+      flush_current ();
+      match List.rev signals with
+      | [] -> failwith "blif: .names without signals"
+      | out :: rev_fanins ->
+        current :=
+          Some { p_name = out; p_fanins = List.rev rev_fanins; p_rows = [] }
+    end
+    | [ ".end" ] -> flush_current ()
+    | ".latch" :: _ ->
+      failwith "blif: sequential elements (.latch) are not supported"
+    | tok :: _ when String.length tok > 0 && tok.[0] = '.' ->
+      flush_current () (* ignore other directives *)
+    | [ plane; out ] -> begin
+      match !current with
+      | Some p when String.length out = 1 ->
+        p.p_rows <- (plane, out.[0]) :: p.p_rows
+      | Some _ -> failwith ("blif: malformed row: " ^ line)
+      | None -> failwith ("blif: row outside .names: " ^ line)
+    end
+    | [ single ] -> begin
+      (* constant node: a bare 0/1 row with no inputs *)
+      match !current with
+      | Some p when p.p_fanins = [] && (single = "0" || single = "1") ->
+        p.p_rows <- ("", single.[0]) :: p.p_rows
+      | Some _ | None -> failwith ("blif: malformed line: " ^ line)
+    end
+    | _ -> failwith ("blif: malformed line: " ^ line)
+  in
+  List.iter handle lines;
+  flush_current ();
+  let t = Network.create ~name:!model ~inputs:!inputs ~outputs:!outputs () in
+  let build p =
+    let n = List.length p.p_fanins in
+    let rows = List.rev p.p_rows in
+    let on_rows = List.filter (fun (_, c) -> c = '1') rows in
+    let off_rows = List.filter (fun (_, c) -> c = '0') rows in
+    let func =
+      match (on_rows, off_rows) with
+      | [], [] -> Cover.empty n (* constant 0 *)
+      | _, [] ->
+        if n = 0 then Cover.top 0
+        else Cover.make n (List.map (fun (plane, _) -> Cube.of_string plane) on_rows)
+      | [], _ ->
+        (* OFF-set style: function is complement of the given rows *)
+        if n = 0 then Cover.empty 0
+        else
+          Urp.complement
+            (Cover.make n
+               (List.map (fun (plane, _) -> Cube.of_string plane) off_rows))
+      | _ :: _, _ :: _ -> failwith ("blif: node " ^ p.p_name ^ " mixes 1 and 0 rows")
+    in
+    Network.add_node t ~name:p.p_name ~fanins:p.p_fanins ~func
+  in
+  List.iter build (List.rev !pendings);
+  t
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (".model " ^ Network.name t ^ "\n");
+  Buffer.add_string buf (".inputs " ^ String.concat " " (Network.inputs t) ^ "\n");
+  Buffer.add_string buf (".outputs " ^ String.concat " " (Network.outputs t) ^ "\n");
+  let emit name =
+    match Network.find_node t name with
+    | None -> ()
+    | Some node ->
+      Buffer.add_string buf
+        (".names " ^ String.concat " " (node.Network.fanins @ [ name ]) ^ "\n");
+      let cubes = node.Network.func.Cover.cubes in
+      if node.Network.fanins = [] then begin
+        if cubes <> [] then Buffer.add_string buf "1\n"
+        (* constant 0: no rows *)
+      end
+      else
+        List.iter
+          (fun c -> Buffer.add_string buf (Cube.to_string c ^ " 1\n"))
+          cubes
+  in
+  List.iter emit (Network.topological_order t);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf

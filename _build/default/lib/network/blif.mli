@@ -1,0 +1,13 @@
+(** BLIF (Berkeley Logic Interchange Format) reading and writing, the file
+    format SIS uses and the course distributed benchmark logic in.
+
+    Supported: [.model], [.inputs], [.outputs], [.names] (both ON-set
+    ['... 1'] and OFF-set ['... 0'] row styles, and constant nodes), [.end],
+    [#] comments, backslash continuation. Latches are rejected with a clear
+    message - the course flow is purely combinational. *)
+
+val parse : string -> Network.t
+(** @raise Failure on malformed or sequential input. *)
+
+val to_string : Network.t -> string
+(** Canonical BLIF text; nodes in topological order. *)

@@ -1,0 +1,109 @@
+module Bdd = Vc_bdd.Bdd
+module Cover = Vc_cube.Cover
+module Cube = Vc_cube.Cube
+
+type engine = Bdd_engine | Sat_engine
+
+type verdict =
+  | Equivalent
+  | Different of (string * bool) list * string
+
+let output_bdds m t =
+  let values = Hashtbl.create 64 in
+  let value_of s =
+    if List.mem s (Network.inputs t) then Bdd.var m s
+    else Hashtbl.find values s
+  in
+  let build name =
+    match Network.find_node t name with
+    | None -> failwith ("Equiv: undefined signal " ^ name)
+    | Some node ->
+      let fanin_bdds = List.map value_of node.Network.fanins in
+      let fanins = Array.of_list fanin_bdds in
+      let cube_bdd c =
+        let acc = ref Bdd.one in
+        Array.iteri
+          (fun i f ->
+            match Cube.get c i with
+            | Cube.Pos -> acc := Bdd.mk_and m !acc f
+            | Cube.Neg -> acc := Bdd.mk_and m !acc (Bdd.mk_not m f)
+            | Cube.Both -> ()
+            | Cube.Empty -> acc := Bdd.zero)
+          fanins;
+        !acc
+      in
+      let f =
+        List.fold_left
+          (fun acc c -> Bdd.mk_or m acc (cube_bdd c))
+          Bdd.zero node.Network.func.Cover.cubes
+      in
+      Hashtbl.replace values name f
+  in
+  List.iter build (Network.topological_order t);
+  List.map (fun o -> (o, value_of o)) (Network.outputs t)
+
+let same_interface a b =
+  List.sort compare (Network.inputs a) = List.sort compare (Network.inputs b)
+  && List.sort compare (Network.outputs a)
+     = List.sort compare (Network.outputs b)
+
+let check_bdd a b =
+  let m = Bdd.create () in
+  (* declare inputs first so both networks share variables *)
+  List.iter (fun i -> ignore (Bdd.var m i)) (Network.inputs a);
+  let fa = output_bdds m a and fb = output_bdds m b in
+  let rec compare_all = function
+    | [] -> Equivalent
+    | (name, f) :: rest -> begin
+      let g = List.assoc name fb in
+      if f = g then compare_all rest
+      else begin
+        let diff = Bdd.mk_xor m f g in
+        match Bdd.any_sat m diff with
+        | None -> assert false
+        | Some partial ->
+          let assignment =
+            List.map
+              (fun input ->
+                let idx =
+                  match Bdd.var_index m input with
+                  | Some i -> i
+                  | None -> assert false
+                in
+                (input, List.assoc_opt idx partial = Some true))
+              (Network.inputs a)
+          in
+          Different (assignment, name)
+      end
+    end
+  in
+  compare_all fa
+
+let check_sat a b =
+  (* collapse each output cone to an expression; miter via Tseitin *)
+  let rec compare_all = function
+    | [] -> Equivalent
+    | name :: rest -> begin
+      let ea = Network.output_expr a name in
+      let eb = Network.output_expr b name in
+      match Vc_sat.Tseitin.counterexample ea eb with
+      | None -> compare_all rest
+      | Some cex ->
+        let assignment =
+          List.map
+            (fun input ->
+              (input, Option.value ~default:false (List.assoc_opt input cex)))
+            (Network.inputs a)
+        in
+        Different (assignment, name)
+    end
+  in
+  compare_all (Network.outputs a)
+
+let check ?(engine = Bdd_engine) a b =
+  if not (same_interface a b) then
+    invalid_arg "Equiv.check: networks have different interfaces";
+  match engine with Bdd_engine -> check_bdd a b | Sat_engine -> check_sat a b
+
+let equivalent ?engine a b =
+  match check ?engine a b with Equivalent -> true | Different _ -> false

@@ -1,0 +1,21 @@
+(** Combinational equivalence checking of networks - the verification step
+    of the course flow, with both engines taught in week 2. *)
+
+type engine = Bdd_engine | Sat_engine
+
+type verdict =
+  | Equivalent
+  | Different of (string * bool) list * string
+      (** Distinguishing input assignment and the first differing output. *)
+
+val check : ?engine:engine -> Network.t -> Network.t -> verdict
+(** Networks must share input and output names (order-insensitive).
+    Default engine: BDDs.
+    @raise Invalid_argument if the interfaces differ. *)
+
+val equivalent : ?engine:engine -> Network.t -> Network.t -> bool
+
+val output_bdds : Vc_bdd.Bdd.man -> Network.t -> (string * Vc_bdd.Bdd.t) list
+(** Build one BDD per output by sweeping the network in topological order
+    (shared manager; inputs by name). Exposed for reuse by graders and
+    benches. *)

@@ -1,0 +1,269 @@
+module Expr = Vc_cube.Expr
+
+type table = {
+  t_name : string;
+  t_reset : string;
+  rows : ((string * string) * (string * bool list)) list;
+}
+
+let states t =
+  List.fold_left
+    (fun acc ((s, _), (n, _)) ->
+      let acc = if List.mem s acc then acc else acc @ [ s ] in
+      if List.mem n acc then acc else acc @ [ n ])
+    [] t.rows
+
+let input_symbols t =
+  List.fold_left
+    (fun acc ((_, i), _) -> if List.mem i acc then acc else acc @ [ i ])
+    [] t.rows
+
+let of_rows ?(name = "fsm") ~reset rows =
+  let t = { t_name = name; t_reset = reset; rows } in
+  let ss = states t and symbols = input_symbols t in
+  if not (List.mem reset ss) then
+    invalid_arg "Fsm.of_rows: reset state has no transitions";
+  (* duplicate keys *)
+  let keys = List.map fst rows in
+  if List.length (List.sort_uniq compare keys) <> List.length keys then
+    invalid_arg "Fsm.of_rows: duplicate (state, input) row";
+  (* completeness *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun i ->
+          if not (List.mem_assoc (s, i) rows) then
+            invalid_arg
+              (Printf.sprintf "Fsm.of_rows: missing row for (%s, %s)" s i))
+        symbols)
+    ss;
+  (* consistent output widths *)
+  (match rows with
+  | [] -> invalid_arg "Fsm.of_rows: empty table"
+  | (_, (_, out0)) :: _ ->
+    let w = List.length out0 in
+    List.iter
+      (fun (_, (_, out)) ->
+        if List.length out <> w then
+          invalid_arg "Fsm.of_rows: inconsistent output widths")
+      rows);
+  t
+
+let parse text =
+  let reset = ref None and rows = ref [] in
+  let handle line =
+    match Vc_util.Tok.split_words line with
+    | [] -> ()
+    | [ ".start"; s ] -> reset := Some s
+    | [ ".end" ] -> ()
+    | [ s; i; n; outs ] ->
+      let bits =
+        List.init (String.length outs) (fun k ->
+            match outs.[k] with
+            | '0' -> false
+            | '1' -> true
+            | c -> failwith (Printf.sprintf "fsm: bad output bit %C" c))
+      in
+      rows := ((s, i), (n, bits)) :: !rows
+    | toks -> failwith ("fsm: malformed line: " ^ String.concat " " toks)
+  in
+  List.iter handle (Vc_util.Tok.logical_lines ~comment:'#' text);
+  match !reset with
+  | None -> failwith "fsm: missing .start"
+  | Some reset -> of_rows ~reset (List.rev !rows)
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (".start " ^ t.t_reset ^ "\n");
+  List.iter
+    (fun ((s, i), (n, outs)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %s %s\n" s i n
+           (String.concat "" (List.map (fun b -> if b then "1" else "0") outs))))
+    t.rows;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* minimization                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let minimize t =
+  let symbols = input_symbols t in
+  let ss = states t in
+  let next s i = List.assoc (s, i) t.rows in
+  (* block id per state; start from the output signature *)
+  let block = Hashtbl.create 16 in
+  let signature s = List.map (fun i -> snd (next s i)) symbols in
+  let distinct_signatures =
+    List.sort_uniq compare (List.map signature ss)
+  in
+  List.iter
+    (fun s ->
+      let rec index k = function
+        | [] -> assert false
+        | sg :: rest -> if sg = signature s then k else index (k + 1) rest
+      in
+      Hashtbl.replace block s (index 0 distinct_signatures))
+    ss;
+  (* refine: split blocks by successor-block signature *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let refined_sig s =
+      (Hashtbl.find block s,
+       List.map (fun i -> Hashtbl.find block (fst (next s i))) symbols)
+    in
+    let sigs = List.sort_uniq compare (List.map refined_sig ss) in
+    List.iter
+      (fun s ->
+        let rec index k = function
+          | [] -> assert false
+          | sg :: rest -> if sg = refined_sig s then k else index (k + 1) rest
+        in
+        let nb = index 0 sigs in
+        if Hashtbl.find block s <> nb then changed := true;
+        Hashtbl.replace block s nb)
+      ss;
+    (* a second write pass would corrupt refined_sig mid-flight; the loop
+       recomputes from scratch each round, so a single pass per round is
+       sound as long as we re-enter whenever anything moved *)
+    ()
+  done;
+  (* representative per block = first state in original order *)
+  let rep_of_block = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let b = Hashtbl.find block s in
+      if not (Hashtbl.mem rep_of_block b) then Hashtbl.add rep_of_block b s)
+    ss;
+  let rep s = Hashtbl.find rep_of_block (Hashtbl.find block s) in
+  let rows =
+    List.filter_map
+      (fun ((s, i), (n, outs)) ->
+        if rep s = s then Some ((s, i), (rep n, outs)) else None)
+      t.rows
+  in
+  let reduced =
+    { t_name = t.t_name ^ "_min"; t_reset = rep t.t_reset; rows }
+  in
+  (reduced, List.map (fun s -> (s, rep s)) ss)
+
+(* ------------------------------------------------------------------ *)
+(* semantics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate t sequence =
+  let state = ref t.t_reset in
+  List.map
+    (fun i ->
+      match List.assoc_opt (!state, i) t.rows with
+      | None -> failwith ("Fsm.simulate: no transition for input " ^ i)
+      | Some (n, outs) ->
+        state := n;
+        outs)
+    sequence
+
+let equivalent a b =
+  let sa = List.sort compare (input_symbols a) in
+  let sb = List.sort compare (input_symbols b) in
+  sa = sb
+  &&
+  (* product reachability from the reset pair *)
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.add (a.t_reset, b.t_reset) queue;
+  Hashtbl.replace seen (a.t_reset, b.t_reset) ();
+  let ok = ref true in
+  while !ok && not (Queue.is_empty queue) do
+    let pa, pb = Queue.pop queue in
+    List.iter
+      (fun i ->
+        if !ok then begin
+          let na, oa = List.assoc (pa, i) a.rows in
+          let nb, ob = List.assoc (pb, i) b.rows in
+          if oa <> ob then ok := false
+          else if not (Hashtbl.mem seen (na, nb)) then begin
+            Hashtbl.replace seen (na, nb) ();
+            Queue.add (na, nb) queue
+          end
+        end)
+      sa
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* encoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* ceil(log2 n), with 1 bit minimum *)
+let rec bits_needed n = if n <= 2 then 1 else 1 + bits_needed ((n + 1) / 2)
+
+let encode ?(style = `Binary) t =
+  let ss = states t in
+  let symbols = input_symbols t in
+  let nstates = List.length ss in
+  let nbits =
+    match style with `Binary -> bits_needed nstates | `One_hot -> nstates
+  in
+  let index_of s =
+    let rec go k = function
+      | [] -> assert false
+      | x :: rest -> if x = s then k else go (k + 1) rest
+    in
+    go 0 ss
+  in
+  let code s =
+    let i = index_of s in
+    match style with
+    | `Binary -> List.init nbits (fun b -> i land (1 lsl b) <> 0)
+    | `One_hot -> List.init nbits (fun b -> b = i)
+  in
+  let state_bit b = Printf.sprintf "st%d" b in
+  let in_name i = "in_" ^ i in
+  if nbits + List.length symbols > 16 then
+    invalid_arg "Fsm.encode: too many state bits + symbols (limit 16)";
+  (* expression: current state equals s AND input symbol is i *)
+  let condition s i =
+    let state_eq =
+      List.mapi
+        (fun b v ->
+          if v then Expr.Var (state_bit b) else Expr.Not (Var (state_bit b)))
+        (code s)
+    in
+    let conj =
+      List.fold_left
+        (fun acc e -> Expr.And (acc, e))
+        (Expr.Var (in_name i)) state_eq
+    in
+    conj
+  in
+  let nouts =
+    match t.rows with (_, (_, outs)) :: _ -> List.length outs | [] -> 0
+  in
+  let or_all = function
+    | [] -> Expr.Const false
+    | e :: rest -> List.fold_left (fun a b -> Expr.Or (a, b)) e rest
+  in
+  let next_bit b =
+    or_all
+      (List.filter_map
+         (fun ((s, i), (n, _)) ->
+           if List.nth (code n) b then Some (condition s i) else None)
+         t.rows)
+  in
+  let out_bit b =
+    or_all
+      (List.filter_map
+         (fun ((s, i), (_, outs)) ->
+           if List.nth outs b then Some (condition s i) else None)
+         t.rows)
+  in
+  let bindings =
+    List.init nbits (fun b -> (Printf.sprintf "nst%d" b, next_bit b))
+    @ List.init nouts (fun b -> (Printf.sprintf "out%d" b, out_bit b))
+  in
+  let inputs =
+    List.map in_name symbols @ List.init nbits state_bit
+  in
+  Network.of_exprs ~name:(t.t_name ^ "_logic") ~inputs bindings

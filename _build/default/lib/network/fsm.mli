@@ -1,0 +1,61 @@
+(** Finite-state machines: the "Sequential Logic" area of the traditional
+    course that the 8-week MOOC had to omit (and Fig. 11 respondents asked
+    for). Completely-specified Mealy machines over symbolic inputs, with
+    classical state minimization (partition refinement) and binary /
+    one-hot encoding into a combinational next-state/output network that
+    the rest of the toolkit can synthesize, map and place.
+
+    Sequential elements themselves stay out of scope: encoding emits the
+    combinational cloud; the state register is the user's. *)
+
+type table = {
+  t_name : string;
+  t_reset : string;
+  rows : ((string * string) * (string * bool list)) list;
+      (** ((state, input symbol), (next state, output bits)). *)
+}
+
+val of_rows :
+  ?name:string ->
+  reset:string ->
+  ((string * string) * (string * bool list)) list ->
+  table
+(** @raise Invalid_argument on duplicate (state, input) rows, unknown next
+    states or reset, inconsistent output widths, or an incomplete table
+    (every state must define every input symbol). *)
+
+val parse : string -> table
+(** KISS2-flavoured text:
+    {v
+    .start s0
+    s0 a s1 0
+    s0 b s0 1
+    s1 a s0 1
+    s1 b s1 0
+    .end
+    v}
+    Row = current-state, input symbol, next-state, output bits. *)
+
+val to_string : table -> string
+
+val states : table -> string list
+
+val input_symbols : table -> string list
+
+val minimize : table -> table * (string * string) list
+(** Classical partition refinement: returns the reduced machine (state
+    names are representative originals) and the original-to-representative
+    map. *)
+
+val simulate : table -> string list -> bool list list
+(** Output trace of an input-symbol sequence from reset.
+    @raise Failure on unknown symbols. *)
+
+val equivalent : table -> table -> bool
+(** Same alphabet and same outputs on all input sequences (exact, via
+    product-machine reachability). *)
+
+val encode : ?style:[ `Binary | `One_hot ] -> table -> Network.t
+(** The next-state and output logic as a combinational network.
+    Inputs: [in_<symbol>] (one-hot) and [st<i>] (current-state bits);
+    outputs: [nst<i>] and [out<i>]. Default style [`Binary]. *)

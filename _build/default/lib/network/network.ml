@@ -1,0 +1,186 @@
+module Cover = Vc_cube.Cover
+module Cube = Vc_cube.Cube
+module Expr = Vc_cube.Expr
+
+type node = {
+  name : string;
+  fanins : string list;
+  func : Cover.t;
+}
+
+type t = {
+  net_name : string;
+  net_inputs : string list;
+  net_outputs : string list;
+  nodes : (string, node) Hashtbl.t;
+}
+
+let create ?(name = "network") ~inputs ~outputs () =
+  {
+    net_name = name;
+    net_inputs = inputs;
+    net_outputs = outputs;
+    nodes = Hashtbl.create 64;
+  }
+
+let name t = t.net_name
+let inputs t = t.net_inputs
+let outputs t = t.net_outputs
+
+let add_node t ~name ~fanins ~func =
+  if List.mem name t.net_inputs then
+    invalid_arg ("Network.add_node: " ^ name ^ " is a primary input");
+  if func.Cover.num_vars <> List.length fanins then
+    invalid_arg "Network.add_node: function width differs from fanin count";
+  Hashtbl.replace t.nodes name { name; fanins; func }
+
+let remove_node t name = Hashtbl.remove t.nodes name
+
+let find_node t name = Hashtbl.find_opt t.nodes name
+
+let node_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.nodes []
+
+let node_count t = Hashtbl.length t.nodes
+
+let literal_count t =
+  Hashtbl.fold
+    (fun _ node acc ->
+      acc
+      + List.fold_left
+          (fun a c -> a + Cube.literal_count c)
+          0 node.func.Cover.cubes)
+    t.nodes 0
+
+let is_input t s = List.mem s t.net_inputs
+
+let topological_order t =
+  let visited = Hashtbl.create 64 in
+  (* 0 = in progress, 1 = done *)
+  let order = ref [] in
+  let rec visit signal =
+    if is_input t signal then ()
+    else
+      match Hashtbl.find_opt visited signal with
+      | Some 1 -> ()
+      | Some _ -> failwith ("Network: combinational cycle through " ^ signal)
+      | None -> begin
+        match Hashtbl.find_opt t.nodes signal with
+        | None -> failwith ("Network: undefined signal " ^ signal)
+        | Some node ->
+          Hashtbl.add visited signal 0;
+          List.iter visit node.fanins;
+          Hashtbl.replace visited signal 1;
+          order := signal :: !order
+      end
+  in
+  List.iter visit t.net_outputs;
+  (* also include nodes not in any output cone, for completeness *)
+  List.iter visit (node_names t);
+  List.rev !order
+
+let fanouts t signal =
+  Hashtbl.fold
+    (fun name node acc -> if List.mem signal node.fanins then name :: acc else acc)
+    t.nodes []
+
+let depth t =
+  let order = topological_order t in
+  let level = Hashtbl.create 64 in
+  let level_of s =
+    if is_input t s then 0 else Option.value ~default:0 (Hashtbl.find_opt level s)
+  in
+  List.iter
+    (fun name ->
+      let node = Hashtbl.find t.nodes name in
+      let d = List.fold_left (fun acc f -> max acc (level_of f)) 0 node.fanins in
+      Hashtbl.replace level name (d + 1))
+    order;
+  List.fold_left (fun acc o -> max acc (level_of o)) 0 t.net_outputs
+
+let simulate t env =
+  let values = Hashtbl.create 64 in
+  let value_of s =
+    if is_input t s then env s
+    else
+      match Hashtbl.find_opt values s with
+      | Some v -> v
+      | None -> failwith ("Network.simulate: signal not evaluated: " ^ s)
+  in
+  let order = topological_order t in
+  List.iter
+    (fun name ->
+      let node = Hashtbl.find t.nodes name in
+      let point = Array.of_list (List.map value_of node.fanins) in
+      Hashtbl.replace values name (Cover.eval node.func point))
+    order;
+  List.map (fun o -> (o, value_of o)) t.net_outputs
+
+let output_expr t output =
+  let memo = Hashtbl.create 64 in
+  let rec expr_of s =
+    if is_input t s then Expr.Var s
+    else
+      match Hashtbl.find_opt memo s with
+      | Some e -> e
+      | None -> begin
+        match Hashtbl.find_opt t.nodes s with
+        | None -> failwith ("Network: undefined signal " ^ s)
+        | Some node ->
+          let fanin_exprs = List.map expr_of node.fanins in
+          let sop = Cover.to_expr node.fanins node.func in
+          (* substitute fanin expressions for the fanin variable names *)
+          let rec subst = function
+            | Expr.Const b -> Expr.Const b
+            | Expr.Var v ->
+              let rec pick names exprs =
+                match (names, exprs) with
+                | n :: _, e :: _ when n = v -> e
+                | _ :: ns, _ :: es -> pick ns es
+                | _ -> Expr.Var v
+              in
+              pick node.fanins fanin_exprs
+            | Expr.Not a -> Expr.Not (subst a)
+            | Expr.And (a, b) -> Expr.And (subst a, subst b)
+            | Expr.Or (a, b) -> Expr.Or (subst a, subst b)
+            | Expr.Xor (a, b) -> Expr.Xor (subst a, subst b)
+          in
+          let e = Expr.simplify (subst sop) in
+          Hashtbl.add memo s e;
+          e
+      end
+  in
+  expr_of output
+
+let copy t = { t with nodes = Hashtbl.copy t.nodes }
+
+let of_exprs ?name ~inputs bindings =
+  let t =
+    create ?name ~inputs ~outputs:(List.map fst bindings) ()
+  in
+  List.iter
+    (fun (out, e) ->
+      let support = Expr.vars e in
+      let canonical = Cover.of_expr support e in
+      (* the canonical minterm cover is huge; minimize it on the way in *)
+      let func =
+        Vc_two_level.Espresso.minimize
+          ~dc:(Cover.empty (List.length support))
+          canonical
+      in
+      add_node t ~name:out ~fanins:support ~func)
+    bindings;
+  t
+
+let check t =
+  match topological_order t with
+  | _order ->
+    let undefined =
+      List.filter
+        (fun o -> (not (is_input t o)) && not (Hashtbl.mem t.nodes o))
+        t.net_outputs
+    in
+    if undefined <> [] then
+      Error ("undefined outputs: " ^ String.concat ", " undefined)
+    else Ok (t.net_name)
+  | exception Failure msg -> Error msg

@@ -1,0 +1,73 @@
+(** Combinational Boolean networks: a DAG of single-output nodes, each
+    computing a sum-of-products over its fanins. The shared representation
+    between logic synthesis (SIS-style scripts operate on it), technology
+    mapping (consumes it) and verification (checks it).
+
+    Node functions are {!Vc_cube.Cover.t} values whose variable [i] is the
+    node's [i]-th fanin. *)
+
+type node = {
+  name : string;
+  fanins : string list;
+  func : Vc_cube.Cover.t;  (** SOP over [fanins], same order. *)
+}
+
+type t
+
+val create :
+  ?name:string -> inputs:string list -> outputs:string list -> unit -> t
+(** An empty network; outputs must eventually be defined by nodes (or be
+    inputs). *)
+
+val name : t -> string
+
+val inputs : t -> string list
+
+val outputs : t -> string list
+
+val add_node : t -> name:string -> fanins:string list -> func:Vc_cube.Cover.t -> unit
+(** Define (or redefine) the node driving signal [name].
+    @raise Invalid_argument if [name] is a primary input, or the function
+    width differs from the fanin count. *)
+
+val remove_node : t -> string -> unit
+
+val find_node : t -> string -> node option
+
+val node_names : t -> string list
+(** All defined internal node names, unspecified order. *)
+
+val node_count : t -> int
+
+val literal_count : t -> int
+(** Total SOP literals over all nodes: the course's (and SIS's) cost
+    metric for multi-level logic. *)
+
+val topological_order : t -> string list
+(** Internal node names, fanins before fanouts.
+    @raise Failure on a combinational cycle or an undefined signal. *)
+
+val fanouts : t -> string -> string list
+(** Internal nodes that use signal [name] as a fanin. *)
+
+val depth : t -> int
+(** Longest input-to-output path, counting nodes. *)
+
+val simulate : t -> (string -> bool) -> (string * bool) list
+(** Evaluate all outputs under an input assignment. *)
+
+val output_expr : t -> string -> Vc_cube.Expr.t
+(** Collapse an output's cone to an expression over primary inputs.
+    Exponential in the worst case; meant for verification at course
+    scale. *)
+
+val copy : t -> t
+
+val of_exprs :
+  ?name:string -> inputs:string list -> (string * Vc_cube.Expr.t) list -> t
+(** A network with one node per (output, expression) pair; each node's SOP
+    is Espresso-minimized on construction. Expression support must stay
+    small (<= 20 variables per output). *)
+
+val check : t -> (string, string) result
+(** Structural sanity: acyclic, all signals defined, widths consistent. *)

@@ -1,0 +1,1 @@
+lib/place/annealing.ml: Array List Pnet Vc_util

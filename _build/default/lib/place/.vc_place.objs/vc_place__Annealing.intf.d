@@ -1,0 +1,1 @@
+lib/place/annealing.mli: Pnet

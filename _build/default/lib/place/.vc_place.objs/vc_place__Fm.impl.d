@@ -1,0 +1,1 @@
+lib/place/fm.ml: Array List Pnet Vc_util

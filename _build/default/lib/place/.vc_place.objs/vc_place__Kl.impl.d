@@ -1,0 +1,1 @@
+lib/place/kl.ml: Array Fm Hashtbl List Option Pnet Vc_util

@@ -1,0 +1,1 @@
+lib/place/kl.mli: Pnet

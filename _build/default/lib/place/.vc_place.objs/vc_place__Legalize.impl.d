@@ -1,0 +1,1 @@
+lib/place/legalize.ml: Array Hashtbl List Pnet

@@ -1,0 +1,1 @@
+lib/place/netgen.ml: Array Hashtbl List Pnet Printf Vc_util

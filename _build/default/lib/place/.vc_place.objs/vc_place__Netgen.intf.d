@@ -1,0 +1,1 @@
+lib/place/netgen.mli: Pnet

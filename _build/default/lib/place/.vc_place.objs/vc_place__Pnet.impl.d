@@ -1,0 +1,1 @@
+lib/place/pnet.ml: Array Buffer Float Hashtbl List Printf String Vc_util

@@ -1,0 +1,1 @@
+lib/place/quadratic.ml: Array Hashtbl List Pnet Vc_linalg

@@ -1,0 +1,160 @@
+type params = {
+  seed : int;
+  initial_temp : float;
+  cooling : float;
+  moves_per_cell : int;
+  min_temp : float;
+}
+
+let default_params =
+  {
+    seed = 1;
+    initial_temp = 20.0;
+    cooling = 0.92;
+    moves_per_cell = 12;
+    min_temp = 0.002;
+  }
+
+type stats = {
+  stages : int;
+  attempted : int;
+  accepted : int;
+  initial_hpwl : float;
+  final_hpwl : float;
+}
+
+(* Slot grid state: slot -> cell (-1 empty), cell -> slot, plus incremental
+   HPWL bookkeeping through per-cell net membership. *)
+type state = {
+  t : Pnet.t;
+  nx : int;
+  ny : int;
+  slot_cell : int array;
+  cell_slot : int array;
+  p : Pnet.placement;
+  nets_of_cell : int list array;
+}
+
+let slot_center st slot =
+  let ix = slot mod st.nx and iy = slot / st.nx in
+  let sx = st.t.Pnet.width /. float_of_int st.nx in
+  let sy = st.t.Pnet.height /. float_of_int st.ny in
+  ((float_of_int ix +. 0.5) *. sx, (float_of_int iy +. 0.5) *. sy)
+
+let build_state ~seed t =
+  let n = t.Pnet.num_cells in
+  let nx = max 1 (int_of_float (ceil (sqrt (float_of_int n)))) in
+  let ny = max 1 ((n + nx - 1) / nx) in
+  let slots = nx * ny in
+  let slot_cell = Array.make slots (-1) in
+  let cell_slot = Array.make n 0 in
+  let order = Array.init slots (fun i -> i) in
+  let rng = Vc_util.Rng.create seed in
+  Vc_util.Rng.shuffle rng order;
+  for c = 0 to n - 1 do
+    slot_cell.(order.(c)) <- c;
+    cell_slot.(c) <- order.(c)
+  done;
+  let p =
+    { Pnet.xs = Array.make n 0.0; Pnet.ys = Array.make n 0.0 }
+  in
+  let nets_of_cell = Array.make n [] in
+  Array.iteri
+    (fun ni net ->
+      List.iter
+        (fun pin ->
+          match pin with
+          | Pnet.Cell c -> nets_of_cell.(c) <- ni :: nets_of_cell.(c)
+          | Pnet.Pad _ -> ())
+        net.Pnet.pins)
+    t.Pnet.nets;
+  let st = { t; nx; ny; slot_cell; cell_slot; p; nets_of_cell } in
+  for c = 0 to n - 1 do
+    let x, y = slot_center st cell_slot.(c) in
+    p.Pnet.xs.(c) <- x;
+    p.Pnet.ys.(c) <- y
+  done;
+  (st, rng)
+
+let affected_cost st cells =
+  let nets =
+    List.sort_uniq compare
+      (List.concat_map (fun c -> st.nets_of_cell.(c)) cells)
+  in
+  List.fold_left
+    (fun acc ni -> acc +. Pnet.hpwl_net st.t st.p st.t.Pnet.nets.(ni))
+    0.0 nets
+
+let apply_move st cell slot =
+  let old_slot = st.cell_slot.(cell) in
+  let other = st.slot_cell.(slot) in
+  st.slot_cell.(old_slot) <- other;
+  st.slot_cell.(slot) <- cell;
+  st.cell_slot.(cell) <- slot;
+  let x, y = slot_center st slot in
+  st.p.Pnet.xs.(cell) <- x;
+  st.p.Pnet.ys.(cell) <- y;
+  if other >= 0 then begin
+    st.cell_slot.(other) <- old_slot;
+    let ox, oy = slot_center st old_slot in
+    st.p.Pnet.xs.(other) <- ox;
+    st.p.Pnet.ys.(other) <- oy
+  end
+
+let run ~accept params t =
+  let st, rng = build_state ~seed:params.seed t in
+  let n = t.Pnet.num_cells in
+  let slots = st.nx * st.ny in
+  let initial_hpwl = Pnet.hpwl t st.p in
+  let attempted = ref 0 and accepted = ref 0 and stages = ref 0 in
+  (* scale the starting temperature by the average net span *)
+  let temp =
+    ref
+      (params.initial_temp *. initial_hpwl
+      /. float_of_int (max 1 (Array.length t.Pnet.nets)))
+  in
+  let stop_temp = params.min_temp *. !temp in
+  let continue_ = ref (n > 1) in
+  while !continue_ do
+    incr stages;
+    for _ = 1 to params.moves_per_cell * n do
+      incr attempted;
+      let cell = Vc_util.Rng.int rng n in
+      let slot = Vc_util.Rng.int rng slots in
+      if slot <> st.cell_slot.(cell) then begin
+        let old_slot = st.cell_slot.(cell) in
+        let other = st.slot_cell.(slot) in
+        let involved = if other >= 0 then [ cell; other ] else [ cell ] in
+        let before = affected_cost st involved in
+        apply_move st cell slot;
+        let after = affected_cost st involved in
+        let delta = after -. before in
+        if accept rng delta !temp then incr accepted
+          (* revert: moving [cell] back to its old slot also swaps [other]
+             (if any) back into [slot] *)
+        else apply_move st cell old_slot
+      end
+    done;
+    temp := !temp *. params.cooling;
+    if !temp < stop_temp || !stages > 500 then continue_ := false
+  done;
+  let stats =
+    {
+      stages = !stages;
+      attempted = !attempted;
+      accepted = !accepted;
+      initial_hpwl;
+      final_hpwl = Pnet.hpwl t st.p;
+    }
+  in
+  (st.p, stats)
+
+let metropolis rng delta temp =
+  delta <= 0.0
+  || (temp > 0.0 && Vc_util.Rng.float rng 1.0 < exp (-.delta /. temp))
+
+let place ?(params = default_params) t = run ~accept:metropolis params t
+
+let greedy ?(seed = 1) t =
+  let params = { default_params with seed } in
+  run ~accept:(fun _ delta _ -> delta <= 0.0) params t

@@ -1,0 +1,32 @@
+(** Simulated-annealing placement, the other algorithm of the placement
+    week and the quality baseline the quadratic placer is compared
+    against: cells live in grid slots, moves swap cells (or move a cell to
+    an empty slot), cost is exact HPWL, acceptance follows Metropolis with
+    a geometric cooling schedule. *)
+
+type params = {
+  seed : int;
+  initial_temp : float;  (** Scaled by the initial average move cost. *)
+  cooling : float;  (** Temperature multiplier per stage, e.g. 0.95. *)
+  moves_per_cell : int;  (** Attempted moves per cell per stage. *)
+  min_temp : float;  (** Stop threshold (relative to initial temp). *)
+}
+
+val default_params : params
+
+type stats = {
+  stages : int;
+  attempted : int;
+  accepted : int;
+  initial_hpwl : float;
+  final_hpwl : float;
+}
+
+val place : ?params:params -> Pnet.t -> Pnet.placement * stats
+(** Anneal from a random slot assignment on a [ceil(sqrt n)]-square grid
+    scaled to the core. The result is legal by construction (one cell per
+    slot). *)
+
+val greedy : ?seed:int -> Pnet.t -> Pnet.placement * stats
+(** Zero-temperature descent (only improving moves): the ablation
+    baseline showing why annealing needs hill climbing. *)

@@ -1,0 +1,17 @@
+(** Fiduccia-Mattheyses min-cut bipartitioning on the placement hypergraph,
+    the engine behind min-cut placement and a standalone course topic in
+    the traditional class. *)
+
+type result = {
+  side : bool array;  (** Per cell: [false] = left, [true] = right. *)
+  cut : int;  (** Nets with pins on both sides. *)
+  passes : int;
+}
+
+val cut_size : Pnet.t -> bool array -> int
+
+val bipartition :
+  ?seed:int -> ?balance:float -> ?max_passes:int -> Pnet.t -> result
+(** [balance] (default 0.1) caps the side-size imbalance at
+    [(0.5 +/- balance) * n]. Runs FM passes (gain updates, best-prefix
+    rollback) from a random balanced start until a pass stops improving. *)

@@ -1,0 +1,147 @@
+type result = {
+  side : bool array;
+  cut : int;
+  edge_cut : float;
+  passes : int;
+}
+
+(* clique expansion: symmetric weight matrix as an adjacency list *)
+let clique_edges (t : Pnet.t) =
+  let edges = Hashtbl.create 256 in
+  let add a b w =
+    let key = if a < b then (a, b) else (b, a) in
+    Hashtbl.replace edges key
+      (w +. Option.value ~default:0.0 (Hashtbl.find_opt edges key))
+  in
+  Array.iter
+    (fun (net : Pnet.net) ->
+      let cells =
+        List.filter_map
+          (fun pin -> match pin with Pnet.Cell c -> Some c | Pnet.Pad _ -> None)
+          net.Pnet.pins
+        |> List.sort_uniq compare
+      in
+      let k = List.length cells in
+      if k >= 2 then begin
+        let w = 1.0 /. float_of_int (k - 1) in
+        List.iteri
+          (fun i a ->
+            List.iteri (fun j b -> if i < j then add a b w) cells)
+          cells
+      end)
+    t.Pnet.nets;
+  let adj = Array.make t.Pnet.num_cells [] in
+  Hashtbl.iter
+    (fun (a, b) w ->
+      adj.(a) <- (b, w) :: adj.(a);
+      adj.(b) <- (a, w) :: adj.(b))
+    edges;
+  adj
+
+let edge_cut_value adj side =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun a neighbours ->
+      List.iter
+        (fun (b, w) -> if a < b && side.(a) <> side.(b) then total := !total +. w)
+        neighbours)
+    adj;
+  !total
+
+(* One KL pass; returns the (positive) improvement achieved. *)
+let kl_pass adj side =
+  let n = Array.length side in
+  (* D value: external minus internal connection cost *)
+  let d = Array.make n 0.0 in
+  let recompute_d c =
+    let v = ref 0.0 in
+    List.iter
+      (fun (b, w) -> if side.(b) <> side.(c) then v := !v +. w else v := !v -. w)
+      adj.(c);
+    d.(c) <- !v
+  in
+  for c = 0 to n - 1 do
+    recompute_d c
+  done;
+  let locked = Array.make n false in
+  let weight_between a b =
+    List.fold_left (fun acc (x, w) -> if x = b then acc +. w else acc) 0.0 adj.(a)
+  in
+  let swaps = ref [] in
+  let cumulative = ref 0.0 and best_sum = ref 0.0 and best_prefix = ref 0 in
+  let num_pairs = n / 2 in
+  for step = 1 to num_pairs do
+    (* best unlocked cross pair *)
+    let best = ref None in
+    for a = 0 to n - 1 do
+      if (not locked.(a)) && not side.(a) then
+        for b = 0 to n - 1 do
+          if (not locked.(b)) && side.(b) then begin
+            let g = d.(a) +. d.(b) -. (2.0 *. weight_between a b) in
+            match !best with
+            | Some (_, _, bg) when bg >= g -> ()
+            | Some _ | None -> best := Some (a, b, g)
+          end
+        done
+    done;
+    match !best with
+    | None -> ()
+    | Some (a, b, g) ->
+      locked.(a) <- true;
+      locked.(b) <- true;
+      (* virtually swap: flip sides so subsequent D updates see it *)
+      side.(a) <- true;
+      side.(b) <- false;
+      List.iter (fun (c, _) -> if not locked.(c) then recompute_d c) adj.(a);
+      List.iter (fun (c, _) -> if not locked.(c) then recompute_d c) adj.(b);
+      cumulative := !cumulative +. g;
+      swaps := (a, b) :: !swaps;
+      if !cumulative > !best_sum +. 1e-12 then begin
+        best_sum := !cumulative;
+        best_prefix := step
+      end
+  done;
+  (* undo swaps beyond the best prefix *)
+  let all = List.rev !swaps in
+  List.iteri
+    (fun i (a, b) ->
+      if i >= !best_prefix then begin
+        side.(a) <- false;
+        side.(b) <- true
+      end)
+    all;
+  !best_sum
+
+let bipartition ?(seed = 1) ?(max_passes = 20) (t : Pnet.t) =
+  let n = t.Pnet.num_cells in
+  let side = Array.init n (fun i -> i mod 2 = 1) in
+  let rng = Vc_util.Rng.create seed in
+  Vc_util.Rng.shuffle rng side;
+  (* enforce exact balance: KL swaps pairs, so sizes never change *)
+  let left = ref 0 in
+  Array.iter (fun s -> if not s then incr left) side;
+  let want_left = (n + 1) / 2 in
+  Array.iteri
+    (fun i s ->
+      if !left < want_left && s then begin
+        side.(i) <- false;
+        incr left
+      end
+      else if !left > want_left && not s then begin
+        side.(i) <- true;
+        decr left
+      end)
+    side;
+  let adj = clique_edges t in
+  let passes = ref 0 in
+  let improved = ref true in
+  while !improved && !passes < max_passes do
+    incr passes;
+    improved := kl_pass adj side > 1e-9
+  done;
+  {
+    side;
+    cut = Fm.cut_size t side;
+    edge_cut = edge_cut_value adj side;
+    passes = !passes;
+  }

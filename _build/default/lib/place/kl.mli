@@ -1,0 +1,19 @@
+(** Kernighan-Lin bipartitioning: the traditional course's other min-cut
+    algorithm, here on the clique-expanded placement netlist (each k-pin
+    net contributes weight 1/(k-1) edges between its cells).
+
+    KL swaps *pairs* and needs equal-sized sides, which is why the course
+    presents FM as its practical successor; both are provided so the bench
+    can compare them. *)
+
+type result = {
+  side : bool array;  (** [false] left, [true] right. *)
+  cut : int;  (** Hyperedge cut (same metric as {!Fm.cut_size}). *)
+  edge_cut : float;  (** Weighted clique-model cut KL actually minimized. *)
+  passes : int;
+}
+
+val bipartition : ?seed:int -> ?max_passes:int -> Pnet.t -> result
+(** Random balanced start, KL passes (best-prefix of a full pairwise swap
+    sequence) until no pass improves. Odd cell counts leave one unpaired
+    cell on the left. *)

@@ -1,0 +1,148 @@
+let to_grid (t : Pnet.t) (p : Pnet.placement) =
+  let n = t.Pnet.num_cells in
+  if n = 0 then { Pnet.xs = [||]; Pnet.ys = [||] }
+  else begin
+    let rows = max 1 (int_of_float (ceil (sqrt (float_of_int n)))) in
+    let per_row = (n + rows - 1) / rows in
+    let xs = Array.copy p.Pnet.xs and ys = Array.copy p.Pnet.ys in
+    let order = Array.init n (fun i -> i) in
+    (* bucket into rows by y, then order within a row by x *)
+    Array.sort
+      (fun a b ->
+        match compare p.Pnet.ys.(a) p.Pnet.ys.(b) with
+        | 0 -> compare p.Pnet.xs.(a) p.Pnet.xs.(b)
+        | c -> c)
+      order;
+    let row_height = t.Pnet.height /. float_of_int rows in
+    Array.iteri
+      (fun rank cell ->
+        let row = rank / per_row in
+        let row_cells = min per_row (n - (row * per_row)) in
+        ignore row_cells;
+        ys.(cell) <- (float_of_int row +. 0.5) *. row_height)
+      order;
+    (* within each row, spread by x order *)
+    for row = 0 to rows - 1 do
+      let start = row * per_row in
+      let stop = min n (start + per_row) in
+      if stop > start then begin
+        let members = Array.sub order start (stop - start) in
+        Array.sort (fun a b -> compare p.Pnet.xs.(a) p.Pnet.xs.(b)) members;
+        let k = Array.length members in
+        let pitch = t.Pnet.width /. float_of_int k in
+        Array.iteri
+          (fun i cell -> xs.(cell) <- (float_of_int i +. 0.5) *. pitch)
+          members
+      end
+    done;
+    { Pnet.xs; Pnet.ys }
+  end
+
+let default_min_sep (t : Pnet.t) =
+  let n = max 1 t.Pnet.num_cells in
+  let pitch = t.Pnet.width /. ceil (sqrt (float_of_int n)) in
+  0.5 *. pitch
+
+let overlap_count ?min_sep (t : Pnet.t) (p : Pnet.placement) =
+  let sep = match min_sep with Some s -> s | None -> default_min_sep t in
+  let n = t.Pnet.num_cells in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if
+        abs_float (p.Pnet.xs.(i) -. p.Pnet.xs.(j)) < sep
+        && abs_float (p.Pnet.ys.(i) -. p.Pnet.ys.(j)) < sep
+      then incr count
+    done
+  done;
+  !count
+
+let inside_core (t : Pnet.t) (p : Pnet.placement) =
+  let ok = ref true in
+  for i = 0 to t.Pnet.num_cells - 1 do
+    if
+      p.Pnet.xs.(i) < 0.0
+      || p.Pnet.xs.(i) > t.Pnet.width
+      || p.Pnet.ys.(i) < 0.0
+      || p.Pnet.ys.(i) > t.Pnet.height
+    then ok := false
+  done;
+  !ok
+
+(* Detailed placement: swap two cells' positions when that lowers HPWL.
+   Candidate pairs: cells sharing a net, and slot-order neighbours. *)
+let refine ?(max_passes = 4) (t : Pnet.t) (p : Pnet.placement) =
+  let xs = Array.copy p.Pnet.xs and ys = Array.copy p.Pnet.ys in
+  let current = { Pnet.xs; ys } in
+  let nets_of_cell = Array.make t.Pnet.num_cells [] in
+  Array.iteri
+    (fun ni (net : Pnet.net) ->
+      List.iter
+        (fun pin ->
+          match pin with
+          | Pnet.Cell c -> nets_of_cell.(c) <- ni :: nets_of_cell.(c)
+          | Pnet.Pad _ -> ())
+        net.Pnet.pins)
+    t.Pnet.nets;
+  let cost_around cells =
+    let nets =
+      List.sort_uniq compare (List.concat_map (fun c -> nets_of_cell.(c)) cells)
+    in
+    List.fold_left
+      (fun acc ni -> acc +. Pnet.hpwl_net t current t.Pnet.nets.(ni))
+      0.0 nets
+  in
+  let swap a b =
+    let tx = xs.(a) and ty = ys.(a) in
+    xs.(a) <- xs.(b);
+    ys.(a) <- ys.(b);
+    xs.(b) <- tx;
+    ys.(b) <- ty
+  in
+  (* candidate pairs *)
+  let pairs = Hashtbl.create 256 in
+  Array.iter
+    (fun (net : Pnet.net) ->
+      let cells =
+        List.filter_map
+          (fun pin -> match pin with Pnet.Cell c -> Some c | Pnet.Pad _ -> None)
+          net.Pnet.pins
+      in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b -> if a < b then Hashtbl.replace pairs (a, b) ())
+            cells)
+        cells)
+    t.Pnet.nets;
+  let order = Array.init t.Pnet.num_cells (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare ys.(a) ys.(b) with 0 -> compare xs.(a) xs.(b) | c -> c)
+    order;
+  Array.iteri
+    (fun k a ->
+      if k + 1 < Array.length order then begin
+        let b = order.(k + 1) in
+        Hashtbl.replace pairs (min a b, max a b) ()
+      end)
+    order;
+  let swaps = ref 0 in
+  let improved = ref true in
+  let passes = ref 0 in
+  while !improved && !passes < max_passes do
+    incr passes;
+    improved := false;
+    Hashtbl.iter
+      (fun (a, b) () ->
+        let before = cost_around [ a; b ] in
+        swap a b;
+        let after = cost_around [ a; b ] in
+        if after < before -. 1e-12 then begin
+          incr swaps;
+          improved := true
+        end
+        else swap a b)
+      pairs
+  done;
+  (current, !swaps)

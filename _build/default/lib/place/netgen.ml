@@ -1,0 +1,106 @@
+type profile = {
+  p_name : string;
+  cells : int;
+  nets : int;
+  pads : int;
+  avg_pins : float;
+}
+
+let mcnc_profiles =
+  [
+    { p_name = "fract"; cells = 125; nets = 147; pads = 24; avg_pins = 3.1 };
+    { p_name = "prim1"; cells = 833; nets = 902; pads = 81; avg_pins = 2.9 };
+    { p_name = "struct"; cells = 1888; nets = 1920; pads = 64; avg_pins = 2.8 };
+    { p_name = "ind1"; cells = 2271; nets = 2478; pads = 814; avg_pins = 2.7 };
+    { p_name = "prim2"; cells = 3014; nets = 3029; pads = 107; avg_pins = 3.0 };
+  ]
+
+let tiny = { p_name = "tiny"; cells = 12; nets = 18; pads = 8; avg_pins = 2.6 }
+
+let by_name name =
+  if name = tiny.p_name then Some tiny
+  else List.find_opt (fun p -> p.p_name = name) mcnc_profiles
+
+let generate ~seed profile =
+  let rng = Vc_util.Rng.create (seed lxor Hashtbl.hash profile.p_name) in
+  let n = profile.cells in
+  let side = ceil (sqrt (float_of_int n)) in
+  let width = side and height = side in
+  let cell_names = Array.init n (Printf.sprintf "c%d") in
+  (* pads evenly around the boundary *)
+  let pads =
+    Array.init profile.pads (fun i ->
+        let frac =
+          float_of_int i /. float_of_int (max 1 profile.pads) *. 4.0
+        in
+        let name = Printf.sprintf "p%d" i in
+        if frac < 1.0 then (name, frac *. width, 0.0)
+        else if frac < 2.0 then (name, width, (frac -. 1.0) *. height)
+        else if frac < 3.0 then (name, (3.0 -. frac) *. width, height)
+        else (name, 0.0, (4.0 -. frac) *. height))
+  in
+  (* net degree: 2 + geometric-ish tail with the profile's mean *)
+  let extra_mean = max 0.1 (profile.avg_pins -. 2.0) in
+  let sample_degree () =
+    let rec extra acc =
+      if Vc_util.Rng.float rng 1.0 < extra_mean /. (extra_mean +. 1.0) then
+        extra (acc + 1)
+      else acc
+    in
+    2 + extra 0
+  in
+  let touched = Array.make n false in
+  let gen_net i =
+    let center = Vc_util.Rng.int rng n in
+    let degree = sample_degree () in
+    (* locality: neighbours drawn around the center in index space *)
+    let neighbourhood = max 8 (n / 10) in
+    let pick () =
+      let delta =
+        int_of_float
+          (Vc_util.Rng.gaussian rng ~mu:0.0
+             ~sigma:(float_of_int neighbourhood))
+      in
+      let c = (center + delta) mod n in
+      if c < 0 then c + n else c
+    in
+    let rec gather acc count guard =
+      if count = 0 || guard = 0 then acc
+      else begin
+        let c = pick () in
+        if List.mem (Pnet.Cell c) acc then gather acc count (guard - 1)
+        else gather (Pnet.Cell c :: acc) (count - 1) (guard - 1)
+      end
+    in
+    let pins = gather [ Pnet.Cell center ] (degree - 1) (degree * 20) in
+    (* ~12% of nets also land on an IO pad *)
+    let pins =
+      if profile.pads > 0 && Vc_util.Rng.float rng 1.0 < 0.12 then
+        Pnet.Pad (Vc_util.Rng.int rng profile.pads) :: pins
+      else pins
+    in
+    List.iter
+      (fun pin -> match pin with Pnet.Cell c -> touched.(c) <- true | Pnet.Pad _ -> ())
+      pins;
+    { Pnet.net_name = Printf.sprintf "n%d" i; pins }
+  in
+  let nets = List.init profile.nets gen_net in
+  (* connect any untouched cell to a random neighbour so no cell floats *)
+  let extra = ref [] and extra_id = ref 0 in
+  Array.iteri
+    (fun c hit ->
+      if not hit then begin
+        let peer = Vc_util.Rng.int rng n in
+        let peer = if peer = c then (c + 1) mod n else peer in
+        extra :=
+          {
+            Pnet.net_name = Printf.sprintf "fix%d" !extra_id;
+            pins = [ Pnet.Cell c; Pnet.Cell peer ];
+          }
+          :: !extra;
+        incr extra_id
+      end)
+    touched;
+  Pnet.make ~name:profile.p_name ~cell_names ~pads
+    ~nets:(Array.of_list (nets @ !extra))
+    ~width ~height ()

@@ -1,0 +1,28 @@
+(** Synthetic benchmark netlists with MCNC-like size profiles.
+
+    The paper's projects used the classical MCNC standard-cell suite
+    [Fig. 7]; those files are not redistributable here, so this generator
+    produces deterministic netlists whose cell, net, pad and pin-count
+    statistics match the published MCNC numbers, with Rent-style locality
+    in the connectivity (see DESIGN.md substitution table). *)
+
+type profile = {
+  p_name : string;
+  cells : int;
+  nets : int;
+  pads : int;
+  avg_pins : float;  (** Mean pins per net (>= 2). *)
+}
+
+val mcnc_profiles : profile list
+(** fract, prim1, struct, prim2, ind1 - small to extra-credit sizes. *)
+
+val tiny : profile
+(** 12 cells: homework-scale. *)
+
+val by_name : string -> profile option
+
+val generate : seed:int -> profile -> Pnet.t
+(** Deterministic in [seed]; pads ring the core, net pins are drawn with
+    locality around a randomly chosen center cell, and every cell appears
+    in at least one net. *)

@@ -1,0 +1,187 @@
+type pin = Cell of int | Pad of int
+
+type net = { net_name : string; pins : pin list }
+
+type t = {
+  name : string;
+  num_cells : int;
+  cell_names : string array;
+  pads : (string * float * float) array;
+  nets : net array;
+  width : float;
+  height : float;
+}
+
+type placement = { xs : float array; ys : float array }
+
+let make ?(name = "design") ~cell_names ~pads ~nets ~width ~height () =
+  let num_cells = Array.length cell_names in
+  let num_pads = Array.length pads in
+  let check_net net =
+    if net.pins = [] then invalid_arg ("Pnet.make: empty net " ^ net.net_name);
+    List.iter
+      (fun pin ->
+        match pin with
+        | Cell i ->
+          if i < 0 || i >= num_cells then
+            invalid_arg ("Pnet.make: bad cell pin in " ^ net.net_name)
+        | Pad i ->
+          if i < 0 || i >= num_pads then
+            invalid_arg ("Pnet.make: bad pad pin in " ^ net.net_name))
+      net.pins
+  in
+  Array.iter check_net nets;
+  { name; num_cells; cell_names; pads; nets; width; height }
+
+let pin_position t p pin =
+  match pin with
+  | Cell i -> (p.xs.(i), p.ys.(i))
+  | Pad i ->
+    let _, x, y = t.pads.(i) in
+    (x, y)
+
+let hpwl_net t p net =
+  let xs = List.map (fun pin -> fst (pin_position t p pin)) net.pins in
+  let ys = List.map (fun pin -> snd (pin_position t p pin)) net.pins in
+  let min_l = List.fold_left min infinity and max_l = List.fold_left max neg_infinity in
+  max_l xs -. min_l xs +. (max_l ys -. min_l ys)
+
+let hpwl t p = Array.fold_left (fun acc net -> acc +. hpwl_net t p net) 0.0 t.nets
+
+let clique_wirelength t p =
+  let net_cost net =
+    let pts = List.map (pin_position t p) net.pins in
+    let k = List.length pts in
+    if k < 2 then 0.0
+    else begin
+      let w = 1.0 /. float_of_int (k - 1) in
+      let acc = ref 0.0 in
+      let arr = Array.of_list pts in
+      for i = 0 to k - 1 do
+        for j = i + 1 to k - 1 do
+          let dx = fst arr.(i) -. fst arr.(j) in
+          let dy = snd arr.(i) -. snd arr.(j) in
+          acc := !acc +. (w *. ((dx *. dx) +. (dy *. dy)))
+        done
+      done;
+      !acc
+    end
+  in
+  Array.fold_left (fun acc net -> acc +. net_cost net) 0.0 t.nets
+
+let center_placement t =
+  {
+    xs = Array.make t.num_cells (t.width /. 2.0);
+    ys = Array.make t.num_cells (t.height /. 2.0);
+  }
+
+let random_placement ~seed t =
+  let rng = Vc_util.Rng.create seed in
+  {
+    xs = Array.init t.num_cells (fun _ -> Vc_util.Rng.float rng t.width);
+    ys = Array.init t.num_cells (fun _ -> Vc_util.Rng.float rng t.height);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Text formats                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse text =
+  let lines = Vc_util.Tok.logical_lines ~comment:'#' text in
+  let name = ref "design" and width = ref 100.0 and height = ref 100.0 in
+  let cells = ref [] and pads = ref [] and raw_nets = ref [] in
+  let handle line =
+    match Vc_util.Tok.split_words line with
+    | [] -> ()
+    | [ "design"; n; w; h ] ->
+      name := n;
+      width := Vc_util.Tok.parse_float ~context:"design width" w;
+      height := Vc_util.Tok.parse_float ~context:"design height" h
+    | [ "cell"; n ] -> cells := n :: !cells
+    | [ "pad"; n; x; y ] ->
+      pads :=
+        ( n,
+          Vc_util.Tok.parse_float ~context:"pad x" x,
+          Vc_util.Tok.parse_float ~context:"pad y" y )
+        :: !pads
+    | "net" :: n :: pins when pins <> [] -> raw_nets := (n, pins) :: !raw_nets
+    | toks -> failwith ("pnet: malformed line: " ^ String.concat " " toks)
+  in
+  List.iter handle lines;
+  let cell_names = Array.of_list (List.rev !cells) in
+  let pads = Array.of_list (List.rev !pads) in
+  let cell_index = Hashtbl.create 64 and pad_index = Hashtbl.create 64 in
+  Array.iteri (fun i n -> Hashtbl.replace cell_index n i) cell_names;
+  Array.iteri (fun i (n, _, _) -> Hashtbl.replace pad_index n i) pads;
+  let resolve pin_name =
+    match Hashtbl.find_opt cell_index pin_name with
+    | Some i -> Cell i
+    | None -> begin
+      match Hashtbl.find_opt pad_index pin_name with
+      | Some i -> Pad i
+      | None -> failwith ("pnet: unknown pin " ^ pin_name)
+    end
+  in
+  let nets =
+    Array.of_list
+      (List.rev_map
+         (fun (n, pins) -> { net_name = n; pins = List.map resolve pins })
+         !raw_nets)
+  in
+  make ~name:!name ~cell_names ~pads ~nets ~width:!width ~height:!height ()
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "design %s %g %g\n" t.name t.width t.height);
+  Array.iter (fun n -> Buffer.add_string buf ("cell " ^ n ^ "\n")) t.cell_names;
+  Array.iter
+    (fun (n, x, y) -> Buffer.add_string buf (Printf.sprintf "pad %s %g %g\n" n x y))
+    t.pads;
+  Array.iter
+    (fun net ->
+      let pin_name = function
+        | Cell i -> t.cell_names.(i)
+        | Pad i ->
+          let n, _, _ = t.pads.(i) in
+          n
+      in
+      Buffer.add_string buf
+        ("net " ^ net.net_name ^ " "
+        ^ String.concat " " (List.map pin_name net.pins)
+        ^ "\n"))
+    t.nets;
+  Buffer.contents buf
+
+let placement_to_string t p =
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun i n ->
+      Buffer.add_string buf
+        (Printf.sprintf "place %s %.4f %.4f\n" n p.xs.(i) p.ys.(i)))
+    t.cell_names;
+  Buffer.contents buf
+
+let parse_placement t text =
+  let xs = Array.make t.num_cells nan and ys = Array.make t.num_cells nan in
+  let index = Hashtbl.create 64 in
+  Array.iteri (fun i n -> Hashtbl.replace index n i) t.cell_names;
+  let handle line =
+    match Vc_util.Tok.split_words line with
+    | [] -> ()
+    | [ "place"; n; x; y ] -> begin
+      match Hashtbl.find_opt index n with
+      | None -> failwith ("placement: unknown cell " ^ n)
+      | Some i ->
+        xs.(i) <- Vc_util.Tok.parse_float ~context:"place x" x;
+        ys.(i) <- Vc_util.Tok.parse_float ~context:"place y" y
+    end
+    | toks -> failwith ("placement: malformed line: " ^ String.concat " " toks)
+  in
+  List.iter handle (Vc_util.Tok.logical_lines ~comment:'#' text);
+  Array.iteri
+    (fun i x ->
+      if Float.is_nan x || Float.is_nan ys.(i) then
+        failwith ("placement: cell not placed: " ^ t.cell_names.(i)))
+    xs;
+  { xs; ys }

@@ -1,0 +1,67 @@
+(** Placement netlists: movable cells, fixed pads on the core boundary, and
+    multi-pin nets - the input of software project 3. *)
+
+type pin =
+  | Cell of int  (** Movable cell index. *)
+  | Pad of int  (** Fixed pad index. *)
+
+type net = { net_name : string; pins : pin list }
+
+type t = {
+  name : string;
+  num_cells : int;
+  cell_names : string array;
+  pads : (string * float * float) array;  (** Name and fixed position. *)
+  nets : net array;
+  width : float;  (** Core region [0,width] x [0,height]. *)
+  height : float;
+}
+
+type placement = { xs : float array; ys : float array }
+(** Cell coordinates, indexed like [cell_names]. *)
+
+val make :
+  ?name:string ->
+  cell_names:string array ->
+  pads:(string * float * float) array ->
+  nets:net array ->
+  width:float ->
+  height:float ->
+  unit ->
+  t
+(** @raise Invalid_argument on out-of-range pins or empty nets. *)
+
+val pin_position : t -> placement -> pin -> float * float
+
+val hpwl_net : t -> placement -> net -> float
+(** Half-perimeter wirelength of one net. *)
+
+val hpwl : t -> placement -> float
+(** Total HPWL - the course's placement quality metric. *)
+
+val clique_wirelength : t -> placement -> float
+(** Sum of squared pairwise clique distances with 1/(k-1) weights: the
+    objective the quadratic placer actually minimizes. *)
+
+val center_placement : t -> placement
+(** Every cell at the core center (the trivial initial placement). *)
+
+val random_placement : seed:int -> t -> placement
+
+val parse : string -> t
+(** Course text format:
+    {v
+    design <name> <width> <height>
+    cell <name>
+    pad <name> <x> <y>
+    net <name> <pin> <pin> ...   (pins reference cell/pad names)
+    v} *)
+
+val to_string : t -> string
+
+val placement_to_string : t -> placement -> string
+(** One [place <cell> <x> <y>] line per cell - the format students upload
+    to the auto-grader. *)
+
+val parse_placement : t -> string -> placement
+(** @raise Failure on unknown cells or missing coordinates. *)

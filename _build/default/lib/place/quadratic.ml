@@ -1,0 +1,142 @@
+module Sparse = Vc_linalg.Sparse
+
+type solver = Cg | Gauss_seidel
+
+type result = {
+  placement : Pnet.placement;
+  solves : int;
+  iterations : int;
+}
+
+type region = { x0 : float; y0 : float; x1 : float; y1 : float }
+
+let clamp v lo hi = max lo (min hi v)
+
+let clamp_into r (x, y) = (clamp x r.x0 r.x1, clamp y r.y0 r.y1)
+
+(* Solve the QP for the subset of movable cells [movable] (cell -> dense
+   index), with every other pin treated as an anchor clamped into
+   [region].  Updates [p] in place for the movable cells. *)
+let solve_subset t (p : Pnet.placement) region movable solver =
+  let n = Hashtbl.length movable in
+  if n = 0 then (0, 0)
+  else begin
+    let a = Sparse.builder n in
+    let bx = Array.make n 0.0 and by = Array.make n 0.0 in
+    (* tiny pull to the region center keeps floating cells well-posed *)
+    let cx = (region.x0 +. region.x1) /. 2.0 in
+    let cy = (region.y0 +. region.y1) /. 2.0 in
+    let eps = 1e-6 in
+    Hashtbl.iter
+      (fun _ idx ->
+        Sparse.add a idx idx eps;
+        bx.(idx) <- bx.(idx) +. (eps *. cx);
+        by.(idx) <- by.(idx) +. (eps *. cy))
+      movable;
+    let handle_net (net : Pnet.net) =
+      let pins = Array.of_list net.Pnet.pins in
+      let k = Array.length pins in
+      if k >= 2 then begin
+        let w = 1.0 /. float_of_int (k - 1) in
+        let classify pin =
+          match pin with
+          | Pnet.Cell c -> begin
+            match Hashtbl.find_opt movable c with
+            | Some idx -> `Movable idx
+            | None -> `Anchor (clamp_into region (p.Pnet.xs.(c), p.Pnet.ys.(c)))
+          end
+          | Pnet.Pad i ->
+            let _, x, y = t.Pnet.pads.(i) in
+            `Anchor (clamp_into region (x, y))
+        in
+        let kinds = Array.map classify pins in
+        for i = 0 to k - 1 do
+          for j = i + 1 to k - 1 do
+            match (kinds.(i), kinds.(j)) with
+            | `Movable u, `Movable v ->
+              Sparse.add a u u w;
+              Sparse.add a v v w;
+              Sparse.add a u v (-.w);
+              Sparse.add a v u (-.w)
+            | `Movable u, `Anchor (x, y) | `Anchor (x, y), `Movable u ->
+              Sparse.add a u u w;
+              bx.(u) <- bx.(u) +. (w *. x);
+              by.(u) <- by.(u) +. (w *. y)
+            | `Anchor _, `Anchor _ -> ()
+          done
+        done
+      end
+    in
+    Array.iter handle_net t.Pnet.nets;
+    let m = Sparse.finalize a in
+    let run b =
+      match solver with
+      | Cg -> Sparse.conjugate_gradient m b
+      | Gauss_seidel -> Sparse.gauss_seidel ~tol:1e-8 m b
+    in
+    let sol_x, it1 = run bx in
+    let sol_y, it2 = run by in
+    Hashtbl.iter
+      (fun cell idx ->
+        let x, y = clamp_into region (sol_x.(idx), sol_y.(idx)) in
+        p.Pnet.xs.(cell) <- x;
+        p.Pnet.ys.(cell) <- y)
+      movable;
+    (2, it1 + it2)
+  end
+
+let all_cells t = List.init t.Pnet.num_cells (fun i -> i)
+
+let movable_table cells =
+  let tbl = Hashtbl.create 64 in
+  List.iteri (fun idx c -> Hashtbl.replace tbl c idx) cells;
+  tbl
+
+let global ?(solver = Cg) t =
+  let p = Pnet.center_placement t in
+  let region = { x0 = 0.0; y0 = 0.0; x1 = t.Pnet.width; y1 = t.Pnet.height } in
+  let solves, iterations =
+    solve_subset t p region (movable_table (all_cells t)) solver
+  in
+  { placement = p; solves; iterations }
+
+let place ?(solver = Cg) ?(max_depth = 4) ?(min_cells = 4) t =
+  let p = Pnet.center_placement t in
+  let solves = ref 0 and iterations = ref 0 in
+  let solve cells region =
+    let s, i = solve_subset t p region (movable_table cells) solver in
+    solves := !solves + s;
+    iterations := !iterations + i
+  in
+  let rec recurse cells region depth =
+    solve cells region;
+    if depth < max_depth && List.length cells > min_cells then begin
+      let wide = region.x1 -. region.x0 >= region.y1 -. region.y0 in
+      let coord c = if wide then p.Pnet.xs.(c) else p.Pnet.ys.(c) in
+      let sorted =
+        List.sort (fun a b -> compare (coord a) (coord b)) cells
+      in
+      let half = (List.length sorted + 1) / 2 in
+      let rec split i acc = function
+        | [] -> (List.rev acc, [])
+        | rest when i = half -> (List.rev acc, rest)
+        | c :: rest -> split (i + 1) (c :: acc) rest
+      in
+      let lo_cells, hi_cells = split 0 [] sorted in
+      let lo_region, hi_region =
+        if wide then begin
+          let mid = (region.x0 +. region.x1) /. 2.0 in
+          ({ region with x1 = mid }, { region with x0 = mid })
+        end
+        else begin
+          let mid = (region.y0 +. region.y1) /. 2.0 in
+          ({ region with y1 = mid }, { region with y0 = mid })
+        end
+      in
+      recurse lo_cells lo_region (depth + 1);
+      recurse hi_cells hi_region (depth + 1)
+    end
+  in
+  let region = { x0 = 0.0; y0 = 0.0; x1 = t.Pnet.width; y1 = t.Pnet.height } in
+  recurse (all_cells t) region 0;
+  { placement = p; solves = !solves; iterations = !iterations }

@@ -1,0 +1,24 @@
+(** Quadratic placement with recursive bipartitioning legalization, the
+    PROUD-style algorithm of software project 3: minimize clique-model
+    squared wirelength by solving one sparse SPD system per coordinate,
+    then recursively split the region and re-solve each half with outside
+    connections projected onto the region boundary. *)
+
+type solver = Cg | Gauss_seidel
+
+type result = {
+  placement : Pnet.placement;
+  solves : int;  (** Linear systems solved. *)
+  iterations : int;  (** Total iterative-solver iterations. *)
+}
+
+val global : ?solver:solver -> Pnet.t -> result
+(** One unconstrained QP solve: the classic "everything clumps in the
+    middle" global placement (needs at least one pad per connected
+    component to be well-posed; a mild regularization toward the core
+    center keeps floating components solvable). *)
+
+val place :
+  ?solver:solver -> ?max_depth:int -> ?min_cells:int -> Pnet.t -> result
+(** Full recursive flow. [max_depth] (default 4) region-splitting levels;
+    regions with at most [min_cells] (default 4) cells stop early. *)

@@ -1,0 +1,1 @@
+lib/route/channel.ml: Array Buffer Bytes Hashtbl List Option Printf String Vc_util

@@ -1,0 +1,1 @@
+lib/route/geom.ml: Array Grid List Router

@@ -1,0 +1,1 @@
+lib/route/geom.mli: Grid Router

@@ -1,0 +1,1 @@
+lib/route/maze.ml: Grid Hashtbl List Vc_util

@@ -1,0 +1,1 @@
+lib/route/render.ml: Array Buffer Grid List Printf Router String

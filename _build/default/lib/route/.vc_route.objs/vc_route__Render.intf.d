@@ -1,0 +1,1 @@
+lib/route/render.mli: Grid Router

@@ -1,0 +1,1 @@
+lib/route/router.ml: Array Buffer Grid List Maze Printf String Vc_util

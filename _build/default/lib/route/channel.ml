@@ -1,0 +1,205 @@
+type problem = {
+  top : int array;
+  bottom : int array;
+}
+
+type assignment = {
+  tracks : (int * int) list;
+  num_tracks : int;
+}
+
+let parse text =
+  let rows =
+    Vc_util.Tok.logical_lines ~comment:'#' text
+    |> List.filter_map (fun line ->
+           match Vc_util.Tok.split_words line with
+           | "top" :: vals -> Some (`Top, vals)
+           | "bottom" :: vals -> Some (`Bottom, vals)
+           | [] -> None
+           | toks -> failwith ("channel: malformed line: " ^ String.concat " " toks))
+  in
+  let ints vals =
+    Array.of_list (List.map (Vc_util.Tok.parse_int ~context:"channel pin") vals)
+  in
+  match
+    ( List.assoc_opt `Top rows |> Option.map ints,
+      List.assoc_opt `Bottom rows |> Option.map ints )
+  with
+  | Some top, Some bottom ->
+    if Array.length top <> Array.length bottom then
+      failwith "channel: top and bottom rows differ in length";
+    { top; bottom }
+  | _ -> failwith "channel: need one 'top' and one 'bottom' row"
+
+let to_string p =
+  let row name arr =
+    name ^ " "
+    ^ String.concat " " (Array.to_list (Array.map string_of_int arr))
+  in
+  row "top" p.top ^ "\n" ^ row "bottom" p.bottom ^ "\n"
+
+let columns p = Array.length p.top
+
+(* net id -> (leftmost column, rightmost column) *)
+let spans p =
+  let table = Hashtbl.create 16 in
+  let note net col =
+    if net > 0 then begin
+      match Hashtbl.find_opt table net with
+      | None -> Hashtbl.add table net (col, col)
+      | Some (lo, hi) -> Hashtbl.replace table net (min lo col, max hi col)
+    end
+  in
+  Array.iteri (fun c net -> note net c) p.top;
+  Array.iteri (fun c net -> note net c) p.bottom;
+  table
+
+let density p =
+  let sp = spans p in
+  let best = ref 0 in
+  for c = 0 to columns p - 1 do
+    let crossing = ref 0 in
+    Hashtbl.iter (fun _ (lo, hi) -> if lo <= c && c <= hi then incr crossing) sp;
+    best := max !best !crossing
+  done;
+  !best
+
+(* vertical constraint graph: top net must be above bottom net *)
+let vcg p =
+  let edges = Hashtbl.create 16 in
+  for c = 0 to columns p - 1 do
+    let t = p.top.(c) and b = p.bottom.(c) in
+    if t > 0 && b > 0 && t <> b then Hashtbl.replace edges (t, b) ()
+  done;
+  Hashtbl.fold (fun e () acc -> e :: acc) edges []
+
+let has_cycle nets edges =
+  let state = Hashtbl.create 16 in
+  (* 1 = visiting, 2 = done *)
+  let succ n = List.filter_map (fun (a, b) -> if a = n then Some b else None) edges in
+  let rec visit n =
+    match Hashtbl.find_opt state n with
+    | Some 1 -> true
+    | Some _ -> false
+    | None ->
+      Hashtbl.replace state n 1;
+      let cyclic = List.exists visit (succ n) in
+      Hashtbl.replace state n 2;
+      cyclic
+  in
+  List.exists visit nets
+
+let route p =
+  match spans p with
+  | exception Failure msg -> Error msg
+  | sp ->
+    let nets = Hashtbl.fold (fun n _ acc -> n :: acc) sp [] in
+    let edges = vcg p in
+    if has_cycle nets edges then
+      Error "cyclic vertical constraints (doglegs not supported)"
+    else begin
+      let span n = Hashtbl.find sp n in
+      let unplaced =
+        ref (List.sort (fun a b -> compare (fst (span a)) (fst (span b))) nets)
+      in
+      let placed = Hashtbl.create 16 in
+      let tracks = ref [] in
+      let track = ref 0 in
+      while !unplaced <> [] do
+        (* fill the current track left to right *)
+        let last_right = ref min_int in
+        let remaining = ref [] in
+        List.iter
+          (fun n ->
+            let lo, hi = span n in
+            let predecessors_done =
+              (* predecessors must sit on a strictly earlier (higher) track *)
+              List.for_all
+                (fun (a, b) ->
+                  b <> n
+                  ||
+                  match Hashtbl.find_opt placed a with
+                  | Some ta -> ta < !track
+                  | None -> false)
+                edges
+            in
+            if lo > !last_right && predecessors_done then begin
+              tracks := (n, !track) :: !tracks;
+              Hashtbl.replace placed n !track;
+              last_right := hi
+            end
+            else remaining := n :: !remaining)
+          !unplaced;
+        let next = List.rev !remaining in
+        if List.length next = List.length !unplaced then
+          (* no progress: cannot happen with an acyclic VCG, but guard *)
+          failwith "channel: internal stall";
+        unplaced := next;
+        incr track
+      done;
+      Ok { tracks = List.rev !tracks; num_tracks = !track }
+    end
+
+let check p a =
+  let sp = spans p in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (* each net placed exactly once *)
+  Hashtbl.iter
+    (fun n _ ->
+      match List.filter (fun (m, _) -> m = n) a.tracks with
+      | [ _ ] -> ()
+      | [] -> err "net %d not placed" n
+      | _ -> err "net %d placed twice" n)
+    sp;
+  (* horizontal constraints *)
+  List.iter
+    (fun (n1, t1) ->
+      List.iter
+        (fun (n2, t2) ->
+          if n1 < n2 && t1 = t2 then begin
+            let lo1, hi1 = Hashtbl.find sp n1 and lo2, hi2 = Hashtbl.find sp n2 in
+            if lo1 <= hi2 && lo2 <= hi1 then
+              err "nets %d and %d overlap on track %d" n1 n2 t1
+          end)
+        a.tracks)
+    a.tracks;
+  (* vertical constraints *)
+  for c = 0 to columns p - 1 do
+    let t = p.top.(c) and b = p.bottom.(c) in
+    if t > 0 && b > 0 && t <> b then begin
+      match (List.assoc_opt t a.tracks, List.assoc_opt b a.tracks) with
+      | Some tt, Some tb ->
+        if tt >= tb then err "column %d: net %d not above net %d" c t b
+      | _ -> ()
+    end
+  done;
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
+
+let net_char n =
+  let alphabet = "123456789abcdefghijklmnopqrstuvwxyz" in
+  alphabet.[(n - 1) mod String.length alphabet]
+
+let render p a =
+  let cols = columns p in
+  let sp = spans p in
+  let buf = Buffer.create 256 in
+  let pin_row arr =
+    String.init cols (fun c -> if arr.(c) > 0 then net_char arr.(c) else '.')
+  in
+  Buffer.add_string buf ("top    " ^ pin_row p.top ^ "\n");
+  for t = 0 to a.num_tracks - 1 do
+    let row = Bytes.make cols ' ' in
+    List.iter
+      (fun (n, tn) ->
+        if tn = t then begin
+          let lo, hi = Hashtbl.find sp n in
+          for c = lo to hi do
+            Bytes.set row c (if c = lo || c = hi then net_char n else '-')
+          done
+        end)
+      a.tracks;
+    Buffer.add_string buf (Printf.sprintf "trk %2d %s\n" t (Bytes.to_string row))
+  done;
+  Buffer.add_string buf ("bottom " ^ pin_row p.bottom ^ "\n");
+  Buffer.contents buf

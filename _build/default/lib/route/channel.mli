@@ -1,0 +1,46 @@
+(** Channel routing by the classic left-edge algorithm: nets enter a
+    horizontal channel through fixed top/bottom pin columns; each net gets
+    one horizontal trunk on a track plus vertical branches to its pins.
+    Covered in the traditional course's routing unit (the MOOC kept maze
+    routing only - this module is the omitted-topic extension).
+
+    Constraints honoured:
+    - horizontal: two nets sharing a track must not overlap in column span;
+    - vertical: in any column, the net pinned on top must be on a track
+      above the net pinned on bottom (acyclic vertical-constraint graph
+      required; cyclic problems are rejected - doglegs are future work). *)
+
+type problem = {
+  top : int array;  (** Net id per column, 0 = no pin. *)
+  bottom : int array;  (** Same length as [top]. *)
+}
+
+type assignment = {
+  tracks : (int * int) list;  (** (net id, track index), track 0 topmost. *)
+  num_tracks : int;
+}
+
+val parse : string -> problem
+(** Two whitespace-separated integer rows:
+    {v
+    top    1 0 2 0 1
+    bottom 0 2 0 1 0
+    v} *)
+
+val to_string : problem -> string
+
+val density : problem -> int
+(** Channel density: the maximum number of nets crossing any column - a
+    lower bound on the track count. *)
+
+val route : problem -> (assignment, string) result
+(** Left-edge with vertical constraints; [Error] explains a cyclic VCG or
+    malformed input. The result always uses at most (and usually exactly)
+    a small constant above {!density} tracks and satisfies both constraint
+    families (checked by {!check}). *)
+
+val check : problem -> assignment -> (unit, string) result
+(** Independent validity check used by the tests. *)
+
+val render : problem -> assignment -> string
+(** ASCII channel picture: trunks, branches and pins. *)

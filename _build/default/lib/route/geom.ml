@@ -1,0 +1,135 @@
+type rect = { x0 : int; y0 : int; x1 : int; y1 : int }
+
+let rect x0 y0 x1 y1 =
+  if x1 <= x0 || y1 <= y0 then invalid_arg "Geom.rect: degenerate rectangle";
+  { x0; y0; x1; y1 }
+
+let area r = (r.x1 - r.x0) * (r.y1 - r.y0)
+
+let intersects a b = a.x0 < b.x1 && b.x0 < a.x1 && a.y0 < b.y1 && b.y0 < a.y1
+
+let intersection a b =
+  if intersects a b then
+    Some
+      {
+        x0 = max a.x0 b.x0;
+        y0 = max a.y0 b.y0;
+        x1 = min a.x1 b.x1;
+        y1 = min a.y1 b.y1;
+      }
+  else None
+
+(* Area of union by scanline over x-events; at each slab, merge the active
+   rectangles' y-intervals. *)
+let union_area rects =
+  match rects with
+  | [] -> 0
+  | _ ->
+    let xs =
+      List.concat_map (fun r -> [ r.x0; r.x1 ]) rects |> List.sort_uniq compare
+    in
+    let rec slabs acc = function
+      | a :: (b :: _ as rest) ->
+        let active = List.filter (fun r -> r.x0 <= a && r.x1 >= b) rects in
+        let intervals =
+          List.map (fun r -> (r.y0, r.y1)) active
+          |> List.sort compare
+        in
+        let rec merged_length last_end acc = function
+          | [] -> acc
+          | (lo, hi) :: rest ->
+            let lo = max lo last_end in
+            if hi > lo then merged_length hi (acc + hi - lo) rest
+            else merged_length last_end acc rest
+        in
+        let covered = merged_length min_int 0 intervals in
+        slabs (acc + ((b - a) * covered)) rest
+      | [ _ ] | [] -> acc
+    in
+    slabs 0 xs
+
+let overlapping_pairs rects =
+  (* sweep by x0; active list pruned by x1 *)
+  let arr = Array.of_list rects in
+  let order = Array.init (Array.length arr) (fun i -> i) in
+  Array.sort (fun i j -> compare arr.(i).x0 arr.(j).x0) order;
+  let active = ref [] and out = ref [] in
+  Array.iter
+    (fun i ->
+      active := List.filter (fun j -> arr.(j).x1 > arr.(i).x0) !active;
+      List.iter
+        (fun j ->
+          if intersects arr.(i) arr.(j) then
+            out := (min i j, max i j) :: !out)
+        !active;
+      active := i :: !active)
+    order;
+  List.sort compare !out
+
+let expand margin r =
+  {
+    x0 = r.x0 - margin;
+    y0 = r.y0 - margin;
+    x1 = r.x1 + margin;
+    y1 = r.y1 + margin;
+  }
+
+type violation = {
+  v_rule : [ `Spacing of int | `Overlap ];
+  v_a : int;
+  v_b : int;
+}
+
+let check_spacing ~spacing rects =
+  let arr = Array.of_list rects in
+  let n = Array.length arr in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if intersects arr.(i) arr.(j) then
+        out := { v_rule = `Overlap; v_a = i; v_b = j } :: !out
+      else if spacing > 0 && intersects (expand spacing arr.(i)) arr.(j) then
+        out := { v_rule = `Spacing spacing; v_a = i; v_b = j } :: !out
+    done
+  done;
+  List.rev !out
+
+let wires_of_layer g layer =
+  let rects = ref [] and owners = ref [] in
+  for y = 0 to Grid.height g - 1 do
+    let x = ref 0 in
+    while !x < Grid.width g do
+      match Grid.occupant g { Grid.layer; x = !x; y } with
+      | None ->
+        incr x
+      | Some net ->
+        let start = !x in
+        while
+          !x < Grid.width g
+          && Grid.occupant g { Grid.layer; x = !x; y } = Some net
+        do
+          incr x
+        done;
+        rects := rect start y !x (y + 1) :: !rects;
+        owners := net :: !owners
+    done
+  done;
+  (List.rev !rects, List.rev !owners)
+
+let drc_check ?(spacing = 0) (result : Router.result) =
+  let g = result.Router.grid in
+  let violations = ref [] and all_rects = ref [] in
+  List.iter
+    (fun layer ->
+      let rects, owners = wires_of_layer g layer in
+      let rect_arr = Array.of_list rects and owner_arr = Array.of_list owners in
+      let vs = check_spacing ~spacing rects in
+      (* keep only violations between different nets: a net's own strips
+         may legally touch (corners, vias, adjacent rows of the same net) *)
+      let cross =
+        List.filter (fun v -> owner_arr.(v.v_a) <> owner_arr.(v.v_b)) vs
+      in
+      violations := !violations @ cross;
+      all_rects := !all_rects @ Array.to_list rect_arr)
+    [ 0; 1 ];
+  (!violations, !all_rects)

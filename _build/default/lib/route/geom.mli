@@ -1,0 +1,51 @@
+(** Computational geometry for layout: the traditional course's
+    "Geometry and DRC" area (scanline algorithms, rectangle Booleans,
+    design-rule checking) - omitted from the MOOC, implemented here as an
+    extension operating on the router's output.
+
+    Rectangles are integer, axis-aligned, half-open: [x0 <= x < x1],
+    [y0 <= y < y1]. *)
+
+type rect = { x0 : int; y0 : int; x1 : int; y1 : int }
+
+val rect : int -> int -> int -> int -> rect
+(** [rect x0 y0 x1 y1]. @raise Invalid_argument if degenerate. *)
+
+val area : rect -> int
+
+val intersects : rect -> rect -> bool
+(** Positive-area overlap (touching edges do not intersect). *)
+
+val intersection : rect -> rect -> rect option
+
+val union_area : rect list -> int
+(** Area of the union, by vertical scanline with interval merging -
+    overlaps counted once. O(n^2) per event line; fine at layout scale. *)
+
+val overlapping_pairs : rect list -> (int * int) list
+(** Index pairs of rectangles with positive-area overlap (sweep line). *)
+
+val expand : int -> rect -> rect
+(** Grow by a margin on every side (for spacing checks). *)
+
+type violation = {
+  v_rule : [ `Spacing of int | `Overlap ];
+  v_a : int;  (** Rectangle indices into the checked list. *)
+  v_b : int;
+}
+
+val check_spacing : spacing:int -> rect list -> violation list
+(** Pairs closer than [spacing] (edge-to-edge, including diagonal
+    proximity) but not overlapping; overlapping pairs are reported as
+    [`Overlap] violations instead. *)
+
+val wires_of_layer : Grid.t -> int -> rect list * int list
+(** Maximal horizontal strips of occupied cells on a layer of a routed
+    grid (one rect per run), and the owning net id per rect. *)
+
+val drc_check : ?spacing:int -> Router.result -> violation list * rect list
+(** Design-rule check of a routed layout: per layer, merge each net's
+    cells into strips and report spacing violations between *different*
+    nets (default spacing 1 means nets must not be edge-adjacent...
+    which legal maze routes may be, so the default is 0: overlaps only).
+    Returns the violations and the checked rectangles. *)

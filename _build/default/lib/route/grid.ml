@@ -1,0 +1,72 @@
+type point = { layer : int; x : int; y : int }
+
+type cost_params = {
+  step : int;
+  bend : int;
+  via : int;
+  wrong_way : int;
+}
+
+let default_costs = { step = 1; bend = 1; via = 3; wrong_way = 2 }
+
+(* cells.(layer).(y * width + x): -1 free, -2 obstacle, >= 0 net id *)
+type t = {
+  w : int;
+  h : int;
+  cp : cost_params;
+  cells : int array array;
+}
+
+let create ?(costs = default_costs) ~width ~height () =
+  if width <= 0 || height <= 0 then invalid_arg "Grid.create: empty grid";
+  {
+    w = width;
+    h = height;
+    cp = costs;
+    cells = Array.init 2 (fun _ -> Array.make (width * height) (-1));
+  }
+
+let width g = g.w
+
+let height g = g.h
+
+let costs g = g.cp
+
+let in_bounds g p =
+  p.layer >= 0 && p.layer < 2 && p.x >= 0 && p.x < g.w && p.y >= 0 && p.y < g.h
+
+let idx g p = (p.y * g.w) + p.x
+
+let add_obstacle g p =
+  if not (in_bounds g p) then invalid_arg "Grid.add_obstacle: out of bounds";
+  g.cells.(p.layer).(idx g p) <- -2
+
+let is_obstacle g p = in_bounds g p && g.cells.(p.layer).(idx g p) = -2
+
+let occupant g p =
+  if not (in_bounds g p) then None
+  else begin
+    let v = g.cells.(p.layer).(idx g p) in
+    if v >= 0 then Some v else None
+  end
+
+let occupy g net p =
+  if not (in_bounds g p) then invalid_arg "Grid.occupy: out of bounds";
+  let v = g.cells.(p.layer).(idx g p) in
+  if v = -2 then invalid_arg "Grid.occupy: obstacle"
+  else if v >= 0 && v <> net then invalid_arg "Grid.occupy: cell owned by another net"
+  else g.cells.(p.layer).(idx g p) <- net
+
+let release_net g net =
+  Array.iter
+    (fun layer ->
+      Array.iteri (fun i v -> if v = net then layer.(i) <- -1) layer)
+    g.cells
+
+let free_for g net p =
+  in_bounds g p
+  &&
+  let v = g.cells.(p.layer).(idx g p) in
+  v = -1 || v = net
+
+let copy g = { g with cells = Array.map Array.copy g.cells }

@@ -1,0 +1,48 @@
+(** Two-layer routing grids with preferred directions, obstacles, vias and
+    per-net occupancy - the playing field of software project 4 (Fig. 6).
+
+    Layer 0 prefers horizontal wires, layer 1 vertical; routing against
+    the preferred direction costs extra. Pins live on layer 0. *)
+
+type point = { layer : int; x : int; y : int }
+
+type cost_params = {
+  step : int;  (** Unit edge cost. *)
+  bend : int;  (** Added when the direction changes on a layer. *)
+  via : int;  (** Layer change at the same (x, y). *)
+  wrong_way : int;  (** Added per step against the preferred direction. *)
+}
+
+val default_costs : cost_params
+
+type t
+
+val create : ?costs:cost_params -> width:int -> height:int -> unit -> t
+
+val width : t -> int
+
+val height : t -> int
+
+val costs : t -> cost_params
+
+val in_bounds : t -> point -> bool
+
+val add_obstacle : t -> point -> unit
+
+val is_obstacle : t -> point -> bool
+
+val occupant : t -> point -> int option
+(** Net id currently using the cell, if any. *)
+
+val occupy : t -> int -> point -> unit
+(** Claim a cell for a net. @raise Invalid_argument on obstacles or cells
+    owned by another net. *)
+
+val release_net : t -> int -> unit
+(** Free every cell owned by the net. *)
+
+val free_for : t -> int -> point -> bool
+(** Usable by this net: in bounds, not an obstacle, not owned by another
+    net. *)
+
+val copy : t -> t

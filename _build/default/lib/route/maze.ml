@@ -1,0 +1,196 @@
+type path = Grid.point list
+
+let astar = ref false
+
+let expansion_count = ref 0
+
+let expansions () = !expansion_count
+
+(* Directions: 0 = none/start, 1 = E, 2 = W, 3 = N, 4 = S, 5 = via. *)
+type dir = int
+
+let step_of_dir = function
+  | 1 -> (1, 0)
+  | 2 -> (-1, 0)
+  | 3 -> (0, 1)
+  | 4 -> (0, -1)
+  | d -> invalid_arg ("Maze.step_of_dir: " ^ string_of_int d)
+
+let is_planar d = d >= 1 && d <= 4
+
+let wrong_way layer d =
+  (* layer 0 prefers horizontal (E/W), layer 1 vertical (N/S) *)
+  match (layer, d) with
+  | 0, (3 | 4) -> true
+  | 1, (1 | 2) -> true
+  | _, _ -> false
+
+let path_contiguous path =
+  let ok_step (a : Grid.point) (b : Grid.point) =
+    let dx = abs (a.Grid.x - b.Grid.x) and dy = abs (a.Grid.y - b.Grid.y) in
+    if a.Grid.layer = b.Grid.layer then dx + dy = 1
+    else dx = 0 && dy = 0 && abs (a.Grid.layer - b.Grid.layer) = 1
+  in
+  let rec check = function
+    | a :: (b :: _ as rest) -> ok_step a b && check rest
+    | [ _ ] | [] -> true
+  in
+  check path
+
+let path_cost (cp : Grid.cost_params) path =
+  let dir_between (a : Grid.point) (b : Grid.point) =
+    if a.Grid.layer <> b.Grid.layer then 5
+    else if b.Grid.x > a.Grid.x then 1
+    else if b.Grid.x < a.Grid.x then 2
+    else if b.Grid.y > a.Grid.y then 3
+    else 4
+  in
+  let rec go prev_dir acc = function
+    | a :: (b :: _ as rest) ->
+      let d = dir_between a b in
+      let c =
+        if d = 5 then cp.Grid.via
+        else begin
+          let base = cp.Grid.step in
+          let base =
+            if wrong_way a.Grid.layer d then base + cp.Grid.wrong_way else base
+          in
+          if is_planar prev_dir && prev_dir <> d then base + cp.Grid.bend
+          else base
+        end
+      in
+      go d (acc + c) rest
+    | [ _ ] | [] -> acc
+  in
+  go 0 0 path
+
+(* Dijkstra from a set of sources to [dst]; cells must be free for [net].
+   Returns the path (source .. dst) without claiming cells. *)
+let search g net sources dst =
+  let cp = Grid.costs g in
+  let best : (int * int * int * dir, int) Hashtbl.t = Hashtbl.create 1024 in
+  let parent : (int * int * int * dir, (int * int * int * dir) option) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let key (p : Grid.point) d = (p.Grid.layer, p.Grid.x, p.Grid.y, d) in
+  let point_of (layer, x, y, _) = { Grid.layer; x; y } in
+  let heur (p : Grid.point) =
+    if !astar then
+      cp.Grid.step * (abs (p.Grid.x - dst.Grid.x) + abs (p.Grid.y - dst.Grid.y))
+    else 0
+  in
+  let cmp (c1, _, _) (c2, _, _) = compare c1 c2 in
+  let heap = Vc_util.Heap.create ~cmp in
+  let push cost p d par =
+    let k = key p d in
+    match Hashtbl.find_opt best k with
+    | Some c when c <= cost -> ()
+    | Some _ | None ->
+      Hashtbl.replace best k cost;
+      Hashtbl.replace parent k par;
+      Vc_util.Heap.push heap (cost + heur p, k, cost)
+  in
+  List.iter (fun p -> push 0 p 0 None) sources;
+  let found = ref None in
+  let continue_ = ref true in
+  while !continue_ do
+    match Vc_util.Heap.pop heap with
+    | None -> continue_ := false
+    | Some (_, k, cost) ->
+      if Hashtbl.find best k = cost then begin
+        incr expansion_count;
+        let (layer, x, y, d) = k in
+        let p = point_of k in
+        if p = dst then begin
+          found := Some k;
+          continue_ := false
+        end
+        else begin
+          (* planar moves *)
+          List.iter
+            (fun nd ->
+              let dx, dy = step_of_dir nd in
+              let q = { Grid.layer; x = x + dx; y = y + dy } in
+              if Grid.free_for g net q then begin
+                let c = cp.Grid.step in
+                let c = if wrong_way layer nd then c + cp.Grid.wrong_way else c in
+                let c = if is_planar d && d <> nd then c + cp.Grid.bend else c in
+                push (cost + c) q nd (Some k)
+              end)
+            [ 1; 2; 3; 4 ];
+          (* via *)
+          let q = { Grid.layer = 1 - layer; x; y } in
+          if Grid.free_for g net q then push (cost + cp.Grid.via) q 5 (Some k)
+        end
+      end
+  done;
+  match !found with
+  | None -> None
+  | Some k ->
+    let rec backtrace k acc =
+      let p = point_of k in
+      match Hashtbl.find parent k with
+      | None -> p :: acc
+      | Some pk ->
+        let pp = point_of pk in
+        (* skip duplicate points (shouldn't occur, but keep paths clean) *)
+        if pp = p then backtrace pk acc else backtrace pk (p :: acc)
+    in
+    Some (backtrace k [])
+
+let claim g net path = List.iter (Grid.occupy g net) path
+
+let route_two_pins g ~net ~src ~dst =
+  match search g net [ src ] dst with
+  | None -> None
+  | Some path ->
+    claim g net path;
+    Some path
+
+let route_net g ~net ~pins =
+  match pins with
+  | [] -> Some []
+  | (x0, y0) :: rest ->
+    let pt (x, y) = { Grid.layer = 0; x; y } in
+    let first = pt (x0, y0) in
+    if not (Grid.free_for g net first) then None
+    else begin
+      Grid.occupy g net first;
+      let tree = ref [ first ] in
+      let paths = ref [] in
+      let remaining = ref (List.map pt rest) in
+      let failed = ref false in
+      while (not !failed) && !remaining <> [] do
+        (* nearest unconnected pin to the tree (manhattan) *)
+        let dist p =
+          List.fold_left
+            (fun acc (t : Grid.point) ->
+              min acc (abs (t.Grid.x - p.Grid.x) + abs (t.Grid.y - p.Grid.y)))
+            max_int !tree
+        in
+        let next =
+          List.fold_left
+            (fun acc p ->
+              match acc with
+              | Some q when dist q <= dist p -> acc
+              | Some _ | None -> Some p)
+            None !remaining
+        in
+        match next with
+        | None -> ()
+        | Some pin -> begin
+          remaining := List.filter (fun p -> p <> pin) !remaining;
+          match search g net !tree pin with
+          | None -> failed := true
+          | Some path ->
+            claim g net path;
+            tree := path @ !tree;
+            paths := path :: !paths
+        end
+      done;
+      if !failed then begin
+        Grid.release_net g net;
+        None
+      end
+      else Some (List.rev !paths)
+    end

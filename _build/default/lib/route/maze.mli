@@ -1,0 +1,35 @@
+(** Maze routing: Dijkstra/Lee wavefront expansion over the two-layer grid
+    with bend, via and wrong-way costs, multi-point nets routed by growing
+    a tree (multi-source expansion from the routed tree to each remaining
+    pin).
+
+    The cost-weighted expansion is exactly the lecture's "Lee's algorithm
+    with non-unit costs"; with all penalties zero it degenerates to
+    classic breadth-first Lee. *)
+
+type path = Grid.point list
+(** Contiguous: consecutive points differ by one grid step on a layer, or
+    by a layer change at the same (x, y). *)
+
+val path_cost : Grid.cost_params -> path -> int
+
+val path_contiguous : path -> bool
+
+val route_two_pins :
+  Grid.t -> net:int -> src:Grid.point -> dst:Grid.point -> path option
+(** Route and claim the cells for [net] on success. Cells owned by [net]
+    already cost nothing to reuse (tree sharing). *)
+
+val route_net : Grid.t -> net:int -> pins:(int * int) list -> path list option
+(** Route a multi-pin net (pins are (x, y) on layer 0) as a tree: nearest
+    unconnected pin next. On failure the net's cells are released and
+    [None] returned. *)
+
+val astar : bool ref
+(** When set (default false), expansion adds an admissible
+    manhattan-distance lower bound (A-star search) - same path costs,
+    fewer expansions; exposed as a toggle for the bench ablation. *)
+
+val expansions : unit -> int
+(** Cumulative count of wavefront pops since program start (bench
+    metric). *)

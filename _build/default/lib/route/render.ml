@@ -1,0 +1,105 @@
+let net_char id =
+  let alphabet = "0123456789abcdefghijklmnopqrstuvwxyz" in
+  alphabet.[id mod String.length alphabet]
+
+let grid_ascii g =
+  let w = Grid.width g and h = Grid.height g in
+  let buf = Buffer.create ((w * 2 * (h + 2)) + 64) in
+  Buffer.add_string buf "layer0 (pref horizontal)";
+  let pad = max 1 (w - 22) in
+  Buffer.add_string buf (String.make (pad + 3) ' ');
+  Buffer.add_string buf "layer1 (pref vertical)\n";
+  for y = h - 1 downto 0 do
+    let emit layer =
+      for x = 0 to w - 1 do
+        let p = { Grid.layer; x; y } in
+        let ch =
+          if Grid.is_obstacle g p then '#'
+          else match Grid.occupant g p with Some id -> net_char id | None -> '.'
+        in
+        Buffer.add_char buf ch
+      done
+    in
+    emit 0;
+    Buffer.add_string buf "   ";
+    emit 1;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let result_ascii (r : Router.result) =
+  Printf.sprintf "routed %d/%d nets, wirelength %d, vias %d\n%s" r.Router.completed
+    r.Router.total r.Router.wirelength r.Router.vias (grid_ascii r.Router.grid)
+
+let result_svg (r : Router.result) =
+  let g = r.Router.grid in
+  let s = 8 in
+  let w = Grid.width g * s and h = Grid.height g * s in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\">\n<rect width=\"%d\" height=\"%d\" \
+        fill=\"white\"/>\n"
+       w h w h w h);
+  let cell color (p : Grid.point) =
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\" \
+          fill-opacity=\"0.7\"/>\n"
+         (p.Grid.x * s)
+         ((Grid.height g - 1 - p.Grid.y) * s)
+         s s color)
+  in
+  for y = 0 to Grid.height g - 1 do
+    for x = 0 to Grid.width g - 1 do
+      List.iter
+        (fun layer ->
+          let p = { Grid.layer; x; y } in
+          if Grid.is_obstacle g p then cell "#bbbbbb" p
+          else
+            match Grid.occupant g p with
+            | Some _ -> cell (if layer = 0 then "#3b6fd4" else "#d43b3b") p
+            | None -> ())
+        [ 0; 1 ]
+    done
+  done;
+  (* vias: cells occupied on both layers by the same net *)
+  for y = 0 to Grid.height g - 1 do
+    for x = 0 to Grid.width g - 1 do
+      match
+        ( Grid.occupant g { Grid.layer = 0; x; y },
+          Grid.occupant g { Grid.layer = 1; x; y } )
+      with
+      | Some a, Some b when a = b ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"black\"/>\n"
+             ((x * s) + (s / 4))
+             (((Grid.height g - 1 - y) * s) + (s / 4))
+             (s / 2) (s / 2))
+      | _, _ -> ()
+    done
+  done;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let placement_svg ~width ~height positions =
+  let scale = 600.0 /. max width height in
+  let buf = Buffer.create 4096 in
+  let w = int_of_float (width *. scale) and h = int_of_float (height *. scale) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\">\n\
+        <rect width=\"%d\" height=\"%d\" fill=\"white\" stroke=\"black\"/>\n"
+       w h w h);
+  Array.iter
+    (fun (x, y) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2\" fill=\"#3b6fd4\"/>\n"
+           (x *. scale)
+           (float_of_int h -. (y *. scale))))
+    positions;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf

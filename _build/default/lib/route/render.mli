@@ -1,0 +1,17 @@
+(** Layout rendering: the stand-in for the course's HTML5 browser viewer.
+    ASCII art for terminals and test fixtures (Fig. 6), SVG for files
+    (Fig. 7). *)
+
+val grid_ascii : Grid.t -> string
+(** Both layers side by side. ['.'] free, ['#'] obstacle, [0-9a-z] net ids
+    (mod 36). *)
+
+val result_ascii : Router.result -> string
+
+val result_svg : Router.result -> string
+(** Self-contained SVG: layer 0 wires in blue, layer 1 in red, vias as
+    black squares, obstacles grey. *)
+
+val placement_svg :
+  width:float -> height:float -> (float * float) array -> string
+(** Dot plot of cell positions (Fig. 7 left). *)

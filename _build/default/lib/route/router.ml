@@ -1,0 +1,228 @@
+type net_spec = { rn_name : string; rn_pins : (int * int) list }
+
+type problem = {
+  grid_width : int;
+  grid_height : int;
+  cost_params : Grid.cost_params;
+  obstacles : Grid.point list;
+  net_specs : net_spec list;
+}
+
+type routed = {
+  r_name : string;
+  r_paths : Maze.path list;
+  r_ok : bool;
+}
+
+type result = {
+  routed : routed list;
+  grid : Grid.t;
+  completed : int;
+  total : int;
+  wirelength : int;
+  vias : int;
+}
+
+let parse_problem text =
+  let width = ref 0 and height = ref 0 in
+  let cp = ref Grid.default_costs in
+  let obstacles = ref [] and nets = ref [] in
+  let int_ ctx v = Vc_util.Tok.parse_int ~context:ctx v in
+  let handle line =
+    match Vc_util.Tok.split_words line with
+    | [] -> ()
+    | [ "grid"; w; h ] ->
+      width := int_ "grid width" w;
+      height := int_ "grid height" h
+    | [ "cost"; s; b; v; ww ] ->
+      cp :=
+        {
+          Grid.step = int_ "cost step" s;
+          bend = int_ "cost bend" b;
+          via = int_ "cost via" v;
+          wrong_way = int_ "cost wrong_way" ww;
+        }
+    | [ "obstacle"; l; x; y ] ->
+      obstacles :=
+        { Grid.layer = int_ "obstacle layer" l;
+          x = int_ "obstacle x" x;
+          y = int_ "obstacle y" y }
+        :: !obstacles
+    | "net" :: name :: coords when List.length coords >= 2 ->
+      if List.length coords mod 2 <> 0 then
+        failwith ("route: odd pin coordinates for net " ^ name);
+      let rec pair = function
+        | x :: y :: rest -> (int_ "pin x" x, int_ "pin y" y) :: pair rest
+        | [ _ ] -> assert false
+        | [] -> []
+      in
+      nets := { rn_name = name; rn_pins = pair coords } :: !nets
+    | toks -> failwith ("route: malformed line: " ^ String.concat " " toks)
+  in
+  List.iter handle (Vc_util.Tok.logical_lines ~comment:'#' text);
+  if !width <= 0 || !height <= 0 then failwith "route: missing grid directive";
+  {
+    grid_width = !width;
+    grid_height = !height;
+    cost_params = !cp;
+    obstacles = List.rev !obstacles;
+    net_specs = List.rev !nets;
+  }
+
+let problem_to_string p =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "grid %d %d\n" p.grid_width p.grid_height);
+  Buffer.add_string buf
+    (Printf.sprintf "cost %d %d %d %d\n" p.cost_params.Grid.step
+       p.cost_params.Grid.bend p.cost_params.Grid.via
+       p.cost_params.Grid.wrong_way);
+  List.iter
+    (fun (o : Grid.point) ->
+      Buffer.add_string buf
+        (Printf.sprintf "obstacle %d %d %d\n" o.Grid.layer o.Grid.x o.Grid.y))
+    p.obstacles;
+  List.iter
+    (fun n ->
+      Buffer.add_string buf ("net " ^ n.rn_name);
+      List.iter
+        (fun (x, y) -> Buffer.add_string buf (Printf.sprintf " %d %d" x y))
+        n.rn_pins;
+      Buffer.add_char buf '\n')
+    p.net_specs;
+  Buffer.contents buf
+
+let bbox pins =
+  List.fold_left
+    (fun (x0, y0, x1, y1) (x, y) -> (min x0 x, min y0 y, max x1 x, max y1 y))
+    (max_int, max_int, min_int, min_int)
+    pins
+
+let boxes_intersect (ax0, ay0, ax1, ay1) (bx0, by0, bx1, by1) =
+  ax0 <= bx1 && bx0 <= ax1 && ay0 <= by1 && by0 <= ay1
+
+let net_span n =
+  let x0, y0, x1, y1 = bbox n.rn_pins in
+  x1 - x0 + (y1 - y0)
+
+let route ?(order = `Short_first) ?(rip_up_passes = 2) p =
+  let g =
+    Grid.create ~costs:p.cost_params ~width:p.grid_width ~height:p.grid_height
+      ()
+  in
+  List.iter (Grid.add_obstacle g) p.obstacles;
+  let specs = Array.of_list p.net_specs in
+  let ids = List.init (Array.length specs) (fun i -> i) in
+  let ordered =
+    match order with
+    | `Given -> ids
+    | `Short_first ->
+      List.sort (fun a b -> compare (net_span specs.(a)) (net_span specs.(b))) ids
+    | `Long_first ->
+      List.sort (fun a b -> compare (net_span specs.(b)) (net_span specs.(a))) ids
+  in
+  let results : Maze.path list option array =
+    Array.make (Array.length specs) None
+  in
+  (* reserve every net's pin cells up front so no other net's wire can
+     cover an unrouted pin; failed routes release their cells, so the
+     reservation is re-established after each attempt *)
+  let reserve id =
+    List.iter
+      (fun (x, y) ->
+        let p = { Grid.layer = 0; x; y } in
+        match Grid.occupy g id p with
+        | () -> ()
+        | exception Invalid_argument _ -> () (* conflicting problem spec *))
+      specs.(id).rn_pins
+  in
+  let try_route id =
+    match Maze.route_net g ~net:id ~pins:specs.(id).rn_pins with
+    | Some paths -> results.(id) <- Some paths
+    | None ->
+      results.(id) <- None;
+      reserve id
+  in
+  List.iter reserve ids;
+  List.iter try_route ordered;
+  (* rip-up and reroute *)
+  let rec ripup pass =
+    let failed = List.filter (fun id -> results.(id) = None) ordered in
+    if pass > 0 && failed <> [] then begin
+      List.iter
+        (fun fid ->
+          if results.(fid) = None then begin
+            let fbox = bbox specs.(fid).rn_pins in
+            (* rip up routed nets whose pin bbox intersects *)
+            let victims =
+              List.filter
+                (fun id ->
+                  id <> fid
+                  && results.(id) <> None
+                  && boxes_intersect fbox (bbox specs.(id).rn_pins))
+                ordered
+            in
+            List.iter
+              (fun id ->
+                Grid.release_net g id;
+                results.(id) <- None;
+                reserve id)
+              victims;
+            (* route the failed net first, then the victims *)
+            try_route fid;
+            List.iter try_route victims
+          end)
+        failed;
+      ripup (pass - 1)
+    end
+  in
+  ripup rip_up_passes;
+  let routed =
+    List.map
+      (fun id ->
+        match results.(id) with
+        | Some paths -> { r_name = specs.(id).rn_name; r_paths = paths; r_ok = true }
+        | None -> { r_name = specs.(id).rn_name; r_paths = []; r_ok = false })
+      ids
+  in
+  let wirelength = ref 0 and vias = ref 0 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun path ->
+          let rec count = function
+            | (a : Grid.point) :: (b :: _ as rest) ->
+              if a.Grid.layer <> b.Grid.layer then incr vias else incr wirelength;
+              count rest
+            | [ _ ] | [] -> ()
+          in
+          count path)
+        r.r_paths)
+    routed;
+  {
+    routed;
+    grid = g;
+    completed = List.length (List.filter (fun r -> r.r_ok) routed);
+    total = List.length routed;
+    wirelength = !wirelength;
+    vias = !vias;
+  }
+
+let solution_to_string result =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      if r.r_ok then begin
+        Buffer.add_string buf ("net " ^ r.r_name ^ "\n");
+        List.iter
+          (fun path ->
+            List.iter
+              (fun (pt : Grid.point) ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%d %d %d\n" pt.Grid.layer pt.Grid.x pt.Grid.y))
+              path;
+            Buffer.add_string buf "break\n")
+          r.r_paths;
+        Buffer.add_string buf "endnet\n"
+      end)
+    result.routed;
+  Buffer.contents buf

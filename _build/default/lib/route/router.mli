@@ -1,0 +1,54 @@
+(** The full routing problem: a set of multi-pin nets on one grid, net
+    ordering, and rip-up-and-reroute - plus the text formats the routing
+    project used (problem download, solution upload). *)
+
+type net_spec = { rn_name : string; rn_pins : (int * int) list }
+
+type problem = {
+  grid_width : int;
+  grid_height : int;
+  cost_params : Grid.cost_params;
+  obstacles : Grid.point list;
+  net_specs : net_spec list;
+}
+
+type routed = {
+  r_name : string;
+  r_paths : Maze.path list;  (** Empty when the net failed. *)
+  r_ok : bool;
+}
+
+type result = {
+  routed : routed list;
+  grid : Grid.t;
+  completed : int;
+  total : int;
+  wirelength : int;  (** Total occupied cells across routed nets. *)
+  vias : int;
+}
+
+val parse_problem : string -> problem
+(** Text format:
+    {v
+    grid <width> <height>
+    cost step bend via wrong_way      (optional)
+    obstacle <layer> <x> <y>
+    net <name> <x> <y> [<x> <y> ...]
+    v} *)
+
+val problem_to_string : problem -> string
+
+val route :
+  ?order:[ `Given | `Short_first | `Long_first ] ->
+  ?rip_up_passes:int ->
+  problem ->
+  result
+(** Default: [`Short_first] ordering, 2 rip-up passes. A rip-up pass
+    releases and re-queues every failed net together with the routed nets
+    whose bounding boxes intersect its pins' bounding box, then routes the
+    queue again. *)
+
+val solution_to_string : result -> string
+(** The student upload format of project 4:
+    one [net <name>] header, then [<layer> <x> <y>] lines tracing each
+    path, then [endnet]. Failed nets are omitted. *)

@@ -1,0 +1,1 @@
+lib/sat/cnf.ml: Array Buffer Hashtbl List Printf String Vc_util

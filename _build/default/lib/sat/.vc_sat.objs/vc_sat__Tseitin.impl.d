@@ -1,0 +1,1 @@
+lib/sat/tseitin.ml: Array Cnf Hashtbl List Solver Vc_cube

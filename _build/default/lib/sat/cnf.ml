@@ -1,0 +1,90 @@
+type lit = int
+
+type clause = lit array
+
+type t = { num_vars : int; clauses : clause list }
+
+let lit_var l = abs l
+
+let lit_sign l = l > 0
+
+let make num_vars clause_lists =
+  let check l =
+    if l = 0 || abs l > num_vars then
+      invalid_arg (Printf.sprintf "Cnf.make: bad literal %d" l)
+  in
+  List.iter (List.iter check) clause_lists;
+  { num_vars; clauses = List.map Array.of_list clause_lists }
+
+let num_clauses f = List.length f.clauses
+
+let parse_dimacs text =
+  (* DIMACS comments are whole lines starting with 'c' *)
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l ->
+           l <> "" && l.[0] <> 'c' && l.[0] <> '%' && l <> "0")
+  in
+  let header = ref None in
+  let clauses = ref [] in
+  let current = ref [] in
+  let handle_token tok =
+    let l = Vc_util.Tok.parse_int ~context:"dimacs literal" tok in
+    if l = 0 then begin
+      clauses := List.rev !current :: !clauses;
+      current := []
+    end
+    else current := l :: !current
+  in
+  let handle_line line =
+    match Vc_util.Tok.split_words line with
+    | "p" :: "cnf" :: v :: c :: _ ->
+      let v = Vc_util.Tok.parse_int ~context:"dimacs var count" v in
+      let c = Vc_util.Tok.parse_int ~context:"dimacs clause count" c in
+      header := Some (v, c)
+    | "p" :: _ -> failwith "dimacs: expected 'p cnf <vars> <clauses>'"
+    | toks -> List.iter handle_token toks
+  in
+  List.iter handle_line lines;
+  if !current <> [] then failwith "dimacs: unterminated clause (missing 0)";
+  match !header with
+  | None -> failwith "dimacs: missing 'p cnf' header"
+  | Some (v, _) -> make v (List.rev !clauses)
+
+let to_dimacs f =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" f.num_vars (num_clauses f));
+  let emit clause =
+    Array.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) clause;
+    Buffer.add_string buf "0\n"
+  in
+  List.iter emit f.clauses;
+  Buffer.contents buf
+
+let eval f a =
+  let lit_true l = if l > 0 then a.(l) else not a.(-l) in
+  List.for_all (fun clause -> Array.exists lit_true clause) f.clauses
+
+let random_ksat ~seed ~num_vars ~num_clauses ~k =
+  if k > num_vars then invalid_arg "Cnf.random_ksat: k > num_vars";
+  let rng = Vc_util.Rng.create seed in
+  let clause () =
+    (* draw k distinct variables, random polarity each *)
+    let chosen = Hashtbl.create k in
+    let rec draw acc remaining =
+      if remaining = 0 then acc
+      else begin
+        let v = 1 + Vc_util.Rng.int rng num_vars in
+        if Hashtbl.mem chosen v then draw acc remaining
+        else begin
+          Hashtbl.add chosen v ();
+          let l = if Vc_util.Rng.bool rng then v else -v in
+          draw (l :: acc) (remaining - 1)
+        end
+      end
+    in
+    draw [] k
+  in
+  make num_vars (List.init num_clauses (fun _ -> clause ()))

@@ -1,0 +1,34 @@
+(** CNF formulas in the DIMACS convention: variables are [1..num_vars],
+    a literal is a non-zero integer, negative for complement. *)
+
+type lit = int
+
+type clause = lit array
+
+type t = { num_vars : int; clauses : clause list }
+
+val make : int -> lit list list -> t
+(** @raise Invalid_argument on zero literals or variables out of range. *)
+
+val num_clauses : t -> int
+
+val parse_dimacs : string -> t
+(** Standard DIMACS CNF ([c] comments, [p cnf V C] header, 0-terminated
+    clauses, possibly spanning lines).
+    @raise Failure on malformed input. *)
+
+val to_dimacs : t -> string
+
+val eval : t -> bool array -> bool
+(** [eval f a] with [a] indexed by variable (index 0 unused). *)
+
+val lit_var : lit -> int
+(** Variable of a literal (its absolute value). *)
+
+val lit_sign : lit -> bool
+(** [true] for a positive literal. *)
+
+val random_ksat :
+  seed:int -> num_vars:int -> num_clauses:int -> k:int -> t
+(** Uniform random k-SAT instance (benchmark workload; the clause/variable
+    ratio controls hardness, with the 3-SAT phase transition near 4.26). *)

@@ -1,0 +1,85 @@
+type stats = { decisions : int; propagations : int }
+
+(* Clauses as literal lists; assignment as a map from var to bool.  The
+   recursion carries a simplified formula: satisfied clauses removed, false
+   literals deleted. Textbook, deliberately so. *)
+
+let solve ?max_decisions (f : Cnf.t) =
+  let n_decisions = ref 0 and n_props = ref 0 in
+  let exception Budget in
+  let assign_lit l assignment = (abs l, l > 0) :: assignment in
+  let simplify l clauses =
+    (* l is now true *)
+    List.filter_map
+      (fun clause ->
+        if List.mem l clause then None
+        else Some (List.filter (fun q -> q <> -l) clause))
+      clauses
+  in
+  let rec unit_propagate clauses assignment =
+    match List.find_opt (fun c -> match c with [ _ ] -> true | _ -> false) clauses with
+    | Some [ l ] ->
+      incr n_props;
+      if List.exists (fun c -> c = []) clauses then None
+      else unit_propagate (simplify l clauses) (assign_lit l assignment)
+    | Some _ -> assert false
+    | None -> if List.exists (fun c -> c = []) clauses then None else Some (clauses, assignment)
+  in
+  let pure_literals clauses =
+    let pos = Hashtbl.create 64 and neg = Hashtbl.create 64 in
+    List.iter
+      (List.iter (fun l ->
+           if l > 0 then Hashtbl.replace pos l () else Hashtbl.replace neg (-l) ()))
+      clauses;
+    Hashtbl.fold
+      (fun v () acc -> if Hashtbl.mem neg v then acc else v :: acc)
+      pos
+      (Hashtbl.fold
+         (fun v () acc -> if Hashtbl.mem pos v then acc else -v :: acc)
+         neg [])
+  in
+  let rec search clauses assignment =
+    match unit_propagate clauses assignment with
+    | None -> None
+    | Some ([], assignment) -> Some assignment
+    | Some (clauses, assignment) -> begin
+      let pures = pure_literals clauses in
+      if pures <> [] then begin
+        let clauses =
+          List.fold_left (fun cs l -> simplify l cs) clauses pures
+        in
+        let assignment = List.fold_left (fun a l -> assign_lit l a) assignment pures in
+        search clauses assignment
+      end
+      else begin
+        (match max_decisions with
+        | Some budget when !n_decisions >= budget -> raise Budget
+        | Some _ | None -> ());
+        incr n_decisions;
+        (* branch on the first literal of the first clause *)
+        let l =
+          match clauses with
+          | (l :: _) :: _ -> l
+          | [] :: _ | [] -> assert false
+        in
+        match search (simplify l clauses) (assign_lit l assignment) with
+        | Some model -> Some model
+        | None -> search (simplify (-l) clauses) (assign_lit (-l) assignment)
+      end
+    end
+  in
+  let clauses = List.map Array.to_list f.Cnf.clauses in
+  let stats () = { decisions = !n_decisions; propagations = !n_props } in
+  match search clauses [] with
+  | Some assignment ->
+    let model = Array.make (f.Cnf.num_vars + 1) false in
+    List.iter (fun (v, b) -> model.(v) <- b) assignment;
+    (Solver.Sat model, stats ())
+  | None -> (Solver.Unsat, stats ())
+  | exception Budget -> (Solver.Unknown, stats ())
+
+let is_sat f =
+  match solve f with
+  | Solver.Sat _, _ -> true
+  | Solver.Unsat, _ -> false
+  | Solver.Unknown, _ -> assert false

@@ -1,0 +1,10 @@
+(** Classic recursive DPLL: unit propagation, pure-literal elimination and
+    chronological backtracking - the course's "before clause learning"
+    baseline that the CDCL benches compare against. *)
+
+type stats = { decisions : int; propagations : int }
+
+val solve : ?max_decisions:int -> Cnf.t -> Solver.result * stats
+(** [Unknown] only when [max_decisions] is exhausted. *)
+
+val is_sat : Cnf.t -> bool

@@ -1,0 +1,39 @@
+(** Conflict-driven clause-learning SAT solver in the miniSAT style the
+    course's SAT portal deployed: two-watched-literal propagation, first-UIP
+    conflict analysis, VSIDS branching, phase saving, Luby restarts and
+    activity-based learned-clause deletion.
+
+    Each feature can be switched off through {!config} - the knockouts used
+    by the ablation benches (a solver with learning, VSIDS and restarts all
+    disabled behaves like naive DPLL with watched literals). *)
+
+type config = {
+  use_learning : bool;
+      (** [false]: on conflict, learn only the negation of the current
+          decisions instead of the first-UIP clause. *)
+  use_vsids : bool;  (** [false]: branch on the lowest-index unassigned var. *)
+  use_restarts : bool;  (** Luby-sequence restarts, unit 100 conflicts. *)
+  use_phase_saving : bool;
+  max_conflicts : int option;  (** Give up ([Unknown]) after this many. *)
+}
+
+val default_config : config
+(** Everything on, no conflict budget. *)
+
+type result =
+  | Sat of bool array  (** Model indexed by variable; index 0 unused. *)
+  | Unsat
+  | Unknown  (** Conflict budget exhausted. *)
+
+type stats = {
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  restarts : int;
+  learned : int;  (** Learned clauses currently in the database. *)
+}
+
+val solve : ?config:config -> Cnf.t -> result * stats
+
+val is_sat : Cnf.t -> bool
+(** Convenience wrapper; treats [Unknown] as impossible (no budget). *)

@@ -1,0 +1,102 @@
+module Expr = Vc_cube.Expr
+
+type encoding = {
+  cnf : Cnf.t;
+  output : Cnf.lit;
+  var_of_name : (string * int) list;
+}
+
+type builder = {
+  mutable next : int;
+  mutable clauses : int list list;
+  names : (string, int) Hashtbl.t;
+}
+
+let fresh b =
+  let v = b.next in
+  b.next <- v + 1;
+  v
+
+let add b clause = b.clauses <- clause :: b.clauses
+
+let input_var b name =
+  match Hashtbl.find_opt b.names name with
+  | Some v -> v
+  | None ->
+    let v = fresh b in
+    Hashtbl.add b.names name v;
+    v
+
+(* Returns a literal equivalent to the subexpression. *)
+let rec encode_expr b = function
+  | Expr.Const true ->
+    let v = fresh b in
+    add b [ v ];
+    v
+  | Expr.Const false ->
+    let v = fresh b in
+    add b [ -v ];
+    v
+  | Expr.Var name -> input_var b name
+  | Expr.Not e -> -encode_expr b e
+  | Expr.And (x, y) ->
+    let a = encode_expr b x and c = encode_expr b y in
+    let o = fresh b in
+    (* o <-> a & c *)
+    add b [ -o; a ];
+    add b [ -o; c ];
+    add b [ o; -a; -c ];
+    o
+  | Expr.Or (x, y) ->
+    let a = encode_expr b x and c = encode_expr b y in
+    let o = fresh b in
+    add b [ o; -a ];
+    add b [ o; -c ];
+    add b [ -o; a; c ];
+    o
+  | Expr.Xor (x, y) ->
+    let a = encode_expr b x and c = encode_expr b y in
+    let o = fresh b in
+    add b [ -o; a; c ];
+    add b [ -o; -a; -c ];
+    add b [ o; -a; c ];
+    add b [ o; a; -c ];
+    o
+
+let encode e =
+  let b = { next = 1; clauses = []; names = Hashtbl.create 16 } in
+  (* register inputs first so their variable numbers are stable/low *)
+  List.iter (fun v -> ignore (input_var b v)) (Expr.vars e);
+  let output = encode_expr b e in
+  let cnf = Cnf.make (b.next - 1) (List.rev b.clauses) in
+  let var_of_name =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) b.names []
+    |> List.sort compare
+  in
+  { cnf; output; var_of_name }
+
+let sat_of_expr e =
+  let enc = encode e in
+  Cnf.make enc.cnf.Cnf.num_vars
+    ([ enc.output ] :: List.map Array.to_list enc.cnf.Cnf.clauses)
+
+let miter a b = sat_of_expr (Expr.Xor (a, b))
+
+let equivalent a b =
+  match Solver.solve (miter a b) with
+  | Solver.Unsat, _ -> true
+  | Solver.Sat _, _ -> false
+  | Solver.Unknown, _ -> assert false
+
+let counterexample a b =
+  let e = Expr.Xor (a, b) in
+  let enc = encode e in
+  let cnf =
+    Cnf.make enc.cnf.Cnf.num_vars
+      ([ enc.output ] :: List.map Array.to_list enc.cnf.Cnf.clauses)
+  in
+  match Solver.solve cnf with
+  | Solver.Unsat, _ -> None
+  | Solver.Sat model, _ ->
+    Some (List.map (fun (name, v) -> (name, model.(v))) enc.var_of_name)
+  | Solver.Unknown, _ -> assert false

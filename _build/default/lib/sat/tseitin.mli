@@ -1,0 +1,28 @@
+(** Tseitin transformation: linear-size CNF encoding of a Boolean
+    expression by introducing one fresh variable per gate, plus the
+    SAT-based equivalence checking built from it (the lectures' "SAT or
+    BDDs" verification choice). *)
+
+type encoding = {
+  cnf : Cnf.t;
+  output : Cnf.lit;  (** Literal asserting the expression's output. *)
+  var_of_name : (string * int) list;  (** Input name -> CNF variable. *)
+}
+
+val encode : Vc_cube.Expr.t -> encoding
+(** CNF whose models restricted to the inputs are exactly the expression's
+    satisfying assignments once [output] is asserted. The returned [cnf]
+    does NOT include the unit clause for [output]; add it for
+    satisfiability queries. *)
+
+val sat_of_expr : Vc_cube.Expr.t -> Cnf.t
+(** [encode] plus the output unit clause: satisfiable iff the expression
+    is. *)
+
+val equivalent : Vc_cube.Expr.t -> Vc_cube.Expr.t -> bool
+(** Miter-based equivalence: encode [a XOR b], assert it, call the CDCL
+    solver, and report UNSAT as equivalence. *)
+
+val counterexample :
+  Vc_cube.Expr.t -> Vc_cube.Expr.t -> (string * bool) list option
+(** A distinguishing input assignment, or [None] if equivalent. *)

@@ -1,0 +1,1 @@
+lib/techmap/cell_lib.ml: Hashtbl List

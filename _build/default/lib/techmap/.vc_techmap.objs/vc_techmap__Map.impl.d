@@ -1,0 +1,1 @@
+lib/techmap/map.ml: Array Buffer Cell_lib Hashtbl List Option Printf String Subject Vc_network

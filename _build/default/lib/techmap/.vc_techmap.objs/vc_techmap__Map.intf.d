@@ -1,0 +1,1 @@
+lib/techmap/map.mli: Cell_lib Subject Vc_network

@@ -1,0 +1,1 @@
+lib/techmap/subject.ml: Array Hashtbl List Vc_multilevel Vc_network

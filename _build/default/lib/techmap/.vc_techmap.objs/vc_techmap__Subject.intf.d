@@ -1,0 +1,1 @@
+lib/techmap/subject.mli: Vc_network

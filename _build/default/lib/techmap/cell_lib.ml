@@ -1,0 +1,73 @@
+type pattern =
+  | P_leaf of int
+  | P_nand of pattern * pattern
+  | P_inv of pattern
+
+type cell = {
+  cell_name : string;
+  area : float;
+  delay : float;
+  arity : int;
+  pattern : pattern;
+}
+
+let leaves pattern =
+  let seen = Hashtbl.create 8 in
+  let rec visit = function
+    | P_leaf i -> Hashtbl.replace seen i ()
+    | P_nand (a, b) ->
+      visit a;
+      visit b
+    | P_inv a -> visit a
+  in
+  visit pattern;
+  Hashtbl.length seen
+
+let cell name area delay pattern =
+  { cell_name = name; area; delay; arity = leaves pattern; pattern }
+
+let l0 = P_leaf 0
+let l1 = P_leaf 1
+let l2 = P_leaf 2
+let l3 = P_leaf 3
+
+(* Gate identities in the NAND/INV basis:
+   AND(a,b)  = INV (NAND (a, b))
+   OR(a,b)   = NAND (INV a, INV b)
+   NOR(a,b)  = INV (NAND (INV a, INV b))
+   AO21      = ab + c = NAND (NAND (a,b), INV c)
+   AOI21     = !(ab + c) = INV (NAND (NAND (a,b), INV c))
+   OA21      = (a+b) c = INV (NAND (NAND (INV a, INV b), c))
+   OAI21     = !((a+b) c) = NAND (NAND (INV a, INV b), c)
+   XOR(a,b)  = NAND (NAND (a, INV b), NAND (INV a, b))
+   (XOR reuses leaf slots - the matcher binds repeated slots to the same
+   hash-consed subject node, which a factored XOR cone produces.)       *)
+let standard () =
+  [
+    cell "INV" 1.0 0.40 (P_inv l0);
+    cell "NAND2" 2.0 0.55 (P_nand (l0, l1));
+    cell "NAND3" 3.0 0.75 (P_nand (l0, P_inv (P_nand (l1, l2))));
+    cell "NAND4" 4.0 0.95
+      (P_nand (P_inv (P_nand (l0, l1)), P_inv (P_nand (l2, l3))));
+    cell "AND2" 3.0 0.70 (P_inv (P_nand (l0, l1)));
+    cell "AND3" 4.0 0.85 (P_inv (P_nand (l0, P_inv (P_nand (l1, l2)))));
+    cell "OR2" 3.0 0.70 (P_nand (P_inv l0, P_inv l1));
+    cell "OR3" 4.0 0.85
+      (P_nand (P_inv l0, P_inv (P_nand (P_inv l1, P_inv l2))));
+    cell "NOR2" 2.0 0.60 (P_inv (P_nand (P_inv l0, P_inv l1)));
+    cell "AO21" 3.5 0.85 (P_nand (P_nand (l0, l1), P_inv l2));
+    cell "AOI21" 3.0 0.80 (P_inv (P_nand (P_nand (l0, l1), P_inv l2)));
+    cell "AOI22" 4.0 0.95
+      (P_inv (P_nand (P_nand (l0, l1), P_nand (l2, l3))));
+    cell "OA21" 3.5 0.85 (P_inv (P_nand (P_nand (P_inv l0, P_inv l1), l2)));
+    cell "OAI21" 3.0 0.80 (P_nand (P_nand (P_inv l0, P_inv l1), l2));
+    cell "XOR2" 4.5 0.90
+      (P_nand (P_nand (l0, P_inv l1), P_nand (P_inv l0, l1)));
+    cell "XNOR2" 4.5 0.90
+      (P_inv (P_nand (P_nand (l0, P_inv l1), P_nand (P_inv l0, l1))));
+  ]
+
+let minimal () =
+  [ cell "INV" 1.0 0.40 (P_inv l0); cell "NAND2" 2.0 0.55 (P_nand (l0, l1)) ]
+
+let find cells name = List.find_opt (fun c -> c.cell_name = name) cells

@@ -1,0 +1,31 @@
+(** Standard-cell library for technology mapping. Each cell carries a
+    pattern tree over the NAND2/INV basis (the subject-graph decomposition
+    taught in the tech-mapping week), an area, and a pin-to-output delay. *)
+
+type pattern =
+  | P_leaf of int  (** Pattern input slot (0-based). *)
+  | P_nand of pattern * pattern
+  | P_inv of pattern
+
+type cell = {
+  cell_name : string;
+  area : float;
+  delay : float;  (** Worst pin-to-output delay, ns. *)
+  arity : int;
+  pattern : pattern;
+}
+
+val leaves : pattern -> int
+(** Number of distinct leaf slots (= the cell's arity). *)
+
+val standard : unit -> cell list
+(** The course library: INV, NAND2/3/4, AND2/3, OR2/3, NOR2, AO21/AOI21,
+    OA21/OAI21, AOI22, XOR2, XNOR2, with areas and delays loosely modelled
+    on a generic standard-cell book (bigger cells amortize area but are
+    slower; XOR cells match through repeated pattern-leaf slots). *)
+
+val minimal : unit -> cell list
+(** INV and NAND2 only - the "no library" baseline for the mapping
+    ablation. *)
+
+val find : cell list -> string -> cell option

@@ -1,0 +1,195 @@
+module Network = Vc_network.Network
+
+type mode = Min_area | Min_delay
+
+type gate = {
+  g_cell : Cell_lib.cell;
+  g_inputs : int list;
+  g_output : int;
+}
+
+type mapping = {
+  gates : gate list;
+  area : float;
+  delay : float;
+  subject : Subject.t;
+  mode : mode;
+}
+
+(* Match [pattern] rooted at subject node [id].  Internal pattern nodes may
+   only absorb single-fanout subject nodes (multi-fanout nodes are covering
+   boundaries and must bind to pattern leaves). Returns the leaf binding
+   (slot -> subject id) or None. [root] is exempt from the fanout rule. *)
+let match_at (s : Subject.t) pattern root =
+  let exception No_match in
+  let bindings = Hashtbl.create 8 in
+  let rec go pattern id ~is_root =
+    match pattern with
+    | Cell_lib.P_leaf slot -> begin
+      match Hashtbl.find_opt bindings slot with
+      | Some bound when bound <> id -> raise No_match
+      | Some _ -> ()
+      | None -> Hashtbl.add bindings slot id
+    end
+    | Cell_lib.P_inv p -> begin
+      if (not is_root) && s.Subject.fanout.(id) > 1 then raise No_match;
+      match s.Subject.nodes.(id) with
+      | Subject.S_inv x -> go p x ~is_root:false
+      | Subject.S_input _ | Subject.S_nand _ -> raise No_match
+    end
+    | Cell_lib.P_nand (pa, pb) -> begin
+      if (not is_root) && s.Subject.fanout.(id) > 1 then raise No_match;
+      match s.Subject.nodes.(id) with
+      | Subject.S_nand (x, y) -> begin
+        (* try both argument orders; commit to the first that matches *)
+        let attempt a b =
+          let saved = Hashtbl.copy bindings in
+          try
+            go pa a ~is_root:false;
+            go pb b ~is_root:false;
+            true
+          with No_match ->
+            Hashtbl.reset bindings;
+            Hashtbl.iter (Hashtbl.add bindings) saved;
+            false
+        in
+        if not (attempt x y || attempt y x) then raise No_match
+      end
+      | Subject.S_input _ | Subject.S_inv _ -> raise No_match
+    end
+  in
+  match go pattern root ~is_root:true with
+  | () ->
+    let slots = List.init (Hashtbl.length bindings) (fun i -> i) in
+    Some (List.map (fun slot -> Hashtbl.find bindings slot) slots)
+  | exception No_match -> None
+  | exception Not_found -> None
+
+let cover ?(mode = Min_area) cells (s : Subject.t) =
+  let n = Array.length s.Subject.nodes in
+  let best_cost = Array.make n infinity in
+  let best_gate : gate option array = Array.make n None in
+  (* DP bottom-up: children have smaller ids, so a left-to-right pass sees
+     leaf costs before parents. *)
+  for id = 0 to n - 1 do
+    match s.Subject.nodes.(id) with
+    | Subject.S_input _ -> best_cost.(id) <- 0.0
+    | Subject.S_inv _ | Subject.S_nand _ ->
+      List.iter
+        (fun (cell : Cell_lib.cell) ->
+          match match_at s cell.Cell_lib.pattern id with
+          | None -> ()
+          | Some leaf_ids ->
+            let cost =
+              match mode with
+              | Min_area ->
+                List.fold_left
+                  (fun acc l -> acc +. best_cost.(l))
+                  cell.Cell_lib.area leaf_ids
+              | Min_delay ->
+                List.fold_left
+                  (fun acc l -> max acc best_cost.(l))
+                  0.0 leaf_ids
+                +. cell.Cell_lib.delay
+            in
+            if cost < best_cost.(id) then begin
+              best_cost.(id) <- cost;
+              best_gate.(id) <-
+                Some { g_cell = cell; g_inputs = leaf_ids; g_output = id }
+            end)
+        cells
+  done;
+  (* extract the chosen gates from the output roots down *)
+  let chosen = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec emit id =
+    if not (Hashtbl.mem chosen id) then begin
+      match s.Subject.nodes.(id) with
+      | Subject.S_input _ -> ()
+      | Subject.S_inv _ | Subject.S_nand _ -> begin
+        match best_gate.(id) with
+        | None -> failwith "Map.cover: uncoverable node (library too small?)"
+        | Some g ->
+          Hashtbl.add chosen id g;
+          List.iter emit g.g_inputs;
+          order := g :: !order
+      end
+    end
+  in
+  List.iter (fun (_, id) -> emit id) s.Subject.outputs;
+  let gates = List.rev !order in
+  (* order currently reversed-topological from the emission; fix: emit
+     pushed parents after children via recursion, so !order has parents
+     first; reverse gives children first *)
+  let area =
+    List.fold_left (fun acc g -> acc +. g.g_cell.Cell_lib.area) 0.0 gates
+  in
+  (* arrival-time pass for the mapped netlist *)
+  let arrival = Hashtbl.create 64 in
+  let arrival_of id =
+    match s.Subject.nodes.(id) with
+    | Subject.S_input _ -> 0.0
+    | Subject.S_inv _ | Subject.S_nand _ ->
+      Option.value ~default:0.0 (Hashtbl.find_opt arrival id)
+  in
+  List.iter
+    (fun g ->
+      let a =
+        List.fold_left (fun acc l -> max acc (arrival_of l)) 0.0 g.g_inputs
+        +. g.g_cell.Cell_lib.delay
+      in
+      Hashtbl.replace arrival g.g_output a)
+    gates;
+  let delay =
+    List.fold_left
+      (fun acc (_, id) -> max acc (arrival_of id))
+      0.0 s.Subject.outputs
+  in
+  { gates; area; delay; subject = s; mode }
+
+let map_network ?mode cells net = cover ?mode cells (Subject.of_network net)
+
+let gate_count m = List.length m.gates
+
+let simulate m env =
+  let s = m.subject in
+  let values = Hashtbl.create 64 in
+  let value_of id =
+    match s.Subject.nodes.(id) with
+    | Subject.S_input name -> env name
+    | Subject.S_inv _ | Subject.S_nand _ -> begin
+      match Hashtbl.find_opt values id with
+      | Some v -> v
+      | None -> failwith "Map.simulate: gate evaluated before its inputs"
+    end
+  in
+  let eval_gate g =
+    let inputs = Array.of_list (List.map value_of g.g_inputs) in
+    let rec eval_pattern = function
+      | Cell_lib.P_leaf slot -> inputs.(slot)
+      | Cell_lib.P_inv p -> not (eval_pattern p)
+      | Cell_lib.P_nand (a, b) -> not (eval_pattern a && eval_pattern b)
+    in
+    Hashtbl.replace values g.g_output (eval_pattern g.g_cell.Cell_lib.pattern)
+  in
+  List.iter eval_gate m.gates;
+  List.map (fun (name, id) -> (name, value_of id)) s.Subject.outputs
+
+let to_string m =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "# %d gates, area %.1f, delay %.2f (%s)\n"
+       (gate_count m) m.area m.delay
+       (match m.mode with Min_area -> "min-area" | Min_delay -> "min-delay"));
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "n%d = %s(%s)\n" g.g_output g.g_cell.Cell_lib.cell_name
+           (String.concat ", "
+              (List.map (fun i -> "n" ^ string_of_int i) g.g_inputs))))
+    m.gates;
+  List.iter
+    (fun (name, id) ->
+      Buffer.add_string buf (Printf.sprintf "output %s = n%d\n" name id))
+    m.subject.Subject.outputs;
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Technology mapping by dynamic-programming tree covering over the
+    subject graph, in both objective modes taught in the lectures. *)
+
+type mode = Min_area | Min_delay
+
+type gate = {
+  g_cell : Cell_lib.cell;
+  g_inputs : int list;  (** Subject ids feeding each pattern leaf, in slot order. *)
+  g_output : int;  (** Subject id this gate implements. *)
+}
+
+type mapping = {
+  gates : gate list;  (** Topological (inputs before users). *)
+  area : float;
+  delay : float;  (** Critical path through cell delays. *)
+  subject : Subject.t;
+  mode : mode;
+}
+
+val cover : ?mode:mode -> Cell_lib.cell list -> Subject.t -> mapping
+(** Cover the subject graph. Multi-fanout nodes are covering boundaries
+    (classic tree mapping). The library must contain INV and NAND2 so a
+    cover always exists.
+    @raise Failure if some node cannot be covered. *)
+
+val map_network : ?mode:mode -> Cell_lib.cell list -> Vc_network.Network.t -> mapping
+(** [Subject.of_network] then {!cover}. *)
+
+val gate_count : mapping -> int
+
+val simulate : mapping -> (string -> bool) -> (string * bool) list
+(** Evaluate the mapped netlist gate by gate (through each cell's pattern
+    semantics) - independent of the subject graph's own evaluator, so tests
+    can cross-check the cover. *)
+
+val to_string : mapping -> string
+(** Human-readable netlist listing. *)

@@ -1,0 +1,182 @@
+module Network = Vc_network.Network
+module Factor = Vc_multilevel.Factor
+module Algebraic = Vc_multilevel.Algebraic
+
+type node =
+  | S_input of string
+  | S_nand of int * int
+  | S_inv of int
+
+type t = {
+  nodes : node array;
+  outputs : (string * int) list;
+  inputs : (string * int) list;
+  fanout : int array;
+}
+
+type builder = {
+  mutable arr : node array;
+  mutable count : int;
+  cons : (node, int) Hashtbl.t;
+}
+
+let push b n =
+  match Hashtbl.find_opt b.cons n with
+  | Some id -> id
+  | None ->
+    if b.count = Array.length b.arr then begin
+      let bigger = Array.make (max 64 (2 * b.count)) n in
+      Array.blit b.arr 0 bigger 0 b.count;
+      b.arr <- bigger
+    end;
+    let id = b.count in
+    b.count <- id + 1;
+    b.arr.(id) <- n;
+    Hashtbl.add b.cons n id;
+    id
+
+let mk_input b name = push b (S_input name)
+
+let mk_inv b x =
+  (* collapse double inversion *)
+  match b.arr.(x) with
+  | S_inv y -> y
+  | S_input _ | S_nand _ -> push b (S_inv x)
+
+let mk_nand b x y =
+  let x, y = if x <= y then (x, y) else (y, x) in
+  push b (S_nand (x, y))
+
+let mk_and b x y = mk_inv b (mk_nand b x y)
+
+let mk_or b x y = mk_nand b (mk_inv b x) (mk_inv b y)
+
+let of_network net =
+  let b = { arr = [||]; count = 0; cons = Hashtbl.create 256 } in
+  let signal_id = Hashtbl.create 64 in
+  List.iter
+    (fun i -> Hashtbl.replace signal_id i (mk_input b i))
+    (Network.inputs net);
+  let reduce f = function
+    | [] -> None
+    | x :: rest -> Some (List.fold_left f x rest)
+  in
+  let build name =
+    match Network.find_node net name with
+    | None -> failwith ("Subject.of_network: undefined signal " ^ name)
+    | Some node ->
+      let form = Factor.factor (Algebraic.of_node node) in
+      let rec conv = function
+        | Factor.Lit (s, pos) -> begin
+          match Hashtbl.find_opt signal_id s with
+          | Some id -> if pos then Some id else Some (mk_inv b id)
+          | None -> failwith ("Subject.of_network: unresolved signal " ^ s)
+        end
+        | Factor.And fs -> reduce (mk_and b) (List.filter_map conv fs)
+        | Factor.Or fs -> reduce (mk_or b) (List.filter_map conv fs)
+      in
+      match conv form with
+      | Some id -> Hashtbl.replace signal_id name id
+      | None ->
+        failwith
+          ("Subject.of_network: constant node " ^ name
+         ^ " (sweep the network first)")
+  in
+  List.iter build (Network.topological_order net);
+  let raw = Array.sub b.arr 0 b.count in
+  (* Construction leaves dead intermediates behind (e.g. the INV eaten by a
+     double-negation collapse). Prune to the cone of the outputs and the
+     inputs, otherwise dead references inflate fanout counts and block
+     pattern matches at what are really single-fanout nodes. *)
+  let output_ids =
+    List.map
+      (fun o ->
+        match Hashtbl.find_opt signal_id o with
+        | Some id -> (o, id)
+        | None -> failwith ("Subject.of_network: undriven output " ^ o))
+      (Network.outputs net)
+  in
+  let live = Array.make (Array.length raw) false in
+  let rec mark id =
+    if not live.(id) then begin
+      live.(id) <- true;
+      match raw.(id) with
+      | S_input _ -> ()
+      | S_inv x -> mark x
+      | S_nand (x, y) ->
+        mark x;
+        mark y
+    end
+  in
+  List.iter (fun (_, id) -> mark id) output_ids;
+  List.iter (fun i -> mark (Hashtbl.find signal_id i)) (Network.inputs net);
+  let remap = Array.make (Array.length raw) (-1) in
+  let next = ref 0 in
+  Array.iteri
+    (fun id alive ->
+      if alive then begin
+        remap.(id) <- !next;
+        incr next
+      end)
+    live;
+  let nodes = Array.make !next (S_input "") in
+  Array.iteri
+    (fun id alive ->
+      if alive then
+        nodes.(remap.(id)) <-
+          (match raw.(id) with
+          | S_input _ as n -> n
+          | S_inv x -> S_inv remap.(x)
+          | S_nand (x, y) -> S_nand (remap.(x), remap.(y))))
+    live;
+  let fanout = Array.make !next 0 in
+  Array.iter
+    (fun n ->
+      match n with
+      | S_input _ -> ()
+      | S_inv x -> fanout.(x) <- fanout.(x) + 1
+      | S_nand (x, y) ->
+        fanout.(x) <- fanout.(x) + 1;
+        fanout.(y) <- fanout.(y) + 1)
+    nodes;
+  let outputs =
+    List.map
+      (fun (o, id) ->
+        fanout.(remap.(id)) <- fanout.(remap.(id)) + 1;
+        (o, remap.(id)))
+      output_ids
+  in
+  let inputs =
+    List.map
+      (fun i -> (i, remap.(Hashtbl.find signal_id i)))
+      (Network.inputs net)
+  in
+  { nodes; outputs; inputs; fanout }
+
+let size t = Array.length t.nodes
+
+let nand_count t =
+  Array.fold_left
+    (fun acc n -> match n with S_nand _ -> acc + 1 | S_input _ | S_inv _ -> acc)
+    0 t.nodes
+
+let inv_count t =
+  Array.fold_left
+    (fun acc n -> match n with S_inv _ -> acc + 1 | S_input _ | S_nand _ -> acc)
+    0 t.nodes
+
+let eval t env =
+  let values = Array.make (Array.length t.nodes) false in
+  Array.iteri
+    (fun i n ->
+      values.(i) <-
+        (match n with
+        | S_input name -> env name
+        | S_inv x -> not values.(x)
+        | S_nand (x, y) -> not (values.(x) && values.(y))))
+    t.nodes;
+  values
+
+let simulate t env =
+  let values = eval t env in
+  List.map (fun (name, id) -> (name, values.(id))) t.outputs

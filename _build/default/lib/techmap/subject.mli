@@ -1,0 +1,32 @@
+(** Subject graphs: the Boolean network decomposed into the NAND2/INV
+    basis, hash-consed, with fanout counts - the canvas tree-covering
+    operates on. *)
+
+type node =
+  | S_input of string
+  | S_nand of int * int
+  | S_inv of int
+
+type t = {
+  nodes : node array;  (** Indexed by id; children have smaller ids. *)
+  outputs : (string * int) list;  (** Output name -> subject id. *)
+  inputs : (string * int) list;  (** Input name -> subject id. *)
+  fanout : int array;  (** References from other nodes and outputs. *)
+}
+
+val of_network : Vc_network.Network.t -> t
+(** Decompose every node through its factored form.
+    @raise Failure if the network has constant nodes (run
+    {!Vc_multilevel.Opt.sweep} first). *)
+
+val size : t -> int
+
+val nand_count : t -> int
+
+val inv_count : t -> int
+
+val eval : t -> (string -> bool) -> bool array
+(** Value of every subject node under an input assignment. *)
+
+val simulate : t -> (string -> bool) -> (string * bool) list
+(** Output values under an input assignment. *)

@@ -1,0 +1,1 @@
+lib/timing/elmore.ml: Hashtbl List Printf Vc_route

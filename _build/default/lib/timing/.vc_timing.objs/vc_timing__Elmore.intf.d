@@ -1,0 +1,1 @@
+lib/timing/elmore.mli: Vc_route

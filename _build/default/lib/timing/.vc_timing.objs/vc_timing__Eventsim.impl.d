@@ -1,0 +1,1 @@
+lib/timing/eventsim.ml: Array List Vc_techmap Vc_util

@@ -1,0 +1,1 @@
+lib/timing/eventsim.mli: Vc_techmap

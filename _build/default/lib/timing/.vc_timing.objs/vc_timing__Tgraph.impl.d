@@ -1,0 +1,1 @@
+lib/timing/tgraph.ml: Array Buffer Hashtbl List Option Printf Queue String Vc_techmap

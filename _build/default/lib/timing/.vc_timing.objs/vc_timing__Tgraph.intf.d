@@ -1,0 +1,1 @@
+lib/timing/tgraph.mli: Vc_techmap

@@ -1,0 +1,109 @@
+type tree = {
+  resistance : float;
+  capacitance : float;
+  label : string;
+  children : tree list;
+}
+
+let node ?(label = "") ~r ~c children =
+  { resistance = r; capacitance = c; label; children }
+
+let rec downstream_capacitance t =
+  List.fold_left
+    (fun acc child -> acc +. downstream_capacitance child)
+    t.capacitance t.children
+
+let delays ?(driver_resistance = 0.0) t =
+  let out = ref [] in
+  (* accumulate sum of R_k * C_down(k) along the path from the root *)
+  let rec walk upstream node =
+    let here = upstream +. (node.resistance *. downstream_capacitance node) in
+    if node.label <> "" then out := (node.label, here) :: !out;
+    List.iter (walk here) node.children
+  in
+  let base = driver_resistance *. downstream_capacitance t in
+  walk base { t with resistance = 0.0 };
+  (* the root's own resistance is folded away: the driver resistance models
+     the source; re-add the root segment if it had one *)
+  if t.resistance <> 0.0 then begin
+    let shifted = t.resistance *. downstream_capacitance t in
+    out := List.map (fun (l, d) -> (l, d +. shifted)) !out
+  end;
+  List.rev !out
+
+let delay_to ?driver_resistance t label =
+  match List.assoc_opt label (delays ?driver_resistance t) with
+  | Some d -> d
+  | None -> raise Not_found
+
+type wire_params = {
+  r_per_unit : float;
+  c_per_unit : float;
+  via_r : float;
+  via_c : float;
+  load_c : float;
+}
+
+let default_wire =
+  { r_per_unit = 0.1; c_per_unit = 0.2; via_r = 2.0; via_c = 0.1; load_c = 1.0 }
+
+(* Mutable scaffolding while stitching paths into a tree. *)
+type mnode = {
+  mutable m_r : float;
+  mutable m_c : float;
+  mutable m_label : string;
+  mutable m_children : Vc_route.Grid.point list;
+}
+
+let of_route ?(params = default_wire) paths =
+  match paths with
+  | [] | [] :: _ -> invalid_arg "Elmore.of_route: empty route"
+  | (root_pt :: _) :: _ ->
+    let table : (Vc_route.Grid.point, mnode) Hashtbl.t = Hashtbl.create 64 in
+    let get pt =
+      match Hashtbl.find_opt table pt with
+      | Some n -> n
+      | None ->
+        let n = { m_r = 0.0; m_c = 0.0; m_label = ""; m_children = [] } in
+        Hashtbl.add table pt n;
+        n
+    in
+    let root = get root_pt in
+    root.m_c <- params.c_per_unit;
+    let sink_id = ref 0 in
+    let add_segment a b =
+      if not (Hashtbl.mem table b) then begin
+        let n = get b in
+        let via = a.Vc_route.Grid.layer <> b.Vc_route.Grid.layer in
+        n.m_r <- (if via then params.via_r else params.r_per_unit);
+        n.m_c <- (if via then params.via_c else params.c_per_unit);
+        (get a).m_children <- b :: (get a).m_children
+      end
+    in
+    List.iter
+      (fun path ->
+        let rec walk = function
+          | a :: (b :: _ as rest) ->
+            add_segment a b;
+            walk rest
+          | [ last ] ->
+            let n = get last in
+            n.m_c <- n.m_c +. params.load_c;
+            if n.m_label = "" then begin
+              n.m_label <- Printf.sprintf "sink%d" !sink_id;
+              incr sink_id
+            end
+          | [] -> ()
+        in
+        walk path)
+      paths;
+    let rec freeze pt =
+      let m = Hashtbl.find table pt in
+      {
+        resistance = m.m_r;
+        capacitance = m.m_c;
+        label = m.m_label;
+        children = List.map freeze m.m_children;
+      }
+    in
+    freeze root_pt

@@ -1,0 +1,38 @@
+(** Elmore delay of RC trees (week 8's electrical timing): first moment of
+    the impulse response, computed as
+    [tau(sink) = sum over path segments k of R_k * C_downstream(k)]. *)
+
+type tree = {
+  resistance : float;  (** Segment resistance from the parent (ohms). *)
+  capacitance : float;  (** Node capacitance to ground (farads). *)
+  label : string;
+  children : tree list;
+}
+
+val node : ?label:string -> r:float -> c:float -> tree list -> tree
+
+val downstream_capacitance : tree -> float
+
+val delays : ?driver_resistance:float -> tree -> (string * float) list
+(** Elmore delay from the root driver to every labelled node. The driver
+    resistance (default 0) sees the whole tree capacitance. *)
+
+val delay_to : ?driver_resistance:float -> tree -> string -> float
+(** @raise Not_found if no node has the label. *)
+
+type wire_params = {
+  r_per_unit : float;
+  c_per_unit : float;
+  via_r : float;
+  via_c : float;
+  load_c : float;  (** Sink input capacitance. *)
+}
+
+val default_wire : wire_params
+(** Unit-grid RC loosely modelled on a mature process: 0.1 ohm and 0.2 fF
+    per grid edge, 2 ohm vias. *)
+
+val of_route : ?params:wire_params -> Vc_route.Maze.path list -> tree
+(** RC tree of a routed net: the first point of the first path drives;
+    each grid step is one RC segment, layer changes are vias, and every
+    path end carries a sink load labelled ["sink<i>"]. *)

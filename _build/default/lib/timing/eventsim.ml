@@ -1,0 +1,110 @@
+module Map = Vc_techmap.Map
+module Subject = Vc_techmap.Subject
+module Cell_lib = Vc_techmap.Cell_lib
+
+type waveform = (float * bool) list
+
+type stimulus = (string * waveform) list
+
+type event = { e_time : float; e_seq : int; e_node : int; e_value : bool }
+
+let transitions w = max 0 (List.length w - 1)
+
+let value_at w t =
+  let rec go current = function
+    | [] -> current
+    | (time, v) :: rest -> if time <= t then go v rest else current
+  in
+  match w with [] -> false | (_, v0) :: rest -> go v0 rest
+
+let glitches w =
+  match w with
+  | [] | [ _ ] -> 0
+  | (_, first) :: rest ->
+    let final = List.fold_left (fun _ (_, v) -> v) first rest in
+    let needed = if first = final then 0 else 1 in
+    max 0 (transitions w - needed)
+
+let eval_gate (g : Map.gate) inputs =
+  let rec eval_pattern = function
+    | Cell_lib.P_leaf slot -> inputs.(slot)
+    | Cell_lib.P_inv p -> not (eval_pattern p)
+    | Cell_lib.P_nand (a, b) -> not (eval_pattern a && eval_pattern b)
+  in
+  eval_pattern g.Map.g_cell.Cell_lib.pattern
+
+let simulate ?(horizon = 1e6) (m : Map.mapping) stimulus =
+  let s = m.Map.subject in
+  let n = Array.length s.Subject.nodes in
+  (* validate stimulus names *)
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name s.Subject.inputs) then
+        failwith ("Eventsim.simulate: unknown input " ^ name))
+    stimulus;
+  let initial_input name =
+    match List.assoc_opt name stimulus with
+    | Some ((_, v) :: _) -> v
+    | Some [] | None -> false
+  in
+  (* steady state for the time-0 input values *)
+  let value = Subject.eval s initial_input in
+  let gates_of_input = Array.make n [] in
+  List.iter
+    (fun (g : Map.gate) ->
+      List.iter
+        (fun input ->
+          gates_of_input.(input) <- g :: gates_of_input.(input))
+        g.Map.g_inputs)
+    m.Map.gates;
+  let waveforms = Array.make n [] in
+  Array.iteri (fun i v -> waveforms.(i) <- [ (0.0, v) ]) value;
+  let cmp a b =
+    match compare a.e_time b.e_time with
+    | 0 -> compare a.e_seq b.e_seq
+    | c -> c
+  in
+  let queue = Vc_util.Heap.create ~cmp in
+  let seq = ref 0 in
+  let schedule time node v =
+    if time <= horizon then begin
+      incr seq;
+      Vc_util.Heap.push queue
+        { e_time = time; e_seq = !seq; e_node = node; e_value = v }
+    end
+  in
+  (* prime with the stimulus transitions *)
+  List.iter
+    (fun (name, w) ->
+      let node = List.assoc name s.Subject.inputs in
+      match w with
+      | [] -> ()
+      | _ :: transitions_ ->
+        List.iter (fun (t, v) -> schedule t node v) transitions_)
+    stimulus;
+  (* main loop *)
+  let rec run () =
+    match Vc_util.Heap.pop queue with
+    | None -> ()
+    | Some ev ->
+      if value.(ev.e_node) <> ev.e_value then begin
+        value.(ev.e_node) <- ev.e_value;
+        waveforms.(ev.e_node) <- (ev.e_time, ev.e_value) :: waveforms.(ev.e_node);
+        (* re-evaluate every gate fed by this node *)
+        List.iter
+          (fun (g : Map.gate) ->
+            let inputs =
+              Array.of_list (List.map (fun i -> value.(i)) g.Map.g_inputs)
+            in
+            let out = eval_gate g inputs in
+            schedule
+              (ev.e_time +. g.Map.g_cell.Cell_lib.delay)
+              g.Map.g_output out)
+          gates_of_input.(ev.e_node)
+      end;
+      run ()
+  in
+  run ();
+  List.map
+    (fun (name, id) -> (name, List.rev waveforms.(id)))
+    s.Subject.outputs

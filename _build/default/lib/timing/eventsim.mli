@@ -1,0 +1,38 @@
+(** Event-driven gate-level simulation with real cell delays - the
+    traditional course's "Simulation" area (logic simulation,
+    event-driven simulation, delay models), omitted from the MOOC and
+    implemented here over mapped netlists.
+
+    Transport-delay model: an input change at time [t] schedules the
+    gate's recomputed output at [t + cell delay]; an event whose value
+    already holds when it fires is dropped. Unlike the zero-delay
+    functional simulators elsewhere in this toolkit, unequal path delays
+    produce visible hazards (glitches). *)
+
+type waveform = (float * bool) list
+(** Time-ordered transitions; the entry at time 0.0 is the initial value.
+    Subsequent entries are actual value changes. *)
+
+type stimulus = (string * waveform) list
+(** Per primary input. Inputs without a waveform hold [false]. *)
+
+val simulate :
+  ?horizon:float ->
+  Vc_techmap.Map.mapping ->
+  stimulus ->
+  (string * waveform) list
+(** Waveforms of the design's primary outputs. Initial state is the
+    steady-state response to each input's time-0 value. Events after
+    [horizon] (default 1e6) are discarded.
+    @raise Failure on unknown stimulus signals. *)
+
+val transitions : waveform -> int
+(** Number of value changes after time 0. *)
+
+val value_at : waveform -> float -> bool
+(** The waveform's value at a given time. *)
+
+val glitches : waveform -> int
+(** Transitions beyond the minimum needed to reach the final value from
+    the initial one: 0 for a clean waveform, positive when hazards
+    appear. *)

@@ -1,0 +1,198 @@
+type edge = { e_src : string; e_dst : string; e_delay : float }
+
+type t = {
+  mutable edges : edge list;
+  node_set : (string, unit) Hashtbl.t;
+  input_arrivals : (string, float) Hashtbl.t;
+}
+
+let create () =
+  {
+    edges = [];
+    node_set = Hashtbl.create 64;
+    input_arrivals = Hashtbl.create 16;
+  }
+
+let add_edge t ~src ~dst ~delay =
+  Hashtbl.replace t.node_set src ();
+  Hashtbl.replace t.node_set dst ();
+  t.edges <- { e_src = src; e_dst = dst; e_delay = delay } :: t.edges
+
+let set_input_arrival t node v =
+  Hashtbl.replace t.node_set node ();
+  Hashtbl.replace t.input_arrivals node v
+
+let nodes t = Hashtbl.fold (fun n () acc -> n :: acc) t.node_set []
+
+type report = {
+  arrival : (string * float) list;
+  required : (string * float) list;
+  slack : (string * float) list;
+  critical_path : string list;
+  worst_arrival : float;
+  worst_slack : float;
+}
+
+let topo_order t =
+  let out_edges = Hashtbl.create 64 in
+  let in_degree = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace in_degree n 0) (nodes t);
+  List.iter
+    (fun e ->
+      Hashtbl.replace out_edges e.e_src
+        (e :: Option.value ~default:[] (Hashtbl.find_opt out_edges e.e_src));
+      Hashtbl.replace in_degree e.e_dst
+        (1 + Option.value ~default:0 (Hashtbl.find_opt in_degree e.e_dst)))
+    t.edges;
+  let queue = Queue.create () in
+  Hashtbl.iter (fun n d -> if d = 0 then Queue.add n queue) in_degree;
+  let order = ref [] in
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    incr visited;
+    order := n :: !order;
+    List.iter
+      (fun e ->
+        let d = Hashtbl.find in_degree e.e_dst - 1 in
+        Hashtbl.replace in_degree e.e_dst d;
+        if d = 0 then Queue.add e.e_dst queue)
+      (Option.value ~default:[] (Hashtbl.find_opt out_edges n))
+  done;
+  if !visited <> Hashtbl.length t.node_set then
+    failwith "Tgraph: timing graph has a cycle";
+  List.rev !order
+
+let analyze ?required_time t =
+  let order = topo_order t in
+  let in_edges = Hashtbl.create 64 and out_edges = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace in_edges e.e_dst
+        (e :: Option.value ~default:[] (Hashtbl.find_opt in_edges e.e_dst));
+      Hashtbl.replace out_edges e.e_src
+        (e :: Option.value ~default:[] (Hashtbl.find_opt out_edges e.e_src)))
+    t.edges;
+  (* forward: arrival times *)
+  let arrival = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      let base =
+        Option.value ~default:0.0 (Hashtbl.find_opt t.input_arrivals n)
+      in
+      let a =
+        List.fold_left
+          (fun acc e -> max acc (Hashtbl.find arrival e.e_src +. e.e_delay))
+          base
+          (Option.value ~default:[] (Hashtbl.find_opt in_edges n))
+      in
+      Hashtbl.replace arrival n a)
+    order;
+  let sinks =
+    List.filter (fun n -> Hashtbl.find_opt out_edges n = None) order
+  in
+  let worst_arrival =
+    List.fold_left (fun acc n -> max acc (Hashtbl.find arrival n)) 0.0 sinks
+  in
+  let rt = Option.value ~default:worst_arrival required_time in
+  (* backward: required times *)
+  let required = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      let r =
+        match Hashtbl.find_opt out_edges n with
+        | None | Some [] -> rt
+        | Some es ->
+          List.fold_left
+            (fun acc e -> min acc (Hashtbl.find required e.e_dst -. e.e_delay))
+            infinity es
+      in
+      Hashtbl.replace required n r)
+    (List.rev order);
+  let slack_of n = Hashtbl.find required n -. Hashtbl.find arrival n in
+  (* critical path: walk back from the worst sink along max-arrival preds *)
+  let worst_sink =
+    List.fold_left
+      (fun acc n ->
+        match acc with
+        | Some m when Hashtbl.find arrival m >= Hashtbl.find arrival n -> acc
+        | Some _ | None -> Some n)
+      None sinks
+  in
+  let critical_path =
+    match worst_sink with
+    | None -> []
+    | Some sink ->
+      let rec walk n acc =
+        match Hashtbl.find_opt in_edges n with
+        | None | Some [] -> n :: acc
+        | Some es ->
+          let best =
+            List.fold_left
+              (fun acc_e e ->
+                match acc_e with
+                | Some b
+                  when Hashtbl.find arrival b.e_src +. b.e_delay
+                       >= Hashtbl.find arrival e.e_src +. e.e_delay -> acc_e
+                | Some _ | None -> Some e)
+              None es
+          in
+          begin
+            match best with
+            | Some e -> walk e.e_src (n :: acc)
+            | None -> n :: acc
+          end
+      in
+      walk sink []
+  in
+  let pairs tbl = List.map (fun n -> (n, Hashtbl.find tbl n)) order in
+  let slacks = List.map (fun n -> (n, slack_of n)) order in
+  let worst_slack =
+    List.fold_left (fun acc (_, s) -> min acc s) infinity slacks
+  in
+  {
+    arrival = pairs arrival;
+    required = pairs required;
+    slack = slacks;
+    critical_path;
+    worst_arrival;
+    worst_slack;
+  }
+
+let of_mapping (m : Vc_techmap.Map.mapping) =
+  let t = create () in
+  let subject = m.Vc_techmap.Map.subject in
+  let name_of id =
+    match subject.Vc_techmap.Subject.nodes.(id) with
+    | Vc_techmap.Subject.S_input s -> s
+    | Vc_techmap.Subject.S_nand _ | Vc_techmap.Subject.S_inv _ ->
+      "n" ^ string_of_int id
+  in
+  List.iter
+    (fun (g : Vc_techmap.Map.gate) ->
+      List.iter
+        (fun input ->
+          add_edge t ~src:(name_of input)
+            ~dst:(name_of g.Vc_techmap.Map.g_output)
+            ~delay:g.Vc_techmap.Map.g_cell.Vc_techmap.Cell_lib.delay)
+        g.Vc_techmap.Map.g_inputs)
+    m.Vc_techmap.Map.gates;
+  List.iter
+    (fun (name, _) -> Hashtbl.replace t.node_set name ())
+    subject.Vc_techmap.Subject.inputs;
+  t
+
+let report_to_string r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "design delay %.3f, worst slack %.3f\n" r.worst_arrival
+       r.worst_slack);
+  Buffer.add_string buf
+    ("critical path: " ^ String.concat " -> " r.critical_path ^ "\n");
+  List.iter
+    (fun (n, a) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-12s arr %7.3f  req %7.3f  slack %7.3f\n" n a
+           (List.assoc n r.required) (List.assoc n r.slack)))
+    r.arrival;
+  Buffer.contents buf

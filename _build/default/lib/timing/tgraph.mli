@@ -1,0 +1,37 @@
+(** Logic-level static timing analysis (week 8): a weighted timing DAG,
+    forward arrival-time and backward required-time propagation, slacks,
+    and the critical path. *)
+
+type t
+
+val create : unit -> t
+
+val add_edge : t -> src:string -> dst:string -> delay:float -> unit
+(** Nodes are created on first mention. *)
+
+val set_input_arrival : t -> string -> float -> unit
+(** Arrival time at a primary input (default 0 for sources). *)
+
+val nodes : t -> string list
+
+type report = {
+  arrival : (string * float) list;
+  required : (string * float) list;
+  slack : (string * float) list;
+  critical_path : string list;  (** Input-to-output node chain. *)
+  worst_arrival : float;  (** The design delay. *)
+  worst_slack : float;
+}
+
+val analyze : ?required_time:float -> t -> report
+(** Required time applies at every sink (node without fanout); when
+    omitted it defaults to the worst arrival, making the critical path's
+    slack exactly zero.
+    @raise Failure on cyclic graphs. *)
+
+val of_mapping : Vc_techmap.Map.mapping -> t
+(** Timing graph of a mapped netlist: one edge per gate pin with the
+    cell's delay; node names are ["n<subject id>"] with primary inputs
+    keeping their signal names. *)
+
+val report_to_string : report -> string

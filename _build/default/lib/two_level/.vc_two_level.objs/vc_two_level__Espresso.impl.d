@@ -1,0 +1,1 @@
+lib/two_level/espresso.ml: Array List Pla Vc_cube

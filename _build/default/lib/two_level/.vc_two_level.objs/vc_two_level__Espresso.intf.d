@@ -1,0 +1,1 @@
+lib/two_level/espresso.mli: Pla Vc_cube

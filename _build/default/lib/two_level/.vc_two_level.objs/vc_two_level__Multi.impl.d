@@ -1,0 +1,1 @@
+lib/two_level/multi.ml: Array Espresso Hashtbl List Pla Vc_cube

@@ -1,0 +1,1 @@
+lib/two_level/multi.mli: Pla Vc_cube

@@ -1,0 +1,1 @@
+lib/two_level/pla.ml: Array Buffer Bytes Hashtbl List Printf String Vc_cube Vc_util

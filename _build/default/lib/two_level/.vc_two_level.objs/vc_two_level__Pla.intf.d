@@ -1,0 +1,1 @@
+lib/two_level/pla.mli: Vc_cube

@@ -1,0 +1,1 @@
+lib/two_level/qm.ml: Array Hashtbl List Vc_cube

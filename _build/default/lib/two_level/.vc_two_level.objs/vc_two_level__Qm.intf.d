@@ -1,0 +1,1 @@
+lib/two_level/qm.mli: Vc_cube

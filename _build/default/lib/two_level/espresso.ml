@@ -1,0 +1,179 @@
+module Cube = Vc_cube.Cube
+module Cover = Vc_cube.Cover
+module Urp = Vc_cube.Urp
+
+type cost = { cubes : int; literals : int }
+
+let cost (f : Cover.t) =
+  {
+    cubes = Cover.num_cubes f;
+    literals =
+      List.fold_left (fun acc c -> acc + Cube.literal_count c) 0 f.Cover.cubes;
+  }
+
+let compare_cost a b =
+  match compare a.cubes b.cubes with
+  | 0 -> compare a.literals b.literals
+  | c -> c
+
+let disjoint_from_off (off : Cover.t) c =
+  List.for_all
+    (fun r -> Cube.is_empty (Cube.intersect c r))
+    off.Cover.cubes
+
+(* Grow one cube literal by literal; raising a literal is kept when the
+   grown cube still avoids the OFF-set. The raising order prefers the
+   literal whose removal frees the most OFF-set distance - here simply
+   left-to-right, which is the course presentation. *)
+let expand_cube off c =
+  let n = Cube.num_vars c in
+  let rec raise_lits c i =
+    if i >= n then c
+    else begin
+      match Cube.get c i with
+      | Cube.Both | Cube.Empty -> raise_lits c (i + 1)
+      | Cube.Pos | Cube.Neg ->
+        let candidate = Cube.set c i Cube.Both in
+        if disjoint_from_off off candidate then raise_lits candidate (i + 1)
+        else raise_lits c (i + 1)
+    end
+  in
+  raise_lits c 0
+
+let expand ~(off : Cover.t) (f : Cover.t) =
+  (* expand larger cubes first so they absorb more companions *)
+  let ordered =
+    List.sort
+      (fun a b -> compare (Cube.literal_count a) (Cube.literal_count b))
+      f.Cover.cubes
+  in
+  let rec go remaining kept =
+    match remaining with
+    | [] -> List.rev kept
+    | c :: rest ->
+      let e = expand_cube off c in
+      let rest = List.filter (fun d -> not (Cube.contains e d)) rest in
+      let kept = List.filter (fun d -> not (Cube.contains e d)) kept in
+      go rest (e :: kept)
+  in
+  Cover.make f.Cover.num_vars (go ordered [])
+
+let irredundant ~(dc : Cover.t) (f : Cover.t) =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+      let context = Cover.make f.Cover.num_vars (kept @ rest) in
+      let context = Cover.union context dc in
+      if Urp.cube_in_cover c context then go kept rest else go (c :: kept) rest
+  in
+  (* try to drop large cubes last: sort ascending by size so small ones are
+     tested (and discarded) first *)
+  let ordered =
+    List.sort
+      (fun a b -> compare (Cube.minterm_count a) (Cube.minterm_count b))
+      f.Cover.cubes
+  in
+  Cover.make f.Cover.num_vars (go [] ordered)
+
+let supercube n cubes =
+  match cubes with
+  | [] -> None
+  | first :: rest ->
+    let merged = Array.init n (fun i -> Cube.get first i) in
+    let join a b =
+      match (a, b) with
+      | Cube.Empty, x | x, Cube.Empty -> x
+      | Cube.Both, _ | _, Cube.Both -> Cube.Both
+      | Cube.Pos, Cube.Pos -> Cube.Pos
+      | Cube.Neg, Cube.Neg -> Cube.Neg
+      | Cube.Pos, Cube.Neg | Cube.Neg, Cube.Pos -> Cube.Both
+    in
+    List.iter
+      (fun c ->
+        for i = 0 to n - 1 do
+          merged.(i) <- join merged.(i) (Cube.get c i)
+        done)
+      rest;
+    let lits =
+      List.filter_map
+        (fun i ->
+          match merged.(i) with
+          | Cube.Pos -> Some (i, true)
+          | Cube.Neg -> Some (i, false)
+          | Cube.Both -> None
+          | Cube.Empty -> None)
+        (List.init n (fun i -> i))
+    in
+    Some (Cube.of_literals n lits)
+
+let reduce ~(dc : Cover.t) (f : Cover.t) =
+  let n = f.Cover.num_vars in
+  let rec go processed = function
+    | [] -> List.rev processed
+    | c :: rest ->
+      let others = Cover.make n (processed @ rest) in
+      let context = Cover.union others dc in
+      (* the part of c only c covers: c AND NOT context *)
+      let comp = Urp.complement context in
+      let own = Urp.intersect (Cover.make n [ c ]) comp in
+      begin
+        match supercube n own.Cover.cubes with
+        | None -> go processed rest (* fully covered elsewhere: drop *)
+        | Some c' -> go (c' :: processed) rest
+      end
+  in
+  (* reduce biggest cubes first (they have the most slack) *)
+  let ordered =
+    List.sort
+      (fun a b -> compare (Cube.literal_count a) (Cube.literal_count b))
+      f.Cover.cubes
+  in
+  Cover.make n (go [] ordered)
+
+let essential_primes ~(primes : Cover.t) ~(dc : Cover.t) =
+  let n = primes.Cover.num_vars in
+  List.filter
+    (fun p ->
+      let others =
+        List.filter (fun q -> not (Cube.equal p q)) primes.Cover.cubes
+      in
+      let context = Cover.union (Cover.make n others) dc in
+      not (Urp.cube_in_cover p context))
+    primes.Cover.cubes
+
+let check ~on ~dc result =
+  Urp.cover_contains (Cover.union result dc) on
+  && Urp.cover_contains (Cover.union on dc) result
+
+let minimize ?(single_pass = false) ?(max_iters = 20) ~(dc : Cover.t)
+    (on : Cover.t) =
+  let n = on.Cover.num_vars in
+  if dc.Cover.num_vars <> n then
+    invalid_arg "Espresso.minimize: width mismatch";
+  if Cover.is_empty on then Cover.empty n
+  else begin
+    let off = Urp.complement (Cover.union on dc) in
+    let step f = irredundant ~dc (expand ~off f) in
+    let first = step (Cover.single_cube_containment on) in
+    if single_pass then first
+    else begin
+      let rec loop best iters =
+        if iters >= max_iters then best
+        else begin
+          let candidate = step (reduce ~dc best) in
+          if compare_cost (cost candidate) (cost best) < 0 then
+            loop candidate (iters + 1)
+          else best
+        end
+      in
+      loop first 0
+    end
+  end
+
+let minimize_pla ?single_pass (pla : Pla.t) =
+  let on_sets =
+    Array.mapi
+      (fun j on -> minimize ?single_pass ~dc:pla.Pla.dc_sets.(j) on)
+      pla.Pla.on_sets
+  in
+  { pla with Pla.on_sets }

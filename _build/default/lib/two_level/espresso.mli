@@ -1,0 +1,46 @@
+(** The Espresso-II heuristic loop taught in Logic Synthesis I:
+    EXPAND (grow cubes against the OFF-set, absorbing neighbours),
+    IRREDUNDANT (drop cubes covered by the rest), REDUCE (shrink cubes to
+    re-open the solution space), iterated to convergence.
+
+    Single-output per call; {!minimize_pla} handles multi-output PLAs
+    output by output. For sharing-aware joint minimization see {!Multi}. *)
+
+type cost = { cubes : int; literals : int }
+
+val cost : Vc_cube.Cover.t -> cost
+
+val compare_cost : cost -> cost -> int
+(** Lexicographic: cube count first, then literal count. *)
+
+val expand : off:Vc_cube.Cover.t -> Vc_cube.Cover.t -> Vc_cube.Cover.t
+(** Raise each cube's literals while staying disjoint from [off]; covered
+    companions are absorbed. Result cubes are prime w.r.t. [off]. *)
+
+val irredundant : dc:Vc_cube.Cover.t -> Vc_cube.Cover.t -> Vc_cube.Cover.t
+(** Greedy removal of cubes covered by the rest of the cover plus [dc]. *)
+
+val reduce : dc:Vc_cube.Cover.t -> Vc_cube.Cover.t -> Vc_cube.Cover.t
+(** Shrink each cube to the supercube of the part only it covers. *)
+
+val essential_primes :
+  primes:Vc_cube.Cover.t -> dc:Vc_cube.Cover.t -> Vc_cube.Cube.t list
+(** Primes covering some minterm no other prime (nor [dc]) covers. *)
+
+val minimize :
+  ?single_pass:bool ->
+  ?max_iters:int ->
+  dc:Vc_cube.Cover.t ->
+  Vc_cube.Cover.t ->
+  Vc_cube.Cover.t
+(** [minimize ~dc on] runs the full loop on the ON-set [on]. [single_pass]
+    (default false) stops after the first EXPAND / IRREDUNDANT - the
+    ablation baseline without REDUCE iteration. The result covers [on] and
+    is contained in [on OR dc]. *)
+
+val minimize_pla : ?single_pass:bool -> Pla.t -> Pla.t
+(** Minimize every output of a PLA; DC-sets are preserved. *)
+
+val check : on:Vc_cube.Cover.t -> dc:Vc_cube.Cover.t -> Vc_cube.Cover.t -> bool
+(** Correctness predicate: [result] covers [on] and lies inside
+    [on OR dc]. *)

@@ -1,0 +1,249 @@
+module Cube = Vc_cube.Cube
+module Cover = Vc_cube.Cover
+module Urp = Vc_cube.Urp
+
+type implicant = {
+  cube : Cube.t;
+  mask : bool array;
+}
+
+type cover = {
+  num_inputs : int;
+  num_outputs : int;
+  implicants : implicant list;
+}
+
+let of_pla (pla : Pla.t) =
+  let table : (string, bool array) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iteri
+    (fun j (on : Cover.t) ->
+      List.iter
+        (fun c ->
+          let key = Cube.to_string c in
+          let mask =
+            match Hashtbl.find_opt table key with
+            | Some m -> m
+            | None ->
+              let m = Array.make pla.Pla.num_outputs false in
+              Hashtbl.add table key m;
+              order := key :: !order;
+              m
+          in
+          mask.(j) <- true)
+        on.Cover.cubes)
+    pla.Pla.on_sets;
+  {
+    num_inputs = pla.Pla.num_inputs;
+    num_outputs = pla.Pla.num_outputs;
+    implicants =
+      List.rev_map
+        (fun key -> { cube = Cube.of_string key; mask = Hashtbl.find table key })
+        !order;
+  }
+
+let output_cover cover j =
+  Cover.make cover.num_inputs
+    (List.filter_map
+       (fun imp -> if imp.mask.(j) then Some imp.cube else None)
+       cover.implicants)
+
+let to_pla (pla : Pla.t) cover =
+  let on_sets =
+    Array.init cover.num_outputs (fun j -> output_cover cover j)
+  in
+  { pla with Pla.on_sets }
+
+let check (pla : Pla.t) cover =
+  let ok = ref true in
+  for j = 0 to cover.num_outputs - 1 do
+    let asserted = output_cover cover j in
+    let on = pla.Pla.on_sets.(j) and dc = pla.Pla.dc_sets.(j) in
+    if
+      (not (Urp.cover_contains (Cover.union asserted dc) on))
+      || not (Urp.cover_contains (Cover.union on dc) asserted)
+    then ok := false
+  done;
+  !ok
+
+let cube_count cover = List.length cover.implicants
+
+let literal_cost cover =
+  List.fold_left
+    (fun acc imp ->
+      acc + Cube.literal_count imp.cube
+      + Array.fold_left (fun a b -> if b then a + 1 else a) 0 imp.mask)
+    0 cover.implicants
+
+(* ------------------------------------------------------------------ *)
+(* the joint loop                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let disjoint_from (off : Cover.t) c =
+  List.for_all (fun r -> Cube.is_empty (Cube.intersect c r)) off.Cover.cubes
+
+let expand_implicant offs imp =
+  let n = Cube.num_vars imp.cube in
+  (* raise input literals while every asserted output stays legal *)
+  let feasible c =
+    Array.for_all (fun x -> x)
+      (Array.mapi
+         (fun j asserted -> (not asserted) || disjoint_from offs.(j) c)
+         imp.mask)
+  in
+  let rec raise_inputs c i =
+    if i >= n then c
+    else begin
+      match Cube.get c i with
+      | Cube.Both | Cube.Empty -> raise_inputs c (i + 1)
+      | Cube.Pos | Cube.Neg ->
+        let candidate = Cube.set c i Cube.Both in
+        if feasible candidate then raise_inputs candidate (i + 1)
+        else raise_inputs c (i + 1)
+    end
+  in
+  let cube = raise_inputs imp.cube 0 in
+  (* raise output bits where the expanded cube fits *)
+  let mask =
+    Array.mapi
+      (fun j asserted -> asserted || disjoint_from offs.(j) cube)
+      imp.mask
+  in
+  { cube; mask }
+
+let absorbs a b =
+  Cube.contains a.cube b.cube
+  && Array.for_all (fun x -> x)
+       (Array.mapi (fun j bj -> (not bj) || a.mask.(j)) b.mask)
+
+let expand offs cover =
+  let ordered =
+    List.sort
+      (fun a b -> compare (Cube.literal_count a.cube) (Cube.literal_count b.cube))
+      cover.implicants
+  in
+  let rec go remaining kept =
+    match remaining with
+    | [] -> List.rev kept
+    | imp :: rest ->
+      let e = expand_implicant offs imp in
+      let rest = List.filter (fun d -> not (absorbs e d)) rest in
+      let kept = List.filter (fun d -> not (absorbs e d)) kept in
+      go rest (e :: kept)
+  in
+  { cover with implicants = go ordered [] }
+
+let irredundant (pla : Pla.t) cover =
+  (* lower output bits whose cube is covered elsewhere for that output *)
+  let arr = Array.of_list cover.implicants in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    let imp = arr.(i) in
+    for j = 0 to cover.num_outputs - 1 do
+      if imp.mask.(j) then begin
+        let others =
+          List.filter_map
+            (fun k ->
+              if k <> i && arr.(k).mask.(j) then Some arr.(k).cube else None)
+            (List.init n (fun k -> k))
+        in
+        let context =
+          Cover.union (Cover.make cover.num_inputs others) pla.Pla.dc_sets.(j)
+        in
+        if Urp.cube_in_cover imp.cube context then begin
+          let mask = Array.copy imp.mask in
+          mask.(j) <- false;
+          arr.(i) <- { imp with mask }
+        end
+      end
+    done
+  done;
+  {
+    cover with
+    implicants =
+      List.filter
+        (fun imp -> Array.exists (fun b -> b) imp.mask)
+        (Array.to_list arr);
+  }
+
+let supercube_of num_inputs cubes =
+  match cubes with
+  | [] -> None
+  | first :: rest ->
+    let merged = Array.init num_inputs (fun k -> Cube.get first k) in
+    List.iter
+      (fun c ->
+        for k = 0 to num_inputs - 1 do
+          merged.(k) <-
+            (match (merged.(k), Cube.get c k) with
+            | Cube.Empty, x | x, Cube.Empty -> x
+            | Cube.Both, _ | _, Cube.Both -> Cube.Both
+            | Cube.Pos, Cube.Pos -> Cube.Pos
+            | Cube.Neg, Cube.Neg -> Cube.Neg
+            | Cube.Pos, Cube.Neg | Cube.Neg, Cube.Pos -> Cube.Both)
+        done)
+      rest;
+    let lits =
+      List.filter_map
+        (fun k ->
+          match merged.(k) with
+          | Cube.Pos -> Some (k, true)
+          | Cube.Neg -> Some (k, false)
+          | Cube.Both | Cube.Empty -> None)
+        (List.init num_inputs (fun k -> k))
+    in
+    Some (Cube.of_literals num_inputs lits)
+
+(* Sequential reduce: each implicant shrinks against the CURRENT cover, so
+   two implicants never abandon a mutually-covered region simultaneously. *)
+let reduce (pla : Pla.t) cover =
+  let rec go processed = function
+    | [] -> List.rev processed
+    | imp :: rest ->
+      let context_for j =
+        let others =
+          List.filter_map
+            (fun other -> if other.mask.(j) then Some other.cube else None)
+            (processed @ rest)
+        in
+        Cover.union (Cover.make cover.num_inputs others) pla.Pla.dc_sets.(j)
+      in
+      (* the part only this implicant provides, over its asserted outputs *)
+      let needed = ref [] in
+      for j = 0 to cover.num_outputs - 1 do
+        if imp.mask.(j) then begin
+          let own =
+            Urp.intersect
+              (Cover.make cover.num_inputs [ imp.cube ])
+              (Urp.complement (context_for j))
+          in
+          needed := own.Cover.cubes @ !needed
+        end
+      done;
+      begin
+        match supercube_of cover.num_inputs !needed with
+        | None -> go processed rest (* fully redundant: drop *)
+        | Some cube -> go ({ imp with cube } :: processed) rest
+      end
+  in
+  { cover with implicants = go [] cover.implicants }
+
+let minimize (pla : Pla.t) =
+  let offs =
+    Array.init pla.Pla.num_outputs (fun j ->
+        Urp.complement (Cover.union pla.Pla.on_sets.(j) pla.Pla.dc_sets.(j)))
+  in
+  let cost c = (cube_count c, literal_cost c) in
+  let step c = irredundant pla (expand offs c) in
+  let rec loop best iters =
+    if iters >= 12 then best
+    else begin
+      let candidate = step (reduce pla best) in
+      if cost candidate < cost best then loop candidate (iters + 1) else best
+    end
+  in
+  let joint = loop (step (of_pla pla)) 0 in
+  (* both heuristics are incomparable in general: also run per-output
+     Espresso, regroup its rows, and keep whichever costs less *)
+  let per_output = step (of_pla (Espresso.minimize_pla pla)) in
+  if cost per_output < cost joint then per_output else joint

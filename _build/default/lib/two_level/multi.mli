@@ -1,0 +1,43 @@
+(** Multiple-output two-level minimization with cube sharing - the course
+    concept ("Multi-output PLAs") that per-output Espresso leaves on the
+    table: one physical AND-plane term can feed several outputs, so
+    minimizing outputs jointly can use fewer distinct cubes than the sum
+    of the per-output optima.
+
+    Representation: an implicant is an input cube plus an output mask; it
+    asserts output [j] on its minterms when bit [j] of the mask is set.
+    The EXPAND step can raise input literals (while every asserted output
+    stays inside its ON+DC set) and raise output bits (when the cube fits
+    inside that output's ON+DC set); IRREDUNDANT lowers output bits and
+    drops cubes. *)
+
+type implicant = {
+  cube : Vc_cube.Cube.t;
+  mask : bool array;  (** Length = number of outputs. *)
+}
+
+type cover = {
+  num_inputs : int;
+  num_outputs : int;
+  implicants : implicant list;
+}
+
+val of_pla : Pla.t -> cover
+(** One implicant per distinct input cube of the PLA's ON-sets, with the
+    mask collecting the outputs that share it. *)
+
+val to_pla : Pla.t -> cover -> Pla.t
+(** Rebuild a PLA with the given cover as the ON-sets; DC sets are copied
+    from the original. *)
+
+val output_cover : cover -> int -> Vc_cube.Cover.t
+(** The single-output cover asserted for output [j]. *)
+
+val check : Pla.t -> cover -> bool
+(** Every output's asserted cover lies between its ON and ON+DC sets. *)
+
+val cube_count : cover -> int
+(** Distinct physical AND-plane terms (the PLA row count). *)
+
+val minimize : Pla.t -> cover
+(** Joint EXPAND / IRREDUNDANT / REDUCE loop over the shared cover. *)

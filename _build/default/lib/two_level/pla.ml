@@ -1,0 +1,161 @@
+module Cube = Vc_cube.Cube
+module Cover = Vc_cube.Cover
+
+type t = {
+  num_inputs : int;
+  num_outputs : int;
+  input_names : string list;
+  output_names : string list;
+  on_sets : Cover.t array;
+  dc_sets : Cover.t array;
+}
+
+let default_names prefix n = List.init n (Printf.sprintf "%s%d" prefix)
+
+let parse text =
+  let lines = Vc_util.Tok.logical_lines ~comment:'#' text in
+  let ni = ref None and no = ref None in
+  let ilb = ref None and ob = ref None in
+  let rows = ref [] in
+  let finished = ref false in
+  let handle line =
+    if !finished then ()
+    else
+      match Vc_util.Tok.split_words line with
+      | [] -> ()
+      | ".i" :: v :: _ -> ni := Some (Vc_util.Tok.parse_int ~context:".i" v)
+      | ".o" :: v :: _ -> no := Some (Vc_util.Tok.parse_int ~context:".o" v)
+      | ".p" :: _ | ".type" :: _ -> () (* row count / type: informational *)
+      | ".ilb" :: names -> ilb := Some names
+      | ".ob" :: names -> ob := Some names
+      | [ ".e" ] | [ ".end" ] -> finished := true
+      | [ inp; out ] when inp.[0] <> '.' -> rows := (inp, out) :: !rows
+      | [ word ] when word.[0] <> '.' -> begin
+        (* single-output PLAs sometimes glue planes: split by .i width *)
+        match !ni with
+        | Some n when String.length word > n ->
+          rows :=
+            (String.sub word 0 n, String.sub word n (String.length word - n))
+            :: !rows
+        | Some _ | None -> failwith ("pla: malformed row: " ^ word)
+      end
+      | tok :: _ when tok.[0] = '.' -> () (* ignore other directives *)
+      | toks -> failwith ("pla: malformed line: " ^ String.concat " " toks)
+  in
+  List.iter handle lines;
+  let num_inputs =
+    match !ni with Some n -> n | None -> failwith "pla: missing .i"
+  in
+  let num_outputs =
+    match !no with Some n -> n | None -> failwith "pla: missing .o"
+  in
+  let on = Array.make num_outputs [] and dc = Array.make num_outputs [] in
+  let add_row (inp, out) =
+    if String.length inp <> num_inputs then
+      failwith ("pla: input plane width mismatch: " ^ inp);
+    if String.length out <> num_outputs then
+      failwith ("pla: output plane width mismatch: " ^ out);
+    let cube = Cube.of_string inp in
+    String.iteri
+      (fun j ch ->
+        match ch with
+        | '1' | '4' -> on.(j) <- cube :: on.(j)
+        | '-' | '2' -> dc.(j) <- cube :: dc.(j)
+        | '0' | '~' | '3' -> ()
+        | _ -> failwith (Printf.sprintf "pla: bad output character %C" ch))
+      out
+  in
+  List.iter add_row (List.rev !rows);
+  {
+    num_inputs;
+    num_outputs;
+    input_names =
+      (match !ilb with Some n -> n | None -> default_names "x" num_inputs);
+    output_names =
+      (match !ob with Some n -> n | None -> default_names "f" num_outputs);
+    on_sets = Array.map (fun cubes -> Cover.make num_inputs (List.rev cubes)) on;
+    dc_sets = Array.map (fun cubes -> Cover.make num_inputs (List.rev cubes)) dc;
+  }
+
+let to_string t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf ".i %d\n.o %d\n" t.num_inputs t.num_outputs);
+  Buffer.add_string buf (".ilb " ^ String.concat " " t.input_names ^ "\n");
+  Buffer.add_string buf (".ob " ^ String.concat " " t.output_names ^ "\n");
+  (* collect rows: distinct input cube -> output plane chars *)
+  let table : (string, Bytes.t) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let row_for key =
+    match Hashtbl.find_opt table key with
+    | Some b -> b
+    | None ->
+      let b = Bytes.make t.num_outputs '0' in
+      Hashtbl.add table key b;
+      order := key :: !order;
+      b
+  in
+  Array.iteri
+    (fun j (cover : Cover.t) ->
+      List.iter
+        (fun c -> Bytes.set (row_for (Cube.to_string c)) j '1')
+        cover.Cover.cubes)
+    t.on_sets;
+  Array.iteri
+    (fun j (cover : Cover.t) ->
+      List.iter
+        (fun c ->
+          let b = row_for (Cube.to_string c) in
+          if Bytes.get b j = '0' then Bytes.set b j '-')
+        cover.Cover.cubes)
+    t.dc_sets;
+  let rows = List.rev !order in
+  Buffer.add_string buf (Printf.sprintf ".p %d\n" (List.length rows));
+  List.iter
+    (fun key ->
+      Buffer.add_string buf
+        (key ^ " " ^ Bytes.to_string (Hashtbl.find table key) ^ "\n"))
+    rows;
+  Buffer.add_string buf ".e\n";
+  Buffer.contents buf
+
+let single_output ~num_inputs ~on ~dc =
+  {
+    num_inputs;
+    num_outputs = 1;
+    input_names = default_names "x" num_inputs;
+    output_names = [ "f" ];
+    on_sets = [| on |];
+    dc_sets = [| dc |];
+  }
+
+let cube_count t =
+  let keys = Hashtbl.create 64 in
+  let add (cover : Cover.t) =
+    List.iter
+      (fun c -> Hashtbl.replace keys (Cube.to_string c) ())
+      cover.Cover.cubes
+  in
+  Array.iter add t.on_sets;
+  Array.iter add t.dc_sets;
+  Hashtbl.length keys
+
+let literal_count t =
+  let count (cover : Cover.t) =
+    List.fold_left (fun acc c -> acc + Cube.literal_count c) 0 cover.Cover.cubes
+  in
+  Array.fold_left (fun acc c -> acc + count c) 0 t.on_sets
+  + Array.fold_left (fun acc c -> acc + count c) 0 t.dc_sets
+
+let semantics_equal a b =
+  a.num_inputs = b.num_inputs
+  && a.num_outputs = b.num_outputs
+  && begin
+       let ok = ref true in
+       for j = 0 to a.num_outputs - 1 do
+         if
+           (not (Cover.equivalent a.on_sets.(j) b.on_sets.(j)))
+           || not (Cover.equivalent a.dc_sets.(j) b.dc_sets.(j))
+         then ok := false
+       done;
+       !ok
+     end

@@ -1,0 +1,33 @@
+(** Berkeley PLA files, the input format of Espresso and of the course's
+    two-level portal. Supported directives: [.i], [.o], [.p], [.ilb],
+    [.ob], [.type fr|fd|f], [.e]. Output plane characters: ['1'] ON-set,
+    ['-'/'2'] don't-care set, ['0'/'~'] OFF/unspecified. *)
+
+type t = {
+  num_inputs : int;
+  num_outputs : int;
+  input_names : string list;  (** Defaults to [x0, x1, ...]. *)
+  output_names : string list;  (** Defaults to [f0, f1, ...]. *)
+  on_sets : Vc_cube.Cover.t array;  (** Per output. *)
+  dc_sets : Vc_cube.Cover.t array;  (** Per output. *)
+}
+
+val parse : string -> t
+(** @raise Failure on malformed input. *)
+
+val to_string : t -> string
+(** Canonical PLA text: the union of cubes across outputs, one row per
+    distinct input cube, with ['1'], ['-'], ['0'] output plane. *)
+
+val single_output : num_inputs:int -> on:Vc_cube.Cover.t -> dc:Vc_cube.Cover.t -> t
+
+val cube_count : t -> int
+(** Number of distinct input cubes over all planes (the PLA's row count). *)
+
+val literal_count : t -> int
+(** Total input-plane literal count over all on/dc cubes. *)
+
+val semantics_equal : t -> t -> bool
+(** Same completely-specified behaviour on every output: equal ON-sets and
+    equal DC-sets as Boolean functions (truth-table comparison; inputs
+    <= 20). *)

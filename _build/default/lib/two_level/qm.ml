@@ -1,0 +1,137 @@
+module Cube = Vc_cube.Cube
+module Cover = Vc_cube.Cover
+
+(* Implicants during merging: (mask, value). A bit set in [mask] means
+   "don't care"; [value]'s bits elsewhere give the literal polarity.
+   Bit k of a minterm corresponds to variable (num_vars-1-k). *)
+
+let cube_of_implicant num_vars (mask, value) =
+  let lits =
+    List.filter_map
+      (fun i ->
+        let bit = 1 lsl (num_vars - 1 - i) in
+        if mask land bit <> 0 then None else Some (i, value land bit <> 0))
+      (List.init num_vars (fun i -> i))
+  in
+  Cube.of_literals num_vars lits
+
+let primes ~num_vars ~on ~dc =
+  let limit = 1 lsl num_vars in
+  let check m =
+    if m < 0 || m >= limit then invalid_arg "Qm.primes: minterm out of range"
+  in
+  List.iter check on;
+  List.iter check dc;
+  let start =
+    List.sort_uniq compare (on @ dc) |> List.map (fun m -> (0, m))
+  in
+  let primes_acc = ref [] in
+  let rec merge_pass implicants =
+    if implicants = [] then ()
+    else begin
+      let merged = Hashtbl.create 64 in
+      let next = Hashtbl.create 64 in
+      let try_pair (m1, v1) (m2, v2) =
+        if m1 = m2 then begin
+          let diff = v1 lxor v2 in
+          (* merge if the values differ in exactly one (cared) bit *)
+          if diff <> 0 && diff land (diff - 1) = 0 then begin
+            Hashtbl.replace merged (m1, v1) ();
+            Hashtbl.replace merged (m2, v2) ();
+            Hashtbl.replace next (m1 lor diff, v1 land lnot diff) ()
+          end
+        end
+      in
+      let arr = Array.of_list implicants in
+      Array.iteri
+        (fun i a -> Array.iteri (fun j b -> if i < j then try_pair a b) arr)
+        arr;
+      List.iter
+        (fun imp ->
+          if not (Hashtbl.mem merged imp) then primes_acc := imp :: !primes_acc)
+        implicants;
+      merge_pass (Hashtbl.fold (fun imp () acc -> imp :: acc) next [])
+    end
+  in
+  merge_pass start;
+  List.sort_uniq compare !primes_acc
+  |> List.map (cube_of_implicant num_vars)
+
+(* Minimum unate covering: rows are ON-set minterms, columns are primes. *)
+let min_cover num_vars on_minterms prime_cubes =
+  let point_of_minterm m =
+    Array.init num_vars (fun i -> m land (1 lsl (num_vars - 1 - i)) <> 0)
+  in
+  let primes = Array.of_list prime_cubes in
+  let covers p m = Cube.eval primes.(p) (point_of_minterm m) in
+  let all_cols = List.init (Array.length primes) (fun i -> i) in
+  (* branch and bound with essential-column extraction and row dominance *)
+  let best = ref None in
+  let best_size = ref max_int in
+  let rec solve rows cols chosen =
+    if List.length chosen >= !best_size then ()
+    else
+      match rows with
+      | [] ->
+        best_size := List.length chosen;
+        best := Some chosen
+      | _ -> begin
+        (* essential: a row covered by exactly one available column *)
+        let essential =
+          List.find_map
+            (fun m ->
+              match List.filter (fun p -> covers p m) cols with
+              | [] -> Some None (* uncoverable: dead branch *)
+              | [ p ] -> Some (Some p)
+              | _ :: _ :: _ -> None)
+            rows
+        in
+        match essential with
+        | Some None -> ()
+        | Some (Some p) ->
+          let rows = List.filter (fun m -> not (covers p m)) rows in
+          let cols = List.filter (fun q -> q <> p) cols in
+          solve rows cols (p :: chosen)
+        | None -> begin
+          (* branch on the column covering the most remaining rows *)
+          let score p = List.length (List.filter (covers p) rows) in
+          let p =
+            List.fold_left
+              (fun acc q ->
+                match acc with
+                | None -> Some q
+                | Some r -> if score q > score r then Some q else acc)
+              None cols
+          in
+          match p with
+          | None -> ()
+          | Some p ->
+            (* include p *)
+            solve
+              (List.filter (fun m -> not (covers p m)) rows)
+              (List.filter (fun q -> q <> p) cols)
+              (p :: chosen);
+            (* exclude p *)
+            solve rows (List.filter (fun q -> q <> p) cols) chosen
+        end
+      end
+  in
+  solve on_minterms all_cols [];
+  match !best with
+  | Some chosen -> List.map (fun p -> primes.(p)) chosen
+  | None -> if on_minterms = [] then [] else assert false
+
+let minimize ~num_vars ~on ~dc =
+  let on = List.sort_uniq compare on in
+  let dc = List.sort_uniq compare dc in
+  let on = List.filter (fun m -> not (List.mem m dc)) on in
+  let ps = primes ~num_vars ~on ~dc in
+  min_cover num_vars on ps
+
+let minimize_cover ~(on : Cover.t) ~(dc : Cover.t) =
+  let n = on.Cover.num_vars in
+  if dc.Cover.num_vars <> n then
+    invalid_arg "Qm.minimize_cover: width mismatch";
+  let on_ms = Cover.minterms on in
+  let dc_ms = Cover.minterms dc in
+  Cover.make n (minimize ~num_vars:n ~on:on_ms ~dc:dc_ms)

@@ -1,0 +1,20 @@
+(** Quine-McCluskey exact two-level minimization: prime implicant
+    generation by iterative merging, then a minimum unate cover by
+    essential extraction, dominance reduction and branch-and-bound.
+
+    Exponential; intended for functions of at most ~14 inputs as the exact
+    baseline the Espresso benches compare against. *)
+
+val primes :
+  num_vars:int -> on:int list -> dc:int list -> Vc_cube.Cube.t list
+(** All prime implicants of the incompletely-specified function given by
+    ON-set and DC-set minterm indices (bit [num_vars-1-i] of a minterm is
+    variable [i], matching {!Vc_cube.Cover.truth_table}). *)
+
+val minimize :
+  num_vars:int -> on:int list -> dc:int list -> Vc_cube.Cube.t list
+(** A minimum-cardinality prime cover of the ON-set (don't-cares used
+    freely, never required). *)
+
+val minimize_cover : on:Vc_cube.Cover.t -> dc:Vc_cube.Cover.t -> Vc_cube.Cover.t
+(** {!minimize} on covers (expanded through truth tables; inputs <= 20). *)

@@ -1,0 +1,30 @@
+(** Imperative binary min-heap with a caller-supplied ordering.
+
+    Used as the priority queue behind maze-routing wavefront expansion,
+    A* search, and annealing-schedule bookkeeping. Not thread-safe. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element, or [None] if empty. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument if the heap is empty. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val to_sorted_list : 'a t -> 'a list
+(** [to_sorted_list h] drains [h], returning its elements smallest-first. *)

@@ -1,0 +1,64 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64: fast, high-quality 64-bit mixing; the reference constants. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let next_nonneg t =
+  Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next_nonneg t mod bound
+
+let float t bound =
+  let x = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (x /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let gaussian t ~mu ~sigma =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let choose_weighted t items =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 items in
+  if total <= 0.0 then invalid_arg "Rng.choose_weighted: no positive weight";
+  let target = float t total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Rng.choose_weighted: empty list"
+    | [ (x, _) ] -> x
+    | (x, w) :: rest ->
+      let acc = acc +. w in
+      if target < acc then x else pick acc rest
+  in
+  pick 0.0 items
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let split t = { state = next_int64 t }

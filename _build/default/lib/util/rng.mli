@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the toolkit (annealing placer, cohort
+    simulator, netlist generator, qcheck-independent fuzz inputs) draws from
+    an explicit [Rng.t] so that experiments are reproducible from a seed,
+    independent of the global [Stdlib.Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a generator determined entirely by [seed]. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box-Muller normal deviate. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val choose_weighted : t -> ('a * float) list -> 'a
+(** [choose_weighted t items] picks proportionally to the (positive) weights.
+    Requires a non-empty list with positive total weight. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** [split t] is a new generator seeded from [t]'s stream, advancing [t];
+    streams of the parent and child are independent for practical purposes. *)

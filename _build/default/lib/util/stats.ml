@@ -1,0 +1,59 @@
+let check_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty data")
+  | _ :: _ -> ()
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  check_nonempty "Stats.stddev" xs;
+  let m = mean xs in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+    /. float_of_int (List.length xs)
+  in
+  sqrt var
+
+let percentile xs p =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = List.sort compare xs in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  arr.(max 0 (min (n - 1) (rank - 1)))
+
+let minimum xs =
+  check_nonempty "Stats.minimum" xs;
+  List.fold_left min infinity xs
+
+let maximum xs =
+  check_nonempty "Stats.maximum" xs;
+  List.fold_left max neg_infinity xs
+
+let histogram ~bins xs =
+  check_nonempty "Stats.histogram" xs;
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let lo = minimum xs and hi = maximum xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  let place x =
+    let i = int_of_float ((x -. lo) /. width) in
+    let i = max 0 (min (bins - 1) i) in
+    counts.(i) <- counts.(i) + 1
+  in
+  List.iter place xs;
+  Array.mapi
+    (fun i c ->
+      let b_lo = lo +. (float_of_int i *. width) in
+      (b_lo, b_lo +. width, c))
+    counts
+
+let bar ~width value max_value =
+  if max_value <= 0.0 then ""
+  else begin
+    let n = int_of_float (value /. max_value *. float_of_int width) in
+    let n = max 0 (min width n) in
+    String.make n '#'
+  end

@@ -1,0 +1,24 @@
+(** Small descriptive-statistics helpers used by the cohort simulator and the
+    benchmark harness report printers. *)
+
+val mean : float list -> float
+(** Mean of a non-empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation of a non-empty list. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0,100]; nearest-rank on the sorted data.
+    Requires a non-empty list. *)
+
+val minimum : float list -> float
+
+val maximum : float list -> float
+
+val histogram : bins:int -> float list -> (float * float * int) array
+(** [histogram ~bins xs] partitions the (non-empty) data range into [bins]
+    equal-width bins and returns [(lo, hi, count)] per bin. *)
+
+val bar : width:int -> float -> float -> string
+(** [bar ~width value max] is an ASCII bar proportional to [value / max],
+    used by the figure printers. *)

@@ -1,0 +1,57 @@
+let is_blank c = c = ' ' || c = '\t' || c = '\r'
+
+let split_words s =
+  let n = String.length s in
+  let rec skip i = if i < n && is_blank s.[i] then skip (i + 1) else i in
+  let rec word i = if i < n && not (is_blank s.[i]) then word (i + 1) else i in
+  let rec loop i acc =
+    let i = skip i in
+    if i >= n then List.rev acc
+    else begin
+      let j = word i in
+      loop j (String.sub s i (j - i) :: acc)
+    end
+  in
+  loop 0 []
+
+let strip_comment ~comment line =
+  match String.index_opt line comment with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let ends_with_backslash s =
+  let s = String.trim s in
+  String.length s > 0 && s.[String.length s - 1] = '\\'
+
+let drop_backslash s =
+  let s = String.trim s in
+  String.trim (String.sub s 0 (String.length s - 1))
+
+let logical_lines ?(comment = '#') ?(continuation = true) text =
+  let raw = String.split_on_char '\n' text in
+  let stripped = List.map (strip_comment ~comment) raw in
+  let rec join acc pending = function
+    | [] ->
+      let acc = match pending with None -> acc | Some p -> p :: acc in
+      List.rev acc
+    | line :: rest ->
+      let line =
+        match pending with None -> line | Some p -> p ^ " " ^ line
+      in
+      if continuation && ends_with_backslash line then
+        join acc (Some (drop_backslash line)) rest
+      else join (line :: acc) None rest
+  in
+  join [] None stripped
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "")
+
+let parse_int ~context s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "%s: expected integer, got %S" context s)
+
+let parse_float ~context s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "%s: expected number, got %S" context s)

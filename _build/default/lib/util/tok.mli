@@ -1,0 +1,25 @@
+(** Line-oriented tokenizing shared by the text formats of the toolkit
+    (PLA, BLIF, DIMACS, kbdd scripts, SIS scripts).
+
+    All of those formats are whitespace-separated tokens on logical lines,
+    with a line-comment character and (for BLIF/PLA) backslash line
+    continuation; this module factors that out. *)
+
+val split_words : string -> string list
+(** Split on runs of blanks and tabs; never returns empty tokens. *)
+
+val strip_comment : comment:char -> string -> string
+(** [strip_comment ~comment line] drops everything from the first
+    occurrence of [comment] onwards. *)
+
+val logical_lines : ?comment:char -> ?continuation:bool -> string -> string list
+(** [logical_lines text] splits [text] into lines, strips comments
+    (default [#]), joins backslash-continued lines when [continuation]
+    (default [true]), and drops blank lines. *)
+
+val parse_int : context:string -> string -> int
+(** [parse_int ~context s] is [int_of_string s];
+    @raise Failure with a message naming [context] on malformed input. *)
+
+val parse_float : context:string -> string -> float
+(** Like {!parse_int} for floats (also accepts integer literals). *)

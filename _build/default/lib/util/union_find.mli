@@ -1,0 +1,21 @@
+(** Union-find (disjoint sets) over the integers [0 .. n-1], with path
+    compression and union by rank.
+
+    Used for connectivity checks in routed layouts and for net clustering
+    during placement partitioning. *)
+
+type t
+
+val create : int -> t
+(** [create n] is [n] singleton sets [{0}, {1}, ..., {n-1}]. *)
+
+val find : t -> int -> int
+(** [find t i] is the canonical representative of [i]'s set. *)
+
+val union : t -> int -> int -> unit
+(** [union t i j] merges the sets containing [i] and [j]. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** [count t] is the current number of disjoint sets. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array List Printf QCheck QCheck_alcotest Random String Vc_cube Vc_network Vc_sat Vc_util

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Helpers List Printf QCheck String Vc_bdd Vc_cube Vc_util

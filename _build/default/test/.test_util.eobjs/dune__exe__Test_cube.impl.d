@@ -1,0 +1,1 @@
+test/test_cube.ml: Alcotest Array Helpers List QCheck Vc_cube

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Helpers List Printf QCheck String Vc_cube Vc_multilevel Vc_network Vc_place Vc_route Vc_util

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Helpers List Printf Vc_bdd Vc_cube Vc_mooc Vc_multilevel Vc_network Vc_place Vc_route Vc_techmap Vc_timing Vc_two_level

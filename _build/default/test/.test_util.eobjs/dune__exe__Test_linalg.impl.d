@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Helpers List Printf QCheck String Vc_linalg Vc_util

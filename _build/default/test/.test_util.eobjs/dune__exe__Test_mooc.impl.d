@@ -1,0 +1,1 @@
+test/test_mooc.ml: Alcotest Array Helpers List Printf String Vc_cube Vc_mooc Vc_network Vc_place Vc_route Vc_techmap Vc_two_level

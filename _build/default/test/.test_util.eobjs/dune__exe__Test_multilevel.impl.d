@@ -1,0 +1,1 @@
+test/test_multilevel.ml: Alcotest Helpers List QCheck String Vc_cube Vc_multilevel Vc_network

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Helpers List Option QCheck String Vc_cube Vc_network

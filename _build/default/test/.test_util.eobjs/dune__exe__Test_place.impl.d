@@ -1,0 +1,1 @@
+test/test_place.ml: Alcotest Array Float Helpers List Printf Vc_place Vc_util

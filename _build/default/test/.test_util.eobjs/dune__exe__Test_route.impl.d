@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Helpers List Printf String Vc_mooc Vc_route

@@ -1,0 +1,1 @@
+test/test_techmap.ml: Alcotest Array Hashtbl Helpers List QCheck String Vc_cube Vc_network Vc_techmap

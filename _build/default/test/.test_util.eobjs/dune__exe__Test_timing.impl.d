@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Helpers List String Vc_cube Vc_network Vc_route Vc_techmap Vc_timing

@@ -1,0 +1,1 @@
+test/test_two_level.ml: Alcotest Array Helpers List Printf QCheck String Vc_cube Vc_two_level Vc_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Helpers List QCheck String Vc_util

@@ -1,0 +1,404 @@
+open Helpers
+module Bdd = Vc_bdd.Bdd
+module Expr = Vc_cube.Expr
+module Order = Vc_bdd.Bdd_order
+module Script = Vc_bdd.Bdd_script
+module Repair = Vc_bdd.Repair
+
+let with_vars k =
+  let m = Bdd.create () in
+  List.iter (fun v -> ignore (Bdd.var m v)) (var_names k);
+  m
+
+(* --------------------------- core ------------------------------ *)
+
+let core_tests =
+  [
+    tc "constants" (fun () ->
+        let m = Bdd.create () in
+        check Alcotest.int "zero size" 0 (Bdd.size m Bdd.zero);
+        check Alcotest.int "one size" 0 (Bdd.size m Bdd.one);
+        check Alcotest.bool "zero<>one" true (Bdd.zero <> Bdd.one));
+    tc "variable basics" (fun () ->
+        let m = Bdd.create () in
+        let a = Bdd.var m "a" in
+        check Alcotest.int "single node" 1 (Bdd.size m a);
+        check Alcotest.bool "stable" true (a = Bdd.var m "a");
+        check Alcotest.(option int) "index" (Some 0) (Bdd.var_index m "a");
+        check Alcotest.string "name" "a" (Bdd.var_name m 0));
+    tc "basic laws" (fun () ->
+        let m = with_vars 2 in
+        let a = Bdd.var m "v0" and b = Bdd.var m "v1" in
+        check Alcotest.bool "a&a=a" true (Bdd.mk_and m a a = a);
+        check Alcotest.bool "a|!a=1" true
+          (Bdd.mk_or m a (Bdd.mk_not m a) = Bdd.one);
+        check Alcotest.bool "a&!a=0" true
+          (Bdd.mk_and m a (Bdd.mk_not m a) = Bdd.zero);
+        check Alcotest.bool "demorgan" true
+          (Bdd.mk_not m (Bdd.mk_and m a b)
+          = Bdd.mk_or m (Bdd.mk_not m a) (Bdd.mk_not m b));
+        check Alcotest.bool "xor via iff" true
+          (Bdd.mk_xor m a b = Bdd.mk_not m (Bdd.mk_iff m a b)));
+    tc "nand nor imp" (fun () ->
+        let m = with_vars 2 in
+        let a = Bdd.var m "v0" and b = Bdd.var m "v1" in
+        check Alcotest.bool "nand" true
+          (Bdd.mk_nand m a b = Bdd.mk_not m (Bdd.mk_and m a b));
+        check Alcotest.bool "nor" true
+          (Bdd.mk_nor m a b = Bdd.mk_not m (Bdd.mk_or m a b));
+        check Alcotest.bool "imp" true
+          (Bdd.mk_imp m a b = Bdd.mk_or m (Bdd.mk_not m a) b));
+    prop ~count:200 "canonicity: equivalent expressions share a node"
+      (QCheck.pair (arbitrary_expr ()) (arbitrary_expr ()))
+      (fun (e1, e2) ->
+        let m = with_vars 4 in
+        let f1 = Bdd.of_expr m e1 and f2 = Bdd.of_expr m e2 in
+        Expr.equivalent e1 e2 = (f1 = f2));
+    prop ~count:200 "eval agrees with expression semantics"
+      (arbitrary_expr ())
+      (fun e ->
+        let m = with_vars 4 in
+        let f = Bdd.of_expr m e in
+        List.for_all
+          (fun row ->
+            let env_expr v =
+              let i = int_of_string (String.sub v 1 (String.length v - 1)) in
+              row land (1 lsl i) <> 0
+            in
+            let env_bdd i = row land (1 lsl i) <> 0 in
+            Expr.eval env_expr e = Bdd.eval m f env_bdd)
+          (List.init 16 (fun i -> i)));
+    prop ~count:200 "sat_count equals truth-table count" (arbitrary_expr ())
+      (fun e ->
+        let m = with_vars 4 in
+        let f = Bdd.of_expr m e in
+        let tt = Expr.truth_table (var_names 4) e in
+        let expected =
+          Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 tt
+        in
+        Bdd.sat_count m f ~nvars:4 = float_of_int expected);
+    prop ~count:100 "to_expr inverts of_expr" (arbitrary_expr ()) (fun e ->
+        let m = with_vars 4 in
+        Expr.equivalent e (Bdd.to_expr m (Bdd.of_expr m e)));
+    prop ~count:100 "of_cover matches cover semantics" (arbitrary_cover ())
+      (fun cover ->
+        let m = with_vars 4 in
+        let names = Array.of_list (var_names 4) in
+        let f = Bdd.of_cover m ~names cover in
+        let tt = Vc_cube.Cover.truth_table cover in
+        let expected =
+          Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 tt
+        in
+        Bdd.sat_count m f ~nvars:4 = float_of_int expected);
+  ]
+
+(* ----------------------- operations ---------------------------- *)
+
+let op_tests =
+  [
+    prop ~count:150 "restrict = expression cofactor" (arbitrary_expr ())
+      (fun e ->
+        let m = with_vars 4 in
+        let f = Bdd.of_expr m e in
+        let r = Bdd.restrict m f ~var:0 ~value:true in
+        r = Bdd.of_expr m (Expr.cofactor "v0" true e));
+    prop ~count:150 "exists/forall = expression quantifiers"
+      (arbitrary_expr ())
+      (fun e ->
+        let m = with_vars 4 in
+        let f = Bdd.of_expr m e in
+        Bdd.exists m [ 1 ] f = Bdd.of_expr m (Expr.exists "v1" e)
+        && Bdd.forall m [ 1 ] f = Bdd.of_expr m (Expr.forall "v1" e));
+    prop ~count:100 "compose substitutes functions"
+      (QCheck.pair (arbitrary_expr ()) (arbitrary_expr ~max_vars:3 ()))
+      (fun (e, g) ->
+        let m = with_vars 4 in
+        let f = Bdd.of_expr m e in
+        let gb = Bdd.of_expr m g in
+        let composed = Bdd.compose m f ~var:0 gb in
+        (* expression-level substitution of g for v0 *)
+        let rec subst = function
+          | Expr.Var "v0" -> g
+          | Expr.Var v -> Expr.Var v
+          | Expr.Const b -> Expr.Const b
+          | Expr.Not a -> Expr.Not (subst a)
+          | Expr.And (a, b) -> Expr.And (subst a, subst b)
+          | Expr.Or (a, b) -> Expr.Or (subst a, subst b)
+          | Expr.Xor (a, b) -> Expr.Xor (subst a, subst b)
+        in
+        composed = Bdd.of_expr m (subst e));
+    prop ~count:150 "support is exactly the essential variables"
+      (arbitrary_expr ())
+      (fun e ->
+        let m = with_vars 4 in
+        let f = Bdd.of_expr m e in
+        let support = Bdd.support m f in
+        List.for_all
+          (fun i ->
+            let v = Printf.sprintf "v%d" i in
+            let sensitive =
+              not
+                (Expr.equivalent (Expr.cofactor v true e)
+                   (Expr.cofactor v false e))
+            in
+            List.mem i support = sensitive)
+          [ 0; 1; 2; 3 ]);
+    tc "any_sat finds a model" (fun () ->
+        let m = with_vars 3 in
+        let e = Expr.parse "v0 & !v1 | v2" in
+        let f = Bdd.of_expr m e in
+        match Bdd.any_sat m f with
+        | None -> Alcotest.fail "satisfiable"
+        | Some partial ->
+          let env i = List.assoc_opt i partial = Some true in
+          check Alcotest.bool "model valid" true (Bdd.eval m f env));
+    tc "any_sat on zero" (fun () ->
+        let m = Bdd.create () in
+        check Alcotest.bool "none" true (Bdd.any_sat m Bdd.zero = None));
+    prop ~count:100 "all_sat cubes cover exactly f" (arbitrary_expr ())
+      (fun e ->
+        let m = with_vars 4 in
+        let f = Bdd.of_expr m e in
+        let cubes = Bdd.all_sat m f in
+        List.for_all
+          (fun row ->
+            let env i = row land (1 lsl i) <> 0 in
+            let in_cubes =
+              List.exists
+                (List.for_all (fun (v, b) -> env v = b))
+                cubes
+            in
+            Bdd.eval m f env = in_cubes)
+          (List.init 16 (fun i -> i)));
+    tc "gc preserves roots, drops garbage" (fun () ->
+        let m = with_vars 4 in
+        let keep = Bdd.of_expr m (Expr.parse "v0 & v1 | v2") in
+        (* create garbage *)
+        for i = 0 to 50 do
+          ignore
+            (Bdd.mk_xor m keep
+               (Bdd.mk_and m (Bdd.ith_var m (i mod 4)) (Bdd.ith_var m 3)))
+        done;
+        let before_count = Bdd.node_count m in
+        let sat_before = Bdd.sat_count m keep ~nvars:4 in
+        match Bdd.gc m ~roots:[ keep ] with
+        | [ keep' ] ->
+          check Alcotest.bool "shrunk" true (Bdd.node_count m < before_count);
+          check (Alcotest.float 0.0) "function preserved" sat_before
+            (Bdd.sat_count m keep' ~nvars:4)
+        | _ -> Alcotest.fail "one root in, one out");
+    tc "cache statistics move" (fun () ->
+        let m = with_vars 4 in
+        ignore (Bdd.of_expr m (Expr.parse "v0 & v1 | v2 & v3 | v0 & v3"));
+        let hits, misses = Bdd.cache_stats m in
+        check Alcotest.bool "some activity" true (hits + misses > 0));
+  ]
+
+(* ----------------------- variable order ------------------------ *)
+
+(* f = a0 b0 + a1 b1 + a2 b2: linear interleaved, exponential blocked *)
+let multiplexer_like n =
+  let terms =
+    List.init n (fun i ->
+        Printf.sprintf "(a%d & b%d)" i i)
+  in
+  Expr.parse (String.concat " | " terms)
+
+let order_tests =
+  [
+    tc "interleaved beats blocked on the classic example" (fun () ->
+        let e = multiplexer_like 4 in
+        let good = Order.build_size e (Order.interleaved_order 4 "a" "b") in
+        let bad = Order.build_size e (Order.blocked_order 4 "a" "b") in
+        check Alcotest.bool
+          (Printf.sprintf "interleaved %d < blocked %d" good bad)
+          true (good < bad);
+        (* known closed forms: 2n vs > 2^n *)
+        check Alcotest.int "interleaved linear" 8 good;
+        check Alcotest.bool "blocked exponential" true (bad >= 30));
+    tc "sifting recovers a good order from a bad one" (fun () ->
+        let e = multiplexer_like 3 in
+        let bad = Order.blocked_order 3 "a" "b" in
+        let bad_size = Order.build_size e bad in
+        let _, sifted_size = Order.sift e bad in
+        check Alcotest.bool "improved" true (sifted_size < bad_size);
+        let good_size = Order.build_size e (Order.interleaved_order 3 "a" "b") in
+        check Alcotest.bool "near optimal" true (sifted_size <= good_size));
+    prop ~count:50 "sift never worsens" (arbitrary_expr ()) (fun e ->
+        let base = Order.build_size e (var_names 4) in
+        let _, sifted = Order.sift e (var_names 4) in
+        sifted <= base);
+    tc "random restarts bounded by tries" (fun () ->
+        let e = multiplexer_like 3 in
+        let _, best = Order.random_restarts ~seed:5 ~tries:30 e
+            (Order.blocked_order 3 "a" "b") in
+        check Alcotest.bool "no worse than start" true
+          (best <= Order.build_size e (Order.blocked_order 3 "a" "b")));
+  ]
+
+(* -------------------------- script ----------------------------- *)
+
+let script_tests =
+  [
+    tc "declare, define, query" (fun () ->
+        let out =
+          Script.run_script
+            "boolean a b c\nf = a & b | c\ntautology f\nsatcount f\nsize f"
+        in
+        check Alcotest.int "one output per command" 5 (List.length out);
+        check Alcotest.string "not tautology" "no" (List.nth out 2);
+        check Alcotest.string "satcount" "5" (List.nth out 3));
+    tc "undeclared identifier is an error" (fun () ->
+        let out = Script.run_script "f = x & y" in
+        match out with
+        | [ line ] ->
+          check Alcotest.bool "error" true
+            (String.length line > 6 && String.sub line 0 6 = "error:")
+        | _ -> Alcotest.fail "one error line");
+    tc "functions compose" (fun () ->
+        let out =
+          Script.run_script
+            "boolean a b c\nf = a & b\ng = f | c\nh = a & b | c\nequal g h"
+        in
+        check Alcotest.string "equal" "yes" (List.nth out 4));
+    tc "cofactor command" (fun () ->
+        let out =
+          Script.run_script
+            "boolean a b\nf = a & b\ncofactor g f a 1\nequal g f\nprint g"
+        in
+        check Alcotest.string "g = b" "b" (List.nth out 4));
+    tc "exists and forall commands" (fun () ->
+        let st = Script.create () in
+        ignore (Script.run st "boolean a b\nf = a ^ b\nexists g f a\nforall h f a");
+        (match Script.lookup st "g" with
+        | Some g -> check Alcotest.bool "exists a. a^b = 1" true (g = Bdd.one)
+        | None -> Alcotest.fail "g missing");
+        match Script.lookup st "h" with
+        | Some h -> check Alcotest.bool "forall a. a^b = 0" true (h = Bdd.zero)
+        | None -> Alcotest.fail "h missing");
+    tc "sat on unsatisfiable" (fun () ->
+        let out = Script.run_script "boolean a\nf = a & !a\nsat f" in
+        check Alcotest.string "unsat" "unsatisfiable" (List.nth out 2));
+    tc "comments and blanks ignored" (fun () ->
+        let out = Script.run_script "# hello\n\nboolean a\n" in
+        check Alcotest.int "one output" 1 (List.length out));
+    tc "dot output is well-formed graphviz" (fun () ->
+        let m = with_vars 3 in
+        let f = Bdd.of_expr m (Expr.parse "v0 & v1 | v2") in
+        let dot = Bdd.to_dot m f in
+        check Alcotest.bool "digraph" true
+          (String.length dot > 7 && String.sub dot 0 7 = "digraph");
+        (* one dashed + one solid edge per internal node *)
+        let count sub =
+          let re = ref 0 and i = ref 0 in
+          let n = String.length dot and k = String.length sub in
+          while !i + k <= n do
+            if String.sub dot !i k = sub then incr re;
+            incr i
+          done;
+          !re
+        in
+        check Alcotest.int "dashed edges" (Bdd.size m f) (count "style=dashed"));
+    prop ~count:60 "script fuzz: random command soup never raises"
+      QCheck.(int_bound 100_000)
+      (fun seed ->
+        let rng = Vc_util.Rng.create seed in
+        let names = [| "a"; "b"; "f"; "g"; "zz"; "1bad"; "" |] in
+        let pick () = Vc_util.Rng.choose rng names in
+        let line () =
+          match Vc_util.Rng.int rng 10 with
+          | 0 -> "boolean " ^ pick () ^ " " ^ pick ()
+          | 1 -> pick () ^ " = " ^ pick () ^ " & " ^ pick ()
+          | 2 -> "print " ^ pick ()
+          | 3 -> "sat " ^ pick ()
+          | 4 -> "satcount " ^ pick ()
+          | 5 -> "equal " ^ pick () ^ " " ^ pick ()
+          | 6 -> "cofactor g " ^ pick () ^ " " ^ pick () ^ " 1"
+          | 7 -> "exists g " ^ pick () ^ " " ^ pick ()
+          | 8 -> "dot " ^ pick ()
+          | _ -> "bogus " ^ pick ()
+        in
+        let script =
+          String.concat "\n" (List.init 15 (fun _ -> line ()))
+        in
+        match Script.run_script script with
+        | _ -> true
+        | exception _ -> false);
+  ]
+
+(* -------------------------- repair ----------------------------- *)
+
+let repair_tests =
+  [
+    tc "gate names" (fun () ->
+        check Alcotest.string "and" "AND"
+          (Repair.gate_name
+             { Repair.d00 = false; d01 = false; d10 = false; d11 = true });
+        check Alcotest.string "xor" "XOR"
+          (Repair.gate_name
+             { Repair.d00 = false; d01 = true; d10 = true; d11 = false });
+        check Alcotest.string "raw" "TABLE:0010"
+          (Repair.gate_name
+             { Repair.d00 = false; d01 = false; d10 = true; d11 = false }));
+    tc "direct gate repair finds exactly the spec gate family" (fun () ->
+        let tables =
+          Repair.repair_2input ~inputs:[ "a"; "b" ]
+            ~spec:(Expr.parse "a & b")
+            ~build:(fun m ~hole -> hole (Bdd.var m "a") (Bdd.var m "b"))
+        in
+        check Alcotest.(list string) "only AND" [ "AND" ]
+          (List.map Repair.gate_name tables));
+    tc "repair inside a larger netlist" (fun () ->
+        (* out = OR(hole(a,b), c) should equal (a^b)|c: hole must be XOR *)
+        let tables =
+          Repair.repair_2input ~inputs:[ "a"; "b"; "c" ]
+            ~spec:(Expr.parse "(a ^ b) | c")
+            ~build:(fun m ~hole ->
+              Bdd.mk_or m (hole (Bdd.var m "a") (Bdd.var m "b")) (Bdd.var m "c"))
+        in
+        check Alcotest.bool "xor found" true
+          (List.mem "XOR" (List.map Repair.gate_name tables)));
+    tc "unrepairable location" (fun () ->
+        check Alcotest.bool "none" false
+          (Repair.repairable ~inputs:[ "a"; "b"; "c" ]
+             ~spec:(Expr.parse "a ^ b ^ c")
+             ~build:(fun m ~hole ->
+               Bdd.mk_and m (hole (Bdd.var m "a") (Bdd.var m "b")) (Bdd.var m "c"))));
+    tc "every returned repair actually works" (fun () ->
+        let spec = Expr.parse "(s & a) | (!s & b)" in
+        let build m ~hole =
+          let t1 = Bdd.mk_and m (Bdd.var m "s") (Bdd.var m "a") in
+          Bdd.mk_or m t1 (hole (Bdd.var m "s") (Bdd.var m "b"))
+        in
+        let tables =
+          Repair.repair_2input ~inputs:[ "s"; "a"; "b" ] ~spec ~build
+        in
+        check Alcotest.bool "at least one" true (tables <> []);
+        List.iter
+          (fun t ->
+            (* replay the repair concretely and verify against spec *)
+            let m = Bdd.create () in
+            List.iter (fun v -> ignore (Bdd.var m v)) [ "s"; "a"; "b" ];
+            let gate u v =
+              let pick b00 b01 b10 b11 =
+                Bdd.mk_ite m u (Bdd.mk_ite m v b11 b10) (Bdd.mk_ite m v b01 b00)
+              in
+              let of_bool b = if b then Bdd.one else Bdd.zero in
+              pick (of_bool t.Repair.d00) (of_bool t.Repair.d01)
+                (of_bool t.Repair.d10) (of_bool t.Repair.d11)
+            in
+            let impl = build m ~hole:gate in
+            let spec_bdd = Bdd.of_expr m spec in
+            check Alcotest.bool (Repair.gate_name t) true (impl = spec_bdd))
+          tables);
+  ]
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ("core", core_tests);
+      ("operations", op_tests);
+      ("ordering", order_tests);
+      ("script", script_tests);
+      ("repair", repair_tests);
+    ]

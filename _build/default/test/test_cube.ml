@@ -1,0 +1,274 @@
+open Helpers
+module Expr = Vc_cube.Expr
+module Cube = Vc_cube.Cube
+module Cover = Vc_cube.Cover
+module Urp = Vc_cube.Urp
+
+(* --------------------------- expr ------------------------------ *)
+
+let parses s expected =
+  tc ("parse " ^ s) (fun () ->
+      check Alcotest.bool "equivalent" true
+        (Expr.equivalent (Expr.parse s) expected))
+
+let expr_tests =
+  [
+    parses "a & b" (Expr.And (Var "a", Var "b"));
+    parses "a + b" (Expr.Or (Var "a", Var "b"));
+    parses "a'" (Expr.Not (Var "a"));
+    parses "!a | b & c" (Expr.Or (Not (Var "a"), And (Var "b", Var "c")));
+    parses "a ^ b" (Expr.Xor (Var "a", Var "b"));
+    parses "a b" (Expr.And (Var "a", Var "b"));
+    parses "(a | b) (c | d)"
+      (Expr.And (Or (Var "a", Var "b"), Or (Var "c", Var "d")));
+    parses "1 & a" (Expr.Var "a");
+    parses "0 | a" (Expr.Var "a");
+    tc "precedence: AND binds tighter than OR" (fun () ->
+        check Alcotest.bool "a|bc = a|(bc)" true
+          (Expr.equivalent (Expr.parse "a | b & c")
+             (Expr.Or (Var "a", And (Var "b", Var "c")))));
+    tc "precedence: XOR between AND and OR" (fun () ->
+        check Alcotest.bool "a^bc|d" true
+          (Expr.equivalent
+             (Expr.parse "a ^ b & c | d")
+             (Expr.Or (Xor (Var "a", And (Var "b", Var "c")), Var "d"))));
+    tc "parse errors" (fun () ->
+        List.iter
+          (fun s ->
+            match Expr.parse s with
+            | exception Expr.Parse_error _ -> ()
+            | _ -> Alcotest.failf "expected parse error for %S" s)
+          [ ""; "a &"; "(a"; "a)"; "&"; "a $ b" ]);
+    tc "vars in order" (fun () ->
+        check
+          Alcotest.(list string)
+          "order" [ "b"; "a"; "c" ]
+          (Expr.vars (Expr.parse "b & a | b & c")));
+    tc "truth table MSB convention" (fun () ->
+        (* f = a: true on rows where bit for a (MSB) is set *)
+        check
+          Alcotest.(array bool)
+          "table"
+          [| false; false; true; true |]
+          (Expr.truth_table [ "a"; "b" ] (Expr.Var "a")));
+    tc "of_minterms" (fun () ->
+        let f = Expr.of_minterms [ "a"; "b" ] [ 1; 2 ] in
+        check
+          Alcotest.(array bool)
+          "table"
+          [| false; true; true; false |]
+          (Expr.truth_table [ "a"; "b" ] f));
+    prop "parse/to_string round trip" (arbitrary_expr ()) (fun e ->
+        Expr.equivalent e (Expr.parse (Expr.to_string e)));
+    prop "simplify preserves semantics" (arbitrary_expr ()) (fun e ->
+        Expr.equivalent e (Expr.simplify e));
+    prop "shannon expansion f = x f_x + x' f_x'" (arbitrary_expr ())
+      (fun e ->
+        let x = "v0" in
+        Expr.equivalent e
+          (Expr.Or
+             ( And (Var x, Expr.cofactor x true e),
+               And (Not (Var x), Expr.cofactor x false e) )));
+    prop "boolean difference detects sensitivity" (arbitrary_expr ())
+      (fun e ->
+        (* df/dx = 0 exactly when both cofactors are equal *)
+        let x = "v1" in
+        let diff = Expr.boolean_difference x e in
+        Expr.equivalent diff (Const false)
+        = Expr.equivalent (Expr.cofactor x true e) (Expr.cofactor x false e));
+    prop "exists is disjunction of cofactors" (arbitrary_expr ()) (fun e ->
+        Expr.equivalent (Expr.exists "v0" e)
+          (Expr.Or (Expr.cofactor "v0" true e, Expr.cofactor "v0" false e)));
+    prop "forall implies exists" (arbitrary_expr ()) (fun e ->
+        let fa = Expr.forall "v0" e and ex = Expr.exists "v0" e in
+        Expr.equivalent (Expr.Or (Expr.Not fa, ex)) (Const true));
+  ]
+
+(* --------------------------- cube ------------------------------ *)
+
+let all_points n =
+  List.init (1 lsl n) (fun row ->
+      Array.init n (fun i -> row land (1 lsl (n - 1 - i)) <> 0))
+
+let cube_tests =
+  [
+    tc "of_string / to_string round trip" (fun () ->
+        List.iter
+          (fun s -> check Alcotest.string s s (Cube.to_string (Cube.of_string s)))
+          [ "01-"; "----"; "1"; "0101" ]);
+    tc "universe covers everything" (fun () ->
+        let u = Cube.universe 3 in
+        List.iter
+          (fun p -> check Alcotest.bool "in" true (Cube.eval u p))
+          (all_points 3));
+    tc "intersect semantics" (fun () ->
+        let a = Cube.of_string "1--" and b = Cube.of_string "-0-" in
+        check Alcotest.string "10-" "10-" (Cube.to_string (Cube.intersect a b)));
+    tc "conflicting literals empty" (fun () ->
+        let a = Cube.of_string "1--" and b = Cube.of_string "0--" in
+        check Alcotest.bool "empty" true (Cube.is_empty (Cube.intersect a b)));
+    tc "contains" (fun () ->
+        check Alcotest.bool "bigger contains smaller" true
+          (Cube.contains (Cube.of_string "1--") (Cube.of_string "10-"));
+        check Alcotest.bool "not reverse" false
+          (Cube.contains (Cube.of_string "10-") (Cube.of_string "1--")));
+    tc "cofactor" (fun () ->
+        let c = Cube.of_string "10-" in
+        (match Cube.cofactor c ~var:0 ~value:true with
+        | Some c' -> check Alcotest.string "freed" "-0-" (Cube.to_string c')
+        | None -> Alcotest.fail "should survive");
+        check Alcotest.bool "vanishes" true
+          (Cube.cofactor c ~var:0 ~value:false = None));
+    tc "minterm count" (fun () ->
+        check Alcotest.int "2 free of 5" 4
+          (Cube.minterm_count (Cube.of_string "1--00"));
+        check Alcotest.int "full cube" 1
+          (Cube.minterm_count (Cube.of_string "101")));
+    tc "literal count" (fun () ->
+        check Alcotest.int "lits" 2 (Cube.literal_count (Cube.of_string "1-0-")));
+    tc "of_literals merges duplicates" (fun () ->
+        let c = Cube.of_literals 2 [ (0, true); (0, false) ] in
+        check Alcotest.bool "contradiction empty" true (Cube.is_empty c));
+    tc "complement_literals is the complement" (fun () ->
+        let c = Cube.of_string "10-" in
+        let pieces = Cube.complement_literals c in
+        List.iter
+          (fun p ->
+            let in_c = Cube.eval c p in
+            let in_pieces = List.exists (fun q -> Cube.eval q p) pieces in
+            check Alcotest.bool "exactly complement" (not in_c) in_pieces)
+          (all_points 3));
+  ]
+
+(* --------------------------- cover ----------------------------- *)
+
+let cover_tests =
+  [
+    tc "eval matches member cubes" (fun () ->
+        let f = Cover.of_strings 3 [ "1--"; "-11" ] in
+        check Alcotest.bool "101 in" true (Cover.eval f [| true; false; true |]);
+        check Alcotest.bool "011 in" true (Cover.eval f [| false; true; true |]);
+        check Alcotest.bool "010 out" false
+          (Cover.eval f [| false; true; false |]));
+    tc "make rejects width mismatch" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Cover.make: cube width mismatch") (fun () ->
+            ignore (Cover.make 3 [ Cube.of_string "10" ])));
+    tc "empty cubes dropped" (fun () ->
+        let f = Cover.make 2 [ Cube.of_string "@1" ] in
+        check Alcotest.int "no cubes" 0 (Cover.num_cubes f));
+    tc "polarity" (fun () ->
+        let f = Cover.of_strings 3 [ "1-0"; "10-" ] in
+        check Alcotest.bool "var0 unate pos" true
+          (Cover.var_polarity f 0 = Cover.Unate_pos);
+        check Alcotest.bool "var1 unate neg" true
+          (Cover.var_polarity f 1 = Cover.Unate_neg);
+        check Alcotest.bool "var2 unate neg" true
+          (Cover.var_polarity f 2 = Cover.Unate_neg);
+        let g = Cover.of_strings 2 [ "1-"; "0-" ] in
+        check Alcotest.bool "binate" true (Cover.var_polarity g 0 = Cover.Binate);
+        check Alcotest.bool "absent" true (Cover.var_polarity g 1 = Cover.Absent));
+    tc "most binate prefers frequency" (fun () ->
+        let f = Cover.of_strings 3 [ "11-"; "0-1"; "10-"; "01-" ] in
+        check Alcotest.(option int) "var 0" (Some 0) (Cover.most_binate_var f));
+    tc "unate cover has no binate var" (fun () ->
+        let f = Cover.of_strings 3 [ "1-0"; "-10" ] in
+        check Alcotest.bool "unate" true (Cover.is_unate f);
+        check Alcotest.(option int) "none" None (Cover.most_binate_var f));
+    tc "single cube containment" (fun () ->
+        let f = Cover.of_strings 3 [ "1--"; "11-"; "-01" ] in
+        let g = Cover.single_cube_containment f in
+        check Alcotest.int "absorbed" 2 (Cover.num_cubes g);
+        check Alcotest.bool "same function" true (Cover.equivalent f g));
+    prop "cofactor agrees on matching points" (arbitrary_cover ()) (fun f ->
+        List.for_all
+          (fun p ->
+            let sub = Cover.cofactor f ~var:0 ~value:p.(0) in
+            Cover.eval f p = Cover.eval sub p)
+          (all_points 4));
+    prop "of_expr/to_expr round trip" (arbitrary_expr ()) (fun e ->
+        let order = var_names 4 in
+        let f = Cover.of_expr order e in
+        Expr.equivalent (Cover.to_expr order f) e);
+    prop "minterms match truth table" (arbitrary_cover ()) (fun f ->
+        let tt = Cover.truth_table f in
+        let ms = Cover.minterms f in
+        Array.to_list (Array.mapi (fun i v -> (i, v)) tt)
+        |> List.for_all (fun (i, v) -> List.mem i ms = v));
+  ]
+
+(* ---------------------------- urp ------------------------------ *)
+
+let tautology_brute f = Array.for_all (fun v -> v) (Cover.truth_table f)
+
+let urp_tests =
+  [
+    tc "x + x' is a tautology" (fun () ->
+        check Alcotest.bool "taut" true
+          (Urp.tautology (Cover.of_strings 1 [ "1"; "0" ])));
+    tc "empty cover is not" (fun () ->
+        check Alcotest.bool "not taut" false (Urp.tautology (Cover.empty 2)));
+    tc "textbook tautology" (fun () ->
+        check Alcotest.bool "taut" true
+          (Urp.tautology (Cover.of_strings 2 [ "1-"; "-1"; "00" ])));
+    prop ~count:300 "URP tautology agrees with truth table"
+      (arbitrary_cover ())
+      (fun f -> Urp.tautology f = tautology_brute f);
+    prop ~count:200 "URP complement is exact" (arbitrary_cover ()) (fun f ->
+        let fc = Urp.complement f in
+        let tt = Cover.truth_table f and tt_c = Cover.truth_table fc in
+        Array.for_all (fun x -> x) (Array.mapi (fun i v -> v <> tt_c.(i)) tt));
+    prop ~count:200 "cube_in_cover agrees with semantics"
+      (QCheck.pair (arbitrary_cover ()) (arbitrary_cover ()))
+      (fun (f, g) ->
+        match g.Cover.cubes with
+        | [] -> true
+        | c :: _ ->
+          let sem =
+            List.for_all
+              (fun p -> (not (Cube.eval c p)) || Cover.eval f p)
+              (all_points 4)
+          in
+          Urp.cube_in_cover c f = sem);
+    prop ~count:200 "containment equivalence matches truth tables"
+      (QCheck.pair (arbitrary_cover ()) (arbitrary_cover ()))
+      (fun (f, g) -> Urp.equivalent f g = Cover.equivalent f g);
+    tc "sharp: a # b removes b" (fun () ->
+        let a = Cube.universe 2 and b = Cube.of_string "1-" in
+        let pieces = Urp.sharp a b in
+        List.iter
+          (fun p ->
+            let expected = not (Cube.eval b p) in
+            check Alcotest.bool "semantics" expected
+              (List.exists (fun c -> Cube.eval c p) pieces))
+          (all_points 2));
+    tc "sharp of disjoint cubes is identity" (fun () ->
+        let a = Cube.of_string "1-" and b = Cube.of_string "0-" in
+        check
+          Alcotest.(list string)
+          "unchanged" [ "1-" ]
+          (List.map Cube.to_string (Urp.sharp a b)));
+    prop ~count:200 "intersect is conjunction"
+      (QCheck.pair (arbitrary_cover ()) (arbitrary_cover ()))
+      (fun (f, g) ->
+        let i = Urp.intersect f g in
+        List.for_all
+          (fun p -> Cover.eval i p = (Cover.eval f p && Cover.eval g p))
+          (all_points 4));
+    prop ~count:200 "cover_sharp removes exactly the cube" (arbitrary_cover ())
+      (fun f ->
+        let b = Cube.of_string "1-0-" in
+        let s = Urp.cover_sharp f b in
+        List.for_all
+          (fun p -> Cover.eval s p = (Cover.eval f p && not (Cube.eval b p)))
+          (all_points 4));
+  ]
+
+let () =
+  Alcotest.run "cube"
+    [
+      ("expr", expr_tests);
+      ("cube", cube_tests);
+      ("cover", cover_tests);
+      ("urp", urp_tests);
+    ]

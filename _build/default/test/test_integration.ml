@@ -1,0 +1,177 @@
+(* Cross-library integration: the scenarios a course participant actually
+   exercises, stitched across tools - text formats flowing between portals,
+   synthesis feeding mapping feeding timing, and the engines checking each
+   other. *)
+
+open Helpers
+module Expr = Vc_cube.Expr
+module Network = Vc_network.Network
+
+let carry_lookahead_bit () =
+  (* g + p*cin as a BLIF design *)
+  ".model cla\n.inputs a b cin\n.outputs cout\n\
+   .names a b g\n11 1\n\
+   .names a b p\n10 1\n01 1\n\
+   .names p cin t\n11 1\n\
+   .names g t cout\n1- 1\n-1 1\n.end\n"
+
+let integration_tests =
+  [
+    tc "BLIF -> SIS script -> mapping -> STA pipeline" (fun () ->
+        let net = Vc_network.Blif.parse (carry_lookahead_bit ()) in
+        let report =
+          Vc_multilevel.Script.run net Vc_multilevel.Script.script_rugged
+        in
+        let optimized = report.Vc_multilevel.Script.network in
+        check Alcotest.bool "synthesis equivalence" true
+          (Vc_network.Equiv.equivalent net optimized);
+        let mapping =
+          Vc_techmap.Map.map_network (Vc_techmap.Cell_lib.standard ()) optimized
+        in
+        let sta = Vc_timing.Tgraph.analyze (Vc_timing.Tgraph.of_mapping mapping) in
+        check (Alcotest.float 1e-9) "mapper and STA agree"
+          mapping.Vc_techmap.Map.delay sta.Vc_timing.Tgraph.worst_arrival);
+    tc "kbdd script agrees with the Expr engine" (fun () ->
+        let expr_text = "a & b | !a & c | b ^ c" in
+        let script =
+          Printf.sprintf "boolean a b c\nf = %s\nsatcount f" expr_text
+        in
+        let out = Vc_bdd.Bdd_script.run_script script in
+        let tt = Expr.truth_table [ "a"; "b"; "c" ] (Expr.parse expr_text) in
+        let count = Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 tt in
+        check Alcotest.string "satcount" (string_of_int count) (List.nth out 2));
+    tc "espresso portal output stays equivalent through re-parse" (fun () ->
+        let session = Vc_mooc.Portal.create_session () in
+        let original = ".i 4\n.o 1\n1100 1\n1101 1\n1111 1\n1110 1\n0011 1\n0111 1\n.e\n" in
+        let out = Vc_mooc.Portal.submit session Vc_mooc.Portal.espresso original in
+        let before = Vc_two_level.Pla.parse original in
+        let after = Vc_two_level.Pla.parse out in
+        check Alcotest.bool "same function" true
+          (Vc_cube.Cover.equivalent
+             before.Vc_two_level.Pla.on_sets.(0)
+             after.Vc_two_level.Pla.on_sets.(0)));
+    tc "BDD and SAT equivalence engines agree after synthesis" (fun () ->
+        for seed = 1 to 10 do
+          let net = random_network seed in
+          let report =
+            Vc_multilevel.Script.run net Vc_multilevel.Script.script_rugged
+          in
+          let optimized = report.Vc_multilevel.Script.network in
+          let bdd_says =
+            Vc_network.Equiv.equivalent ~engine:Vc_network.Equiv.Bdd_engine net
+              optimized
+          in
+          let sat_says =
+            Vc_network.Equiv.equivalent ~engine:Vc_network.Equiv.Sat_engine net
+              optimized
+          in
+          check Alcotest.bool "engines agree" true (bdd_says = sat_says);
+          check Alcotest.bool "synthesis sound" true bdd_says
+        done);
+    tc "router solutions survive the grader round trip at scale" (fun () ->
+        let tiny = Vc_place.Netgen.generate ~seed:77 Vc_place.Netgen.tiny in
+        let qp = Vc_place.Quadratic.place tiny in
+        let legal = Vc_place.Legalize.to_grid tiny qp.Vc_place.Quadratic.placement in
+        let problem = Vc_mooc.Flow.routing_problem_of tiny legal 8 in
+        let result = Vc_route.Router.route ~rip_up_passes:6 problem in
+        check Alcotest.int "fully routed" result.Vc_route.Router.total
+          result.Vc_route.Router.completed;
+        match
+          Vc_mooc.Autograder.validate_routing problem
+            (Vc_route.Router.solution_to_string result)
+        with
+        | Ok c ->
+          check Alcotest.int "wirelength preserved"
+            result.Vc_route.Router.wirelength c.Vc_mooc.Autograder.rc_wirelength
+        | Error msg -> Alcotest.fail msg);
+    tc "a student could solve project 1 with the kbdd portal" (fun () ->
+        (* complement of the mux benchmark computed via BDD all_sat *)
+        let man = Vc_bdd.Bdd.create () in
+        let names = [| "x0"; "x1"; "x2" |] in
+        Array.iter (fun v -> ignore (Vc_bdd.Bdd.var man v)) names;
+        let cover = Vc_cube.Cover.of_strings 3 [ "1-1"; "01-" ] in
+        let f = Vc_bdd.Bdd.of_cover man ~names cover in
+        let complement = Vc_bdd.Bdd.mk_not man f in
+        let cubes = Vc_bdd.Bdd.all_sat man complement in
+        (* translate BDD cubes to PCN and grade them via URP machinery *)
+        let as_cover =
+          Vc_cube.Cover.make 3
+            (List.map
+               (fun assignment ->
+                 Vc_cube.Cube.of_literals 3 assignment)
+               cubes)
+        in
+        check Alcotest.bool "BDD complement = URP complement" true
+          (Vc_cube.Urp.equivalent as_cover (Vc_cube.Urp.complement cover)));
+    tc "flow timing dominates mapping timing on every design" (fun () ->
+        List.iter
+          (fun bindings ->
+            let inputs =
+              List.sort_uniq compare
+                (List.concat_map (fun (_, e) -> Expr.vars e) bindings)
+            in
+            let net = Network.of_exprs ~inputs bindings in
+            let r = Vc_mooc.Flow.run net in
+            check Alcotest.bool "wire delay nonnegative" true
+              (r.Vc_mooc.Flow.total_delay >= r.Vc_mooc.Flow.gate_delay -. 1e-9))
+          [
+            [ ("f", Expr.parse "a b + c") ];
+            [ ("f", Expr.parse "a ^ b ^ c"); ("g", Expr.parse "a b c") ];
+          ]);
+    tc "FSM to layout: minimize, encode, run the full flow" (fun () ->
+        let machine =
+          Vc_network.Fsm.of_rows ~reset:"even"
+            [
+              (("even", "zero"), ("even", [ false ]));
+              (("even", "one"), ("odd_a", [ true ]));
+              (("odd_a", "zero"), ("odd_b", [ true ]));
+              (("odd_a", "one"), ("even", [ false ]));
+              (("odd_b", "zero"), ("odd_a", [ true ]));
+              (("odd_b", "one"), ("even", [ false ]));
+            ]
+        in
+        let reduced, _ = Vc_network.Fsm.minimize machine in
+        let logic = Vc_network.Fsm.encode reduced in
+        let r = Vc_mooc.Flow.run logic in
+        check Alcotest.bool "flow equivalent" true r.Vc_mooc.Flow.equivalent;
+        check Alcotest.int "fully routed"
+          r.Vc_mooc.Flow.routing.Vc_route.Router.total
+          r.Vc_mooc.Flow.routing.Vc_route.Router.completed);
+    tc "joint PLA minimization feeds the network layer" (fun () ->
+        let pla =
+          Vc_two_level.Pla.parse
+            ".i 3\n.o 2\n.ilb a b c\n11- 11\n0-1 10\n-10 01\n.e\n"
+        in
+        let joint = Vc_two_level.Multi.minimize pla in
+        let rebuilt = Vc_two_level.Multi.to_pla pla joint in
+        (* each rebuilt output drives a network node; behaviour must match
+           the original PLA's outputs *)
+        let node_of (p : Vc_two_level.Pla.t) j =
+          let t =
+            Network.create ~inputs:[ "a"; "b"; "c" ] ~outputs:[ "o" ] ()
+          in
+          Network.add_node t ~name:"o" ~fanins:[ "a"; "b"; "c" ]
+            ~func:p.Vc_two_level.Pla.on_sets.(j);
+          t
+        in
+        for j = 0 to 1 do
+          check Alcotest.bool
+            (Printf.sprintf "output %d equivalent" j)
+            true
+            (Vc_network.Equiv.equivalent (node_of pla j) (node_of rebuilt j))
+        done);
+    tc "CLI-style text pipeline: pla -> minimize -> blif-ish network" (fun () ->
+        (* the espresso result can seed a network node directly *)
+        let pla = Vc_two_level.Pla.parse ".i 3\n.o 1\n.ilb a b c\n110 1\n111 1\n011 1\n.e\n" in
+        let minimized = Vc_two_level.Espresso.minimize_pla pla in
+        let net = Network.create ~inputs:[ "a"; "b"; "c" ] ~outputs:[ "f" ] () in
+        Network.add_node net ~name:"f" ~fanins:[ "a"; "b"; "c" ]
+          ~func:minimized.Vc_two_level.Pla.on_sets.(0);
+        let reference = Network.create ~inputs:[ "a"; "b"; "c" ] ~outputs:[ "f" ] () in
+        Network.add_node reference ~name:"f" ~fanins:[ "a"; "b"; "c" ]
+          ~func:pla.Vc_two_level.Pla.on_sets.(0);
+        check Alcotest.bool "equivalent" true
+          (Vc_network.Equiv.equivalent reference net));
+  ]
+
+let () = Alcotest.run "integration" [ ("integration", integration_tests) ]

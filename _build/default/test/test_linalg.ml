@@ -1,0 +1,181 @@
+open Helpers
+module Dense = Vc_linalg.Dense
+module Sparse = Vc_linalg.Sparse
+module Axb = Vc_linalg.Axb
+
+(* random SPD system: A = M^T M + n*I, well conditioned *)
+let random_spd seed n =
+  let rng = Vc_util.Rng.create seed in
+  let m =
+    Dense.of_rows
+      (Array.init n (fun _ ->
+           Array.init n (fun _ -> Vc_util.Rng.float rng 2.0 -. 1.0)))
+  in
+  let a = Dense.mul (Dense.transpose m) m in
+  for i = 0 to n - 1 do
+    Dense.set a i i (Dense.get a i i +. float_of_int n)
+  done;
+  let b = Array.init n (fun _ -> Vc_util.Rng.float rng 10.0 -. 5.0) in
+  (a, b)
+
+let sparse_of_dense a =
+  let n = Dense.rows a in
+  let b = Sparse.builder n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Dense.get a i j <> 0.0 then Sparse.add b i j (Dense.get a i j)
+    done
+  done;
+  Sparse.finalize b
+
+let arbitrary_spd =
+  QCheck.make
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    QCheck.Gen.(pair (int_bound 100_000) (int_range 2 12))
+
+let dense_tests =
+  [
+    tc "identity solve" (fun () ->
+        let x = Dense.solve (Dense.identity 3) [| 1.0; 2.0; 3.0 |] in
+        check Alcotest.(array (float 1e-12)) "x = b" [| 1.0; 2.0; 3.0 |] x);
+    tc "known 2x2 system" (fun () ->
+        let a = Dense.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+        let x = Dense.solve a [| 3.0; 5.0 |] in
+        check (Alcotest.float 1e-9) "x0" 0.8 x.(0);
+        check (Alcotest.float 1e-9) "x1" 1.4 x.(1));
+    tc "pivoting handles zero diagonal" (fun () ->
+        let a = Dense.of_rows [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+        let x = Dense.solve a [| 5.0; 7.0 |] in
+        check (Alcotest.float 1e-9) "x0" 7.0 x.(0);
+        check (Alcotest.float 1e-9) "x1" 5.0 x.(1));
+    tc "singular detected" (fun () ->
+        let a = Dense.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+        match Dense.solve a [| 1.0; 2.0 |] with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+    tc "shape errors" (fun () ->
+        let a = Dense.of_rows [| [| 1.0; 2.0 |] |] in
+        (match Dense.solve a [| 1.0 |] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "not square");
+        match Dense.mat_vec a [| 1.0 |] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "shape");
+    tc "transpose and multiply" (fun () ->
+        let a = Dense.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+        let at = Dense.transpose a in
+        check (Alcotest.float 1e-12) "swap" 3.0 (Dense.get at 0 1);
+        let p = Dense.mul a (Dense.identity 2) in
+        check (Alcotest.float 1e-12) "a*I = a" (Dense.get a 1 0) (Dense.get p 1 0));
+    prop ~count:60 "LU residual is tiny on SPD systems" arbitrary_spd
+      (fun (seed, n) ->
+        let a, b = random_spd seed n in
+        Dense.residual_norm a (Dense.solve a b) b < 1e-8);
+  ]
+
+let sparse_tests =
+  [
+    tc "builder sums duplicates" (fun () ->
+        let b = Sparse.builder 2 in
+        Sparse.add b 0 0 1.0;
+        Sparse.add b 0 0 2.0;
+        let m = Sparse.finalize b in
+        check (Alcotest.float 1e-12) "3" 3.0 (Sparse.get m 0 0);
+        check Alcotest.int "nnz" 1 (Sparse.nnz m));
+    tc "zero entries dropped" (fun () ->
+        let b = Sparse.builder 2 in
+        Sparse.add b 0 1 1.0;
+        Sparse.add b 0 1 (-1.0);
+        check Alcotest.int "cancelled" 0 (Sparse.nnz (Sparse.finalize b)));
+    tc "out-of-range rejected" (fun () ->
+        let b = Sparse.builder 2 in
+        match Sparse.add b 0 5 1.0 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected range error");
+    prop ~count:60 "mat_vec agrees with dense" arbitrary_spd (fun (seed, n) ->
+        let a, b = random_spd seed n in
+        let s = sparse_of_dense a in
+        let dv = Dense.mat_vec a b and sv = Sparse.mat_vec s b in
+        Array.for_all2 (fun x y -> abs_float (x -. y) < 1e-9) dv sv);
+    prop ~count:60 "CG matches LU on SPD systems" arbitrary_spd
+      (fun (seed, n) ->
+        let a, b = random_spd seed n in
+        let exact = Dense.solve a b in
+        let approx, iters = Sparse.conjugate_gradient (sparse_of_dense a) b in
+        iters <= 4 * n
+        && Array.for_all2 (fun x y -> abs_float (x -. y) < 1e-5) exact approx);
+    prop ~count:40 "Gauss-Seidel matches LU on SPD systems" arbitrary_spd
+      (fun (seed, n) ->
+        let a, b = random_spd seed n in
+        let exact = Dense.solve a b in
+        let approx, _ =
+          Sparse.gauss_seidel ~max_iters:20_000 (sparse_of_dense a) b
+        in
+        Array.for_all2 (fun x y -> abs_float (x -. y) < 1e-4) exact approx);
+    tc "CG converges faster than Gauss-Seidel on a laplacian" (fun () ->
+        (* 1-D chain laplacian + anchors: the quadratic placement shape *)
+        let n = 50 in
+        let b = Sparse.builder n in
+        for i = 0 to n - 1 do
+          Sparse.add b i i 2.0;
+          if i > 0 then Sparse.add b i (i - 1) (-1.0);
+          if i < n - 1 then Sparse.add b i (i + 1) (-1.0)
+        done;
+        let m = Sparse.finalize b in
+        let rhs = Array.make n 0.0 in
+        rhs.(0) <- 1.0;
+        rhs.(n - 1) <- float_of_int n;
+        let _, cg_iters = Sparse.conjugate_gradient m rhs in
+        let _, gs_iters = Sparse.gauss_seidel ~max_iters:100_000 m rhs in
+        check Alcotest.bool
+          (Printf.sprintf "cg %d < gs %d" cg_iters gs_iters)
+          true (cg_iters < gs_iters));
+    tc "to_dense round trip" (fun () ->
+        let a, _ = random_spd 5 4 in
+        let back = Sparse.to_dense (sparse_of_dense a) in
+        for i = 0 to 3 do
+          for j = 0 to 3 do
+            check (Alcotest.float 1e-12) "entry" (Dense.get a i j)
+              (Dense.get back i j)
+          done
+        done);
+  ]
+
+let axb_tests =
+  [
+    tc "dense lu" (fun () ->
+        let out = Axb.run "n 2\nrow 2 1\nrow 1 2\nrhs 3 3\n" in
+        check Alcotest.bool "x0 = 1" true
+          (String.length out > 0 && String.sub out 0 6 = "x0 = 1"));
+    tc "sparse cg with comments" (fun () ->
+        let out =
+          Axb.run
+            "# placement system\nn 2\nmethod cg\nentry 0 0 2\nentry 1 1 2\nrhs 4 6\n"
+        in
+        check Alcotest.bool "solved" true
+          (String.length out >= 6 && String.sub out 0 2 = "x0"));
+    tc "gauss-seidel method" (fun () ->
+        let out = Axb.run "n 1\nmethod gs\nrow 4\nrhs 8\n" in
+        check Alcotest.bool "x0 = 2" true
+          (String.length out > 5 && String.sub out 0 6 = "x0 = 2"));
+    tc "error: missing rhs" (fun () ->
+        check Alcotest.string "error" "error: missing 'rhs'"
+          (Axb.run "n 2\nrow 1 0\nrow 0 1\n"));
+    tc "error: mixed input styles" (fun () ->
+        let out = Axb.run "n 1\nrow 1\nentry 0 0 1\nrhs 1\n" in
+        check Alcotest.bool "error" true (String.sub out 0 6 = "error:"));
+    tc "error: bad method" (fun () ->
+        let out = Axb.run "n 1\nmethod qr\nrow 1\nrhs 1\n" in
+        check Alcotest.bool "error" true (String.sub out 0 6 = "error:"));
+    tc "error: dimension mismatch" (fun () ->
+        let out = Axb.run "n 2\nrow 1 0\nrhs 1\n" in
+        check Alcotest.bool "error" true (String.sub out 0 6 = "error:"));
+    tc "never raises on garbage" (fun () ->
+        List.iter
+          (fun s -> ignore (Axb.run s))
+          [ ""; "nonsense"; "n -3\nrhs 1\n"; "n 1\nrow x\nrhs 1\n" ]);
+  ]
+
+let () =
+  Alcotest.run "linalg"
+    [ ("dense", dense_tests); ("sparse", sparse_tests); ("axb", axb_tests) ]

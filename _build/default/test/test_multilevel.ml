@@ -1,0 +1,301 @@
+open Helpers
+module A = Vc_multilevel.Algebraic
+module Factor = Vc_multilevel.Factor
+module Extract = Vc_multilevel.Extract
+module Opt = Vc_multilevel.Opt
+module Script = Vc_multilevel.Script
+module Network = Vc_network.Network
+module Equiv = Vc_network.Equiv
+module Expr = Vc_cube.Expr
+
+(* the lecture's running example: F = adf + aef + bdf + bef + cdf + cef + g *)
+let lecture_sop =
+  [
+    [ ("a", true); ("d", true); ("f", true) ];
+    [ ("a", true); ("e", true); ("f", true) ];
+    [ ("b", true); ("d", true); ("f", true) ];
+    [ ("b", true); ("e", true); ("f", true) ];
+    [ ("c", true); ("d", true); ("f", true) ];
+    [ ("c", true); ("e", true); ("f", true) ];
+    [ ("g", true) ];
+  ]
+
+(* a qcheck generator for small algebraic SOPs (positive and negative lits) *)
+let arbitrary_sop =
+  let gen =
+    let open QCheck.Gen in
+    let lit =
+      pair (oneofl [ "a"; "b"; "c"; "d"; "e" ]) bool
+    in
+    list_size (int_range 1 6) (list_size (int_range 1 3) lit)
+    >|= A.normalize
+  in
+  QCheck.make ~print:A.to_string gen
+
+let sop_equal_semantically s1 s2 =
+  Expr.equivalent (Factor.sop_to_expr s1) (Factor.sop_to_expr s2)
+
+let algebraic_tests =
+  [
+    tc "normalize dedupes and drops contradictions" (fun () ->
+        let s =
+          A.normalize
+            [
+              [ ("b", true); ("a", true); ("a", true) ];
+              [ ("a", true); ("b", true) ];
+              [ ("a", true); ("a", false) ];
+            ]
+        in
+        check Alcotest.string "a.b only" "a.b" (A.to_string s));
+    tc "division: lecture example" (fun () ->
+        let q, r = A.divide lecture_sop [ [ ("d", true) ]; [ ("e", true) ] ] in
+        check Alcotest.string "quotient" "a.f + b.f + c.f" (A.to_string q);
+        check Alcotest.string "remainder" "g" (A.to_string r));
+    tc "division by non-divisor" (fun () ->
+        let q, r = A.divide [ [ ("a", true) ] ] [ [ ("z", true) ] ] in
+        check Alcotest.bool "no quotient" true (q = []);
+        check Alcotest.string "all remainder" "a" (A.to_string r));
+    prop ~count:300 "division invariant f = q*d + r"
+      (QCheck.pair arbitrary_sop arbitrary_sop)
+      (fun (f, d) ->
+        let q, r = A.divide f d in
+        let product =
+          List.concat_map
+            (fun qc -> List.map (fun dc -> List.sort_uniq compare (qc @ dc)) d)
+            q
+        in
+        sop_equal_semantically f (A.normalize (product @ r)));
+    tc "kernels of the lecture example" (fun () ->
+        let ks = A.kernels lecture_sop in
+        let kernel_strings = List.map (fun (_, k) -> A.to_string k) ks in
+        check Alcotest.bool "d+e found" true (List.mem "d + e" kernel_strings);
+        check Alcotest.bool "a+b+c found" true
+          (List.mem "a + b + c" kernel_strings));
+    prop ~count:150 "kernels are cube-free quotients" arbitrary_sop (fun f ->
+        List.for_all
+          (fun (_, k) -> List.length k < 2 || A.common_cube k = [])
+          (A.kernels f));
+    tc "common cube" (fun () ->
+        let s = [ [ ("a", true); ("b", true) ]; [ ("a", true); ("c", true) ] ] in
+        check Alcotest.string "a" "a" (A.cube_to_string (A.common_cube s)));
+    tc "make_cube_free" (fun () ->
+        let s =
+          [ [ ("a", true); ("b", true) ]; [ ("a", true); ("c", true) ] ]
+        in
+        let c, cf = A.make_cube_free s in
+        check Alcotest.string "factor a" "a" (A.cube_to_string c);
+        check Alcotest.string "b + c" "b + c" (A.to_string cf));
+    tc "most common literal" (fun () ->
+        check Alcotest.bool "a" true
+          (A.most_common_literal
+             [ [ ("a", true); ("b", true) ]; [ ("a", true) ]; [ ("c", true) ] ]
+          = Some ("a", true)));
+    prop ~count:100 "of_node / to_cover round trip" arbitrary_sop (fun s ->
+        let fanins = A.support s in
+        if fanins = [] then true
+        else begin
+          let cover = A.to_cover ~fanins s in
+          let t =
+            Network.create ~inputs:fanins ~outputs:[ "o" ] ()
+          in
+          Network.add_node t ~name:"o" ~fanins ~func:cover;
+          match Network.find_node t "o" with
+          | Some node -> sop_equal_semantically s (A.of_node node)
+          | None -> false
+        end);
+  ]
+
+let factor_tests =
+  [
+    tc "lecture factorization" (fun () ->
+        let form = Factor.factor lecture_sop in
+        check Alcotest.int "7 literals" 7 (Factor.literal_count form);
+        check Alcotest.bool "equivalent" true
+          (Expr.equivalent (Factor.to_expr form)
+             (Factor.sop_to_expr lecture_sop)));
+    tc "constants" (fun () ->
+        check Alcotest.string "false" "0" (Factor.to_string (Factor.factor []));
+        check Alcotest.string "true" "1" (Factor.to_string (Factor.factor [ [] ])));
+    tc "single cube stays flat" (fun () ->
+        let form = Factor.factor [ [ ("a", true); ("b", false) ] ] in
+        check Alcotest.int "2 literals" 2 (Factor.literal_count form));
+    prop ~count:300 "factoring preserves the function" arbitrary_sop (fun s ->
+        Expr.equivalent
+          (Factor.to_expr (Factor.factor s))
+          (Factor.sop_to_expr s));
+    prop ~count:300 "factoring never adds literals" arbitrary_sop (fun s ->
+        Factor.literal_count (Factor.factor s) <= A.literal_count s);
+  ]
+
+(* small multi-node network with extractable structure *)
+let sharing_network () =
+  Network.of_exprs ~name:"sharing" ~inputs:[ "a"; "b"; "c"; "d"; "e" ]
+    [
+      ("x", Expr.parse "a c + a d + b c + b d");
+      ("y", Expr.parse "a c e + a d e + e b c");
+      ("z", Expr.parse "a + b");
+    ]
+
+let extract_tests =
+  [
+    tc "kernel extraction reduces literals and preserves function" (fun () ->
+        let t = sharing_network () in
+        let before = Network.literal_count t in
+        let reference = Network.copy t in
+        let created = Extract.extract_kernels t in
+        check Alcotest.bool "created nodes" true (created > 0);
+        check Alcotest.bool "fewer literals" true
+          (Network.literal_count t < before);
+        check Alcotest.bool "equivalent" true (Equiv.equivalent reference t));
+    tc "cube extraction preserves function" (fun () ->
+        let t =
+          Network.of_exprs ~inputs:[ "a"; "b"; "c"; "d" ]
+            [
+              ("x", Expr.parse "a b c");
+              ("y", Expr.parse "a b d");
+              ("z", Expr.parse "a b c d");
+            ]
+        in
+        let reference = Network.copy t in
+        ignore (Extract.extract_cubes t);
+        check Alcotest.bool "equivalent" true (Equiv.equivalent reference t));
+    tc "resubstitution uses existing nodes" (fun () ->
+        let t =
+          Network.of_exprs ~inputs:[ "a"; "b"; "c" ]
+            [ ("s", Expr.parse "a + b"); ("f", Expr.parse "a c + b c") ]
+        in
+        let reference = Network.copy t in
+        let rewrites = Extract.resubstitute t in
+        check Alcotest.bool "rewrote" true (rewrites > 0);
+        check Alcotest.bool "equivalent" true (Equiv.equivalent reference t);
+        (* f should now reference s *)
+        match Network.find_node t "f" with
+        | Some node -> check Alcotest.bool "uses s" true
+                         (List.mem "s" node.Network.fanins)
+        | None -> Alcotest.fail "f missing");
+    prop ~count:40 "extraction pipeline preserves random networks"
+      QCheck.(int_bound 10_000)
+      (fun seed ->
+        let t = random_network seed in
+        let reference = Network.copy t in
+        ignore (Extract.extract_kernels t);
+        ignore (Extract.extract_cubes t);
+        ignore (Extract.resubstitute t);
+        Equiv.equivalent reference t);
+  ]
+
+let opt_tests =
+  [
+    tc "sweep removes dead and constant logic" (fun () ->
+        let t =
+          Network.create ~inputs:[ "a"; "b" ] ~outputs:[ "f" ] ()
+        in
+        Network.add_node t ~name:"dead" ~fanins:[ "a" ]
+          ~func:(Vc_cube.Cover.of_strings 1 [ "1" ]);
+        Network.add_node t ~name:"const1" ~fanins:[]
+          ~func:(Vc_cube.Cover.top 0);
+        Network.add_node t ~name:"f" ~fanins:[ "a"; "const1"; "b" ]
+          ~func:(Vc_cube.Cover.of_strings 3 [ "11-"; "--1" ]);
+        let removed = Opt.sweep t in
+        check Alcotest.bool "removed some" true (removed >= 2);
+        check Alcotest.bool "const gone from fanins" true
+          (match Network.find_node t "f" with
+          | Some node -> not (List.mem "const1" node.Network.fanins)
+          | None -> false);
+        (* behaviour preserved: f = a | b *)
+        let env a b = function "a" -> a | "b" -> b | _ -> false in
+        check Alcotest.bool "sim" true
+          (List.assoc "f" (Network.simulate t (env true false))));
+    tc "sweep inlines inverter wires" (fun () ->
+        let t = Network.create ~inputs:[ "a" ] ~outputs:[ "f" ] () in
+        Network.add_node t ~name:"inv" ~fanins:[ "a" ]
+          ~func:(Vc_cube.Cover.of_strings 1 [ "0" ]);
+        Network.add_node t ~name:"f" ~fanins:[ "inv" ]
+          ~func:(Vc_cube.Cover.of_strings 1 [ "0" ]);
+        ignore (Opt.sweep t);
+        (* f = NOT (NOT a) = a *)
+        let env v = v = "a" in
+        check Alcotest.bool "double negation" true
+          (List.assoc "f" (Network.simulate t env)));
+    tc "simplify reduces redundant node covers" (fun () ->
+        let t = Network.create ~inputs:[ "a"; "b" ] ~outputs:[ "f" ] () in
+        Network.add_node t ~name:"f" ~fanins:[ "a"; "b" ]
+          ~func:(Vc_cube.Cover.of_strings 2 [ "11"; "10"; "01"; "1-" ]);
+        let saved = Opt.simplify t in
+        check Alcotest.bool "saved literals" true (saved > 0);
+        let env a b = function "a" -> a | "b" -> b | _ -> false in
+        check Alcotest.bool "f = a|b" true
+          (List.assoc "f" (Network.simulate t (env false true))));
+    tc "eliminate collapses cheap nodes" (fun () ->
+        let t =
+          Network.of_exprs ~inputs:[ "a"; "b"; "c" ]
+            [ ("f", Expr.parse "a & b | c") ]
+        in
+        (* introduce a helper used once: value <= 0 *)
+        Network.add_node t ~name:"h" ~fanins:[ "a"; "b" ]
+          ~func:(Vc_cube.Cover.of_strings 2 [ "11" ]);
+        Network.add_node t ~name:"f" ~fanins:[ "h"; "c" ]
+          ~func:(Vc_cube.Cover.of_strings 2 [ "1-"; "-1" ]);
+        let reference = Network.copy t in
+        let collapsed = Opt.eliminate ~threshold:0 t in
+        check Alcotest.bool "collapsed h" true (collapsed >= 1);
+        check Alcotest.bool "equivalent" true (Equiv.equivalent reference t));
+    tc "collapse_node refuses outputs" (fun () ->
+        let t =
+          Network.of_exprs ~inputs:[ "a" ] [ ("f", Expr.parse "!a") ]
+        in
+        check Alcotest.bool "refused" false (Opt.collapse_node t "f"));
+    prop ~count:40 "sweep/simplify/eliminate preserve random networks"
+      QCheck.(int_bound 10_000)
+      (fun seed ->
+        let t = random_network seed in
+        let reference = Network.copy t in
+        ignore (Opt.sweep t);
+        ignore (Opt.simplify t);
+        ignore (Opt.eliminate ~threshold:0 t);
+        ignore (Opt.sweep t);
+        Equiv.equivalent reference t);
+  ]
+
+let script_tests =
+  [
+    tc "rugged script on the sharing network" (fun () ->
+        let t = sharing_network () in
+        let before = Network.literal_count t in
+        let report = Script.run t Script.script_rugged in
+        let after = Network.literal_count report.Script.network in
+        check Alcotest.bool "improved" true (after < before);
+        check Alcotest.bool "equivalent" true
+          (Equiv.equivalent t report.Script.network));
+    tc "unknown commands reported, execution continues" (fun () ->
+        let t = sharing_network () in
+        let report = Script.run t "bogus\nsweep\nprint_stats" in
+        check Alcotest.int "three log lines" 3 (List.length report.Script.log);
+        check Alcotest.bool "error logged" true
+          (List.exists
+             (fun l -> String.length l >= 6 && String.sub l 0 6 = "error:")
+             report.Script.log));
+    tc "print_factor output" (fun () ->
+        let t = sharing_network () in
+        let report = Script.run t "print_factor x" in
+        match report.Script.log with
+        | [ line ] ->
+          check Alcotest.bool "mentions x" true
+            (String.length line > 2 && String.sub line 0 2 = "x ")
+        | _ -> Alcotest.fail "one line");
+    tc "original network untouched" (fun () ->
+        let t = sharing_network () in
+        let before = Network.literal_count t in
+        ignore (Script.run t Script.script_rugged);
+        check Alcotest.int "unchanged" before (Network.literal_count t));
+  ]
+
+let () =
+  Alcotest.run "multilevel"
+    [
+      ("algebraic", algebraic_tests);
+      ("factor", factor_tests);
+      ("extract", extract_tests);
+      ("opt", opt_tests);
+      ("script", script_tests);
+    ]

@@ -1,0 +1,206 @@
+open Helpers
+module Network = Vc_network.Network
+module Blif = Vc_network.Blif
+module Equiv = Vc_network.Equiv
+module Expr = Vc_cube.Expr
+module Cover = Vc_cube.Cover
+
+let two_level_net () =
+  let t =
+    Network.create ~name:"tl" ~inputs:[ "a"; "b"; "c" ] ~outputs:[ "f" ] ()
+  in
+  Network.add_node t ~name:"u" ~fanins:[ "a"; "b" ]
+    ~func:(Cover.of_strings 2 [ "11" ]);
+  Network.add_node t ~name:"f" ~fanins:[ "u"; "c" ]
+    ~func:(Cover.of_strings 2 [ "1-"; "-1" ]);
+  t
+
+let network_tests =
+  [
+    tc "add_node validations" (fun () ->
+        let t = Network.create ~inputs:[ "a" ] ~outputs:[ "y" ] () in
+        Alcotest.check_raises "redefine input"
+          (Invalid_argument "Network.add_node: a is a primary input") (fun () ->
+            Network.add_node t ~name:"a" ~fanins:[] ~func:(Cover.top 0));
+        Alcotest.check_raises "width"
+          (Invalid_argument
+             "Network.add_node: function width differs from fanin count")
+          (fun () ->
+            Network.add_node t ~name:"y" ~fanins:[ "a" ] ~func:(Cover.top 2)));
+    tc "simulate" (fun () ->
+        let t = two_level_net () in
+        let run a b c =
+          let env = function "a" -> a | "b" -> b | "c" -> c | _ -> false in
+          List.assoc "f" (Network.simulate t env)
+        in
+        check Alcotest.bool "ab" true (run true true false);
+        check Alcotest.bool "c" true (run false false true);
+        check Alcotest.bool "none" false (run true false false));
+    tc "topological order respects fanins" (fun () ->
+        let order = Network.topological_order (two_level_net ()) in
+        let pos x =
+          let rec go i = function
+            | [] -> -1
+            | y :: rest -> if x = y then i else go (i + 1) rest
+          in
+          go 0 order
+        in
+        check Alcotest.bool "u before f" true (pos "u" < pos "f"));
+    tc "cycle detected" (fun () ->
+        let t = Network.create ~inputs:[ "a" ] ~outputs:[ "x" ] () in
+        Network.add_node t ~name:"x" ~fanins:[ "y" ]
+          ~func:(Cover.of_strings 1 [ "1" ]);
+        Network.add_node t ~name:"y" ~fanins:[ "x" ]
+          ~func:(Cover.of_strings 1 [ "1" ]);
+        match Network.topological_order t with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected cycle error");
+    tc "undefined signal detected" (fun () ->
+        let t = Network.create ~inputs:[ "a" ] ~outputs:[ "x" ] () in
+        Network.add_node t ~name:"x" ~fanins:[ "ghost" ]
+          ~func:(Cover.of_strings 1 [ "1" ]);
+        match Network.check t with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    tc "fanouts and depth" (fun () ->
+        let t = two_level_net () in
+        check Alcotest.(list string) "a feeds u" [ "u" ] (Network.fanouts t "a");
+        check Alcotest.int "depth 2" 2 (Network.depth t));
+    tc "literal count" (fun () ->
+        check Alcotest.int "2 + 2" 4 (Network.literal_count (two_level_net ())));
+    prop ~count:100 "output_expr collapses correctly" (arbitrary_expr ())
+      (fun e ->
+        let t =
+          Network.of_exprs ~inputs:(var_names 4) [ ("out", e) ]
+        in
+        Expr.equivalent e (Network.output_expr t "out"));
+    prop ~count:60 "of_exprs simulate matches expression" (arbitrary_expr ())
+      (fun e ->
+        let t = Network.of_exprs ~inputs:(var_names 4) [ ("out", e) ] in
+        List.for_all
+          (fun row ->
+            let env v =
+              let i = int_of_string (String.sub v 1 (String.length v - 1)) in
+              row land (1 lsl i) <> 0
+            in
+            List.assoc "out" (Network.simulate t env) = Expr.eval env e)
+          (List.init 16 (fun i -> i)));
+    tc "copy isolates mutation" (fun () ->
+        let t = two_level_net () in
+        let t' = Network.copy t in
+        Network.remove_node t' "u";
+        check Alcotest.bool "original intact" true
+          (Network.find_node t "u" <> None));
+  ]
+
+let blif_tests =
+  [
+    tc "parse a canonical file" (fun () ->
+        let t =
+          Blif.parse
+            ".model test\n.inputs a b c\n.outputs f\n.names a b u\n11 1\n\
+             .names u c f\n1- 1\n-1 1\n.end\n"
+        in
+        check Alcotest.string "name" "test" (Network.name t);
+        check Alcotest.int "nodes" 2 (Network.node_count t);
+        let env = function "a" -> true | "b" -> true | _ -> false in
+        check Alcotest.bool "sim" true (List.assoc "f" (Network.simulate t env)));
+    tc "off-set style rows" (fun () ->
+        (* f defined by its 0-rows: f = NOT(a AND b) *)
+        let t =
+          Blif.parse ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n"
+        in
+        let env a b = function "a" -> a | "b" -> b | _ -> false in
+        check Alcotest.bool "00 -> 1" true
+          (List.assoc "f" (Network.simulate t (env false false)));
+        check Alcotest.bool "11 -> 0" false
+          (List.assoc "f" (Network.simulate t (env true true))));
+    tc "constant nodes" (fun () ->
+        let t =
+          Blif.parse
+            ".model m\n.inputs a\n.outputs f g\n.names f\n1\n.names g\n.end\n"
+        in
+        let env _ = false in
+        check Alcotest.bool "const 1" true (List.assoc "f" (Network.simulate t env));
+        check Alcotest.bool "const 0" false (List.assoc "g" (Network.simulate t env)));
+    tc "latches rejected" (fun () ->
+        match Blif.parse ".model m\n.inputs a\n.outputs q\n.latch a q\n.end\n" with
+        | exception Failure msg ->
+          check Alcotest.bool "mentions latch" true
+            (String.length msg > 0)
+        | _ -> Alcotest.fail "expected failure");
+    tc "continuation lines" (fun () ->
+        let t =
+          Blif.parse
+            ".model m\n.inputs a b \\\nc d\n.outputs f\n.names a b c d f\n1111 1\n.end\n"
+        in
+        check Alcotest.int "four inputs" 4 (List.length (Network.inputs t)));
+    prop ~count:60 "round trip preserves behaviour" (arbitrary_expr ())
+      (fun e ->
+        let t = Network.of_exprs ~inputs:(var_names 4) [ ("out", e) ] in
+        let t' = Blif.parse (Blif.to_string t) in
+        Equiv.equivalent t t');
+  ]
+
+let equiv_tests =
+  [
+    tc "interface mismatch rejected" (fun () ->
+        let a = Network.of_exprs ~inputs:[ "x" ] [ ("o", Expr.Var "x") ] in
+        let b = Network.of_exprs ~inputs:[ "y" ] [ ("o", Expr.Var "y") ] in
+        match Equiv.check a b with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected invalid_arg");
+    prop ~count:80 "both engines agree with expression equivalence"
+      (QCheck.pair (arbitrary_expr ()) (arbitrary_expr ()))
+      (fun (e1, e2) ->
+        (* keep supports identical by OR-ing in all variables times zero *)
+        let pad e =
+          List.fold_left
+            (fun acc v -> Expr.Or (acc, Expr.And (Expr.Const false, Expr.Var v)))
+            e (var_names 4)
+        in
+        let a = Network.of_exprs ~inputs:(var_names 4) [ ("o", pad e1) ] in
+        let b = Network.of_exprs ~inputs:(var_names 4) [ ("o", pad e2) ] in
+        let expected = Expr.equivalent e1 e2 in
+        Equiv.equivalent ~engine:Equiv.Bdd_engine a b = expected
+        && Equiv.equivalent ~engine:Equiv.Sat_engine a b = expected);
+    prop ~count:60 "counterexamples distinguish the networks"
+      (QCheck.pair (arbitrary_expr ()) (arbitrary_expr ()))
+      (fun (e1, e2) ->
+        let pad e =
+          List.fold_left
+            (fun acc v -> Expr.Or (acc, Expr.And (Expr.Const false, Expr.Var v)))
+            e (var_names 4)
+        in
+        let a = Network.of_exprs ~inputs:(var_names 4) [ ("o", pad e1) ] in
+        let b = Network.of_exprs ~inputs:(var_names 4) [ ("o", pad e2) ] in
+        match Equiv.check a b with
+        | Equiv.Equivalent -> Expr.equivalent e1 e2
+        | Equiv.Different (assignment, out) ->
+          out = "o"
+          &&
+          let env v = Option.value ~default:false (List.assoc_opt v assignment) in
+          List.assoc "o" (Network.simulate a env)
+          <> List.assoc "o" (Network.simulate b env));
+    tc "multi-output difference localized" (fun () ->
+        let a =
+          Network.of_exprs ~inputs:[ "x"; "y" ]
+            [ ("same", Expr.parse "x & y"); ("diff", Expr.parse "x | y") ]
+        in
+        let b =
+          Network.of_exprs ~inputs:[ "x"; "y" ]
+            [ ("same", Expr.parse "x & y"); ("diff", Expr.parse "x ^ y") ]
+        in
+        match Equiv.check a b with
+        | Equiv.Different (_, "diff") -> ()
+        | Equiv.Different (_, o) -> Alcotest.failf "wrong output %s" o
+        | Equiv.Equivalent -> Alcotest.fail "should differ");
+  ]
+
+let () =
+  Alcotest.run "network"
+    [
+      ("network", network_tests);
+      ("blif", blif_tests);
+      ("equiv", equiv_tests);
+    ]

@@ -1,0 +1,320 @@
+open Helpers
+module Pnet = Vc_place.Pnet
+module Quadratic = Vc_place.Quadratic
+module Annealing = Vc_place.Annealing
+module Legalize = Vc_place.Legalize
+module Fm = Vc_place.Fm
+module Netgen = Vc_place.Netgen
+
+let square_net () =
+  (* 2 cells between 2 pads on a line *)
+  Pnet.make ~name:"line"
+    ~cell_names:[| "u"; "v" |]
+    ~pads:[| ("l", 0.0, 5.0); ("r", 10.0, 5.0) |]
+    ~nets:
+      [|
+        { Pnet.net_name = "n1"; pins = [ Pnet.Pad 0; Pnet.Cell 0 ] };
+        { Pnet.net_name = "n2"; pins = [ Pnet.Cell 0; Pnet.Cell 1 ] };
+        { Pnet.net_name = "n3"; pins = [ Pnet.Cell 1; Pnet.Pad 1 ] };
+      |]
+    ~width:10.0 ~height:10.0 ()
+
+let medium_net seed =
+  Netgen.generate ~seed
+    { Netgen.p_name = "med"; cells = 120; nets = 160; pads = 16; avg_pins = 2.7 }
+
+let pnet_tests =
+  [
+    tc "hpwl of a known placement" (fun () ->
+        let t = square_net () in
+        let p = { Pnet.xs = [| 3.0; 7.0 |]; ys = [| 5.0; 5.0 |] } in
+        (* nets: 3 + 4 + 3 in x, 0 in y *)
+        check (Alcotest.float 1e-9) "hpwl" 10.0 (Pnet.hpwl t p));
+    tc "hpwl includes y span" (fun () ->
+        let t = square_net () in
+        let p = { Pnet.xs = [| 3.0; 7.0 |]; ys = [| 1.0; 9.0 |] } in
+        check (Alcotest.float 1e-9) "hpwl" 26.0 (Pnet.hpwl t p));
+    tc "clique wirelength of a 2-pin net is squared distance" (fun () ->
+        let t =
+          Pnet.make ~cell_names:[| "a"; "b" |] ~pads:[||]
+            ~nets:[| { Pnet.net_name = "n"; pins = [ Pnet.Cell 0; Pnet.Cell 1 ] } |]
+            ~width:10.0 ~height:10.0 ()
+        in
+        let p = { Pnet.xs = [| 0.0; 3.0 |]; ys = [| 0.0; 4.0 |] } in
+        check (Alcotest.float 1e-9) "9+16" 25.0 (Pnet.clique_wirelength t p));
+    tc "make validates pins" (fun () ->
+        match
+          Pnet.make ~cell_names:[| "a" |] ~pads:[||]
+            ~nets:[| { Pnet.net_name = "n"; pins = [ Pnet.Cell 5 ] } |]
+            ~width:1.0 ~height:1.0 ()
+        with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected error");
+    tc "text round trip" (fun () ->
+        let t = square_net () in
+        let t' = Pnet.parse (Pnet.to_string t) in
+        check Alcotest.int "cells" t.Pnet.num_cells t'.Pnet.num_cells;
+        check Alcotest.int "nets" (Array.length t.Pnet.nets)
+          (Array.length t'.Pnet.nets));
+    tc "placement round trip" (fun () ->
+        let t = square_net () in
+        let p = Pnet.random_placement ~seed:3 t in
+        let p' = Pnet.parse_placement t (Pnet.placement_to_string t p) in
+        check Alcotest.bool "close" true
+          (abs_float (Pnet.hpwl t p -. Pnet.hpwl t p') < 0.01));
+    tc "parse_placement rejects missing cells" (fun () ->
+        let t = square_net () in
+        match Pnet.parse_placement t "place u 1 1\n" with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected error");
+  ]
+
+let quadratic_tests =
+  [
+    tc "one cell between two pads sits in the middle" (fun () ->
+        let t =
+          Pnet.make ~cell_names:[| "c" |]
+            ~pads:[| ("l", 0.0, 5.0); ("r", 10.0, 5.0) |]
+            ~nets:
+              [|
+                { Pnet.net_name = "a"; pins = [ Pnet.Pad 0; Pnet.Cell 0 ] };
+                { Pnet.net_name = "b"; pins = [ Pnet.Cell 0; Pnet.Pad 1 ] };
+              |]
+            ~width:10.0 ~height:10.0 ()
+        in
+        let r = Quadratic.global t in
+        check (Alcotest.float 0.01) "x middle" 5.0 r.Quadratic.placement.Pnet.xs.(0);
+        check (Alcotest.float 0.01) "y middle" 5.0 r.Quadratic.placement.Pnet.ys.(0));
+    tc "two cells in a chain at 1/3 and 2/3" (fun () ->
+        let t = square_net () in
+        let r = Quadratic.global t in
+        check (Alcotest.float 0.01) "u" (10.0 /. 3.0)
+          r.Quadratic.placement.Pnet.xs.(0);
+        check (Alcotest.float 0.01) "v" (20.0 /. 3.0)
+          r.Quadratic.placement.Pnet.xs.(1));
+    tc "solver choices agree" (fun () ->
+        let t = square_net () in
+        let cg = Quadratic.global ~solver:Quadratic.Cg t in
+        let gs = Quadratic.global ~solver:Quadratic.Gauss_seidel t in
+        check (Alcotest.float 0.01) "same answer"
+          cg.Quadratic.placement.Pnet.xs.(0)
+          gs.Quadratic.placement.Pnet.xs.(0));
+    tc "recursion spreads cells" (fun () ->
+        let t = medium_net 3 in
+        let global = Quadratic.global t in
+        let recur = Quadratic.place ~max_depth:5 t in
+        (* spread metric: stddev of x must grow with recursion *)
+        let spread (p : Pnet.placement) =
+          Vc_util.Stats.stddev (Array.to_list p.Pnet.xs)
+        in
+        check Alcotest.bool "spread increases" true
+          (spread recur.Quadratic.placement > spread global.Quadratic.placement));
+    tc "quadratic beats random placement on HPWL" (fun () ->
+        let t = medium_net 5 in
+        let recur = Quadratic.place t in
+        let legal = Legalize.to_grid t recur.Quadratic.placement in
+        let random = Pnet.random_placement ~seed:1 t in
+        check Alcotest.bool "better than random" true
+          (Pnet.hpwl t legal < Pnet.hpwl t random));
+    tc "floating cells stay solvable" (fun () ->
+        (* no pads at all: regularization must keep the system SPD *)
+        let t =
+          Pnet.make ~cell_names:[| "a"; "b" |] ~pads:[||]
+            ~nets:[| { Pnet.net_name = "n"; pins = [ Pnet.Cell 0; Pnet.Cell 1 ] } |]
+            ~width:8.0 ~height:8.0 ()
+        in
+        let r = Quadratic.global t in
+        check Alcotest.bool "finite" true
+          (Float.is_finite r.Quadratic.placement.Pnet.xs.(0)));
+  ]
+
+let annealing_tests =
+  [
+    tc "annealing improves its initial placement" (fun () ->
+        let t = medium_net 7 in
+        let _, stats = Annealing.place t in
+        check Alcotest.bool "improved" true
+          (stats.Annealing.final_hpwl < stats.Annealing.initial_hpwl));
+    tc "result is legal (one cell per slot)" (fun () ->
+        let t = medium_net 9 in
+        let p, _ = Annealing.place t in
+        check Alcotest.int "no overlaps" 0 (Legalize.overlap_count t p);
+        check Alcotest.bool "inside" true (Legalize.inside_core t p));
+    tc "deterministic for a seed" (fun () ->
+        let t = medium_net 11 in
+        let params = { Annealing.default_params with seed = 4 } in
+        let p1, _ = Annealing.place ~params t in
+        let p2, _ = Annealing.place ~params t in
+        check Alcotest.bool "same result" true (p1 = p2));
+    tc "greedy only ever improves" (fun () ->
+        let t = medium_net 13 in
+        let _, stats = Annealing.greedy t in
+        check Alcotest.bool "monotone" true
+          (stats.Annealing.final_hpwl <= stats.Annealing.initial_hpwl));
+    tc "annealing beats greedy from the same seed" (fun () ->
+        (* hill climbing should pay off on a structured instance *)
+        let t = medium_net 15 in
+        let pa, _ =
+          Annealing.place ~params:{ Annealing.default_params with seed = 21 } t
+        in
+        let pg, _ = Annealing.greedy ~seed:21 t in
+        check Alcotest.bool "annealing wins" true
+          (Pnet.hpwl t pa <= Pnet.hpwl t pg));
+  ]
+
+let legalize_tests =
+  [
+    tc "refine improves HPWL and stays legal" (fun () ->
+        let t = medium_net 27 in
+        let qp = Quadratic.place t in
+        let legal = Legalize.to_grid t qp.Quadratic.placement in
+        let before = Pnet.hpwl t legal in
+        let refined, swaps = Legalize.refine t legal in
+        check Alcotest.bool "improved" true
+          (Pnet.hpwl t refined < before || swaps = 0);
+        check Alcotest.int "still no overlaps" 0
+          (Legalize.overlap_count t refined);
+        check Alcotest.bool "still inside" true (Legalize.inside_core t refined));
+    tc "repeated refinement is monotone" (fun () ->
+        (* the neighbour candidate set is position-dependent, so a second
+           call may find more swaps - but never a worse placement *)
+        let t = medium_net 29 in
+        let qp = Quadratic.place t in
+        let legal = Legalize.to_grid t qp.Quadratic.placement in
+        let once, _ = Legalize.refine ~max_passes:12 t legal in
+        let twice, _ = Legalize.refine ~max_passes:12 t once in
+        check Alcotest.bool "non-increasing" true
+          (Pnet.hpwl t twice <= Pnet.hpwl t once +. 1e-9);
+        check Alcotest.int "legal" 0 (Legalize.overlap_count t twice));
+    tc "legalized placement has no overlaps" (fun () ->
+        let t = medium_net 17 in
+        let p = Pnet.center_placement t in
+        let legal = Legalize.to_grid t p in
+        check Alcotest.int "overlaps" 0 (Legalize.overlap_count t legal);
+        check Alcotest.bool "inside" true (Legalize.inside_core t legal));
+    tc "legalization roughly preserves relative order" (fun () ->
+        let t =
+          Pnet.make ~cell_names:[| "a"; "b"; "c"; "d" |] ~pads:[||]
+            ~nets:
+              [| { Pnet.net_name = "n"; pins = [ Pnet.Cell 0; Pnet.Cell 1 ] } |]
+            ~width:4.0 ~height:4.0 ()
+        in
+        let p =
+          { Pnet.xs = [| 0.5; 1.5; 2.5; 3.5 |]; ys = [| 2.0; 2.0; 2.0; 2.0 |] }
+        in
+        let legal = Legalize.to_grid t p in
+        check Alcotest.bool "a left of d" true
+          (legal.Pnet.xs.(0) < legal.Pnet.xs.(3)));
+    tc "overlap_count detects stacking" (fun () ->
+        let t = medium_net 19 in
+        let stacked = Pnet.center_placement t in
+        check Alcotest.bool "many overlaps" true
+          (Legalize.overlap_count t stacked > 0));
+    tc "inside_core catches escapes" (fun () ->
+        let t = square_net () in
+        let p = { Pnet.xs = [| -1.0; 5.0 |]; ys = [| 5.0; 5.0 |] } in
+        check Alcotest.bool "outside" false (Legalize.inside_core t p));
+  ]
+
+let fm_tests =
+  [
+    tc "two cliques split cleanly" (fun () ->
+        (* cells 0-3 densely connected, 4-7 densely connected, one bridge *)
+        let clique base =
+          List.concat_map
+            (fun i ->
+              List.filter_map
+                (fun j ->
+                  if i < j then
+                    Some
+                      {
+                        Pnet.net_name = Printf.sprintf "c%d_%d_%d" base i j;
+                        pins = [ Pnet.Cell (base + i); Pnet.Cell (base + j) ];
+                      }
+                  else None)
+                [ 0; 1; 2; 3 ])
+            [ 0; 1; 2; 3 ]
+        in
+        let bridge =
+          { Pnet.net_name = "bridge"; pins = [ Pnet.Cell 0; Pnet.Cell 4 ] }
+        in
+        let t =
+          Pnet.make
+            ~cell_names:(Array.init 8 (Printf.sprintf "c%d"))
+            ~pads:[||]
+            ~nets:(Array.of_list ((bridge :: clique 0) @ clique 4))
+            ~width:8.0 ~height:8.0 ()
+        in
+        let r = Fm.bipartition ~seed:3 t in
+        check Alcotest.int "cut is the bridge" 1 r.Fm.cut);
+    tc "balance respected" (fun () ->
+        let t = medium_net 23 in
+        let r = Fm.bipartition ~balance:0.1 t in
+        let left = Array.fold_left (fun acc s -> if s then acc else acc + 1) 0 r.Fm.side in
+        let n = t.Pnet.num_cells in
+        check Alcotest.bool "within balance" true
+          (left >= int_of_float (0.38 *. float_of_int n)
+          && left <= int_of_float (0.62 *. float_of_int n)));
+    tc "fm beats a random split" (fun () ->
+        let t = medium_net 25 in
+        let r = Fm.bipartition ~seed:1 t in
+        let random = Array.init t.Pnet.num_cells (fun i -> i mod 2 = 0) in
+        check Alcotest.bool "better" true (r.Fm.cut < Fm.cut_size t random));
+    tc "cut_size counts spanning nets" (fun () ->
+        let t = square_net () in
+        check Alcotest.int "n2 spans" 1 (Fm.cut_size t [| false; true |]);
+        check Alcotest.int "none span" 0 (Fm.cut_size t [| true; true |]));
+  ]
+
+let netgen_tests =
+  [
+    tc "profiles produce the advertised sizes" (fun () ->
+        List.iter
+          (fun prof ->
+            let t = Netgen.generate ~seed:1 prof in
+            check Alcotest.int (prof.Netgen.p_name ^ " cells") prof.Netgen.cells
+              t.Pnet.num_cells;
+            check Alcotest.bool "nets >= profile" true
+              (Array.length t.Pnet.nets >= prof.Netgen.nets);
+            check Alcotest.int "pads" prof.Netgen.pads (Array.length t.Pnet.pads))
+          (Netgen.tiny :: Netgen.mcnc_profiles));
+    tc "every cell is connected" (fun () ->
+        let t = Netgen.generate ~seed:9 Netgen.tiny in
+        for c = 0 to t.Pnet.num_cells - 1 do
+          let touched =
+            Array.exists
+              (fun net -> List.mem (Pnet.Cell c) net.Pnet.pins)
+              t.Pnet.nets
+          in
+          if not touched then Alcotest.failf "cell %d floats" c
+        done);
+    tc "deterministic by seed" (fun () ->
+        let a = Netgen.generate ~seed:4 Netgen.tiny in
+        let b = Netgen.generate ~seed:4 Netgen.tiny in
+        check Alcotest.string "same text" (Pnet.to_string a) (Pnet.to_string b));
+    tc "pads sit on the boundary" (fun () ->
+        let t = Netgen.generate ~seed:2 Netgen.tiny in
+        Array.iter
+          (fun (_, x, y) ->
+            let on_edge =
+              x = 0.0 || y = 0.0 || x >= t.Pnet.width -. 1e-9
+              || y >= t.Pnet.height -. 1e-9
+            in
+            check Alcotest.bool "edge" true on_edge)
+          t.Pnet.pads);
+    tc "by_name lookups" (fun () ->
+        check Alcotest.bool "fract" true (Netgen.by_name "fract" <> None);
+        check Alcotest.bool "tiny" true (Netgen.by_name "tiny" <> None);
+        check Alcotest.bool "unknown" true (Netgen.by_name "zzz" = None));
+  ]
+
+let () =
+  Alcotest.run "place"
+    [
+      ("pnet", pnet_tests);
+      ("quadratic", quadratic_tests);
+      ("annealing", annealing_tests);
+      ("legalize", legalize_tests);
+      ("fm", fm_tests);
+      ("netgen", netgen_tests);
+    ]

@@ -1,0 +1,284 @@
+open Helpers
+module Grid = Vc_route.Grid
+module Maze = Vc_route.Maze
+module Router = Vc_route.Router
+module Render = Vc_route.Render
+
+let pt layer x y = { Grid.layer; x; y }
+
+let grid_tests =
+  [
+    tc "bounds" (fun () ->
+        let g = Grid.create ~width:4 ~height:3 () in
+        check Alcotest.bool "in" true (Grid.in_bounds g (pt 0 3 2));
+        check Alcotest.bool "x out" false (Grid.in_bounds g (pt 0 4 0));
+        check Alcotest.bool "layer out" false (Grid.in_bounds g (pt 2 0 0)));
+    tc "occupancy rules" (fun () ->
+        let g = Grid.create ~width:4 ~height:4 () in
+        Grid.occupy g 1 (pt 0 1 1);
+        check Alcotest.(option int) "owner" (Some 1) (Grid.occupant g (pt 0 1 1));
+        (* same net may re-occupy *)
+        Grid.occupy g 1 (pt 0 1 1);
+        (* other net may not *)
+        (match Grid.occupy g 2 (pt 0 1 1) with
+        | exception Invalid_argument _ -> ()
+        | () -> Alcotest.fail "expected rejection");
+        Grid.release_net g 1;
+        check Alcotest.(option int) "freed" None (Grid.occupant g (pt 0 1 1)));
+    tc "obstacles block" (fun () ->
+        let g = Grid.create ~width:4 ~height:4 () in
+        Grid.add_obstacle g (pt 0 2 2);
+        check Alcotest.bool "is obstacle" true (Grid.is_obstacle g (pt 0 2 2));
+        check Alcotest.bool "not free" false (Grid.free_for g 0 (pt 0 2 2));
+        match Grid.occupy g 0 (pt 0 2 2) with
+        | exception Invalid_argument _ -> ()
+        | () -> Alcotest.fail "expected rejection");
+    tc "layers independent" (fun () ->
+        let g = Grid.create ~width:4 ~height:4 () in
+        Grid.add_obstacle g (pt 0 2 2);
+        check Alcotest.bool "layer 1 clear" true (Grid.free_for g 0 (pt 1 2 2)));
+    tc "copy isolates" (fun () ->
+        let g = Grid.create ~width:2 ~height:2 () in
+        let g2 = Grid.copy g in
+        Grid.occupy g2 0 (pt 0 0 0);
+        check Alcotest.(option int) "original clean" None
+          (Grid.occupant g (pt 0 0 0)));
+  ]
+
+let maze_tests =
+  [
+    tc "straight wire costs steps only" (fun () ->
+        let g = Grid.create ~width:10 ~height:3 () in
+        match Maze.route_two_pins g ~net:0 ~src:(pt 0 1 1) ~dst:(pt 0 8 1) with
+        | None -> Alcotest.fail "routable"
+        | Some path ->
+          check Alcotest.bool "contiguous" true (Maze.path_contiguous path);
+          check Alcotest.int "7 steps" 7 (Maze.path_cost (Grid.costs g) path));
+    tc "wrong-way on layer 0 uses a via or pays" (fun () ->
+        (* vertical connection: cheapest is via to layer 1 and back, or pay
+           wrong-way; either way cost must match path_cost *)
+        let g = Grid.create ~width:3 ~height:10 () in
+        match Maze.route_two_pins g ~net:0 ~src:(pt 0 1 1) ~dst:(pt 0 1 8) with
+        | None -> Alcotest.fail "routable"
+        | Some path ->
+          let cp = Grid.costs g in
+          (* lower bound: 7 steps; upper: wrong-way all the way *)
+          let c = Maze.path_cost cp path in
+          check Alcotest.bool "bounded" true
+            (c >= 7 * cp.Grid.step
+            && c <= (7 * (cp.Grid.step + cp.Grid.wrong_way)) + (2 * cp.Grid.via)));
+    tc "detour around an obstacle wall" (fun () ->
+        let g = Grid.create ~width:9 ~height:5 () in
+        for y = 0 to 3 do
+          Grid.add_obstacle g (pt 0 4 y);
+          Grid.add_obstacle g (pt 1 4 y)
+        done;
+        match Maze.route_two_pins g ~net:0 ~src:(pt 0 1 1) ~dst:(pt 0 7 1) with
+        | None -> Alcotest.fail "routable over the top"
+        | Some path ->
+          check Alcotest.bool "avoids obstacles" true
+            (List.for_all (fun p -> not (Grid.is_obstacle g p)) path);
+          check Alcotest.bool "goes high" true
+            (List.exists (fun p -> p.Grid.y = 4) path));
+    tc "fully walled is unroutable" (fun () ->
+        let g = Grid.create ~width:9 ~height:5 () in
+        for y = 0 to 4 do
+          Grid.add_obstacle g (pt 0 4 y);
+          Grid.add_obstacle g (pt 1 4 y)
+        done;
+        check Alcotest.bool "no route" true
+          (Maze.route_two_pins g ~net:0 ~src:(pt 0 1 1) ~dst:(pt 0 7 1) = None));
+    tc "blocked on one layer forces a via" (fun () ->
+        let g = Grid.create ~width:9 ~height:3 () in
+        for y = 0 to 2 do
+          Grid.add_obstacle g (pt 0 4 y)
+        done;
+        match Maze.route_two_pins g ~net:0 ~src:(pt 0 1 1) ~dst:(pt 0 7 1) with
+        | None -> Alcotest.fail "routable via layer 1"
+        | Some path ->
+          check Alcotest.bool "uses layer 1" true
+            (List.exists (fun p -> p.Grid.layer = 1) path));
+    tc "multi-pin net forms a connected tree" (fun () ->
+        let g = Grid.create ~width:12 ~height:12 () in
+        match
+          Maze.route_net g ~net:3 ~pins:[ (1, 1); (10, 1); (5, 10); (10, 10) ]
+        with
+        | None -> Alcotest.fail "routable"
+        | Some paths ->
+          check Alcotest.bool "several paths" true (List.length paths = 3);
+          (* every pin cell owned by net 3 *)
+          List.iter
+            (fun (x, y) ->
+              check Alcotest.(option int) "pin owned" (Some 3)
+                (Grid.occupant g (pt 0 x y)))
+            [ (1, 1); (10, 1); (5, 10); (10, 10) ]);
+    tc "failed net releases its cells" (fun () ->
+        let g = Grid.create ~width:9 ~height:3 () in
+        for y = 0 to 2 do
+          Grid.add_obstacle g (pt 0 4 y);
+          Grid.add_obstacle g (pt 1 4 y)
+        done;
+        check Alcotest.bool "fails" true
+          (Maze.route_net g ~net:0 ~pins:[ (1, 1); (7, 1) ] = None);
+        (* the first pin must have been released again *)
+        check Alcotest.(option int) "clean grid" None
+          (Grid.occupant g (pt 0 1 1)));
+    tc "later paths branch off the existing tree" (fun () ->
+        let g = Grid.create ~width:12 ~height:6 () in
+        match Maze.route_net g ~net:0 ~pins:[ (1, 1); (10, 1); (6, 3) ] with
+        | None -> Alcotest.fail "routable"
+        | Some paths ->
+          check Alcotest.int "two tree edges" 2 (List.length paths);
+          (* the second path must start on a cell of the existing tree *)
+          let first_path = List.nth paths 0 in
+          let second = List.nth paths 1 in
+          let start = List.hd second in
+          check Alcotest.bool "starts on tree" true
+            (List.mem start first_path || start = pt 0 1 1));
+    tc "A-star gives equal cost with fewer expansions" (fun () ->
+        let route () =
+          let g = Grid.create ~width:30 ~height:30 () in
+          match
+            Maze.route_two_pins g ~net:0 ~src:(pt 0 2 2) ~dst:(pt 0 27 2)
+          with
+          | Some path -> Maze.path_cost (Grid.costs g) path
+          | None -> -1
+        in
+        Maze.astar := false;
+        let e0 = Maze.expansions () in
+        let c_dij = route () in
+        let dij = Maze.expansions () - e0 in
+        Maze.astar := true;
+        let e1 = Maze.expansions () in
+        let c_ast = route () in
+        let ast = Maze.expansions () - e1 in
+        Maze.astar := false;
+        check Alcotest.int "same cost" c_dij c_ast;
+        check Alcotest.bool
+          (Printf.sprintf "astar %d < dijkstra %d" ast dij)
+          true (ast < dij));
+    tc "path_cost counts bends and vias" (fun () ->
+        let cp = Grid.default_costs in
+        (* L-shaped: 2 east, bend, 2 north (wrong way on layer 0) *)
+        let path =
+          [ pt 0 0 0; pt 0 1 0; pt 0 2 0; pt 0 2 1; pt 0 2 2 ]
+        in
+        let expected =
+          (2 * cp.Grid.step)
+          + (cp.Grid.step + cp.Grid.wrong_way + cp.Grid.bend)
+          + (cp.Grid.step + cp.Grid.wrong_way)
+        in
+        check Alcotest.int "bend accounted" expected (Maze.path_cost cp path);
+        let via_path = [ pt 0 0 0; pt 1 0 0 ] in
+        check Alcotest.int "via" cp.Grid.via (Maze.path_cost cp via_path));
+    tc "path_contiguous rejects jumps" (fun () ->
+        check Alcotest.bool "jump" false
+          (Maze.path_contiguous [ pt 0 0 0; pt 0 2 0 ]);
+        check Alcotest.bool "diagonal" false
+          (Maze.path_contiguous [ pt 0 0 0; pt 0 1 1 ]);
+        check Alcotest.bool "layer jump with move" false
+          (Maze.path_contiguous [ pt 0 0 0; pt 1 1 0 ]));
+  ]
+
+let router_tests =
+  [
+    tc "problem parse round trip" (fun () ->
+        let text =
+          "grid 10 8\ncost 1 2 3 4\nobstacle 1 5 5\nnet a 1 1 8 1\nnet b 0 0 9 7 4 4\n"
+        in
+        let p = Router.parse_problem text in
+        check Alcotest.int "width" 10 p.Router.grid_width;
+        check Alcotest.int "bend cost" 2 p.Router.cost_params.Grid.bend;
+        check Alcotest.int "nets" 2 (List.length p.Router.net_specs);
+        let p2 = Router.parse_problem (Router.problem_to_string p) in
+        check Alcotest.int "round trip nets" 2 (List.length p2.Router.net_specs));
+    tc "parse errors" (fun () ->
+        List.iter
+          (fun s ->
+            match Router.parse_problem s with
+            | exception Failure _ -> ()
+            | _ -> Alcotest.failf "expected failure: %S" s)
+          [ "net a 1 1 2 2\n"; "grid 5 5\nnet a 1 1 2\n"; "grid 5 5\njunk\n" ]);
+    tc "all Fig. 6 unit problems route completely" (fun () ->
+        List.iter
+          (fun (name, problem) ->
+            let r = Router.route problem in
+            check Alcotest.int name r.Router.total r.Router.completed)
+          Vc_mooc.Projects.router_unit_tests);
+    tc "net ordering affects the outcome deterministically" (fun () ->
+        let p =
+          Router.parse_problem "grid 16 16\nnet long 0 8 15 8\nnet short 7 7 8 7\n"
+        in
+        let r1 = Router.route ~order:`Short_first p in
+        let r2 = Router.route ~order:`Long_first p in
+        check Alcotest.int "both complete (1)" 2 r1.Router.completed;
+        check Alcotest.int "both complete (2)" 2 r2.Router.completed);
+    tc "rip-up recovers blocked nets" (fun () ->
+        (* an empirically-found dense instance: greedy `Given ordering
+           strands one net until rip-up frees the blockage *)
+        let p =
+          Router.parse_problem
+            "grid 10 10\nnet n0 7 9 7 0\nnet n1 3 2 6 5\nnet n2 7 6 3 4\n\
+             net n3 3 0 6 6\nnet n4 8 0 1 6\nnet n5 0 5 6 0\n"
+        in
+        let without = Router.route ~order:`Given ~rip_up_passes:0 p in
+        let with_ripup = Router.route ~order:`Given ~rip_up_passes:3 p in
+        check Alcotest.bool "blocked without rip-up" true
+          (without.Router.completed < without.Router.total);
+        check Alcotest.int "fully routed with rip-up" with_ripup.Router.total
+          with_ripup.Router.completed);
+    tc "pins are protected from other nets" (fun () ->
+        (* net a crosses right over net b's pin column; b must still route *)
+        let p =
+          Router.parse_problem "grid 9 3\nnet a 0 1 8 1\nnet b 4 0 4 2\n"
+        in
+        let r = Router.route ~order:`Given p in
+        check Alcotest.int "both routed" 2 r.Router.completed);
+    tc "solution format accepted by the validator" (fun () ->
+        let p = Router.parse_problem "grid 8 8\nnet a 1 1 6 6\nnet b 0 7 7 0\n" in
+        let r = Router.route p in
+        match Vc_mooc.Autograder.validate_routing p (Router.solution_to_string r) with
+        | Ok check_result ->
+          check Alcotest.int "wirelength agrees" r.Router.wirelength
+            check_result.Vc_mooc.Autograder.rc_wirelength
+        | Error msg -> Alcotest.fail msg);
+    tc "statistics count cells and vias separately" (fun () ->
+        let p = Router.parse_problem "grid 6 6\nnet a 1 1 4 4\n" in
+        let r = Router.route p in
+        check Alcotest.bool "wires" true (r.Router.wirelength > 0));
+  ]
+
+let render_tests =
+  [
+    tc "ascii shows both layers" (fun () ->
+        let g = Grid.create ~width:5 ~height:3 () in
+        Grid.add_obstacle g (pt 0 1 1);
+        Grid.occupy g 0 (pt 1 2 2);
+        let s = Render.grid_ascii g in
+        check Alcotest.bool "has obstacle" true (String.contains s '#');
+        check Alcotest.bool "has net" true (String.contains s '0'));
+    tc "svg is well formed enough" (fun () ->
+        let p = Router.parse_problem "grid 6 6\nnet a 0 0 5 5\n" in
+        let r = Router.route p in
+        let svg = Render.result_svg r in
+        check Alcotest.bool "svg open" true
+          (String.length svg > 4 && String.sub svg 0 4 = "<svg");
+        check Alcotest.bool "svg close" true
+          (String.length svg >= 7
+          && String.sub svg (String.length svg - 7) 6 = "</svg>"));
+    tc "placement svg renders dots" (fun () ->
+        let svg =
+          Render.placement_svg ~width:10.0 ~height:10.0 [| (1.0, 1.0); (9.0, 9.0) |]
+        in
+        check Alcotest.bool "two circles" true
+          (String.length svg > 0));
+  ]
+
+let () =
+  Alcotest.run "route"
+    [
+      ("grid", grid_tests);
+      ("maze", maze_tests);
+      ("router", router_tests);
+      ("render", render_tests);
+    ]

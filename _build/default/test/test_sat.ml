@@ -1,0 +1,197 @@
+open Helpers
+module Cnf = Vc_sat.Cnf
+module Solver = Vc_sat.Solver
+module Dpll = Vc_sat.Dpll
+module Tseitin = Vc_sat.Tseitin
+module Expr = Vc_cube.Expr
+
+(* pigeonhole principle PHP(p, h): p pigeons, h holes; unsat when p > h *)
+let pigeonhole pigeons holes =
+  let var p h = (p * holes) + h + 1 in
+  let at_least_one =
+    List.init pigeons (fun p -> List.init holes (fun h -> var p h))
+  in
+  let at_most_one =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 ->
+                if p1 < p2 then Some [ -var p1 h; -var p2 h ] else None)
+              (List.init pigeons (fun p -> p)))
+          (List.init pigeons (fun p -> p)))
+      (List.init holes (fun h -> h))
+  in
+  Cnf.make (pigeons * holes) (at_least_one @ at_most_one)
+
+let cnf_tests =
+  [
+    tc "make validates literals" (fun () ->
+        Alcotest.check_raises "zero" (Invalid_argument "Cnf.make: bad literal 0")
+          (fun () -> ignore (Cnf.make 2 [ [ 1; 0 ] ]));
+        Alcotest.check_raises "range" (Invalid_argument "Cnf.make: bad literal 5")
+          (fun () -> ignore (Cnf.make 2 [ [ 5 ] ])));
+    tc "eval" (fun () ->
+        let f = Cnf.make 2 [ [ 1; 2 ]; [ -1 ] ] in
+        check Alcotest.bool "01" true (Cnf.eval f [| false; false; true |]);
+        check Alcotest.bool "10" false (Cnf.eval f [| false; true; false |]));
+    tc "dimacs parse" (fun () ->
+        let f =
+          Cnf.parse_dimacs
+            "c a comment\nc cnf in the comment\np cnf 3 2\n1 -2 0\n2 3 0\n"
+        in
+        check Alcotest.int "vars" 3 f.Cnf.num_vars;
+        check Alcotest.int "clauses" 2 (Cnf.num_clauses f));
+    tc "dimacs clause spanning lines" (fun () ->
+        let f = Cnf.parse_dimacs "p cnf 3 1\n1 2\n3 0\n" in
+        check Alcotest.int "one clause" 1 (Cnf.num_clauses f));
+    tc "dimacs errors" (fun () ->
+        List.iter
+          (fun s ->
+            match Cnf.parse_dimacs s with
+            | exception Failure _ -> ()
+            | _ -> Alcotest.failf "expected failure for %S" s)
+          [ "1 2 0\n"; "p cnf x y\n"; "p cnf 2 1\n1 2\n" ]);
+    prop "dimacs round trip" arbitrary_cnf (fun f ->
+        let f' = Cnf.parse_dimacs (Cnf.to_dimacs f) in
+        f'.Cnf.num_vars = f.Cnf.num_vars
+        && List.map Array.to_list f'.Cnf.clauses
+           = List.map Array.to_list f.Cnf.clauses);
+    tc "random_ksat shape" (fun () ->
+        let f = Cnf.random_ksat ~seed:1 ~num_vars:20 ~num_clauses:50 ~k:3 in
+        check Alcotest.int "clauses" 50 (Cnf.num_clauses f);
+        List.iter
+          (fun c ->
+            check Alcotest.int "k distinct vars" 3
+              (List.length
+                 (List.sort_uniq compare (List.map abs (Array.to_list c)))))
+          f.Cnf.clauses);
+  ]
+
+let model_is_valid f = function
+  | Solver.Sat model -> Cnf.eval f model
+  | Solver.Unsat | Solver.Unknown -> true
+
+let solver_tests =
+  [
+    tc "trivial cases" (fun () ->
+        check Alcotest.bool "empty formula sat" true
+          (Solver.is_sat (Cnf.make 1 []));
+        check Alcotest.bool "empty clause unsat" false
+          (Solver.is_sat (Cnf.make 1 [ [] ]));
+        check Alcotest.bool "unit conflict" false
+          (Solver.is_sat (Cnf.make 1 [ [ 1 ]; [ -1 ] ])));
+    tc "tautological clause ignored" (fun () ->
+        check Alcotest.bool "sat" true
+          (Solver.is_sat (Cnf.make 2 [ [ 1; -1 ]; [ 2 ] ])));
+    tc "pigeonhole unsat" (fun () ->
+        check Alcotest.bool "php(4,3)" false (Solver.is_sat (pigeonhole 4 3));
+        check Alcotest.bool "php(5,4)" false (Solver.is_sat (pigeonhole 5 4)));
+    tc "pigeonhole sat side" (fun () ->
+        check Alcotest.bool "php(3,3)" true (Solver.is_sat (pigeonhole 3 3)));
+    prop ~count:150 "CDCL agrees with brute force" arbitrary_cnf (fun f ->
+        Solver.is_sat f = brute_force_sat f);
+    prop ~count:150 "CDCL models satisfy the formula" arbitrary_cnf (fun f ->
+        model_is_valid f (fst (Solver.solve f)));
+    prop ~count:80 "DPLL agrees with CDCL" arbitrary_cnf (fun f ->
+        Dpll.is_sat f = Solver.is_sat f);
+    prop ~count:80 "DPLL models satisfy the formula" arbitrary_cnf (fun f ->
+        match fst (Dpll.solve f) with
+        | Solver.Sat m -> Cnf.eval f m
+        | Solver.Unsat | Solver.Unknown -> true);
+    tc "conflict budget yields Unknown" (fun () ->
+        let f = pigeonhole 7 6 in
+        let config = { Solver.default_config with max_conflicts = Some 3 } in
+        match fst (Solver.solve ~config f) with
+        | Solver.Unknown -> ()
+        | Solver.Sat _ | Solver.Unsat ->
+          (* a tiny budget might still finish; only fail if wrong answer *)
+          check Alcotest.bool "consistent" false (Solver.is_sat f));
+    tc "statistics populated" (fun () ->
+        let f = Cnf.random_ksat ~seed:5 ~num_vars:40 ~num_clauses:170 ~k:3 in
+        let _, stats = Solver.solve f in
+        check Alcotest.bool "propagated" true (stats.Solver.propagations > 0));
+  ]
+
+let ablation_tests =
+  let configs =
+    [
+      ("no learning", { Solver.default_config with use_learning = false });
+      ("no vsids", { Solver.default_config with use_vsids = false });
+      ("no restarts", { Solver.default_config with use_restarts = false });
+      ("no phase saving", { Solver.default_config with use_phase_saving = false });
+      ( "everything off",
+        {
+          Solver.default_config with
+          use_learning = false;
+          use_vsids = false;
+          use_restarts = false;
+          use_phase_saving = false;
+        } );
+    ]
+  in
+  List.map
+    (fun (name, config) ->
+      prop ~count:60
+        (Printf.sprintf "config '%s' remains sound" name)
+        arbitrary_cnf
+        (fun f ->
+          match fst (Solver.solve ~config f) with
+          | Solver.Sat m -> Cnf.eval f m && brute_force_sat f
+          | Solver.Unsat -> not (brute_force_sat f)
+          | Solver.Unknown -> false))
+    configs
+  @ [
+      tc "learning reduces conflicts on pigeonhole" (fun () ->
+          let f = pigeonhole 5 4 in
+          let _, with_learning = Solver.solve f in
+          let _, without =
+            Solver.solve
+              ~config:{ Solver.default_config with use_learning = false }
+              f
+          in
+          check Alcotest.bool
+            (Printf.sprintf "%d <= %d" with_learning.Solver.conflicts
+               without.Solver.conflicts)
+            true
+            (with_learning.Solver.conflicts <= without.Solver.conflicts));
+    ]
+
+let tseitin_tests =
+  [
+    prop ~count:150 "encoding is equisatisfiable" (arbitrary_expr ()) (fun e ->
+        let sat_expr =
+          Array.exists (fun v -> v) (Expr.truth_table (Expr.vars e) e)
+        in
+        Solver.is_sat (Tseitin.sat_of_expr e) = sat_expr);
+    prop ~count:100 "equivalence checking matches truth tables"
+      (QCheck.pair (arbitrary_expr ()) (arbitrary_expr ()))
+      (fun (a, b) -> Tseitin.equivalent a b = Expr.equivalent a b);
+    prop ~count:100 "counterexamples are genuine"
+      (QCheck.pair (arbitrary_expr ()) (arbitrary_expr ()))
+      (fun (a, b) ->
+        match Tseitin.counterexample a b with
+        | None -> Expr.equivalent a b
+        | Some cex ->
+          let env v = Option.value ~default:false (List.assoc_opt v cex) in
+          Expr.eval env a <> Expr.eval env b);
+    tc "encoding size is linear" (fun () ->
+        (* a chain of n ANDs: clauses must grow linearly, not exponentially *)
+        let rec chain i =
+          if i = 0 then Expr.Var "x0"
+          else Expr.And (Expr.Var (Printf.sprintf "x%d" i), chain (i - 1))
+        in
+        let enc = Tseitin.encode (chain 30) in
+        check Alcotest.bool "linear clauses" true
+          (Cnf.num_clauses enc.Tseitin.cnf < 200));
+  ]
+
+let () =
+  Alcotest.run "sat"
+    [
+      ("cnf", cnf_tests);
+      ("solver", solver_tests);
+      ("ablation", ablation_tests);
+      ("tseitin", tseitin_tests);
+    ]

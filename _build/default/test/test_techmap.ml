@@ -1,0 +1,232 @@
+open Helpers
+module Cell_lib = Vc_techmap.Cell_lib
+module Subject = Vc_techmap.Subject
+module Map = Vc_techmap.Map
+module Network = Vc_network.Network
+module Expr = Vc_cube.Expr
+
+let sample_network () =
+  Network.of_exprs ~name:"sample" ~inputs:(var_names 4)
+    [
+      ("f", Expr.parse "v0 v1 + v2 (v1 + v3)");
+      ("g", Expr.parse "!(v0 v1) + v2 v3");
+    ]
+
+(* brute-force compare network and a mapped/subject evaluator on all inputs *)
+let agree_on_all_inputs net eval_outputs =
+  let inputs = Network.inputs net in
+  let n = List.length inputs in
+  List.for_all
+    (fun row ->
+      let env v =
+        let rec index i = function
+          | [] -> -1
+          | x :: rest -> if x = v then i else index (i + 1) rest
+        in
+        row land (1 lsl index 0 inputs) <> 0
+      in
+      let expected = Network.simulate net env in
+      let got = eval_outputs env in
+      List.for_all (fun (o, v) -> List.assoc o got = v) expected)
+    (List.init (1 lsl n) (fun i -> i))
+
+let cell_lib_tests =
+  [
+    tc "leaves counts arity" (fun () ->
+        List.iter
+          (fun c ->
+            check Alcotest.int c.Cell_lib.cell_name c.Cell_lib.arity
+              (Cell_lib.leaves c.Cell_lib.pattern))
+          (Cell_lib.standard ()));
+    tc "standard library contents" (fun () ->
+        let cells = Cell_lib.standard () in
+        List.iter
+          (fun name ->
+            check Alcotest.bool name true (Cell_lib.find cells name <> None))
+          [ "INV"; "NAND2"; "NAND3"; "NAND4"; "AND2"; "OR2"; "NOR2"; "AOI21" ]);
+    tc "bigger cells cost more area but amortize" (fun () ->
+        let cells = Cell_lib.standard () in
+        let area n =
+          match Cell_lib.find cells n with
+          | Some c -> c.Cell_lib.area
+          | None -> Alcotest.failf "missing %s" n
+        in
+        (* NAND3 cheaper than NAND2 + INV + NAND2 *)
+        check Alcotest.bool "amortized" true
+          (area "NAND3" < area "NAND2" +. area "INV" +. area "NAND2"));
+    tc "minimal library is INV + NAND2" (fun () ->
+        check Alcotest.int "two cells" 2 (List.length (Cell_lib.minimal ())));
+  ]
+
+let subject_tests =
+  [
+    tc "subject graph computes the network" (fun () ->
+        let net = sample_network () in
+        let s = Subject.of_network net in
+        check Alcotest.bool "functional" true
+          (agree_on_all_inputs net (fun env -> Subject.simulate s env)));
+    tc "hash consing shares structure" (fun () ->
+        (* two outputs computing the same function share the whole cone *)
+        let net =
+          Network.of_exprs ~inputs:[ "a"; "b" ]
+            [ ("x", Expr.parse "a & b"); ("y", Expr.parse "a & b") ]
+        in
+        let s = Subject.of_network net in
+        match s.Subject.outputs with
+        | [ (_, i); (_, j) ] -> check Alcotest.int "same node" i j
+        | _ -> Alcotest.fail "two outputs");
+    tc "double inversion collapses" (fun () ->
+        let net =
+          Network.of_exprs ~inputs:[ "a"; "b" ] [ ("x", Expr.parse "!(!(a & b))") ]
+        in
+        let s = Subject.of_network net in
+        (* x = AND(a,b) = INV(NAND): 1 nand + 1 inv, no inv chains *)
+        check Alcotest.int "nands" 1 (Subject.nand_count s);
+        check Alcotest.int "invs" 1 (Subject.inv_count s));
+    tc "dead intermediates are pruned" (fun () ->
+        (* ab + c: the AND's INV is collapsed away; it must not linger and
+           inflate fanout counts *)
+        let net =
+          Network.of_exprs ~inputs:[ "a"; "b"; "c" ]
+            [ ("f", Expr.parse "a b + c") ]
+        in
+        let s = Subject.of_network net in
+        Array.iteri
+          (fun id n ->
+            match n with
+            | Subject.S_input _ -> ()
+            | Subject.S_inv _ | Subject.S_nand _ ->
+              let is_output =
+                List.exists (fun (_, oid) -> oid = id) s.Subject.outputs
+              in
+              if s.Subject.fanout.(id) = 0 && not is_output then
+                Alcotest.failf "dead node %d survived" id)
+          s.Subject.nodes);
+    tc "constant node rejected with guidance" (fun () ->
+        let t = Network.create ~inputs:[ "a" ] ~outputs:[ "f" ] () in
+        Network.add_node t ~name:"f" ~fanins:[] ~func:(Vc_cube.Cover.top 0);
+        match Subject.of_network t with
+        | exception Failure msg ->
+          check Alcotest.bool "mentions sweep" true
+            (String.length msg > 0)
+        | _ -> Alcotest.fail "expected failure");
+    prop ~count:60 "random networks decompose faithfully"
+      QCheck.(int_bound 10_000)
+      (fun seed ->
+        let net = random_network seed in
+        match Subject.of_network net with
+        | s -> agree_on_all_inputs net (fun env -> Subject.simulate s env)
+        | exception Failure _ -> true (* constant output: documented limit *));
+  ]
+
+let map_tests =
+  [
+    tc "cover is functionally correct (both modes)" (fun () ->
+        let net = sample_network () in
+        let s = Subject.of_network net in
+        List.iter
+          (fun mode ->
+            let m = Map.cover ~mode (Cell_lib.standard ()) s in
+            check Alcotest.bool "functional" true
+              (agree_on_all_inputs net (fun env -> Map.simulate m env)))
+          [ Map.Min_area; Map.Min_delay ]);
+    tc "objectives dominate their own metric" (fun () ->
+        let net =
+          Network.of_exprs ~inputs:(var_names 4)
+            [
+              ("deep", Expr.parse "v0 & v1 & v2 & v3");
+              ("wide", Expr.parse "v0 v1 + v2 v3 + v0 v2");
+            ]
+        in
+        let s = Subject.of_network net in
+        let ma = Map.cover ~mode:Map.Min_area (Cell_lib.standard ()) s in
+        let md = Map.cover ~mode:Map.Min_delay (Cell_lib.standard ()) s in
+        check Alcotest.bool "area order" true (ma.Map.area <= md.Map.area +. 1e-9);
+        check Alcotest.bool "delay order" true
+          (md.Map.delay <= ma.Map.delay +. 1e-9));
+    tc "richer library never hurts area" (fun () ->
+        let net = sample_network () in
+        let s = Subject.of_network net in
+        let rich = Map.cover (Cell_lib.standard ()) s in
+        let poor = Map.cover (Cell_lib.minimal ()) s in
+        check Alcotest.bool "library helps" true
+          (rich.Map.area <= poor.Map.area +. 1e-9));
+    tc "gate list is topologically ordered" (fun () ->
+        let net = sample_network () in
+        let m = Map.map_network (Cell_lib.standard ()) net in
+        let seen = Hashtbl.create 16 in
+        List.iter
+          (fun (_, id) -> Hashtbl.replace seen id ())
+          m.Map.subject.Subject.inputs;
+        List.iter
+          (fun (g : Map.gate) ->
+            List.iter
+              (fun input ->
+                match m.Map.subject.Subject.nodes.(input) with
+                | Subject.S_input _ -> ()
+                | Subject.S_nand _ | Subject.S_inv _ ->
+                  if not (Hashtbl.mem seen input) then
+                    Alcotest.fail "input gate not yet emitted")
+              g.Map.g_inputs;
+            Hashtbl.replace seen g.Map.g_output ())
+          m.Map.gates);
+    tc "area is the sum of chosen cells" (fun () ->
+        let net = sample_network () in
+        let m = Map.map_network (Cell_lib.standard ()) net in
+        let total =
+          List.fold_left
+            (fun acc (g : Map.gate) -> acc +. g.Map.g_cell.Cell_lib.area)
+            0.0 m.Map.gates
+        in
+        check (Alcotest.float 1e-9) "sum" total m.Map.area);
+    prop ~count:60 "random networks map correctly"
+      QCheck.(int_bound 10_000)
+      (fun seed ->
+        let net = random_network seed in
+        match Map.map_network (Cell_lib.standard ()) net with
+        | m -> agree_on_all_inputs net (fun env -> Map.simulate m env)
+        | exception Failure _ -> true);
+    prop ~count:40 "minimal library suffices for any subject graph"
+      QCheck.(int_bound 10_000)
+      (fun seed ->
+        let net = random_network seed in
+        match Map.map_network (Cell_lib.minimal ()) net with
+        | m -> agree_on_all_inputs net (fun env -> Map.simulate m env)
+        | exception Failure _ -> true);
+    tc "complex cells actually win matches" (fun () ->
+        (* ab + c maps to a single AO21 *)
+        let net =
+          Network.of_exprs ~inputs:[ "a"; "b"; "c" ]
+            [ ("f", Expr.parse "a b + c") ]
+        in
+        let m = Map.map_network (Cell_lib.standard ()) net in
+        check Alcotest.int "one gate" 1 (Map.gate_count m);
+        match m.Map.gates with
+        | [ g ] -> check Alcotest.string "AO21" "AO21" g.Map.g_cell.Cell_lib.cell_name
+        | _ -> Alcotest.fail "single gate expected");
+    tc "XOR2 matches through repeated leaf slots" (fun () ->
+        let net =
+          Network.of_exprs ~inputs:[ "a"; "b" ] [ ("x", Expr.parse "a ^ b") ]
+        in
+        let m = Map.map_network (Cell_lib.standard ()) net in
+        check Alcotest.bool "uses XOR2" true
+          (List.exists
+             (fun (g : Map.gate) -> g.Map.g_cell.Cell_lib.cell_name = "XOR2")
+             m.Map.gates);
+        check Alcotest.bool "functional" true
+          (agree_on_all_inputs net (fun env -> Map.simulate m env)));
+    tc "to_string renders a netlist" (fun () ->
+        let net = sample_network () in
+        let m = Map.map_network (Cell_lib.standard ()) net in
+        let s = Map.to_string m in
+        check Alcotest.bool "mentions outputs" true
+          (String.length s > 0));
+  ]
+
+let () =
+  Alcotest.run "techmap"
+    [
+      ("cell_lib", cell_lib_tests);
+      ("subject", subject_tests);
+      ("map", map_tests);
+    ]

@@ -1,0 +1,241 @@
+open Helpers
+module Tgraph = Vc_timing.Tgraph
+module Elmore = Vc_timing.Elmore
+module Map = Vc_techmap.Map
+module Network = Vc_network.Network
+module Expr = Vc_cube.Expr
+
+let diamond () =
+  (* a -> u -> v, b -> u, b -> v: classic reconvergence *)
+  let g = Tgraph.create () in
+  Tgraph.add_edge g ~src:"a" ~dst:"u" ~delay:1.0;
+  Tgraph.add_edge g ~src:"b" ~dst:"u" ~delay:1.0;
+  Tgraph.add_edge g ~src:"u" ~dst:"v" ~delay:2.0;
+  Tgraph.add_edge g ~src:"b" ~dst:"v" ~delay:0.5;
+  g
+
+let sta_tests =
+  [
+    tc "arrival times" (fun () ->
+        let r = Tgraph.analyze (diamond ()) in
+        check (Alcotest.float 1e-9) "u" 1.0 (List.assoc "u" r.Tgraph.arrival);
+        check (Alcotest.float 1e-9) "v" 3.0 (List.assoc "v" r.Tgraph.arrival);
+        check (Alcotest.float 1e-9) "design delay" 3.0 r.Tgraph.worst_arrival);
+    tc "required times and slack" (fun () ->
+        let r = Tgraph.analyze (diamond ()) in
+        (* default required = worst arrival = 3.0 *)
+        check (Alcotest.float 1e-9) "v required" 3.0
+          (List.assoc "v" r.Tgraph.required);
+        check (Alcotest.float 1e-9) "u required" 1.0
+          (List.assoc "u" r.Tgraph.required);
+        check (Alcotest.float 1e-9) "critical slack" 0.0
+          (List.assoc "u" r.Tgraph.slack);
+        (* b -> v direct edge has plenty of slack via that path, but b also
+           feeds u on the critical path, so b's slack is 0 *)
+        check (Alcotest.float 1e-9) "b slack" 0.0 (List.assoc "b" r.Tgraph.slack);
+        check (Alcotest.float 1e-9) "worst slack" 0.0 r.Tgraph.worst_slack);
+    tc "explicit required time shifts slack" (fun () ->
+        let r = Tgraph.analyze ~required_time:5.0 (diamond ()) in
+        check (Alcotest.float 1e-9) "slack grows" 2.0
+          (List.assoc "v" r.Tgraph.slack);
+        check (Alcotest.float 1e-9) "worst slack" 2.0 r.Tgraph.worst_slack);
+    tc "critical path identified" (fun () ->
+        let r = Tgraph.analyze (diamond ()) in
+        check Alcotest.bool "a/b -> u -> v" true
+          (r.Tgraph.critical_path = [ "a"; "u"; "v" ]
+          || r.Tgraph.critical_path = [ "b"; "u"; "v" ]));
+    tc "input arrivals offset the analysis" (fun () ->
+        let g = diamond () in
+        Tgraph.set_input_arrival g "a" 10.0;
+        let r = Tgraph.analyze g in
+        check (Alcotest.float 1e-9) "pushed" 13.0 r.Tgraph.worst_arrival;
+        check Alcotest.bool "critical through a" true
+          (List.hd r.Tgraph.critical_path = "a"));
+    tc "cycles rejected" (fun () ->
+        let g = Tgraph.create () in
+        Tgraph.add_edge g ~src:"x" ~dst:"y" ~delay:1.0;
+        Tgraph.add_edge g ~src:"y" ~dst:"x" ~delay:1.0;
+        match Tgraph.analyze g with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected cycle failure");
+    tc "of_mapping agrees with the mapper's delay" (fun () ->
+        let net =
+          Network.of_exprs ~inputs:(var_names 4)
+            [ ("f", Expr.parse "v0 v1 v2 + v3"); ("g", Expr.parse "v0 ^ v1") ]
+        in
+        List.iter
+          (fun mode ->
+            let m = Map.map_network ~mode (Vc_techmap.Cell_lib.standard ()) net in
+            let r = Tgraph.analyze (Tgraph.of_mapping m) in
+            check (Alcotest.float 1e-9) "same critical delay"
+              m.Map.delay r.Tgraph.worst_arrival)
+          [ Map.Min_area; Map.Min_delay ]);
+    tc "report renders" (fun () ->
+        let r = Tgraph.analyze (diamond ()) in
+        check Alcotest.bool "non-empty" true
+          (String.length (Tgraph.report_to_string r) > 0));
+  ]
+
+let elmore_tests =
+  [
+    tc "single RC segment" (fun () ->
+        let t = Elmore.node ~r:0.0 ~c:0.0 [ Elmore.node ~label:"s" ~r:5.0 ~c:3.0 [] ] in
+        check (Alcotest.float 1e-9) "r*c" 15.0 (Elmore.delay_to t "s"));
+    tc "two-segment line" (fun () ->
+        (* tau = R1*(C1+C2) + R2*C2 *)
+        let t =
+          Elmore.node ~r:0.0 ~c:0.0
+            [ Elmore.node ~r:2.0 ~c:1.0 [ Elmore.node ~label:"s" ~r:3.0 ~c:2.0 [] ] ]
+        in
+        check (Alcotest.float 1e-9) "ladder" ((2.0 *. 3.0) +. (3.0 *. 2.0))
+          (Elmore.delay_to t "s"));
+    tc "branching: shared resistance sees both capacitances" (fun () ->
+        let t =
+          Elmore.node ~r:0.0 ~c:0.0
+            [
+              Elmore.node ~r:1.0 ~c:0.0
+                [
+                  Elmore.node ~label:"left" ~r:2.0 ~c:1.0 [];
+                  Elmore.node ~label:"right" ~r:4.0 ~c:1.0 [];
+                ];
+            ]
+        in
+        (* shared R=1 sees C=2; each branch Ri sees its own C=1 *)
+        check (Alcotest.float 1e-9) "left" (2.0 +. 2.0) (Elmore.delay_to t "left");
+        check (Alcotest.float 1e-9) "right" (2.0 +. 4.0)
+          (Elmore.delay_to t "right"));
+    tc "driver resistance multiplies total capacitance" (fun () ->
+        let t = Elmore.node ~r:0.0 ~c:1.0 [ Elmore.node ~label:"s" ~r:1.0 ~c:1.0 [] ] in
+        let without = Elmore.delay_to t "s" in
+        let with_driver = Elmore.delay_to ~driver_resistance:10.0 t "s" in
+        check (Alcotest.float 1e-9) "adds Rd*Ctotal" (without +. 20.0) with_driver);
+    tc "downstream capacitance sums the subtree" (fun () ->
+        let t =
+          Elmore.node ~r:0.0 ~c:1.0
+            [ Elmore.node ~r:1.0 ~c:2.0 [ Elmore.node ~r:1.0 ~c:3.0 [] ] ]
+        in
+        check (Alcotest.float 1e-9) "total" 6.0 (Elmore.downstream_capacitance t));
+    tc "unknown label raises Not_found" (fun () ->
+        let t = Elmore.node ~r:0.0 ~c:1.0 [] in
+        match Elmore.delay_to t "ghost" with
+        | exception Not_found -> ()
+        | _ -> Alcotest.fail "expected Not_found");
+    tc "of_route: farther sinks are slower" (fun () ->
+        let p =
+          Vc_route.Router.parse_problem "grid 12 12\nnet a 0 0 11 0 11 11\n"
+        in
+        let r = Vc_route.Router.route p in
+        match r.Vc_route.Router.routed with
+        | [ net ] ->
+          let tree = Elmore.of_route net.Vc_route.Router.r_paths in
+          let ds = Elmore.delays tree in
+          check Alcotest.int "two sinks" 2 (List.length ds);
+          let near = List.assoc "sink0" ds and far = List.assoc "sink1" ds in
+          check Alcotest.bool "monotone" true (near < far)
+        | _ -> Alcotest.fail "one net");
+    tc "of_route: via segments use via RC" (fun () ->
+        (* force a via with a layer-0 wall; delay must include via_r *)
+        let p =
+          Vc_route.Router.parse_problem
+            "grid 9 3\nobstacle 0 4 0\nobstacle 0 4 1\nobstacle 0 4 2\nnet a 1 1 7 1\n"
+        in
+        let r = Vc_route.Router.route p in
+        match r.Vc_route.Router.routed with
+        | [ net ] ->
+          check Alcotest.bool "routed" true net.Vc_route.Router.r_ok;
+          let tree = Elmore.of_route net.Vc_route.Router.r_paths in
+          let straight_estimate =
+            (* 6 steps of r=0.1 each seeing at most total c ~ 2.5 *)
+            6.0 *. 0.1 *. 3.0
+          in
+          check Alcotest.bool "vias visible" true
+            (Elmore.delay_to tree "sink0" > straight_estimate)
+        | _ -> Alcotest.fail "one net");
+    tc "of_route rejects empty" (fun () ->
+        match Elmore.of_route [] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected error");
+  ]
+
+(* ------------------------- event-driven sim --------------------- *)
+
+module Ev = Vc_timing.Eventsim
+
+let hazard_mapping () =
+  let net =
+    Network.of_exprs ~inputs:[ "a"; "b"; "c" ]
+      [ ("f", Expr.parse "a b + !a c") ]
+  in
+  Map.map_network (Vc_techmap.Cell_lib.standard ()) net
+
+let eventsim_tests =
+  [
+    tc "steady state matches functional simulation" (fun () ->
+        let m = hazard_mapping () in
+        let out =
+          Ev.simulate m
+            [ ("a", [ (0.0, true) ]); ("b", [ (0.0, true) ]); ("c", [ (0.0, false) ]) ]
+        in
+        let f = List.assoc "f" out in
+        check Alcotest.bool "ab = 1" true (Ev.value_at f 0.0);
+        check Alcotest.int "no events" 0 (Ev.transitions f));
+    tc "static-1 hazard appears with real delays" (fun () ->
+        let m = hazard_mapping () in
+        let out =
+          Ev.simulate m
+            [
+              ("a", [ (0.0, true); (10.0, false) ]);
+              ("b", [ (0.0, true) ]);
+              ("c", [ (0.0, true) ]);
+            ]
+        in
+        let f = List.assoc "f" out in
+        (* functionally f stays 1; the unequal paths glitch it low *)
+        check Alcotest.bool "final value 1" true (Ev.value_at f 1000.0);
+        check Alcotest.bool "glitch observed" true (Ev.glitches f > 0));
+    tc "single gate switches cleanly" (fun () ->
+        let net =
+          Network.of_exprs ~inputs:[ "x"; "y" ] [ ("g", Expr.parse "x & y") ]
+        in
+        let m = Map.map_network (Vc_techmap.Cell_lib.standard ()) net in
+        let out =
+          Ev.simulate m
+            [ ("x", [ (0.0, false); (5.0, true) ]); ("y", [ (0.0, true) ]) ]
+        in
+        let g = List.assoc "g" out in
+        check Alcotest.int "one transition" 1 (Ev.transitions g);
+        check Alcotest.int "no glitches" 0 (Ev.glitches g);
+        (* the edge arrives after the cell delay, not instantly *)
+        check Alcotest.bool "still low just after 5" false (Ev.value_at g 5.01));
+    tc "pulse shorter than the path still propagates (transport delay)"
+      (fun () ->
+        let net =
+          Network.of_exprs ~inputs:[ "x" ] [ ("g", Expr.parse "!(!x)") ]
+        in
+        let m = Map.map_network (Vc_techmap.Cell_lib.standard ()) net in
+        let out =
+          Ev.simulate m
+            [ ("x", [ (0.0, false); (5.0, true); (5.1, false) ]) ]
+        in
+        let g = List.assoc "g" out in
+        check Alcotest.int "pulse preserved" 2 (Ev.transitions g));
+    tc "unknown stimulus rejected" (fun () ->
+        let m = hazard_mapping () in
+        match Ev.simulate m [ ("ghost", [ (0.0, true) ]) ] with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+    tc "waveform helpers" (fun () ->
+        let w = [ (0.0, false); (2.0, true); (3.0, false); (4.0, true) ] in
+        check Alcotest.int "transitions" 3 (Ev.transitions w);
+        check Alcotest.int "glitches" 2 (Ev.glitches w);
+        check Alcotest.bool "value at 2.5" true (Ev.value_at w 2.5);
+        check Alcotest.bool "value at 3.5" false (Ev.value_at w 3.5));
+  ]
+
+let () =
+  Alcotest.run "timing"
+    [
+      ("sta", sta_tests);
+      ("elmore", elmore_tests);
+      ("eventsim", eventsim_tests);
+    ]

@@ -1,0 +1,271 @@
+open Helpers
+module Cube = Vc_cube.Cube
+module Cover = Vc_cube.Cover
+module Urp = Vc_cube.Urp
+module Pla = Vc_two_level.Pla
+module Esp = Vc_two_level.Espresso
+module Qm = Vc_two_level.Qm
+
+let dc0 n = Cover.empty n
+
+(* covers with a separate don't-care set *)
+let arbitrary_on_dc =
+  let gen =
+    let open QCheck.Gen in
+    let nvars = 4 in
+    pair (cover_gen ~nvars ()) (cover_gen ~nvars ~max_cubes:2 ())
+    >|= fun (on, dc) ->
+    (* make dc disjoint from on so the spec is unambiguous *)
+    let dc =
+      List.fold_left Urp.cover_sharp dc on.Cover.cubes
+    in
+    (on, dc)
+  in
+  QCheck.make
+    ~print:(fun (on, dc) ->
+      Printf.sprintf "on=[%s] dc=[%s]"
+        (String.concat "," (Cover.to_strings on))
+        (String.concat "," (Cover.to_strings dc)))
+    gen
+
+let espresso_tests =
+  [
+    tc "textbook 2-variable case" (fun () ->
+        (* f = a'b' + a'b + ab = a' + b *)
+        let on = Cover.of_strings 2 [ "00"; "01"; "11" ] in
+        let r = Esp.minimize ~dc:(dc0 2) on in
+        check Alcotest.int "two cubes" 2 (Esp.cost r).Esp.cubes;
+        check Alcotest.int "two literals" 2 (Esp.cost r).Esp.literals;
+        check Alcotest.bool "correct" true (Esp.check ~on ~dc:(dc0 2) r));
+    tc "don't cares exploited" (fun () ->
+        (* on = {00}, dc = {01, 10, 11}: minimum is the universe cube *)
+        let on = Cover.of_strings 2 [ "00" ] in
+        let dc = Cover.of_strings 2 [ "01"; "10"; "11" ] in
+        let r = Esp.minimize ~dc on in
+        check Alcotest.int "one cube" 1 (Esp.cost r).Esp.cubes;
+        check Alcotest.int "no literals" 0 (Esp.cost r).Esp.literals);
+    tc "empty ON-set" (fun () ->
+        let r = Esp.minimize ~dc:(dc0 3) (Cover.empty 3) in
+        check Alcotest.bool "empty" true (Cover.is_empty r));
+    tc "expand makes cubes prime" (fun () ->
+        let on = Cover.of_strings 3 [ "110"; "111" ] in
+        let off = Urp.complement on in
+        let e = Esp.expand ~off on in
+        check Alcotest.(list string) "merged to 11-" [ "11-" ]
+          (Cover.to_strings e));
+    tc "irredundant drops covered cubes" (fun () ->
+        let f = Cover.of_strings 2 [ "1-"; "-1"; "11" ] in
+        let r = Esp.irredundant ~dc:(dc0 2) f in
+        check Alcotest.int "two cubes" 2 (Cover.num_cubes r);
+        check Alcotest.bool "same function" true (Cover.equivalent f r));
+    tc "reduce shrinks overlapping cubes" (fun () ->
+        (* two universe-ish cubes: reduce must shrink one against the other *)
+        let f = Cover.of_strings 2 [ "1-"; "--" ] in
+        let r = Esp.reduce ~dc:(dc0 2) f in
+        check Alcotest.bool "still covers" true (Cover.equivalent f r));
+    tc "essential primes of a known function" (fun () ->
+        (* f = a'b' + ab: both primes essential *)
+        let primes = Cover.of_strings 2 [ "00"; "11" ] in
+        let es = Esp.essential_primes ~primes ~dc:(dc0 2) in
+        check Alcotest.int "both" 2 (List.length es));
+    prop ~count:200 "minimize is always correct" arbitrary_on_dc
+      (fun (on, dc) -> Esp.check ~on ~dc (Esp.minimize ~dc on));
+    prop ~count:200 "minimize never increases cube count" arbitrary_on_dc
+      (fun (on, dc) ->
+        (Esp.cost (Esp.minimize ~dc on)).Esp.cubes <= Cover.num_cubes on
+        || Cover.num_cubes on = 0);
+    prop ~count:100 "single pass is correct but never better"
+      arbitrary_on_dc
+      (fun (on, dc) ->
+        let full = Esp.minimize ~dc on in
+        let single = Esp.minimize ~single_pass:true ~dc on in
+        Esp.check ~on ~dc single
+        && Esp.compare_cost (Esp.cost full) (Esp.cost single) <= 0);
+  ]
+
+let qm_tests =
+  [
+    tc "primes of a known function" (fun () ->
+        (* f = m(0,1,2,5,6,7) over 3 vars: primes are
+           a'b', b'c, a'c', bc?, ab, ac' ... classic example *)
+        let ps = Qm.primes ~num_vars:3 ~on:[ 0; 1; 2; 5; 6; 7 ] ~dc:[] in
+        check Alcotest.int "six primes" 6 (List.length ps));
+    tc "minimize known optimal size" (fun () ->
+        let r = Qm.minimize ~num_vars:3 ~on:[ 0; 1; 2; 5; 6; 7 ] ~dc:[] in
+        check Alcotest.int "three cubes" 3 (List.length r));
+    tc "full function minimizes to universe" (fun () ->
+        let r = Qm.minimize ~num_vars:2 ~on:[ 0; 1; 2; 3 ] ~dc:[] in
+        check Alcotest.(list string) "universe" [ "--" ]
+          (List.map Cube.to_string r));
+    tc "empty on-set" (fun () ->
+        check Alcotest.int "empty" 0
+          (List.length (Qm.minimize ~num_vars:3 ~on:[] ~dc:[ 1; 2 ])));
+    prop ~count:100 "qm result is correct and uses only valid minterms"
+      arbitrary_on_dc
+      (fun (on, dc) ->
+        let r = Qm.minimize_cover ~on ~dc in
+        Esp.check ~on ~dc r);
+    prop ~count:60 "qm is never beaten by espresso" arbitrary_on_dc
+      (fun (on, dc) ->
+        let exact = Cover.num_cubes (Qm.minimize_cover ~on ~dc) in
+        let heuristic = (Esp.cost (Esp.minimize ~dc on)).Esp.cubes in
+        exact <= heuristic);
+    tc "qm minimality vs exhaustive search (3 vars)" (fun () ->
+        (* for every 3-variable function on a sample, compare with brute
+           force over all prime subsets *)
+        let rng = Vc_util.Rng.create 99 in
+        for _ = 1 to 25 do
+          let on =
+            List.filter (fun _ -> Vc_util.Rng.bool rng) [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+          in
+          if on <> [] then begin
+            let primes = Qm.primes ~num_vars:3 ~on ~dc:[] in
+            let qm_size = List.length (Qm.minimize ~num_vars:3 ~on ~dc:[]) in
+            (* brute force: smallest subset of primes covering all minterms *)
+            let covers subset m =
+              let p =
+                Array.init 3 (fun i -> m land (1 lsl (2 - i)) <> 0)
+              in
+              List.exists (fun c -> Cube.eval c p) subset
+            in
+            let best = ref max_int in
+            let primes_arr = Array.of_list primes in
+            let np = Array.length primes_arr in
+            for mask = 0 to (1 lsl np) - 1 do
+              let subset =
+                List.filteri
+                  (fun i _ -> mask land (1 lsl i) <> 0)
+                  (Array.to_list primes_arr)
+              in
+              if List.for_all (covers subset) on then
+                best := min !best (List.length subset)
+            done;
+            check Alcotest.int "matches brute force" !best qm_size
+          end
+        done);
+  ]
+
+let pla_tests =
+  [
+    tc "parse basics" (fun () ->
+        let p =
+          Pla.parse ".i 3\n.o 2\n.ilb a b c\n.ob f g\n1-0 10\n-11 01\n.e\n"
+        in
+        check Alcotest.int "inputs" 3 p.Pla.num_inputs;
+        check Alcotest.int "outputs" 2 p.Pla.num_outputs;
+        check Alcotest.(list string) "names" [ "a"; "b"; "c" ] p.Pla.input_names;
+        check Alcotest.int "f on-set" 1 (Cover.num_cubes p.Pla.on_sets.(0)));
+    tc "output don't-cares become DC sets" (fun () ->
+        let p = Pla.parse ".i 2\n.o 1\n11 1\n00 -\n.e\n" in
+        check Alcotest.int "on" 1 (Cover.num_cubes p.Pla.on_sets.(0));
+        check Alcotest.int "dc" 1 (Cover.num_cubes p.Pla.dc_sets.(0)));
+    tc "glued single-output rows" (fun () ->
+        let p = Pla.parse ".i 2\n.o 1\n111\n001\n.e\n" in
+        check Alcotest.int "two rows" 2 (Cover.num_cubes p.Pla.on_sets.(0)));
+    tc "missing header is an error" (fun () ->
+        List.iter
+          (fun s ->
+            match Pla.parse s with
+            | exception Failure _ -> ()
+            | _ -> Alcotest.failf "expected failure for %S" s)
+          [ ".o 1\n1 1\n"; ".i 2\n11 1\n"; ".i 2\n.o 1\n111 1\n" ]);
+    tc "print/parse round trip preserves semantics" (fun () ->
+        let p =
+          Pla.parse
+            ".i 4\n.o 2\n.ilb a b c d\n.ob x y\n1--0 11\n01-- 10\n--11 0-\n.e\n"
+        in
+        let p' = Pla.parse (Pla.to_string p) in
+        check Alcotest.bool "semantics" true (Pla.semantics_equal p p'));
+    tc "minimize_pla is per-output correct" (fun () ->
+        let p = Pla.parse ".i 3\n.o 2\n110 10\n111 10\n011 01\n010 01\n.e\n" in
+        let m = Esp.minimize_pla p in
+        for j = 0 to 1 do
+          check Alcotest.bool "output correct" true
+            (Esp.check ~on:p.Pla.on_sets.(j) ~dc:p.Pla.dc_sets.(j)
+               m.Pla.on_sets.(j))
+        done;
+        check Alcotest.int "f merged" 1 (Cover.num_cubes m.Pla.on_sets.(0)));
+    tc "cube and literal counts" (fun () ->
+        let p = Pla.parse ".i 2\n.o 2\n11 10\n11 01\n00 10\n.e\n" in
+        check Alcotest.int "distinct rows" 2 (Pla.cube_count p);
+        check Alcotest.bool "literals positive" true (Pla.literal_count p > 0));
+  ]
+
+(* --------------------- multi-output sharing --------------------- *)
+
+module Multi = Vc_two_level.Multi
+
+let arbitrary_multi_pla =
+  let gen =
+    let open QCheck.Gen in
+    int_range 0 1_000_000 >|= fun seed ->
+    let rng = Vc_util.Rng.create seed in
+    let rows =
+      List.init 10 (fun _ ->
+          let inp =
+            String.init 4 (fun _ ->
+                match Vc_util.Rng.int rng 3 with
+                | 0 -> '0'
+                | 1 -> '1'
+                | _ -> '-')
+          in
+          let out =
+            String.init 3 (fun _ -> if Vc_util.Rng.bool rng then '1' else '0')
+          in
+          inp ^ " " ^ out)
+    in
+    Pla.parse (".i 4\n.o 3\n" ^ String.concat "\n" rows ^ "\n.e\n")
+  in
+  QCheck.make ~print:Pla.to_string gen
+
+let multi_tests =
+  [
+    tc "of_pla groups shared input cubes" (fun () ->
+        let pla = Pla.parse ".i 2\n.o 2\n11 11\n01 10\n.e\n" in
+        let c = Multi.of_pla pla in
+        check Alcotest.int "two implicants" 2 (Multi.cube_count c);
+        check Alcotest.bool "identity correct" true (Multi.check pla c));
+    tc "sharing beats per-output on the textbook case" (fun () ->
+        (* f = ab, g = ab + c: joint needs terms {ab, c} = 2; per-output
+           also 2 rows here (ab shared) - craft a real win instead:
+           f = ab + a'c, g = ab + bc': 'ab' shareable *)
+        let pla = Pla.parse ".i 3\n.o 2\n11- 11\n0-1 10\n-10 01\n.e\n" in
+        let joint = Multi.minimize pla in
+        check Alcotest.bool "correct" true (Multi.check pla joint);
+        check Alcotest.bool "at most 3 terms" true (Multi.cube_count joint <= 3));
+    tc "output covers are between ON and ON+DC" (fun () ->
+        let pla = Pla.parse ".i 2\n.o 2\n11 11\n00 1-\n01 -1\n.e\n" in
+        let joint = Multi.minimize pla in
+        check Alcotest.bool "legal vs DCs" true (Multi.check pla joint));
+    prop ~count:120 "joint minimization is always correct" arbitrary_multi_pla
+      (fun pla -> Multi.check pla (Multi.minimize pla));
+    prop ~count:120 "joint never needs more rows than per-output espresso"
+      arbitrary_multi_pla
+      (fun pla ->
+        Multi.cube_count (Multi.minimize pla)
+        <= Pla.cube_count (Esp.minimize_pla pla));
+    prop ~count:60 "to_pla round trip preserves the minimized behaviour"
+      arbitrary_multi_pla
+      (fun pla ->
+        let joint = Multi.minimize pla in
+        let rebuilt = Multi.to_pla pla joint in
+        (* rebuilt ON-sets must still satisfy the original spec *)
+        let ok = ref true in
+        for j = 0 to pla.Pla.num_outputs - 1 do
+          if
+            not
+              (Esp.check ~on:pla.Pla.on_sets.(j) ~dc:pla.Pla.dc_sets.(j)
+                 rebuilt.Pla.on_sets.(j))
+          then ok := false
+        done;
+        !ok);
+  ]
+
+let () =
+  Alcotest.run "two_level"
+    [
+      ("espresso", espresso_tests);
+      ("qm", qm_tests);
+      ("pla", pla_tests);
+      ("multi", multi_tests);
+    ]
