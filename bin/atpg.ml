@@ -1,7 +1,8 @@
 (* atpg: stuck-at test generation for a BLIF design (omitted-topic
-   extension). Usage: atpg [-compact] <design.blif> *)
+   extension). Usage: atpg [-compact] [--stats] [--trace FILE] <design.blif> *)
 
 let () =
+  let argv = Vc_util.Telemetry.cli Sys.argv in
   let compact = ref false and path = ref None in
   Array.iteri
     (fun i arg ->
@@ -9,10 +10,10 @@ let () =
         match arg with
         | "-compact" -> compact := true
         | _ -> path := Some arg)
-    Sys.argv;
+    argv;
   match !path with
   | None ->
-    prerr_endline "usage: atpg [-compact] <design.blif>";
+    prerr_endline "usage: atpg [-compact] [--stats] [--trace FILE] <design.blif>";
     exit 2
   | Some blif_path -> begin
     let blif = In_channel.with_open_text blif_path In_channel.input_all in
@@ -21,7 +22,10 @@ let () =
       prerr_endline ("atpg: " ^ msg);
       exit 1
     | net ->
-      let report = Vc_network.Atpg.generate_all net in
+      let report =
+        Vc_util.Telemetry.timed_span "atpg" (fun () ->
+            Vc_network.Atpg.generate_all net)
+      in
       Printf.printf
         "faults %d, detected %d, redundant %d, coverage %.1f%%\n"
         report.Vc_network.Atpg.total report.Vc_network.Atpg.detected

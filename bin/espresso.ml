@@ -1,11 +1,15 @@
 (* espresso: two-level minimization of a PLA file.
-   Usage: espresso [-exact|-single-pass|-joint] [pla-file] *)
+   Usage: espresso [-exact|-single-pass|-joint] [--stats] [--trace FILE]
+          [pla-file] *)
 
 let usage () =
-  prerr_endline "usage: espresso [-exact|-single-pass|-joint] [pla-file]";
+  prerr_endline
+    "usage: espresso [-exact|-single-pass|-joint] [--stats] [--trace FILE] \
+     [pla-file]";
   exit 2
 
 let () =
+  let argv = Vc_util.Telemetry.cli Sys.argv in
   let mode = ref `Full and path = ref None in
   Array.iteri
     (fun i arg ->
@@ -16,7 +20,7 @@ let () =
         | "-joint" -> mode := `Joint
         | _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
         | _ -> path := Some arg)
-    Sys.argv;
+    argv;
   let text =
     match !path with
     | None -> In_channel.input_all stdin
@@ -28,6 +32,7 @@ let () =
     exit 1
   | pla ->
     let minimized =
+      Vc_util.Telemetry.timed_span "espresso" @@ fun () ->
       match !mode with
       | `Full -> Vc_two_level.Espresso.minimize_pla pla
       | `Single -> Vc_two_level.Espresso.minimize_pla ~single_pass:true pla

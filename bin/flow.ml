@@ -1,10 +1,12 @@
 (* flow: push-button logic-to-layout on a BLIF design.
-   Usage: flow [-min-delay] [-svg out.svg] <design.blif> *)
+   Usage: flow [-min-delay] [-svg out.svg] [--stats] [--trace FILE]
+          <design.blif> *)
 
 let () =
+  let argv = Vc_util.Telemetry.cli Sys.argv in
   let mode = ref Vc_techmap.Map.Min_area in
   let svg = ref None and path = ref None in
-  let args = Array.to_list Sys.argv in
+  let args = Array.to_list argv in
   let rec parse = function
     | [] -> ()
     | "-min-delay" :: rest ->
@@ -20,7 +22,9 @@ let () =
   (match args with _ :: rest -> parse rest | [] -> ());
   match !path with
   | None ->
-    prerr_endline "usage: flow [-min-delay] [-svg out.svg] <design.blif>";
+    prerr_endline
+      "usage: flow [-min-delay] [-svg out.svg] [--stats] [--trace FILE] \
+       <design.blif>";
     exit 2
   | Some blif_path -> begin
     let blif = In_channel.with_open_text blif_path In_channel.input_all in
@@ -30,7 +34,11 @@ let () =
       exit 1
     | net ->
       let options = { Vc_mooc.Flow.default_options with Vc_mooc.Flow.mode = !mode } in
-      let report = Vc_mooc.Flow.run ~options net in
+      let report =
+        Vc_util.Telemetry.timed_span "flow"
+          ~attrs:[ ("design", blif_path) ]
+          (fun () -> Vc_mooc.Flow.run ~options net)
+      in
       print_string (Vc_mooc.Flow.report_to_string report);
       match !svg with
       | None -> ()

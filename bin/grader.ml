@@ -7,7 +7,7 @@
 let usage () =
   prerr_endline
     "usage: grader assignment <1-4> | grader reference <1-4> | grader grade \
-     <1-4> <submission-file>";
+     <1-4> <submission-file>   (plus --stats / --trace FILE)";
   exit 2
 
 let project n =
@@ -18,7 +18,7 @@ let project n =
     exit 2
 
 let () =
-  match Sys.argv with
+  match Vc_util.Telemetry.cli Sys.argv with
   | [| _; "assignment"; n |] ->
     print_string (project (int_of_string n)).Vc_mooc.Projects.p_assignment
   | [| _; "reference"; n |] ->
@@ -26,7 +26,10 @@ let () =
   | [| _; "grade"; n; path |] ->
     let p = project (int_of_string n) in
     let submission = In_channel.with_open_text path In_channel.input_all in
-    let g = Vc_mooc.Autograder.grade p.Vc_mooc.Projects.p_grader submission in
+    let g =
+      Vc_util.Telemetry.timed_span "grader.grade" (fun () ->
+          Vc_mooc.Autograder.grade p.Vc_mooc.Projects.p_grader submission)
+    in
     print_string (Vc_mooc.Autograder.render g);
     if g.Vc_mooc.Autograder.earned < g.Vc_mooc.Autograder.possible then exit 1
   | _ -> usage ()

@@ -1,14 +1,20 @@
 (* kbdd: the BDD calculator portal tool as a command-line filter.
-   Usage: kbdd [script-file]   (stdin when no file is given) *)
+   Usage: kbdd [--stats] [--trace FILE] [script-file]
+   (stdin when no file is given) *)
 
-let read_input () =
-  match Sys.argv with
+let read_input argv =
+  match argv with
   | [| _ |] -> In_channel.input_all stdin
   | [| _; path |] -> In_channel.with_open_text path In_channel.input_all
   | _ ->
-    prerr_endline "usage: kbdd [script-file]";
+    prerr_endline "usage: kbdd [--stats] [--trace FILE] [script-file]";
     exit 2
 
 let () =
-  let script = read_input () in
-  List.iter print_endline (Vc_bdd.Bdd_script.run_script script)
+  let argv = Vc_util.Telemetry.cli Sys.argv in
+  let script = read_input argv in
+  let out =
+    Vc_util.Telemetry.timed_span "kbdd" (fun () ->
+        Vc_bdd.Bdd_script.run_script script)
+  in
+  List.iter print_endline out

@@ -1,7 +1,9 @@
 (* minisat: CDCL SAT solving of a DIMACS file.
-   Usage: minisat [-dpll] [cnf-file]; exit code 10 = SAT, 20 = UNSAT. *)
+   Usage: minisat [-dpll] [--stats] [--trace FILE] [cnf-file]
+   Exit code 10 = SAT, 20 = UNSAT. *)
 
 let () =
+  let argv = Vc_util.Telemetry.cli Sys.argv in
   let use_dpll = ref false and path = ref None in
   Array.iteri
     (fun i arg ->
@@ -9,7 +11,7 @@ let () =
         match arg with
         | "-dpll" -> use_dpll := true
         | _ -> path := Some arg)
-    Sys.argv;
+    argv;
   let text =
     match !path with
     | None -> In_channel.input_all stdin
@@ -21,8 +23,9 @@ let () =
     exit 2
   | cnf ->
     let result =
-      if !use_dpll then fst (Vc_sat.Dpll.solve cnf)
-      else fst (Vc_sat.Solver.solve cnf)
+      Vc_util.Telemetry.timed_span "minisat" (fun () ->
+          if !use_dpll then fst (Vc_sat.Dpll.solve cnf)
+          else fst (Vc_sat.Solver.solve cnf))
     in
     begin
       match result with

@@ -1,11 +1,13 @@
 (* moocsim: regenerate the paper's figures from the cohort model.
-   Usage: moocsim [seed] *)
+   Usage: moocsim [--stats] [--trace FILE] [seed] *)
 
 let () =
-  let seed =
-    match Sys.argv with [| _; s |] -> int_of_string s | _ -> 2013
+  let argv = Vc_util.Telemetry.cli Sys.argv in
+  let seed = match argv with [| _; s |] -> int_of_string s | _ -> 2013 in
+  let ps =
+    Vc_util.Telemetry.timed_span "moocsim.simulate" (fun () ->
+        Vc_mooc.Cohort.simulate ~seed Vc_mooc.Cohort.paper_params)
   in
-  let ps = Vc_mooc.Cohort.simulate ~seed Vc_mooc.Cohort.paper_params in
   print_string (Vc_mooc.Concept_map.render_fig1 ());
   print_newline ();
   print_string (Vc_mooc.Syllabus.render_fig2 ());

@@ -1,14 +1,15 @@
 (* sis: multi-level logic optimization scripts over BLIF networks.
-   Usage: sis <design.blif> [script-file]
+   Usage: sis [--stats] [--trace FILE] <design.blif> [script-file]
    Without a script file the canned rugged script runs. The optimized
    network is written to stdout as BLIF after the script log. *)
 
 let () =
-  match Sys.argv with
+  let argv = Vc_util.Telemetry.cli Sys.argv in
+  match argv with
   | [| _; blif_path |] | [| _; blif_path; _ |] -> begin
     let blif = In_channel.with_open_text blif_path In_channel.input_all in
     let script =
-      match Sys.argv with
+      match argv with
       | [| _; _; script_path |] ->
         In_channel.with_open_text script_path In_channel.input_all
       | _ -> Vc_multilevel.Script.script_rugged
@@ -18,7 +19,10 @@ let () =
       prerr_endline ("sis: " ^ msg);
       exit 1
     | net ->
-      let report = Vc_multilevel.Script.run net script in
+      let report =
+        Vc_util.Telemetry.timed_span "sis" (fun () ->
+            Vc_multilevel.Script.run net script)
+      in
       List.iter print_endline report.Vc_multilevel.Script.log;
       print_newline ();
       print_string (Vc_network.Blif.to_string report.Vc_multilevel.Script.network);
@@ -30,5 +34,5 @@ let () =
       end
   end
   | _ ->
-    prerr_endline "usage: sis <design.blif> [script-file]";
+    prerr_endline "usage: sis [--stats] [--trace FILE] <design.blif> [script-file]";
     exit 2

@@ -23,6 +23,13 @@ type man = {
 let zero = 0
 let one = 1
 
+(* Process-wide cumulative table counters across every manager, for the
+   Telemetry probe ([cache_stats] below stays per-manager). *)
+let g_unique_hits = ref 0
+let g_unique_misses = ref 0
+let g_ite_hits = ref 0
+let g_ite_misses = ref 0
+
 let create ?(cache_size = 1 lsl 12) () =
   let n0 = 1024 in
   let level = Array.make n0 0 in
@@ -59,8 +66,11 @@ let mk_node m lvl lo hi =
   else begin
     let key = (lvl, lo, hi) in
     match Hashtbl.find_opt m.unique key with
-    | Some id -> id
+    | Some id ->
+      Stdlib.incr g_unique_hits;
+      id
     | None ->
+      Stdlib.incr g_unique_misses;
       grow m;
       let id = m.next_node in
       m.next_node <- id + 1;
@@ -129,9 +139,11 @@ let rec ite m f g h =
     match Hashtbl.find_opt m.ite_cache key with
     | Some r ->
       m.hits <- m.hits + 1;
+      Stdlib.incr g_ite_hits;
       r
     | None ->
       m.misses <- m.misses + 1;
+      Stdlib.incr g_ite_misses;
       let lvl = min (top_level m f) (min (top_level m g) (top_level m h)) in
       let f0, f1 = cofactors m f lvl in
       let g0, g1 = cofactors m g lvl in
@@ -398,3 +410,13 @@ let to_dot m ?(name = "bdd") f =
   Buffer.contents buf
 
 let cache_stats m = (m.hits, m.misses)
+
+let stats () =
+  [
+    ("unique_hits", !g_unique_hits);
+    ("unique_misses", !g_unique_misses);
+    ("ite_hits", !g_ite_hits);
+    ("ite_misses", !g_ite_misses);
+  ]
+
+let () = Vc_util.Telemetry.register_probe "bdd" stats

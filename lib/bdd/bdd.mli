@@ -102,3 +102,9 @@ val to_dot : man -> ?name:string -> t -> string
 val cache_stats : man -> int * int
 (** (ITE cache hits, misses) since creation - the lectures' motivation for
     the computed table. *)
+
+val stats : unit -> (string * int) list
+(** Process-wide cumulative table counters summed over every manager:
+    [unique_hits] / [unique_misses] (hash-consing lookups) and
+    [ite_hits] / [ite_misses] (computed-table lookups). Registered as
+    the {!Vc_util.Telemetry} probe ["bdd"]. *)

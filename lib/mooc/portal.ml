@@ -105,13 +105,103 @@ type session = (string, (string * string) list ref) Hashtbl.t
 
 let create_session () : session = Hashtbl.create 8
 
+(* ------------------------------------------------------------------ *)
+(* content-addressed result cache                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The dominant MOOC workload is many participants uploading the same
+   homework input; every tool is a pure function of its input text, so
+   (tool, input) -> output is cached globally across sessions. Bounded
+   LRU: eviction scans for the stalest entry, O(capacity), which is dwarfed
+   by any tool execution. *)
+
+module T = Vc_util.Telemetry
+
+type cache_entry = { output : string; mutable last_used : int }
+
+let cache : (string, cache_entry) Hashtbl.t = Hashtbl.create 1024
+let capacity = ref 512
+let tick = ref 0
+
+let cache_key tool_name input = Digest.string (tool_name ^ "\x00" ^ input)
+
+let evict_lru () =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, stalest) when stalest.last_used <= e.last_used -> acc
+        | Some _ | None -> Some (k, e))
+      cache None
+  in
+  match victim with
+  | Some (k, _) ->
+    Hashtbl.remove cache k;
+    T.incr "portal.cache.evictions"
+  | None -> ()
+
+let set_cache_capacity n =
+  if n < 0 then invalid_arg "Portal.set_cache_capacity: negative capacity";
+  capacity := n;
+  while Hashtbl.length cache > n do
+    evict_lru ()
+  done
+
+let cache_capacity () = !capacity
+let cache_size () = Hashtbl.length cache
+let clear_cache () = Hashtbl.reset cache
+
+let cache_stats () =
+  (T.counter "portal.cache.hits", T.counter "portal.cache.misses")
+
+let cache_find key =
+  match Hashtbl.find_opt cache key with
+  | Some e ->
+    incr tick;
+    e.last_used <- !tick;
+    Some e.output
+  | None -> None
+
+let cache_add key output =
+  if !capacity > 0 then begin
+    incr tick;
+    if (not (Hashtbl.mem cache key)) && Hashtbl.length cache >= !capacity then
+      evict_lru ();
+    Hashtbl.replace cache key { output; last_used = !tick }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* instrumented submission                                             *)
+(* ------------------------------------------------------------------ *)
+
 let submit session tool input =
-  let lines = List.length (String.split_on_char '\n' input) in
+  let pre = "portal." ^ tool.tool_name in
+  T.incr (pre ^ ".submits");
   let output =
-    if lines > tool.max_input_lines then
-      Printf.sprintf "error: input too large (%d lines; portal limit %d)" lines
-        tool.max_input_lines
-    else tool.execute input
+    T.time (pre ^ ".latency") (fun () ->
+        let lines = List.length (String.split_on_char '\n' input) in
+        if lines > tool.max_input_lines then begin
+          T.incr (pre ^ ".rejected");
+          Printf.sprintf "error: input too large (%d lines; portal limit %d)"
+            lines tool.max_input_lines
+        end
+        else begin
+          let key = cache_key tool.tool_name input in
+          match cache_find key with
+          | Some out ->
+            T.incr (pre ^ ".cache_hits");
+            T.incr "portal.cache.hits";
+            out
+          | None ->
+            T.incr "portal.cache.misses";
+            T.incr (pre ^ ".executions");
+            let out =
+              T.with_span ~attrs:[ ("tool", tool.tool_name) ] "portal.execute"
+                (fun () -> tool.execute input)
+            in
+            cache_add key out;
+            out
+        end)
   in
   let log =
     match Hashtbl.find_opt session tool.tool_name with

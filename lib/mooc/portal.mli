@@ -2,7 +2,15 @@
     produce ASCII text, with per-participant run history and a runaway
     guard. The five deployed tools mirror the paper's list - kbdd,
     espresso, SIS, miniSAT, and the custom Ax=b solver - each backed by
-    this repository's own implementation. *)
+    this repository's own implementation.
+
+    Submissions are instrumented through {!Vc_util.Telemetry}
+    (per-tool submit / execution / rejection counters and latency
+    timers) and served through a process-wide content-addressed result
+    cache: every tool is a pure function of its input text, so a repeat
+    of an identical upload - the dominant MOOC workload - returns the
+    cached output in O(1) without re-executing the tool. See
+    [docs/OBSERVABILITY.md] and [docs/PORTAL.md]. *)
 
 type tool = {
   tool_name : string;
@@ -37,10 +45,42 @@ val create_session : unit -> session
 
 val submit : session -> tool -> string -> string
 (** Run the tool on the uploaded text (never raises; errors come back as
-    ["error: ..."] text) and append to the tool's history. *)
+    ["error: ..."] text) and append to the tool's history.
+
+    Instrumentation per call, under the tool's name [t]:
+    [portal.t.submits] always increments; then exactly one of
+    [portal.t.rejected] (runaway guard tripped), [portal.t.cache_hits]
+    (identical submission served from the cache, byte-for-byte the same
+    output, tool not re-executed) or [portal.t.executions] (tool ran,
+    result cached). Wall-clock latency is recorded on the
+    [portal.t.latency] timer, and each real execution opens a
+    ["portal.execute"] trace span. *)
 
 val history : session -> tool -> (string * string) list
 (** (input, output) pairs, oldest first - the "older outputs available by
-    scrolling" behaviour. *)
+    scrolling" behaviour. Cache hits are logged like real runs. *)
 
 val find_tool : string -> tool option
+
+(** {1 Result cache}
+
+    Global across sessions; content-addressed by a digest of
+    [tool name + input]. *)
+
+val set_cache_capacity : int -> unit
+(** Bound the number of cached results (default 512), evicting
+    least-recently-used entries if already over the new bound. [0]
+    disables caching. *)
+
+val cache_capacity : unit -> int
+
+val cache_size : unit -> int
+(** Number of results currently cached (always [<= cache_capacity ()]). *)
+
+val clear_cache : unit -> unit
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] since start - reads the [portal.cache.hits] /
+    [portal.cache.misses] {!Vc_util.Telemetry} counters, so
+    {!Vc_util.Telemetry.reset} also resets these. Evictions are counted
+    under [portal.cache.evictions]. *)

@@ -23,6 +23,13 @@ type stats = {
   final_hpwl : float;
 }
 
+(* Process-wide cumulative move counters across every [run], for the
+   Telemetry probe (per-run numbers stay in the returned [stats]). *)
+let g_runs = ref 0
+let g_stages = ref 0
+let g_attempted = ref 0
+let g_accepted = ref 0
+
 (* Slot grid state: slot -> cell (-1 empty), cell -> slot, plus incremental
    HPWL bookkeeping through per-cell net membership. *)
 type state = {
@@ -138,6 +145,10 @@ let run ~accept params t =
     temp := !temp *. params.cooling;
     if !temp < stop_temp || !stages > 500 then continue_ := false
   done;
+  incr g_runs;
+  g_stages := !g_stages + !stages;
+  g_attempted := !g_attempted + !attempted;
+  g_accepted := !g_accepted + !accepted;
   let stats =
     {
       stages = !stages;
@@ -158,3 +169,13 @@ let place ?(params = default_params) t = run ~accept:metropolis params t
 let greedy ?(seed = 1) t =
   let params = { default_params with seed } in
   run ~accept:(fun _ delta _ -> delta <= 0.0) params t
+
+let stats () =
+  [
+    ("runs", !g_runs);
+    ("stages", !g_stages);
+    ("moves_attempted", !g_attempted);
+    ("moves_accepted", !g_accepted);
+  ]
+
+let () = Vc_util.Telemetry.register_probe "place.annealing" stats

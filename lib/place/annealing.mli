@@ -30,3 +30,9 @@ val place : ?params:params -> Pnet.t -> Pnet.placement * stats
 val greedy : ?seed:int -> Pnet.t -> Pnet.placement * stats
 (** Zero-temperature descent (only improving moves): the ablation
     baseline showing why annealing needs hill climbing. *)
+
+val stats : unit -> (string * int) list
+(** Process-wide cumulative counters summed over every {!place} /
+    {!greedy} run: [runs], [stages], [moves_attempted],
+    [moves_accepted]. Registered as the {!Vc_util.Telemetry} probe
+    ["place.annealing"]. *)

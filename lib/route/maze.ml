@@ -6,6 +6,20 @@ let expansion_count = ref 0
 
 let expansions () = !expansion_count
 
+(* Cumulative two-pin search attempts/successes since program start,
+   alongside the wavefront-pop count, for the Telemetry probe. *)
+let search_count = ref 0
+let found_count = ref 0
+
+let stats () =
+  [
+    ("expansions", !expansion_count);
+    ("searches", !search_count);
+    ("paths_found", !found_count);
+  ]
+
+let () = Vc_util.Telemetry.register_probe "route.maze" stats
+
 (* Directions: 0 = none/start, 1 = E, 2 = W, 3 = N, 4 = S, 5 = via. *)
 type dir = int
 
@@ -67,6 +81,7 @@ let path_cost (cp : Grid.cost_params) path =
 (* Dijkstra from a set of sources to [dst]; cells must be free for [net].
    Returns the path (source .. dst) without claiming cells. *)
 let search g net sources dst =
+  incr search_count;
   let cp = Grid.costs g in
   let best : (int * int * int * dir, int) Hashtbl.t = Hashtbl.create 1024 in
   let parent : (int * int * int * dir, (int * int * int * dir) option) Hashtbl.t =
@@ -127,6 +142,7 @@ let search g net sources dst =
   match !found with
   | None -> None
   | Some k ->
+    incr found_count;
     let rec backtrace k acc =
       let p = point_of k in
       match Hashtbl.find parent k with

@@ -33,3 +33,8 @@ val astar : bool ref
 val expansions : unit -> int
 (** Cumulative count of wavefront pops since program start (bench
     metric). *)
+
+val stats : unit -> (string * int) list
+(** Process-wide cumulative counters: [expansions] (wavefront pops),
+    [searches] (two-pin searches started) and [paths_found]. Registered
+    as the {!Vc_util.Telemetry} probe ["route.maze"]. *)

@@ -386,6 +386,21 @@ let preprocess (f : Cnf.t) =
   in
   List.filter_map simplify_clause f.Cnf.clauses
 
+(* Process-wide cumulative counters across every [solve] call, for the
+   Telemetry probe (per-call numbers stay in the returned [stats]). *)
+let g_solves = ref 0
+let g_decisions = ref 0
+let g_conflicts = ref 0
+let g_propagations = ref 0
+let g_restarts = ref 0
+
+let accumulate (st : stats) =
+  Stdlib.incr g_solves;
+  g_decisions := !g_decisions + st.decisions;
+  g_conflicts := !g_conflicts + st.conflicts;
+  g_propagations := !g_propagations + st.propagations;
+  g_restarts := !g_restarts + st.restarts
+
 let solve ?(config = default_config) (f : Cnf.t) =
   let s = create config f in
   let stats () =
@@ -465,10 +480,24 @@ let solve ?(config = default_config) (f : Cnf.t) =
         end
     done;
     assert false
-  with Finished r -> (r, stats ())
+  with Finished r ->
+    let st = stats () in
+    accumulate st;
+    (r, st)
 
 let is_sat f =
   match solve f with
   | Sat _, _ -> true
   | Unsat, _ -> false
   | Unknown, _ -> assert false
+
+let stats () =
+  [
+    ("solves", !g_solves);
+    ("decisions", !g_decisions);
+    ("conflicts", !g_conflicts);
+    ("propagations", !g_propagations);
+    ("restarts", !g_restarts);
+  ]
+
+let () = Vc_util.Telemetry.register_probe "sat.solver" stats

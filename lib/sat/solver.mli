@@ -37,3 +37,9 @@ val solve : ?config:config -> Cnf.t -> result * stats
 
 val is_sat : Cnf.t -> bool
 (** Convenience wrapper; treats [Unknown] as impossible (no budget). *)
+
+val stats : unit -> (string * int) list
+(** Process-wide cumulative counters summed over every completed
+    {!solve} call: [solves], [decisions], [conflicts], [propagations],
+    [restarts]. Registered as the {!Vc_util.Telemetry} probe
+    ["sat.solver"]. *)

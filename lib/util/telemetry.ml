@@ -1,0 +1,283 @@
+(* Global, single-threaded instrumentation state. Everything lives in
+   plain hashtables keyed by flat names; renderers sort on the way out. *)
+
+let clock = ref Unix.gettimeofday
+let set_clock f = clock := f
+let now () = !clock ()
+
+(* ------------------------------------------------------------------ *)
+(* counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let counter_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let incr ?(by = 1) name =
+  match Hashtbl.find_opt counter_tbl name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add counter_tbl name (ref by)
+
+let counter name =
+  match Hashtbl.find_opt counter_tbl name with Some r -> !r | None -> 0
+
+let counters () =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counter_tbl []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* timers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type timer_summary = {
+  count : int;
+  total_s : float;
+  mean_s : float;
+  p50_s : float;
+  p90_s : float;
+  max_s : float;
+}
+
+(* raw samples, newest first; summarized lazily by the renderers *)
+let timer_tbl : (string, float list ref) Hashtbl.t = Hashtbl.create 64
+
+let observe name dt =
+  match Hashtbl.find_opt timer_tbl name with
+  | Some l -> l := dt :: !l
+  | None -> Hashtbl.add timer_tbl name (ref [ dt ])
+
+let time name f =
+  let t0 = now () in
+  match f () with
+  | v ->
+    observe name (now () -. t0);
+    v
+  | exception e ->
+    observe name (now () -. t0);
+    raise e
+
+let summarize samples =
+  {
+    count = List.length samples;
+    total_s = List.fold_left ( +. ) 0.0 samples;
+    mean_s = Stats.mean samples;
+    p50_s = Stats.percentile samples 50.0;
+    p90_s = Stats.percentile samples 90.0;
+    max_s = Stats.maximum samples;
+  }
+
+let timer name =
+  Option.map (fun l -> summarize !l) (Hashtbl.find_opt timer_tbl name)
+
+let timers () =
+  Hashtbl.fold (fun k l acc -> (k, summarize !l) :: acc) timer_tbl []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* trace spans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type span = {
+  span_name : string;
+  start_s : float;
+  duration_s : float;
+  attrs : (string * string) list;
+  children : span list;
+}
+
+type open_span = {
+  o_name : string;
+  o_start : float;
+  o_attrs : (string * string) list;
+  mutable o_children : span list; (* newest first *)
+}
+
+let span_stack : open_span list ref = ref []
+let root_spans : span list ref = ref [] (* newest first *)
+
+let with_span ?(attrs = []) name f =
+  let o = { o_name = name; o_start = now (); o_attrs = attrs; o_children = [] } in
+  span_stack := o :: !span_stack;
+  let finish extra =
+    (match !span_stack with _ :: rest -> span_stack := rest | [] -> ());
+    let s =
+      {
+        span_name = o.o_name;
+        start_s = o.o_start;
+        duration_s = now () -. o.o_start;
+        attrs = o.o_attrs @ extra;
+        children = List.rev o.o_children;
+      }
+    in
+    match !span_stack with
+    | parent :: _ -> parent.o_children <- s :: parent.o_children
+    | [] -> root_spans := s :: !root_spans
+  in
+  match f () with
+  | v ->
+    finish [];
+    v
+  | exception e ->
+    finish [ ("error", Printexc.to_string e) ];
+    raise e
+
+let timed_span ?attrs name f = time name (fun () -> with_span ?attrs name f)
+
+let spans () = List.rev !root_spans
+
+(* ------------------------------------------------------------------ *)
+(* probes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let probe_tbl : (string, unit -> (string * int) list) Hashtbl.t =
+  Hashtbl.create 16
+
+let register_probe name f = Hashtbl.replace probe_tbl name f
+
+let probes () =
+  Hashtbl.fold (fun k f acc -> (k, f ()) :: acc) probe_tbl []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* renderers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let report () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "== telemetry report ==\n";
+  let cs = counters () in
+  if cs <> [] then begin
+    Buffer.add_string b "counters:\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %-40s %10d\n" k v))
+      cs
+  end;
+  let ts = timers () in
+  if ts <> [] then begin
+    Buffer.add_string b
+      "timers (count / total ms / mean ms / p50 ms / p90 ms / max ms):\n";
+    List.iter
+      (fun (k, s) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-40s %6d %9.2f %8.3f %8.3f %8.3f %8.3f\n" k
+             s.count (1e3 *. s.total_s) (1e3 *. s.mean_s) (1e3 *. s.p50_s)
+             (1e3 *. s.p90_s) (1e3 *. s.max_s)))
+      ts
+  end;
+  let ps = probes () in
+  if ps <> [] then begin
+    Buffer.add_string b "kernel probes:\n";
+    List.iter
+      (fun (name, kvs) ->
+        Buffer.add_string b (Printf.sprintf "  %s:\n" name);
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_string b (Printf.sprintf "    %-36s %10d\n" k v))
+          kvs)
+      ps
+  end;
+  Buffer.add_string b
+    (Printf.sprintf "trace spans recorded: %d\n" (List.length !root_spans));
+  Buffer.contents b
+
+(* Minimal JSON emitter - strings, ints, floats, objects, arrays - so the
+   layer stays free of third-party dependencies. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+let jfloat f = Printf.sprintf "%.6f" f
+let jobj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
+let jarr items = "[" ^ String.concat "," items ^ "]"
+
+let summary_json s =
+  jobj
+    [
+      ("count", string_of_int s.count);
+      ("total_s", jfloat s.total_s);
+      ("mean_s", jfloat s.mean_s);
+      ("p50_s", jfloat s.p50_s);
+      ("p90_s", jfloat s.p90_s);
+      ("max_s", jfloat s.max_s);
+    ]
+
+let to_json () =
+  jobj
+    [
+      ( "counters",
+        jobj (List.map (fun (k, v) -> (k, string_of_int v)) (counters ())) );
+      ("timers", jobj (List.map (fun (k, s) -> (k, summary_json s)) (timers ())));
+      ( "probes",
+        jobj
+          (List.map
+             (fun (name, kvs) ->
+               (name, jobj (List.map (fun (k, v) -> (k, string_of_int v)) kvs)))
+             (probes ())) );
+      ("spans", string_of_int (List.length !root_spans));
+    ]
+
+let rec span_json s =
+  jobj
+    [
+      ("name", jstr s.span_name);
+      ("start_s", jfloat s.start_s);
+      ("duration_s", jfloat s.duration_s);
+      ("attrs", jobj (List.map (fun (k, v) -> (k, jstr v)) s.attrs));
+      ("children", jarr (List.map span_json s.children));
+    ]
+
+let spans_to_json () = jobj [ ("spans", jarr (List.map span_json (spans ()))) ]
+
+(* ------------------------------------------------------------------ *)
+(* control / CLI                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let reset () =
+  Hashtbl.reset counter_tbl;
+  Hashtbl.reset timer_tbl;
+  span_stack := [];
+  root_spans := []
+
+let cli_parse argv =
+  let stats = ref false and trace = ref None in
+  let rec strip acc = function
+    | [] -> List.rev acc
+    | "--stats" :: rest ->
+      stats := true;
+      strip acc rest
+    | [ "--trace" ] ->
+      prerr_endline "error: --trace requires a FILE argument";
+      exit 2
+    | "--trace" :: file :: rest ->
+      trace := Some file;
+      strip acc rest
+    | a :: rest -> strip (a :: acc) rest
+  in
+  match Array.to_list argv with
+  | [] -> (argv, false, None)
+  | prog :: args ->
+    let kept = strip [] args in
+    (Array.of_list (prog :: kept), !stats, !trace)
+
+let cli argv =
+  let argv, stats, trace = cli_parse argv in
+  if stats then at_exit (fun () -> prerr_string (report ()));
+  (match trace with
+  | Some file ->
+    at_exit (fun () ->
+        Out_channel.with_open_text file (fun oc ->
+            Out_channel.output_string oc (spans_to_json ())))
+  | None -> ());
+  argv

@@ -1,0 +1,141 @@
+(** Process-wide instrumentation: named counters, wall-clock timers,
+    hierarchical trace spans and pluggable kernel probes, with text and
+    JSON renderers.
+
+    This is the observability substrate of the repository (see
+    [docs/OBSERVABILITY.md] for a guided tour): [Vc_mooc.Portal] counts
+    submissions, cache hits and runaway-guard rejections through it, the
+    hot algorithm kernels ([Vc_sat.Solver], [Vc_bdd.Bdd],
+    [Vc_route.Maze], [Vc_place.Annealing]) register cumulative-counter
+    probes with it, and every binary under [bin/] exposes it through the
+    [--stats] and [--trace FILE] flags (see {!cli}).
+
+    All state is global to the process and not synchronized; the MOOC
+    portals served each participant from an isolated worker, and this
+    reproduction keeps that single-threaded model. Everything here is
+    plain OCaml + the [unix] library shipped with the compiler - no
+    third-party dependencies. *)
+
+(** {1 Counters} *)
+
+val incr : ?by:int -> string -> unit
+(** [incr name] adds [by] (default 1) to the named counter, creating it
+    at zero on first use. Counter names are flat strings; the convention
+    used across the repo is dotted paths such as
+    ["portal.kbdd.submits"]. *)
+
+val counter : string -> int
+(** Current value of a counter; [0] if it was never incremented. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** {1 Timers} *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f ()], records its wall-clock duration as one
+    sample of the named timer, and returns (or re-raises) [f]'s
+    outcome. *)
+
+val observe : string -> float -> unit
+(** Record an externally measured duration (seconds) as a sample. *)
+
+type timer_summary = {
+  count : int;  (** Number of recorded samples. *)
+  total_s : float;  (** Sum of all samples, seconds. *)
+  mean_s : float;
+  p50_s : float;  (** Median, nearest-rank ({!Stats.percentile}). *)
+  p90_s : float;
+  max_s : float;
+}
+
+val timer : string -> timer_summary option
+(** Summary of a timer's samples; [None] if no sample was recorded. *)
+
+val timers : unit -> (string * timer_summary) list
+(** All timers with at least one sample, sorted by name. *)
+
+(** {1 Trace spans}
+
+    Spans form a tree: a span opened while another is running becomes
+    its child. Completed top-level spans are kept (oldest first) until
+    {!reset}. *)
+
+type span = {
+  span_name : string;
+  start_s : float;  (** Clock reading when the span was opened. *)
+  duration_s : float;
+  attrs : (string * string) list;
+      (** User attributes; a span whose body raised also carries an
+          [("error", _)] attribute. *)
+  children : span list;  (** Oldest first. *)
+}
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] inside a new span. The span is
+    recorded whether [f] returns or raises; exceptions propagate. *)
+
+val timed_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** {!with_span} and {!time} in one call under the same name - the
+    convenience used by the [bin/] tools around their main work. *)
+
+val spans : unit -> span list
+(** Completed top-level spans, oldest first. *)
+
+(** {1 Kernel probes}
+
+    A probe is a named thunk returning cumulative [(key, value)]
+    counters owned by some subsystem - e.g. the SAT solver's total
+    decisions/conflicts/restarts. Probes are pulled (not pushed) each
+    time a report is rendered, so registering one is free. *)
+
+val register_probe : string -> (unit -> (string * int) list) -> unit
+(** Register (or replace) the named probe. The four hot kernels register
+    themselves at module-initialization time under ["sat.solver"],
+    ["bdd"], ["route.maze"] and ["place.annealing"]. *)
+
+val probes : unit -> (string * (string * int) list) list
+(** Current probe readings, sorted by probe name. *)
+
+(** {1 Renderers} *)
+
+val report : unit -> string
+(** Human-readable report: counters, timer summaries (milliseconds),
+    probe readings and the number of recorded trace spans. Sections with
+    no data are omitted; the probe section always appears once any probe
+    is registered. *)
+
+val to_json : unit -> string
+(** The same data as {!report} as a JSON object with fields
+    ["counters"], ["timers"] (per-timer objects with [count], [total_s],
+    [mean_s], [p50_s], [p90_s], [max_s]), ["probes"] and ["spans"] (the
+    count of top-level spans). Machine-readable; [bench/main.ml] writes
+    it to [BENCH_portal.json]. *)
+
+val spans_to_json : unit -> string
+(** The completed span forest as [{"spans": [...]}]; each span carries
+    [name], [start_s], [duration_s], [attrs] and [children]. *)
+
+(** {1 Control} *)
+
+val reset : unit -> unit
+(** Clear counters, timer samples and recorded spans. Registered probes
+    and the clock survive (their counters live in their own modules). *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the time source (default [Unix.gettimeofday]) - used by
+    tests that need deterministic durations. *)
+
+(** {1 Command-line integration} *)
+
+val cli : string array -> string array
+(** [cli Sys.argv] strips [--stats] and [--trace FILE] from an argument
+    vector and returns the rest (element 0 preserved). If [--stats] was
+    present, the process prints {!report} to stderr at exit; if
+    [--trace FILE] was present, it writes {!spans_to_json} to [FILE] at
+    exit. Every binary under [bin/] routes its arguments through this,
+    so the flags work uniformly across the toolset. *)
+
+val cli_parse : string array -> string array * bool * string option
+(** The pure part of {!cli}: [(rest, stats_requested, trace_file)].
+    Exits with code 2 on a [--trace] missing its file argument. *)

@@ -1,0 +1,459 @@
+open Helpers
+module T = Vc_util.Telemetry
+module Portal = Vc_mooc.Portal
+
+(* Probes register at module-initialization time, which happens when the
+   kernel's compilation unit is linked; reference each one so this test
+   binary links all four. *)
+let () =
+  ignore Vc_sat.Solver.stats;
+  ignore Vc_bdd.Bdd.stats;
+  ignore Vc_route.Maze.stats;
+  ignore Vc_place.Annealing.stats
+
+(* ------------------------------------------------------------------ *)
+(* a minimal JSON reader, enough to validate the renderers' output     *)
+(* without adding a dependency                                         *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let parse_json text =
+  let pos = ref 0 in
+  let len = String.length text in
+  let peek () = if !pos < len then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = failwith (Printf.sprintf "json: %s at %d" msg !pos) in
+  let skip_ws () =
+    while
+      !pos < len
+      && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= len
+       && String.sub text !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char b '\n'
+        | Some 't' -> Buffer.add_char b '\t'
+        | Some 'r' -> Buffer.add_char b '\r'
+        | Some 'u' ->
+          advance ();
+          advance ();
+          advance ();
+          advance () (* 3 of 4 hex digits; 4th below *)
+        | Some c -> Buffer.add_char b c
+        | None -> fail "bad escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < len
+      &&
+      match text.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      advance ()
+    done;
+    Num (float_of_string (String.sub text start (!pos - start)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        items []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let obj_field name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* telemetry core                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_tests =
+  [
+    tc "counters create, add and read back" (fun () ->
+        T.reset ();
+        check Alcotest.int "absent is 0" 0 (T.counter "t.c");
+        T.incr "t.c";
+        T.incr ~by:4 "t.c";
+        check Alcotest.int "1 + 4" 5 (T.counter "t.c");
+        check Alcotest.bool "listed" true (List.mem_assoc "t.c" (T.counters ())));
+    tc "timers summarize samples" (fun () ->
+        T.reset ();
+        check Alcotest.bool "absent" true (T.timer "t.t" = None);
+        T.observe "t.t" 0.010;
+        T.observe "t.t" 0.020;
+        T.observe "t.t" 0.030;
+        match T.timer "t.t" with
+        | None -> Alcotest.fail "timer vanished"
+        | Some s ->
+          check Alcotest.int "count" 3 s.T.count;
+          check (Alcotest.float 1e-9) "total" 0.060 s.T.total_s;
+          check (Alcotest.float 1e-9) "p50" 0.020 s.T.p50_s;
+          check (Alcotest.float 1e-9) "max" 0.030 s.T.max_s);
+    tc "time records one sample per call and returns the value" (fun () ->
+        T.reset ();
+        let v = T.time "t.f" (fun () -> 41 + 1) in
+        check Alcotest.int "value" 42 v;
+        ignore (T.time "t.f" (fun () -> 0));
+        match T.timer "t.f" with
+        | Some s -> check Alcotest.int "two samples" 2 s.T.count
+        | None -> Alcotest.fail "no samples");
+    tc "time records the sample even when f raises" (fun () ->
+        T.reset ();
+        (try T.time "t.boom" (fun () -> failwith "boom") with Failure _ -> ());
+        match T.timer "t.boom" with
+        | Some s -> check Alcotest.int "one sample" 1 s.T.count
+        | None -> Alcotest.fail "no sample");
+    tc "spans nest into a tree" (fun () ->
+        T.reset ();
+        let v =
+          T.with_span "outer" (fun () ->
+              ignore (T.with_span "inner1" (fun () -> 1));
+              ignore (T.with_span "inner2" (fun () -> 2));
+              7)
+        in
+        check Alcotest.int "value" 7 v;
+        match T.spans () with
+        | [ s ] ->
+          check Alcotest.string "root" "outer" s.T.span_name;
+          check
+            Alcotest.(list string)
+            "children in order" [ "inner1"; "inner2" ]
+            (List.map (fun c -> c.T.span_name) s.T.children)
+        | l -> Alcotest.fail (Printf.sprintf "%d roots" (List.length l)));
+    tc "a raising span is recorded with an error attribute" (fun () ->
+        T.reset ();
+        (try T.with_span "bad" (fun () -> failwith "oops") with Failure _ -> ());
+        match T.spans () with
+        | [ s ] ->
+          check Alcotest.bool "error attr" true (List.mem_assoc "error" s.T.attrs)
+        | _ -> Alcotest.fail "expected exactly one root span");
+    tc "probes are pulled at render time" (fun () ->
+        let v = ref 1 in
+        T.register_probe "test.probe" (fun () -> [ ("v", !v) ]);
+        let read () = List.assoc "test.probe" (T.probes ()) in
+        check Alcotest.(list (pair string int)) "initial" [ ("v", 1) ] (read ());
+        v := 5;
+        check Alcotest.(list (pair string int)) "updated" [ ("v", 5) ] (read ()));
+    tc "kernel probes are registered" (fun () ->
+        let names = List.map fst (T.probes ()) in
+        List.iter
+          (fun n -> check Alcotest.bool n true (List.mem n names))
+          [ "sat.solver"; "bdd"; "route.maze"; "place.annealing" ]);
+    tc "report mentions counters, timers and probes" (fun () ->
+        T.reset ();
+        T.incr "report.counter";
+        T.observe "report.timer" 0.001;
+        let r = T.report () in
+        let contains needle =
+          let nl = String.length needle and hl = String.length r in
+          let rec go i = i + nl <= hl && (String.sub r i nl = needle || go (i + 1)) in
+          go 0
+        in
+        List.iter
+          (fun needle -> check Alcotest.bool needle true (contains needle))
+          [ "report.counter"; "report.timer"; "sat.solver" ]);
+    tc "reset clears counters, timers and spans but keeps probes" (fun () ->
+        T.incr "gone";
+        T.observe "gone.t" 1.0;
+        ignore (T.with_span "gone.s" (fun () -> ()));
+        T.reset ();
+        check Alcotest.int "counter" 0 (T.counter "gone");
+        check Alcotest.bool "timer" true (T.timer "gone.t" = None);
+        check Alcotest.int "spans" 0 (List.length (T.spans ()));
+        check Alcotest.bool "probes kept" true (T.probes () <> []));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON renderers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_tests =
+  [
+    tc "to_json parses and carries the counters" (fun () ->
+        T.reset ();
+        T.incr ~by:3 "j.count";
+        T.observe "j.timer" 0.002;
+        let j = parse_json (T.to_json ()) in
+        (match obj_field "counters" j with
+        | Some (Obj cs) ->
+          check Alcotest.bool "counter present" true
+            (match List.assoc_opt "j.count" cs with
+            | Some (Num 3.0) -> true
+            | _ -> false)
+        | _ -> Alcotest.fail "no counters object");
+        match obj_field "timers" j with
+        | Some (Obj ts) ->
+          check Alcotest.bool "timer has count" true
+            (match List.assoc_opt "j.timer" ts with
+            | Some t -> obj_field "count" t = Some (Num 1.0)
+            | None -> false)
+        | _ -> Alcotest.fail "no timers object");
+    tc "spans_to_json parses with nesting and attrs" (fun () ->
+        T.reset ();
+        ignore
+          (T.with_span ~attrs:[ ("k", "v\"quoted\"") ] "root" (fun () ->
+               T.with_span "child" (fun () -> ())));
+        let j = parse_json (T.spans_to_json ()) in
+        match obj_field "spans" j with
+        | Some (Arr [ root ]) ->
+          check Alcotest.bool "name" true
+            (obj_field "name" root = Some (Str "root"));
+          (match obj_field "attrs" root with
+          | Some (Obj [ ("k", Str s) ]) ->
+            check Alcotest.string "escaped attr round-trips" "v\"quoted\"" s
+          | _ -> Alcotest.fail "attrs");
+          (match obj_field "children" root with
+          | Some (Arr [ child ]) ->
+            check Alcotest.bool "child name" true
+              (obj_field "name" child = Some (Str "child"))
+          | _ -> Alcotest.fail "children")
+        | _ -> Alcotest.fail "expected one root span");
+    tc "cli_parse strips the flags and leaves the rest" (fun () ->
+        let argv, stats, trace =
+          T.cli_parse
+            [| "prog"; "--stats"; "input.txt"; "--trace"; "t.json"; "-x" |]
+        in
+        check
+          Alcotest.(array string)
+          "filtered"
+          [| "prog"; "input.txt"; "-x" |]
+          argv;
+        check Alcotest.bool "stats seen" true stats;
+        check Alcotest.(option string) "trace file" (Some "t.json") trace);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* portal cache + counters                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Each test resets the global telemetry + cache so counts are exact. *)
+let fresh () =
+  T.reset ();
+  Portal.clear_cache ();
+  Portal.set_cache_capacity 512;
+  Portal.create_session ()
+
+let submits tool = T.counter ("portal." ^ tool ^ ".submits")
+let executions tool = T.counter ("portal." ^ tool ^ ".executions")
+let hits tool = T.counter ("portal." ^ tool ^ ".cache_hits")
+
+let portal_tests =
+  [
+    tc "repeat submission is a cache hit with byte-identical output" (fun () ->
+        let s = fresh () in
+        let input = "boolean a b\nf = a & b\nsatcount f" in
+        let out1 = Portal.submit s Portal.kbdd input in
+        check Alcotest.int "one execution" 1 (executions "kbdd");
+        check Alcotest.int "no hit yet" 0 (hits "kbdd");
+        let out2 = Portal.submit s Portal.kbdd input in
+        check Alcotest.string "byte-identical" out1 out2;
+        check Alcotest.int "still one execution" 1 (executions "kbdd");
+        check Alcotest.int "one hit" 1 (hits "kbdd");
+        check Alcotest.bool "global stats agree" true
+          (Portal.cache_stats () = (1, 1)));
+    tc "cache is keyed by tool as well as input" (fun () ->
+        let s = fresh () in
+        let input = "not a valid anything" in
+        ignore (Portal.submit s Portal.kbdd input);
+        ignore (Portal.submit s Portal.espresso input);
+        check Alcotest.int "kbdd executed" 1 (executions "kbdd");
+        check Alcotest.int "espresso executed too" 1 (executions "espresso"));
+    tc "counters are monotone across submits" (fun () ->
+        let s = fresh () in
+        let prev = ref (-1) in
+        for i = 1 to 5 do
+          ignore
+            (Portal.submit s Portal.axb
+               (Printf.sprintf "n 1\nrow %d\nrhs %d" i i));
+          let now = submits "axb" in
+          check Alcotest.bool "monotone" true (now > !prev);
+          check Alcotest.int "equals submit count" i now;
+          prev := now
+        done;
+        match T.timer "portal.axb.latency" with
+        | Some t -> check Alcotest.int "latency sampled per submit" 5 t.T.count
+        | None -> Alcotest.fail "no latency timer");
+    tc "runaway rejection counts but does not execute or cache" (fun () ->
+        let s = fresh () in
+        let big = String.concat "\n" (List.init 3000 (fun _ -> "x")) in
+        let out = Portal.submit s Portal.kbdd big in
+        check Alcotest.bool "error text" true
+          (String.length out >= 5 && String.sub out 0 5 = "error");
+        check Alcotest.int "rejected" 1 (T.counter "portal.kbdd.rejected");
+        check Alcotest.int "not executed" 0 (executions "kbdd");
+        check Alcotest.int "not cached" 0 (Portal.cache_size ()));
+    tc "LRU eviction respects the capacity bound" (fun () ->
+        let s = fresh () in
+        Portal.set_cache_capacity 2;
+        let input i = Printf.sprintf "n 1\nrow %d\nrhs %d" i i in
+        ignore (Portal.submit s Portal.axb (input 1));
+        ignore (Portal.submit s Portal.axb (input 2));
+        ignore (Portal.submit s Portal.axb (input 3));
+        (* capacity held; input 1 was the stalest and got evicted *)
+        check Alcotest.int "bounded" 2 (Portal.cache_size ());
+        check Alcotest.int "one eviction" 1
+          (T.counter "portal.cache.evictions");
+        ignore (Portal.submit s Portal.axb (input 3));
+        check Alcotest.int "3 still cached" 1 (hits "axb");
+        ignore (Portal.submit s Portal.axb (input 1));
+        check Alcotest.int "1 was re-executed" 4 (executions "axb"));
+    tc "LRU refreshes recency on hit" (fun () ->
+        let s = fresh () in
+        Portal.set_cache_capacity 2;
+        let input i = Printf.sprintf "n 1\nrow %d\nrhs %d" i i in
+        ignore (Portal.submit s Portal.axb (input 1));
+        ignore (Portal.submit s Portal.axb (input 2));
+        ignore (Portal.submit s Portal.axb (input 1));
+        (* touch 1 *)
+        ignore (Portal.submit s Portal.axb (input 3));
+        (* evicts 2, not 1 *)
+        ignore (Portal.submit s Portal.axb (input 1));
+        check Alcotest.int "1 stayed cached" 2 (hits "axb");
+        ignore (Portal.submit s Portal.axb (input 2));
+        check Alcotest.int "2 was re-executed" 4 (executions "axb"));
+    tc "capacity 0 disables caching" (fun () ->
+        let s = fresh () in
+        Portal.set_cache_capacity 0;
+        let input = "n 1\nrow 2\nrhs 4" in
+        ignore (Portal.submit s Portal.axb input);
+        ignore (Portal.submit s Portal.axb input);
+        check Alcotest.int "executed twice" 2 (executions "axb");
+        check Alcotest.int "nothing cached" 0 (Portal.cache_size ()));
+    tc "shrinking the capacity evicts down to the bound" (fun () ->
+        let s = fresh () in
+        Portal.set_cache_capacity 8;
+        for i = 1 to 6 do
+          ignore
+            (Portal.submit s Portal.axb
+               (Printf.sprintf "n 1\nrow %d\nrhs %d" i i))
+        done;
+        check Alcotest.int "six cached" 6 (Portal.cache_size ());
+        Portal.set_cache_capacity 3;
+        check Alcotest.int "evicted to bound" 3 (Portal.cache_size ()));
+    tc "cache hits still append to the session history" (fun () ->
+        let s = fresh () in
+        let input = "n 1\nrow 2\nrhs 4" in
+        ignore (Portal.submit s Portal.axb input);
+        ignore (Portal.submit s Portal.axb input);
+        check Alcotest.int "two history entries" 2
+          (List.length (Portal.history s Portal.axb)));
+    tc "submit opens a portal.execute span on miss only" (fun () ->
+        let s = fresh () in
+        let input = "boolean a\nf = a\nsize f" in
+        ignore (Portal.submit s Portal.kbdd input);
+        ignore (Portal.submit s Portal.kbdd input);
+        let roots = T.spans () in
+        check Alcotest.int "one span" 1 (List.length roots);
+        match roots with
+        | [ sp ] ->
+          check Alcotest.string "named" "portal.execute" sp.T.span_name;
+          check Alcotest.bool "tool attr" true
+            (List.assoc_opt "tool" sp.T.attrs = Some "kbdd")
+        | _ -> ());
+  ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ("telemetry", telemetry_tests);
+      ("json", json_tests);
+      ("portal-cache", portal_tests);
+    ]
