@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- fig8     # one experiment
      dune exec bench/main.exe -- perf     # timing tables only
      dune exec bench/main.exe -- ablations
+     dune exec bench/main.exe -- compare BASELINE.json CURRENT.json \
+       [-latency-tol PCT] [-qor-tol PCT]   # regression gate (exit 3 on fail)
 *)
 
 module Expr = Vc_cube.Expr
@@ -757,6 +759,65 @@ let ablations () =
     (Vc_timing.Eventsim.glitches (List.assoc "f" waves))
 
 (* ------------------------------------------------------------------ *)
+(* regression gate                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let compare_usage () =
+  prerr_endline
+    "usage: main.exe compare BASELINE.json CURRENT.json [-latency-tol PCT] \
+     [-qor-tol PCT]";
+  exit 2
+
+(* Compare two benchmark/QoR JSON dumps and gate on regressions.
+   Exit codes: 0 clean, 3 regression detected, 2 usage/parse error. *)
+let compare_reports args =
+  let latency_tol = ref 50.0 and qor_tol = ref 0.0 in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "-latency-tol" :: pct :: rest ->
+      latency_tol := Vc_util.Tok.parse_float ~context:"-latency-tol" pct;
+      parse rest
+    | "-qor-tol" :: pct :: rest ->
+      qor_tol := Vc_util.Tok.parse_float ~context:"-qor-tol" pct;
+      parse rest
+    | f :: rest ->
+      files := f :: !files;
+      parse rest
+  in
+  (try parse args with Failure msg -> prerr_endline msg; compare_usage ());
+  match List.rev !files with
+  | [ baseline_file; current_file ] -> begin
+    let load file =
+      let text =
+        try In_channel.with_open_text file In_channel.input_all
+        with Sys_error msg ->
+          prerr_endline ("compare: " ^ msg);
+          exit 2
+      in
+      match Vc_util.Json.parse_result text with
+      | Ok v -> v
+      | Error msg ->
+        Printf.eprintf "compare: %s: %s\n" file msg;
+        exit 2
+    in
+    let baseline = load baseline_file in
+    let current = load current_file in
+    let verdict =
+      Vc_util.Regress.compare_json
+        ~latency_tol:(!latency_tol /. 100.0)
+        ~qor_tol:(!qor_tol /. 100.0)
+        ~baseline ~current ()
+    in
+    Printf.printf "compare %s -> %s (latency tol +%.0f%%, qor tol +%.0f%%)\n"
+      baseline_file current_file !latency_tol !qor_tol;
+    print_string (Vc_util.Regress.render verdict);
+    flush stdout;
+    if verdict.Vc_util.Regress.regressions <> [] then exit 3
+  end
+  | _ -> compare_usage ()
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -787,6 +848,7 @@ let () =
   | [ _ ] | [ _; "all" ] -> run_all ()
   | [ _; "perf" ] -> List.iter (fun f -> f ()) perf_tables
   | [ _; "ablations" ] -> ablations ()
+  | _ :: "compare" :: rest -> compare_reports rest
   | [ _; name ] -> begin
     match List.assoc_opt name figures with
     | Some f -> f ()

@@ -7,7 +7,7 @@
 let usage () =
   prerr_endline
     "usage: grader assignment <1-4> | grader reference <1-4> | grader grade \
-     <1-4> <submission-file>   (plus --stats / --trace FILE)";
+     <1-4> <submission-file>   (plus --stats / --trace FILE / --journal FILE)";
   exit 2
 
 let project n =

@@ -28,25 +28,45 @@ let make_test ~name ~points check =
   in
   { ut_name = name; ut_points = points; ut_check = safe }
 
+module J = Vc_util.Journal
+
 let grade tests submission =
   let units =
     List.map
       (fun t ->
         let passed, message = t.ut_check submission in
+        let earned = if passed then t.ut_points else 0 in
+        J.emit
+          ~severity:(if passed then J.Info else J.Warn)
+          ~component:"autograder"
+          ~attrs:
+            [
+              ("unit", t.ut_name);
+              ("passed", string_of_bool passed);
+              ("earned", string_of_int earned);
+              ("possible", string_of_int t.ut_points);
+            ]
+          "unit.graded";
         {
           ur_name = t.ut_name;
           ur_passed = passed;
-          ur_points = (if passed then t.ut_points else 0);
+          ur_points = earned;
           ur_max = t.ut_points;
           ur_message = message;
         })
       tests
   in
-  {
-    earned = List.fold_left (fun acc u -> acc + u.ur_points) 0 units;
-    possible = List.fold_left (fun acc u -> acc + u.ur_max) 0 units;
-    units;
-  }
+  let earned = List.fold_left (fun acc u -> acc + u.ur_points) 0 units in
+  let possible = List.fold_left (fun acc u -> acc + u.ur_max) 0 units in
+  J.emit ~component:"autograder"
+    ~attrs:
+      [
+        ("units", string_of_int (List.length units));
+        ("earned", string_of_int earned);
+        ("possible", string_of_int possible);
+      ]
+    "grade.done";
+  { earned; possible; units }
 
 let render g =
   let buf = Buffer.create 512 in

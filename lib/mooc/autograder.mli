@@ -33,6 +33,11 @@ val make_test :
 (** Wraps the check so exceptions become failed units, never crashes. *)
 
 val grade : unit_test list -> string -> grade
+(** Runs every unit against the submission. Each gradable unit emits one
+    {!Vc_util.Journal} event (component ["autograder"], name
+    ["unit.graded"], severity [Warn] when failed) with the unit's name
+    and earned/possible points - the Fig. 6 per-unit partial-credit
+    record - followed by one ["grade.done"] summary event. *)
 
 val render : grade -> string
 (** The web-page text a participant sees. *)

@@ -19,6 +19,12 @@ let default_options =
     cell_spacing = 6;
   }
 
+type stage_qor = {
+  sq_stage : string;
+  sq_latency_s : float;
+  sq_metrics : (string * float) list;
+}
+
 type report = {
   network : Vc_network.Network.t;
   literals_before : int;
@@ -31,6 +37,7 @@ type report = {
   gate_delay : float;
   total_delay : float;
   equivalent : bool;
+  stages : stage_qor list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -253,27 +260,97 @@ let timing_with_wires (m : Map.mapping) wire_tbl =
 (* the flow                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Each stage runs bracketed by journal begin/end events; the end event
+   and the returned QoR entry carry the stage's headline metrics, and the
+   latency also lands on the "flow.<stage>" telemetry timer. *)
+let run_stage name f =
+  let module J = Vc_util.Journal in
+  J.emit ~component:"flow" ~attrs:[ ("stage", name) ] "stage.begin";
+  let t0 = Vc_util.Telemetry.now () in
+  match f () with
+  | v, metrics ->
+    let dt = Float.max 0.0 (Vc_util.Telemetry.now () -. t0) in
+    Vc_util.Telemetry.observe ("flow." ^ name) dt;
+    J.emit ~component:"flow"
+      ~attrs:
+        (("stage", name)
+        :: ("latency_s", Printf.sprintf "%.6f" dt)
+        :: List.map (fun (k, v) -> (k, Printf.sprintf "%g" v)) metrics)
+      "stage.end";
+    (v, { sq_stage = name; sq_latency_s = dt; sq_metrics = metrics })
+  | exception e ->
+    J.emit ~severity:J.Error ~component:"flow"
+      ~attrs:[ ("stage", name); ("error", Printexc.to_string e) ]
+      "stage.error";
+    raise e
+
 let run ?(options = default_options) input_network =
   (match Vc_network.Network.check input_network with
   | Ok _ -> ()
   | Error msg -> failwith ("Flow.run: " ^ msg));
-  let literals_before = Vc_network.Network.literal_count input_network in
-  let synth = Vc_multilevel.Script.run input_network options.synth_script in
-  let network = synth.Vc_multilevel.Script.network in
-  let literals_after = Vc_network.Network.literal_count network in
-  let equivalent = Vc_network.Equiv.equivalent input_network network in
-  let mapping =
-    Map.map_network ~mode:options.mode (Vc_techmap.Cell_lib.standard ()) network
+  let (network, literals_before, literals_after, equivalent), synth_qor =
+    run_stage "synthesis" (fun () ->
+        let literals_before = Vc_network.Network.literal_count input_network in
+        let synth = Vc_multilevel.Script.run input_network options.synth_script in
+        let network = synth.Vc_multilevel.Script.network in
+        let literals_after = Vc_network.Network.literal_count network in
+        let equivalent = Vc_network.Equiv.equivalent input_network network in
+        ( (network, literals_before, literals_after, equivalent),
+          [
+            ("literals_before", float_of_int literals_before);
+            ("literals_after", float_of_int literals_after);
+            ("equivalent", if equivalent then 1.0 else 0.0);
+          ] ))
   in
-  let pnet = pnet_of_mapping mapping in
-  let qp = Vc_place.Quadratic.place pnet in
-  let legal = Vc_place.Legalize.to_grid pnet qp.Vc_place.Quadratic.placement in
-  let placement, _ = Vc_place.Legalize.refine pnet legal in
-  let hpwl = Pnet.hpwl pnet placement in
-  let problem = routing_problem_of pnet placement options.cell_spacing in
-  let routing = Router.route ~rip_up_passes:5 problem in
-  let wire_tbl = wire_delays mapping routing in
-  let timing = timing_with_wires mapping wire_tbl in
+  let mapping, map_qor =
+    run_stage "mapping" (fun () ->
+        let mapping =
+          Map.map_network ~mode:options.mode
+            (Vc_techmap.Cell_lib.standard ())
+            network
+        in
+        ( mapping,
+          [
+            ("gates", float_of_int (Map.gate_count mapping));
+            ("area", mapping.Map.area);
+            ("gate_delay", mapping.Map.delay);
+          ] ))
+  in
+  let (pnet, placement, hpwl), place_qor =
+    run_stage "placement" (fun () ->
+        let pnet = pnet_of_mapping mapping in
+        let qp = Vc_place.Quadratic.place pnet in
+        let legal =
+          Vc_place.Legalize.to_grid pnet qp.Vc_place.Quadratic.placement
+        in
+        let placement, _ = Vc_place.Legalize.refine pnet legal in
+        let hpwl = Pnet.hpwl pnet placement in
+        ( (pnet, placement, hpwl),
+          [ ("cells", float_of_int pnet.Pnet.num_cells); ("hpwl", hpwl) ] ))
+  in
+  let routing, route_qor =
+    run_stage "routing" (fun () ->
+        let problem = routing_problem_of pnet placement options.cell_spacing in
+        let routing = Router.route ~rip_up_passes:5 problem in
+        ( routing,
+          [
+            ("nets_total", float_of_int routing.Router.total);
+            ("nets_routed", float_of_int routing.Router.completed);
+            ( "overflow",
+              float_of_int (routing.Router.total - routing.Router.completed) );
+            ("wirelength", float_of_int routing.Router.wirelength);
+            ("vias", float_of_int routing.Router.vias);
+          ] ))
+  in
+  let total_delay, timing_qor =
+    run_stage "timing" (fun () ->
+        let wire_tbl = wire_delays mapping routing in
+        let timing = timing_with_wires mapping wire_tbl in
+        let total_delay = timing.Vc_timing.Tgraph.worst_arrival in
+        ( total_delay,
+          [ ("gate_delay", mapping.Map.delay); ("total_delay", total_delay) ]
+        ))
+  in
   {
     network;
     literals_before;
@@ -284,9 +361,33 @@ let run ?(options = default_options) input_network =
     hpwl;
     routing;
     gate_delay = mapping.Map.delay;
-    total_delay = timing.Vc_timing.Tgraph.worst_arrival;
+    total_delay;
     equivalent;
+    stages = [ synth_qor; map_qor; place_qor; route_qor; timing_qor ];
   }
+
+let qor_to_json ?design r =
+  let module Json = Vc_util.Json in
+  let stage s =
+    Json.obj
+      [
+        ("stage", Json.str s.sq_stage);
+        ("latency_s", Json.num s.sq_latency_s);
+        ( "metrics",
+          Json.obj (List.map (fun (k, v) -> (k, Json.num v)) s.sq_metrics) );
+      ]
+  in
+  let total =
+    List.fold_left (fun acc s -> acc +. s.sq_latency_s) 0.0 r.stages
+  in
+  Json.obj
+    ((match design with
+     | Some d -> [ ("design", Json.str d) ]
+     | None -> [])
+    @ [
+        ("stages", Json.arr (List.map stage r.stages));
+        ("total_latency_s", Json.num total);
+      ])
 
 let report_to_string r =
   String.concat "\n"

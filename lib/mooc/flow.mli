@@ -13,6 +13,16 @@ type options = {
 
 val default_options : options
 
+type stage_qor = {
+  sq_stage : string;
+      (** ["synthesis"], ["mapping"], ["placement"], ["routing"] or
+          ["timing"]. *)
+  sq_latency_s : float;  (** Wall-clock stage latency, clamped >= 0. *)
+  sq_metrics : (string * float) list;
+      (** The stage's quality-of-result numbers, e.g. [literals_after],
+          [area], [hpwl], [wirelength], [overflow], [total_delay]. *)
+}
+
 type report = {
   network : Vc_network.Network.t;  (** After synthesis. *)
   literals_before : int;
@@ -25,11 +35,25 @@ type report = {
   gate_delay : float;  (** Critical path, cell delays only. *)
   total_delay : float;  (** Gate delay plus Elmore wire delay along it. *)
   equivalent : bool;  (** Synthesized network vs the input network. *)
+  stages : stage_qor list;  (** One entry per stage, in flow order. *)
 }
 
 val run : ?options:options -> Vc_network.Network.t -> report
 (** @raise Failure if the network is malformed. Designs of a few hundred
-    gates route in seconds; the routing grid scales with the placement. *)
+    gates route in seconds; the routing grid scales with the placement.
+
+    Each stage is bracketed by {!Vc_util.Journal} [stage.begin] /
+    [stage.end] events (component ["flow"]) whose end event carries the
+    stage's QoR metrics and latency; the latency is also recorded on the
+    ["flow.<stage>"] {!Vc_util.Telemetry} timer. A raising stage emits a
+    [stage.error] event before the exception propagates. *)
+
+val qor_to_json : ?design:string -> report -> string
+(** The machine-readable QoR report behind [bin/flow --report FILE]: a
+    JSON object with optional ["design"], a ["stages"] array (one
+    [{stage, latency_s, metrics}] object per stage, in flow order) and
+    ["total_latency_s"]. [bench/main.exe compare] understands this shape
+    and gates on both metrics and latencies. *)
 
 val pnet_of_mapping :
   Vc_techmap.Map.mapping -> Vc_place.Pnet.t

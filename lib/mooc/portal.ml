@@ -174,16 +174,25 @@ let cache_add key output =
 (* instrumented submission                                             *)
 (* ------------------------------------------------------------------ *)
 
+module J = Vc_util.Journal
+
 let submit session tool input =
   let pre = "portal." ^ tool.tool_name in
   T.incr (pre ^ ".submits");
+  let outcome = ref "executed" and reject_reason = ref None in
+  let t0 = T.now () in
   let output =
     T.time (pre ^ ".latency") (fun () ->
         let lines = List.length (String.split_on_char '\n' input) in
         if lines > tool.max_input_lines then begin
           T.incr (pre ^ ".rejected");
-          Printf.sprintf "error: input too large (%d lines; portal limit %d)"
-            lines tool.max_input_lines
+          outcome := "rejected";
+          let reason =
+            Printf.sprintf "input too large (%d lines; portal limit %d)" lines
+              tool.max_input_lines
+          in
+          reject_reason := Some reason;
+          "error: " ^ reason
         end
         else begin
           let key = cache_key tool.tool_name input in
@@ -191,6 +200,7 @@ let submit session tool input =
           | Some out ->
             T.incr (pre ^ ".cache_hits");
             T.incr "portal.cache.hits";
+            outcome := "cache_hit";
             out
           | None ->
             T.incr "portal.cache.misses";
@@ -203,6 +213,32 @@ let submit session tool input =
             out
         end)
   in
+  (* one journal event per submission; a runaway rejection is an Error
+     and triggers the flight-recorder dump so the operator sees the
+     trailing window of activity that led up to it *)
+  let latency_s = Float.max 0.0 (T.now () -. t0) in
+  J.emit
+    ~severity:(if !outcome = "rejected" then J.Error else J.Info)
+    ~component:"portal"
+    ~attrs:
+      ([
+         ("tool", tool.tool_name);
+         ("digest", Digest.to_hex (cache_key tool.tool_name input));
+         ("outcome", !outcome);
+         ("latency_s", Printf.sprintf "%.6f" latency_s);
+       ]
+      @ match !reject_reason with
+        | Some r -> [ ("reason", r) ]
+        | None -> [])
+    "submission";
+  (match !reject_reason with
+  | Some reason ->
+    J.dump_flight_recorder
+      ~reason:
+        (Printf.sprintf "portal runaway rejection: %s: %s" tool.tool_name
+           reason)
+      ()
+  | None -> ());
   let log =
     match Hashtbl.find_opt session tool.tool_name with
     | Some l -> l

@@ -54,7 +54,15 @@ val submit : session -> tool -> string -> string
     output, tool not re-executed) or [portal.t.executions] (tool ran,
     result cached). Wall-clock latency is recorded on the
     [portal.t.latency] timer, and each real execution opens a
-    ["portal.execute"] trace span. *)
+    ["portal.execute"] trace span.
+
+    Every submission additionally emits one {!Vc_util.Journal} event
+    (component ["portal"], name ["submission"]) carrying the tool name,
+    the content digest, the outcome ([executed] / [cache_hit] /
+    [rejected]), the latency, and - for rejections - the reason. A
+    runaway rejection is emitted at [Error] severity and dumps the
+    journal's flight recorder, so the trailing window of events that
+    led up to it is preserved. *)
 
 val history : session -> tool -> (string * string) list
 (** (input, output) pairs, oldest first - the "older outputs available by

@@ -52,5 +52,15 @@ let run network text =
   let lines =
     Vc_util.Tok.logical_lines ~comment:'#' ~continuation:false text
   in
+  let literals_before = Network.literal_count t in
   List.iter exec lines;
+  Vc_util.Journal.emit ~component:"synth"
+    ~attrs:
+      [
+        ("commands", string_of_int (List.length lines));
+        ("literals_before", string_of_int literals_before);
+        ("literals_after", string_of_int (Network.literal_count t));
+        ("nodes", string_of_int (Network.node_count t));
+      ]
+    "script.done";
   { log = List.rev !log; network = t }

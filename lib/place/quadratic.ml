@@ -139,4 +139,12 @@ let place ?(solver = Cg) ?(max_depth = 4) ?(min_cells = 4) t =
   in
   let region = { x0 = 0.0; y0 = 0.0; x1 = t.Pnet.width; y1 = t.Pnet.height } in
   recurse (all_cells t) region 0;
+  Vc_util.Journal.emit ~component:"place"
+    ~attrs:
+      [
+        ("cells", string_of_int t.Pnet.num_cells);
+        ("solves", string_of_int !solves);
+        ("cg_iterations", string_of_int !iterations);
+      ]
+    "quadratic.done";
   { placement = p; solves = !solves; iterations = !iterations }

@@ -198,14 +198,27 @@ let route ?(order = `Short_first) ?(rip_up_passes = 2) p =
           count path)
         r.r_paths)
     routed;
-  {
-    routed;
-    grid = g;
-    completed = List.length (List.filter (fun r -> r.r_ok) routed);
-    total = List.length routed;
-    wirelength = !wirelength;
-    vias = !vias;
-  }
+  let result =
+    {
+      routed;
+      grid = g;
+      completed = List.length (List.filter (fun r -> r.r_ok) routed);
+      total = List.length routed;
+      wirelength = !wirelength;
+      vias = !vias;
+    }
+  in
+  Vc_util.Journal.emit ~component:"route"
+    ~attrs:
+      [
+        ("nets", string_of_int result.total);
+        ("routed", string_of_int result.completed);
+        ("overflow", string_of_int (result.total - result.completed));
+        ("wirelength", string_of_int result.wirelength);
+        ("vias", string_of_int result.vias);
+      ]
+    "route.done";
+  result
 
 let solution_to_string result =
   let buf = Buffer.create 1024 in

@@ -145,6 +145,16 @@ let cover ?(mode = Min_area) cells (s : Subject.t) =
       (fun acc (_, id) -> max acc (arrival_of id))
       0.0 s.Subject.outputs
   in
+  Vc_util.Journal.emit ~component:"techmap"
+    ~attrs:
+      [
+        ("gates", string_of_int (List.length gates));
+        ("area", Printf.sprintf "%g" area);
+        ("delay", Printf.sprintf "%g" delay);
+        ( "mode",
+          match mode with Min_area -> "min_area" | Min_delay -> "min_delay" );
+      ]
+    "map.done";
   { gates; area; delay; subject = s; mode }
 
 let map_network ?mode cells net = cover ?mode cells (Subject.of_network net)

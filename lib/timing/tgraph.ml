@@ -150,6 +150,15 @@ let analyze ?required_time t =
   let worst_slack =
     List.fold_left (fun acc (_, s) -> min acc s) infinity slacks
   in
+  Vc_util.Journal.emit ~component:"timing"
+    ~attrs:
+      [
+        ("nodes", string_of_int (List.length order));
+        ("worst_arrival", Printf.sprintf "%g" worst_arrival);
+        ("worst_slack", Printf.sprintf "%g" worst_slack);
+        ("critical_path_nodes", string_of_int (List.length critical_path));
+      ]
+    "sta.done";
   {
     arrival = pairs arrival;
     required = pairs required;

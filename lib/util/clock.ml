@@ -1,0 +1,3 @@
+let source = ref Unix.gettimeofday
+let set f = source := f
+let now () = !source ()

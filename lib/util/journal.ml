@@ -1,0 +1,154 @@
+type severity = Debug | Info | Warn | Error
+
+let severity_to_string = function
+  | Debug -> "DEBUG"
+  | Info -> "INFO"
+  | Warn -> "WARN"
+  | Error -> "ERROR"
+
+type event = {
+  ev_seq : int;
+  ev_ts : float;
+  ev_severity : severity;
+  ev_component : string;
+  ev_name : string;
+  ev_attrs : (string * string) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* flight-recorder ring                                                *)
+(* ------------------------------------------------------------------ *)
+
+let ring : event Queue.t = Queue.create ()
+let capacity = ref 256
+let seq = ref 0
+
+let ring_capacity () = !capacity
+
+let trim () =
+  while Queue.length ring > !capacity do
+    ignore (Queue.pop ring)
+  done
+
+let set_ring_capacity n =
+  if n < 0 then invalid_arg "Journal.set_ring_capacity: negative capacity";
+  capacity := n;
+  trim ()
+
+let events () = List.of_seq (Queue.to_seq ring)
+let event_count () = !seq
+
+let clear () =
+  Queue.clear ring;
+  seq := 0
+
+(* ------------------------------------------------------------------ *)
+(* sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sinks : (string * (event -> unit)) list ref = ref []
+
+let add_sink name f =
+  sinks := (name, f) :: List.remove_assoc name !sinks
+
+let remove_sink name = sinks := List.remove_assoc name !sinks
+
+let emit ?(severity = Info) ?(attrs = []) ~component name =
+  incr seq;
+  let e =
+    {
+      ev_seq = !seq;
+      ev_ts = Clock.now ();
+      ev_severity = severity;
+      ev_component = component;
+      ev_name = name;
+      ev_attrs = attrs;
+    }
+  in
+  if !capacity > 0 then begin
+    Queue.push e ring;
+    trim ()
+  end;
+  List.iter
+    (fun (name, f) ->
+      match f e with
+      | () -> ()
+      | exception exn ->
+        remove_sink name;
+        Printf.eprintf "journal: sink %s failed (%s); removed\n%!" name
+          (Printexc.to_string exn))
+    !sinks
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let event_to_json e =
+  Json.obj
+    [
+      ("seq", Json.int e.ev_seq);
+      ("ts", Json.num e.ev_ts);
+      ("severity", Json.str (severity_to_string e.ev_severity));
+      ("component", Json.str e.ev_component);
+      ("event", Json.str e.ev_name);
+      ("attrs", Json.obj (List.map (fun (k, v) -> (k, Json.str v)) e.ev_attrs));
+    ]
+
+let to_jsonl () =
+  String.concat ""
+    (List.map (fun e -> event_to_json e ^ "\n") (events ()))
+
+let open_jsonl file =
+  let oc = Out_channel.open_text file in
+  at_exit (fun () -> try Out_channel.close oc with Sys_error _ -> ());
+  add_sink ("jsonl:" ^ file) (fun e ->
+      Out_channel.output_string oc (event_to_json e);
+      Out_channel.output_char oc '\n';
+      Out_channel.flush oc)
+
+(* ------------------------------------------------------------------ *)
+(* flight recorder dumps                                               *)
+(* ------------------------------------------------------------------ *)
+
+let dump_printer = ref prerr_string
+let set_dump_printer f = dump_printer := f
+
+let dump_flight_recorder ?(limit = 32) ~reason () =
+  let all = events () in
+  let total = List.length all in
+  let window =
+    if total <= limit then all
+    else
+      (* keep the trailing [limit] events *)
+      List.filteri (fun i _ -> i >= total - limit) all
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "== journal flight recorder: %s ==\n" reason);
+  Buffer.add_string b
+    (Printf.sprintf "last %d of %d event(s):\n" (List.length window)
+       (event_count ()));
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "  [%5d] %.6f %-5s %-10s %s%s\n" e.ev_seq e.ev_ts
+           (severity_to_string e.ev_severity)
+           e.ev_component e.ev_name
+           (String.concat ""
+              (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) e.ev_attrs))))
+    window;
+  !dump_printer (Buffer.contents b)
+
+let crash_handler_installed = ref false
+
+let install_crash_handler () =
+  if not !crash_handler_installed then begin
+    crash_handler_installed := true;
+    Printexc.set_uncaught_exception_handler (fun exn bt ->
+        (if event_count () > 0 then
+           try dump_flight_recorder ~reason:"uncaught exception" ()
+           with _ -> ());
+        Printf.eprintf "Fatal error: exception %s\n" (Printexc.to_string exn);
+        Printexc.print_raw_backtrace stderr bt;
+        flush stderr)
+  end

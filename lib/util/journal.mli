@@ -1,0 +1,114 @@
+(** The flow-wide structured event journal: an append-only log of typed
+    events (timestamp, severity, component, name, key/value attributes)
+    layered on the same injectable {!Clock} as {!Telemetry}.
+
+    Where {!Telemetry} answers "how much / how long", the journal
+    answers "what happened, in what order": {!Vc_mooc.Flow} emits
+    begin/end events per stage carrying quality-of-result metrics,
+    {!Vc_mooc.Portal} emits one event per submission (tool, digest,
+    cache hit/miss, latency, rejection reason), {!Vc_mooc.Autograder}
+    emits one event per gradable unit, and the place/route/timing/
+    synthesis kernels emit completion events with their headline
+    numbers. Every binary under [bin/] exposes the stream through the
+    [--journal FILE] flag of {!Telemetry.cli}, which installs a JSONL
+    sink.
+
+    Two consumers are built in:
+
+    - {b Sinks}: named callbacks invoked on every event - the JSONL
+      file sink streams each event as one JSON line.
+    - {b Flight recorder}: a bounded in-memory ring buffer of the most
+      recent events, dumped to stderr when the process dies on an
+      uncaught exception ({!install_crash_handler}, installed by
+      {!Telemetry.cli}) or when a portal submission trips the runaway
+      guard - the trailing window of context an operator needs.
+
+    Like the rest of the observability layer, all state is process-global
+    and unsynchronized (the MOOC served each participant from an isolated
+    single-threaded worker), and there are no third-party dependencies. *)
+
+(** {1 Events} *)
+
+type severity = Debug | Info | Warn | Error
+
+val severity_to_string : severity -> string
+(** ["DEBUG"], ["INFO"], ["WARN"], ["ERROR"]. *)
+
+type event = {
+  ev_seq : int;  (** Sequence number, 1-based, monotone per process. *)
+  ev_ts : float;  (** {!Clock.now} at emission. *)
+  ev_severity : severity;
+  ev_component : string;  (** Subsystem, e.g. ["flow"], ["portal"]. *)
+  ev_name : string;  (** Event name, e.g. ["stage.end"]. *)
+  ev_attrs : (string * string) list;  (** Key/value attributes. *)
+}
+
+val emit :
+  ?severity:severity ->
+  ?attrs:(string * string) list ->
+  component:string ->
+  string ->
+  unit
+(** [emit ~component name] appends an event (default severity [Info]):
+    pushes it into the flight-recorder ring and feeds every registered
+    sink. Cheap when no sink is installed - one allocation plus a
+    bounded-queue push. *)
+
+val events : unit -> event list
+(** Current flight-recorder contents, oldest first (at most
+    {!ring_capacity} events). *)
+
+val event_count : unit -> int
+(** Total events emitted since start/{!clear}, including those already
+    rotated out of the ring. *)
+
+val set_ring_capacity : int -> unit
+(** Resize the flight-recorder ring (default 256), dropping the oldest
+    events if shrinking. @raise Invalid_argument on negatives. *)
+
+val ring_capacity : unit -> int
+
+val clear : unit -> unit
+(** Empty the ring and reset {!event_count}. Sinks stay registered. *)
+
+(** {1 JSON} *)
+
+val event_to_json : event -> string
+(** One event as a JSON object with fields [seq], [ts], [severity],
+    [component], [event] and [attrs]. *)
+
+val to_jsonl : unit -> string
+(** The ring contents as JSON Lines (one {!event_to_json} per line,
+    trailing newline when non-empty). *)
+
+(** {1 Sinks} *)
+
+val add_sink : string -> (event -> unit) -> unit
+(** Register (or replace) a named sink called on every subsequent
+    {!emit}. A raising sink is dropped after printing a warning to
+    stderr, so a full disk cannot take the tool down. *)
+
+val remove_sink : string -> unit
+
+val open_jsonl : string -> unit
+(** Install a sink (named ["jsonl:FILE"]) streaming every event to
+    [FILE] as JSON Lines, flushed per line; the channel is closed at
+    process exit. Truncates an existing file. This is what
+    [--journal FILE] installs. *)
+
+(** {1 Flight recorder} *)
+
+val dump_flight_recorder : ?limit:int -> reason:string -> unit -> unit
+(** Format the last [limit] (default 32) ring events plus the [reason]
+    and hand the text to the dump printer (stderr unless overridden).
+    Called automatically on portal runaway rejections and from the
+    crash handler. *)
+
+val set_dump_printer : (string -> unit) -> unit
+(** Replace the dump destination (default [prerr_string]) - used by
+    tests to capture the flight-recorder output. *)
+
+val install_crash_handler : unit -> unit
+(** Chain a [Printexc] uncaught-exception handler that dumps the flight
+    recorder before the usual fatal-error report. Idempotent;
+    {!Telemetry.cli} calls this for every binary. *)

@@ -1,0 +1,157 @@
+type verdict = {
+  regressions : string list;
+  improvements : string list;
+  notes : string list;
+  compared : int;
+}
+
+(* Quality direction of a counter/metric, keyed by naming convention.
+   [None] means no gate - the change is surfaced as a note only. *)
+let direction name =
+  let suffix s = String.length name >= String.length s
+    && String.sub name (String.length name - String.length s) (String.length s) = s
+  in
+  if suffix "cache_hits" || suffix "cache.hits" || name = "nets_routed"
+     || name = "equivalent" || suffix "paths_found"
+  then Some `Higher_better
+  else if
+    suffix "misses" || suffix "rejected" || suffix "evictions"
+    || List.mem name
+         [
+           "literals_after"; "literals_before"; "area"; "gate_delay";
+           "total_delay"; "hpwl"; "wirelength"; "vias"; "overflow"; "gates";
+           "cells"; "nets_total";
+         ]
+  then Some `Lower_better
+  else None
+
+let fields_of = function Json.Obj fs -> fs | _ -> []
+
+let num_field name j = Option.bind (Json.member name j) Json.to_num
+
+let compare_json ?(latency_tol = 0.5) ?(qor_tol = 0.0)
+    ?(min_latency_delta_s = 1e-4) ~baseline ~current () =
+  let regressions = ref [] and improvements = ref [] and notes = ref [] in
+  let compared = ref 0 in
+  let reg fmt = Printf.ksprintf (fun s -> regressions := s :: !regressions) fmt in
+  let imp fmt = Printf.ksprintf (fun s -> improvements := s :: !improvements) fmt in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  (* latency gate: relative tolerance plus an absolute noise floor *)
+  let check_latency label base cur =
+    incr compared;
+    let delta = cur -. base in
+    if delta > (base *. latency_tol) +. 1e-12 && delta > min_latency_delta_s
+    then
+      reg "%s: latency %.6fs -> %.6fs (+%.0f%%, tolerance %.0f%%)" label base
+        cur
+        (100.0 *. delta /. Float.max base 1e-12)
+        (100.0 *. latency_tol)
+    else if -.delta > (base *. latency_tol) +. 1e-12 && -.delta > min_latency_delta_s
+    then imp "%s: latency %.6fs -> %.6fs" label base cur
+  in
+  (* QoR gate: direction-aware relative tolerance *)
+  let check_qor label name base cur =
+    match direction name with
+    | None ->
+      if base <> cur then
+        note "%s.%s: %g -> %g (no quality direction; not gated)" label name
+          base cur
+    | Some dir ->
+      incr compared;
+      let worse, better =
+        match dir with
+        | `Lower_better ->
+          (cur > base +. (Float.abs base *. qor_tol) +. 1e-9,
+           cur < base -. (Float.abs base *. qor_tol) -. 1e-9)
+        | `Higher_better ->
+          (cur < base -. (Float.abs base *. qor_tol) -. 1e-9,
+           cur > base +. (Float.abs base *. qor_tol) +. 1e-9)
+      in
+      if worse then
+        reg "%s.%s: %g -> %g (%s, tolerance %.0f%%)" label name base cur
+          (match dir with
+          | `Lower_better -> "higher is worse"
+          | `Higher_better -> "lower is worse")
+          (100.0 *. qor_tol)
+      else if better then imp "%s.%s: %g -> %g" label name base cur
+  in
+  let both_sides label b_fields c_fields per_key =
+    List.iter
+      (fun (k, bv) ->
+        match List.assoc_opt k c_fields with
+        | Some cv -> per_key k bv cv
+        | None -> note "%s.%s: present only in baseline" label k)
+      b_fields;
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem_assoc k b_fields) then
+          note "%s.%s: present only in current" label k)
+      c_fields
+  in
+  (* telemetry dumps: timers + counters *)
+  (match (Json.member "timers" baseline, Json.member "timers" current) with
+  | Some bt, Some ct ->
+    both_sides "timers" (fields_of bt) (fields_of ct) (fun k bv cv ->
+        match (num_field "mean_s" bv, num_field "mean_s" cv) with
+        | Some b, Some c -> check_latency ("timer " ^ k) b c
+        | _ -> ())
+  | _ -> ());
+  (match (Json.member "counters" baseline, Json.member "counters" current) with
+  | Some bc, Some cc ->
+    both_sides "counters" (fields_of bc) (fields_of cc) (fun k bv cv ->
+        match (Json.to_num bv, Json.to_num cv) with
+        | Some b, Some c -> check_qor "counter" k b c
+        | _ -> ())
+  | _ -> ());
+  (* flow QoR reports: stages with latency + metrics *)
+  (match (Json.member "stages" baseline, Json.member "stages" current) with
+  | Some (Json.Arr bs), Some (Json.Arr cs) ->
+    let stage_name s =
+      Option.value ~default:"?" (Option.bind (Json.member "stage" s) Json.to_str)
+    in
+    let cur_stages = List.map (fun s -> (stage_name s, s)) cs in
+    List.iter
+      (fun bstage ->
+        let name = stage_name bstage in
+        match List.assoc_opt name cur_stages with
+        | None -> note "stage %s: missing from current report" name
+        | Some cstage ->
+          (match (num_field "latency_s" bstage, num_field "latency_s" cstage)
+           with
+          | Some b, Some c -> check_latency ("stage " ^ name) b c
+          | _ -> ());
+          (match (Json.member "metrics" bstage, Json.member "metrics" cstage)
+           with
+          | Some bm, Some cm ->
+            both_sides ("stage " ^ name) (fields_of bm) (fields_of cm)
+              (fun k bv cv ->
+                match (Json.to_num bv, Json.to_num cv) with
+                | Some b, Some c -> check_qor ("stage " ^ name) k b c
+                | _ -> ())
+          | _ -> ()))
+      bs
+  | _ -> ());
+  {
+    regressions = List.rev !regressions;
+    improvements = List.rev !improvements;
+    notes = List.rev !notes;
+    compared = !compared;
+  }
+
+let render v =
+  let b = Buffer.create 512 in
+  let section title lines =
+    if lines <> [] then begin
+      Buffer.add_string b (title ^ ":\n");
+      List.iter (fun l -> Buffer.add_string b ("  " ^ l ^ "\n")) lines
+    end
+  in
+  section "REGRESSIONS" v.regressions;
+  section "improvements" v.improvements;
+  section "notes" v.notes;
+  Buffer.add_string b
+    (Printf.sprintf "%d gated comparison(s): %d regression(s), %d improvement(s)\n"
+       v.compared
+       (List.length v.regressions)
+       (List.length v.improvements));
+  Buffer.contents b

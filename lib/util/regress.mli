@@ -1,0 +1,42 @@
+(** Regression gating between two machine-readable benchmark/QoR
+    reports - the engine behind [bench/main.exe compare BASELINE
+    CURRENT]. Understands both JSON shapes the repo emits:
+
+    - {!Telemetry.to_json} dumps ([BENCH_*.json]): every timer's
+      [mean_s] is compared under the latency tolerance; counters with a
+      known quality direction (e.g. [*.cache_hits] higher-is-better,
+      [*.misses] / [*.rejected] / [*.evictions] lower-is-better) are
+      compared under the QoR tolerance, the rest are reported as
+      informational notes only.
+    - [Vc_mooc.Flow] QoR reports ([flow --report]): per-stage [metrics]
+      are compared under the QoR tolerance (lower-is-better except
+      [nets_routed] and [equivalent]), per-stage [latency_s] under the
+      latency tolerance.
+
+    Latency comparisons additionally require the absolute delta to
+    exceed a noise floor so microsecond-scale cache-hit timers cannot
+    trip the gate on scheduler jitter. *)
+
+type verdict = {
+  regressions : string list;  (** Human-readable, one per failed gate. *)
+  improvements : string list;  (** Moves beyond tolerance the good way. *)
+  notes : string list;  (** Directionless changes, informational. *)
+  compared : int;  (** Number of gated comparisons performed. *)
+}
+
+val compare_json :
+  ?latency_tol:float ->
+  ?qor_tol:float ->
+  ?min_latency_delta_s:float ->
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  verdict
+(** [compare_json ~baseline ~current ()] with [latency_tol] (default
+    [0.5], i.e. +50%), [qor_tol] (default [0.0], any worsening fails)
+    and [min_latency_delta_s] (default [1e-4], 0.1 ms noise floor).
+    Keys present on only one side are reported as notes. *)
+
+val render : verdict -> string
+(** The report [compare] prints: regressions first, then improvements
+    and notes, then a one-line summary. *)

@@ -1,9 +1,8 @@
 (* Global, single-threaded instrumentation state. Everything lives in
    plain hashtables keyed by flat names; renderers sort on the way out. *)
 
-let clock = ref Unix.gettimeofday
-let set_clock f = clock := f
-let now () = !clock ()
+let set_clock = Clock.set
+let now = Clock.now
 
 (* ------------------------------------------------------------------ *)
 (* counters                                                            *)
@@ -44,14 +43,18 @@ let observe name dt =
   | Some l -> l := dt :: !l
   | None -> Hashtbl.add timer_tbl name (ref [ dt ])
 
+(* The clock is wall time, not monotonic: an NTP step mid-measurement can
+   make [now () -. t0] negative, so computed durations clamp at zero. *)
+let elapsed_since t0 = Float.max 0.0 (now () -. t0)
+
 let time name f =
   let t0 = now () in
   match f () with
   | v ->
-    observe name (now () -. t0);
+    observe name (elapsed_since t0);
     v
   | exception e ->
-    observe name (now () -. t0);
+    observe name (elapsed_since t0);
     raise e
 
 let summarize samples =
@@ -102,7 +105,7 @@ let with_span ?(attrs = []) name f =
       {
         span_name = o.o_name;
         start_s = o.o_start;
-        duration_s = now () -. o.o_start;
+        duration_s = elapsed_since o.o_start;
         attrs = o.o_attrs @ extra;
         children = List.rev o.o_children;
       }
@@ -178,29 +181,12 @@ let report () =
     (Printf.sprintf "trace spans recorded: %d\n" (List.length !root_spans));
   Buffer.contents b
 
-(* Minimal JSON emitter - strings, ints, floats, objects, arrays - so the
+(* JSON text is built through the shared Vc_util.Json emitters, so the
    layer stays free of third-party dependencies. *)
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let jstr s = "\"" ^ json_escape s ^ "\""
-let jfloat f = Printf.sprintf "%.6f" f
-let jobj fields =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
-let jarr items = "[" ^ String.concat "," items ^ "]"
+let jstr = Json.str
+let jfloat = Json.num
+let jobj = Json.obj
+let jarr = Json.arr
 
 let summary_json s =
   jobj
@@ -251,7 +237,7 @@ let reset () =
   root_spans := []
 
 let cli_parse argv =
-  let stats = ref false and trace = ref None in
+  let stats = ref false and trace = ref None and journal = ref None in
   let rec strip acc = function
     | [] -> List.rev acc
     | "--stats" :: rest ->
@@ -263,16 +249,23 @@ let cli_parse argv =
     | "--trace" :: file :: rest ->
       trace := Some file;
       strip acc rest
+    | [ "--journal" ] ->
+      prerr_endline "error: --journal requires a FILE argument";
+      exit 2
+    | "--journal" :: file :: rest ->
+      journal := Some file;
+      strip acc rest
     | a :: rest -> strip (a :: acc) rest
   in
   match Array.to_list argv with
-  | [] -> (argv, false, None)
+  | [] -> (argv, false, None, None)
   | prog :: args ->
     let kept = strip [] args in
-    (Array.of_list (prog :: kept), !stats, !trace)
+    (Array.of_list (prog :: kept), !stats, !trace, !journal)
 
 let cli argv =
-  let argv, stats, trace = cli_parse argv in
+  let argv, stats, trace, journal = cli_parse argv in
+  Journal.install_crash_handler ();
   if stats then at_exit (fun () -> prerr_string (report ()));
   (match trace with
   | Some file ->
@@ -280,4 +273,5 @@ let cli argv =
         Out_channel.with_open_text file (fun oc ->
             Out_channel.output_string oc (spans_to_json ())))
   | None -> ());
+  (match journal with Some file -> Journal.open_jsonl file | None -> ());
   argv

@@ -123,19 +123,30 @@ val reset : unit -> unit
     and the clock survive (their counters live in their own modules). *)
 
 val set_clock : (unit -> float) -> unit
-(** Replace the time source (default [Unix.gettimeofday]) - used by
-    tests that need deterministic durations. *)
+(** Replace the time source (default [Unix.gettimeofday]) - an alias of
+    {!Clock.set}, shared with {!Journal} timestamps - used by tests
+    that need deterministic durations. The wall clock is not monotonic,
+    so computed timer and span durations clamp negative differences to
+    zero. *)
+
+val now : unit -> float
+(** Read the installed clock ({!Clock.now}). *)
 
 (** {1 Command-line integration} *)
 
 val cli : string array -> string array
-(** [cli Sys.argv] strips [--stats] and [--trace FILE] from an argument
-    vector and returns the rest (element 0 preserved). If [--stats] was
-    present, the process prints {!report} to stderr at exit; if
-    [--trace FILE] was present, it writes {!spans_to_json} to [FILE] at
-    exit. Every binary under [bin/] routes its arguments through this,
+(** [cli Sys.argv] strips [--stats], [--trace FILE] and
+    [--journal FILE] from an argument vector and returns the rest
+    (element 0 preserved). If [--stats] was present, the process prints
+    {!report} to stderr at exit; if [--trace FILE] was present, it
+    writes {!spans_to_json} to [FILE] at exit; if [--journal FILE] was
+    present, every {!Journal} event is streamed to [FILE] as JSON Lines.
+    Also installs the {!Journal.install_crash_handler} flight-recorder
+    dump. Every binary under [bin/] routes its arguments through this,
     so the flags work uniformly across the toolset. *)
 
-val cli_parse : string array -> string array * bool * string option
-(** The pure part of {!cli}: [(rest, stats_requested, trace_file)].
-    Exits with code 2 on a [--trace] missing its file argument. *)
+val cli_parse :
+  string array -> string array * bool * string option * string option
+(** The pure part of {!cli}:
+    [(rest, stats_requested, trace_file, journal_file)]. Exits with
+    code 2 on a [--trace] or [--journal] missing its file argument. *)

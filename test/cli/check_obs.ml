@@ -1,0 +1,119 @@
+(* check_obs: validate the machine-readable observability outputs the
+   CLI golden tests produce (trace JSON, journal JSONL, QoR reports,
+   --stats text). Exits non-zero with a message on the first violation,
+   so a dune (run ...) action can gate on it. *)
+
+module Json = Vc_util.Json
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("check_obs: " ^ s); exit 1) fmt
+
+let read file =
+  try In_channel.with_open_text file In_channel.input_all
+  with Sys_error msg -> die "%s" msg
+
+let parse file text =
+  match Json.parse_result text with
+  | Ok v -> v
+  | Error msg -> die "%s: %s" file msg
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let jsonl_events file =
+  read file
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "")
+  |> List.map (parse file)
+
+(* FILE must contain NEEDLE (used on captured --stats stderr). *)
+let check_contains file needle =
+  if not (contains (read file) needle) then
+    die "%s: expected to find %S" file needle
+
+(* FILE must be a spans_to_json dump with at least one completed span. *)
+let check_trace file =
+  match Json.member "spans" (parse file (read file)) with
+  | Some (Json.Arr (_ :: _)) -> ()
+  | Some (Json.Arr []) -> die "%s: no spans recorded" file
+  | _ -> die "%s: no spans array" file
+
+(* Every line of FILE must parse as a JSON object (empty file is fine). *)
+let check_jsonl file =
+  List.iter
+    (function Json.Obj _ -> () | _ -> die "%s: line is not an object" file)
+    (jsonl_events file)
+
+(* FILE must be a flow journal: per-stage begin/end events present. *)
+let check_journal file =
+  let events = jsonl_events file in
+  if events = [] then die "%s: journal is empty" file;
+  let stage_events name =
+    List.filter_map
+      (fun e ->
+        match (Json.member "event" e, Json.member "attrs" e) with
+        | Some (Json.Str ev), Some attrs when ev = name ->
+          Option.bind (Json.member "stage" attrs) Json.to_str
+        | _ -> None)
+      events
+  in
+  let stages = [ "synthesis"; "mapping"; "placement"; "routing"; "timing" ] in
+  List.iter
+    (fun s ->
+      if not (List.mem s (stage_events "stage.begin")) then
+        die "%s: missing stage.begin for %s" file s;
+      if not (List.mem s (stage_events "stage.end")) then
+        die "%s: missing stage.end for %s" file s)
+    stages;
+  (* sequence numbers must be strictly increasing *)
+  let seqs =
+    List.filter_map (fun e -> Option.bind (Json.member "seq" e) Json.to_num) events
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a < b && monotone rest
+    | [ _ ] | [] -> true
+  in
+  if not (monotone seqs) then die "%s: seq numbers not increasing" file
+
+(* FILE must be a flow QoR report: the five stages in order, each with a
+   non-negative latency and a non-empty metrics object. *)
+let check_qor file =
+  let j = parse file (read file) in
+  (match Json.member "total_latency_s" j with
+  | Some (Json.Num t) when t >= 0.0 -> ()
+  | _ -> die "%s: bad total_latency_s" file);
+  let stages =
+    match Json.member "stages" j with
+    | Some (Json.Arr l) -> l
+    | _ -> die "%s: no stages array" file
+  in
+  let expected = [ "synthesis"; "mapping"; "placement"; "routing"; "timing" ] in
+  if List.length stages <> List.length expected then
+    die "%s: expected %d stages, found %d" file (List.length expected)
+      (List.length stages);
+  List.iter2
+    (fun name s ->
+      (match Json.member "stage" s with
+      | Some (Json.Str n) when n = name -> ()
+      | _ -> die "%s: stage out of order, expected %s" file name);
+      (match Json.member "latency_s" s with
+      | Some (Json.Num l) when l >= 0.0 -> ()
+      | _ -> die "%s: %s: bad latency_s" file name);
+      match Json.member "metrics" s with
+      | Some (Json.Obj (_ :: _)) -> ()
+      | _ -> die "%s: %s: empty metrics" file name)
+    expected stages
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "contains"; file; needle ] -> check_contains file needle
+  | [ _; "trace"; file ] -> check_trace file
+  | [ _; "jsonl"; file ] -> check_jsonl file
+  | [ _; "journal"; file ] -> check_journal file
+  | [ _; "qor"; file ] -> check_qor file
+  | _ ->
+    prerr_endline
+      "usage: check_obs {contains FILE NEEDLE | trace FILE | jsonl FILE | \
+       journal FILE | qor FILE}";
+    exit 2

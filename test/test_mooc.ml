@@ -465,6 +465,66 @@ let flow_tests =
         let r = M.Flow.run net in
         check Alcotest.bool "text" true
           (String.length (M.Flow.report_to_string r) > 100));
+    tc "QoR JSON report has one entry per stage" (fun () ->
+        let module Json = Vc_util.Json in
+        let net =
+          Vc_network.Network.of_exprs ~inputs:[ "a"; "b"; "c" ]
+            [ ("f", Vc_cube.Expr.parse "a b + c") ]
+        in
+        let r = M.Flow.run net in
+        let j = Json.parse (M.Flow.qor_to_json ~design:"unit" r) in
+        check Alcotest.bool "design" true
+          (Json.member "design" j = Some (Json.Str "unit"));
+        (match Json.member "total_latency_s" j with
+        | Some (Json.Num t) -> check Alcotest.bool "total >= 0" true (t >= 0.0)
+        | _ -> Alcotest.fail "no total_latency_s");
+        let stages =
+          match Json.member "stages" j with
+          | Some (Json.Arr l) -> l
+          | _ -> Alcotest.fail "no stages array"
+        in
+        let expected =
+          [
+            ("synthesis", "literals_after");
+            ("mapping", "area");
+            ("placement", "hpwl");
+            ("routing", "wirelength");
+            ("timing", "total_delay");
+          ]
+        in
+        check
+          Alcotest.(list string)
+          "stage names in flow order" (List.map fst expected)
+          (List.map
+             (fun s ->
+               match Json.member "stage" s with
+               | Some (Json.Str n) -> n
+               | _ -> Alcotest.fail "stage without a name")
+             stages);
+        List.iter2
+          (fun (name, metric) s ->
+            (match Json.member "latency_s" s with
+            | Some (Json.Num l) ->
+              check Alcotest.bool (name ^ " latency >= 0") true (l >= 0.0)
+            | _ -> Alcotest.fail (name ^ ": no latency_s"));
+            match Json.member "metrics" s with
+            | Some (Json.Obj ms) ->
+              check Alcotest.bool (name ^ " carries " ^ metric) true
+                (List.mem_assoc metric ms)
+            | _ -> Alcotest.fail (name ^ ": no metrics object"))
+          expected stages;
+        (* the numbers in the report and the record agree *)
+        let routing = List.nth stages 3 in
+        match
+          Option.bind (Json.member "metrics" routing) (Json.member "wirelength")
+        with
+        | Some wl ->
+          check Alcotest.bool "wirelength agrees" true
+            (match Json.to_num wl with
+            | Some w ->
+              int_of_float w = r.M.Flow.routing.Vc_route.Router.wirelength
+            | None -> false)
+        | None -> Alcotest.fail "no routing wirelength metric");
   ]
 
 let () =

@@ -11,155 +11,27 @@ let () =
   ignore Vc_route.Maze.stats;
   ignore Vc_place.Annealing.stats
 
-(* ------------------------------------------------------------------ *)
-(* a minimal JSON reader, enough to validate the renderers' output     *)
-(* without adding a dependency                                         *)
-(* ------------------------------------------------------------------ *)
+(* The renderer output is validated against the shared strict parser
+   (Vc_util.Json), which is itself exercised in test_util.ml. *)
+module Json = Vc_util.Json
+module Journal = Vc_util.Journal
+module Regress = Vc_util.Regress
 
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
+let parse_json = Json.parse
+let obj_field = Json.member
 
-let parse_json text =
-  let pos = ref 0 in
-  let len = String.length text in
-  let peek () = if !pos < len then Some text.[!pos] else None in
-  let advance () = incr pos in
-  let fail msg = failwith (Printf.sprintf "json: %s at %d" msg !pos) in
-  let skip_ws () =
-    while
-      !pos < len
-      && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-    do
-      advance ()
-    done
-  in
-  let expect c =
-    if peek () = Some c then advance ()
-    else fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word v =
-    if !pos + String.length word <= len
-       && String.sub text !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      v
-    end
-    else fail ("expected " ^ word)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' ->
-        advance ();
-        (match peek () with
-        | Some 'n' -> Buffer.add_char b '\n'
-        | Some 't' -> Buffer.add_char b '\t'
-        | Some 'r' -> Buffer.add_char b '\r'
-        | Some 'u' ->
-          advance ();
-          advance ();
-          advance ();
-          advance () (* 3 of 4 hex digits; 4th below *)
-        | Some c -> Buffer.add_char b c
-        | None -> fail "bad escape");
-        advance ();
-        go ()
-      | Some c ->
-        Buffer.add_char b c;
-        advance ();
-        go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    while
-      !pos < len
-      &&
-      match text.[!pos] with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    do
-      advance ()
-    done;
-    Num (float_of_string (String.sub text start (!pos - start)))
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Obj []
-      end
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ((k, v) :: acc)
-          | Some '}' ->
-            advance ();
-            Obj (List.rev ((k, v) :: acc))
-          | _ -> fail "expected ',' or '}'"
-        in
-        members []
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        Arr []
-      end
-      else begin
-        let rec items acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            items (v :: acc)
-          | Some ']' ->
-            advance ();
-            Arr (List.rev (v :: acc))
-          | _ -> fail "expected ',' or ']'"
-        in
-        items []
-      end
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> parse_number ()
-    | None -> fail "unexpected end"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> len then fail "trailing garbage";
-  v
-
-let obj_field name = function
-  | Obj fields -> List.assoc_opt name fields
-  | _ -> None
+(* Install a clock returning the given readings in order (then repeating
+   the last one), run [f], and restore the wall clock. *)
+let with_fake_clock readings f =
+  let remaining = ref readings and last = ref 0.0 in
+  T.set_clock (fun () ->
+      match !remaining with
+      | [] -> !last
+      | t :: rest ->
+        remaining := rest;
+        last := t;
+        t);
+  Fun.protect ~finally:(fun () -> T.set_clock Unix.gettimeofday) f
 
 (* ------------------------------------------------------------------ *)
 (* telemetry core                                                      *)
@@ -273,17 +145,17 @@ let json_tests =
         T.observe "j.timer" 0.002;
         let j = parse_json (T.to_json ()) in
         (match obj_field "counters" j with
-        | Some (Obj cs) ->
+        | Some (Json.Obj cs) ->
           check Alcotest.bool "counter present" true
             (match List.assoc_opt "j.count" cs with
-            | Some (Num 3.0) -> true
+            | Some (Json.Num 3.0) -> true
             | _ -> false)
         | _ -> Alcotest.fail "no counters object");
         match obj_field "timers" j with
-        | Some (Obj ts) ->
+        | Some (Json.Obj ts) ->
           check Alcotest.bool "timer has count" true
             (match List.assoc_opt "j.timer" ts with
-            | Some t -> obj_field "count" t = Some (Num 1.0)
+            | Some t -> obj_field "count" t = Some (Json.Num 1.0)
             | None -> false)
         | _ -> Alcotest.fail "no timers object");
     tc "spans_to_json parses with nesting and attrs" (fun () ->
@@ -293,23 +165,26 @@ let json_tests =
                T.with_span "child" (fun () -> ())));
         let j = parse_json (T.spans_to_json ()) in
         match obj_field "spans" j with
-        | Some (Arr [ root ]) ->
+        | Some (Json.Arr [ root ]) ->
           check Alcotest.bool "name" true
-            (obj_field "name" root = Some (Str "root"));
+            (obj_field "name" root = Some (Json.Str "root"));
           (match obj_field "attrs" root with
-          | Some (Obj [ ("k", Str s) ]) ->
+          | Some (Json.Obj [ ("k", Json.Str s) ]) ->
             check Alcotest.string "escaped attr round-trips" "v\"quoted\"" s
           | _ -> Alcotest.fail "attrs");
           (match obj_field "children" root with
-          | Some (Arr [ child ]) ->
+          | Some (Json.Arr [ child ]) ->
             check Alcotest.bool "child name" true
-              (obj_field "name" child = Some (Str "child"))
+              (obj_field "name" child = Some (Json.Str "child"))
           | _ -> Alcotest.fail "children")
         | _ -> Alcotest.fail "expected one root span");
     tc "cli_parse strips the flags and leaves the rest" (fun () ->
-        let argv, stats, trace =
+        let argv, stats, trace, journal =
           T.cli_parse
-            [| "prog"; "--stats"; "input.txt"; "--trace"; "t.json"; "-x" |]
+            [|
+              "prog"; "--stats"; "input.txt"; "--trace"; "t.json";
+              "--journal"; "j.jsonl"; "-x";
+            |]
         in
         check
           Alcotest.(array string)
@@ -317,7 +192,278 @@ let json_tests =
           [| "prog"; "input.txt"; "-x" |]
           argv;
         check Alcotest.bool "stats seen" true stats;
-        check Alcotest.(option string) "trace file" (Some "t.json") trace);
+        check Alcotest.(option string) "trace file" (Some "t.json") trace;
+        check Alcotest.(option string) "journal file" (Some "j.jsonl") journal);
+    tc "cli_parse without flags requests nothing" (fun () ->
+        let argv, stats, trace, journal =
+          T.cli_parse [| "prog"; "input.txt" |]
+        in
+        check Alcotest.(array string) "untouched" [| "prog"; "input.txt" |] argv;
+        check Alcotest.bool "no stats" false stats;
+        check Alcotest.(option string) "no trace" None trace;
+        check Alcotest.(option string) "no journal" None journal);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* clock clamping (the wall clock is not monotonic)                    *)
+(* ------------------------------------------------------------------ *)
+
+let clock_tests =
+  [
+    tc "a normal forward clock measures the difference" (fun () ->
+        with_fake_clock [ 10.0; 10.5 ] (fun () ->
+            T.reset ();
+            ignore (T.time "clk.fwd" (fun () -> ()));
+            match T.timer "clk.fwd" with
+            | Some s -> check (Alcotest.float 1e-9) "0.5s" 0.5 s.T.total_s
+            | None -> Alcotest.fail "no sample"));
+    tc "a backwards clock clamps timer samples to zero" (fun () ->
+        with_fake_clock [ 100.0; 50.0 ] (fun () ->
+            T.reset ();
+            ignore (T.time "clk.back" (fun () -> ()));
+            match T.timer "clk.back" with
+            | Some s ->
+              check (Alcotest.float 0.0) "clamped" 0.0 s.T.total_s;
+              check Alcotest.bool "non-negative" true (s.T.max_s >= 0.0)
+            | None -> Alcotest.fail "no sample"));
+    tc "a backwards clock clamps even when the body raises" (fun () ->
+        with_fake_clock [ 100.0; 50.0 ] (fun () ->
+            T.reset ();
+            (try T.time "clk.raise" (fun () -> failwith "boom")
+             with Failure _ -> ());
+            match T.timer "clk.raise" with
+            | Some s -> check (Alcotest.float 0.0) "clamped" 0.0 s.T.total_s
+            | None -> Alcotest.fail "no sample"));
+    tc "a backwards clock clamps span durations to zero" (fun () ->
+        with_fake_clock [ 100.0; 50.0 ] (fun () ->
+            T.reset ();
+            ignore (T.with_span "clk.span" (fun () -> ()));
+            match T.spans () with
+            | [ s ] ->
+              check Alcotest.bool "duration non-negative" true
+                (s.T.duration_s >= 0.0);
+              check (Alcotest.float 0.0) "clamped" 0.0 s.T.duration_s
+            | l -> Alcotest.fail (Printf.sprintf "%d spans" (List.length l))));
+    tc "journal timestamps come from the same injectable clock" (fun () ->
+        with_fake_clock [ 42.0 ] (fun () ->
+            Journal.clear ();
+            Journal.emit ~component:"test" "tick";
+            match Journal.events () with
+            | [ e ] -> check (Alcotest.float 0.0) "ts" 42.0 e.Journal.ev_ts
+            | l -> Alcotest.fail (Printf.sprintf "%d events" (List.length l))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* journal core: ring buffer, sinks, JSONL                             *)
+(* ------------------------------------------------------------------ *)
+
+let journal_tests =
+  [
+    tc "emit appends in order with monotone sequence numbers" (fun () ->
+        Journal.clear ();
+        Journal.emit ~component:"a" "first";
+        Journal.emit ~severity:Journal.Warn
+          ~attrs:[ ("k", "v") ]
+          ~component:"b" "second";
+        (match Journal.events () with
+        | [ e1; e2 ] ->
+          check Alcotest.bool "seq increases" true
+            (e2.Journal.ev_seq > e1.Journal.ev_seq);
+          check Alcotest.string "component" "b" e2.Journal.ev_component;
+          check Alcotest.string "name" "second" e2.Journal.ev_name;
+          check
+            Alcotest.(list (pair string string))
+            "attrs" [ ("k", "v") ] e2.Journal.ev_attrs;
+          check Alcotest.string "severity" "WARN"
+            (Journal.severity_to_string e2.Journal.ev_severity)
+        | l -> Alcotest.fail (Printf.sprintf "%d events" (List.length l)));
+        check Alcotest.int "count" 2 (Journal.event_count ()));
+    tc "the ring keeps only the newest events" (fun () ->
+        Journal.clear ();
+        let saved = Journal.ring_capacity () in
+        Journal.set_ring_capacity 4;
+        for i = 1 to 10 do
+          Journal.emit ~component:"ring" (Printf.sprintf "e%d" i)
+        done;
+        let names = List.map (fun e -> e.Journal.ev_name) (Journal.events ()) in
+        check
+          Alcotest.(list string)
+          "last four, oldest first"
+          [ "e7"; "e8"; "e9"; "e10" ]
+          names;
+        check Alcotest.int "total count unaffected" 10 (Journal.event_count ());
+        Journal.set_ring_capacity saved);
+    tc "set_ring_capacity rejects negatives" (fun () ->
+        check Alcotest.bool "raises" true
+          (match Journal.set_ring_capacity (-1) with
+          | () -> false
+          | exception Invalid_argument _ -> true));
+    tc "clear empties the ring and resets the count" (fun () ->
+        Journal.emit ~component:"x" "pre";
+        Journal.clear ();
+        check Alcotest.int "no events" 0 (List.length (Journal.events ()));
+        check Alcotest.int "count reset" 0 (Journal.event_count ()));
+    tc "event_to_json round-trips through the parser" (fun () ->
+        Journal.clear ();
+        Journal.emit ~severity:Journal.Error
+          ~attrs:[ ("why", "quote \" and newline \n") ]
+          ~component:"portal" "submission";
+        let e = List.hd (Journal.events ()) in
+        let j = parse_json (Journal.event_to_json e) in
+        check Alcotest.bool "seq" true
+          (obj_field "seq" j = Some (Json.Num (float_of_int e.Journal.ev_seq)));
+        check Alcotest.bool "severity" true
+          (obj_field "severity" j = Some (Json.Str "ERROR"));
+        check Alcotest.bool "component" true
+          (obj_field "component" j = Some (Json.Str "portal"));
+        check Alcotest.bool "event" true
+          (obj_field "event" j = Some (Json.Str "submission"));
+        match obj_field "attrs" j with
+        | Some (Json.Obj [ ("why", Json.Str s) ]) ->
+          check Alcotest.string "escaped attr round-trips"
+            "quote \" and newline \n" s
+        | _ -> Alcotest.fail "attrs");
+    tc "to_jsonl emits one parseable line per event" (fun () ->
+        Journal.clear ();
+        Journal.emit ~component:"a" "one";
+        Journal.emit ~component:"a" "two";
+        let lines =
+          String.split_on_char '\n' (Journal.to_jsonl ())
+          |> List.filter (fun l -> l <> "")
+        in
+        check Alcotest.int "two lines" 2 (List.length lines);
+        List.iter (fun l -> ignore (parse_json l)) lines);
+    tc "sinks see every event and can be removed" (fun () ->
+        Journal.clear ();
+        let seen = ref [] in
+        Journal.add_sink "test" (fun e -> seen := e.Journal.ev_name :: !seen);
+        Journal.emit ~component:"s" "visible";
+        Journal.remove_sink "test";
+        Journal.emit ~component:"s" "invisible";
+        check Alcotest.(list string) "one delivery" [ "visible" ] !seen);
+    tc "a raising sink is dropped instead of breaking emit" (fun () ->
+        Journal.clear ();
+        Journal.add_sink "bad" (fun _ -> failwith "disk full");
+        Journal.emit ~component:"s" "first";
+        (* the sink raised once and was removed; emit keeps working *)
+        Journal.emit ~component:"s" "second";
+        check Alcotest.int "both recorded" 2 (Journal.event_count ()));
+    tc "open_jsonl streams events to the file as JSON lines" (fun () ->
+        Journal.clear ();
+        let file = Filename.temp_file "journal" ".jsonl" in
+        Journal.open_jsonl file;
+        Journal.emit ~component:"f" ~attrs:[ ("n", "1") ] "flushed";
+        Journal.remove_sink ("jsonl:" ^ file);
+        let text = In_channel.with_open_text file In_channel.input_all in
+        Sys.remove file;
+        let lines =
+          String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+        in
+        check Alcotest.int "one line" 1 (List.length lines);
+        let j = parse_json (List.hd lines) in
+        check Alcotest.bool "event name" true
+          (obj_field "event" j = Some (Json.Str "flushed")));
+    tc "dump_flight_recorder formats the trailing window" (fun () ->
+        Journal.clear ();
+        for i = 1 to 40 do
+          Journal.emit ~component:"loop" (Printf.sprintf "it%d" i)
+        done;
+        let captured = Buffer.create 256 in
+        Journal.set_dump_printer (Buffer.add_string captured);
+        Fun.protect
+          ~finally:(fun () -> Journal.set_dump_printer prerr_string)
+          (fun () -> Journal.dump_flight_recorder ~limit:5 ~reason:"unit test" ());
+        let text = Buffer.contents captured in
+        let contains needle =
+          let nl = String.length needle and hl = String.length text in
+          let rec go i =
+            i + nl <= hl && (String.sub text i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        check Alcotest.bool "reason present" true (contains "unit test");
+        check Alcotest.bool "newest event present" true (contains "it40");
+        check Alcotest.bool "window start present" true (contains "it36");
+        check Alcotest.bool "older events excluded" false (contains "it35"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* regression gating (bench compare)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_dump ~mean ~hits =
+  Printf.sprintf
+    {|{"counters":{"portal.kbdd.cache_hits":%d,"portal.kbdd.submits":10},
+       "timers":{"portal.kbdd.latency":{"count":10,"total_s":%f,"mean_s":%f,
+                 "p50_s":%f,"p90_s":%f,"max_s":%f}},
+       "probes":{},"spans":0}|}
+    hits (10.0 *. mean) mean mean mean mean
+
+let qor_dump ~latency ~wirelength =
+  Printf.sprintf
+    {|{"stages":[{"stage":"routing","latency_s":%f,
+       "metrics":{"wirelength":%f,"nets_routed":4.0}}],"total_latency_s":%f}|}
+    latency wirelength latency
+
+let regress_tests =
+  [
+    tc "identical telemetry dumps pass the gate" (fun () ->
+        let j = parse_json (telemetry_dump ~mean:0.010 ~hits:9) in
+        let v = Regress.compare_json ~baseline:j ~current:j () in
+        check Alcotest.(list string) "no regressions" [] v.Regress.regressions;
+        check Alcotest.bool "compared something" true (v.Regress.compared > 0));
+    tc "a 2x latency regression trips the gate" (fun () ->
+        let base = parse_json (telemetry_dump ~mean:0.010 ~hits:9) in
+        let cur = parse_json (telemetry_dump ~mean:0.020 ~hits:9) in
+        let v = Regress.compare_json ~baseline:base ~current:cur () in
+        check Alcotest.bool "regression flagged" true
+          (v.Regress.regressions <> []));
+    tc "latency deltas under the noise floor are ignored" (fun () ->
+        (* 2x relative but only 10us absolute: below the 0.1ms floor *)
+        let base = parse_json (telemetry_dump ~mean:0.00001 ~hits:9) in
+        let cur = parse_json (telemetry_dump ~mean:0.00002 ~hits:9) in
+        let v = Regress.compare_json ~baseline:base ~current:cur () in
+        check Alcotest.(list string) "no regressions" [] v.Regress.regressions);
+    tc "fewer cache hits is a QoR regression" (fun () ->
+        let base = parse_json (telemetry_dump ~mean:0.010 ~hits:9) in
+        let cur = parse_json (telemetry_dump ~mean:0.010 ~hits:4) in
+        let v = Regress.compare_json ~baseline:base ~current:cur () in
+        check Alcotest.bool "regression flagged" true
+          (v.Regress.regressions <> []));
+    tc "flow QoR reports gate on per-stage metrics" (fun () ->
+        let base = parse_json (qor_dump ~latency:0.010 ~wirelength:17.0) in
+        let same = Regress.compare_json ~baseline:base ~current:base () in
+        check Alcotest.(list string) "identical passes" []
+          same.Regress.regressions;
+        let worse = parse_json (qor_dump ~latency:0.010 ~wirelength:34.0) in
+        let v = Regress.compare_json ~baseline:base ~current:worse () in
+        check Alcotest.bool "wirelength regression flagged" true
+          (v.Regress.regressions <> []);
+        let better = parse_json (qor_dump ~latency:0.010 ~wirelength:10.0) in
+        let v2 = Regress.compare_json ~baseline:base ~current:better () in
+        check Alcotest.(list string) "improvement is not a regression" []
+          v2.Regress.regressions;
+        check Alcotest.bool "improvement reported" true
+          (v2.Regress.improvements <> []));
+    tc "a doubled stage latency trips the gate" (fun () ->
+        let base = parse_json (qor_dump ~latency:0.010 ~wirelength:17.0) in
+        let cur = parse_json (qor_dump ~latency:0.020 ~wirelength:17.0) in
+        let v = Regress.compare_json ~baseline:base ~current:cur () in
+        check Alcotest.bool "latency regression flagged" true
+          (v.Regress.regressions <> []));
+    tc "render summarizes the verdict" (fun () ->
+        let base = parse_json (qor_dump ~latency:0.010 ~wirelength:17.0) in
+        let cur = parse_json (qor_dump ~latency:0.030 ~wirelength:17.0) in
+        let v = Regress.compare_json ~baseline:base ~current:cur () in
+        let text = Regress.render v in
+        check Alcotest.bool "mentions REGRESSIONS" true
+          (String.length text > 0
+          &&
+          let rec find i =
+            i + 11 <= String.length text
+            && (String.sub text i 11 = "REGRESSIONS" || find (i + 1))
+          in
+          find 0));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -448,6 +594,127 @@ let portal_tests =
           check Alcotest.bool "tool attr" true
             (List.assoc_opt "tool" sp.T.attrs = Some "kbdd")
         | _ -> ());
+    tc "counters stay monotone with the cache disabled" (fun () ->
+        let s = fresh () in
+        Portal.set_cache_capacity 0;
+        let input = "n 1\nrow 2\nrhs 4" in
+        let prev = ref (-1) in
+        for i = 1 to 4 do
+          ignore (Portal.submit s Portal.axb input);
+          let now = submits "axb" in
+          check Alcotest.bool "monotone" true (now > !prev);
+          check Alcotest.int "submits" i now;
+          check Alcotest.int "every submit executes" i (executions "axb");
+          prev := now
+        done;
+        check Alcotest.int "never a hit" 0 (hits "axb");
+        check Alcotest.int "nothing cached" 0 (Portal.cache_size ()));
+    tc "clear_cache mid-session forces re-execution, counters keep" (fun () ->
+        let s = fresh () in
+        let input = "n 1\nrow 2\nrhs 4" in
+        ignore (Portal.submit s Portal.axb input);
+        ignore (Portal.submit s Portal.axb input);
+        check Alcotest.int "one hit before clearing" 1 (hits "axb");
+        Portal.clear_cache ();
+        check Alcotest.int "cache emptied" 0 (Portal.cache_size ());
+        ignore (Portal.submit s Portal.axb input);
+        check Alcotest.int "re-executed after clear" 2 (executions "axb");
+        check Alcotest.int "hit counter kept its history" 1 (hits "axb");
+        check Alcotest.int "history intact" 3
+          (List.length (Portal.history s Portal.axb)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* portal <-> journal integration                                      *)
+(* ------------------------------------------------------------------ *)
+
+let journal_outcomes () =
+  List.filter_map
+    (fun e ->
+      if e.Journal.ev_component = "portal" && e.Journal.ev_name = "submission"
+      then List.assoc_opt "outcome" e.Journal.ev_attrs
+      else None)
+    (Journal.events ())
+
+let portal_journal_tests =
+  [
+    tc "each submission emits one journal event with its outcome" (fun () ->
+        let s = fresh () in
+        Journal.clear ();
+        let input = "boolean a b\nf = a & b\nsatcount f" in
+        ignore (Portal.submit s Portal.kbdd input);
+        ignore (Portal.submit s Portal.kbdd input);
+        check
+          Alcotest.(list string)
+          "executed then cache_hit"
+          [ "executed"; "cache_hit" ]
+          (journal_outcomes ());
+        (match Journal.events () with
+        | e :: _ ->
+          check Alcotest.bool "tool attr" true
+            (List.assoc_opt "tool" e.Journal.ev_attrs = Some "kbdd");
+          check Alcotest.bool "digest attr" true
+            (match List.assoc_opt "digest" e.Journal.ev_attrs with
+            | Some d -> String.length d = 32
+            | None -> false);
+          check Alcotest.bool "latency attr" true
+            (List.mem_assoc "latency_s" e.Journal.ev_attrs)
+        | [] -> Alcotest.fail "no events"));
+    tc "journal cache_hit events agree with the telemetry counter" (fun () ->
+        let s = fresh () in
+        Journal.clear ();
+        let input i = Printf.sprintf "n 1\nrow %d\nrhs %d" i i in
+        ignore (Portal.submit s Portal.axb (input 1));
+        ignore (Portal.submit s Portal.axb (input 1));
+        ignore (Portal.submit s Portal.axb (input 2));
+        ignore (Portal.submit s Portal.axb (input 1));
+        let hit_events =
+          List.length
+            (List.filter (fun o -> o = "cache_hit") (journal_outcomes ()))
+        in
+        check Alcotest.int "counter agrees" (hits "axb") hit_events;
+        check Alcotest.int "four events total" 4
+          (List.length (journal_outcomes ())));
+    tc "a runaway rejection logs an Error and dumps the recorder" (fun () ->
+        let s = fresh () in
+        Journal.clear ();
+        let captured = Buffer.create 256 in
+        Journal.set_dump_printer (Buffer.add_string captured);
+        let out =
+          Fun.protect
+            ~finally:(fun () -> Journal.set_dump_printer prerr_string)
+            (fun () ->
+              Portal.submit s Portal.kbdd
+                (String.concat "\n" (List.init 3000 (fun _ -> "x"))))
+        in
+        check Alcotest.bool "rejected" true
+          (String.length out >= 5 && String.sub out 0 5 = "error");
+        (* the submission event is there, marked Error, with a reason *)
+        let ev =
+          List.find
+            (fun e -> e.Journal.ev_name = "submission")
+            (Journal.events ())
+        in
+        check Alcotest.string "severity" "ERROR"
+          (Journal.severity_to_string ev.Journal.ev_severity);
+        check Alcotest.bool "outcome rejected" true
+          (List.assoc_opt "outcome" ev.Journal.ev_attrs = Some "rejected");
+        check Alcotest.bool "reason recorded" true
+          (List.mem_assoc "reason" ev.Journal.ev_attrs);
+        (* and the flight recorder dumped the trailing window *)
+        let text = Buffer.contents captured in
+        let contains needle =
+          let nl = String.length needle and hl = String.length text in
+          let rec go i =
+            i + nl <= hl && (String.sub text i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        check Alcotest.bool "dump happened" true (String.length text > 0);
+        check Alcotest.bool "names the runaway guard" true (contains "runaway");
+        check Alcotest.bool "names the tool" true (contains "kbdd");
+        check Alcotest.bool "window includes the flight recorder header" true
+          (contains "flight recorder"));
   ]
 
 let () =
@@ -455,5 +722,9 @@ let () =
     [
       ("telemetry", telemetry_tests);
       ("json", json_tests);
+      ("clock", clock_tests);
+      ("journal", journal_tests);
+      ("regress", regress_tests);
       ("portal-cache", portal_tests);
+      ("portal-journal", portal_journal_tests);
     ]

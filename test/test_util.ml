@@ -235,6 +235,69 @@ let tok_tests =
           (Tok.parse_float ~context:"c" "3"));
   ]
 
+(* ----------------------------- json ---------------------------- *)
+
+module Json = Vc_util.Json
+
+let json_tests =
+  [
+    tc "parses scalars, arrays and nested objects" (fun () ->
+        let j = Json.parse {| {"a": [1, -2.5, true, null], "b": {"c": "s"}} |} in
+        (match Json.member "a" j with
+        | Some (Json.Arr [ Json.Num 1.0; Json.Num -2.5; Json.Bool true; Json.Null ]) -> ()
+        | _ -> Alcotest.fail "array mismatch");
+        match Option.bind (Json.member "b" j) (Json.member "c") with
+        | Some (Json.Str "s") -> ()
+        | _ -> Alcotest.fail "nested member mismatch");
+    tc "string escapes round-trip through str and parse" (fun () ->
+        let original = "line\nwith \"quotes\", tab\t and backslash \\" in
+        match Json.parse (Json.str original) with
+        | Json.Str s -> check Alcotest.string "round-trip" original s
+        | _ -> Alcotest.fail "not a string");
+    tc "unicode escapes decode to UTF-8" (fun () ->
+        match Json.parse {| "é" |} with
+        | Json.Str s -> check Alcotest.string "e-acute" "\xc3\xa9" s
+        | _ -> Alcotest.fail "not a string");
+    tc "scientific notation and exponents parse" (fun () ->
+        check Alcotest.bool "1e3" true (Json.parse "1e3" = Json.Num 1000.0);
+        check Alcotest.bool "-2.5E-1" true
+          (Json.parse "-2.5E-1" = Json.Num (-0.25)));
+    tc "trailing garbage is rejected with a position" (fun () ->
+        match Json.parse "{} x" with
+        | exception Failure msg ->
+          check Alcotest.bool "position in message" true
+            (String.length msg > 0)
+        | _ -> Alcotest.fail "expected failure");
+    tc "parse_result reports malformed input as Error" (fun () ->
+        check Alcotest.bool "error" true
+          (match Json.parse_result "{\"unterminated\"" with
+          | Error _ -> true
+          | Ok _ -> false));
+    tc "emitters produce parseable documents" (fun () ->
+        let doc =
+          Json.obj
+            [
+              ("name", Json.str "k\"v");
+              ("n", Json.num 1.5);
+              ("i", Json.int 42);
+              ("l", Json.arr [ Json.int 1; Json.int 2 ]);
+            ]
+        in
+        let j = Json.parse doc in
+        check Alcotest.bool "name" true
+          (Json.member "name" j = Some (Json.Str "k\"v"));
+        check Alcotest.bool "i" true (Json.member "i" j = Some (Json.Num 42.0));
+        check Alcotest.bool "l" true
+          (Json.member "l" j = Some (Json.Arr [ Json.Num 1.0; Json.Num 2.0 ])));
+    tc "member and to_num accessors" (fun () ->
+        let j = Json.parse {| {"x": 3.5} |} in
+        check Alcotest.(option (float 0.0)) "x" (Some 3.5)
+          (Option.bind (Json.member "x" j) Json.to_num);
+        check Alcotest.bool "missing member" true (Json.member "y" j = None);
+        check Alcotest.bool "to_str on num" true
+          (Json.to_str (Json.Num 1.0) = None));
+  ]
+
 let () =
   Alcotest.run "util"
     [
@@ -243,4 +306,5 @@ let () =
       ("rng", rng_tests);
       ("stats", stats_tests);
       ("tok", tok_tests);
+      ("json", json_tests);
     ]
