@@ -1,5 +1,5 @@
 (* atpg: stuck-at test generation for a BLIF design (omitted-topic
-   extension). Usage: atpg [-compact] [--stats] [--trace FILE] [--journal FILE] <design.blif> *)
+   extension). Usage: atpg [-compact] [--stats] [--trace FILE] [--journal FILE] [--metrics-port N] <design.blif> *)
 
 let () =
   let argv = Vc_util.Telemetry.cli Sys.argv in
@@ -13,7 +13,7 @@ let () =
     argv;
   match !path with
   | None ->
-    prerr_endline "usage: atpg [-compact] [--stats] [--trace FILE] [--journal FILE] <design.blif>";
+    prerr_endline "usage: atpg [-compact] [--stats] [--trace FILE] [--journal FILE] [--metrics-port N] <design.blif>";
     exit 2
   | Some blif_path -> begin
     let blif = In_channel.with_open_text blif_path In_channel.input_all in

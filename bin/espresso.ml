@@ -1,10 +1,10 @@
 (* espresso: two-level minimization of a PLA file.
-   Usage: espresso [-exact|-single-pass|-joint] [--stats] [--trace FILE] [--journal FILE]
+   Usage: espresso [-exact|-single-pass|-joint] [--stats] [--trace FILE] [--journal FILE] [--metrics-port N]
           [pla-file] *)
 
 let usage () =
   prerr_endline
-    "usage: espresso [-exact|-single-pass|-joint] [--stats] [--trace FILE] [--journal FILE] \
+    "usage: espresso [-exact|-single-pass|-joint] [--stats] [--trace FILE] [--journal FILE] [--metrics-port N] \
      [pla-file]";
   exit 2
 

@@ -1,6 +1,6 @@
 (* flow: push-button logic-to-layout on a BLIF design.
    Usage: flow [-min-delay] [-svg out.svg] [--report out.json] [--stats]
-          [--trace FILE] [--journal FILE] <design.blif> *)
+          [--trace FILE] [--journal FILE] [--metrics-port N] <design.blif> *)
 
 let () =
   let argv = Vc_util.Telemetry.cli Sys.argv in
@@ -27,7 +27,7 @@ let () =
   | None ->
     prerr_endline
       "usage: flow [-min-delay] [-svg out.svg] [--report out.json] [--stats] \
-       [--trace FILE] [--journal FILE] <design.blif>";
+       [--trace FILE] [--journal FILE] [--metrics-port N] <design.blif>";
     exit 2
   | Some blif_path -> begin
     let blif = In_channel.with_open_text blif_path In_channel.input_all in

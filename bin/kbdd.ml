@@ -1,5 +1,5 @@
 (* kbdd: the BDD calculator portal tool as a command-line filter.
-   Usage: kbdd [--stats] [--trace FILE] [--journal FILE] [script-file]
+   Usage: kbdd [--stats] [--trace FILE] [--journal FILE] [--metrics-port N] [script-file]
    (stdin when no file is given) *)
 
 let read_input argv =
@@ -7,7 +7,7 @@ let read_input argv =
   | [| _ |] -> In_channel.input_all stdin
   | [| _; path |] -> In_channel.with_open_text path In_channel.input_all
   | _ ->
-    prerr_endline "usage: kbdd [--stats] [--trace FILE] [--journal FILE] [script-file]";
+    prerr_endline "usage: kbdd [--stats] [--trace FILE] [--journal FILE] [--metrics-port N] [script-file]";
     exit 2
 
 let () =

@@ -1,5 +1,5 @@
 (* minisat: CDCL SAT solving of a DIMACS file.
-   Usage: minisat [-dpll] [--stats] [--trace FILE] [--journal FILE] [cnf-file]
+   Usage: minisat [-dpll] [--stats] [--trace FILE] [--journal FILE] [--metrics-port N] [cnf-file]
    Exit code 10 = SAT, 20 = UNSAT. *)
 
 let () =

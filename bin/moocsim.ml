@@ -1,5 +1,5 @@
 (* moocsim: regenerate the paper's figures from the cohort model.
-   Usage: moocsim [--stats] [--trace FILE] [--journal FILE] [seed] *)
+   Usage: moocsim [--stats] [--trace FILE] [--journal FILE] [--metrics-port N] [seed] *)
 
 let () =
   let argv = Vc_util.Telemetry.cli Sys.argv in

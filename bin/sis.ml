@@ -1,5 +1,5 @@
 (* sis: multi-level logic optimization scripts over BLIF networks.
-   Usage: sis [--stats] [--trace FILE] [--journal FILE] <design.blif> [script-file]
+   Usage: sis [--stats] [--trace FILE] [--journal FILE] [--metrics-port N] <design.blif> [script-file]
    Without a script file the canned rugged script runs. The optimized
    network is written to stdout as BLIF after the script log. *)
 
@@ -34,5 +34,5 @@ let () =
       end
   end
   | _ ->
-    prerr_endline "usage: sis [--stats] [--trace FILE] [--journal FILE] <design.blif> [script-file]";
+    prerr_endline "usage: sis [--stats] [--trace FILE] [--journal FILE] [--metrics-port N] <design.blif> [script-file]";
     exit 2

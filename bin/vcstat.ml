@@ -1,0 +1,98 @@
+(* vcstat: offline analytics over --journal JSONL files.
+   Usage: vcstat summary [--format text|json] [--top N] FILE...
+          vcstat spans   [--format text|json] FILE
+          vcstat funnel  [--format text|json] FILE *)
+
+module Q = Vc_util.Journal_query
+
+let usage () =
+  prerr_endline
+    "usage: vcstat summary [--format text|json] [--top N] FILE...\n\
+    \       vcstat spans   [--format text|json] FILE\n\
+    \       vcstat funnel  [--format text|json] FILE\n\
+     Analyze journal JSONL files written by any tool's --journal FILE flag:\n\
+    \  summary  per-component/per-event counts, error rate, latency\n\
+    \           percentiles (p50/p90/p99) and the --top N slowest events\n\
+    \  spans    text flamegraph reconstructed from *.begin/*.end pairs\n\
+    \  funnel   participation funnel over Mooc.Cohort funnel.stage events";
+  exit 2
+
+type format = Text | Json
+
+let () =
+  let argv = Vc_util.Telemetry.cli Sys.argv in
+  let command = ref None
+  and format = ref Text
+  and top = ref 5
+  and files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--format" :: fmt :: rest ->
+      (match fmt with
+      | "text" -> format := Text
+      | "json" -> format := Json
+      | _ ->
+        Printf.eprintf "vcstat: unknown format %S (text or json)\n" fmt;
+        exit 2);
+      parse rest
+    | [ "--format" ] ->
+      prerr_endline "vcstat: --format requires an argument (text or json)";
+      exit 2
+    | "--top" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some v when v >= 0 -> top := v
+      | Some _ | None ->
+        Printf.eprintf "vcstat: --top: bad count %S\n" n;
+        exit 2);
+      parse rest
+    | [ "--top" ] ->
+      prerr_endline "vcstat: --top requires a count argument";
+      exit 2
+    | arg :: rest ->
+      (match !command with
+      | None -> command := Some arg
+      | Some _ -> files := arg :: !files);
+      parse rest
+  in
+  (match Array.to_list argv with _ :: rest -> parse rest | [] -> ());
+  let files = List.rev !files in
+  let load () =
+    if files = [] then begin
+      prerr_endline "vcstat: no journal file given";
+      usage ()
+    end;
+    match Q.load_files files with
+    | l ->
+      List.iter
+        (fun (line, msg) ->
+          Printf.eprintf "vcstat: warning: skipped malformed line %d: %s\n"
+            line msg)
+        l.Q.malformed;
+      l.Q.events
+    | exception Sys_error msg ->
+      Printf.eprintf "vcstat: %s\n" msg;
+      exit 1
+  in
+  match !command with
+  | Some "summary" ->
+    let s = Q.summarize ~top:!top (load ()) in
+    print_string
+      (match !format with
+      | Text -> Q.render_summary s
+      | Json -> Q.summary_to_json s ^ "\n")
+  | Some "spans" ->
+    let roots = Q.spans_of (load ()) in
+    print_string
+      (match !format with
+      | Text -> Q.render_spans roots
+      | Json -> Q.spans_to_json roots ^ "\n")
+  | Some "funnel" ->
+    let stages = Q.funnel_of (load ()) in
+    print_string
+      (match !format with
+      | Text -> Q.render_funnel stages
+      | Json -> Q.funnel_to_json stages ^ "\n")
+  | Some cmd ->
+    Printf.eprintf "vcstat: unknown command %S\n" cmd;
+    usage ()
+  | None -> usage ()

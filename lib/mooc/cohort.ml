@@ -35,6 +35,41 @@ let paper_params =
 
 let num_videos = 69
 
+type funnel = {
+  registered : int;
+  watched_video : int;
+  did_homework : int;
+  tried_software : int;
+  took_final : int;
+  certificates : int;
+}
+
+let funnel_of ps =
+  let count f = List.length (List.filter f ps) in
+  {
+    registered = List.length ps;
+    watched_video = count (fun p -> p.watched > 0);
+    did_homework = count (fun p -> p.did_homework);
+    tried_software = count (fun p -> p.tried_software);
+    took_final = count (fun p -> p.took_final);
+    certificates = count (fun p -> p.certificate);
+  }
+
+(* One journal event per funnel level, in funnel order, so vcstat funnel
+   can replay Fig. 8 from any moocsim --journal file. *)
+let journal_funnel f =
+  let stage name count =
+    Vc_util.Journal.emit ~component:"cohort"
+      ~attrs:[ ("stage", name); ("count", string_of_int count) ]
+      "funnel.stage"
+  in
+  stage "registered" f.registered;
+  stage "watched_video" f.watched_video;
+  stage "did_homework" f.did_homework;
+  stage "tried_software" f.tried_software;
+  stage "took_final" f.took_final;
+  stage "certificates" f.certificates
+
 let simulate ?(seed = 2013) params =
   let rng = Vc_util.Rng.create seed in
   let participant id =
@@ -73,27 +108,16 @@ let simulate ?(seed = 2013) params =
       { id; watched; did_homework; tried_software; took_final; certificate }
     end
   in
-  List.init params.registered participant
-
-type funnel = {
-  registered : int;
-  watched_video : int;
-  did_homework : int;
-  tried_software : int;
-  took_final : int;
-  certificates : int;
-}
-
-let funnel_of ps =
-  let count f = List.length (List.filter f ps) in
-  {
-    registered = List.length ps;
-    watched_video = count (fun p -> p.watched > 0);
-    did_homework = count (fun p -> p.did_homework);
-    tried_software = count (fun p -> p.tried_software);
-    took_final = count (fun p -> p.took_final);
-    certificates = count (fun p -> p.certificate);
-  }
+  let ps = List.init params.registered participant in
+  Vc_util.Journal.emit ~component:"cohort"
+    ~attrs:
+      [
+        ("seed", string_of_int seed);
+        ("registered", string_of_int params.registered);
+      ]
+    "cohort.simulated";
+  journal_funnel (funnel_of ps);
+  ps
 
 let paper_funnel =
   {

@@ -34,6 +34,10 @@ val paper_params : params
 (** Calibrated to the DAC'14 numbers. *)
 
 val simulate : ?seed:int -> params -> participant list
+(** Draw the cohort. Also journals the run (component ["cohort"]): one
+    ["cohort.simulated"] event plus one ["funnel.stage"] event per
+    funnel level in order (attributes [stage], [count]) - the input of
+    [vcstat funnel] ({!Vc_util.Journal_query.funnel_of}). *)
 
 type funnel = {
   registered : int;

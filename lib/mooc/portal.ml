@@ -178,6 +178,7 @@ module J = Vc_util.Journal
 
 let submit session tool input =
   let pre = "portal." ^ tool.tool_name in
+  T.define_histogram (pre ^ ".latency");
   T.incr (pre ^ ".submits");
   let outcome = ref "executed" and reject_reason = ref None in
   let t0 = T.now () in
@@ -231,6 +232,7 @@ let submit session tool input =
         | Some r -> [ ("reason", r) ]
         | None -> [])
     "submission";
+  T.set_gauge "portal.cache.size" (float_of_int (cache_size ()));
   (match !reject_reason with
   | Some reason ->
     J.dump_flight_recorder

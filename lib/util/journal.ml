@@ -99,12 +99,19 @@ let to_jsonl () =
     (List.map (fun e -> event_to_json e ^ "\n") (events ()))
 
 let open_jsonl file =
-  let oc = Out_channel.open_text file in
-  at_exit (fun () -> try Out_channel.close oc with Sys_error _ -> ());
-  add_sink ("jsonl:" ^ file) (fun e ->
-      Out_channel.output_string oc (event_to_json e);
-      Out_channel.output_char oc '\n';
-      Out_channel.flush oc)
+  (* A journal that cannot be written must never take the tool down:
+     warn once and run without the sink (write failures mid-run are
+     handled the same way by [emit], which detaches a raising sink). *)
+  match Out_channel.open_text file with
+  | exception Sys_error msg ->
+    Printf.eprintf "journal: cannot open %s (%s); continuing without it\n%!"
+      file msg
+  | oc ->
+    at_exit (fun () -> try Out_channel.close oc with Sys_error _ -> ());
+    add_sink ("jsonl:" ^ file) (fun e ->
+        Out_channel.output_string oc (event_to_json e);
+        Out_channel.output_char oc '\n';
+        Out_channel.flush oc)
 
 (* ------------------------------------------------------------------ *)
 (* flight recorder dumps                                               *)

@@ -94,7 +94,11 @@ val open_jsonl : string -> unit
 (** Install a sink (named ["jsonl:FILE"]) streaming every event to
     [FILE] as JSON Lines, flushed per line; the channel is closed at
     process exit. Truncates an existing file. This is what
-    [--journal FILE] installs. *)
+    [--journal FILE] installs. Degrades instead of failing: if [FILE]
+    cannot be opened, one warning goes to stderr and no sink is
+    installed; if a write fails mid-run (disk full, closed descriptor),
+    {!emit}'s sink guard prints one warning and detaches the sink - the
+    tool keeps running either way. *)
 
 (** {1 Flight recorder} *)
 

@@ -1,0 +1,459 @@
+(* Offline analytics over journal JSONL files - the read side of
+   Journal.open_jsonl. Everything here is pure over decoded event lists
+   so bin/vcstat stays a thin argument-parsing shell and the test suite
+   can drive the analytics directly. *)
+
+type load = {
+  events : Journal.event list;  (** Decoded events, file order. *)
+  malformed : (int * string) list;  (** 1-based line number, error. *)
+}
+
+let severity_of_string = function
+  | "DEBUG" -> Some Journal.Debug
+  | "INFO" -> Some Journal.Info
+  | "WARN" -> Some Journal.Warn
+  | "ERROR" -> Some Journal.Error
+  | _ -> None
+
+let parse_line line =
+  match Json.parse_result line with
+  | Error e -> Error e
+  | Ok j -> (
+    let str_field name =
+      match Option.bind (Json.member name j) Json.to_str with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "missing string field %S" name)
+    in
+    let num_field name =
+      match Option.bind (Json.member name j) Json.to_num with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "missing numeric field %S" name)
+    in
+    let ( let* ) = Result.bind in
+    let* seq = num_field "seq" in
+    let* ts = num_field "ts" in
+    let* sev_s = str_field "severity" in
+    let* component = str_field "component" in
+    let* name = str_field "event" in
+    match severity_of_string sev_s with
+    | None -> Error (Printf.sprintf "unknown severity %S" sev_s)
+    | Some severity ->
+      let attrs =
+        match Json.member "attrs" j with
+        | Some (Json.Obj fields) ->
+          List.filter_map
+            (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_str v))
+            fields
+        | _ -> []
+      in
+      Ok
+        {
+          Journal.ev_seq = int_of_float seq;
+          ev_ts = ts;
+          ev_severity = severity;
+          ev_component = component;
+          ev_name = name;
+          ev_attrs = attrs;
+        })
+
+let load_file file =
+  In_channel.with_open_text file (fun ic ->
+      let events = ref [] and malformed = ref [] and lineno = ref 0 in
+      (try
+         while true do
+           match In_channel.input_line ic with
+           | None -> raise Exit
+           | Some line ->
+             incr lineno;
+             if String.trim line <> "" then begin
+               match parse_line line with
+               | Ok e -> events := e :: !events
+               | Error msg -> malformed := (!lineno, msg) :: !malformed
+             end
+         done
+       with Exit -> ());
+      { events = List.rev !events; malformed = List.rev !malformed })
+
+let load_files files =
+  List.fold_left
+    (fun acc file ->
+      let l = load_file file in
+      { events = acc.events @ l.events; malformed = acc.malformed @ l.malformed })
+    { events = []; malformed = [] }
+    files
+
+(* ------------------------------------------------------------------ *)
+(* summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let latency_of (e : Journal.event) =
+  Option.bind (List.assoc_opt "latency_s" e.Journal.ev_attrs) float_of_string_opt
+
+type latency_stats = {
+  l_count : int;
+  l_mean_s : float;
+  l_p50_s : float;
+  l_p90_s : float;
+  l_p99_s : float;
+  l_max_s : float;
+}
+
+let latency_stats_of samples =
+  match samples with
+  | [] -> None
+  | _ ->
+    Some
+      {
+        l_count = List.length samples;
+        l_mean_s = Stats.mean samples;
+        l_p50_s = Stats.percentile samples 50.0;
+        l_p90_s = Stats.percentile samples 90.0;
+        l_p99_s = Stats.percentile samples 99.0;
+        l_max_s = Stats.maximum samples;
+      }
+
+type summary = {
+  s_total : int;
+  s_by_component : (string * int) list;  (** Sorted by name. *)
+  s_by_event : (string * int) list;  (** [component.event], sorted. *)
+  s_by_severity : (string * int) list;  (** Only present severities. *)
+  s_errors : int;
+  s_error_rate : float;  (** ERROR events / total (0 when empty). *)
+  s_latency : latency_stats option;  (** Over every latency-bearing event. *)
+  s_latency_by_event : (string * latency_stats) list;
+  s_slowest : (Journal.event * float) list;  (** Slowest first. *)
+}
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let sorted_counts tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let event_key (e : Journal.event) =
+  e.Journal.ev_component ^ "." ^ e.Journal.ev_name
+
+let summarize ?(top = 5) events =
+  let by_component = Hashtbl.create 16
+  and by_event = Hashtbl.create 16
+  and by_severity = Hashtbl.create 4
+  and by_event_latency : (string, float list ref) Hashtbl.t = Hashtbl.create 16
+  and latencies = ref []
+  and timed = ref []
+  and errors = ref 0 in
+  List.iter
+    (fun (e : Journal.event) ->
+      bump by_component e.Journal.ev_component;
+      bump by_event (event_key e);
+      bump by_severity (Journal.severity_to_string e.Journal.ev_severity);
+      if e.Journal.ev_severity = Journal.Error then incr errors;
+      match latency_of e with
+      | None -> ()
+      | Some l ->
+        latencies := l :: !latencies;
+        timed := (e, l) :: !timed;
+        let key = event_key e in
+        (match Hashtbl.find_opt by_event_latency key with
+        | Some r -> r := l :: !r
+        | None -> Hashtbl.add by_event_latency key (ref [ l ])))
+    events;
+  let total = List.length events in
+  let slowest =
+    let sorted =
+      List.stable_sort (fun (_, a) (_, b) -> compare b a) (List.rev !timed)
+    in
+    List.filteri (fun i _ -> i < top) sorted
+  in
+  {
+    s_total = total;
+    s_by_component = sorted_counts by_component;
+    s_by_event = sorted_counts by_event;
+    s_by_severity = sorted_counts by_severity;
+    s_errors = !errors;
+    s_error_rate = (if total = 0 then 0.0 else float_of_int !errors /. float_of_int total);
+    s_latency = latency_stats_of !latencies;
+    s_latency_by_event =
+      List.sort compare
+        (Hashtbl.fold
+           (fun k r acc ->
+             match latency_stats_of !r with
+             | Some s -> (k, s) :: acc
+             | None -> acc)
+           by_event_latency []);
+    s_slowest = slowest;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type qspan = {
+  q_name : string;
+  q_start_s : float;
+  q_duration_s : float;
+  q_children : qspan list;  (** Oldest first. *)
+}
+
+(* A begin/end pair is an event name ending in ".begin" / ".end" with
+   the same prefix, same component and (when present) the same "stage"
+   attribute - flow's stage.begin/stage.end is the canonical producer.
+   Reconstruction is a stack walk in sequence order; an end with no
+   matching open frame is ignored, frames left open at EOF close at the
+   last seen timestamp. *)
+let spans_of events =
+  let suffix s suf =
+    String.length s > String.length suf
+    && String.sub s (String.length s - String.length suf) (String.length suf)
+       = suf
+  in
+  let prefix_of s suf = String.sub s 0 (String.length s - String.length suf) in
+  let key (e : Journal.event) p =
+    (e.Journal.ev_component, p, List.assoc_opt "stage" e.Journal.ev_attrs)
+  in
+  let label (e : Journal.event) p =
+    e.Journal.ev_component ^ "/"
+    ^ match List.assoc_opt "stage" e.Journal.ev_attrs with
+      | Some s -> s
+      | None -> p
+  in
+  (* open frames, innermost first: (key, label, start, children acc) *)
+  let stack = ref [] in
+  let roots = ref [] in
+  let last_ts = ref 0.0 in
+  let close_top ts =
+    match !stack with
+    | [] -> ()
+    | (_, lbl, start, kids) :: rest ->
+      stack := rest;
+      let sp =
+        {
+          q_name = lbl;
+          q_start_s = start;
+          q_duration_s = Float.max 0.0 (ts -. start);
+          q_children = List.rev !kids;
+        }
+      in
+      (match !stack with
+      | (_, _, _, pkids) :: _ -> pkids := sp :: !pkids
+      | [] -> roots := sp :: !roots)
+  in
+  List.iter
+    (fun (e : Journal.event) ->
+      last_ts := e.Journal.ev_ts;
+      if suffix e.Journal.ev_name ".begin" then begin
+        let p = prefix_of e.Journal.ev_name ".begin" in
+        stack := (key e p, label e p, e.Journal.ev_ts, ref []) :: !stack
+      end
+      else if suffix e.Journal.ev_name ".end" then begin
+        let p = prefix_of e.Journal.ev_name ".end" in
+        let k = key e p in
+        if List.exists (fun (k', _, _, _) -> k' = k) !stack then begin
+          (* close unterminated inner frames at this timestamp first *)
+          while (match !stack with
+                 | (k', _, _, _) :: _ -> k' <> k
+                 | [] -> false)
+          do
+            close_top e.Journal.ev_ts
+          done;
+          close_top e.Journal.ev_ts
+        end
+      end)
+    events;
+  while !stack <> [] do
+    close_top !last_ts
+  done;
+  List.rev !roots
+
+(* ------------------------------------------------------------------ *)
+(* funnel                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type funnel_stage = { f_stage : string; f_count : int }
+
+(* Mooc.Cohort.simulate emits one "funnel.stage" event per funnel level,
+   in order, with "stage" and "count" attributes. *)
+let funnel_of events =
+  List.filter_map
+    (fun (e : Journal.event) ->
+      if e.Journal.ev_name <> "funnel.stage" then None
+      else
+        match
+          ( List.assoc_opt "stage" e.Journal.ev_attrs,
+            Option.bind
+              (List.assoc_opt "count" e.Journal.ev_attrs)
+              int_of_string_opt )
+        with
+        | Some stage, Some count -> Some { f_stage = stage; f_count = count }
+        | _ -> None)
+    events
+
+(* ------------------------------------------------------------------ *)
+(* renderers: text                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ms v = v *. 1e3
+
+let render_latency_line name (s : latency_stats) =
+  Printf.sprintf "  %-28s %6d %9.3f %9.3f %9.3f %9.3f\n" name s.l_count
+    (ms s.l_p50_s) (ms s.l_p90_s) (ms s.l_p99_s) (ms s.l_max_s)
+
+let render_summary s =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "events: %d   errors: %d (%.2f%%)\n" s.s_total s.s_errors
+       (100.0 *. s.s_error_rate));
+  if s.s_by_component <> [] then begin
+    Buffer.add_string b "by component:\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %-28s %6d\n" k v))
+      s.s_by_component
+  end;
+  if s.s_by_event <> [] then begin
+    Buffer.add_string b "by event:\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %-28s %6d\n" k v))
+      s.s_by_event
+  end;
+  if s.s_by_severity <> [] then begin
+    Buffer.add_string b "by severity:\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %-28s %6d\n" k v))
+      s.s_by_severity
+  end;
+  (match s.s_latency with
+  | None -> ()
+  | Some all ->
+    Buffer.add_string b
+      "latency (count / p50 ms / p90 ms / p99 ms / max ms):\n";
+    Buffer.add_string b (render_latency_line "(all)" all);
+    List.iter
+      (fun (k, st) -> Buffer.add_string b (render_latency_line k st))
+      s.s_latency_by_event);
+  if s.s_slowest <> [] then begin
+    Buffer.add_string b "slowest events:\n";
+    List.iter
+      (fun ((e : Journal.event), l) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %9.3f ms  [%d] %s%s\n" (ms l) e.Journal.ev_seq
+             (event_key e)
+             (match List.assoc_opt "stage" e.Journal.ev_attrs with
+             | Some st -> " stage=" ^ st
+             | None -> (
+               match List.assoc_opt "tool" e.Journal.ev_attrs with
+               | Some t -> " tool=" ^ t
+               | None -> ""))))
+      s.s_slowest
+  end;
+  Buffer.contents b
+
+let render_spans roots =
+  let b = Buffer.create 1024 in
+  let total =
+    List.fold_left (fun acc sp -> acc +. sp.q_duration_s) 0.0 roots
+  in
+  let rec go depth sp =
+    Buffer.add_string b
+      (Printf.sprintf "%s%-*s %9.3f ms  %s\n"
+         (String.make (2 * depth) ' ')
+         (max 1 (30 - (2 * depth)))
+         sp.q_name (ms sp.q_duration_s)
+         (Stats.bar ~width:40 sp.q_duration_s (Float.max total 1e-12)));
+    List.iter (go (depth + 1)) sp.q_children
+  in
+  List.iter (go 0) roots;
+  if roots <> [] then
+    Buffer.add_string b (Printf.sprintf "total: %.3f ms over %d span(s)\n"
+                           (ms total) (List.length roots));
+  Buffer.contents b
+
+let render_funnel stages =
+  let b = Buffer.create 512 in
+  let first = match stages with s :: _ -> max 1 s.f_count | [] -> 1 in
+  List.iteri
+    (fun i s ->
+      let prev =
+        if i = 0 then s.f_count else (List.nth stages (i - 1)).f_count
+      in
+      let pct base v =
+        if base <= 0 then 0.0 else 100.0 *. float_of_int v /. float_of_int base
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  %-18s %7d  %5.1f%% of start  %5.1f%% of prev  %s\n"
+           s.f_stage s.f_count
+           (pct first s.f_count)
+           (pct (max 1 prev) s.f_count)
+           (Stats.bar ~width:40 (float_of_int s.f_count) (float_of_int first))))
+    stages;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* renderers: JSON                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let latency_json (s : latency_stats) =
+  Json.obj
+    [
+      ("count", Json.int s.l_count);
+      ("mean_s", Json.num s.l_mean_s);
+      ("p50_s", Json.num s.l_p50_s);
+      ("p90_s", Json.num s.l_p90_s);
+      ("p99_s", Json.num s.l_p99_s);
+      ("max_s", Json.num s.l_max_s);
+    ]
+
+let summary_to_json s =
+  let counts kvs = Json.obj (List.map (fun (k, v) -> (k, Json.int v)) kvs) in
+  Json.obj
+    [
+      ("events", Json.int s.s_total);
+      ("errors", Json.int s.s_errors);
+      ("error_rate", Json.num s.s_error_rate);
+      ("by_component", counts s.s_by_component);
+      ("by_event", counts s.s_by_event);
+      ("by_severity", counts s.s_by_severity);
+      ( "latency",
+        match s.s_latency with
+        | Some all ->
+          Json.obj
+            (("all", latency_json all)
+            :: List.map (fun (k, st) -> (k, latency_json st)) s.s_latency_by_event
+            )
+        | None -> Json.obj [] );
+      ( "slowest",
+        Json.arr
+          (List.map
+             (fun ((e : Journal.event), l) ->
+               Json.obj
+                 [
+                   ("seq", Json.int e.Journal.ev_seq);
+                   ("event", Json.str (event_key e));
+                   ("latency_s", Json.num l);
+                 ])
+             s.s_slowest) );
+    ]
+
+let rec span_json sp =
+  Json.obj
+    [
+      ("name", Json.str sp.q_name);
+      ("start_s", Json.num sp.q_start_s);
+      ("duration_s", Json.num sp.q_duration_s);
+      ("children", Json.arr (List.map span_json sp.q_children));
+    ]
+
+let spans_to_json roots =
+  Json.obj [ ("spans", Json.arr (List.map span_json roots)) ]
+
+let funnel_to_json stages =
+  Json.obj
+    [
+      ( "funnel",
+        Json.arr
+          (List.map
+             (fun s ->
+               Json.obj
+                 [
+                   ("stage", Json.str s.f_stage); ("count", Json.int s.f_count);
+                 ])
+             stages) );
+    ]

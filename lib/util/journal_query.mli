@@ -1,0 +1,126 @@
+(** Offline analytics over {!Journal} JSONL files - the read side of
+    [--journal FILE], and the engine behind [bin/vcstat].
+
+    Every tool under [bin/] can stream its event log to disk; this
+    module parses those files back into {!Journal.event} values and
+    answers the three operator questions the paper's portal team needed
+    at 17,000-participant scale: {e what happened} ({!summarize} -
+    per-component/per-event counts, error rate, latency percentiles,
+    slowest events), {e where did the time go} ({!spans_of} - a span
+    forest reconstructed from [*.begin]/[*.end] event pairs, rendered as
+    a text flamegraph) and {e how far did participants get}
+    ({!funnel_of} - the Fig. 8 participation funnel over
+    [Mooc.Cohort]'s ["funnel.stage"] events).
+
+    All analytics are pure functions over event lists; only
+    {!load_file}/{!load_files} touch the filesystem. *)
+
+(** {1 Loading} *)
+
+type load = {
+  events : Journal.event list;  (** Decoded events, file order. *)
+  malformed : (int * string) list;
+      (** Lines that failed to decode: 1-based line number (per file)
+          and the parse error. Blank lines are skipped silently. *)
+}
+
+val parse_line : string -> (Journal.event, string) result
+(** Decode one JSONL line (the {!Journal.event_to_json} schema: [seq],
+    [ts], [severity], [component], [event], [attrs]). Non-string attr
+    values are dropped; a missing/invalid required field is an
+    [Error]. *)
+
+val load_file : string -> load
+(** Parse one journal file, keeping going past malformed lines.
+    @raise Sys_error if the file cannot be opened. *)
+
+val load_files : string list -> load
+(** {!load_file} over several files, events concatenated in argument
+    order. *)
+
+(** {1 Summary} *)
+
+val latency_of : Journal.event -> float option
+(** The event's ["latency_s"] attribute as seconds, if present and
+    numeric - carried by portal ["submission"] and flow ["stage.end"]
+    events. *)
+
+type latency_stats = {
+  l_count : int;
+  l_mean_s : float;
+  l_p50_s : float;  (** Nearest-rank ({!Stats.percentile}). *)
+  l_p90_s : float;
+  l_p99_s : float;
+  l_max_s : float;
+}
+
+type summary = {
+  s_total : int;
+  s_by_component : (string * int) list;  (** Sorted by name. *)
+  s_by_event : (string * int) list;
+      (** Keyed [component.event], sorted. *)
+  s_by_severity : (string * int) list;  (** Only present severities. *)
+  s_errors : int;
+  s_error_rate : float;  (** [ERROR] events / total events; 0 if empty. *)
+  s_latency : latency_stats option;
+      (** Across every latency-bearing event; [None] if there are
+          none. *)
+  s_latency_by_event : (string * latency_stats) list;
+      (** Per [component.event], sorted. *)
+  s_slowest : (Journal.event * float) list;
+      (** The [top] slowest latency-bearing events, slowest first. *)
+}
+
+val summarize : ?top:int -> Journal.event list -> summary
+(** Aggregate an event list ([top] slowest events kept, default 5). *)
+
+(** {1 Spans} *)
+
+type qspan = {
+  q_name : string;
+      (** [component/stage-attr], or [component/prefix] when the events
+          carry no ["stage"] attribute. *)
+  q_start_s : float;  (** Timestamp of the [.begin] event. *)
+  q_duration_s : float;  (** End minus begin timestamp, clamped >= 0. *)
+  q_children : qspan list;  (** Oldest first. *)
+}
+
+val spans_of : Journal.event list -> qspan list
+(** Reconstruct the span forest from [*.begin]/[*.end] event pairs
+    (matched on component, name prefix and the ["stage"] attribute when
+    present), in event order. A begin inside an open span nests under
+    it; an end with no matching open span is ignored; spans left open
+    at the end of the log are closed at the last seen timestamp. *)
+
+(** {1 Funnel} *)
+
+type funnel_stage = { f_stage : string; f_count : int }
+
+val funnel_of : Journal.event list -> funnel_stage list
+(** The ["funnel.stage"] events (attributes [stage], [count]) in log
+    order - what [Mooc.Cohort.simulate] emits, echoing the paper's
+    Fig. 8 participation funnel. *)
+
+(** {1 Renderers}
+
+    Text renderers produce human-readable reports; the [_to_json]
+    renderers produce machine-readable documents through {!Json} (these
+    are what [vcstat --format json] prints). *)
+
+val render_summary : summary -> string
+val render_spans : qspan list -> string
+(** Indented text flamegraph: one line per span with duration and an
+    ASCII bar scaled to the total of the root spans. *)
+
+val render_funnel : funnel_stage list -> string
+(** One line per stage with the count, percent-of-start,
+    percent-of-previous and a proportional bar. *)
+
+val summary_to_json : summary -> string
+(** Fields [events], [errors], [error_rate], [by_component],
+    [by_event], [by_severity], [latency] (an object keyed ["all"] plus
+    one entry per [component.event], each with
+    [count]/[mean_s]/[p50_s]/[p90_s]/[p99_s]/[max_s]) and [slowest]. *)
+
+val spans_to_json : qspan list -> string
+val funnel_to_json : funnel_stage list -> string

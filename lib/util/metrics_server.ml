@@ -1,0 +1,183 @@
+(* Single-threaded HTTP/1.1 exporter over the stdlib Unix socket API.
+   One connection at a time, Connection: close - a scrape is a few KB of
+   text, so the simple loop keeps up with any sane scrape interval. *)
+
+type t = {
+  sock : Unix.file_descr;
+  bound_port : int;
+  metrics : unit -> string;
+  on_request : string -> unit;
+  mutable stopped : bool;
+}
+
+let port t = t.bound_port
+
+(* A scraper that hangs up mid-response turns our write into SIGPIPE,
+   which would kill the process; ignore it and let write raise EPIPE. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+let start ?(addr = "127.0.0.1") ?(announce = true) ?(on_request = ignore)
+    ~metrics ~port () =
+  ignore_sigpipe ();
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+     Unix.listen sock 16
+   with
+  | () -> ()
+  | exception e ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    raise e);
+  let bound_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  if announce then
+    Printf.eprintf "metrics: serving http://%s:%d/metrics\n%!" addr bound_port;
+  { sock; bound_port; metrics; on_request; stopped = false }
+
+(* ------------------------------------------------------------------ *)
+(* request/response                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Read until the end of the request head (blank line) or a size cap;
+   we never read a body - both routes are GET. *)
+let read_head fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec loop () =
+    if Buffer.length buf > 8192 then Buffer.contents buf
+    else begin
+      let n =
+        try Unix.read fd chunk 0 (Bytes.length chunk)
+        with Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+      in
+      if n = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        let has_terminator =
+          let rec find i =
+            i + 4 <= String.length s
+            && (String.sub s i 4 = "\r\n\r\n" || find (i + 1))
+          in
+          String.length s >= 4
+          && (find 0
+             ||
+             let rec find_nl i =
+               i + 2 <= String.length s
+               && (String.sub s i 2 = "\n\n" || find_nl (i + 1))
+             in
+             find_nl 0)
+        in
+        if has_terminator then s else loop ()
+      end
+    end
+  in
+  loop ()
+
+let request_line head =
+  match String.index_opt head '\n' with
+  | None -> head
+  | Some i -> String.trim (String.sub head 0 i)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      let n = Unix.write fd b off (Bytes.length b - off) in
+      go (off + n)
+  in
+  try go 0 with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+
+let response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let route t line =
+  match String.split_on_char ' ' line with
+  | meth :: path :: _ when meth <> "GET" ->
+    t.on_request path;
+    response ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+      "method not allowed\n"
+  | "GET" :: path :: _ -> begin
+    t.on_request path;
+    (* strip any query string before routing *)
+    let path =
+      match String.index_opt path '?' with
+      | Some i -> String.sub path 0 i
+      | None -> path
+    in
+    match path with
+    | "/metrics" ->
+      let body =
+        match t.metrics () with
+        | body -> body
+        | exception e ->
+          Printf.sprintf "# metrics renderer failed: %s\n"
+            (Printexc.to_string e)
+      in
+      response ~status:"200 OK"
+        ~content_type:"text/plain; version=0.0.4; charset=utf-8" body
+    | "/healthz" ->
+      response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+    | _ ->
+      response ~status:"404 Not Found" ~content_type:"text/plain"
+        "not found (try /metrics or /healthz)\n"
+  end
+  | _ ->
+    response ~status:"400 Bad Request" ~content_type:"text/plain"
+      "bad request\n"
+
+let handle_client t fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let head = read_head fd in
+      if head <> "" then write_all fd (route t (request_line head)))
+
+(* ------------------------------------------------------------------ *)
+(* serving loops                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let accept_one t =
+  match Unix.accept t.sock with
+  | fd, _ ->
+    (match handle_client t fd with
+    | () -> ()
+    | exception e ->
+      Printf.eprintf "metrics: request handler failed: %s\n%!"
+        (Printexc.to_string e));
+    true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
+  | exception Unix.Unix_error (Unix.EBADF, _, _) -> false (* stopped *)
+  | exception Unix.Unix_error (Unix.EINVAL, _, _) -> false (* stopped *)
+
+let serve ?max_requests t =
+  match max_requests with
+  | Some n ->
+    let i = ref 0 in
+    while !i < n && not t.stopped do
+      if accept_one t then incr i else i := n
+    done
+  | None ->
+    let live = ref true in
+    while !live && not t.stopped do
+      live := accept_one t
+    done
+
+let serve_forever t =
+  serve t;
+  (* only reachable after stop (); behave like a clean shutdown *)
+  exit 0
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end

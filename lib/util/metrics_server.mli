@@ -1,0 +1,72 @@
+(** A zero-dependency, single-threaded HTTP metrics exporter built on the
+    [Unix] library shipped with the compiler - the live read side of the
+    observability layer.
+
+    The server owns one listening TCP socket and answers two routes:
+
+    - [GET /metrics] - the Prometheus text exposition produced by the
+      [metrics] thunk given to {!start} (every binary passes
+      [Telemetry.to_prometheus]);
+    - [GET /healthz] - ["ok\n"], for load-balancer liveness checks.
+
+    Anything else is a 404; non-GET methods are a 405. Connections are
+    served one at a time on the caller's thread ([Connection: close], no
+    keep-alive), which matches the single-threaded worker model of the
+    rest of the repository: a scrape is a few kilobytes of text, so a
+    serving loop keeps up with any reasonable scrape interval.
+
+    Every binary under [bin/] exposes this through the
+    [--metrics-port N] flag of {!Telemetry.cli}: the socket is bound (and
+    the bound address announced on stderr) before the tool's main work
+    starts, scrape connections queue in the listen backlog while it runs,
+    and at exit the process stays alive serving [/metrics] until killed.
+    Port [0] asks the kernel for an ephemeral port - the announcement is
+    how a test harness learns which one. *)
+
+type t
+(** A bound, listening exporter. *)
+
+val start :
+  ?addr:string ->
+  ?announce:bool ->
+  ?on_request:(string -> unit) ->
+  metrics:(unit -> string) ->
+  port:int ->
+  unit ->
+  t
+(** [start ~metrics ~port ()] binds a listening socket on
+    [addr] (default ["127.0.0.1"]) at [port] ([0] = kernel-assigned
+    ephemeral port) and returns without serving anything yet. [metrics]
+    is re-evaluated on every [GET /metrics], so scrapes always see
+    current values. [on_request] (default: nothing) is called with the
+    request path before routing - {!Telemetry.cli} uses it to count
+    scrapes. Unless [announce] is [false], the bound address is printed
+    to stderr as [metrics: serving http://ADDR:PORT/metrics] so the
+    ephemeral port is discoverable. Also ignores [SIGPIPE] so a scraper
+    hanging up mid-response cannot kill the process.
+    @raise Unix.Unix_error if the bind fails (port in use, privileged
+    port). *)
+
+val port : t -> int
+(** The actually-bound port - the resolved one when {!start} was given
+    port [0]. *)
+
+val handle_client : t -> Unix.file_descr -> unit
+(** Serve one already-connected socket: read the request head, route it,
+    write the response, and close the descriptor (always, even on a
+    malformed request or client error). Exposed so tests can drive the
+    routing logic over a [socketpair] without real TCP accept loops. *)
+
+val serve : ?max_requests:int -> t -> unit
+(** Accept-and-serve loop. With [max_requests] it returns after that
+    many connections; without it it loops until {!stop} closes the
+    socket from another context (or forever). [EINTR] is retried;
+    per-connection handler errors are reported to stderr and do not
+    stop the loop. *)
+
+val serve_forever : t -> 'a
+(** {!serve} without a bound; never returns normally. This is what the
+    [--metrics-port] at-exit hook runs. *)
+
+val stop : t -> unit
+(** Close the listening socket. Idempotent. *)

@@ -32,16 +32,130 @@ type timer_summary = {
   mean_s : float;
   p50_s : float;
   p90_s : float;
+  p99_s : float;
   max_s : float;
+  stddev_s : float;
 }
 
 (* raw samples, newest first; summarized lazily by the renderers *)
 let timer_tbl : (string, float list ref) Hashtbl.t = Hashtbl.create 64
 
+(* ------------------------------------------------------------------ *)
+(* histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed-bucket histograms exist for the Prometheus exposition: a scrape
+   wants pre-bucketed counts, not the raw sample list. A histogram is an
+   upgrade of a timer - [define_histogram name] makes every subsequent
+   (and prior) [observe name] also land in buckets, while the raw-sample
+   timer keeps answering exact percentiles for the offline renderers. *)
+
+type hist = {
+  h_bounds : float array; (* strictly increasing upper bounds *)
+  h_counts : int array; (* per-bucket (non-cumulative); no +Inf slot *)
+  mutable h_sum : float;
+  mutable h_count : int; (* total observations incl. over-range *)
+}
+
+type hist_summary = {
+  buckets : (float * int) list; (* (upper bound, cumulative count) *)
+  hist_sum : float;
+  hist_count : int;
+}
+
+(* Latency-oriented: the portal tools answer in microseconds to tens of
+   milliseconds; the full flow runs for seconds on big designs. *)
+let default_buckets =
+  [
+    1e-5; 2.5e-5; 5e-5; 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 1e-2; 2.5e-2;
+    5e-2; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0;
+  ]
+
+let hist_tbl : (string, hist) Hashtbl.t = Hashtbl.create 16
+
+let hist_observe h v =
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1;
+  let n = Array.length h.h_bounds in
+  (* first bucket whose upper bound contains v; linear scan is fine for
+     ~20 buckets on paths that just ran a whole tool *)
+  let rec place i =
+    if i >= n then () (* over-range: counted only in h_count (+Inf) *)
+    else if v <= h.h_bounds.(i) then h.h_counts.(i) <- h.h_counts.(i) + 1
+    else place (i + 1)
+  in
+  place 0
+
+let define_histogram ?(buckets = default_buckets) name =
+  if not (Hashtbl.mem hist_tbl name) then begin
+    (match buckets with
+    | [] -> invalid_arg "Telemetry.define_histogram: no buckets"
+    | _ ->
+      List.iter2
+        (fun a b ->
+          if b <= a then
+            invalid_arg "Telemetry.define_histogram: buckets not increasing")
+        (List.filteri (fun i _ -> i < List.length buckets - 1) buckets)
+        (List.tl buckets));
+    let h =
+      {
+        h_bounds = Array.of_list buckets;
+        h_counts = Array.make (List.length buckets) 0;
+        h_sum = 0.0;
+        h_count = 0;
+      }
+    in
+    (* backfill samples the timer already recorded, so "converting" a
+       live timer mid-run loses nothing *)
+    (match Hashtbl.find_opt timer_tbl name with
+    | Some l -> List.iter (hist_observe h) (List.rev !l)
+    | None -> ());
+    Hashtbl.add hist_tbl name h
+  end
+
+let hist_summarize h =
+  let cum = ref 0 in
+  let buckets =
+    Array.to_list
+      (Array.mapi
+         (fun i bound ->
+           cum := !cum + h.h_counts.(i);
+           (bound, !cum))
+         h.h_bounds)
+  in
+  { buckets; hist_sum = h.h_sum; hist_count = h.h_count }
+
+let histogram name =
+  Option.map hist_summarize (Hashtbl.find_opt hist_tbl name)
+
+let histograms () =
+  Hashtbl.fold (fun k h acc -> (k, hist_summarize h) :: acc) hist_tbl []
+  |> List.sort compare
+
 let observe name dt =
-  match Hashtbl.find_opt timer_tbl name with
+  (match Hashtbl.find_opt timer_tbl name with
   | Some l -> l := dt :: !l
-  | None -> Hashtbl.add timer_tbl name (ref [ dt ])
+  | None -> Hashtbl.add timer_tbl name (ref [ dt ]));
+  match Hashtbl.find_opt hist_tbl name with
+  | Some h -> hist_observe h dt
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* gauges                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gauge_tbl : (string, float ref) Hashtbl.t = Hashtbl.create 16
+
+let set_gauge name v =
+  match Hashtbl.find_opt gauge_tbl name with
+  | Some r -> r := v
+  | None -> Hashtbl.add gauge_tbl name (ref v)
+
+let gauge name = Option.map ( ! ) (Hashtbl.find_opt gauge_tbl name)
+
+let gauges () =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) gauge_tbl []
+  |> List.sort compare
 
 (* The clock is wall time, not monotonic: an NTP step mid-measurement can
    make [now () -. t0] negative, so computed durations clamp at zero. *)
@@ -57,6 +171,9 @@ let time name f =
     observe name (elapsed_since t0);
     raise e
 
+(* All descriptive statistics come from Vc_util.Stats - the one
+   percentile/stddev implementation shared with Journal_query and the
+   bench report printers. *)
 let summarize samples =
   {
     count = List.length samples;
@@ -64,7 +181,9 @@ let summarize samples =
     mean_s = Stats.mean samples;
     p50_s = Stats.percentile samples 50.0;
     p90_s = Stats.percentile samples 90.0;
+    p99_s = Stats.percentile samples 99.0;
     max_s = Stats.maximum samples;
+    stddev_s = Stats.stddev samples;
   }
 
 let timer name =
@@ -153,16 +272,26 @@ let report () =
       (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %-40s %10d\n" k v))
       cs
   end;
+  let gs = gauges () in
+  if gs <> [] then begin
+    Buffer.add_string b "gauges:\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %-40s %10g\n" k v))
+      gs
+  end;
   let ts = timers () in
   if ts <> [] then begin
     Buffer.add_string b
-      "timers (count / total ms / mean ms / p50 ms / p90 ms / max ms):\n";
+      "timers (count / total ms / mean ms / p50 ms / p90 ms / p99 ms / max \
+       ms / stddev ms):\n";
     List.iter
       (fun (k, s) ->
         Buffer.add_string b
-          (Printf.sprintf "  %-40s %6d %9.2f %8.3f %8.3f %8.3f %8.3f\n" k
+          (Printf.sprintf
+             "  %-40s %6d %9.2f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n" k
              s.count (1e3 *. s.total_s) (1e3 *. s.mean_s) (1e3 *. s.p50_s)
-             (1e3 *. s.p90_s) (1e3 *. s.max_s)))
+             (1e3 *. s.p90_s) (1e3 *. s.p99_s) (1e3 *. s.max_s)
+             (1e3 *. s.stddev_s)))
       ts
   end;
   let ps = probes () in
@@ -196,7 +325,22 @@ let summary_json s =
       ("mean_s", jfloat s.mean_s);
       ("p50_s", jfloat s.p50_s);
       ("p90_s", jfloat s.p90_s);
+      ("p99_s", jfloat s.p99_s);
       ("max_s", jfloat s.max_s);
+      ("stddev_s", jfloat s.stddev_s);
+    ]
+
+let hist_json h =
+  jobj
+    [
+      ( "buckets",
+        jarr
+          (List.map
+             (fun (le, c) ->
+               jobj [ ("le", jfloat le); ("cumulative", string_of_int c) ])
+             h.buckets) );
+      ("sum", jfloat h.hist_sum);
+      ("count", string_of_int h.hist_count);
     ]
 
 let to_json () =
@@ -204,7 +348,10 @@ let to_json () =
     [
       ( "counters",
         jobj (List.map (fun (k, v) -> (k, string_of_int v)) (counters ())) );
+      ("gauges", jobj (List.map (fun (k, v) -> (k, jfloat v)) (gauges ())));
       ("timers", jobj (List.map (fun (k, s) -> (k, summary_json s)) (timers ())));
+      ( "histograms",
+        jobj (List.map (fun (k, h) -> (k, hist_json h)) (histograms ())) );
       ( "probes",
         jobj
           (List.map
@@ -227,51 +374,183 @@ let rec span_json s =
 let spans_to_json () = jobj [ ("spans", jarr (List.map span_json (spans ()))) ]
 
 (* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Exposition format 0.0.4: one family per metric, HELP/TYPE comments,
+   histogram families with _bucket{le=...}/_sum/_count series. Metric
+   names come from the dotted telemetry names with a vc_ prefix. *)
+
+let prom_name s =
+  "vc_"
+  ^ String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      s
+
+(* %.9g keeps full useful precision while rendering round bucket bounds
+   as short, stable le labels (0.0001, not 0.000100000) *)
+let prom_float f = Printf.sprintf "%.9g" f
+
+let to_prometheus () =
+  let b = Buffer.create 4096 in
+  let family name typ help =
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ)
+  in
+  List.iter
+    (fun (k, v) ->
+      let n = prom_name k ^ "_total" in
+      family n "counter" (Printf.sprintf "Telemetry counter %s." k);
+      Buffer.add_string b (Printf.sprintf "%s %d\n" n v))
+    (counters ());
+  List.iter
+    (fun (probe, kvs) ->
+      List.iter
+        (fun (k, v) ->
+          let n = prom_name (probe ^ "." ^ k) ^ "_total" in
+          family n "counter"
+            (Printf.sprintf "Kernel probe %s, cumulative %s." probe k);
+          Buffer.add_string b (Printf.sprintf "%s %d\n" n v))
+        kvs)
+    (probes ());
+  let n = "vc_journal_events_total" in
+  family n "counter" "Structured journal events emitted since start.";
+  Buffer.add_string b (Printf.sprintf "%s %d\n" n (Journal.event_count ()));
+  List.iter
+    (fun (k, v) ->
+      let n = prom_name k in
+      family n "gauge" (Printf.sprintf "Telemetry gauge %s." k);
+      Buffer.add_string b (Printf.sprintf "%s %s\n" n (prom_float v)))
+    (gauges ());
+  List.iter
+    (fun (k, h) ->
+      let n = prom_name k ^ "_seconds" in
+      family n "histogram" (Printf.sprintf "Histogram %s (seconds)." k);
+      List.iter
+        (fun (le, c) ->
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (prom_float le) c))
+        h.buckets;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.hist_count);
+      Buffer.add_string b (Printf.sprintf "%s_sum %s\n" n (prom_float h.hist_sum));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.hist_count))
+    (histograms ());
+  (* timers that were not upgraded to histograms still appear, as
+     summaries with exact quantiles off the raw samples *)
+  List.iter
+    (fun (k, s) ->
+      if not (Hashtbl.mem hist_tbl k) then begin
+        let n = prom_name k ^ "_seconds" in
+        family n "summary" (Printf.sprintf "Timer %s (seconds)." k);
+        List.iter
+          (fun (q, v) ->
+            Buffer.add_string b
+              (Printf.sprintf "%s{quantile=\"%s\"} %s\n" n q (prom_float v)))
+          [ ("0.5", s.p50_s); ("0.9", s.p90_s); ("0.99", s.p99_s) ];
+        Buffer.add_string b (Printf.sprintf "%s_sum %s\n" n (prom_float s.total_s));
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" n s.count)
+      end)
+    (timers ());
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
 (* control / CLI                                                       *)
 (* ------------------------------------------------------------------ *)
 
 let reset () =
   Hashtbl.reset counter_tbl;
   Hashtbl.reset timer_tbl;
+  Hashtbl.reset hist_tbl;
+  Hashtbl.reset gauge_tbl;
   span_stack := [];
   root_spans := []
 
+type cli_options = {
+  cli_argv : string array;
+  cli_stats : bool;
+  cli_trace : string option;
+  cli_journal : string option;
+  cli_metrics_port : int option;
+}
+
 let cli_parse argv =
-  let stats = ref false and trace = ref None and journal = ref None in
+  let stats = ref false
+  and trace = ref None
+  and journal = ref None
+  and metrics_port = ref None in
+  let missing flag what =
+    Printf.eprintf "error: %s requires a %s argument\n" flag what;
+    exit 2
+  in
   let rec strip acc = function
     | [] -> List.rev acc
     | "--stats" :: rest ->
       stats := true;
       strip acc rest
-    | [ "--trace" ] ->
-      prerr_endline "error: --trace requires a FILE argument";
-      exit 2
+    | [ "--trace" ] -> missing "--trace" "FILE"
     | "--trace" :: file :: rest ->
       trace := Some file;
       strip acc rest
-    | [ "--journal" ] ->
-      prerr_endline "error: --journal requires a FILE argument";
-      exit 2
+    | [ "--journal" ] -> missing "--journal" "FILE"
     | "--journal" :: file :: rest ->
       journal := Some file;
       strip acc rest
+    | [ "--metrics-port" ] -> missing "--metrics-port" "PORT"
+    | "--metrics-port" :: port :: rest -> begin
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p <= 65535 ->
+        metrics_port := Some p;
+        strip acc rest
+      | Some _ | None ->
+        Printf.eprintf "error: --metrics-port: bad port %S (0-65535)\n" port;
+        exit 2
+    end
     | a :: rest -> strip (a :: acc) rest
   in
   match Array.to_list argv with
-  | [] -> (argv, false, None, None)
+  | [] ->
+    {
+      cli_argv = argv;
+      cli_stats = false;
+      cli_trace = None;
+      cli_journal = None;
+      cli_metrics_port = None;
+    }
   | prog :: args ->
     let kept = strip [] args in
-    (Array.of_list (prog :: kept), !stats, !trace, !journal)
+    {
+      cli_argv = Array.of_list (prog :: kept);
+      cli_stats = !stats;
+      cli_trace = !trace;
+      cli_journal = !journal;
+      cli_metrics_port = !metrics_port;
+    }
 
 let cli argv =
-  let argv, stats, trace, journal = cli_parse argv in
+  let o = cli_parse argv in
+  (* Registered before the stats/trace hooks: at_exit runs LIFO, and the
+     serving loop must be the last thing the process does - it keeps the
+     tool alive answering /metrics until the operator kills it. *)
+  (match o.cli_metrics_port with
+  | Some port ->
+    let srv =
+      Metrics_server.start ~port
+        ~on_request:(fun _path -> incr "metrics.http_requests")
+        ~metrics:(fun () -> to_prometheus ())
+        ()
+    in
+    set_gauge "metrics.port" (float_of_int (Metrics_server.port srv));
+    at_exit (fun () -> Metrics_server.serve_forever srv)
+  | None -> ());
   Journal.install_crash_handler ();
-  if stats then at_exit (fun () -> prerr_string (report ()));
-  (match trace with
+  if o.cli_stats then at_exit (fun () -> prerr_string (report ()));
+  (match o.cli_trace with
   | Some file ->
     at_exit (fun () ->
         Out_channel.with_open_text file (fun oc ->
             Out_channel.output_string oc (spans_to_json ())))
   | None -> ());
-  (match journal with Some file -> Journal.open_jsonl file | None -> ());
-  argv
+  (match o.cli_journal with Some file -> Journal.open_jsonl file | None -> ());
+  o.cli_argv

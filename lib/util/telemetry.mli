@@ -46,7 +46,9 @@ type timer_summary = {
   mean_s : float;
   p50_s : float;  (** Median, nearest-rank ({!Stats.percentile}). *)
   p90_s : float;
+  p99_s : float;  (** Tail latency, nearest-rank. *)
   max_s : float;
+  stddev_s : float;  (** Population standard deviation ({!Stats.stddev}). *)
 }
 
 val timer : string -> timer_summary option
@@ -54,6 +56,60 @@ val timer : string -> timer_summary option
 
 val timers : unit -> (string * timer_summary) list
 (** All timers with at least one sample, sorted by name. *)
+
+(** {1 Histograms}
+
+    A histogram upgrades a timer: {!define_histogram} attaches
+    fixed-bucket counts to a timer name, after which every
+    {!observe}/{!time} sample on that name feeds both the raw sample
+    list (so {!timer} percentiles stay exact) and the buckets (so the
+    Prometheus exposition can serve a proper [_bucket] family that
+    aggregates across processes). The portal, flow and grader latency
+    paths define histograms on their timers at startup. *)
+
+val default_buckets : float list
+(** The default latency bucket upper bounds, in seconds: 19 bounds in a
+    1-2.5-5 progression from 10 microseconds to 10 seconds. *)
+
+val define_histogram : ?buckets:float list -> string -> unit
+(** [define_histogram name] declares fixed buckets for the named timer.
+    [buckets] (default {!default_buckets}) are inclusive upper bounds
+    and must be strictly increasing; an implicit [+Inf] bucket is always
+    present. Samples already recorded on the timer are back-filled into
+    the buckets; calling it again for the same name is a no-op (the
+    first bucket layout wins).
+    @raise Invalid_argument if [buckets] is empty or not strictly
+    increasing. *)
+
+type hist_summary = {
+  buckets : (float * int) list;
+      (** [(upper_bound, cumulative_count)] per declared bucket -
+          cumulative as in the Prometheus exposition, each count
+          includes all smaller buckets. *)
+  hist_sum : float;  (** Sum of all observed values, seconds. *)
+  hist_count : int;  (** Total observations, including over-range. *)
+}
+
+val histogram : string -> hist_summary option
+(** Current bucket state of a defined histogram; [None] if
+    {!define_histogram} was never called for the name. *)
+
+val histograms : unit -> (string * hist_summary) list
+(** All defined histograms, sorted by name. *)
+
+(** {1 Gauges}
+
+    A gauge is a named value that can go up or down - queue depths,
+    cache occupancy. Unlike counters they are set, not incremented. *)
+
+val set_gauge : string -> float -> unit
+(** Set the named gauge, creating it on first use. *)
+
+val gauge : string -> float option
+(** Current value; [None] if never set. *)
+
+val gauges : unit -> (string * float) list
+(** All gauges, sorted by name. *)
 
 (** {1 Trace spans}
 
@@ -107,20 +163,37 @@ val report : unit -> string
 
 val to_json : unit -> string
 (** The same data as {!report} as a JSON object with fields
-    ["counters"], ["timers"] (per-timer objects with [count], [total_s],
-    [mean_s], [p50_s], [p90_s], [max_s]), ["probes"] and ["spans"] (the
-    count of top-level spans). Machine-readable; [bench/main.ml] writes
-    it to [BENCH_portal.json]. *)
+    ["counters"], ["gauges"], ["timers"] (per-timer objects with
+    [count], [total_s], [mean_s], [p50_s], [p90_s], [p99_s], [max_s],
+    [stddev_s]), ["histograms"] (per-histogram [buckets]/[sum]/[count]),
+    ["probes"] and ["spans"] (the count of top-level spans).
+    Machine-readable; [bench/main.ml] writes it to
+    [BENCH_portal.json]. *)
 
 val spans_to_json : unit -> string
 (** The completed span forest as [{"spans": [...]}]; each span carries
     [name], [start_s], [duration_s], [attrs] and [children]. *)
 
+val to_prometheus : unit -> string
+(** The current metric state in the Prometheus text exposition format
+    (version 0.0.4), as served on [GET /metrics] by
+    {!Metrics_server}. Names are the dotted telemetry names with
+    non-alphanumerics mapped to [_] and a [vc_] prefix. Counters and
+    probe readings become [counter] families suffixed [_total] (plus
+    [vc_journal_events_total] from {!Journal.event_count}); gauges
+    become [gauge] families; timers with a defined histogram become
+    [histogram] families suffixed [_seconds] with cumulative
+    [_bucket{le="..."}] series, an explicit [+Inf] bucket, [_sum] and
+    [_count]; remaining timers are rendered as [summary] families with
+    exact [quantile="0.5"/"0.9"/"0.99"] series computed from the raw
+    samples. *)
+
 (** {1 Control} *)
 
 val reset : unit -> unit
-(** Clear counters, timer samples and recorded spans. Registered probes
-    and the clock survive (their counters live in their own modules). *)
+(** Clear counters, gauges, timer samples, histogram definitions and
+    recorded spans. Registered probes and the clock survive (their
+    counters live in their own modules). *)
 
 val set_clock : (unit -> float) -> unit
 (** Replace the time source (default [Unix.gettimeofday]) - an alias of
@@ -135,18 +208,33 @@ val now : unit -> float
 (** {1 Command-line integration} *)
 
 val cli : string array -> string array
-(** [cli Sys.argv] strips [--stats], [--trace FILE] and
-    [--journal FILE] from an argument vector and returns the rest
+(** [cli Sys.argv] strips [--stats], [--trace FILE], [--journal FILE]
+    and [--metrics-port N] from an argument vector and returns the rest
     (element 0 preserved). If [--stats] was present, the process prints
     {!report} to stderr at exit; if [--trace FILE] was present, it
     writes {!spans_to_json} to [FILE] at exit; if [--journal FILE] was
     present, every {!Journal} event is streamed to [FILE] as JSON Lines.
-    Also installs the {!Journal.install_crash_handler} flight-recorder
-    dump. Every binary under [bin/] routes its arguments through this,
-    so the flags work uniformly across the toolset. *)
+    If [--metrics-port N] was present, a {!Metrics_server} is bound on
+    [127.0.0.1:N] immediately (port [0] = ephemeral; the bound address
+    is announced on stderr) and, after the tool's own work and the
+    other at-exit reports finish, the process stays alive serving
+    [GET /metrics] ({!to_prometheus}) and [GET /healthz] until killed.
+    Scrapes are counted on the ["metrics.http_requests"] counter and
+    the bound port is published as the ["metrics.port"] gauge. Also
+    installs the {!Journal.install_crash_handler} flight-recorder dump.
+    Every binary under [bin/] routes its arguments through this, so the
+    flags work uniformly across the toolset. *)
 
-val cli_parse :
-  string array -> string array * bool * string option * string option
-(** The pure part of {!cli}:
-    [(rest, stats_requested, trace_file, journal_file)]. Exits with
-    code 2 on a [--trace] or [--journal] missing its file argument. *)
+type cli_options = {
+  cli_argv : string array;  (** Arguments with the flags stripped. *)
+  cli_stats : bool;
+  cli_trace : string option;
+  cli_journal : string option;
+  cli_metrics_port : int option;
+}
+
+val cli_parse : string array -> cli_options
+(** The pure part of {!cli}: strips the flags without installing any
+    hook. Exits with code 2 on a [--trace]/[--journal] missing its file
+    argument, or a [--metrics-port] missing its port or given one
+    outside 0-65535. *)

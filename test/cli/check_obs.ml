@@ -105,6 +105,81 @@ let check_qor file =
       | _ -> die "%s: %s: empty metrics" file name)
     expected stages
 
+(* FILE must be a journal with at least one event from COMPONENT. *)
+let check_component file component =
+  let found =
+    List.exists
+      (fun e ->
+        match Json.member "component" e with
+        | Some (Json.Str c) -> c = component
+        | _ -> false)
+      (jsonl_events file)
+  in
+  if not found then die "%s: no event from component %S" file component
+
+(* FILE must be a `vcstat summary --format json` document over a
+   non-empty journal: positive event total, per-component counts, and
+   p50/p90/p99 latency fields under latency.all. *)
+let check_vcstat_summary file =
+  let j = parse file (read file) in
+  (match Json.member "events" j with
+  | Some (Json.Num n) when n > 0.0 -> ()
+  | _ -> die "%s: bad or zero \"events\"" file);
+  (match Json.member "error_rate" j with
+  | Some (Json.Num r) when r >= 0.0 && r <= 1.0 -> ()
+  | _ -> die "%s: bad \"error_rate\"" file);
+  (match Json.member "by_component" j with
+  | Some (Json.Obj ((_ :: _) as fields)) ->
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | Json.Num n when n > 0.0 -> ()
+        | _ -> die "%s: by_component.%s is not a positive count" file k)
+      fields
+  | _ -> die "%s: no per-component counts" file);
+  match Json.member "latency" j with
+  | Some lat -> (
+    match Json.member "all" lat with
+    | Some all ->
+      List.iter
+        (fun field ->
+          match Json.member field all with
+          | Some (Json.Num v) when v >= 0.0 -> ()
+          | _ -> die "%s: latency.all.%s missing or negative" file field)
+        [ "p50_s"; "p90_s"; "p99_s" ]
+    | None -> die "%s: no latency.all object" file)
+  | None -> die "%s: no latency object" file
+
+(* FILE must be a `vcstat funnel --format json` document with the six
+   Fig. 8 stages in order, counts bounded by the first stage. *)
+let check_vcstat_funnel file =
+  let j = parse file (read file) in
+  let stages =
+    match Json.member "funnel" j with
+    | Some (Json.Arr l) -> l
+    | _ -> die "%s: no funnel array" file
+  in
+  let expected =
+    [ "registered"; "watched_video"; "did_homework"; "tried_software";
+      "took_final"; "certificates" ]
+  in
+  if List.length stages <> List.length expected then
+    die "%s: expected %d funnel stages, found %d" file (List.length expected)
+      (List.length stages);
+  let first = ref 0.0 in
+  List.iter2
+    (fun name s ->
+      (match Json.member "stage" s with
+      | Some (Json.Str n) when n = name -> ()
+      | _ -> die "%s: funnel stage out of order, expected %s" file name);
+      match Json.member "count" s with
+      | Some (Json.Num c) when c >= 0.0 ->
+        if !first = 0.0 then first := c
+        else if c > !first then
+          die "%s: stage %s count exceeds registered" file name
+      | _ -> die "%s: %s: bad count" file name)
+    expected stages
+
 let () =
   match Array.to_list Sys.argv with
   | [ _; "contains"; file; needle ] -> check_contains file needle
@@ -112,8 +187,12 @@ let () =
   | [ _; "jsonl"; file ] -> check_jsonl file
   | [ _; "journal"; file ] -> check_journal file
   | [ _; "qor"; file ] -> check_qor file
+  | [ _; "component"; file; name ] -> check_component file name
+  | [ _; "vcstat-summary"; file ] -> check_vcstat_summary file
+  | [ _; "vcstat-funnel"; file ] -> check_vcstat_funnel file
   | _ ->
     prerr_endline
       "usage: check_obs {contains FILE NEEDLE | trace FILE | jsonl FILE | \
-       journal FILE | qor FILE}";
+       journal FILE | qor FILE | component FILE NAME | vcstat-summary FILE \
+       | vcstat-funnel FILE}";
     exit 2

@@ -179,29 +179,34 @@ let json_tests =
           | _ -> Alcotest.fail "children")
         | _ -> Alcotest.fail "expected one root span");
     tc "cli_parse strips the flags and leaves the rest" (fun () ->
-        let argv, stats, trace, journal =
+        let o =
           T.cli_parse
             [|
               "prog"; "--stats"; "input.txt"; "--trace"; "t.json";
-              "--journal"; "j.jsonl"; "-x";
+              "--journal"; "j.jsonl"; "--metrics-port"; "9100"; "-x";
             |]
         in
         check
           Alcotest.(array string)
           "filtered"
           [| "prog"; "input.txt"; "-x" |]
-          argv;
-        check Alcotest.bool "stats seen" true stats;
-        check Alcotest.(option string) "trace file" (Some "t.json") trace;
-        check Alcotest.(option string) "journal file" (Some "j.jsonl") journal);
+          o.T.cli_argv;
+        check Alcotest.bool "stats seen" true o.T.cli_stats;
+        check Alcotest.(option string) "trace file" (Some "t.json") o.T.cli_trace;
+        check
+          Alcotest.(option string)
+          "journal file" (Some "j.jsonl") o.T.cli_journal;
+        check Alcotest.(option int) "metrics port" (Some 9100)
+          o.T.cli_metrics_port);
     tc "cli_parse without flags requests nothing" (fun () ->
-        let argv, stats, trace, journal =
-          T.cli_parse [| "prog"; "input.txt" |]
-        in
-        check Alcotest.(array string) "untouched" [| "prog"; "input.txt" |] argv;
-        check Alcotest.bool "no stats" false stats;
-        check Alcotest.(option string) "no trace" None trace;
-        check Alcotest.(option string) "no journal" None journal);
+        let o = T.cli_parse [| "prog"; "input.txt" |] in
+        check
+          Alcotest.(array string)
+          "untouched" [| "prog"; "input.txt" |] o.T.cli_argv;
+        check Alcotest.bool "no stats" false o.T.cli_stats;
+        check Alcotest.(option string) "no trace" None o.T.cli_trace;
+        check Alcotest.(option string) "no journal" None o.T.cli_journal;
+        check Alcotest.(option int) "no metrics port" None o.T.cli_metrics_port);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -717,6 +722,512 @@ let portal_journal_tests =
           (contains "flight recorder"));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* gauges, histograms, extended timer summaries                        *)
+(* ------------------------------------------------------------------ *)
+
+let metric_kinds_tests =
+  [
+    tc "gauges set, overwrite and list" (fun () ->
+        T.reset ();
+        check Alcotest.bool "absent" true (T.gauge "g.depth" = None);
+        T.set_gauge "g.depth" 3.0;
+        T.set_gauge "g.depth" 1.5;
+        T.set_gauge "g.other" 7.0;
+        check Alcotest.bool "overwritten" true (T.gauge "g.depth" = Some 1.5);
+        check
+          Alcotest.(list (pair string (float 1e-9)))
+          "sorted listing"
+          [ ("g.depth", 1.5); ("g.other", 7.0) ]
+          (T.gauges ()));
+    tc "timer summaries carry p99 and stddev" (fun () ->
+        T.reset ();
+        (* 100 samples: 1ms..100ms; nearest-rank p99 = 99ms *)
+        for i = 1 to 100 do
+          T.observe "t.p99" (float_of_int i /. 1000.0)
+        done;
+        match T.timer "t.p99" with
+        | None -> Alcotest.fail "no samples"
+        | Some s ->
+          check (Alcotest.float 1e-9) "p99" 0.099 s.T.p99_s;
+          let samples = List.init 100 (fun i -> float_of_int (i + 1) /. 1000.0) in
+          check (Alcotest.float 1e-9) "stddev matches Stats"
+            (Vc_util.Stats.stddev samples) s.T.stddev_s);
+    tc "define_histogram buckets observations cumulatively" (fun () ->
+        T.reset ();
+        T.define_histogram ~buckets:[ 0.01; 0.1; 1.0 ] "h.lat";
+        T.observe "h.lat" 0.005;
+        T.observe "h.lat" 0.05;
+        T.observe "h.lat" 0.5;
+        T.observe "h.lat" 5.0;
+        (* over-range: only in the +Inf count *)
+        match T.histogram "h.lat" with
+        | None -> Alcotest.fail "histogram vanished"
+        | Some h ->
+          check
+            Alcotest.(list (pair (float 1e-9) int))
+            "cumulative buckets"
+            [ (0.01, 1); (0.1, 2); (1.0, 3) ]
+            h.T.buckets;
+          check Alcotest.int "count includes over-range" 4 h.T.hist_count;
+          check (Alcotest.float 1e-9) "sum" 5.555 h.T.hist_sum);
+    tc "define_histogram back-fills samples already recorded" (fun () ->
+        T.reset ();
+        T.observe "h.late" 0.05;
+        T.observe "h.late" 0.2;
+        T.define_histogram ~buckets:[ 0.1; 1.0 ] "h.late";
+        match T.histogram "h.late" with
+        | Some h ->
+          check
+            Alcotest.(list (pair (float 1e-9) int))
+            "back-filled" [ (0.1, 1); (1.0, 2) ] h.T.buckets
+        | None -> Alcotest.fail "not defined");
+    tc "define_histogram is idempotent and validates buckets" (fun () ->
+        T.reset ();
+        T.define_histogram ~buckets:[ 0.1 ] "h.idem";
+        T.observe "h.idem" 0.05;
+        (* second definition with different buckets must not reset *)
+        T.define_histogram ~buckets:[ 0.5; 1.0 ] "h.idem";
+        (match T.histogram "h.idem" with
+        | Some h ->
+          check
+            Alcotest.(list (pair (float 1e-9) int))
+            "first layout wins" [ (0.1, 1) ] h.T.buckets
+        | None -> Alcotest.fail "not defined");
+        check Alcotest.bool "empty buckets rejected" true
+          (match T.define_histogram ~buckets:[] "h.bad" with
+          | () -> false
+          | exception Invalid_argument _ -> true);
+        check Alcotest.bool "non-increasing rejected" true
+          (match T.define_histogram ~buckets:[ 0.5; 0.5 ] "h.bad2" with
+          | () -> false
+          | exception Invalid_argument _ -> true));
+    tc "histogram observations still feed the exact timer" (fun () ->
+        T.reset ();
+        T.define_histogram "h.both";
+        T.observe "h.both" 0.010;
+        T.observe "h.both" 0.030;
+        match T.timer "h.both" with
+        | Some s ->
+          check Alcotest.int "timer count" 2 s.T.count;
+          check (Alcotest.float 1e-9) "timer max" 0.030 s.T.max_s
+        | None -> Alcotest.fail "timer missing");
+    tc "reset clears gauges and histogram definitions" (fun () ->
+        T.reset ();
+        T.set_gauge "g.gone" 1.0;
+        T.define_histogram "h.gone";
+        T.reset ();
+        check Alcotest.bool "gauge gone" true (T.gauge "g.gone" = None);
+        check Alcotest.bool "histogram gone" true (T.histogram "h.gone" = None));
+    tc "to_json carries gauges and histograms" (fun () ->
+        T.reset ();
+        T.set_gauge "g.j" 2.5;
+        T.define_histogram ~buckets:[ 0.1 ] "h.j";
+        T.observe "h.j" 0.05;
+        let j = parse_json (T.to_json ()) in
+        (match obj_field "gauges" j with
+        | Some g -> check Alcotest.bool "gauge value" true
+            (obj_field "g.j" g = Some (Json.Num 2.5))
+        | None -> Alcotest.fail "no gauges object");
+        (match obj_field "histograms" j with
+        | Some (Json.Obj [ ("h.j", h) ]) ->
+          check Alcotest.bool "count" true (obj_field "count" h = Some (Json.Num 1.0))
+        | _ -> Alcotest.fail "no histograms object");
+        match obj_field "timers" j with
+        | Some (Json.Obj [ ("h.j", t) ]) ->
+          check Alcotest.bool "p99 field" true (obj_field "p99_s" t <> None);
+          check Alcotest.bool "stddev field" true
+            (obj_field "stddev_s" t <> None)
+        | _ -> Alcotest.fail "no timers object");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                               *)
+(* ------------------------------------------------------------------ *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let prometheus_tests =
+  [
+    tc "counters become _total counter families" (fun () ->
+        T.reset ();
+        T.incr ~by:3 "portal.kbdd.submits";
+        let text = T.to_prometheus () in
+        check Alcotest.bool "TYPE line" true
+          (contains text "# TYPE vc_portal_kbdd_submits_total counter");
+        check Alcotest.bool "sample" true
+          (contains text "vc_portal_kbdd_submits_total 3\n"));
+    tc "gauges become gauge families" (fun () ->
+        T.reset ();
+        T.set_gauge "portal.cache.size" 17.0;
+        let text = T.to_prometheus () in
+        check Alcotest.bool "TYPE line" true
+          (contains text "# TYPE vc_portal_cache_size gauge");
+        check Alcotest.bool "sample" true
+          (contains text "vc_portal_cache_size 17\n"));
+    tc "defined histograms expose _bucket/_sum/_count" (fun () ->
+        T.reset ();
+        T.define_histogram ~buckets:[ 0.01; 0.1 ] "flow.route";
+        T.observe "flow.route" 0.005;
+        T.observe "flow.route" 0.05;
+        T.observe "flow.route" 0.5;
+        let text = T.to_prometheus () in
+        check Alcotest.bool "TYPE histogram" true
+          (contains text "# TYPE vc_flow_route_seconds histogram");
+        check Alcotest.bool "first bucket" true
+          (contains text "vc_flow_route_seconds_bucket{le=\"0.01\"} 1\n");
+        check Alcotest.bool "cumulative second bucket" true
+          (contains text "vc_flow_route_seconds_bucket{le=\"0.1\"} 2\n");
+        check Alcotest.bool "+Inf bucket" true
+          (contains text "vc_flow_route_seconds_bucket{le=\"+Inf\"} 3\n");
+        check Alcotest.bool "count" true
+          (contains text "vc_flow_route_seconds_count 3\n");
+        check Alcotest.bool "sum" true
+          (contains text "vc_flow_route_seconds_sum 0.555\n");
+        (* a histogram-backed timer must not also render as a summary *)
+        check Alcotest.bool "no summary family" false
+          (contains text "vc_flow_route_seconds{quantile"));
+    tc "plain timers render as summaries with exact quantiles" (fun () ->
+        T.reset ();
+        for i = 1 to 10 do
+          T.observe "t.plain" (float_of_int i /. 100.0)
+        done;
+        let text = T.to_prometheus () in
+        check Alcotest.bool "TYPE summary" true
+          (contains text "# TYPE vc_t_plain_seconds summary");
+        check Alcotest.bool "median" true
+          (contains text "vc_t_plain_seconds{quantile=\"0.5\"} 0.05\n");
+        check Alcotest.bool "p99" true
+          (contains text "vc_t_plain_seconds{quantile=\"0.99\"} 0.1\n");
+        check Alcotest.bool "count" true
+          (contains text "vc_t_plain_seconds_count 10\n"));
+    tc "the journal event count is exported" (fun () ->
+        T.reset ();
+        Journal.clear ();
+        Journal.emit ~component:"x" "e1";
+        Journal.emit ~component:"x" "e2";
+        check Alcotest.bool "journal counter" true
+          (contains (T.to_prometheus ()) "vc_journal_events_total 2\n"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* metrics server (driven over a socketpair - no TCP accept loop)      *)
+(* ------------------------------------------------------------------ *)
+
+module MS = Vc_util.Metrics_server
+
+(* Start an exporter on an ephemeral port (to get a [t]), push [req]
+   through handle_client over a socketpair, and return the raw response. *)
+let with_server ?on_request metrics f =
+  let srv = MS.start ?on_request ~announce:false ~metrics ~port:0 () in
+  Fun.protect ~finally:(fun () -> MS.stop srv) (fun () -> f srv)
+
+let roundtrip srv req =
+  let ours, theirs = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let b = Bytes.of_string req in
+  ignore (Unix.write ours b 0 (Bytes.length b));
+  MS.handle_client srv theirs;
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 1024 in
+  (try
+     let rec drain () =
+       let n = Unix.read ours chunk 0 (Bytes.length chunk) in
+       if n > 0 then begin
+         Buffer.add_subbytes buf chunk 0 n;
+         drain ()
+       end
+     in
+     drain ()
+   with Unix.Unix_error _ -> ());
+  Unix.close ours;
+  Buffer.contents buf
+
+let metrics_server_tests =
+  [
+    tc "GET /metrics serves the exposition with the right content type"
+      (fun () ->
+        with_server
+          (fun () -> "# TYPE vc_x_total counter\nvc_x_total 1\n")
+          (fun srv ->
+            let resp = roundtrip srv "GET /metrics HTTP/1.1\r\n\r\n" in
+            check Alcotest.bool "200" true (contains resp "HTTP/1.1 200 OK");
+            check Alcotest.bool "content type" true
+              (contains resp "text/plain; version=0.0.4; charset=utf-8");
+            check Alcotest.bool "body" true (contains resp "vc_x_total 1\n")));
+    tc "GET /healthz answers ok" (fun () ->
+        with_server
+          (fun () -> "")
+          (fun srv ->
+            let resp = roundtrip srv "GET /healthz HTTP/1.1\r\n\r\n" in
+            check Alcotest.bool "200" true (contains resp "200 OK");
+            check Alcotest.bool "ok body" true (contains resp "ok\n")));
+    tc "unknown paths are 404, non-GET is 405, garbage is 400" (fun () ->
+        with_server
+          (fun () -> "")
+          (fun srv ->
+            check Alcotest.bool "404" true
+              (contains (roundtrip srv "GET /nope HTTP/1.1\r\n\r\n") "404");
+            check Alcotest.bool "405" true
+              (contains (roundtrip srv "POST /metrics HTTP/1.1\r\n\r\n") "405");
+            check Alcotest.bool "400" true
+              (contains (roundtrip srv "garbage\r\n\r\n") "400")));
+    tc "query strings are stripped before routing" (fun () ->
+        with_server
+          (fun () -> "body\n")
+          (fun srv ->
+            check Alcotest.bool "routed" true
+              (contains
+                 (roundtrip srv "GET /metrics?foo=1 HTTP/1.1\r\n\r\n")
+                 "200 OK")));
+    tc "a raising metrics thunk degrades to a comment body" (fun () ->
+        with_server
+          (fun () -> failwith "renderer broke")
+          (fun srv ->
+            let resp = roundtrip srv "GET /metrics HTTP/1.1\r\n\r\n" in
+            check Alcotest.bool "still 200" true (contains resp "200 OK");
+            check Alcotest.bool "error comment" true
+              (contains resp "# metrics renderer failed")));
+    tc "on_request sees the path of every request" (fun () ->
+        let seen = ref [] in
+        with_server
+          ~on_request:(fun p -> seen := p :: !seen)
+          (fun () -> "")
+          (fun srv ->
+            ignore (roundtrip srv "GET /metrics HTTP/1.1\r\n\r\n");
+            ignore (roundtrip srv "GET /healthz HTTP/1.1\r\n\r\n");
+            check
+              Alcotest.(list string)
+              "paths" [ "/metrics"; "/healthz" ] (List.rev !seen)));
+    tc "port 0 resolves to a real ephemeral port" (fun () ->
+        with_server
+          (fun () -> "")
+          (fun srv -> check Alcotest.bool "nonzero" true (MS.port srv > 0)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* journal degradation (S2: a bad sink must not take the tool down)    *)
+(* ------------------------------------------------------------------ *)
+
+let journal_degrade_tests =
+  [
+    tc "open_jsonl on an unopenable path degrades instead of raising"
+      (fun () ->
+        Journal.clear ();
+        (* a directory cannot be opened as a file *)
+        (match Journal.open_jsonl "." with
+        | () -> ()
+        | exception _ -> Alcotest.fail "open_jsonl raised");
+        (* and the tool keeps journaling without any sink *)
+        Journal.emit ~component:"degrade" "still.running";
+        check Alcotest.int "event recorded" 1 (Journal.event_count ()));
+    tc "a sink that starts failing mid-run is detached once" (fun () ->
+        Journal.clear ();
+        let calls = ref 0 in
+        Journal.add_sink "flaky" (fun _ ->
+            incr calls;
+            if !calls > 1 then failwith "disk full");
+        Journal.emit ~component:"degrade" "ok";
+        Journal.emit ~component:"degrade" "boom";
+        (* detached: further events do not reach the sink *)
+        Journal.emit ~component:"degrade" "after";
+        check Alcotest.int "sink saw two events" 2 !calls;
+        check Alcotest.int "all events recorded" 3 (Journal.event_count ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* journal analytics (Journal_query - the engine behind bin/vcstat)    *)
+(* ------------------------------------------------------------------ *)
+
+module Q = Vc_util.Journal_query
+
+let ev ?(seq = 1) ?(ts = 0.0) ?(severity = Journal.Info) ?(attrs = [])
+    ~component name =
+  {
+    Journal.ev_seq = seq;
+    ev_ts = ts;
+    ev_severity = severity;
+    ev_component = component;
+    ev_name = name;
+    ev_attrs = attrs;
+  }
+
+let journal_query_tests =
+  [
+    tc "parse_line round-trips event_to_json" (fun () ->
+        Journal.clear ();
+        Journal.emit ~severity:Journal.Warn
+          ~attrs:[ ("tool", "kbdd"); ("latency_s", "0.0125") ]
+          ~component:"portal" "submission";
+        let e = List.hd (Journal.events ()) in
+        match Q.parse_line (Journal.event_to_json e) with
+        | Error msg -> Alcotest.fail msg
+        | Ok e' ->
+          check Alcotest.int "seq" e.Journal.ev_seq e'.Journal.ev_seq;
+          check Alcotest.string "component" "portal" e'.Journal.ev_component;
+          check Alcotest.string "name" "submission" e'.Journal.ev_name;
+          check Alcotest.bool "severity" true
+            (e'.Journal.ev_severity = Journal.Warn);
+          check
+            Alcotest.(list (pair string string))
+            "attrs"
+            [ ("tool", "kbdd"); ("latency_s", "0.0125") ]
+            e'.Journal.ev_attrs);
+    tc "parse_line rejects documents missing required fields" (fun () ->
+        check Alcotest.bool "not json" true
+          (Result.is_error (Q.parse_line "nope"));
+        check Alcotest.bool "no component" true
+          (Result.is_error
+             (Q.parse_line
+                "{\"seq\":1,\"ts\":0,\"severity\":\"INFO\",\"event\":\"x\"}"));
+        check Alcotest.bool "bad severity" true
+          (Result.is_error
+             (Q.parse_line
+                "{\"seq\":1,\"ts\":0,\"severity\":\"LOUD\",\"component\":\"c\",\"event\":\"x\"}")));
+    tc "summarize counts, error rate and latency percentiles" (fun () ->
+        let events =
+          List.concat
+            [
+              List.init 100 (fun i ->
+                  ev ~seq:(i + 1)
+                    ~attrs:
+                      [
+                        ( "latency_s",
+                          Printf.sprintf "%.6f" (float_of_int (i + 1) /. 1000.0)
+                        );
+                      ]
+                    ~component:"portal" "submission");
+              [ ev ~seq:101 ~severity:Journal.Error ~component:"portal" "oops" ];
+            ]
+        in
+        let s = Q.summarize ~top:3 events in
+        check Alcotest.int "total" 101 s.Q.s_total;
+        check Alcotest.int "component count" 101
+          (List.assoc "portal" s.Q.s_by_component);
+        check Alcotest.int "errors" 1 s.Q.s_errors;
+        check (Alcotest.float 1e-9) "error rate" (1.0 /. 101.0) s.Q.s_error_rate;
+        (match s.Q.s_latency with
+        | None -> Alcotest.fail "no latency stats"
+        | Some l ->
+          check Alcotest.int "latency count" 100 l.Q.l_count;
+          check (Alcotest.float 1e-9) "p50" 0.050 l.Q.l_p50_s;
+          check (Alcotest.float 1e-9) "p90" 0.090 l.Q.l_p90_s;
+          check (Alcotest.float 1e-9) "p99" 0.099 l.Q.l_p99_s;
+          check (Alcotest.float 1e-9) "max" 0.100 l.Q.l_max_s);
+        check Alcotest.int "top-3 slowest" 3 (List.length s.Q.s_slowest);
+        match s.Q.s_slowest with
+        | (e, l) :: _ ->
+          check Alcotest.int "slowest is the 100ms one" 100 e.Journal.ev_seq;
+          check (Alcotest.float 1e-9) "slowest latency" 0.100 l
+        | [] -> Alcotest.fail "no slowest");
+    tc "summary JSON parses and carries the acceptance fields" (fun () ->
+        let s =
+          Q.summarize
+            [
+              ev ~seq:1
+                ~attrs:[ ("latency_s", "0.002") ]
+                ~component:"flow" "stage.end";
+            ]
+        in
+        let j = parse_json (Q.summary_to_json s) in
+        check Alcotest.bool "by_component.flow" true
+          (Option.bind (obj_field "by_component" j) (obj_field "flow")
+          = Some (Json.Num 1.0));
+        let all = Option.bind (obj_field "latency" j) (obj_field "all") in
+        List.iter
+          (fun f ->
+            check Alcotest.bool f true
+              (Option.bind all (obj_field f) <> None))
+          [ "p50_s"; "p90_s"; "p99_s" ]);
+    tc "spans_of reconstructs nested begin/end pairs" (fun () ->
+        let events =
+          [
+            ev ~seq:1 ~ts:1.0 ~component:"flow"
+              ~attrs:[ ("stage", "outer") ]
+              "stage.begin";
+            ev ~seq:2 ~ts:1.2 ~component:"flow"
+              ~attrs:[ ("stage", "inner") ]
+              "stage.begin";
+            ev ~seq:3 ~ts:1.5 ~component:"flow"
+              ~attrs:[ ("stage", "inner") ]
+              "stage.end";
+            ev ~seq:4 ~ts:2.0 ~component:"flow"
+              ~attrs:[ ("stage", "outer") ]
+              "stage.end";
+          ]
+        in
+        match Q.spans_of events with
+        | [ outer ] ->
+          check Alcotest.string "outer label" "flow/outer" outer.Q.q_name;
+          check (Alcotest.float 1e-9) "outer duration" 1.0 outer.Q.q_duration_s;
+          (match outer.Q.q_children with
+          | [ inner ] ->
+            check Alcotest.string "inner label" "flow/inner" inner.Q.q_name;
+            check (Alcotest.float 1e-9) "inner duration" 0.3
+              inner.Q.q_duration_s
+          | l -> Alcotest.fail (Printf.sprintf "%d children" (List.length l)))
+        | l -> Alcotest.fail (Printf.sprintf "%d roots" (List.length l)));
+    tc "spans_of ignores orphan ends and closes dangling begins" (fun () ->
+        let events =
+          [
+            ev ~seq:1 ~ts:0.5 ~component:"flow"
+              ~attrs:[ ("stage", "ghost") ]
+              "stage.end";
+            ev ~seq:2 ~ts:1.0 ~component:"flow"
+              ~attrs:[ ("stage", "open") ]
+              "stage.begin";
+            ev ~seq:3 ~ts:3.0 ~component:"flow" "last.event";
+          ]
+        in
+        match Q.spans_of events with
+        | [ sp ] ->
+          check Alcotest.string "label" "flow/open" sp.Q.q_name;
+          check (Alcotest.float 1e-9) "closed at last ts" 2.0 sp.Q.q_duration_s
+        | l -> Alcotest.fail (Printf.sprintf "%d roots" (List.length l)));
+    tc "funnel_of extracts the cohort funnel in order" (fun () ->
+        let stage seq name count =
+          ev ~seq ~component:"cohort"
+            ~attrs:[ ("stage", name); ("count", string_of_int count) ]
+            "funnel.stage"
+        in
+        let stages =
+          Q.funnel_of
+            [
+              stage 1 "registered" 17500;
+              stage 2 "watched_video" 7191;
+              ev ~seq:3 ~component:"cohort" "unrelated";
+              stage 4 "certificates" 386;
+            ]
+        in
+        check
+          Alcotest.(list (pair string int))
+          "stages in order"
+          [ ("registered", 17500); ("watched_video", 7191);
+            ("certificates", 386) ]
+          (List.map (fun s -> (s.Q.f_stage, s.Q.f_count)) stages));
+    tc "funnel JSON and spans JSON parse" (fun () ->
+        let stages = [ { Q.f_stage = "registered"; f_count = 10 } ] in
+        (match obj_field "funnel" (parse_json (Q.funnel_to_json stages)) with
+        | Some (Json.Arr [ _ ]) -> ()
+        | _ -> Alcotest.fail "funnel json");
+        let spans =
+          Q.spans_of
+            [
+              ev ~seq:1 ~ts:0.0 ~component:"c" "work.begin";
+              ev ~seq:2 ~ts:1.0 ~component:"c" "work.end";
+            ]
+        in
+        match obj_field "spans" (parse_json (Q.spans_to_json spans)) with
+        | Some (Json.Arr [ sp ]) ->
+          check Alcotest.bool "label from prefix" true
+            (obj_field "name" sp = Some (Json.Str "c/work"))
+        | _ -> Alcotest.fail "spans json");
+  ]
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -727,4 +1238,9 @@ let () =
       ("regress", regress_tests);
       ("portal-cache", portal_tests);
       ("portal-journal", portal_journal_tests);
+      ("metric-kinds", metric_kinds_tests);
+      ("prometheus", prometheus_tests);
+      ("metrics-server", metrics_server_tests);
+      ("journal-degrade", journal_degrade_tests);
+      ("journal-query", journal_query_tests);
     ]
