@@ -190,6 +190,97 @@ let portal_bench () =
   Vc_util.Journal.remove_sink "jsonl:BENCH_portal.jsonl";
   Printf.printf "wrote BENCH_portal.json and BENCH_portal.jsonl\n"
 
+let server_bench () =
+  header "Server - multicore worker pool throughput (BENCH_server.json)";
+  let module T = Vc_util.Telemetry in
+  let module Portal = Vc_mooc.Portal in
+  let module Server = Vc_mooc.Server in
+  T.reset ();
+  Portal.clear_cache ();
+  Vc_util.Journal.open_jsonl "BENCH_server.jsonl";
+  (* a cache-miss workload: 48 distinct random 3-SAT instances (ratio 4,
+     mostly satisfiable), so every job runs its kernel instead of being
+     served from the result cache *)
+  let dimacs_of_seed seed =
+    let rng = Vc_util.Rng.create (1000 + seed) in
+    let nv = 40 and nc = 160 in
+    let buf = Buffer.create (16 * nc) in
+    Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" nv nc);
+    for _ = 1 to nc do
+      let rec pick k acc =
+        if k = 0 then acc
+        else
+          let v = 1 + Vc_util.Rng.int rng nv in
+          if List.mem v acc then pick k acc else pick (k - 1) (v :: acc)
+      in
+      List.iter
+        (fun v ->
+          let lit = if Vc_util.Rng.bool rng then v else -v in
+          Buffer.add_string buf (string_of_int lit);
+          Buffer.add_char buf ' ')
+        (pick 3 []);
+      Buffer.add_string buf "0\n"
+    done;
+    Buffer.contents buf
+  in
+  let num_jobs = 48 and num_clients = 8 in
+  let jobs = Array.init num_jobs dimacs_of_seed in
+  let run_config workers =
+    Portal.clear_cache ();
+    let server =
+      Server.start
+        ~config:{ Server.default_config with Server.workers }
+        ()
+    in
+    let t0 = T.now () in
+    let clients =
+      List.init num_clients (fun c ->
+          Domain.spawn (fun () ->
+              let i = ref c in
+              while !i < num_jobs do
+                (match
+                   Server.submit server
+                     ~session_id:(Printf.sprintf "bench-%d" c)
+                     Portal.minisat jobs.(!i)
+                 with
+                | Portal.Executed _ | Portal.Cache_hit _ -> ()
+                | Portal.Rejected r ->
+                  failwith ("bench server: unexpected rejection: "
+                            ^ Portal.reason_message r));
+                i := !i + num_clients
+              done))
+    in
+    List.iter Domain.join clients;
+    let elapsed = T.now () -. t0 in
+    Server.stop server;
+    elapsed
+  in
+  let configs = [ 1; 2; 4; 8 ] in
+  let times = List.map (fun w -> (w, run_config w)) configs in
+  let t1 = List.assoc 1 times in
+  Printf.printf "%d jobs (minisat, 40 vars / 160 clauses), %d client domains\n"
+    num_jobs num_clients;
+  List.iter
+    (fun (w, t) ->
+      let throughput = float_of_int num_jobs /. t in
+      (* informational gauges, deliberately not gated by `bench compare`:
+         wall-clock scaling depends on the host's core count *)
+      T.set_gauge
+        (Printf.sprintf "server.bench.w%d.throughput_jobs_per_s" w)
+        throughput;
+      T.set_gauge (Printf.sprintf "server.bench.w%d.speedup" w) (t1 /. t);
+      Printf.printf
+        "  %d worker(s): %6.3f s  %7.1f jobs/s  speedup %.2fx\n" w t
+        throughput (t1 /. t))
+    times;
+  let hits, misses = Portal.cache_stats () in
+  Printf.printf "cache: %d hits / %d misses (cleared between configs)\n" hits
+    misses;
+  Out_channel.with_open_text "BENCH_server.json" (fun oc ->
+      Out_channel.output_string oc (T.to_json ()));
+  Vc_util.Journal.remove_sink "jsonl:BENCH_server.jsonl";
+  Printf.printf "wrote BENCH_server.json and BENCH_server.jsonl\n"
+
 let fig5 () =
   header "Fig. 5 - the four software design projects";
   print_string (Vc_mooc.Projects.render_fig5 ());
@@ -833,6 +924,7 @@ let figures =
     ("fig6", fig6); ("fig7", fig7); ("fig8", fig8); ("fig9", fig9);
     ("fig10", fig10); ("stats", stats); ("fig11", fig11);
     ("portal", portal_bench);
+    ("server", server_bench);
   ]
 
 let perf_tables =

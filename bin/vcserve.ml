@@ -1,0 +1,153 @@
+(* vcserve: the multicore portal service behind a line protocol.
+
+   Usage: vcserve [--stats] [--trace FILE] [--journal FILE]
+                  [--metrics-port N] [-workers N] [-queue N]
+                  [-deadline S] [-rate R] [-burst B] [script-file]
+
+   Requests are read from the script file (stdin when absent):
+
+     TOOL <name>        submit the following lines to a portal tool
+     <input lines>      terminated by a line containing only "."
+     SESSION <id>       switch the client session (default "default")
+     LIST               list the available tools
+     QUIT               exit (EOF works too)
+
+   Each response is one status line, an optional body, and a "." line:
+
+     OK executed        the tool ran; body is its output
+     OK cache_hit       served from the result cache; body is the output
+     ERR <label> <msg>  rejected (runaway / overloaded / rate_limited /
+                        deadline) or unknown tool; no body
+
+   Lines beginning with "." are dot-stuffed ("." -> "..") in both
+   directions, SMTP-style, so any payload round-trips. *)
+
+module Portal = Vc_mooc.Portal
+module Server = Vc_mooc.Server
+
+let usage () =
+  prerr_endline
+    "usage: vcserve [--stats] [--trace FILE] [--journal FILE] \
+     [--metrics-port N]\n\
+    \               [-workers N] [-queue N] [-deadline S] [-rate R] \
+     [-burst B] [script-file]";
+  exit 2
+
+let parse_args argv =
+  let config = ref Server.default_config in
+  let file = ref None in
+  let rate = ref None in
+  let burst = ref 5.0 in
+  let int_of s = match int_of_string_opt s with Some n -> n | None -> usage () in
+  let float_of s =
+    match float_of_string_opt s with Some f -> f | None -> usage ()
+  in
+  let rec go = function
+    | [] -> ()
+    | "-workers" :: n :: rest ->
+      config := { !config with Server.workers = int_of n };
+      go rest
+    | "-queue" :: n :: rest ->
+      config := { !config with Server.queue_capacity = int_of n };
+      go rest
+    | "-deadline" :: s :: rest ->
+      config := { !config with Server.deadline_s = float_of s };
+      go rest
+    | "-rate" :: r :: rest ->
+      rate := Some (float_of r);
+      go rest
+    | "-burst" :: b :: rest ->
+      burst := float_of b;
+      go rest
+    | [ path ] when !file = None && String.length path > 0 && path.[0] <> '-'
+      ->
+      file := Some path
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list argv));
+  (match !rate with
+  | Some r -> config := { !config with Server.rate_limit = Some (r, !burst) }
+  | None -> ());
+  (!config, !file)
+
+let unstuff line =
+  if String.length line >= 2 && line.[0] = '.' && line.[1] = '.' then
+    String.sub line 1 (String.length line - 1)
+  else line
+
+let stuff line =
+  if String.length line > 0 && line.[0] = '.' then "." ^ line else line
+
+let read_body ic =
+  let rec go acc =
+    match In_channel.input_line ic with
+    | None | Some "." -> List.rev acc
+    | Some line -> go (unstuff line :: acc)
+  in
+  String.concat "\n" (go [])
+
+let respond status body =
+  print_endline status;
+  if body <> "" then
+    List.iter
+      (fun l -> print_endline (stuff l))
+      (String.split_on_char '\n' body);
+  print_endline ".";
+  flush stdout
+
+let respond_outcome = function
+  | Portal.Executed out -> respond "OK executed" out
+  | Portal.Cache_hit out -> respond "OK cache_hit" out
+  | Portal.Rejected r ->
+    respond
+      (Printf.sprintf "ERR %s %s" (Portal.reason_label r)
+         (Portal.reason_message r))
+      ""
+
+let () =
+  let argv = Vc_util.Telemetry.cli Sys.argv in
+  let config, file = parse_args argv in
+  let ic =
+    match file with
+    | None -> stdin
+    | Some path -> (
+      try In_channel.open_text path
+      with Sys_error msg ->
+        prerr_endline ("vcserve: " ^ msg);
+        exit 2)
+  in
+  let server = Server.start ~config () in
+  Printf.eprintf "vcserve: %d worker(s), queue capacity %d\n%!"
+    config.Server.workers config.Server.queue_capacity;
+  let rec loop session_id =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some raw -> (
+      let line = String.trim raw in
+      match String.split_on_char ' ' line with
+      | [ "" ] -> loop session_id
+      | [ "QUIT" ] -> ()
+      | [ "LIST" ] ->
+        respond "OK tools"
+          (String.concat "\n"
+             (List.map
+                (fun t ->
+                  t.Portal.tool_name ^ " - " ^ t.Portal.description)
+                Portal.all_tools));
+        loop session_id
+      | [ "SESSION"; id ] ->
+        respond ("OK session " ^ id) "";
+        loop id
+      | [ "TOOL"; name ] -> (
+        let input = read_body ic in
+        (match Portal.resolve_tool name with
+        | Error msg -> respond ("ERR unknown " ^ msg) ""
+        | Ok tool -> respond_outcome (Server.submit server ~session_id tool input));
+        loop session_id)
+      | _ ->
+        respond "ERR protocol expected TOOL <name>, SESSION <id>, LIST or QUIT"
+          "";
+        loop session_id)
+  in
+  loop "default";
+  Server.stop server

@@ -99,11 +99,102 @@ let axb =
 
 let all_tools = [ kbdd; espresso; sis; minisat; axb ]
 
-let find_tool name = List.find_opt (fun t -> t.tool_name = name) all_tools
+(* ------------------------------------------------------------------ *)
+(* tool-name resolution                                                *)
+(* ------------------------------------------------------------------ *)
 
-type session = (string, (string * string) list ref) Hashtbl.t
+(* One resolution path shared by vcserve, the bench driver and anything
+   else that maps user-typed names to portals: case-insensitive, with
+   the paper's colloquial aliases, and a near-miss suggestion in the
+   error text so a typo comes back actionable. *)
 
-let create_session () : session = Hashtbl.create 8
+let aliases = [ ("bdd", "kbdd"); ("sat", "minisat") ]
+
+let canonical_name name =
+  let lower = String.lowercase_ascii (String.trim name) in
+  match List.assoc_opt lower aliases with Some c -> c | None -> lower
+
+let find_tool name =
+  let c = canonical_name name in
+  List.find_opt (fun t -> t.tool_name = c) all_tools
+
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (prev.(j) + 1) (cur.(j - 1) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let suggest name =
+  let candidates =
+    List.map (fun t -> t.tool_name) all_tools @ List.map fst aliases
+  in
+  let scored =
+    List.map (fun c -> (edit_distance name c, c)) candidates |> List.sort compare
+  in
+  match scored with
+  | (d, c) :: _ when d <= 2 && d < String.length name -> Some c
+  | _ -> None
+
+let resolve_tool name =
+  match find_tool name with
+  | Some t -> Ok t
+  | None ->
+    let base =
+      Printf.sprintf "unknown tool %S (available: %s)" name
+        (String.concat ", " (List.map (fun t -> t.tool_name) all_tools))
+    in
+    Error
+      (match suggest (canonical_name name) with
+      | Some s -> Printf.sprintf "%s; did you mean %s?" base s
+      | None -> base)
+
+(* ------------------------------------------------------------------ *)
+(* sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A session's history may be appended from several server workers at
+   once, so it carries its own lock (held only around the hashtable
+   touch, never around a tool execution). *)
+type session = {
+  s_mu : Mutex.t;
+  s_history : (string, (string * string) list ref) Hashtbl.t;
+}
+
+let create_session () : session =
+  { s_mu = Mutex.create (); s_history = Hashtbl.create 8 }
+
+(* ------------------------------------------------------------------ *)
+(* structured outcomes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type reason =
+  | Runaway of string
+  | Overloaded of string
+  | Rate_limited of string
+  | Deadline_exceeded of string
+
+type outcome = Executed of string | Cache_hit of string | Rejected of reason
+
+let reason_message = function
+  | Runaway m | Overloaded m | Rate_limited m | Deadline_exceeded m -> m
+
+let reason_label = function
+  | Runaway _ -> "runaway"
+  | Overloaded _ -> "overloaded"
+  | Rate_limited _ -> "rate_limited"
+  | Deadline_exceeded _ -> "deadline"
+
+let outcome_output = function
+  | Executed out | Cache_hit out -> out
+  | Rejected r -> "error: " ^ reason_message r
 
 (* ------------------------------------------------------------------ *)
 (* content-addressed result cache                                      *)
@@ -113,18 +204,32 @@ let create_session () : session = Hashtbl.create 8
    homework input; every tool is a pure function of its input text, so
    (tool, input) -> output is cached globally across sessions. Bounded
    LRU: eviction scans for the stalest entry, O(capacity), which is dwarfed
-   by any tool execution. *)
+   by any tool execution.
+
+   Domain safety: the table, the recency tick and the capacity share one
+   mutex, held only around table operations - two domains may both miss
+   on the same key and execute the tool twice, but the tool is pure so
+   either result is correct and the LRU bound always holds. Hit/miss/
+   eviction statistics live in the cache's own atomics so they stay in
+   lock-step with [cache_size] even across [Telemetry.reset]; the
+   [portal.cache.*] Telemetry counters are kept as mirrors for the
+   /metrics exposition. *)
 
 module T = Vc_util.Telemetry
 
 type cache_entry = { output : string; mutable last_used : int }
 
+let cache_mu = Mutex.create ()
 let cache : (string, cache_entry) Hashtbl.t = Hashtbl.create 1024
 let capacity = ref 512
 let tick = ref 0
+let stat_hits = Atomic.make 0
+let stat_misses = Atomic.make 0
+let stat_evictions = Atomic.make 0
 
 let cache_key tool_name input = Digest.string (tool_name ^ "\x00" ^ input)
 
+(* call with cache_mu held *)
 let evict_lru () =
   let victim =
     Hashtbl.fold
@@ -137,38 +242,47 @@ let evict_lru () =
   match victim with
   | Some (k, _) ->
     Hashtbl.remove cache k;
+    Atomic.incr stat_evictions;
     T.incr "portal.cache.evictions"
   | None -> ()
 
 let set_cache_capacity n =
   if n < 0 then invalid_arg "Portal.set_cache_capacity: negative capacity";
-  capacity := n;
-  while Hashtbl.length cache > n do
-    evict_lru ()
-  done
+  Mutex.protect cache_mu (fun () ->
+      capacity := n;
+      while Hashtbl.length cache > n do
+        evict_lru ()
+      done)
 
-let cache_capacity () = !capacity
-let cache_size () = Hashtbl.length cache
-let clear_cache () = Hashtbl.reset cache
+let cache_capacity () = Mutex.protect cache_mu (fun () -> !capacity)
+let cache_size () = Mutex.protect cache_mu (fun () -> Hashtbl.length cache)
 
-let cache_stats () =
-  (T.counter "portal.cache.hits", T.counter "portal.cache.misses")
+let clear_cache () =
+  Mutex.protect cache_mu (fun () -> Hashtbl.reset cache);
+  Atomic.set stat_hits 0;
+  Atomic.set stat_misses 0;
+  Atomic.set stat_evictions 0
+
+let cache_stats () = (Atomic.get stat_hits, Atomic.get stat_misses)
+let cache_evictions () = Atomic.get stat_evictions
 
 let cache_find key =
-  match Hashtbl.find_opt cache key with
-  | Some e ->
-    incr tick;
-    e.last_used <- !tick;
-    Some e.output
-  | None -> None
+  Mutex.protect cache_mu (fun () ->
+      match Hashtbl.find_opt cache key with
+      | Some e ->
+        incr tick;
+        e.last_used <- !tick;
+        Some e.output
+      | None -> None)
 
 let cache_add key output =
-  if !capacity > 0 then begin
-    incr tick;
-    if (not (Hashtbl.mem cache key)) && Hashtbl.length cache >= !capacity then
-      evict_lru ();
-    Hashtbl.replace cache key { output; last_used = !tick }
-  end
+  Mutex.protect cache_mu (fun () ->
+      if !capacity > 0 then begin
+        incr tick;
+        if (not (Hashtbl.mem cache key)) && Hashtbl.length cache >= !capacity
+        then evict_lru ();
+        Hashtbl.replace cache key { output; last_used = !tick }
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* instrumented submission                                             *)
@@ -176,34 +290,31 @@ let cache_add key output =
 
 module J = Vc_util.Journal
 
-let submit session tool input =
+let submit_result session tool input =
   let pre = "portal." ^ tool.tool_name in
   T.define_histogram (pre ^ ".latency");
   T.incr (pre ^ ".submits");
-  let outcome = ref "executed" and reject_reason = ref None in
   let t0 = T.now () in
-  let output =
+  let outcome =
     T.time (pre ^ ".latency") (fun () ->
         let lines = List.length (String.split_on_char '\n' input) in
         if lines > tool.max_input_lines then begin
           T.incr (pre ^ ".rejected");
-          outcome := "rejected";
-          let reason =
-            Printf.sprintf "input too large (%d lines; portal limit %d)" lines
-              tool.max_input_lines
-          in
-          reject_reason := Some reason;
-          "error: " ^ reason
+          Rejected
+            (Runaway
+               (Printf.sprintf "input too large (%d lines; portal limit %d)"
+                  lines tool.max_input_lines))
         end
         else begin
           let key = cache_key tool.tool_name input in
           match cache_find key with
           | Some out ->
+            Atomic.incr stat_hits;
             T.incr (pre ^ ".cache_hits");
             T.incr "portal.cache.hits";
-            outcome := "cache_hit";
-            out
+            Cache_hit out
           | None ->
+            Atomic.incr stat_misses;
             T.incr "portal.cache.misses";
             T.incr (pre ^ ".executions");
             let out =
@@ -211,29 +322,35 @@ let submit session tool input =
                 (fun () -> tool.execute input)
             in
             cache_add key out;
-            out
+            Executed out
         end)
   in
   (* one journal event per submission; a runaway rejection is an Error
      and triggers the flight-recorder dump so the operator sees the
      trailing window of activity that led up to it *)
   let latency_s = Float.max 0.0 (T.now () -. t0) in
+  let outcome_name, reject_reason =
+    match outcome with
+    | Executed _ -> ("executed", None)
+    | Cache_hit _ -> ("cache_hit", None)
+    | Rejected r -> ("rejected", Some (reason_message r))
+  in
   J.emit
-    ~severity:(if !outcome = "rejected" then J.Error else J.Info)
+    ~severity:(match outcome with Rejected _ -> J.Error | _ -> J.Info)
     ~component:"portal"
     ~attrs:
       ([
          ("tool", tool.tool_name);
          ("digest", Digest.to_hex (cache_key tool.tool_name input));
-         ("outcome", !outcome);
+         ("outcome", outcome_name);
          ("latency_s", Printf.sprintf "%.6f" latency_s);
        ]
-      @ match !reject_reason with
+      @ match reject_reason with
         | Some r -> [ ("reason", r) ]
         | None -> [])
     "submission";
   T.set_gauge "portal.cache.size" (float_of_int (cache_size ()));
-  (match !reject_reason with
+  (match reject_reason with
   | Some reason ->
     J.dump_flight_recorder
       ~reason:
@@ -241,18 +358,23 @@ let submit session tool input =
            reason)
       ()
   | None -> ());
-  let log =
-    match Hashtbl.find_opt session tool.tool_name with
-    | Some l -> l
-    | None ->
-      let l = ref [] in
-      Hashtbl.add session tool.tool_name l;
-      l
-  in
-  log := (input, output) :: !log;
-  output
+  let output = outcome_output outcome in
+  Mutex.protect session.s_mu (fun () ->
+      let log =
+        match Hashtbl.find_opt session.s_history tool.tool_name with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.add session.s_history tool.tool_name l;
+          l
+      in
+      log := (input, output) :: !log);
+  outcome
+
+let submit session tool input = outcome_output (submit_result session tool input)
 
 let history session tool =
-  match Hashtbl.find_opt session tool.tool_name with
-  | Some l -> List.rev !l
-  | None -> []
+  Mutex.protect session.s_mu (fun () ->
+      match Hashtbl.find_opt session.s_history tool.tool_name with
+      | Some l -> List.rev !l
+      | None -> [])

@@ -10,7 +10,14 @@
     cache: every tool is a pure function of its input text, so a repeat
     of an identical upload - the dominant MOOC workload - returns the
     cached output in O(1) without re-executing the tool. See
-    [docs/OBSERVABILITY.md] and [docs/PORTAL.md]. *)
+    [docs/OBSERVABILITY.md], [docs/PORTAL.md] and [docs/SERVER.md].
+
+    {b Domain safety}: everything here may be called concurrently from
+    {!Vc_mooc.Server}'s worker domains. The result cache and each
+    session's history are mutex-protected; cache statistics live in the
+    cache's own atomics. Tools are pure functions of their input, so a
+    duplicated cache-miss execution in two domains is wasted work, never
+    wrong output. *)
 
 type tool = {
   tool_name : string;
@@ -38,14 +45,70 @@ val axb : tool
 
 val all_tools : tool list
 
+(** {1 Name resolution}
+
+    One resolution path shared by every front end (the [bin/] drivers,
+    [vcserve], the bench harness): case-insensitive, surrounding
+    whitespace ignored, plus the colloquial aliases ["bdd"] -> [kbdd]
+    and ["sat"] -> [minisat]. *)
+
+val canonical_name : string -> string
+(** Lowercase, trim and apply aliases; does not check existence. *)
+
+val find_tool : string -> tool option
+(** Resolve a user-typed name to a tool; [None] if unknown. *)
+
+val resolve_tool : string -> (tool, string) result
+(** Like {!find_tool} but an unknown name comes back as an actionable
+    error message listing the available tools and, when the name is
+    within edit distance 2 of a tool or alias, a ["did you mean ...?"]
+    suggestion. *)
+
 type session
-(** One participant's portal state: private run history per tool. *)
+(** One participant's portal state: private run history per tool. The
+    history is mutex-protected; a session may be used from several
+    server workers at once. *)
 
 val create_session : unit -> session
 
-val submit : session -> tool -> string -> string
-(** Run the tool on the uploaded text (never raises; errors come back as
-    ["error: ..."] text) and append to the tool's history.
+(** {1 Structured outcomes} *)
+
+type reason =
+  | Runaway of string
+      (** Input exceeded the tool's [max_input_lines] guard. *)
+  | Overloaded of string
+      (** The server's submission queue was full (admission control;
+          produced by {!Vc_mooc.Server}, never by {!submit_result}). *)
+  | Rate_limited of string
+      (** The session exceeded its token-bucket budget (produced by
+          {!Vc_mooc.Server}). *)
+  | Deadline_exceeded of string
+      (** The job waited in queue past its deadline (produced by
+          {!Vc_mooc.Server}). *)
+
+type outcome =
+  | Executed of string  (** Tool ran; payload is its output. *)
+  | Cache_hit of string
+      (** Served from the content-addressed cache; byte-identical to
+          what execution would have produced. *)
+  | Rejected of reason
+
+val reason_message : reason -> string
+(** The human-readable message carried by any rejection. *)
+
+val reason_label : reason -> string
+(** Stable machine label: ["runaway"], ["overloaded"], ["rate_limited"]
+    or ["deadline"] - the vocabulary shared by journal events, telemetry
+    counters and the [vcserve] wire protocol. *)
+
+val outcome_output : outcome -> string
+(** Collapse an outcome to the legacy display string: the output for
+    [Executed] / [Cache_hit], ["error: " ^ message] for [Rejected]. *)
+
+val submit_result : session -> tool -> string -> outcome
+(** Run the tool on the uploaded text (never raises; kernel errors come
+    back inside [Executed "error: ..."] text) and append to the tool's
+    history.
 
     Instrumentation per call, under the tool's name [t]:
     [portal.t.submits] always increments; then exactly one of
@@ -53,7 +116,7 @@ val submit : session -> tool -> string -> string
     (identical submission served from the cache, byte-for-byte the same
     output, tool not re-executed) or [portal.t.executions] (tool ran,
     result cached). Wall-clock latency is recorded on the
-    [portal.t.latency] timer, and each real execution opens a
+    [portal.t.latency] histogram, and each real execution opens a
     ["portal.execute"] trace span.
 
     Every submission additionally emits one {!Vc_util.Journal} event
@@ -64,21 +127,26 @@ val submit : session -> tool -> string -> string
     journal's flight recorder, so the trailing window of events that
     led up to it is preserved. *)
 
+val submit : session -> tool -> string -> string
+(** [submit s t i] is [outcome_output (submit_result s t i)].
+    @deprecated Legacy shim kept for existing drivers and tests; new
+    code should call {!submit_result} and match on the outcome. *)
+
 val history : session -> tool -> (string * string) list
 (** (input, output) pairs, oldest first - the "older outputs available by
-    scrolling" behaviour. Cache hits are logged like real runs. *)
-
-val find_tool : string -> tool option
+    scrolling" behaviour. Cache hits and rejections are logged like real
+    runs (the rendered {!outcome_output} string is what is recorded). *)
 
 (** {1 Result cache}
 
     Global across sessions; content-addressed by a digest of
-    [tool name + input]. *)
+    [tool name + input]. Mutex-protected. *)
 
 val set_cache_capacity : int -> unit
 (** Bound the number of cached results (default 512), evicting
     least-recently-used entries if already over the new bound. [0]
-    disables caching. *)
+    disables caching.
+    @raise Invalid_argument on negatives. *)
 
 val cache_capacity : unit -> int
 
@@ -86,9 +154,15 @@ val cache_size : unit -> int
 (** Number of results currently cached (always [<= cache_capacity ()]). *)
 
 val clear_cache : unit -> unit
+(** Drop all cached results and zero the hit/miss/eviction statistics. *)
 
 val cache_stats : unit -> int * int
-(** [(hits, misses)] since start - reads the [portal.cache.hits] /
-    [portal.cache.misses] {!Vc_util.Telemetry} counters, so
-    {!Vc_util.Telemetry.reset} also resets these. Evictions are counted
-    under [portal.cache.evictions]. *)
+(** [(hits, misses)] since the last {!clear_cache}. Counted in the
+    cache's own atomics so they stay consistent with {!cache_size} even
+    across {!Vc_util.Telemetry.reset}; the [portal.cache.hits] /
+    [portal.cache.misses] telemetry counters are kept as mirrors for the
+    [/metrics] exposition. *)
+
+val cache_evictions : unit -> int
+(** Evictions since the last {!clear_cache} (mirrored on
+    [portal.cache.evictions]). *)

@@ -1,0 +1,324 @@
+module T = Vc_util.Telemetry
+module J = Vc_util.Journal
+
+(* ------------------------------------------------------------------ *)
+(* token bucket                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Token_bucket = struct
+  type t = {
+    rate : float;
+    burst : float;
+    mutable tokens : float;
+    mutable last : float;
+  }
+
+  let create ~rate ~burst ~now =
+    if rate < 0.0 || burst <= 0.0 then
+      invalid_arg "Server.Token_bucket.create: rate must be >= 0, burst > 0";
+    { rate; burst; tokens = burst; last = now }
+
+  let try_take b ~now =
+    let dt = Float.max 0.0 (now -. b.last) in
+    b.tokens <- Float.min b.burst (b.tokens +. (dt *. b.rate));
+    b.last <- now;
+    if b.tokens >= 1.0 then begin
+      b.tokens <- b.tokens -. 1.0;
+      true
+    end
+    else false
+
+  let available b ~now =
+    Float.min b.burst (b.tokens +. (Float.max 0.0 (now -. b.last) *. b.rate))
+end
+
+let deadline_expired ~enqueued ~deadline_s ~now =
+  deadline_s < Float.infinity && Float.max 0.0 (now -. enqueued) >= deadline_s
+
+(* ------------------------------------------------------------------ *)
+(* configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  deadline_s : float;
+  rate_limit : (float * float) option;
+}
+
+let default_config =
+  {
+    workers = 4;
+    queue_capacity = 64;
+    deadline_s = Float.infinity;
+    rate_limit = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* jobs and server state                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Each job carries its own mutex/condition pair: the submitting client
+   blocks on it while a worker domain runs the job, so completion wakes
+   exactly the one waiter and never contends with the queue lock. *)
+type job = {
+  j_tool : Portal.tool;
+  j_input : string;
+  j_session : Portal.session;
+  j_enqueued : float;
+  j_mu : Mutex.t;
+  j_cond : Condition.t;
+  mutable j_result : Portal.outcome option;
+}
+
+type session_slot = {
+  sl_session : Portal.session;
+  sl_bucket : Token_bucket.t option;
+}
+
+type t = {
+  config : config;
+  mu : Mutex.t;  (* guards queue, stopping, domains, sessions *)
+  cond : Condition.t;  (* signalled on enqueue, broadcast on stop *)
+  queue : job Queue.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  sessions : (string, session_slot) Hashtbl.t;
+}
+
+let count_outcome outcome =
+  match outcome with
+  | Portal.Executed _ -> T.incr "server.outcome.executed"
+  | Portal.Cache_hit _ -> T.incr "server.outcome.cache_hit"
+  | Portal.Rejected r -> T.incr ("server.outcome.rejected." ^ Portal.reason_label r)
+
+(* Admission-control and deadline rejections are the server's own; each
+   gets its distinct journal event so an operator can tell saturation
+   (overloaded), abuse (rate_limited) and staleness (deadline) apart at
+   a glance. Runaway rejections keep their journal trail inside
+   [Portal.submit_result]. *)
+let reject_server ~session_id ~tool_name label msg reason =
+  let outcome = Portal.Rejected reason in
+  count_outcome outcome;
+  J.emit ~severity:J.Warn ~component:"server"
+    ~attrs:[ ("session", session_id); ("tool", tool_name); ("reason", msg) ]
+    ("job.rejected." ^ label);
+  outcome
+
+(* ------------------------------------------------------------------ *)
+(* worker loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec worker_loop t =
+  let job_opt =
+    Mutex.protect t.mu (fun () ->
+        while Queue.is_empty t.queue && not t.stopping do
+          Condition.wait t.cond t.mu
+        done;
+        if Queue.is_empty t.queue then None (* stopping, queue drained *)
+        else begin
+          let j = Queue.pop t.queue in
+          T.set_gauge "server.queue_depth" (float_of_int (Queue.length t.queue));
+          Some j
+        end)
+  in
+  match job_opt with
+  | None -> ()
+  | Some job ->
+    let now = T.now () in
+    let wait_s = Float.max 0.0 (now -. job.j_enqueued) in
+    T.observe "server.queue_wait" wait_s;
+    let outcome =
+      if
+        deadline_expired ~enqueued:job.j_enqueued
+          ~deadline_s:t.config.deadline_s ~now
+      then begin
+        (* only the configured limit in the message - the measured wait
+           goes in the journal attrs, keeping wire output deterministic *)
+        let msg =
+          Printf.sprintf "queue wait exceeded the %.3f s deadline"
+            t.config.deadline_s
+        in
+        let outcome = Portal.Rejected (Portal.Deadline_exceeded msg) in
+        count_outcome outcome;
+        J.emit ~severity:J.Warn ~component:"server"
+          ~attrs:
+            [
+              ("tool", job.j_tool.Portal.tool_name);
+              ("wait_s", Printf.sprintf "%.6f" wait_s);
+              ("reason", msg);
+            ]
+          "job.rejected.deadline";
+        outcome
+      end
+      else begin
+        let outcome = Portal.submit_result job.j_session job.j_tool job.j_input in
+        count_outcome outcome;
+        outcome
+      end
+    in
+    Mutex.protect job.j_mu (fun () ->
+        job.j_result <- Some outcome;
+        Condition.signal job.j_cond);
+    worker_loop t
+
+(* ------------------------------------------------------------------ *)
+(* lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let start ?(config = default_config) () =
+  if config.workers < 1 then
+    invalid_arg "Server.start: at least one worker required";
+  if config.queue_capacity < 0 then
+    invalid_arg "Server.start: negative queue capacity";
+  T.define_histogram "server.queue_wait";
+  T.set_gauge "server.queue_depth" 0.0;
+  let t =
+    {
+      config;
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      domains = [];
+      sessions = Hashtbl.create 16;
+    }
+  in
+  t.domains <-
+    List.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  J.emit ~component:"server"
+    ~attrs:
+      [
+        ("workers", string_of_int config.workers);
+        ("queue_capacity", string_of_int config.queue_capacity);
+        ("deadline_s",
+         if config.deadline_s = Float.infinity then "none"
+         else Printf.sprintf "%.3f" config.deadline_s);
+        ("rate_limit",
+         match config.rate_limit with
+         | None -> "none"
+         | Some (rate, burst) -> Printf.sprintf "%.3f/s burst %.1f" rate burst);
+      ]
+    "server.start";
+  t
+
+let stop t =
+  let domains =
+    Mutex.protect t.mu (fun () ->
+        if t.stopping then []
+        else begin
+          t.stopping <- true;
+          Condition.broadcast t.cond;
+          let d = t.domains in
+          t.domains <- [];
+          d
+        end)
+  in
+  if domains <> [] then begin
+    List.iter Domain.join domains;
+    T.set_gauge "server.queue_depth" 0.0;
+    J.emit ~component:"server"
+      ~attrs:
+        [
+          ("executed", string_of_int (T.counter "server.outcome.executed"));
+          ("cache_hit", string_of_int (T.counter "server.outcome.cache_hit"));
+          ("rejected.runaway",
+           string_of_int (T.counter "server.outcome.rejected.runaway"));
+          ("rejected.overloaded",
+           string_of_int (T.counter "server.outcome.rejected.overloaded"));
+          ("rejected.rate_limited",
+           string_of_int (T.counter "server.outcome.rejected.rate_limited"));
+          ("rejected.deadline",
+           string_of_int (T.counter "server.outcome.rejected.deadline"));
+        ]
+      "server.stop"
+  end
+
+let queue_depth t = Mutex.protect t.mu (fun () -> Queue.length t.queue)
+
+(* ------------------------------------------------------------------ *)
+(* sessions and submission                                             *)
+(* ------------------------------------------------------------------ *)
+
+let session_slot t id =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.sessions id with
+      | Some slot -> slot
+      | None ->
+        let slot =
+          {
+            sl_session = Portal.create_session ();
+            sl_bucket =
+              Option.map
+                (fun (rate, burst) ->
+                  Token_bucket.create ~rate ~burst ~now:(T.now ()))
+                t.config.rate_limit;
+          }
+        in
+        Hashtbl.add t.sessions id slot;
+        slot)
+
+let session t id = (session_slot t id).sl_session
+
+let submit t ~session_id tool input =
+  T.incr "server.submitted";
+  let slot = session_slot t session_id in
+  let tool_name = tool.Portal.tool_name in
+  let rate_ok =
+    match slot.sl_bucket with
+    | None -> true
+    | Some b ->
+      (* the bucket mutates; reuse the server lock rather than giving
+         each bucket its own (takes are rare and O(1)) *)
+      Mutex.protect t.mu (fun () -> Token_bucket.try_take b ~now:(T.now ()))
+  in
+  if not rate_ok then
+    reject_server ~session_id ~tool_name "rate_limited"
+      (Printf.sprintf "session %S exceeded its submission rate limit"
+         session_id)
+      (Portal.Rate_limited
+         (Printf.sprintf "session %S exceeded its submission rate limit"
+            session_id))
+  else begin
+    let job =
+      {
+        j_tool = tool;
+        j_input = input;
+        j_session = slot.sl_session;
+        j_enqueued = T.now ();
+        j_mu = Mutex.create ();
+        j_cond = Condition.create ();
+        j_result = None;
+      }
+    in
+    let admitted =
+      Mutex.protect t.mu (fun () ->
+          if t.stopping then `Stopped
+          else if Queue.length t.queue >= t.config.queue_capacity then `Full
+          else begin
+            Queue.push job t.queue;
+            T.set_gauge "server.queue_depth"
+              (float_of_int (Queue.length t.queue));
+            Condition.signal t.cond;
+            `Admitted
+          end)
+    in
+    match admitted with
+    | `Stopped ->
+      reject_server ~session_id ~tool_name "overloaded"
+        "server is shutting down"
+        (Portal.Overloaded "server is shutting down")
+    | `Full ->
+      let msg =
+        Printf.sprintf "submission queue full (capacity %d)"
+          t.config.queue_capacity
+      in
+      reject_server ~session_id ~tool_name "overloaded" msg
+        (Portal.Overloaded msg)
+    | `Admitted ->
+      Mutex.protect job.j_mu (fun () ->
+          while job.j_result = None do
+            Condition.wait job.j_cond job.j_mu
+          done;
+          Option.get job.j_result)
+  end

@@ -15,6 +15,16 @@ type event = {
   ev_attrs : (string * string) list;
 }
 
+(* Domain safety: the ring, the sequence counter and the sink registry
+   share one mutex. Sinks run inside the critical section - that is what
+   serializes concurrent writers onto a single JSONL channel - so a sink
+   must never call back into [emit] (none does; they are plain
+   formatters). The mutex is innermost everywhere: callers (portal,
+   server) may hold their own locks, this module never calls theirs. *)
+let mu = Mutex.create ()
+
+let locked f = Mutex.protect mu f
+
 (* ------------------------------------------------------------------ *)
 (* flight-recorder ring                                                *)
 (* ------------------------------------------------------------------ *)
@@ -23,7 +33,7 @@ let ring : event Queue.t = Queue.create ()
 let capacity = ref 256
 let seq = ref 0
 
-let ring_capacity () = !capacity
+let ring_capacity () = locked (fun () -> !capacity)
 
 let trim () =
   while Queue.length ring > !capacity do
@@ -32,15 +42,17 @@ let trim () =
 
 let set_ring_capacity n =
   if n < 0 then invalid_arg "Journal.set_ring_capacity: negative capacity";
-  capacity := n;
-  trim ()
+  locked (fun () ->
+      capacity := n;
+      trim ())
 
-let events () = List.of_seq (Queue.to_seq ring)
-let event_count () = !seq
+let events () = locked (fun () -> List.of_seq (Queue.to_seq ring))
+let event_count () = locked (fun () -> !seq)
 
 let clear () =
-  Queue.clear ring;
-  seq := 0
+  locked (fun () ->
+      Queue.clear ring;
+      seq := 0)
 
 (* ------------------------------------------------------------------ *)
 (* sinks                                                               *)
@@ -49,35 +61,46 @@ let clear () =
 let sinks : (string * (event -> unit)) list ref = ref []
 
 let add_sink name f =
-  sinks := (name, f) :: List.remove_assoc name !sinks
+  locked (fun () -> sinks := (name, f) :: List.remove_assoc name !sinks)
 
-let remove_sink name = sinks := List.remove_assoc name !sinks
+let remove_sink name = locked (fun () -> sinks := List.remove_assoc name !sinks)
 
 let emit ?(severity = Info) ?(attrs = []) ~component name =
-  incr seq;
-  let e =
-    {
-      ev_seq = !seq;
-      ev_ts = Clock.now ();
-      ev_severity = severity;
-      ev_component = component;
-      ev_name = name;
-      ev_attrs = attrs;
-    }
+  let failed =
+    locked (fun () ->
+        incr seq;
+        let e =
+          {
+            ev_seq = !seq;
+            ev_ts = Clock.now ();
+            ev_severity = severity;
+            ev_component = component;
+            ev_name = name;
+            ev_attrs = attrs;
+          }
+        in
+        if !capacity > 0 then begin
+          Queue.push e ring;
+          trim ()
+        end;
+        let failures = ref [] in
+        List.iter
+          (fun (name, f) ->
+            match f e with
+            | () -> ()
+            | exception exn -> failures := (name, exn) :: !failures)
+          !sinks;
+        (* drop raising sinks inline - remove_sink would self-deadlock *)
+        List.iter
+          (fun (name, _) -> sinks := List.remove_assoc name !sinks)
+          !failures;
+        !failures)
   in
-  if !capacity > 0 then begin
-    Queue.push e ring;
-    trim ()
-  end;
   List.iter
-    (fun (name, f) ->
-      match f e with
-      | () -> ()
-      | exception exn ->
-        remove_sink name;
-        Printf.eprintf "journal: sink %s failed (%s); removed\n%!" name
-          (Printexc.to_string exn))
-    !sinks
+    (fun (name, exn) ->
+      Printf.eprintf "journal: sink %s failed (%s); removed\n%!" name
+        (Printexc.to_string exn))
+    failed
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)

@@ -23,9 +23,13 @@
       {!Telemetry.cli}) or when a portal submission trips the runaway
       guard - the trailing window of context an operator needs.
 
-    Like the rest of the observability layer, all state is process-global
-    and unsynchronized (the MOOC served each participant from an isolated
-    single-threaded worker), and there are no third-party dependencies. *)
+    Like the rest of the observability layer, all state is
+    process-global and {e domain-safe}: the ring, the sequence counter
+    and the sink registry share one internal mutex, and sinks run inside
+    the critical section so concurrent emitters from
+    {!Vc_mooc.Server}'s worker domains serialize cleanly onto a single
+    JSONL channel (a sink must therefore never call back into {!emit}).
+    There are no third-party dependencies. *)
 
 (** {1 Events} *)
 

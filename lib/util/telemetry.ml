@@ -1,8 +1,21 @@
-(* Global, single-threaded instrumentation state. Everything lives in
-   plain hashtables keyed by flat names; renderers sort on the way out. *)
+(* Global instrumentation state. Everything lives in plain hashtables
+   keyed by flat names; renderers sort on the way out.
+
+   Domain safety: all shared tables sit behind one mutex ([mu]) with
+   short critical sections - an increment or a sample push, never a tool
+   execution. The trace-span stack is domain-local ([Domain.DLS]) so
+   concurrent spans from different domains build independent trees;
+   completed top-level spans merge into the shared forest under the same
+   mutex. Lock ordering: callers may hold their own locks (the portal
+   cache, the server queue) when calling in here, but nothing in this
+   module ever calls back out, so the telemetry mutex is always
+   innermost and cannot deadlock. *)
 
 let set_clock = Clock.set
 let now = Clock.now
+
+let mu = Mutex.create ()
+let locked f = Mutex.protect mu f
 
 (* ------------------------------------------------------------------ *)
 (* counters                                                            *)
@@ -11,15 +24,17 @@ let now = Clock.now
 let counter_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
 
 let incr ?(by = 1) name =
-  match Hashtbl.find_opt counter_tbl name with
-  | Some r -> r := !r + by
-  | None -> Hashtbl.add counter_tbl name (ref by)
+  locked (fun () ->
+      match Hashtbl.find_opt counter_tbl name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.add counter_tbl name (ref by))
 
 let counter name =
-  match Hashtbl.find_opt counter_tbl name with Some r -> !r | None -> 0
+  locked (fun () ->
+      match Hashtbl.find_opt counter_tbl name with Some r -> !r | None -> 0)
 
 let counters () =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counter_tbl []
+  locked (fun () -> Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counter_tbl [])
   |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
@@ -87,31 +102,32 @@ let hist_observe h v =
   place 0
 
 let define_histogram ?(buckets = default_buckets) name =
-  if not (Hashtbl.mem hist_tbl name) then begin
-    (match buckets with
-    | [] -> invalid_arg "Telemetry.define_histogram: no buckets"
-    | _ ->
-      List.iter2
-        (fun a b ->
-          if b <= a then
-            invalid_arg "Telemetry.define_histogram: buckets not increasing")
-        (List.filteri (fun i _ -> i < List.length buckets - 1) buckets)
-        (List.tl buckets));
-    let h =
-      {
-        h_bounds = Array.of_list buckets;
-        h_counts = Array.make (List.length buckets) 0;
-        h_sum = 0.0;
-        h_count = 0;
-      }
-    in
-    (* backfill samples the timer already recorded, so "converting" a
-       live timer mid-run loses nothing *)
-    (match Hashtbl.find_opt timer_tbl name with
-    | Some l -> List.iter (hist_observe h) (List.rev !l)
-    | None -> ());
-    Hashtbl.add hist_tbl name h
-  end
+  (match buckets with
+  | [] -> invalid_arg "Telemetry.define_histogram: no buckets"
+  | _ ->
+    List.iter2
+      (fun a b ->
+        if b <= a then
+          invalid_arg "Telemetry.define_histogram: buckets not increasing")
+      (List.filteri (fun i _ -> i < List.length buckets - 1) buckets)
+      (List.tl buckets));
+  locked (fun () ->
+      if not (Hashtbl.mem hist_tbl name) then begin
+        let h =
+          {
+            h_bounds = Array.of_list buckets;
+            h_counts = Array.make (List.length buckets) 0;
+            h_sum = 0.0;
+            h_count = 0;
+          }
+        in
+        (* backfill samples the timer already recorded, so "converting" a
+           live timer mid-run loses nothing *)
+        (match Hashtbl.find_opt timer_tbl name with
+        | Some l -> List.iter (hist_observe h) (List.rev !l)
+        | None -> ());
+        Hashtbl.add hist_tbl name h
+      end)
 
 let hist_summarize h =
   let cum = ref 0 in
@@ -126,19 +142,22 @@ let hist_summarize h =
   { buckets; hist_sum = h.h_sum; hist_count = h.h_count }
 
 let histogram name =
-  Option.map hist_summarize (Hashtbl.find_opt hist_tbl name)
+  locked (fun () ->
+      Option.map hist_summarize (Hashtbl.find_opt hist_tbl name))
 
 let histograms () =
-  Hashtbl.fold (fun k h acc -> (k, hist_summarize h) :: acc) hist_tbl []
+  locked (fun () ->
+      Hashtbl.fold (fun k h acc -> (k, hist_summarize h) :: acc) hist_tbl [])
   |> List.sort compare
 
 let observe name dt =
-  (match Hashtbl.find_opt timer_tbl name with
-  | Some l -> l := dt :: !l
-  | None -> Hashtbl.add timer_tbl name (ref [ dt ]));
-  match Hashtbl.find_opt hist_tbl name with
-  | Some h -> hist_observe h dt
-  | None -> ()
+  locked (fun () ->
+      (match Hashtbl.find_opt timer_tbl name with
+      | Some l -> l := dt :: !l
+      | None -> Hashtbl.add timer_tbl name (ref [ dt ]));
+      match Hashtbl.find_opt hist_tbl name with
+      | Some h -> hist_observe h dt
+      | None -> ())
 
 (* ------------------------------------------------------------------ *)
 (* gauges                                                              *)
@@ -147,14 +166,16 @@ let observe name dt =
 let gauge_tbl : (string, float ref) Hashtbl.t = Hashtbl.create 16
 
 let set_gauge name v =
-  match Hashtbl.find_opt gauge_tbl name with
-  | Some r -> r := v
-  | None -> Hashtbl.add gauge_tbl name (ref v)
+  locked (fun () ->
+      match Hashtbl.find_opt gauge_tbl name with
+      | Some r -> r := v
+      | None -> Hashtbl.add gauge_tbl name (ref v))
 
-let gauge name = Option.map ( ! ) (Hashtbl.find_opt gauge_tbl name)
+let gauge name =
+  locked (fun () -> Option.map ( ! ) (Hashtbl.find_opt gauge_tbl name))
 
 let gauges () =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) gauge_tbl []
+  locked (fun () -> Hashtbl.fold (fun k r acc -> (k, !r) :: acc) gauge_tbl [])
   |> List.sort compare
 
 (* The clock is wall time, not monotonic: an NTP step mid-measurement can
@@ -186,11 +207,15 @@ let summarize samples =
     stddev_s = Stats.stddev samples;
   }
 
+(* Snapshot the (immutable) sample lists under the lock, summarize
+   outside it - the summaries walk each list several times. *)
 let timer name =
-  Option.map (fun l -> summarize !l) (Hashtbl.find_opt timer_tbl name)
+  locked (fun () -> Option.map ( ! ) (Hashtbl.find_opt timer_tbl name))
+  |> Option.map summarize
 
 let timers () =
-  Hashtbl.fold (fun k l acc -> (k, summarize !l) :: acc) timer_tbl []
+  locked (fun () -> Hashtbl.fold (fun k l acc -> (k, !l) :: acc) timer_tbl [])
+  |> List.map (fun (k, l) -> (k, summarize l))
   |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
@@ -212,10 +237,15 @@ type open_span = {
   mutable o_children : span list; (* newest first *)
 }
 
-let span_stack : open_span list ref = ref []
-let root_spans : span list ref = ref [] (* newest first *)
+(* Each domain nests spans on its own stack; only a completed top-level
+   span crosses into the shared forest (under [mu]). *)
+let span_stack_key : open_span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let root_spans : span list ref = ref [] (* newest first; guarded by mu *)
 
 let with_span ?(attrs = []) name f =
+  let span_stack = Domain.DLS.get span_stack_key in
   let o = { o_name = name; o_start = now (); o_attrs = attrs; o_children = [] } in
   span_stack := o :: !span_stack;
   let finish extra =
@@ -231,7 +261,7 @@ let with_span ?(attrs = []) name f =
     in
     match !span_stack with
     | parent :: _ -> parent.o_children <- s :: parent.o_children
-    | [] -> root_spans := s :: !root_spans
+    | [] -> locked (fun () -> root_spans := s :: !root_spans)
   in
   match f () with
   | v ->
@@ -243,7 +273,7 @@ let with_span ?(attrs = []) name f =
 
 let timed_span ?attrs name f = time name (fun () -> with_span ?attrs name f)
 
-let spans () = List.rev !root_spans
+let spans () = List.rev (locked (fun () -> !root_spans))
 
 (* ------------------------------------------------------------------ *)
 (* probes                                                              *)
@@ -252,10 +282,15 @@ let spans () = List.rev !root_spans
 let probe_tbl : (string, unit -> (string * int) list) Hashtbl.t =
   Hashtbl.create 16
 
-let register_probe name f = Hashtbl.replace probe_tbl name f
+let register_probe name f =
+  locked (fun () -> Hashtbl.replace probe_tbl name f)
 
+(* Snapshot the registry under the lock, but read each probe outside it:
+   probe thunks belong to other subsystems and must be free to take
+   their own locks. *)
 let probes () =
-  Hashtbl.fold (fun k f acc -> (k, f ()) :: acc) probe_tbl []
+  locked (fun () -> Hashtbl.fold (fun k f acc -> (k, f) :: acc) probe_tbl [])
+  |> List.map (fun (k, f) -> (k, f ()))
   |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
@@ -307,7 +342,8 @@ let report () =
       ps
   end;
   Buffer.add_string b
-    (Printf.sprintf "trace spans recorded: %d\n" (List.length !root_spans));
+    (Printf.sprintf "trace spans recorded: %d\n"
+       (List.length (locked (fun () -> !root_spans))));
   Buffer.contents b
 
 (* JSON text is built through the shared Vc_util.Json emitters, so the
@@ -358,7 +394,7 @@ let to_json () =
              (fun (name, kvs) ->
                (name, jobj (List.map (fun (k, v) -> (k, string_of_int v)) kvs)))
              (probes ())) );
-      ("spans", string_of_int (List.length !root_spans));
+      ("spans", string_of_int (List.length (locked (fun () -> !root_spans))));
     ]
 
 let rec span_json s =
@@ -423,6 +459,7 @@ let to_prometheus () =
       family n "gauge" (Printf.sprintf "Telemetry gauge %s." k);
       Buffer.add_string b (Printf.sprintf "%s %s\n" n (prom_float v)))
     (gauges ());
+  let hists = histograms () in
   List.iter
     (fun (k, h) ->
       let n = prom_name k ^ "_seconds" in
@@ -436,12 +473,12 @@ let to_prometheus () =
         (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.hist_count);
       Buffer.add_string b (Printf.sprintf "%s_sum %s\n" n (prom_float h.hist_sum));
       Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.hist_count))
-    (histograms ());
+    hists;
   (* timers that were not upgraded to histograms still appear, as
      summaries with exact quantiles off the raw samples *)
   List.iter
     (fun (k, s) ->
-      if not (Hashtbl.mem hist_tbl k) then begin
+      if not (List.mem_assoc k hists) then begin
         let n = prom_name k ^ "_seconds" in
         family n "summary" (Printf.sprintf "Timer %s (seconds)." k);
         List.iter
@@ -460,12 +497,15 @@ let to_prometheus () =
 (* ------------------------------------------------------------------ *)
 
 let reset () =
-  Hashtbl.reset counter_tbl;
-  Hashtbl.reset timer_tbl;
-  Hashtbl.reset hist_tbl;
-  Hashtbl.reset gauge_tbl;
-  span_stack := [];
-  root_spans := []
+  locked (fun () ->
+      Hashtbl.reset counter_tbl;
+      Hashtbl.reset timer_tbl;
+      Hashtbl.reset hist_tbl;
+      Hashtbl.reset gauge_tbl;
+      root_spans := []);
+  (* only the calling domain's open-span stack can be cleared - other
+     domains own theirs *)
+  Domain.DLS.get span_stack_key := []
 
 type cli_options = {
   cli_argv : string array;

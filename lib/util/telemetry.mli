@@ -10,11 +10,14 @@
     probes with it, and every binary under [bin/] exposes it through the
     [--stats] and [--trace FILE] flags (see {!cli}).
 
-    All state is global to the process and not synchronized; the MOOC
-    portals served each participant from an isolated worker, and this
-    reproduction keeps that single-threaded model. Everything here is
-    plain OCaml + the [unix] library shipped with the compiler - no
-    third-party dependencies. *)
+    All state is global to the process and {e domain-safe}: counters,
+    timers, histograms, gauges and the probe registry sit behind one
+    internal mutex with constant-time critical sections, so
+    {!Vc_mooc.Server}'s worker domains can instrument concurrently.
+    Trace spans nest on a per-domain stack ({!with_span} trees never
+    interleave across domains); completed top-level spans merge into the
+    shared forest. Everything here is plain OCaml + the [unix] library
+    shipped with the compiler - no third-party dependencies. *)
 
 (** {1 Counters} *)
 
@@ -193,7 +196,8 @@ val to_prometheus : unit -> string
 val reset : unit -> unit
 (** Clear counters, gauges, timer samples, histogram definitions and
     recorded spans. Registered probes and the clock survive (their
-    counters live in their own modules). *)
+    counters live in their own modules). Only the calling domain's
+    open-span stack is cleared; other domains own theirs. *)
 
 val set_clock : (unit -> float) -> unit
 (** Replace the time source (default [Unix.gettimeofday]) - an alias of

@@ -1,0 +1,423 @@
+(* The multicore portal service: token bucket, deadline predicate, tool
+   resolution, the structured outcome API, every admission-control
+   rejection path, graceful shutdown, and the multi-domain stress test
+   whose outputs must be byte-identical to a sequential oracle. *)
+
+open Helpers
+module T = Vc_util.Telemetry
+module Journal = Vc_util.Journal
+module Portal = Vc_mooc.Portal
+module Server = Vc_mooc.Server
+
+let fresh () =
+  T.reset ();
+  Journal.clear ();
+  Portal.clear_cache ();
+  Portal.set_cache_capacity 512
+
+(* a synthetic tool: pure, fast, no kernel dependency *)
+let echo =
+  {
+    Portal.tool_name = "echo";
+    description = "test tool";
+    max_input_lines = 3;
+    execute = (fun s -> "echo: " ^ s);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* token bucket + deadline predicate (injected clocks, no sleeping)    *)
+(* ------------------------------------------------------------------ *)
+
+let token_bucket_tests =
+  [
+    tc "burst is honoured, then the bucket runs dry" (fun () ->
+        let b = Server.Token_bucket.create ~rate:1.0 ~burst:2.0 ~now:0.0 in
+        check Alcotest.bool "1st" true (Server.Token_bucket.try_take b ~now:0.0);
+        check Alcotest.bool "2nd" true (Server.Token_bucket.try_take b ~now:0.0);
+        check Alcotest.bool "3rd is dry" false
+          (Server.Token_bucket.try_take b ~now:0.0));
+    tc "tokens refill with elapsed time, capped at burst" (fun () ->
+        let b = Server.Token_bucket.create ~rate:2.0 ~burst:2.0 ~now:0.0 in
+        ignore (Server.Token_bucket.try_take b ~now:0.0);
+        ignore (Server.Token_bucket.try_take b ~now:0.0);
+        check Alcotest.bool "dry" false (Server.Token_bucket.try_take b ~now:0.0);
+        (* 0.5 s at 2 tokens/s refills exactly one *)
+        check Alcotest.bool "refilled" true
+          (Server.Token_bucket.try_take b ~now:0.5);
+        check Alcotest.bool "only one" false
+          (Server.Token_bucket.try_take b ~now:0.5);
+        (* a long idle period caps at burst, not rate * dt *)
+        check (Alcotest.float 1e-9) "capped" 2.0
+          (Server.Token_bucket.available b ~now:1000.0));
+    tc "rate 0 never refills" (fun () ->
+        let b = Server.Token_bucket.create ~rate:0.0 ~burst:1.0 ~now:0.0 in
+        check Alcotest.bool "take" true (Server.Token_bucket.try_take b ~now:0.0);
+        check Alcotest.bool "never again" false
+          (Server.Token_bucket.try_take b ~now:1e12));
+    tc "clock going backwards does not refund tokens" (fun () ->
+        let b = Server.Token_bucket.create ~rate:1.0 ~burst:1.0 ~now:100.0 in
+        ignore (Server.Token_bucket.try_take b ~now:100.0);
+        check Alcotest.bool "no refund" false
+          (Server.Token_bucket.try_take b ~now:50.0));
+    tc "create validates parameters" (fun () ->
+        check Alcotest.bool "negative rate" true
+          (match Server.Token_bucket.create ~rate:(-1.0) ~burst:1.0 ~now:0.0 with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        check Alcotest.bool "zero burst" true
+          (match Server.Token_bucket.create ~rate:1.0 ~burst:0.0 ~now:0.0 with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    tc "deadline predicate" (fun () ->
+        let exp = Server.deadline_expired in
+        check Alcotest.bool "infinite never expires" false
+          (exp ~enqueued:0.0 ~deadline_s:Float.infinity ~now:1e18);
+        check Alcotest.bool "zero always expires" true
+          (exp ~enqueued:10.0 ~deadline_s:0.0 ~now:10.0);
+        check Alcotest.bool "before the deadline" false
+          (exp ~enqueued:10.0 ~deadline_s:5.0 ~now:14.9);
+        check Alcotest.bool "at the deadline" true
+          (exp ~enqueued:10.0 ~deadline_s:5.0 ~now:15.0);
+        check Alcotest.bool "clock skew counts as zero wait" false
+          (exp ~enqueued:10.0 ~deadline_s:5.0 ~now:3.0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* tool resolution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_tests =
+  [
+    tc "resolution is case-insensitive and trims whitespace" (fun () ->
+        List.iter
+          (fun (typed, expect) ->
+            match Portal.find_tool typed with
+            | Some t ->
+              check Alcotest.string typed expect t.Portal.tool_name
+            | None -> Alcotest.failf "%S did not resolve" typed)
+          [
+            ("kbdd", "kbdd"); ("KBDD", "kbdd"); (" Espresso ", "espresso");
+            ("MiniSAT", "minisat"); ("sis", "sis"); ("AXB", "axb");
+          ]);
+    tc "colloquial aliases resolve" (fun () ->
+        check Alcotest.string "bdd" "kbdd"
+          (Portal.canonical_name "bdd");
+        check Alcotest.string "sat" "minisat"
+          (Portal.canonical_name " SAT ");
+        check Alcotest.bool "alias finds the tool" true
+          (match Portal.find_tool "BDD" with
+          | Some t -> t.Portal.tool_name = "kbdd"
+          | None -> false));
+    tc "near-miss gets a suggestion, garbage does not" (fun () ->
+        let contains ~sub s =
+          let n = String.length sub and m = String.length s in
+          let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        (match Portal.resolve_tool "kbddd" with
+        | Ok _ -> Alcotest.fail "kbddd resolved"
+        | Error msg ->
+          check Alcotest.bool "lists tools" true
+            (contains ~sub:"available: kbdd, espresso, sis, minisat, axb" msg);
+          check Alcotest.bool "suggests kbdd" true
+            (String.ends_with ~suffix:"did you mean kbdd?" msg));
+        match Portal.resolve_tool "zzzzzz" with
+        | Ok _ -> Alcotest.fail "zzzzzz resolved"
+        | Error msg ->
+          check Alcotest.bool "no suggestion" false
+            (String.ends_with ~suffix:"?" msg));
+    tc "every canonical name resolves to itself" (fun () ->
+        List.iter
+          (fun t ->
+            match Portal.resolve_tool t.Portal.tool_name with
+            | Ok t' ->
+              check Alcotest.string t.Portal.tool_name t.Portal.tool_name
+                t'.Portal.tool_name
+            | Error e -> Alcotest.fail e)
+          Portal.all_tools);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* structured outcome API                                              *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_tests =
+  [
+    tc "execute, then cache hit, with matching payloads" (fun () ->
+        fresh ();
+        let s = Portal.create_session () in
+        (match Portal.submit_result s echo "hello" with
+        | Portal.Executed out -> check Alcotest.string "payload" "echo: hello" out
+        | _ -> Alcotest.fail "expected Executed");
+        match Portal.submit_result s echo "hello" with
+        | Portal.Cache_hit out -> check Alcotest.string "payload" "echo: hello" out
+        | _ -> Alcotest.fail "expected Cache_hit");
+    tc "runaway rejection carries its reason" (fun () ->
+        fresh ();
+        let s = Portal.create_session () in
+        match Portal.submit_result s echo "a\nb\nc\nd\ne" with
+        | Portal.Rejected (Portal.Runaway msg) ->
+          check Alcotest.string "label" "runaway"
+            (Portal.reason_label (Portal.Runaway msg));
+          check Alcotest.bool "mentions the limit" true
+            (String.ends_with ~suffix:"portal limit 3)" msg)
+        | _ -> Alcotest.fail "expected Rejected Runaway");
+    tc "submit shim collapses outcomes to the legacy strings" (fun () ->
+        fresh ();
+        let s = Portal.create_session () in
+        check Alcotest.string "executed" "echo: x" (Portal.submit s echo "x");
+        check Alcotest.string "cache hit" "echo: x" (Portal.submit s echo "x");
+        let rejected = Portal.submit s echo "a\nb\nc\nd" in
+        check Alcotest.bool "error text" true
+          (String.starts_with ~prefix:"error: " rejected));
+    tc "reason labels are distinct and stable" (fun () ->
+        let labels =
+          List.map Portal.reason_label
+            [
+              Portal.Runaway "m"; Portal.Overloaded "m";
+              Portal.Rate_limited "m"; Portal.Deadline_exceeded "m";
+            ]
+        in
+        check
+          Alcotest.(list string)
+          "labels"
+          [ "runaway"; "overloaded"; "rate_limited"; "deadline" ]
+          labels;
+        check Alcotest.int "all distinct" 4
+          (List.length (List.sort_uniq compare labels)));
+    tc "cache stats survive a telemetry reset" (fun () ->
+        fresh ();
+        let s = Portal.create_session () in
+        ignore (Portal.submit s echo "x");
+        ignore (Portal.submit s echo "x");
+        T.reset ();
+        (* the mirrors are gone but the cache's own atomics are not *)
+        check Alcotest.int "mirror reset" 0 (T.counter "portal.cache.hits");
+        check
+          Alcotest.(pair int int)
+          "stats intact" (1, 1) (Portal.cache_stats ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* server admission control                                            *)
+(* ------------------------------------------------------------------ *)
+
+let reject_counter label = T.counter ("server.outcome.rejected." ^ label)
+
+let has_journal_event name =
+  List.exists
+    (fun e -> e.Journal.ev_component = "server" && e.Journal.ev_name = name)
+    (Journal.events ())
+
+let server_tests =
+  [
+    tc "zero-capacity queue rejects Overloaded immediately" (fun () ->
+        fresh ();
+        let srv =
+          Server.start
+            ~config:
+              { Server.default_config with Server.workers = 1; queue_capacity = 0 }
+            ()
+        in
+        (match Server.submit srv ~session_id:"s" echo "x" with
+        | Portal.Rejected (Portal.Overloaded _) -> ()
+        | _ -> Alcotest.fail "expected Overloaded");
+        Server.stop srv;
+        check Alcotest.int "counter" 1 (reject_counter "overloaded");
+        check Alcotest.bool "journal event" true
+          (has_journal_event "job.rejected.overloaded"));
+    tc "empty token bucket rejects Rate_limited per session" (fun () ->
+        fresh ();
+        let srv =
+          Server.start
+            ~config:
+              {
+                Server.default_config with
+                Server.workers = 1;
+                rate_limit = Some (0.0, 1.0);
+              }
+            ()
+        in
+        (match Server.submit srv ~session_id:"a" echo "x" with
+        | Portal.Executed _ -> ()
+        | _ -> Alcotest.fail "first submission should execute");
+        (match Server.submit srv ~session_id:"a" echo "y" with
+        | Portal.Rejected (Portal.Rate_limited _) -> ()
+        | _ -> Alcotest.fail "expected Rate_limited");
+        (* a different session has its own bucket *)
+        (match Server.submit srv ~session_id:"b" echo "z" with
+        | Portal.Executed _ -> ()
+        | _ -> Alcotest.fail "fresh session should execute");
+        Server.stop srv;
+        check Alcotest.int "counter" 1 (reject_counter "rate_limited");
+        check Alcotest.bool "journal event" true
+          (has_journal_event "job.rejected.rate_limited"));
+    tc "zero deadline rejects Deadline_exceeded at dequeue" (fun () ->
+        fresh ();
+        let srv =
+          Server.start
+            ~config:
+              { Server.default_config with Server.workers = 1; deadline_s = 0.0 }
+            ()
+        in
+        (match Server.submit srv ~session_id:"s" echo "x" with
+        | Portal.Rejected (Portal.Deadline_exceeded _) -> ()
+        | _ -> Alcotest.fail "expected Deadline_exceeded");
+        Server.stop srv;
+        check Alcotest.int "counter" 1 (reject_counter "deadline");
+        check Alcotest.bool "journal event" true
+          (has_journal_event "job.rejected.deadline");
+        check Alcotest.bool "queue wait was still recorded" true
+          (T.histogram "server.queue_wait" <> None));
+    tc "runaway inputs reach the portal guard through the server" (fun () ->
+        fresh ();
+        let srv =
+          Server.start
+            ~config:{ Server.default_config with Server.workers = 1 }
+            ()
+        in
+        (match Server.submit srv ~session_id:"s" echo "a\nb\nc\nd" with
+        | Portal.Rejected (Portal.Runaway _) -> ()
+        | _ -> Alcotest.fail "expected Runaway");
+        Server.stop srv;
+        check Alcotest.int "counter" 1 (reject_counter "runaway"));
+    tc "stop is graceful and idempotent; submissions after stop bounce"
+      (fun () ->
+        fresh ();
+        let srv =
+          Server.start
+            ~config:{ Server.default_config with Server.workers = 2 }
+            ()
+        in
+        (match Server.submit srv ~session_id:"s" echo "x" with
+        | Portal.Executed _ -> ()
+        | _ -> Alcotest.fail "expected Executed");
+        Server.stop srv;
+        Server.stop srv;
+        (match Server.submit srv ~session_id:"s" echo "y" with
+        | Portal.Rejected (Portal.Overloaded msg) ->
+          check Alcotest.string "message" "server is shutting down" msg
+        | _ -> Alcotest.fail "expected Overloaded after stop");
+        check Alcotest.int "drained" 0 (Server.queue_depth srv);
+        check Alcotest.bool "start event" true (has_journal_event "server.start");
+        check Alcotest.bool "stop event" true (has_journal_event "server.stop"));
+    tc "sessions persist across submissions and keep history" (fun () ->
+        fresh ();
+        let srv =
+          Server.start
+            ~config:{ Server.default_config with Server.workers = 1 }
+            ()
+        in
+        ignore (Server.submit srv ~session_id:"s" echo "one");
+        ignore (Server.submit srv ~session_id:"s" echo "two");
+        Server.stop srv;
+        let h = Portal.history (Server.session srv "s") echo in
+        check Alcotest.int "two entries" 2 (List.length h);
+        check
+          Alcotest.(list (pair string string))
+          "ordered oldest first"
+          [ ("one", "echo: one"); ("two", "echo: two") ]
+          h);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* multi-domain stress: parallel outputs byte-identical to sequential  *)
+(* ------------------------------------------------------------------ *)
+
+let stress_inputs =
+  (* 25 distinct jobs cycling through three kernels, so concurrent
+     submissions mix cache hits, misses and LRU evictions *)
+  List.concat
+    (List.init 8 (fun i ->
+         [
+           ( Portal.kbdd,
+             Printf.sprintf
+               "boolean a b c\nf = a & b | c\ng = f ^ a\nsatcount g\nprint g\n# %d"
+               i );
+           ( Portal.axb,
+             Printf.sprintf "n 2\nrow %d 1\nrow 1 %d\nrhs %d %d" (i + 4)
+               (i + 6) (i + 1) (i + 2) );
+           ( Portal.espresso,
+             Printf.sprintf ".i 3\n.o 1\n1%d0 1\n111 1\n011 1\n.e" (i mod 2) );
+         ]))
+  @ [ (Portal.minisat, "p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0") ]
+
+let stress_tests =
+  [
+    tc "8 domains x 200 submissions match the sequential oracle" (fun () ->
+        fresh ();
+        Portal.set_cache_capacity 16;
+        (* sequential oracle: tools are pure, so expected output is the
+           tool run directly on the input *)
+        let oracle =
+          List.map
+            (fun (tool, input) -> ((tool.Portal.tool_name, input), tool.Portal.execute input))
+            stress_inputs
+        in
+        let expect tool input =
+          List.assoc (tool.Portal.tool_name, input) oracle
+        in
+        let jobs = Array.of_list stress_inputs in
+        let srv =
+          Server.start
+            ~config:
+              {
+                Server.default_config with
+                Server.workers = 4;
+                queue_capacity = 128;
+              }
+            ()
+        in
+        let mismatches = Atomic.make 0 and rejections = Atomic.make 0 in
+        let clients =
+          List.init 8 (fun c ->
+              Domain.spawn (fun () ->
+                  for k = 0 to 199 do
+                    let tool, input =
+                      jobs.((c + (3 * k)) mod Array.length jobs)
+                    in
+                    match
+                      Server.submit srv
+                        ~session_id:(Printf.sprintf "stress-%d" c)
+                        tool input
+                    with
+                    | Portal.Executed out | Portal.Cache_hit out ->
+                      if out <> expect tool input then Atomic.incr mismatches
+                    | Portal.Rejected _ -> Atomic.incr rejections
+                  done))
+        in
+        List.iter Domain.join clients;
+        Server.stop srv;
+        check Alcotest.int "no mismatched outputs" 0 (Atomic.get mismatches);
+        check Alcotest.int "no rejections" 0 (Atomic.get rejections);
+        (* counter consistency: every submission is accounted for exactly
+           once, and the books balance across layers *)
+        let executed = T.counter "server.outcome.executed" in
+        let cache_hit = T.counter "server.outcome.cache_hit" in
+        check Alcotest.int "submitted" 1600 (T.counter "server.submitted");
+        check Alcotest.int "outcomes balance" 1600 (executed + cache_hit);
+        check Alcotest.bool "both paths exercised" true
+          (executed > 0 && cache_hit > 0);
+        let hits, misses = Portal.cache_stats () in
+        check Alcotest.int "cache stats balance" 1600 (hits + misses);
+        let portal_submits =
+          List.fold_left
+            (fun acc tool ->
+              acc + T.counter ("portal." ^ tool.Portal.tool_name ^ ".submits"))
+            0 Portal.all_tools
+        in
+        check Alcotest.int "portal submits balance" 1600 portal_submits;
+        check Alcotest.bool "cache bound holds under concurrency" true
+          (Portal.cache_size () <= 16);
+        check Alcotest.int "queue drained" 0 (Server.queue_depth srv));
+  ]
+
+let () =
+  Alcotest.run "server"
+    [
+      ("token-bucket", token_bucket_tests);
+      ("resolve", resolve_tests);
+      ("outcomes", outcome_tests);
+      ("admission", server_tests);
+      ("stress", stress_tests);
+    ]
