@@ -190,8 +190,9 @@ let portal_bench () =
   Vc_util.Journal.remove_sink "jsonl:BENCH_portal.jsonl";
   Printf.printf "wrote BENCH_portal.json and BENCH_portal.jsonl\n"
 
-let server_bench () =
+let server_bench ?(configs = [ 1; 2; 4; 8 ]) () =
   header "Server - multicore worker pool throughput (BENCH_server.json)";
+  let configs = List.sort_uniq compare configs in
   let module T = Vc_util.Telemetry in
   let module Portal = Vc_mooc.Portal in
   let module Server = Vc_mooc.Server in
@@ -255,16 +256,20 @@ let server_bench () =
     Server.stop server;
     elapsed
   in
-  let configs = [ 1; 2; 4; 8 ] in
   let times = List.map (fun w -> (w, run_config w)) configs in
-  let t1 = List.assoc 1 times in
+  (* speedups are relative to the smallest configuration (normally 1
+     worker), which runs first *)
+  let t1 = match times with (_, t) :: _ -> t | [] -> 1.0 in
   Printf.printf "%d jobs (minisat, 40 vars / 160 clauses), %d client domains\n"
     num_jobs num_clients;
+  Printf.printf "portal cache: %d shard(s), capacity %d\n"
+    (Portal.cache_shards ()) (Portal.cache_capacity ());
   List.iter
     (fun (w, t) ->
       let throughput = float_of_int num_jobs /. t in
-      (* informational gauges, deliberately not gated by `bench compare`:
-         wall-clock scaling depends on the host's core count *)
+      (* the .speedup gauges are gated by `bench compare` (higher is
+         better, under -gauge-tol); throughput stays informational
+         because its absolute value depends on the host *)
       T.set_gauge
         (Printf.sprintf "server.bench.w%d.throughput_jobs_per_s" w)
         throughput;
@@ -862,13 +867,13 @@ let ablations () =
 let compare_usage () =
   prerr_endline
     "usage: main.exe compare BASELINE.json CURRENT.json [-latency-tol PCT] \
-     [-qor-tol PCT]";
+     [-qor-tol PCT] [-gauge-tol PCT]";
   exit 2
 
 (* Compare two benchmark/QoR JSON dumps and gate on regressions.
    Exit codes: 0 clean, 3 regression detected, 2 usage/parse error. *)
 let compare_reports args =
-  let latency_tol = ref 50.0 and qor_tol = ref 0.0 in
+  let latency_tol = ref 50.0 and qor_tol = ref 0.0 and gauge_tol = ref 25.0 in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
@@ -877,6 +882,9 @@ let compare_reports args =
       parse rest
     | "-qor-tol" :: pct :: rest ->
       qor_tol := Vc_util.Tok.parse_float ~context:"-qor-tol" pct;
+      parse rest
+    | "-gauge-tol" :: pct :: rest ->
+      gauge_tol := Vc_util.Tok.parse_float ~context:"-gauge-tol" pct;
       parse rest
     | f :: rest ->
       files := f :: !files;
@@ -904,10 +912,13 @@ let compare_reports args =
       Vc_util.Regress.compare_json
         ~latency_tol:(!latency_tol /. 100.0)
         ~qor_tol:(!qor_tol /. 100.0)
+        ~gauge_tol:(!gauge_tol /. 100.0)
         ~baseline ~current ()
     in
-    Printf.printf "compare %s -> %s (latency tol +%.0f%%, qor tol +%.0f%%)\n"
-      baseline_file current_file !latency_tol !qor_tol;
+    Printf.printf
+      "compare %s -> %s (latency tol +%.0f%%, qor tol +%.0f%%, gauge tol \
+       -%.0f%%)\n"
+      baseline_file current_file !latency_tol !qor_tol !gauge_tol;
     print_string (Vc_util.Regress.render verdict);
     flush stdout;
     if verdict.Vc_util.Regress.regressions <> [] then exit 3
@@ -924,7 +935,7 @@ let figures =
     ("fig6", fig6); ("fig7", fig7); ("fig8", fig8); ("fig9", fig9);
     ("fig10", fig10); ("stats", stats); ("fig11", fig11);
     ("portal", portal_bench);
-    ("server", server_bench);
+    ("server", (fun () -> server_bench ()));
   ]
 
 let perf_tables =
@@ -947,6 +958,19 @@ let () =
   | [ _; "perf" ] -> List.iter (fun f -> f ()) perf_tables
   | [ _; "ablations" ] -> ablations ()
   | _ :: "compare" :: rest -> compare_reports rest
+  | _ :: "server" :: (_ :: _ as rest) ->
+    (* e.g. `server 1 8` runs just those worker counts *)
+    let configs =
+      List.map
+        (fun s ->
+          match int_of_string_opt s with
+          | Some w when w >= 1 -> w
+          | Some _ | None ->
+            Printf.eprintf "server: bad worker count %S\n" s;
+            exit 2)
+        rest
+    in
+    server_bench ~configs ()
   | [ _; name ] -> begin
     match List.assoc_opt name figures with
     | Some f -> f ()

@@ -2,7 +2,8 @@
 
    Usage: vcserve [--stats] [--trace FILE] [--journal FILE]
                   [--metrics-port N] [-workers N] [-queue N]
-                  [-deadline S] [-rate R] [-burst B] [script-file]
+                  [-deadline S] [-rate R] [-burst B] [-cache-shards N]
+                  [script-file]
 
    Requests are read from the script file (stdin when absent):
 
@@ -30,7 +31,8 @@ let usage () =
     "usage: vcserve [--stats] [--trace FILE] [--journal FILE] \
      [--metrics-port N]\n\
     \               [-workers N] [-queue N] [-deadline S] [-rate R] \
-     [-burst B] [script-file]";
+     [-burst B]\n\
+    \               [-cache-shards N] [script-file]";
   exit 2
 
 let parse_args argv =
@@ -58,6 +60,12 @@ let parse_args argv =
       go rest
     | "-burst" :: b :: rest ->
       burst := float_of b;
+      go rest
+    | "-cache-shards" :: n :: rest ->
+      (* result-cache shard count; VC_CACHE_SHARDS sets the default *)
+      let n = int_of n in
+      if n < 1 then usage ();
+      Portal.set_cache_shards n;
       go rest
     | [ path ] when !file = None && String.length path > 0 && path.[0] <> '-'
       ->

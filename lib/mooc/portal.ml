@@ -202,63 +202,132 @@ let outcome_output = function
 
 (* The dominant MOOC workload is many participants uploading the same
    homework input; every tool is a pure function of its input text, so
-   (tool, input) -> output is cached globally across sessions. Bounded
-   LRU: eviction scans for the stalest entry, O(capacity), which is dwarfed
-   by any tool execution.
+   (tool, input) -> output is cached globally across sessions.
 
-   Domain safety: the table, the recency tick and the capacity share one
-   mutex, held only around table operations - two domains may both miss
-   on the same key and execute the tool twice, but the tool is pure so
-   either result is correct and the LRU bound always holds. Hit/miss/
-   eviction statistics live in the cache's own atomics so they stay in
-   lock-step with [cache_size] even across [Telemetry.reset]; the
-   [portal.cache.*] Telemetry counters are kept as mirrors for the
-   /metrics exposition. *)
+   The cache is sharded by digest: the MD5 key picks one of N
+   independently-locked shards, each a bounded LRU of its slice of the
+   aggregate capacity (the per-shard capacities always sum exactly to
+   [cache_capacity ()], so the aggregate bound holds by construction).
+   Concurrent submissions of different inputs land on different shards
+   with probability (N-1)/N and proceed in parallel; a shard mutex is
+   held only around table operations, never a tool execution. Eviction
+   scans its shard for the stalest entry, O(shard size), which is
+   dwarfed by any tool execution. LRU recency is tracked per shard, so
+   eviction is exact within a shard and approximates a global LRU
+   across shards - with one shard ([set_cache_shards 1]) the old exact
+   global-LRU behaviour is recovered.
+
+   Two domains may still both miss on the same key and execute the tool
+   twice, but the tool is pure so either result is correct. Hit/miss/
+   eviction statistics live in process-wide atomics so the aggregate
+   numbers stay exact without any shared lock and survive
+   [Telemetry.reset]; the [portal.cache.*] Telemetry counters are kept
+   as mirrors for the /metrics exposition.
+
+   The shard count defaults to 16, overridable with the
+   VC_CACHE_SHARDS environment variable or [set_cache_shards] (vcserve
+   exposes the latter as -cache-shards). [config_mu] guards
+   reconfiguration (shard count / capacity changes) only; lookups touch
+   nothing but their shard's mutex. *)
 
 module T = Vc_util.Telemetry
 
 type cache_entry = { output : string; mutable last_used : int }
 
-let cache_mu = Mutex.create ()
-let cache : (string, cache_entry) Hashtbl.t = Hashtbl.create 1024
+type cache_shard = {
+  sh_mu : Mutex.t;
+  sh_tbl : (string, cache_entry) Hashtbl.t;
+  mutable sh_cap : int;
+  mutable sh_tick : int; (* per-shard recency clock *)
+}
+
+let config_mu = Mutex.create ()
 let capacity = ref 512
-let tick = ref 0
+
+let default_shard_count =
+  match Option.bind (Sys.getenv_opt "VC_CACHE_SHARDS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> 16
+
+(* distribute [total] over [n] shards so the parts sum exactly to
+   [total] - the aggregate capacity bound must be exact, not rounded *)
+let shard_caps total n =
+  Array.init n (fun i -> (total / n) + if i < total mod n then 1 else 0)
+
+let make_shards n total =
+  let caps = shard_caps total n in
+  Array.init n (fun i ->
+      {
+        sh_mu = Mutex.create ();
+        sh_tbl = Hashtbl.create 64;
+        sh_cap = caps.(i);
+        sh_tick = 0;
+      })
+
+let shards = ref (make_shards default_shard_count !capacity)
+
+let cache_key tool_name input = Digest.string (tool_name ^ "\x00" ^ input)
+
+(* MD5 bytes are uniform; two of them index up to 65536 shards *)
+let shard_of key =
+  let a = !shards in
+  a.(((Char.code key.[0] lsl 8) lor Char.code key.[1]) mod Array.length a)
+
 let stat_hits = Atomic.make 0
 let stat_misses = Atomic.make 0
 let stat_evictions = Atomic.make 0
 
-let cache_key tool_name input = Digest.string (tool_name ^ "\x00" ^ input)
-
-(* call with cache_mu held *)
-let evict_lru () =
+(* call with the shard's mutex held *)
+let evict_lru sh =
   let victim =
     Hashtbl.fold
       (fun k e acc ->
         match acc with
         | Some (_, stalest) when stalest.last_used <= e.last_used -> acc
         | Some _ | None -> Some (k, e))
-      cache None
+      sh.sh_tbl None
   in
   match victim with
   | Some (k, _) ->
-    Hashtbl.remove cache k;
+    Hashtbl.remove sh.sh_tbl k;
     Atomic.incr stat_evictions;
     T.incr "portal.cache.evictions"
   | None -> ()
 
 let set_cache_capacity n =
   if n < 0 then invalid_arg "Portal.set_cache_capacity: negative capacity";
-  Mutex.protect cache_mu (fun () ->
+  Mutex.protect config_mu (fun () ->
       capacity := n;
-      while Hashtbl.length cache > n do
-        evict_lru ()
-      done)
+      let a = !shards in
+      let caps = shard_caps n (Array.length a) in
+      Array.iteri
+        (fun i sh ->
+          Mutex.protect sh.sh_mu (fun () ->
+              sh.sh_cap <- caps.(i);
+              while Hashtbl.length sh.sh_tbl > sh.sh_cap do
+                evict_lru sh
+              done))
+        a)
 
-let cache_capacity () = Mutex.protect cache_mu (fun () -> !capacity)
-let cache_size () = Mutex.protect cache_mu (fun () -> Hashtbl.length cache)
+let set_cache_shards n =
+  if n < 1 then invalid_arg "Portal.set_cache_shards: shard count under 1";
+  Mutex.protect config_mu (fun () -> shards := make_shards n !capacity)
+
+let cache_shards () = Array.length !shards
+let cache_capacity () = Mutex.protect config_mu (fun () -> !capacity)
+
+let cache_shard_sizes () =
+  Array.to_list
+    (Array.map
+       (fun sh -> Mutex.protect sh.sh_mu (fun () -> Hashtbl.length sh.sh_tbl))
+       !shards)
+
+let cache_size () = List.fold_left ( + ) 0 (cache_shard_sizes ())
 
 let clear_cache () =
-  Mutex.protect cache_mu (fun () -> Hashtbl.reset cache);
+  Array.iter
+    (fun sh -> Mutex.protect sh.sh_mu (fun () -> Hashtbl.reset sh.sh_tbl))
+    !shards;
   Atomic.set stat_hits 0;
   Atomic.set stat_misses 0;
   Atomic.set stat_evictions 0
@@ -267,21 +336,25 @@ let cache_stats () = (Atomic.get stat_hits, Atomic.get stat_misses)
 let cache_evictions () = Atomic.get stat_evictions
 
 let cache_find key =
-  Mutex.protect cache_mu (fun () ->
-      match Hashtbl.find_opt cache key with
+  let sh = shard_of key in
+  Mutex.protect sh.sh_mu (fun () ->
+      match Hashtbl.find_opt sh.sh_tbl key with
       | Some e ->
-        incr tick;
-        e.last_used <- !tick;
+        sh.sh_tick <- sh.sh_tick + 1;
+        e.last_used <- sh.sh_tick;
         Some e.output
       | None -> None)
 
 let cache_add key output =
-  Mutex.protect cache_mu (fun () ->
-      if !capacity > 0 then begin
-        incr tick;
-        if (not (Hashtbl.mem cache key)) && Hashtbl.length cache >= !capacity
-        then evict_lru ();
-        Hashtbl.replace cache key { output; last_used = !tick }
+  let sh = shard_of key in
+  Mutex.protect sh.sh_mu (fun () ->
+      if sh.sh_cap > 0 then begin
+        sh.sh_tick <- sh.sh_tick + 1;
+        if
+          (not (Hashtbl.mem sh.sh_tbl key))
+          && Hashtbl.length sh.sh_tbl >= sh.sh_cap
+        then evict_lru sh;
+        Hashtbl.replace sh.sh_tbl key { output; last_used = sh.sh_tick }
       end)
 
 (* ------------------------------------------------------------------ *)

@@ -13,11 +13,13 @@
     [docs/OBSERVABILITY.md], [docs/PORTAL.md] and [docs/SERVER.md].
 
     {b Domain safety}: everything here may be called concurrently from
-    {!Vc_mooc.Server}'s worker domains. The result cache and each
-    session's history are mutex-protected; cache statistics live in the
-    cache's own atomics. Tools are pure functions of their input, so a
+    {!Vc_mooc.Server}'s worker domains. The result cache is sharded by
+    digest into independently-locked shards (see {!set_cache_shards}),
+    so concurrent submissions of different inputs rarely contend; each
+    session's history has its own mutex; cache statistics live in
+    process-wide atomics. Tools are pure functions of their input, so a
     duplicated cache-miss execution in two domains is wasted work, never
-    wrong output. *)
+    wrong output. See [docs/CONCURRENCY.md] for the full model. *)
 
 type tool = {
   tool_name : string;
@@ -140,15 +142,36 @@ val history : session -> tool -> (string * string) list
 (** {1 Result cache}
 
     Global across sessions; content-addressed by a digest of
-    [tool name + input]. Mutex-protected. *)
+    [tool name + input]. The digest picks one of N independently-locked
+    shards, each a bounded LRU of its slice of the aggregate capacity -
+    the per-shard capacities always sum exactly to {!cache_capacity},
+    so the aggregate bound holds by construction. Recency is tracked
+    per shard: eviction is exact LRU within a shard and approximates a
+    global LRU across shards (with one shard the behaviour is exactly
+    the classic global LRU). *)
 
 val set_cache_capacity : int -> unit
-(** Bound the number of cached results (default 512), evicting
-    least-recently-used entries if already over the new bound. [0]
+(** Bound the aggregate number of cached results (default 512),
+    redistributing the per-shard capacities and evicting
+    least-recently-used entries in any shard over its new bound. [0]
     disables caching.
     @raise Invalid_argument on negatives. *)
 
 val cache_capacity : unit -> int
+
+val set_cache_shards : int -> unit
+(** Rebuild the cache with the given shard count (default 16, or the
+    [VC_CACHE_SHARDS] environment variable; [vcserve -cache-shards N]
+    calls this at startup). Drops all cached results; the hit/miss/
+    eviction statistics are preserved. Intended as a configuration
+    action before traffic, not a mid-run tuning knob.
+    @raise Invalid_argument under 1. *)
+
+val cache_shards : unit -> int
+
+val cache_shard_sizes : unit -> int list
+(** Entries currently cached per shard, in shard order; sums to
+    {!cache_size}. *)
 
 val cache_size : unit -> int
 (** Number of results currently cached (always [<= cache_capacity ()]). *)
@@ -157,9 +180,10 @@ val clear_cache : unit -> unit
 (** Drop all cached results and zero the hit/miss/eviction statistics. *)
 
 val cache_stats : unit -> int * int
-(** [(hits, misses)] since the last {!clear_cache}. Counted in the
-    cache's own atomics so they stay consistent with {!cache_size} even
-    across {!Vc_util.Telemetry.reset}; the [portal.cache.hits] /
+(** [(hits, misses)] since the last {!clear_cache}. Counted in
+    process-wide atomics - not under any shard lock - so the aggregate
+    numbers stay exact and consistent with {!cache_size} even across
+    {!Vc_util.Telemetry.reset}; the [portal.cache.hits] /
     [portal.cache.misses] telemetry counters are kept as mirrors for the
     [/metrics] exposition. *)
 

@@ -78,10 +78,11 @@ type session_slot = {
 
 type t = {
   config : config;
-  mu : Mutex.t;  (* guards queue, stopping, domains, sessions *)
-  cond : Condition.t;  (* signalled on enqueue, broadcast on stop *)
+  mu : Mutex.t;  (* guards queue, stopping, domains, sessions, idle *)
+  cond : Condition.t;  (* wakes one idle worker per enqueue; broadcast on stop *)
   queue : job Queue.t;
   mutable stopping : bool;
+  mutable idle : int;  (* workers currently blocked in Condition.wait *)
   mutable domains : unit Domain.t list;
   sessions : (string, session_slot) Hashtbl.t;
 }
@@ -113,18 +114,22 @@ let rec worker_loop t =
   let job_opt =
     Mutex.protect t.mu (fun () ->
         while Queue.is_empty t.queue && not t.stopping do
-          Condition.wait t.cond t.mu
+          (* count ourselves idle so enqueuers only pay a signal when a
+             worker is actually asleep *)
+          t.idle <- t.idle + 1;
+          Condition.wait t.cond t.mu;
+          t.idle <- t.idle - 1
         done;
         if Queue.is_empty t.queue then None (* stopping, queue drained *)
         else begin
           let j = Queue.pop t.queue in
-          T.set_gauge "server.queue_depth" (float_of_int (Queue.length t.queue));
-          Some j
+          Some (j, Queue.length t.queue)
         end)
   in
   match job_opt with
   | None -> ()
-  | Some job ->
+  | Some (job, depth) ->
+    T.set_gauge "server.queue_depth" (float_of_int depth);
     let now = T.now () in
     let wait_s = Float.max 0.0 (now -. job.j_enqueued) in
     T.observe "server.queue_wait" wait_s;
@@ -180,6 +185,7 @@ let start ?(config = default_config) () =
       cond = Condition.create ();
       queue = Queue.create ();
       stopping = false;
+      idle = 0;
       domains = [];
       sessions = Hashtbl.create 16;
     }
@@ -297,10 +303,11 @@ let submit t ~session_id tool input =
           else if Queue.length t.queue >= t.config.queue_capacity then `Full
           else begin
             Queue.push job t.queue;
-            T.set_gauge "server.queue_depth"
-              (float_of_int (Queue.length t.queue));
-            Condition.signal t.cond;
-            `Admitted
+            (* wake exactly one worker, and only when one is actually
+               asleep: a busy worker re-checks the queue under the lock
+               before it ever waits, so a skipped signal is never lost *)
+            if t.idle > 0 then Condition.signal t.cond;
+            `Admitted (Queue.length t.queue)
           end)
     in
     match admitted with
@@ -315,7 +322,8 @@ let submit t ~session_id tool input =
       in
       reject_server ~session_id ~tool_name "overloaded" msg
         (Portal.Overloaded msg)
-    | `Admitted ->
+    | `Admitted depth ->
+      T.set_gauge "server.queue_depth" (float_of_int depth);
       Mutex.protect job.j_mu (fun () ->
           while job.j_result = None do
             Condition.wait job.j_cond job.j_mu

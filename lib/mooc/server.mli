@@ -24,6 +24,13 @@
     all exported over [/metrics] with the [vc_] prefix (see
     [docs/SERVER.md] and [docs/OBSERVABILITY.md]).
 
+    {b Wake-up discipline.} The queue tracks how many workers are
+    blocked idle; each admitted job signals {e one} idle worker
+    ([Condition.signal]) instead of broadcasting to all of them, so an
+    enqueue under load does not stampede the whole pool through the
+    lock. Shutdown broadcasts so every worker observes the stop flag.
+    See [docs/CONCURRENCY.md].
+
     {b Clocking.} All timestamps come from the injectable {!Vc_util.Clock}
     shared with telemetry and the journal, so rate-limit and deadline
     behaviour is unit-testable deterministically. *)

@@ -15,12 +15,19 @@ type event = {
   ev_attrs : (string * string) list;
 }
 
-(* Domain safety: the ring, the sequence counter and the sink registry
-   share one mutex. Sinks run inside the critical section - that is what
-   serializes concurrent writers onto a single JSONL channel - so a sink
-   must never call back into [emit] (none does; they are plain
-   formatters). The mutex is innermost everywhere: callers (portal,
-   server) may hold their own locks, this module never calls theirs. *)
+(* Domain safety: [emit] appends to a per-domain buffer (its own tiny
+   mutex, uncontended except while a flush drains it), so concurrent
+   emitters never serialize on a global lock per event. A flush - forced
+   by a full buffer, any Warn/Error, every read ([events], [event_count],
+   [to_jsonl]) and sink (de)registration - drains every buffer under the
+   single global mutex [mu], assigns the monotone sequence numbers,
+   pushes the ring and runs the sinks. Sinks therefore still observe a
+   strictly increasing sequence on one serialized channel. Per-domain
+   FIFO order is preserved (a buffer drains in emission order);
+   interleaving across domains is decided at flush time. Lock ordering:
+   [mu] before a buffer mutex, never the reverse - [emit] releases its
+   buffer mutex before calling [flush]. A sink must never call back into
+   [emit] (none does; they are plain formatters). *)
 let mu = Mutex.create ()
 
 let locked f = Mutex.protect mu f
@@ -46,61 +53,158 @@ let set_ring_capacity n =
       capacity := n;
       trim ())
 
-let events () = locked (fun () -> List.of_seq (Queue.to_seq ring))
-let event_count () = locked (fun () -> !seq)
+(* ------------------------------------------------------------------ *)
+(* per-domain buffers                                                  *)
+(* ------------------------------------------------------------------ *)
 
-let clear () =
-  locked (fun () ->
-      Queue.clear ring;
-      seq := 0)
+(* An event waiting in a domain buffer: everything but the sequence
+   number, which is assigned when the batch reaches the ring. *)
+type pending = {
+  p_ts : float;
+  p_severity : severity;
+  p_component : string;
+  p_name : string;
+  p_attrs : (string * string) list;
+}
+
+type buffer = { b_mu : Mutex.t; b_q : pending Queue.t }
+
+(* Every buffer ever created, newest first; guarded by [mu]. *)
+let buffers : buffer list ref = ref []
+
+let buffer_key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b = { b_mu = Mutex.create (); b_q = Queue.create () } in
+      locked (fun () -> buffers := b :: !buffers);
+      b)
+
+(* Info/Debug events buffer up to this many per domain before forcing a
+   flush; Warn/Error always flush immediately so the flight recorder and
+   any sink see trouble as it happens. *)
+let batch = ref 64
+
+let batch_capacity () = locked (fun () -> !batch)
+
+let set_batch_capacity n =
+  if n < 1 then invalid_arg "Journal.set_batch_capacity: capacity under 1";
+  locked (fun () -> batch := n)
 
 (* ------------------------------------------------------------------ *)
-(* sinks                                                               *)
+(* sinks + flush                                                       *)
 (* ------------------------------------------------------------------ *)
 
 let sinks : (string * (event -> unit)) list ref = ref []
 
-let add_sink name f =
-  locked (fun () -> sinks := (name, f) :: List.remove_assoc name !sinks)
-
-let remove_sink name = locked (fun () -> sinks := List.remove_assoc name !sinks)
-
-let emit ?(severity = Info) ?(attrs = []) ~component name =
-  let failed =
-    locked (fun () ->
-        incr seq;
-        let e =
-          {
-            ev_seq = !seq;
-            ev_ts = Clock.now ();
-            ev_severity = severity;
-            ev_component = component;
-            ev_name = name;
-            ev_attrs = attrs;
-          }
-        in
-        if !capacity > 0 then begin
-          Queue.push e ring;
-          trim ()
-        end;
-        let failures = ref [] in
-        List.iter
-          (fun (name, f) ->
+(* Drain every domain buffer, sequence the events, push the ring and run
+   the sinks. Call with [mu] held; returns the sinks that raised (they
+   are detached inline - remove_sink here would self-deadlock - and the
+   caller prints the warnings outside the lock). *)
+let flush_locked () =
+  let drained =
+    List.concat_map
+      (fun b ->
+        Mutex.protect b.b_mu (fun () ->
+            let l = List.of_seq (Queue.to_seq b.b_q) in
+            Queue.clear b.b_q;
+            l))
+      (List.rev !buffers)
+  in
+  let failures = ref [] in
+  List.iter
+    (fun p ->
+      incr seq;
+      let e =
+        {
+          ev_seq = !seq;
+          ev_ts = p.p_ts;
+          ev_severity = p.p_severity;
+          ev_component = p.p_component;
+          ev_name = p.p_name;
+          ev_attrs = p.p_attrs;
+        }
+      in
+      if !capacity > 0 then begin
+        Queue.push e ring;
+        trim ()
+      end;
+      List.iter
+        (fun (name, f) ->
+          if not (List.mem_assoc name !failures) then
             match f e with
             | () -> ()
             | exception exn -> failures := (name, exn) :: !failures)
-          !sinks;
-        (* drop raising sinks inline - remove_sink would self-deadlock *)
-        List.iter
-          (fun (name, _) -> sinks := List.remove_assoc name !sinks)
-          !failures;
-        !failures)
-  in
+        !sinks)
+    drained;
+  List.iter
+    (fun (name, _) -> sinks := List.remove_assoc name !sinks)
+    !failures;
+  !failures
+
+let report_sink_failures failed =
   List.iter
     (fun (name, exn) ->
       Printf.eprintf "journal: sink %s failed (%s); removed\n%!" name
         (Printexc.to_string exn))
     failed
+
+let flush () = report_sink_failures (locked flush_locked)
+
+(* Sink changes flush first, so every event emitted before the change
+   reaches exactly the sinks that were registered at emission time. *)
+let add_sink name f =
+  report_sink_failures
+    (locked (fun () ->
+         let failed = flush_locked () in
+         sinks := (name, f) :: List.remove_assoc name !sinks;
+         failed))
+
+let remove_sink name =
+  report_sink_failures
+    (locked (fun () ->
+         let failed = flush_locked () in
+         sinks := List.remove_assoc name !sinks;
+         failed))
+
+let emit ?(severity = Info) ?(attrs = []) ~component name =
+  let b = Domain.DLS.get buffer_key in
+  let p =
+    {
+      p_ts = Clock.now ();
+      p_severity = severity;
+      p_component = component;
+      p_name = name;
+      p_attrs = attrs;
+    }
+  in
+  let full =
+    Mutex.protect b.b_mu (fun () ->
+        Queue.push p b.b_q;
+        Queue.length b.b_q >= !batch)
+  in
+  match severity with
+  | Warn | Error -> flush ()
+  | Debug | Info -> if full then flush ()
+
+(* ------------------------------------------------------------------ *)
+(* reads                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let events () =
+  flush ();
+  locked (fun () -> List.of_seq (Queue.to_seq ring))
+
+let event_count () =
+  flush ();
+  locked (fun () -> !seq)
+
+let clear () =
+  locked (fun () ->
+      (* discard, don't flush: cleared events must not resurface *)
+      List.iter
+        (fun b -> Mutex.protect b.b_mu (fun () -> Queue.clear b.b_q))
+        !buffers;
+      Queue.clear ring;
+      seq := 0)
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
@@ -124,13 +228,18 @@ let to_jsonl () =
 let open_jsonl file =
   (* A journal that cannot be written must never take the tool down:
      warn once and run without the sink (write failures mid-run are
-     handled the same way by [emit], which detaches a raising sink). *)
+     handled the same way by the flush guard, which detaches a raising
+     sink). *)
   match Out_channel.open_text file with
   | exception Sys_error msg ->
     Printf.eprintf "journal: cannot open %s (%s); continuing without it\n%!"
       file msg
   | oc ->
-    at_exit (fun () -> try Out_channel.close oc with Sys_error _ -> ());
+    (* drain events still buffered in the domains before the channel
+       closes at exit *)
+    at_exit (fun () ->
+        flush ();
+        try Out_channel.close oc with Sys_error _ -> ());
     add_sink ("jsonl:" ^ file) (fun e ->
         Out_channel.output_string oc (event_to_json e);
         Out_channel.output_char oc '\n';
@@ -180,5 +289,5 @@ let install_crash_handler () =
            with _ -> ());
         Printf.eprintf "Fatal error: exception %s\n" (Printexc.to_string exn);
         Printexc.print_raw_backtrace stderr bt;
-        flush stderr)
+        Stdlib.flush stderr)
   end

@@ -24,12 +24,19 @@
       guard - the trailing window of context an operator needs.
 
     Like the rest of the observability layer, all state is
-    process-global and {e domain-safe}: the ring, the sequence counter
-    and the sink registry share one internal mutex, and sinks run inside
-    the critical section so concurrent emitters from
-    {!Vc_mooc.Server}'s worker domains serialize cleanly onto a single
-    JSONL channel (a sink must therefore never call back into {!emit}).
-    There are no third-party dependencies. *)
+    process-global and {e domain-safe}, but the hot path is buffered
+    per domain: {!emit} appends to the calling domain's private buffer
+    (its own uncontended mutex), and batches drain to the ring and the
+    sinks under the single sink lock on a {e flush} - forced by a full
+    buffer (see {!set_batch_capacity}), by any [Warn]/[Error] event, by
+    every read ({!events}, {!event_count}, {!to_jsonl}) and by sink
+    (de)registration, or explicitly via {!flush}. Sequence numbers are
+    assigned at flush time, so sinks still observe a strictly
+    increasing sequence on one serialized channel; each domain's events
+    stay in emission order, while interleaving {e across} domains is
+    decided at flush time. A sink must never call back into {!emit}.
+    There are no third-party dependencies. See [docs/CONCURRENCY.md]
+    for the full model. *)
 
 (** {1 Events} *)
 
@@ -39,7 +46,9 @@ val severity_to_string : severity -> string
 (** ["DEBUG"], ["INFO"], ["WARN"], ["ERROR"]. *)
 
 type event = {
-  ev_seq : int;  (** Sequence number, 1-based, monotone per process. *)
+  ev_seq : int;
+      (** Sequence number, 1-based, monotone per process. Assigned when
+          the event is flushed, not when it is emitted. *)
   ev_ts : float;  (** {!Clock.now} at emission. *)
   ev_severity : severity;
   ev_component : string;  (** Subsystem, e.g. ["flow"], ["portal"]. *)
@@ -53,10 +62,25 @@ val emit :
   component:string ->
   string ->
   unit
-(** [emit ~component name] appends an event (default severity [Info]):
-    pushes it into the flight-recorder ring and feeds every registered
-    sink. Cheap when no sink is installed - one allocation plus a
-    bounded-queue push. *)
+(** [emit ~component name] appends an event (default severity [Info])
+    to the calling domain's buffer. [Info]/[Debug] events reach the
+    flight-recorder ring and the sinks at the next flush; [Warn] and
+    [Error] flush immediately. Cheap on the hot path - one allocation
+    plus a push under the domain's own (uncontended) buffer mutex. *)
+
+val flush : unit -> unit
+(** Drain every domain's buffer into the ring and the sinks now,
+    assigning sequence numbers. Idempotent; called implicitly by every
+    read and on sink changes, and at process exit for the
+    {!open_jsonl} sink. *)
+
+val set_batch_capacity : int -> unit
+(** Events a domain buffers (default 64) before an [Info]/[Debug]
+    {!emit} forces a flush. [1] makes every emit flush - the
+    pre-buffering synchronous behaviour.
+    @raise Invalid_argument under 1. *)
+
+val batch_capacity : unit -> int
 
 val events : unit -> event list
 (** Current flight-recorder contents, oldest first (at most

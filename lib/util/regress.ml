@@ -5,12 +5,14 @@ type verdict = {
   compared : int;
 }
 
+let has_suffix name s =
+  String.length name >= String.length s
+  && String.sub name (String.length name - String.length s) (String.length s) = s
+
 (* Quality direction of a counter/metric, keyed by naming convention.
    [None] means no gate - the change is surfaced as a note only. *)
 let direction name =
-  let suffix s = String.length name >= String.length s
-    && String.sub name (String.length name - String.length s) (String.length s) = s
-  in
+  let suffix = has_suffix name in
   if suffix "cache_hits" || suffix "cache.hits" || name = "nets_routed"
      || name = "equivalent" || suffix "paths_found"
   then Some `Higher_better
@@ -25,11 +27,18 @@ let direction name =
   then Some `Lower_better
   else None
 
+(* Gauges are instantaneous readings, so most are not gateable - but the
+   bench speedup gauges (server.bench.wN.speedup) are throughput ratios
+   that must not collapse, so they gate as Higher_better under their own
+   (generous) tolerance. *)
+let gauge_direction name =
+  if has_suffix name ".speedup" then Some `Higher_better else None
+
 let fields_of = function Json.Obj fs -> fs | _ -> []
 
 let num_field name j = Option.bind (Json.member name j) Json.to_num
 
-let compare_json ?(latency_tol = 0.5) ?(qor_tol = 0.0)
+let compare_json ?(latency_tol = 0.5) ?(qor_tol = 0.0) ?(gauge_tol = 0.25)
     ?(min_latency_delta_s = 1e-4) ~baseline ~current () =
   let regressions = ref [] and improvements = ref [] and notes = ref [] in
   let compared = ref 0 in
@@ -75,6 +84,23 @@ let compare_json ?(latency_tol = 0.5) ?(qor_tol = 0.0)
           (100.0 *. qor_tol)
       else if better then imp "%s.%s: %g -> %g" label name base cur
   in
+  (* gauge gate: direction-aware like QoR, but only for gauges with a
+     declared direction (.speedup); everything else is informational *)
+  let check_gauge label name base cur =
+    match gauge_direction name with
+    | None ->
+      if base <> cur then
+        note "%s.%s: %g -> %g (informational gauge; not gated)" label name
+          base cur
+    | Some `Higher_better ->
+      incr compared;
+      if cur < base -. (Float.abs base *. gauge_tol) -. 1e-9 then
+        reg "%s.%s: %g -> %g (lower is worse, tolerance %.0f%%)" label name
+          base cur
+          (100.0 *. gauge_tol)
+      else if cur > base +. (Float.abs base *. gauge_tol) +. 1e-9 then
+        imp "%s.%s: %g -> %g" label name base cur
+  in
   let both_sides label b_fields c_fields per_key =
     List.iter
       (fun (k, bv) ->
@@ -101,6 +127,13 @@ let compare_json ?(latency_tol = 0.5) ?(qor_tol = 0.0)
     both_sides "counters" (fields_of bc) (fields_of cc) (fun k bv cv ->
         match (Json.to_num bv, Json.to_num cv) with
         | Some b, Some c -> check_qor "counter" k b c
+        | _ -> ())
+  | _ -> ());
+  (match (Json.member "gauges" baseline, Json.member "gauges" current) with
+  | Some bg, Some cg ->
+    both_sides "gauges" (fields_of bg) (fields_of cg) (fun k bv cv ->
+        match (Json.to_num bv, Json.to_num cv) with
+        | Some b, Some c -> check_gauge "gauge" k b c
         | _ -> ())
   | _ -> ());
   (* flow QoR reports: stages with latency + metrics *)

@@ -6,8 +6,10 @@
       [mean_s] is compared under the latency tolerance; counters with a
       known quality direction (e.g. [*.cache_hits] higher-is-better,
       [*.misses] / [*.rejected] / [*.evictions] lower-is-better) are
-      compared under the QoR tolerance, the rest are reported as
-      informational notes only.
+      compared under the QoR tolerance; gauges ending in [.speedup]
+      (the server bench scaling ratios) are gated higher-is-better
+      under the gauge tolerance, all other gauges and counters are
+      reported as informational notes only.
     - [Vc_mooc.Flow] QoR reports ([flow --report]): per-stage [metrics]
       are compared under the QoR tolerance (lower-is-better except
       [nets_routed] and [equivalent]), per-stage [latency_s] under the
@@ -27,14 +29,17 @@ type verdict = {
 val compare_json :
   ?latency_tol:float ->
   ?qor_tol:float ->
+  ?gauge_tol:float ->
   ?min_latency_delta_s:float ->
   baseline:Json.t ->
   current:Json.t ->
   unit ->
   verdict
 (** [compare_json ~baseline ~current ()] with [latency_tol] (default
-    [0.5], i.e. +50%), [qor_tol] (default [0.0], any worsening fails)
-    and [min_latency_delta_s] (default [1e-4], 0.1 ms noise floor).
+    [0.5], i.e. +50%), [qor_tol] (default [0.0], any worsening fails),
+    [gauge_tol] (default [0.25], for the direction-gated [.speedup]
+    gauges - generous because wall-clock ratios are noisy) and
+    [min_latency_delta_s] (default [1e-4], 0.1 ms noise floor).
     Keys present on only one side are reported as notes. *)
 
 val render : verdict -> string

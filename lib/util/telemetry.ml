@@ -1,15 +1,28 @@
-(* Global instrumentation state. Everything lives in plain hashtables
-   keyed by flat names; renderers sort on the way out.
+(* Global instrumentation state, sharded per domain for multicore
+   scaling. Every domain owns a private cell of counters, timer samples,
+   gauges and completed spans (reached through [Domain.DLS]); the
+   renderers merge all cells lazily on the way out.
 
-   Domain safety: all shared tables sit behind one mutex ([mu]) with
-   short critical sections - an increment or a sample push, never a tool
-   execution. The trace-span stack is domain-local ([Domain.DLS]) so
-   concurrent spans from different domains build independent trees;
-   completed top-level spans merge into the shared forest under the same
-   mutex. Lock ordering: callers may hold their own locks (the portal
-   cache, the server queue) when calling in here, but nothing in this
-   module ever calls back out, so the telemetry mutex is always
-   innermost and cannot deadlock. *)
+   Domain safety: the per-job fast path is lock-free for the owning
+   domain - a counter bump is one [Atomic.fetch_and_add] on a cell the
+   owner already created, a timer sample is a cons onto an immutable
+   list published with a single ref store. The only lock a writer can
+   touch is its own cell mutex, taken once per (domain, metric-name)
+   pair when the name is first seen - structurally growing the cell's
+   hashtable must not race with a renderer walking it. Renderers take
+   each cell's mutex in turn while folding; the short global mutex [mu]
+   guards only the cell registry, the histogram-definition registry and
+   the probe registry (all touched at registration/render time, never
+   per job). Lock ordering: [mu] is never held while a cell mutex is
+   taken within a single operation, and nothing in this module calls
+   back out, so telemetry locks are always innermost.
+
+   [reset] empties every registered cell; it assumes the quiescence any
+   exact-counting reader needs anyway (domains that raced a reset may
+   leave a stray count behind). Cells belong to the registry forever -
+   a domain's counts survive its termination, which is what makes
+   "spawn workers, join them, then read the totals" exact: [Domain.join]
+   synchronizes, so merged sums equal the per-domain sums. *)
 
 let set_clock = Clock.set
 let now = Clock.now
@@ -18,24 +31,92 @@ let mu = Mutex.create ()
 let locked f = Mutex.protect mu f
 
 (* ------------------------------------------------------------------ *)
+(* trace spans (type only; recording comes after the cells)            *)
+(* ------------------------------------------------------------------ *)
+
+type span = {
+  span_name : string;
+  start_s : float;
+  duration_s : float;
+  attrs : (string * string) list;
+  children : span list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* per-domain cells                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type cells = {
+  c_mu : Mutex.t; (* guards structural growth of the tables below *)
+  c_counters : (string, int Atomic.t) Hashtbl.t;
+  c_timers : (string, float list ref) Hashtbl.t; (* newest first *)
+  c_gauges : (string, (int * float) ref) Hashtbl.t; (* (stamp, value) *)
+  mutable c_spans : span list; (* completed roots, newest first *)
+}
+
+(* Registry of every cell ever created, newest first. Guarded by [mu]. *)
+let all_cells : cells list ref = ref []
+
+let cells_key : cells Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let c =
+        {
+          c_mu = Mutex.create ();
+          c_counters = Hashtbl.create 32;
+          c_timers = Hashtbl.create 32;
+          c_gauges = Hashtbl.create 16;
+          c_spans = [];
+        }
+      in
+      locked (fun () -> all_cells := c :: !all_cells);
+      c)
+
+let my_cells () = Domain.DLS.get cells_key
+let snapshot_cells () = locked (fun () -> !all_cells)
+
+(* Fold over every cell with its mutex held - the renderer-side half of
+   the structural-growth discipline described in the header. *)
+let fold_cells f init =
+  List.fold_left
+    (fun acc c -> Mutex.protect c.c_mu (fun () -> f acc c))
+    init (snapshot_cells ())
+
+(* ------------------------------------------------------------------ *)
 (* counters                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let counter_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
-
 let incr ?(by = 1) name =
-  locked (fun () ->
-      match Hashtbl.find_opt counter_tbl name with
-      | Some r -> r := !r + by
-      | None -> Hashtbl.add counter_tbl name (ref by))
+  let c = my_cells () in
+  (* only the owner adds names to its cell, so the unlocked lookup never
+     races a structural change; the add takes the (uncontended) cell
+     mutex to stay ordered against a concurrently merging renderer *)
+  match Hashtbl.find_opt c.c_counters name with
+  | Some a -> ignore (Atomic.fetch_and_add a by)
+  | None ->
+    Mutex.protect c.c_mu (fun () ->
+        Hashtbl.add c.c_counters name (Atomic.make by))
 
 let counter name =
-  locked (fun () ->
-      match Hashtbl.find_opt counter_tbl name with Some r -> !r | None -> 0)
+  fold_cells
+    (fun acc c ->
+      match Hashtbl.find_opt c.c_counters name with
+      | Some a -> acc + Atomic.get a
+      | None -> acc)
+    0
 
 let counters () =
-  locked (fun () -> Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counter_tbl [])
-  |> List.sort compare
+  let tbl = Hashtbl.create 64 in
+  fold_cells
+    (fun () c ->
+      Hashtbl.iter
+        (fun k a ->
+          let v = Atomic.get a in
+          match Hashtbl.find_opt tbl k with
+          | Some r -> r := !r + v
+          | None -> Hashtbl.add tbl k (ref v))
+        c.c_counters)
+    ();
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [] |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
 (* timers                                                              *)
@@ -52,8 +133,37 @@ type timer_summary = {
   stddev_s : float;
 }
 
-(* raw samples, newest first; summarized lazily by the renderers *)
-let timer_tbl : (string, float list ref) Hashtbl.t = Hashtbl.create 64
+let observe name dt =
+  let c = my_cells () in
+  match Hashtbl.find_opt c.c_timers name with
+  | Some l -> l := dt :: !l (* publish one immutable cons; lock-free *)
+  | None ->
+    Mutex.protect c.c_mu (fun () -> Hashtbl.add c.c_timers name (ref [ dt ]))
+
+(* Merged raw samples for one name. Order across domains is
+   unspecified; every consumer (percentiles, bucketing) is
+   order-insensitive. *)
+let timer_samples name =
+  fold_cells
+    (fun acc c ->
+      match Hashtbl.find_opt c.c_timers name with
+      | Some l -> List.rev_append !l acc
+      | None -> acc)
+    []
+
+let all_timer_samples () =
+  let tbl = Hashtbl.create 64 in
+  fold_cells
+    (fun () c ->
+      Hashtbl.iter
+        (fun k l ->
+          let s = !l in
+          match Hashtbl.find_opt tbl k with
+          | Some r -> r := List.rev_append s !r
+          | None -> Hashtbl.add tbl k (ref s))
+        c.c_timers)
+    ();
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl []
 
 (* ------------------------------------------------------------------ *)
 (* histograms                                                          *)
@@ -61,16 +171,11 @@ let timer_tbl : (string, float list ref) Hashtbl.t = Hashtbl.create 64
 
 (* Fixed-bucket histograms exist for the Prometheus exposition: a scrape
    wants pre-bucketed counts, not the raw sample list. A histogram is an
-   upgrade of a timer - [define_histogram name] makes every subsequent
-   (and prior) [observe name] also land in buckets, while the raw-sample
-   timer keeps answering exact percentiles for the offline renderers. *)
-
-type hist = {
-  h_bounds : float array; (* strictly increasing upper bounds *)
-  h_counts : int array; (* per-bucket (non-cumulative); no +Inf slot *)
-  mutable h_sum : float;
-  mutable h_count : int; (* total observations incl. over-range *)
-}
+   upgrade of a timer - [define_histogram name] registers a bucket
+   layout, and the scrape-time renderers bucket the merged raw samples
+   on demand. Nothing happens on the per-observation hot path, and
+   "backfill" is automatic: the buckets are always computed from every
+   sample the timer ever recorded, whenever the definition arrived. *)
 
 type hist_summary = {
   buckets : (float * int) list; (* (upper bound, cumulative count) *)
@@ -86,20 +191,8 @@ let default_buckets =
     5e-2; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0;
   ]
 
-let hist_tbl : (string, hist) Hashtbl.t = Hashtbl.create 16
-
-let hist_observe h v =
-  h.h_sum <- h.h_sum +. v;
-  h.h_count <- h.h_count + 1;
-  let n = Array.length h.h_bounds in
-  (* first bucket whose upper bound contains v; linear scan is fine for
-     ~20 buckets on paths that just ran a whole tool *)
-  let rec place i =
-    if i >= n then () (* over-range: counted only in h_count (+Inf) *)
-    else if v <= h.h_bounds.(i) then h.h_counts.(i) <- h.h_counts.(i) + 1
-    else place (i + 1)
-  in
-  place 0
+(* name -> strictly increasing upper bounds; guarded by mu *)
+let hist_defs : (string, float array) Hashtbl.t = Hashtbl.create 16
 
 let define_histogram ?(buckets = default_buckets) name =
   (match buckets with
@@ -112,71 +205,91 @@ let define_histogram ?(buckets = default_buckets) name =
       (List.filteri (fun i _ -> i < List.length buckets - 1) buckets)
       (List.tl buckets));
   locked (fun () ->
-      if not (Hashtbl.mem hist_tbl name) then begin
-        let h =
-          {
-            h_bounds = Array.of_list buckets;
-            h_counts = Array.make (List.length buckets) 0;
-            h_sum = 0.0;
-            h_count = 0;
-          }
-        in
-        (* backfill samples the timer already recorded, so "converting" a
-           live timer mid-run loses nothing *)
-        (match Hashtbl.find_opt timer_tbl name with
-        | Some l -> List.iter (hist_observe h) (List.rev !l)
-        | None -> ());
-        Hashtbl.add hist_tbl name h
-      end)
+      if not (Hashtbl.mem hist_defs name) then
+        Hashtbl.add hist_defs name (Array.of_list buckets))
 
-let hist_summarize h =
+let bucketize bounds samples =
+  let n = Array.length bounds in
+  let counts = Array.make n 0 in
+  let sum = ref 0.0 and total = ref 0 in
+  List.iter
+    (fun v ->
+      sum := !sum +. v;
+      Stdlib.incr total;
+      (* first bucket whose upper bound contains v; linear scan is fine
+         for ~20 buckets at scrape time *)
+      let rec place i =
+        if i >= n then () (* over-range: counted only in total (+Inf) *)
+        else if v <= bounds.(i) then counts.(i) <- counts.(i) + 1
+        else place (i + 1)
+      in
+      place 0)
+    samples;
   let cum = ref 0 in
   let buckets =
     Array.to_list
       (Array.mapi
          (fun i bound ->
-           cum := !cum + h.h_counts.(i);
+           cum := !cum + counts.(i);
            (bound, !cum))
-         h.h_bounds)
+         bounds)
   in
-  { buckets; hist_sum = h.h_sum; hist_count = h.h_count }
+  { buckets; hist_sum = !sum; hist_count = !total }
 
 let histogram name =
-  locked (fun () ->
-      Option.map hist_summarize (Hashtbl.find_opt hist_tbl name))
+  match locked (fun () -> Hashtbl.find_opt hist_defs name) with
+  | None -> None
+  | Some bounds -> Some (bucketize bounds (timer_samples name))
 
 let histograms () =
-  locked (fun () ->
-      Hashtbl.fold (fun k h acc -> (k, hist_summarize h) :: acc) hist_tbl [])
+  locked (fun () -> Hashtbl.fold (fun k b acc -> (k, b) :: acc) hist_defs [])
+  |> List.map (fun (k, bounds) -> (k, bucketize bounds (timer_samples k)))
   |> List.sort compare
-
-let observe name dt =
-  locked (fun () ->
-      (match Hashtbl.find_opt timer_tbl name with
-      | Some l -> l := dt :: !l
-      | None -> Hashtbl.add timer_tbl name (ref [ dt ]));
-      match Hashtbl.find_opt hist_tbl name with
-      | Some h -> hist_observe h dt
-      | None -> ())
 
 (* ------------------------------------------------------------------ *)
 (* gauges                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let gauge_tbl : (string, float ref) Hashtbl.t = Hashtbl.create 16
+(* Each domain stores its own last write, stamped from a global atomic;
+   the merge keeps the newest stamp per name so a gauge still reads as
+   last-write-wins across domains. *)
+let gauge_stamp = Atomic.make 0
 
 let set_gauge name v =
-  locked (fun () ->
-      match Hashtbl.find_opt gauge_tbl name with
-      | Some r -> r := v
-      | None -> Hashtbl.add gauge_tbl name (ref v))
+  let c = my_cells () in
+  let stamp = Atomic.fetch_and_add gauge_stamp 1 in
+  match Hashtbl.find_opt c.c_gauges name with
+  | Some r -> r := (stamp, v)
+  | None ->
+    Mutex.protect c.c_mu (fun () ->
+        Hashtbl.add c.c_gauges name (ref (stamp, v)))
 
 let gauge name =
-  locked (fun () -> Option.map ( ! ) (Hashtbl.find_opt gauge_tbl name))
+  fold_cells
+    (fun acc c ->
+      match Hashtbl.find_opt c.c_gauges name with
+      | Some r ->
+        let stamp, v = !r in
+        (match acc with
+        | Some (s0, _) when s0 > stamp -> acc
+        | _ -> Some (stamp, v))
+      | None -> acc)
+    None
+  |> Option.map snd
 
 let gauges () =
-  locked (fun () -> Hashtbl.fold (fun k r acc -> (k, !r) :: acc) gauge_tbl [])
-  |> List.sort compare
+  let tbl = Hashtbl.create 16 in
+  fold_cells
+    (fun () c ->
+      Hashtbl.iter
+        (fun k r ->
+          let stamp, v = !r in
+          match Hashtbl.find_opt tbl k with
+          | Some (s0, _) when s0 > stamp -> ()
+          | _ -> Hashtbl.replace tbl k (stamp, v))
+        c.c_gauges)
+    ();
+  Hashtbl.fold (fun k (_, v) acc -> (k, v) :: acc) tbl [] |> List.sort compare
 
 (* The clock is wall time, not monotonic: an NTP step mid-measurement can
    make [now () -. t0] negative, so computed durations clamp at zero. *)
@@ -207,28 +320,17 @@ let summarize samples =
     stddev_s = Stats.stddev samples;
   }
 
-(* Snapshot the (immutable) sample lists under the lock, summarize
-   outside it - the summaries walk each list several times. *)
 let timer name =
-  locked (fun () -> Option.map ( ! ) (Hashtbl.find_opt timer_tbl name))
-  |> Option.map summarize
+  match timer_samples name with [] -> None | samples -> Some (summarize samples)
 
 let timers () =
-  locked (fun () -> Hashtbl.fold (fun k l acc -> (k, !l) :: acc) timer_tbl [])
+  all_timer_samples ()
   |> List.map (fun (k, l) -> (k, summarize l))
   |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
-(* trace spans                                                         *)
+(* trace spans: recording                                              *)
 (* ------------------------------------------------------------------ *)
-
-type span = {
-  span_name : string;
-  start_s : float;
-  duration_s : float;
-  attrs : (string * string) list;
-  children : span list;
-}
 
 type open_span = {
   o_name : string;
@@ -237,12 +339,10 @@ type open_span = {
   mutable o_children : span list; (* newest first *)
 }
 
-(* Each domain nests spans on its own stack; only a completed top-level
-   span crosses into the shared forest (under [mu]). *)
+(* Each domain nests spans on its own stack; a completed top-level span
+   lands in the owner's cell, lock-free. *)
 let span_stack_key : open_span list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
-
-let root_spans : span list ref = ref [] (* newest first; guarded by mu *)
 
 let with_span ?(attrs = []) name f =
   let span_stack = Domain.DLS.get span_stack_key in
@@ -261,7 +361,9 @@ let with_span ?(attrs = []) name f =
     in
     match !span_stack with
     | parent :: _ -> parent.o_children <- s :: parent.o_children
-    | [] -> locked (fun () -> root_spans := s :: !root_spans)
+    | [] ->
+      let c = my_cells () in
+      c.c_spans <- s :: c.c_spans
   in
   match f () with
   | v ->
@@ -273,7 +375,17 @@ let with_span ?(attrs = []) name f =
 
 let timed_span ?attrs name f = time name (fun () -> with_span ?attrs name f)
 
-let spans () = List.rev (locked (fun () -> !root_spans))
+(* Per cell the reversed list is completion order; across cells the
+   forest is ordered by start time (stable, so single-domain traces keep
+   their completion order even under a frozen test clock). *)
+let spans () =
+  snapshot_cells ()
+  |> List.rev_map (fun c -> List.rev c.c_spans)
+  |> List.concat
+  |> List.stable_sort (fun a b -> compare a.start_s b.start_s)
+
+let span_count () =
+  List.fold_left (fun n c -> n + List.length c.c_spans) 0 (snapshot_cells ())
 
 (* ------------------------------------------------------------------ *)
 (* probes                                                              *)
@@ -342,8 +454,7 @@ let report () =
       ps
   end;
   Buffer.add_string b
-    (Printf.sprintf "trace spans recorded: %d\n"
-       (List.length (locked (fun () -> !root_spans))));
+    (Printf.sprintf "trace spans recorded: %d\n" (span_count ()));
   Buffer.contents b
 
 (* JSON text is built through the shared Vc_util.Json emitters, so the
@@ -394,7 +505,7 @@ let to_json () =
              (fun (name, kvs) ->
                (name, jobj (List.map (fun (k, v) -> (k, string_of_int v)) kvs)))
              (probes ())) );
-      ("spans", string_of_int (List.length (locked (fun () -> !root_spans))));
+      ("spans", string_of_int (span_count ()));
     ]
 
 let rec span_json s =
@@ -497,12 +608,15 @@ let to_prometheus () =
 (* ------------------------------------------------------------------ *)
 
 let reset () =
-  locked (fun () ->
-      Hashtbl.reset counter_tbl;
-      Hashtbl.reset timer_tbl;
-      Hashtbl.reset hist_tbl;
-      Hashtbl.reset gauge_tbl;
-      root_spans := []);
+  List.iter
+    (fun c ->
+      Mutex.protect c.c_mu (fun () ->
+          Hashtbl.reset c.c_counters;
+          Hashtbl.reset c.c_timers;
+          Hashtbl.reset c.c_gauges;
+          c.c_spans <- []))
+    (snapshot_cells ());
+  locked (fun () -> Hashtbl.reset hist_defs);
   (* only the calling domain's open-span stack can be cleared - other
      domains own theirs *)
   Domain.DLS.get span_stack_key := []

@@ -10,14 +10,23 @@
     probes with it, and every binary under [bin/] exposes it through the
     [--stats] and [--trace FILE] flags (see {!cli}).
 
-    All state is global to the process and {e domain-safe}: counters,
-    timers, histograms, gauges and the probe registry sit behind one
-    internal mutex with constant-time critical sections, so
-    {!Vc_mooc.Server}'s worker domains can instrument concurrently.
-    Trace spans nest on a per-domain stack ({!with_span} trees never
-    interleave across domains); completed top-level spans merge into the
-    shared forest. Everything here is plain OCaml + the [unix] library
-    shipped with the compiler - no third-party dependencies. *)
+    All state is global to the process and {e domain-safe}, and the
+    write path scales: every domain records counters, timer samples,
+    gauge writes and completed spans into its {e own} per-domain cells
+    ([Domain.DLS]), so {!Vc_mooc.Server}'s worker domains instrument
+    without contending on a shared lock - the steady-state {!incr} /
+    {!observe} / {!set_gauge} path is lock-free (an atomic op or a list
+    push on domain-owned storage). The read side ({!counter},
+    {!timers}, {!report}, {!to_json}, {!to_prometheus}, ...) merges all
+    domains' cells on demand: counters sum, timer samples concatenate,
+    gauges resolve last-write-wins via a global version stamp, and
+    histogram buckets are computed lazily from the merged samples at
+    render time. Trace spans nest on a per-domain stack ({!with_span}
+    trees never interleave across domains); completed top-level spans
+    stay in their domain's cell and are merged (ordered by start time)
+    by {!spans}. See [docs/CONCURRENCY.md] for the full model.
+    Everything here is plain OCaml + the [unix] library shipped with
+    the compiler - no third-party dependencies. *)
 
 (** {1 Counters} *)
 
@@ -195,9 +204,12 @@ val to_prometheus : unit -> string
 
 val reset : unit -> unit
 (** Clear counters, gauges, timer samples, histogram definitions and
-    recorded spans. Registered probes and the clock survive (their
-    counters live in their own modules). Only the calling domain's
-    open-span stack is cleared; other domains own theirs. *)
+    recorded spans across {e all} domains' cells. Registered probes and
+    the clock survive (their counters live in their own modules). Only
+    the calling domain's open-span stack is cleared; other domains own
+    theirs. Call while other domains are quiescent (between test cases,
+    between bench configurations) - a racing writer may land an update
+    in a cell that was already cleared. *)
 
 val set_clock : (unit -> float) -> unit
 (** Replace the time source (default [Unix.gettimeofday]) - an alias of

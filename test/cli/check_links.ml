@@ -1,0 +1,92 @@
+(* check_links ROOT: verify every relative markdown link resolves.
+
+   Walks ROOT for *.md files (skipping _build, .git and _opam), extracts
+   the targets of inline links [text](target), and checks that each
+   relative target exists on disk, resolved against the linking file's
+   directory. External links (http://, https://, mailto:) and pure
+   anchors (#section) are skipped; a fragment on a relative link
+   (FILE.md#section) is stripped before the existence check - anchors
+   themselves are not validated.
+
+   Exit 0 when every link resolves, 1 with one line per broken link
+   otherwise. CI runs this after the build so documentation moves and
+   renames cannot silently orphan cross-references. *)
+
+let skip_dirs = [ "_build"; ".git"; "_opam"; "node_modules" ]
+
+let rec walk dir acc =
+  Array.fold_left
+    (fun acc entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then
+        if List.mem entry skip_dirs then acc else walk path acc
+      else if Filename.check_suffix entry ".md" then path :: acc
+      else acc)
+    acc (Sys.readdir dir)
+
+(* targets of [text](target) links in one line, left to right *)
+let link_targets line =
+  let n = String.length line in
+  let rec go i acc =
+    if i + 1 >= n then List.rev acc
+    else if line.[i] = ']' && line.[i + 1] = '(' then
+      match String.index_from_opt line (i + 2) ')' with
+      | None -> List.rev acc
+      | Some close ->
+        let target = String.sub line (i + 2) (close - i - 2) in
+        go (close + 1) (target :: acc)
+    else go (i + 1) acc
+  in
+  go 0 []
+
+let external_link t =
+  String.starts_with ~prefix:"http://" t
+  || String.starts_with ~prefix:"https://" t
+  || String.starts_with ~prefix:"mailto:" t
+
+let strip_fragment t =
+  match String.index_opt t '#' with
+  | Some i -> String.sub t 0 i
+  | None -> t
+
+let check_file path broken =
+  let dir = Filename.dirname path in
+  let ic = In_channel.open_text path in
+  let in_code = ref false in
+  let rec go lineno =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some line ->
+      if String.starts_with ~prefix:"```" (String.trim line) then
+        in_code := not !in_code
+      else if not !in_code then
+        List.iter
+          (fun target ->
+            let target = String.trim target in
+            if (not (external_link target)) && target <> "" then begin
+              let file = strip_fragment target in
+              if file <> "" && not (Sys.file_exists (Filename.concat dir file))
+              then
+                broken :=
+                  Printf.sprintf "%s:%d: broken link -> %s" path lineno target
+                  :: !broken
+            end)
+          (link_targets line);
+      go (lineno + 1)
+  in
+  go 1;
+  In_channel.close ic
+
+let () =
+  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
+  let files = List.sort compare (walk root []) in
+  let broken = ref [] in
+  List.iter (fun f -> check_file f broken) files;
+  match List.rev !broken with
+  | [] ->
+    Printf.printf "check_links: %d markdown file(s), all relative links ok\n"
+      (List.length files)
+  | problems ->
+    List.iter prerr_endline problems;
+    Printf.eprintf "check_links: %d broken link(s)\n" (List.length problems);
+    exit 1

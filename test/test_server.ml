@@ -13,6 +13,7 @@ let fresh () =
   T.reset ();
   Journal.clear ();
   Portal.clear_cache ();
+  Portal.set_cache_shards 16;
   Portal.set_cache_capacity 512
 
 (* a synthetic tool: pure, fast, no kernel dependency *)
@@ -321,6 +322,191 @@ let server_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* sharded result cache                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* distinct inputs that never collide: "x 0", "x 1", ... *)
+let distinct_input i = Printf.sprintf "x %d" i
+
+let shard_tests =
+  [
+    tc "per-shard LRU bound holds and sums to the aggregate" (fun () ->
+        fresh ();
+        Portal.set_cache_shards 4;
+        Portal.set_cache_capacity 8;
+        let s = Portal.create_session () in
+        (* 40 distinct inputs: every shard overflows its slice *)
+        for i = 0 to 39 do
+          ignore (Portal.submit_result s echo (distinct_input i))
+        done;
+        let sizes = Portal.cache_shard_sizes () in
+        check Alcotest.int "four shards" 4 (List.length sizes);
+        List.iteri
+          (fun i n ->
+            check Alcotest.bool
+              (Printf.sprintf "shard %d within its slice (%d <= 2)" i n)
+              true (n <= 2))
+          sizes;
+        check Alcotest.int "sizes sum to cache_size"
+          (Portal.cache_size ())
+          (List.fold_left ( + ) 0 sizes);
+        check Alcotest.bool "aggregate bound" true (Portal.cache_size () <= 8);
+        check Alcotest.bool "evictions happened" true
+          (Portal.cache_evictions () > 0));
+    tc "uneven capacities still sum exactly to the aggregate" (fun () ->
+        fresh ();
+        Portal.set_cache_shards 4;
+        Portal.set_cache_capacity 10;
+        (* caps are 3,3,2,2: fill far past them and check the global bound *)
+        let s = Portal.create_session () in
+        for i = 0 to 99 do
+          ignore (Portal.submit_result s echo (distinct_input i))
+        done;
+        check Alcotest.bool "size <= 10" true (Portal.cache_size () <= 10);
+        check Alcotest.bool "cache is well used" true
+          (Portal.cache_size () >= 8));
+    tc "clear_cache empties every shard and zeroes the stats" (fun () ->
+        fresh ();
+        Portal.set_cache_shards 8;
+        let s = Portal.create_session () in
+        for i = 0 to 19 do
+          ignore (Portal.submit_result s echo (distinct_input i))
+        done;
+        ignore (Portal.submit_result s echo (distinct_input 0));
+        check Alcotest.bool "cache populated" true (Portal.cache_size () > 0);
+        Portal.clear_cache ();
+        check Alcotest.int "empty" 0 (Portal.cache_size ());
+        List.iter
+          (fun n -> check Alcotest.int "shard empty" 0 n)
+          (Portal.cache_shard_sizes ());
+        check Alcotest.(pair int int) "stats zeroed" (0, 0)
+          (Portal.cache_stats ());
+        check Alcotest.int "evictions zeroed" 0 (Portal.cache_evictions ()));
+    tc "shrinking the capacity evicts down across shards" (fun () ->
+        fresh ();
+        Portal.set_cache_shards 4;
+        Portal.set_cache_capacity 16;
+        let s = Portal.create_session () in
+        for i = 0 to 15 do
+          ignore (Portal.submit_result s echo (distinct_input i))
+        done;
+        Portal.set_cache_capacity 4;
+        check Alcotest.bool "evicted down" true (Portal.cache_size () <= 4);
+        List.iter
+          (fun n -> check Alcotest.bool "shard slice" true (n <= 1))
+          (Portal.cache_shard_sizes ());
+        (* capacity 0 disables caching entirely *)
+        Portal.set_cache_capacity 0;
+        check Alcotest.int "disabled empties" 0 (Portal.cache_size ());
+        ignore (Portal.submit_result s echo (distinct_input 100));
+        ignore (Portal.submit_result s echo (distinct_input 100));
+        check Alcotest.int "nothing cached at 0" 0 (Portal.cache_size ()));
+    tc "set_cache_shards validates and reconfigures" (fun () ->
+        fresh ();
+        check Alcotest.bool "zero shards rejected" true
+          (match Portal.set_cache_shards 0 with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        Portal.set_cache_shards 3;
+        check Alcotest.int "shard count" 3 (Portal.cache_shards ());
+        check Alcotest.int "three slots" 3
+          (List.length (Portal.cache_shard_sizes ()));
+        (* reconfiguring drops entries but keeps the hit/miss stats *)
+        let s = Portal.create_session () in
+        ignore (Portal.submit_result s echo "kept stats");
+        ignore (Portal.submit_result s echo "kept stats");
+        Portal.set_cache_shards 5;
+        check Alcotest.int "entries dropped" 0 (Portal.cache_size ());
+        check Alcotest.(pair int int) "stats preserved" (1, 1)
+          (Portal.cache_stats ()));
+    tc "cache stats stay monotone under an 8-domain hammer" (fun () ->
+        fresh ();
+        Portal.set_cache_shards 16;
+        Portal.set_cache_capacity 32;
+        let hammers =
+          List.init 8 (fun c ->
+              Domain.spawn (fun () ->
+                  let s = Portal.create_session () in
+                  for k = 0 to 399 do
+                    ignore
+                      (Portal.submit_result s echo
+                         (distinct_input ((c + (7 * k)) mod 64)))
+                  done))
+        in
+        (* sample concurrently from this domain until every submission
+           is accounted for: totals never go backwards, the size bound
+           never breaks *)
+        let violations = ref 0 in
+        let last = ref (0, 0, 0) in
+        let running = ref true in
+        while !running do
+          let h, m = Portal.cache_stats () in
+          let e = Portal.cache_evictions () in
+          let lh, lm, le = !last in
+          if h < lh || m < lm || e < le then incr violations;
+          if Portal.cache_size () > 32 then incr violations;
+          last := (h, m, e);
+          if h + m >= 3200 then running := false
+        done;
+        List.iter Domain.join hammers;
+        check Alcotest.int "no monotonicity or bound violations" 0 !violations;
+        let h, m = Portal.cache_stats () in
+        check Alcotest.int "every submission counted" 3200 (h + m));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* telemetry per-domain cells merge exactly                            *)
+(* ------------------------------------------------------------------ *)
+
+let merge_tests =
+  [
+    tc "per-domain counter increments sum exactly to the global report"
+      (fun () ->
+        fresh ();
+        (* domain d increments the shared counter (d+1) * 100 times and
+           its private counter d times; both must merge exactly, and the
+           counts must survive the domains terminating *)
+        let domains =
+          List.init 8 (fun d ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to (d + 1) * 100 do
+                    T.incr "merge.shared"
+                  done;
+                  T.incr ~by:d (Printf.sprintf "merge.private.%d" d);
+                  T.observe "merge.timer" 0.001))
+        in
+        List.iter Domain.join domains;
+        T.incr "merge.shared";
+        (* 100+200+...+800 from the workers, +1 from this domain *)
+        check Alcotest.int "shared counter sums" 3601
+          (T.counter "merge.shared");
+        for d = 1 to 7 do
+          check Alcotest.int
+            (Printf.sprintf "private counter %d" d)
+            d
+            (T.counter (Printf.sprintf "merge.private.%d" d))
+        done;
+        (* counters () sees the merged view too *)
+        check Alcotest.bool "merged listing agrees" true
+          (List.assoc "merge.shared" (T.counters ()) = 3601);
+        (* timer samples from every domain are merged *)
+        match T.timer "merge.timer" with
+        | Some s -> check Alcotest.int "eight samples" 8 s.T.count
+        | None -> Alcotest.fail "merged timer missing");
+    tc "reset clears every domain's cells" (fun () ->
+        fresh ();
+        let domains =
+          List.init 4 (fun _ ->
+              Domain.spawn (fun () -> T.incr "merge.reset.me"))
+        in
+        List.iter Domain.join domains;
+        check Alcotest.int "visible before reset" 4
+          (T.counter "merge.reset.me");
+        T.reset ();
+        check Alcotest.int "gone after reset" 0 (T.counter "merge.reset.me"));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* multi-domain stress: parallel outputs byte-identical to sequential  *)
 (* ------------------------------------------------------------------ *)
 
@@ -419,5 +605,7 @@ let () =
       ("resolve", resolve_tests);
       ("outcomes", outcome_tests);
       ("admission", server_tests);
+      ("cache-shards", shard_tests);
+      ("telemetry-merge", merge_tests);
       ("stress", stress_tests);
     ]

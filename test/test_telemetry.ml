@@ -456,6 +456,44 @@ let regress_tests =
         let v = Regress.compare_json ~baseline:base ~current:cur () in
         check Alcotest.bool "latency regression flagged" true
           (v.Regress.regressions <> []));
+    tc "a speedup gauge drop beyond tolerance trips the gate" (fun () ->
+        let dump ~speedup ~depth =
+          Printf.sprintf
+            {|{"counters":{},"gauges":{"server.w8.speedup":%f,
+               "server.queue_depth":%f},"timers":{},"probes":{},"spans":0}|}
+            speedup depth
+        in
+        let base = parse_json (dump ~speedup:4.0 ~depth:3.0) in
+        (* 4.0 -> 2.0 is a 50% drop: beyond the default 25% tolerance *)
+        let cur = parse_json (dump ~speedup:2.0 ~depth:3.0) in
+        let v = Regress.compare_json ~baseline:base ~current:cur () in
+        check Alcotest.bool "speedup regression flagged" true
+          (v.Regress.regressions <> []);
+        (* 4.0 -> 3.5 is within the 25% tolerance *)
+        let ok = parse_json (dump ~speedup:3.5 ~depth:3.0) in
+        let v2 = Regress.compare_json ~baseline:base ~current:ok () in
+        check Alcotest.(list string) "within tolerance passes" []
+          v2.Regress.regressions;
+        check Alcotest.bool "speedup gauge was gated" true
+          (v2.Regress.compared > 0);
+        (* a big speedup gain is reported as an improvement *)
+        let faster = parse_json (dump ~speedup:6.0 ~depth:3.0) in
+        let v3 = Regress.compare_json ~baseline:base ~current:faster () in
+        check Alcotest.bool "improvement reported" true
+          (v3.Regress.improvements <> []));
+    tc "non-speedup gauges are informational only" (fun () ->
+        let dump depth =
+          Printf.sprintf
+            {|{"counters":{},"gauges":{"server.queue_depth":%f},
+               "timers":{},"probes":{},"spans":0}|}
+            depth
+        in
+        let base = parse_json (dump 3.0) in
+        let cur = parse_json (dump 300.0) in
+        let v = Regress.compare_json ~baseline:base ~current:cur () in
+        check Alcotest.(list string) "no regressions" [] v.Regress.regressions;
+        check Alcotest.int "nothing gated" 0 v.Regress.compared;
+        check Alcotest.bool "noted" true (v.Regress.notes <> []));
     tc "render summarizes the verdict" (fun () ->
         let base = parse_json (qor_dump ~latency:0.010 ~wirelength:17.0) in
         let cur = parse_json (qor_dump ~latency:0.030 ~wirelength:17.0) in
@@ -479,6 +517,9 @@ let regress_tests =
 let fresh () =
   T.reset ();
   Portal.clear_cache ();
+  (* One shard recovers the exact global LRU these tests assert on;
+     multi-shard behaviour is exercised in test_server.ml. *)
+  Portal.set_cache_shards 1;
   Portal.set_cache_capacity 512;
   Portal.create_session ()
 
@@ -1035,6 +1076,7 @@ let journal_degrade_tests =
         Journal.emit ~component:"degrade" "boom";
         (* detached: further events do not reach the sink *)
         Journal.emit ~component:"degrade" "after";
+        Journal.flush ();
         check Alcotest.int "sink saw two events" 2 !calls;
         check Alcotest.int "all events recorded" 3 (Journal.event_count ()));
   ]
