@@ -199,12 +199,14 @@ let server_bench ?(configs = [ 1; 2; 4; 8 ]) () =
   T.reset ();
   Portal.clear_cache ();
   Vc_util.Journal.open_jsonl "BENCH_server.jsonl";
-  (* a cache-miss workload: 48 distinct random 3-SAT instances (ratio 4,
+  (* a cache-miss workload: 96 distinct random 3-SAT instances (ratio 4,
      mostly satisfiable), so every job runs its kernel instead of being
-     served from the result cache *)
+     served from the result cache; sized so per-job kernel time dominates
+     the fixed dispatch cost (queue push/pop, domain wakeup) that a
+     too-small workload would measure instead *)
   let dimacs_of_seed seed =
     let rng = Vc_util.Rng.create (1000 + seed) in
-    let nv = 40 and nc = 160 in
+    let nv = 60 and nc = 240 in
     let buf = Buffer.create (16 * nc) in
     Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" nv nc);
     for _ = 1 to nc do
@@ -224,7 +226,7 @@ let server_bench ?(configs = [ 1; 2; 4; 8 ]) () =
     done;
     Buffer.contents buf
   in
-  let num_jobs = 48 and num_clients = 8 in
+  let num_jobs = 96 and num_clients = 8 in
   let jobs = Array.init num_jobs dimacs_of_seed in
   let run_config workers =
     Portal.clear_cache ();
@@ -260,7 +262,7 @@ let server_bench ?(configs = [ 1; 2; 4; 8 ]) () =
   (* speedups are relative to the smallest configuration (normally 1
      worker), which runs first *)
   let t1 = match times with (_, t) :: _ -> t | [] -> 1.0 in
-  Printf.printf "%d jobs (minisat, 40 vars / 160 clauses), %d client domains\n"
+  Printf.printf "%d jobs (minisat, 60 vars / 240 clauses), %d client domains\n"
     num_jobs num_clients;
   Printf.printf "portal cache: %d shard(s), capacity %d\n"
     (Portal.cache_shards ()) (Portal.cache_capacity ());
@@ -285,6 +287,91 @@ let server_bench ?(configs = [ 1; 2; 4; 8 ]) () =
       Out_channel.output_string oc (T.to_json ()));
   Vc_util.Journal.remove_sink "jsonl:BENCH_server.jsonl";
   Printf.printf "wrote BENCH_server.json and BENCH_server.jsonl\n"
+
+let loadgen_bench ?(participants = 1_000_000) ?(duration_s = 32.0)
+    ?(rate_rps = 2500.0) ?(clients = 6) () =
+  header "Loadgen - open-loop replay SLO over the wire (BENCH_loadgen.json)";
+  let module T = Vc_util.Telemetry in
+  let module Server = Vc_mooc.Server in
+  let module Wire = Vc_mooc.Wire in
+  let module Trace = Vc_mooc.Trace in
+  let module Loadgen = Vc_mooc.Loadgen in
+  T.reset ();
+  Vc_mooc.Portal.clear_cache ();
+  (* the SLO workload: a planet-scale cohort (1M registered participants,
+     streamed at constant memory) derives a ~128k-submission trace with
+     the default 4x deadline spike, replayed open-loop over TCP against
+     an in-process listener backed by the shared worker pool. The trace
+     is fully determined by the seed, so every run offers the same load
+     and the committed baseline stays comparable. *)
+  let params =
+    {
+      Vc_mooc.Cohort.paper_params with
+      Vc_mooc.Cohort.registered = participants;
+    }
+  in
+  let spec = Trace.of_cohort ~seed:2013 ~duration_s ~rate_rps params in
+  let server =
+    Server.start
+      ~config:
+        {
+          Server.default_config with
+          Server.workers = 2;
+          Server.queue_capacity = 256;
+        }
+      ()
+  in
+  let listener = Wire.listen ~port:0 () in
+  let acceptor =
+    Domain.spawn (fun () ->
+        Wire.serve listener ~submit:(fun ~session_id tool input ->
+            Server.submit server ~session_id tool input))
+  in
+  Printf.printf
+    "~%d submission(s) from a %d-participant cohort (%d session(s)), %.0f \
+     rps base with a %.0fx deadline spike, %d client domain(s)\n\
+     %!"
+    (Trace.expected_items spec)
+    participants spec.Trace.tr_sessions spec.Trace.tr_rate_rps
+    (match spec.Trace.tr_spike with
+    | Some s -> s.Trace.sp_factor
+    | None -> 1.0)
+    clients;
+  let report =
+    Loadgen.run
+      {
+        Loadgen.lg_host = "127.0.0.1";
+        lg_port = Wire.port listener;
+        lg_clients = clients;
+        lg_spec = spec;
+        lg_time_scale = 1.0;
+      }
+  in
+  Wire.shutdown listener;
+  Domain.join acceptor;
+  ignore (Wire.drain_connections listener);
+  Server.stop server;
+  print_string (Loadgen.render_report report);
+  (* BENCH_loadgen.json is the curated SLO surface, not a full telemetry
+     dump: only the lower-is-better loadgen.slo.* gauges gate under
+     `bench compare` (against the committed bound in bench/baseline/),
+     and the rates ride along informationally. A full dump would also
+     gate the nondeterministic vcload.rejected counter at qor-tol 0%. *)
+  let p99_ms, shed =
+    ( (match report.Loadgen.rp_latency with
+      | Some s -> 1e3 *. s.Vc_util.Journal_query.l_p99_s
+      | None -> 0.0),
+      report.Loadgen.rp_shed_rate )
+  in
+  Loadgen.set_slo_gauges report;
+  Out_channel.with_open_text "BENCH_loadgen.json" (fun oc ->
+      Printf.fprintf oc
+        "{\"gauges\":{\"loadgen.slo.p99_ms\":%.3f,\
+         \"loadgen.slo.shed_rate\":%.6f,\"loadgen.offered_rps\":%.1f,\
+         \"loadgen.achieved_rps\":%.1f,\"loadgen.requests\":%d.0}}\n"
+        p99_ms shed report.Loadgen.rp_offered_rps
+        report.Loadgen.rp_achieved_rps report.Loadgen.rp_total);
+  Printf.printf "wrote BENCH_loadgen.json\n"
 
 let fig5 () =
   header "Fig. 5 - the four software design projects";
@@ -936,6 +1023,7 @@ let figures =
     ("fig10", fig10); ("stats", stats); ("fig11", fig11);
     ("portal", portal_bench);
     ("server", (fun () -> server_bench ()));
+    ("loadgen", (fun () -> loadgen_bench ()));
   ]
 
 let perf_tables =
@@ -976,8 +1064,8 @@ let () =
     | Some f -> f ()
     | None ->
       Printf.eprintf
-        "unknown experiment %s (try: fig1 fig2 fig4..fig11 stats portal perf \
-         ablations all)\n"
+        "unknown experiment %s (try: fig1 fig2 fig4..fig11 stats portal \
+         server loadgen perf ablations all)\n"
         name;
       exit 2
   end

@@ -3,28 +3,32 @@
    Usage: vcserve [--stats] [--trace FILE] [--journal FILE]
                   [--metrics-port N] [-workers N] [-queue N]
                   [-deadline S] [-rate R] [-burst B] [-cache-shards N]
-                  [script-file]
+                  [-listen PORT] [script-file]
 
-   Requests are read from the script file (stdin when absent):
+   Without -listen, requests are read from the script file (stdin when
+   absent); with -listen PORT the same protocol is served over TCP
+   (port 0 picks an ephemeral port, announced on stderr) to any number
+   of concurrent connections - one handler domain each, all funneling
+   into the shared worker pool. See Mooc.Wire for the protocol:
 
-     TOOL <name>        submit the following lines to a portal tool
-     <input lines>      terminated by a line containing only "."
-     SESSION <id>       switch the client session (default "default")
-     LIST               list the available tools
-     QUIT               exit (EOF works too)
+     TOOL <name> [<session>]  submit the following lines to a tool
+     <input lines>            terminated by a line containing only "."
+     SESSION <id>             switch the sticky client session
+     LIST                     list the available tools
+     SHUTDOWN                 stop the whole server (drain first)
+     QUIT                     close this connection (EOF works too)
 
-   Each response is one status line, an optional body, and a "." line:
+   Responses are one status line (OK executed / OK cache_hit /
+   ERR <label> <msg>), an optional dot-stuffed body, and a "." line.
 
-     OK executed        the tool ran; body is its output
-     OK cache_hit       served from the result cache; body is the output
-     ERR <label> <msg>  rejected (runaway / overloaded / rate_limited /
-                        deadline) or unknown tool; no body
-
-   Lines beginning with "." are dot-stuffed ("." -> "..") in both
-   directions, SMTP-style, so any payload round-trips. *)
+   Shutdown is always graceful: on SHUTDOWN, SIGINT or SIGTERM the
+   server stops admitting, drains queued jobs, and flushes the journal
+   and telemetry sinks before exiting - the tail of a replay run is
+   never lost. *)
 
 module Portal = Vc_mooc.Portal
 module Server = Vc_mooc.Server
+module Wire = Vc_mooc.Wire
 
 let usage () =
   prerr_endline
@@ -32,7 +36,7 @@ let usage () =
      [--metrics-port N]\n\
     \               [-workers N] [-queue N] [-deadline S] [-rate R] \
      [-burst B]\n\
-    \               [-cache-shards N] [script-file]";
+    \               [-cache-shards N] [-listen PORT] [script-file]";
   exit 2
 
 let parse_args argv =
@@ -40,6 +44,7 @@ let parse_args argv =
   let file = ref None in
   let rate = ref None in
   let burst = ref 5.0 in
+  let listen_port = ref None in
   let int_of s = match int_of_string_opt s with Some n -> n | None -> usage () in
   let float_of s =
     match float_of_string_opt s with Some f -> f | None -> usage ()
@@ -67,6 +72,9 @@ let parse_args argv =
       if n < 1 then usage ();
       Portal.set_cache_shards n;
       go rest
+    | "-listen" :: p :: rest ->
+      listen_port := Some (int_of p);
+      go rest
     | [ path ] when !file = None && String.length path > 0 && path.[0] <> '-'
       ->
       file := Some path
@@ -76,45 +84,17 @@ let parse_args argv =
   (match !rate with
   | Some r -> config := { !config with Server.rate_limit = Some (r, !burst) }
   | None -> ());
-  (!config, !file)
+  (!config, !file, !listen_port)
 
-let unstuff line =
-  if String.length line >= 2 && line.[0] = '.' && line.[1] = '.' then
-    String.sub line 1 (String.length line - 1)
-  else line
+(* Graceful drain shared by every exit path: stop admitting, let the
+   workers finish the queue, then force the buffered journal batches to
+   the sinks - the fix for losing the tail of a run to a SIGINT. *)
+let drain_and_exit server =
+  Server.stop server;
+  Vc_util.Journal.flush ();
+  exit 0
 
-let stuff line =
-  if String.length line > 0 && line.[0] = '.' then "." ^ line else line
-
-let read_body ic =
-  let rec go acc =
-    match In_channel.input_line ic with
-    | None | Some "." -> List.rev acc
-    | Some line -> go (unstuff line :: acc)
-  in
-  String.concat "\n" (go [])
-
-let respond status body =
-  print_endline status;
-  if body <> "" then
-    List.iter
-      (fun l -> print_endline (stuff l))
-      (String.split_on_char '\n' body);
-  print_endline ".";
-  flush stdout
-
-let respond_outcome = function
-  | Portal.Executed out -> respond "OK executed" out
-  | Portal.Cache_hit out -> respond "OK cache_hit" out
-  | Portal.Rejected r ->
-    respond
-      (Printf.sprintf "ERR %s %s" (Portal.reason_label r)
-         (Portal.reason_message r))
-      ""
-
-let () =
-  let argv = Vc_util.Telemetry.cli Sys.argv in
-  let config, file = parse_args argv in
+let serve_script config file =
   let ic =
     match file with
     | None -> stdin
@@ -127,35 +107,50 @@ let () =
   let server = Server.start ~config () in
   Printf.eprintf "vcserve: %d worker(s), queue capacity %d\n%!"
     config.Server.workers config.Server.queue_capacity;
-  let rec loop session_id =
-    match In_channel.input_line ic with
-    | None -> ()
-    | Some raw -> (
-      let line = String.trim raw in
-      match String.split_on_char ' ' line with
-      | [ "" ] -> loop session_id
-      | [ "QUIT" ] -> ()
-      | [ "LIST" ] ->
-        respond "OK tools"
-          (String.concat "\n"
-             (List.map
-                (fun t ->
-                  t.Portal.tool_name ^ " - " ^ t.Portal.description)
-                Portal.all_tools));
-        loop session_id
-      | [ "SESSION"; id ] ->
-        respond ("OK session " ^ id) "";
-        loop id
-      | [ "TOOL"; name ] -> (
-        let input = read_body ic in
-        (match Portal.resolve_tool name with
-        | Error msg -> respond ("ERR unknown " ^ msg) ""
-        | Ok tool -> respond_outcome (Server.submit server ~session_id tool input));
-        loop session_id)
-      | _ ->
-        respond "ERR protocol expected TOOL <name>, SESSION <id>, LIST or QUIT"
-          "";
-        loop session_id)
-  in
-  loop "default";
-  Server.stop server
+  (* SIGINT/SIGTERM: close the input so the protocol loop sees EOF and
+     the normal drain path runs *)
+  let fd = Unix.descr_of_in_channel ic in
+  let on_signal _ = try Unix.close fd with Unix.Unix_error _ -> () in
+  (try
+     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+     Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try
+     ignore
+       (Wire.session_loop ~input:ic ~output:stdout
+          ~submit:(fun ~session_id tool input ->
+            Server.submit server ~session_id tool input)
+          ())
+   with Sys_error _ -> ());
+  drain_and_exit server
+
+let serve_tcp config port =
+  let server = Server.start ~config () in
+  let listener = Wire.listen ~port () in
+  (* the test harness and vcload parse this line for the bound port *)
+  Printf.eprintf "vcserve: listening on %s:%d (%d worker(s), queue %d)\n%!"
+    (Wire.addr listener) (Wire.port listener) config.Server.workers
+    config.Server.queue_capacity;
+  (* Wire.shutdown is async-signal-safe: atomics and closes only *)
+  let on_signal _ = Wire.shutdown listener in
+  (try
+     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+     Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+   with Invalid_argument _ | Sys_error _ -> ());
+  Wire.serve listener ~submit:(fun ~session_id tool input ->
+      Server.submit server ~session_id tool input);
+  (* accept loop has exited (SHUTDOWN verb or signal): drain the worker
+     queue so in-flight connections get their responses, give their
+     handler domains a moment to finish writing, then flush *)
+  Server.stop server;
+  if not (Wire.drain_connections listener) then
+    prerr_endline "vcserve: timed out waiting for connections to close";
+  Vc_util.Journal.flush ();
+  exit 0
+
+let () =
+  let argv = Vc_util.Telemetry.cli Sys.argv in
+  let config, file, listen_port = parse_args argv in
+  match listen_port with
+  | Some port -> serve_tcp config port
+  | None -> serve_script config file

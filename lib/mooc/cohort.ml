@@ -70,45 +70,82 @@ let journal_funnel f =
   stage "took_final" f.took_final;
   stage "certificates" f.certificates
 
-let simulate ?(seed = 2013) params =
+(* One participant's journey, drawn from a shared RNG. Draw order is part
+   of the contract: [iter_participants] and [simulate] must produce the
+   same cohort for the same seed (the moocsim golden test pins it). *)
+let draw_participant rng params id =
+  let watches = Vc_util.Rng.bernoulli rng params.p_watch in
+  if not watches then
+    {
+      id;
+      watched = 0;
+      did_homework = false;
+      tried_software = false;
+      took_final = false;
+      certificate = false;
+    }
+  else begin
+    let watched =
+      if Vc_util.Rng.bernoulli rng params.p_completer then num_videos
+      else begin
+        (* geometric stopping: watch video k+1 with prob p_continue *)
+        let rec advance k =
+          if k >= num_videos then num_videos
+          else if Vc_util.Rng.bernoulli rng params.p_continue then
+            advance (k + 1)
+          else k
+        in
+        advance 1
+      end
+    in
+    let did_homework = Vc_util.Rng.bernoulli rng params.p_homework in
+    let tried_software =
+      did_homework && Vc_util.Rng.bernoulli rng params.p_software
+    in
+    let took_final =
+      did_homework && Vc_util.Rng.bernoulli rng params.p_final
+    in
+    let certificate = took_final && Vc_util.Rng.bernoulli rng params.p_cert in
+    { id; watched; did_homework; tried_software; took_final; certificate }
+  end
+
+(* Streaming generation: each participant is drawn, handed to [f] and
+   dropped, so a million-strong (or billion-strong) cohort costs constant
+   memory. The materializing [simulate] below is this iterator plus an
+   accumulator. *)
+let iter_participants ?(seed = 2013) (params : params) f =
   let rng = Vc_util.Rng.create seed in
-  let participant id =
-    let watches = Vc_util.Rng.bernoulli rng params.p_watch in
-    if not watches then
-      {
-        id;
-        watched = 0;
-        did_homework = false;
-        tried_software = false;
-        took_final = false;
-        certificate = false;
-      }
-    else begin
-      let watched =
-        if Vc_util.Rng.bernoulli rng params.p_completer then num_videos
-        else begin
-          (* geometric stopping: watch video k+1 with prob p_continue *)
-          let rec advance k =
-            if k >= num_videos then num_videos
-            else if Vc_util.Rng.bernoulli rng params.p_continue then
-              advance (k + 1)
-            else k
-          in
-          advance 1
-        end
-      in
-      let did_homework = Vc_util.Rng.bernoulli rng params.p_homework in
-      let tried_software =
-        did_homework && Vc_util.Rng.bernoulli rng params.p_software
-      in
-      let took_final =
-        did_homework && Vc_util.Rng.bernoulli rng params.p_final
-      in
-      let certificate = took_final && Vc_util.Rng.bernoulli rng params.p_cert in
-      { id; watched; did_homework; tried_software; took_final; certificate }
-    end
-  in
-  let ps = List.init params.registered participant in
+  for id = 0 to params.registered - 1 do
+    f (draw_participant rng params id)
+  done
+
+let streamed_funnel ?(seed = 2013) params =
+  let registered = ref 0
+  and watched_video = ref 0
+  and did_homework = ref 0
+  and tried_software = ref 0
+  and took_final = ref 0
+  and certificates = ref 0 in
+  iter_participants ~seed params (fun p ->
+      incr registered;
+      if p.watched > 0 then incr watched_video;
+      if p.did_homework then incr did_homework;
+      if p.tried_software then incr tried_software;
+      if p.took_final then incr took_final;
+      if p.certificate then incr certificates);
+  {
+    registered = !registered;
+    watched_video = !watched_video;
+    did_homework = !did_homework;
+    tried_software = !tried_software;
+    took_final = !took_final;
+    certificates = !certificates;
+  }
+
+let simulate ?(seed = 2013) params =
+  let acc = ref [] in
+  iter_participants ~seed params (fun p -> acc := p :: !acc);
+  let ps = List.rev !acc in
   Vc_util.Journal.emit ~component:"cohort"
     ~attrs:
       [

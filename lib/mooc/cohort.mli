@@ -39,6 +39,13 @@ val simulate : ?seed:int -> params -> participant list
     funnel level in order (attributes [stage], [count]) - the input of
     [vcstat funnel] ({!Vc_util.Journal_query.funnel_of}). *)
 
+val iter_participants : ?seed:int -> params -> (participant -> unit) -> unit
+(** Streaming generation: draw each participant in id order and hand it
+    to the callback without materializing the cohort, so memory use is
+    constant in [params.registered] - the path to millions of simulated
+    participants. Draw-for-draw identical to {!simulate} under the same
+    seed (default 2013); emits no journal events. *)
+
 type funnel = {
   registered : int;
   watched_video : int;
@@ -49,6 +56,10 @@ type funnel = {
 }
 
 val funnel_of : participant list -> funnel
+
+val streamed_funnel : ?seed:int -> params -> funnel
+(** [funnel_of (simulate ~seed params)] at constant memory, built on
+    {!iter_participants}; emits no journal events. *)
 
 val paper_funnel : funnel
 (** The exact numbers from Fig. 8 (registered listed as 17,500). *)

@@ -1,0 +1,248 @@
+module JQ = Vc_util.Journal_query
+
+type config = {
+  lg_host : string;
+  lg_port : int;
+  lg_clients : int;
+  lg_spec : Trace.spec;
+  lg_time_scale : float;
+}
+
+type report = {
+  rp_offered_rps : float;
+  rp_achieved_rps : float;
+  rp_wall_s : float;
+  rp_clients : int;
+  rp_total : int;
+  rp_executed : int;
+  rp_cache_hit : int;
+  rp_rejected : int;
+  rp_rejected_by_label : (string * int) list;
+  rp_errors : int;
+  rp_shed_rate : float;
+  rp_latency : JQ.latency_stats option;
+  rp_by_outcome : (string * JQ.latency_stats) list;
+}
+
+(* One client domain's tallies; merged after the join. *)
+type partial = {
+  mutable p_executed : float list;
+  mutable p_cache_hit : float list;
+  mutable p_rejected : float list;
+  mutable p_labels : (string * int) list;
+  mutable p_errors : int;
+}
+
+let classify status =
+  match String.split_on_char ' ' status with
+  | [ "OK"; "executed" ] -> `Executed
+  | [ "OK"; "cache_hit" ] -> `Cache_hit
+  | "ERR" :: label :: _ -> `Rejected label
+  | _ -> `Rejected "protocol"
+
+let bump_label p label =
+  p.p_labels <-
+    (label, 1 + Option.value ~default:0 (List.assoc_opt label p.p_labels))
+    :: List.remove_assoc label p.p_labels
+
+let journal_request ~tool ~outcome ~latency_s ?reason () =
+  let attrs =
+    [
+      ("tool", tool);
+      ("outcome", outcome);
+      ("latency_s", Printf.sprintf "%.6f" latency_s);
+    ]
+    @ match reason with Some r -> [ ("reason", r) ] | None -> []
+  in
+  Vc_util.Journal.emit ~component:"vcload" ~attrs "replay.request"
+
+(* Replay this client's share of the trace: regenerate the stream,
+   skip items belonging to other clients, pace each own item to its
+   scheduled wall-clock time, and measure latency from that schedule. *)
+let run_client config t0 client_idx =
+  let p =
+    {
+      p_executed = [];
+      p_cache_hit = [];
+      p_rejected = [];
+      p_labels = [];
+      p_errors = 0;
+    }
+  in
+  let conn = Wire.Client.connect ~host:config.lg_host ~port:config.lg_port () in
+  Fun.protect
+    ~finally:(fun () -> Wire.Client.close conn)
+    (fun () ->
+      Trace.iter config.lg_spec (fun it ->
+          if it.Trace.it_seq mod config.lg_clients = client_idx then begin
+            let target =
+              t0 +. (it.Trace.it_time_s *. config.lg_time_scale)
+            in
+            let delay = target -. Unix.gettimeofday () in
+            if delay > 0.0 then Unix.sleepf delay;
+            match
+              Wire.Client.submit conn ~session:it.Trace.it_session
+                ~tool:it.Trace.it_tool it.Trace.it_input
+            with
+            | status, _body ->
+              let latency_s = Unix.gettimeofday () -. target in
+              (match classify status with
+              | `Executed ->
+                p.p_executed <- latency_s :: p.p_executed;
+                Vc_util.Telemetry.incr "vcload.executed";
+                journal_request ~tool:it.Trace.it_tool ~outcome:"executed"
+                  ~latency_s ()
+              | `Cache_hit ->
+                p.p_cache_hit <- latency_s :: p.p_cache_hit;
+                Vc_util.Telemetry.incr "vcload.cache_hit";
+                journal_request ~tool:it.Trace.it_tool ~outcome:"cache_hit"
+                  ~latency_s ()
+              | `Rejected label ->
+                p.p_rejected <- latency_s :: p.p_rejected;
+                bump_label p label;
+                Vc_util.Telemetry.incr "vcload.rejected";
+                journal_request ~tool:it.Trace.it_tool ~outcome:"rejected"
+                  ~latency_s ~reason:label ())
+            | exception (Failure _ | Unix.Unix_error _ | Sys_error _) ->
+              p.p_errors <- p.p_errors + 1;
+              Vc_util.Telemetry.incr "vcload.errors"
+          end));
+  p
+
+let run config =
+  if config.lg_clients < 1 then invalid_arg "Loadgen.run: clients < 1";
+  (* a short runway so every domain is connected before the first item
+     comes due *)
+  let t0 = Unix.gettimeofday () +. 0.05 in
+  let domains =
+    List.init config.lg_clients (fun c ->
+        Domain.spawn (fun () -> run_client config t0 c))
+  in
+  let partials = List.map Domain.join domains in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let executed = List.concat_map (fun p -> p.p_executed) partials in
+  let cache_hit = List.concat_map (fun p -> p.p_cache_hit) partials in
+  let rejected = List.concat_map (fun p -> p.p_rejected) partials in
+  let errors = List.fold_left (fun a p -> a + p.p_errors) 0 partials in
+  let labels =
+    List.fold_left
+      (fun acc p ->
+        List.fold_left
+          (fun acc (label, n) ->
+            (label, n + Option.value ~default:0 (List.assoc_opt label acc))
+            :: List.remove_assoc label acc)
+          acc p.p_labels)
+      [] partials
+  in
+  let n_exec = List.length executed
+  and n_hit = List.length cache_hit
+  and n_rej = List.length rejected in
+  let total = n_exec + n_hit + n_rej in
+  let all = executed @ cache_hit @ rejected in
+  let by_outcome =
+    List.filter_map
+      (fun (key, samples) ->
+        Option.map (fun s -> (key, s)) (JQ.latency_stats_of samples))
+      [
+        ("cache_hit", cache_hit); ("executed", executed); ("rejected", rejected);
+      ]
+  in
+  let avg_rate =
+    float_of_int (Trace.expected_items config.lg_spec)
+    /. Float.max config.lg_spec.Trace.tr_duration_s 1e-9
+  in
+  {
+    rp_offered_rps = avg_rate /. Float.max config.lg_time_scale 1e-9;
+    rp_achieved_rps =
+      (if wall_s > 0.0 then float_of_int total /. wall_s else 0.0);
+    rp_wall_s = wall_s;
+    rp_clients = config.lg_clients;
+    rp_total = total;
+    rp_executed = n_exec;
+    rp_cache_hit = n_hit;
+    rp_rejected = n_rej;
+    rp_rejected_by_label = List.sort compare labels;
+    rp_errors = errors;
+    rp_shed_rate =
+      (if total = 0 then 0.0 else float_of_int n_rej /. float_of_int total);
+    rp_latency = JQ.latency_stats_of all;
+    rp_by_outcome = by_outcome;
+  }
+
+let render_report r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "replayed %d request(s) over %d client(s) in %.2f s (offered %.0f \
+        rps, achieved %.0f rps)\n"
+       r.rp_total r.rp_clients r.rp_wall_s r.rp_offered_rps r.rp_achieved_rps);
+  Buffer.add_string b
+    (Printf.sprintf
+       "outcomes: %d executed, %d cache_hit, %d rejected (shed rate %.2f%%)\n"
+       r.rp_executed r.rp_cache_hit r.rp_rejected (100.0 *. r.rp_shed_rate));
+  if r.rp_rejected_by_label <> [] then begin
+    Buffer.add_string b "rejections by reason:\n";
+    List.iter
+      (fun (label, n) ->
+        Buffer.add_string b (Printf.sprintf "  %-16s %6d\n" label n))
+      r.rp_rejected_by_label
+  end;
+  if r.rp_errors > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "transport errors: %d\n" r.rp_errors);
+  (match r.rp_latency with
+  | None -> ()
+  | Some all ->
+    Buffer.add_string b
+      "latency (count / p50 ms / p90 ms / p99 ms / max ms):\n";
+    Buffer.add_string b (JQ.render_latency_line "(all)" all);
+    List.iter
+      (fun (k, st) -> Buffer.add_string b (JQ.render_latency_line k st))
+      r.rp_by_outcome);
+  Buffer.contents b
+
+let report_to_json r =
+  let module Json = Vc_util.Json in
+  let latency_json (s : JQ.latency_stats) =
+    Json.obj
+      [
+        ("count", Json.int s.JQ.l_count);
+        ("mean_s", Json.num s.JQ.l_mean_s);
+        ("p50_s", Json.num s.JQ.l_p50_s);
+        ("p90_s", Json.num s.JQ.l_p90_s);
+        ("p99_s", Json.num s.JQ.l_p99_s);
+        ("max_s", Json.num s.JQ.l_max_s);
+      ]
+  in
+  Json.obj
+    [
+      ("offered_rps", Json.num r.rp_offered_rps);
+      ("achieved_rps", Json.num r.rp_achieved_rps);
+      ("wall_s", Json.num r.rp_wall_s);
+      ("clients", Json.int r.rp_clients);
+      ("total", Json.int r.rp_total);
+      ("executed", Json.int r.rp_executed);
+      ("cache_hit", Json.int r.rp_cache_hit);
+      ("rejected", Json.int r.rp_rejected);
+      ( "rejected_by_label",
+        Json.obj
+          (List.map (fun (k, n) -> (k, Json.int n)) r.rp_rejected_by_label) );
+      ("errors", Json.int r.rp_errors);
+      ("shed_rate", Json.num r.rp_shed_rate);
+      ( "latency",
+        match r.rp_latency with
+        | Some all ->
+          Json.obj
+            (("all", latency_json all)
+            :: List.map (fun (k, st) -> (k, latency_json st)) r.rp_by_outcome)
+        | None -> Json.obj [] );
+    ]
+
+let set_slo_gauges r =
+  (match r.rp_latency with
+  | Some all ->
+    Vc_util.Telemetry.set_gauge "loadgen.slo.p99_ms" (1e3 *. all.JQ.l_p99_s)
+  | None -> ());
+  Vc_util.Telemetry.set_gauge "loadgen.slo.shed_rate" r.rp_shed_rate;
+  Vc_util.Telemetry.set_gauge "loadgen.offered_rps" r.rp_offered_rps;
+  Vc_util.Telemetry.set_gauge "loadgen.achieved_rps" r.rp_achieved_rps

@@ -1,0 +1,207 @@
+type spike = { sp_start : float; sp_len : float; sp_factor : float }
+
+type spec = {
+  tr_seed : int;
+  tr_duration_s : float;
+  tr_rate_rps : float;
+  tr_sessions : int;
+  tr_mix : (string * float) list;
+  tr_variants : int;
+  tr_resubmit : float;
+  tr_spike : spike option;
+}
+
+type item = {
+  it_seq : int;
+  it_time_s : float;
+  it_session : string;
+  it_tool : string;
+  it_input : string;
+}
+
+(* The software-project tools dominate real submission traffic; axb was
+   the course's custom warm-up and sees the least. *)
+let default_mix =
+  [
+    ("minisat", 0.30);
+    ("sis", 0.25);
+    ("kbdd", 0.20);
+    ("espresso", 0.15);
+    ("axb", 0.10);
+  ]
+
+let default_spike = { sp_start = 0.4; sp_len = 0.2; sp_factor = 4.0 }
+
+let of_cohort ?(seed = 2013) ?(duration_s = 60.) ?(rate_rps = 200.)
+    ?(mix = default_mix) ?(variants = 64) ?(resubmit = 0.8)
+    ?(spike = Some default_spike) (params : Cohort.params) =
+  let funnel = Cohort.streamed_funnel ~seed params in
+  {
+    tr_seed = seed;
+    tr_duration_s = duration_s;
+    tr_rate_rps = rate_rps;
+    tr_sessions = max 1 funnel.Cohort.tried_software;
+    tr_mix = mix;
+    tr_variants = max 1 variants;
+    tr_resubmit = resubmit;
+    tr_spike = spike;
+  }
+
+let rate_at spec t =
+  match spec.tr_spike with
+  | None -> spec.tr_rate_rps
+  | Some s ->
+    let start = s.sp_start *. spec.tr_duration_s in
+    let stop = (s.sp_start +. s.sp_len) *. spec.tr_duration_s in
+    if t >= start && t < stop then spec.tr_rate_rps *. s.sp_factor
+    else spec.tr_rate_rps
+
+let expected_items spec =
+  let base = spec.tr_rate_rps *. spec.tr_duration_s in
+  let extra =
+    match spec.tr_spike with
+    | None -> 0.0
+    | Some s ->
+      spec.tr_rate_rps *. (s.sp_factor -. 1.0) *. s.sp_len
+      *. spec.tr_duration_s
+  in
+  int_of_float (Float.round (base +. extra))
+
+(* Deterministic per-(tool, variant) uploads. Each is a small valid
+   input for its tool - rejections in a replay must come from admission
+   control, never from a malformed upload. *)
+
+let dimacs_input rng =
+  let nv = 8 and nc = 20 in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" nv nc);
+  for _ = 1 to nc do
+    let rec pick k acc =
+      if k = 0 then acc
+      else
+        let v = 1 + Vc_util.Rng.int rng nv in
+        if List.mem v acc then pick k acc else pick (k - 1) (v :: acc)
+    in
+    List.iter
+      (fun v ->
+        let lit = if Vc_util.Rng.bool rng then v else -v in
+        Buffer.add_string buf (string_of_int lit);
+        Buffer.add_char buf ' ')
+      (pick 3 []);
+    Buffer.add_string buf "0\n"
+  done;
+  Buffer.contents buf
+
+let kbdd_input rng =
+  let vars = [| "a"; "b"; "c"; "d"; "e"; "f" |] in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "boolean a b c d e f\nf = ";
+  Buffer.add_string buf (Vc_util.Rng.choose rng vars);
+  for _ = 1 to 4 do
+    Buffer.add_string buf (if Vc_util.Rng.bool rng then " & " else " | ");
+    Buffer.add_string buf (Vc_util.Rng.choose rng vars)
+  done;
+  Buffer.add_string buf "\nsatcount f\nprint f";
+  Buffer.contents buf
+
+let espresso_input rng =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf ".i 4\n.o 1\n";
+  let rows = 3 + Vc_util.Rng.int rng 4 in
+  let seen = Hashtbl.create 8 in
+  let emitted = ref 0 in
+  while !emitted < rows do
+    let m = Vc_util.Rng.int rng 16 in
+    if not (Hashtbl.mem seen m) then begin
+      Hashtbl.add seen m ();
+      incr emitted;
+      for bit = 3 downto 0 do
+        Buffer.add_char buf (if m land (1 lsl bit) <> 0 then '1' else '0')
+      done;
+      Buffer.add_string buf " 1\n"
+    end
+  done;
+  Buffer.add_string buf ".e";
+  Buffer.contents buf
+
+let sis_input rng variant =
+  let cube () =
+    String.init 4 (fun _ ->
+        match Vc_util.Rng.int rng 3 with 0 -> '1' | 1 -> '0' | _ -> '-')
+  in
+  (* a cube of all dashes covers everything and is not a function of the
+     inputs; redraw it as a positive literal pattern *)
+  let cube () =
+    let c = cube () in
+    if c = "----" then "1---" else c
+  in
+  Printf.sprintf
+    ".model t%d\n\
+     .inputs a b c d\n\
+     .outputs x\n\
+     .names a b c d x\n\
+     %s 1\n\
+     %s 1\n\
+     .end\n\
+     %%script\n\
+     sweep\n\
+     simplify\n\
+     print_stats"
+    variant (cube ()) (cube ())
+
+let axb_input rng =
+  (* symmetric and diagonally dominant, so the cg solver converges *)
+  let d1 = 4 + Vc_util.Rng.int rng 5
+  and d2 = 4 + Vc_util.Rng.int rng 5
+  and off = Vc_util.Rng.int rng 3
+  and b1 = 1 + Vc_util.Rng.int rng 9
+  and b2 = 1 + Vc_util.Rng.int rng 9 in
+  Printf.sprintf "n 2\nmethod cg\nrow %d %d\nrow %d %d\nrhs %d %d" d1 off off
+    d2 b1 b2
+
+let input_of tool variant =
+  let rng = Vc_util.Rng.create ((variant * 7919) + Hashtbl.hash tool) in
+  match tool with
+  | "minisat" -> dimacs_input rng
+  | "kbdd" -> kbdd_input rng
+  | "espresso" -> espresso_input rng
+  | "sis" -> sis_input rng variant
+  | "axb" -> axb_input rng
+  | other -> invalid_arg ("Trace.input_of: unknown tool " ^ other)
+
+let iter spec f =
+  let rng = Vc_util.Rng.create spec.tr_seed in
+  let n_popular = max 1 (spec.tr_variants / 16) in
+  let rec loop t seq =
+    let rate = rate_at spec t in
+    (* exponential inter-arrival gap at the instantaneous offered rate:
+       a piecewise-constant-rate Poisson process *)
+    let gap = -.log (1.0 -. Vc_util.Rng.float rng 1.0) /. rate in
+    let t = t +. gap in
+    if t < spec.tr_duration_s then begin
+      let session =
+        Printf.sprintf "u%06d" (Vc_util.Rng.int rng spec.tr_sessions)
+      in
+      let tool = Vc_util.Rng.choose_weighted rng spec.tr_mix in
+      let variant =
+        if Vc_util.Rng.bernoulli rng spec.tr_resubmit then
+          Vc_util.Rng.int rng n_popular
+        else Vc_util.Rng.int rng spec.tr_variants
+      in
+      f
+        {
+          it_seq = seq;
+          it_time_s = t;
+          it_session = session;
+          it_tool = tool;
+          it_input = input_of tool variant;
+        };
+      loop t (seq + 1)
+    end
+  in
+  loop 0.0 0
+
+let render_item it =
+  Printf.sprintf "%06d %10.6f %s %-8s %s" it.it_seq it.it_time_s it.it_session
+    it.it_tool
+    (Digest.to_hex (Digest.string it.it_input))

@@ -1,0 +1,97 @@
+(** Cohort-derived open-loop submission traces.
+
+    The paper's course saw a characteristic traffic shape: a population
+    of active participants submitting to five tool portals, most uploads
+    byte-identical to an earlier one (students iterate on the same
+    homework file), and pronounced bursts just before each deadline. A
+    trace captures that shape as a deterministic, timestamped stream of
+    submissions suitable for open-loop replay: arrival times are drawn
+    from the model's offered load, {e not} from the server's response
+    times, so a slow server cannot quietly throttle the generator
+    (coordinated omission).
+
+    Traces are never materialized - {!iter} synthesizes each item on
+    demand at constant memory, so a million-submission trace costs no
+    more to hold than a hundred-submission one, and the same [spec]
+    always yields the same byte-identical stream. *)
+
+type spike = {
+  sp_start : float;  (** Fraction of the duration at which the burst starts. *)
+  sp_len : float;  (** Burst length as a fraction of the duration. *)
+  sp_factor : float;  (** Rate multiplier inside the burst window. *)
+}
+(** A deadline burst: inside the window
+    [[sp_start * duration, (sp_start + sp_len) * duration)] the offered
+    rate is multiplied by [sp_factor]. *)
+
+type spec = {
+  tr_seed : int;
+  tr_duration_s : float;  (** Simulated trace duration. *)
+  tr_rate_rps : float;  (** Baseline offered load, submissions/second. *)
+  tr_sessions : int;  (** Active participant sessions submitting. *)
+  tr_mix : (string * float) list;
+      (** Per-tool submission weights (tool name, weight). *)
+  tr_variants : int;  (** Distinct inputs per tool. *)
+  tr_resubmit : float;
+      (** Probability a submission re-uploads one of the "popular" inputs
+          - the cache-hit-dominant MOOC pattern. *)
+  tr_spike : spike option;
+}
+
+type item = {
+  it_seq : int;  (** 0-based position in the trace. *)
+  it_time_s : float;  (** Scheduled send time, seconds from trace start. *)
+  it_session : string;  (** Submitting session id. *)
+  it_tool : string;  (** Canonical tool name. *)
+  it_input : string;  (** Full upload text, valid for the tool. *)
+}
+
+val default_mix : (string * float) list
+(** The five Fig. 4 portals weighted toward the software-project tools
+    (minisat and sis heaviest, axb lightest). *)
+
+val default_spike : spike
+(** A 4x burst over the middle fifth of the trace - the "night before
+    the deadline" shape. *)
+
+val of_cohort :
+  ?seed:int ->
+  ?duration_s:float ->
+  ?rate_rps:float ->
+  ?mix:(string * float) list ->
+  ?variants:int ->
+  ?resubmit:float ->
+  ?spike:spike option ->
+  Cohort.params ->
+  spec
+(** Derive a spec from the cohort model: the session population is the
+    cohort's tried-software funnel stage, computed by streaming
+    {!Cohort.streamed_funnel} (constant memory even for millions of
+    registered participants). Defaults: [duration_s = 60.],
+    [rate_rps = 200.], [mix = default_mix], [variants = 64],
+    [resubmit = 0.8], [spike = Some default_spike]. *)
+
+val rate_at : spec -> float -> float
+(** Instantaneous offered rate at time [t] (baseline, times the spike
+    factor inside the burst window). *)
+
+val expected_items : spec -> int
+(** Expected number of submissions in the trace
+    (integral of {!rate_at} over the duration, rounded). *)
+
+val input_of : string -> int -> string
+(** [input_of tool variant] is a small deterministic upload, valid for
+    the named tool, distinct per [variant].
+    @raise Invalid_argument on an unknown tool name. *)
+
+val iter : spec -> (item -> unit) -> unit
+(** Generate the trace in time order at constant memory. Deterministic:
+    the same spec yields the same items, byte for byte. Arrival gaps are
+    exponential at {!rate_at} (a piecewise-Poisson process); tools are
+    drawn from [tr_mix]; with probability [tr_resubmit] the input is one
+    of a small popular subset of the variants, else uniform over all of
+    them. *)
+
+val render_item : item -> string
+(** One-line summary ([seq time session tool digest]) - stable across
+    runs, used by the byte-identity tests. *)

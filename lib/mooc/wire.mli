@@ -1,0 +1,111 @@
+(** The portal service's wire layer: the [vcserve] line protocol as a
+    reusable engine, a TCP listener that serves it to remote clients,
+    and the matching client - the transport [vcload] replays traces
+    over.
+
+    {b Protocol.} Requests are lines:
+
+    {v
+    TOOL <name> [<session>]   submit the following lines to a tool
+    <input lines>             terminated by a line containing only "."
+    SESSION <id>              switch the connection's sticky session
+    LIST                      list the available tools
+    SHUTDOWN                  stop the whole server (drain, then exit)
+    QUIT                      close this connection (EOF works too)
+    v}
+
+    Each response is one status line, an optional body, and a ["."]
+    line: [OK executed], [OK cache_hit], or [ERR <label> <msg>]. Lines
+    beginning with ["."] are dot-stuffed (["."] -> [".."]) in both
+    directions, SMTP-style, so any payload round-trips. The optional
+    [<session>] operand on [TOOL] submits on behalf of that session
+    without an extra [SESSION] round trip - what a load generator
+    multiplexing many simulated participants over one connection needs.
+
+    {b Concurrency.} The TCP listener accepts on the calling domain and
+    spawns one domain per connection; all submissions funnel into the
+    shared {!Server.t}, whose worker pool and admission control do the
+    real scheduling. {!shutdown} is async-signal-safe: it only flips an
+    atomic, closes the listening socket and half-closes the live
+    connections (no locks), so a SIGINT handler can call it directly;
+    the accept loop then returns and the caller runs the normal drain
+    path. *)
+
+(** {1 Dot-stuffing} *)
+
+val stuff : string -> string
+val unstuff : string -> string
+
+val read_body : In_channel.t -> string
+(** Read dot-stuffed lines up to the terminating ["."] (or EOF) and
+    return the unstuffed payload. *)
+
+(** {1 The protocol engine} *)
+
+type submit_fn = session_id:string -> Portal.tool -> string -> Portal.outcome
+
+val protocol_help : string
+(** The [ERR protocol ...] message listing the verbs. *)
+
+val session_loop :
+  ?session_id:string ->
+  input:In_channel.t ->
+  output:Out_channel.t ->
+  submit:submit_fn ->
+  unit ->
+  [ `Eof | `Quit | `Shutdown ]
+(** Run one client session over the given channels until EOF, [QUIT] or
+    [SHUTDOWN], dispatching each [TOOL] upload through [submit]
+    (initial sticky session ["default"]). Both [vcserve]'s stdin/script
+    mode and every TCP connection run exactly this loop, so the two
+    transports cannot drift. *)
+
+(** {1 TCP server} *)
+
+type listener
+
+val listen : ?addr:string -> port:int -> unit -> listener
+(** Bind and listen on [addr] (default ["127.0.0.1"]). [port = 0] picks
+    an ephemeral port - read it back with {!port}. *)
+
+val port : listener -> int
+val addr : listener -> string
+
+val serve : listener -> submit:submit_fn -> unit
+(** Accept connections until {!shutdown} (or a [SHUTDOWN] verb from any
+    client) closes the listener, spawning one handler domain per
+    connection. Returns once the accept loop has exited; live handler
+    domains may still be draining - see {!drain_connections}. *)
+
+val shutdown : listener -> unit
+(** Stop accepting and half-close every live connection so handler
+    domains observe EOF. Async-signal-safe and idempotent. *)
+
+val drain_connections : ?timeout_s:float -> listener -> bool
+(** Wait (default 5 s) for the handler domains to finish; [true] when
+    all connections closed in time. *)
+
+val active_connections : listener -> int
+
+(** {1 Client} *)
+
+module Client : sig
+  type t
+
+  val connect : ?host:string -> port:int -> unit -> t
+
+  val submit : t -> ?session:string -> tool:string -> string -> string * string
+  (** [submit c ~tool input] sends one upload and reads the reply:
+      [(status line, body)], e.g. [("OK cache_hit", output)]. With
+      [?session] the per-request session operand is used, leaving the
+      connection's sticky session alone. *)
+
+  val list_tools : t -> string
+  (** The [LIST] response body. *)
+
+  val shutdown_server : t -> unit
+  (** Send [SHUTDOWN] and read the acknowledgement. *)
+
+  val close : t -> unit
+  (** Send [QUIT] (best effort) and close the socket. *)
+end

@@ -121,6 +121,7 @@ type summary = {
   s_error_rate : float;  (** ERROR events / total (0 when empty). *)
   s_latency : latency_stats option;  (** Over every latency-bearing event. *)
   s_latency_by_event : (string * latency_stats) list;
+  s_latency_by_outcome : (string * latency_stats) list;
   s_slowest : (Journal.event * float) list;  (** Slowest first. *)
 }
 
@@ -138,9 +139,16 @@ let summarize ?(top = 5) events =
   and by_event = Hashtbl.create 16
   and by_severity = Hashtbl.create 4
   and by_event_latency : (string, float list ref) Hashtbl.t = Hashtbl.create 16
+  and by_outcome_latency : (string, float list ref) Hashtbl.t =
+    Hashtbl.create 8
   and latencies = ref []
   and timed = ref []
   and errors = ref 0 in
+  let push tbl key l =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r := l :: !r
+    | None -> Hashtbl.add tbl key (ref [ l ])
+  in
   List.iter
     (fun (e : Journal.event) ->
       bump by_component e.Journal.ev_component;
@@ -152,10 +160,13 @@ let summarize ?(top = 5) events =
       | Some l ->
         latencies := l :: !latencies;
         timed := (e, l) :: !timed;
-        let key = event_key e in
-        (match Hashtbl.find_opt by_event_latency key with
-        | Some r -> r := l :: !r
-        | None -> Hashtbl.add by_event_latency key (ref [ l ])))
+        push by_event_latency (event_key e) l;
+        (* submission/replay events carry an "outcome" attribute
+           (executed / cache_hit / rejected) - the split an operator
+           needs to see whether shed traffic hides a slow tail *)
+        (match List.assoc_opt "outcome" e.Journal.ev_attrs with
+        | Some outcome -> push by_outcome_latency outcome l
+        | None -> ()))
     events;
   let total = List.length events in
   let slowest =
@@ -180,6 +191,14 @@ let summarize ?(top = 5) events =
              | Some s -> (k, s) :: acc
              | None -> acc)
            by_event_latency []);
+    s_latency_by_outcome =
+      List.sort compare
+        (Hashtbl.fold
+           (fun k r acc ->
+             match latency_stats_of !r with
+             | Some s -> (k, s) :: acc
+             | None -> acc)
+           by_outcome_latency []);
     s_slowest = slowest;
   }
 
@@ -329,6 +348,13 @@ let render_summary s =
     List.iter
       (fun (k, st) -> Buffer.add_string b (render_latency_line k st))
       s.s_latency_by_event);
+  if s.s_latency_by_outcome <> [] then begin
+    Buffer.add_string b
+      "latency by outcome (count / p50 ms / p90 ms / p99 ms / max ms):\n";
+    List.iter
+      (fun (k, st) -> Buffer.add_string b (render_latency_line k st))
+      s.s_latency_by_outcome
+  end;
   if s.s_slowest <> [] then begin
     Buffer.add_string b "slowest events:\n";
     List.iter
@@ -419,6 +445,11 @@ let summary_to_json s =
             :: List.map (fun (k, st) -> (k, latency_json st)) s.s_latency_by_event
             )
         | None -> Json.obj [] );
+      ( "latency_by_outcome",
+        Json.obj
+          (List.map
+             (fun (k, st) -> (k, latency_json st))
+             s.s_latency_by_outcome) );
       ( "slowest",
         Json.arr
           (List.map

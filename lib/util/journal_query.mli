@@ -54,6 +54,12 @@ type latency_stats = {
   l_max_s : float;
 }
 
+val latency_stats_of : float list -> latency_stats option
+(** Aggregate raw latency samples (seconds); [None] on the empty list.
+    The shared percentile path: [vcstat summary] and the [vcload]
+    replay report both go through this, so their numbers agree by
+    construction. *)
+
 type summary = {
   s_total : int;
   s_by_component : (string * int) list;  (** Sorted by name. *)
@@ -67,6 +73,10 @@ type summary = {
           none. *)
   s_latency_by_event : (string * latency_stats) list;
       (** Per [component.event], sorted. *)
+  s_latency_by_outcome : (string * latency_stats) list;
+      (** Per ["outcome"] attribute value ([executed] / [cache_hit] /
+          [rejected]), over latency-bearing events that carry one -
+          portal submissions and vcload replay requests. Sorted. *)
   s_slowest : (Journal.event * float) list;
       (** The [top] slowest latency-bearing events, slowest first. *)
 }
@@ -107,6 +117,11 @@ val funnel_of : Journal.event list -> funnel_stage list
     renderers produce machine-readable documents through {!Json} (these
     are what [vcstat --format json] prints). *)
 
+val render_latency_line : string -> latency_stats -> string
+(** One aligned [name count p50 p90 p99 max] row (milliseconds) - the
+    row format shared by {!render_summary} and the vcload replay
+    report. *)
+
 val render_summary : summary -> string
 val render_spans : qspan list -> string
 (** Indented text flamegraph: one line per span with duration and an
@@ -120,7 +135,9 @@ val summary_to_json : summary -> string
 (** Fields [events], [errors], [error_rate], [by_component],
     [by_event], [by_severity], [latency] (an object keyed ["all"] plus
     one entry per [component.event], each with
-    [count]/[mean_s]/[p50_s]/[p90_s]/[p99_s]/[max_s]) and [slowest]. *)
+    [count]/[mean_s]/[p50_s]/[p90_s]/[p99_s]/[max_s]),
+    [latency_by_outcome] (same stats objects keyed by outcome) and
+    [slowest]. *)
 
 val spans_to_json : qspan list -> string
 val funnel_to_json : funnel_stage list -> string

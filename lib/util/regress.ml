@@ -30,16 +30,22 @@ let direction name =
 (* Gauges are instantaneous readings, so most are not gateable - but the
    bench speedup gauges (server.bench.wN.speedup) are throughput ratios
    that must not collapse, so they gate as Higher_better under their own
-   (generous) tolerance. *)
+   (generous) tolerance; the loadgen SLO gauges (loadgen.slo.p99_ms,
+   loadgen.slo.shed_rate) are service-level bounds that gate as
+   Lower_better. *)
 let gauge_direction name =
-  if has_suffix name ".speedup" then Some `Higher_better else None
+  if has_suffix name ".speedup" then Some `Higher_better
+  else if has_suffix name ".p99_ms" || has_suffix name ".shed_rate" then
+    Some `Lower_better
+  else None
 
 let fields_of = function Json.Obj fs -> fs | _ -> []
 
 let num_field name j = Option.bind (Json.member name j) Json.to_num
 
 let compare_json ?(latency_tol = 0.5) ?(qor_tol = 0.0) ?(gauge_tol = 0.25)
-    ?(min_latency_delta_s = 1e-4) ~baseline ~current () =
+    ?(min_latency_delta_s = 1e-4) ?(min_gauge_delta = 0.01) ~baseline ~current
+    () =
   let regressions = ref [] and improvements = ref [] and notes = ref [] in
   let compared = ref 0 in
   let reg fmt = Printf.ksprintf (fun s -> regressions := s :: !regressions) fmt in
@@ -85,21 +91,31 @@ let compare_json ?(latency_tol = 0.5) ?(qor_tol = 0.0) ?(gauge_tol = 0.25)
       else if better then imp "%s.%s: %g -> %g" label name base cur
   in
   (* gauge gate: direction-aware like QoR, but only for gauges with a
-     declared direction (.speedup); everything else is informational *)
+     declared direction (.speedup / .p99_ms / .shed_rate); everything
+     else is informational. The relative band is widened by an absolute
+     noise floor so a baseline near zero (a clean run's shed_rate) does
+     not turn every nonzero reading into a regression. *)
   let check_gauge label name base cur =
     match gauge_direction name with
     | None ->
       if base <> cur then
         note "%s.%s: %g -> %g (informational gauge; not gated)" label name
           base cur
-    | Some `Higher_better ->
+    | Some dir ->
       incr compared;
-      if cur < base -. (Float.abs base *. gauge_tol) -. 1e-9 then
-        reg "%s.%s: %g -> %g (lower is worse, tolerance %.0f%%)" label name
-          base cur
+      let band = (Float.abs base *. gauge_tol) +. min_gauge_delta in
+      let worse, better =
+        match dir with
+        | `Higher_better -> (cur < base -. band, cur > base +. band)
+        | `Lower_better -> (cur > base +. band, cur < base -. band)
+      in
+      if worse then
+        reg "%s.%s: %g -> %g (%s, tolerance %.0f%%)" label name base cur
+          (match dir with
+          | `Higher_better -> "lower is worse"
+          | `Lower_better -> "higher is worse")
           (100.0 *. gauge_tol)
-      else if cur > base +. (Float.abs base *. gauge_tol) +. 1e-9 then
-        imp "%s.%s: %g -> %g" label name base cur
+      else if better then imp "%s.%s: %g -> %g" label name base cur
   in
   let both_sides label b_fields c_fields per_key =
     List.iter

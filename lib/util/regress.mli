@@ -7,9 +7,11 @@
       known quality direction (e.g. [*.cache_hits] higher-is-better,
       [*.misses] / [*.rejected] / [*.evictions] lower-is-better) are
       compared under the QoR tolerance; gauges ending in [.speedup]
-      (the server bench scaling ratios) are gated higher-is-better
-      under the gauge tolerance, all other gauges and counters are
-      reported as informational notes only.
+      (the server bench scaling ratios) are gated higher-is-better and
+      gauges ending in [.p99_ms] / [.shed_rate] (the loadgen SLO
+      bounds) lower-is-better, both under the gauge tolerance; all
+      other gauges and counters are reported as informational notes
+      only.
     - [Vc_mooc.Flow] QoR reports ([flow --report]): per-stage [metrics]
       are compared under the QoR tolerance (lower-is-better except
       [nets_routed] and [equivalent]), per-stage [latency_s] under the
@@ -31,15 +33,19 @@ val compare_json :
   ?qor_tol:float ->
   ?gauge_tol:float ->
   ?min_latency_delta_s:float ->
+  ?min_gauge_delta:float ->
   baseline:Json.t ->
   current:Json.t ->
   unit ->
   verdict
 (** [compare_json ~baseline ~current ()] with [latency_tol] (default
     [0.5], i.e. +50%), [qor_tol] (default [0.0], any worsening fails),
-    [gauge_tol] (default [0.25], for the direction-gated [.speedup]
-    gauges - generous because wall-clock ratios are noisy) and
-    [min_latency_delta_s] (default [1e-4], 0.1 ms noise floor).
+    [gauge_tol] (default [0.25], for the direction-gated [.speedup] /
+    [.p99_ms] / [.shed_rate] gauges - generous because wall-clock
+    ratios are noisy), [min_latency_delta_s] (default [1e-4], 0.1 ms
+    noise floor) and [min_gauge_delta] (default [0.01], the absolute
+    slack added to the relative gauge band so a near-zero baseline -
+    a clean run's shed rate - does not gate exactly).
     Keys present on only one side are reported as notes. *)
 
 val render : verdict -> string

@@ -150,6 +150,36 @@ let check_vcstat_summary file =
     | None -> die "%s: no latency.all object" file)
   | None -> die "%s: no latency object" file
 
+(* FILE must be a `vcload -report` document from a clean replay: at
+   least one request, no rejections or transport errors, and the full
+   latency percentile surface under latency.all. *)
+let check_vcload_report file =
+  let j = parse file (read file) in
+  (match Json.member "total" j with
+  | Some (Json.Num n) when n > 0.0 -> ()
+  | _ -> die "%s: bad or zero \"total\"" file);
+  List.iter
+    (fun field ->
+      match Json.member field j with
+      | Some (Json.Num 0.0) -> ()
+      | _ -> die "%s: %S must be 0 in a clean replay" file field)
+    [ "rejected"; "errors" ];
+  (match Json.member "shed_rate" j with
+  | Some (Json.Num r) when r >= 0.0 && r <= 1.0 -> ()
+  | _ -> die "%s: bad \"shed_rate\"" file);
+  match Json.member "latency" j with
+  | Some lat -> (
+    match Json.member "all" lat with
+    | Some all ->
+      List.iter
+        (fun field ->
+          match Json.member field all with
+          | Some (Json.Num v) when v >= 0.0 -> ()
+          | _ -> die "%s: latency.all.%s missing or negative" file field)
+        [ "p50_s"; "p90_s"; "p99_s"; "max_s" ]
+    | None -> die "%s: no latency.all object" file)
+  | None -> die "%s: no latency object" file
+
 (* FILE must be a `vcstat funnel --format json` document with the six
    Fig. 8 stages in order, counts bounded by the first stage. *)
 let check_vcstat_funnel file =
@@ -190,9 +220,10 @@ let () =
   | [ _; "component"; file; name ] -> check_component file name
   | [ _; "vcstat-summary"; file ] -> check_vcstat_summary file
   | [ _; "vcstat-funnel"; file ] -> check_vcstat_funnel file
+  | [ _; "vcload-report"; file ] -> check_vcload_report file
   | _ ->
     prerr_endline
       "usage: check_obs {contains FILE NEEDLE | trace FILE | jsonl FILE | \
        journal FILE | qor FILE | component FILE NAME | vcstat-summary FILE \
-       | vcstat-funnel FILE}";
+       | vcstat-funnel FILE | vcload-report FILE}";
     exit 2

@@ -1,0 +1,166 @@
+(* smoke_loadgen: end-to-end check of the replay loop - vcserve over
+   TCP, vcload as the client, SIGINT as the shutdown path.
+   Usage: smoke_loadgen VCSERVE_EXE VCLOAD_EXE
+
+   Starts `VCSERVE_EXE -listen 0` as a child with a journal, learns the
+   ephemeral port from the stderr announcement, replays a short
+   cohort-derived trace with `VCLOAD_EXE` (two client domains, a couple
+   of seconds), then interrupts the server with a single SIGINT and
+   requires it to exit 0 promptly. The journal must contain the full
+   lifecycle - accepted connections, portal submissions, server.stop
+   and listener.stop - which proves the graceful-drain path flushed the
+   buffered batches (the tail of a replay run is never lost). Exits
+   non-zero with a message on the first failure; children are always
+   killed. *)
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("smoke_loadgen: " ^ s);
+      exit 1)
+    fmt
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let read_all file =
+  try In_channel.with_open_text file In_channel.input_all
+  with Sys_error _ -> ""
+
+(* Wait (up to ~10s) for "listening on 127.0.0.1:PORT" in the server's
+   stderr file. *)
+let wait_for_port stderr_file =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let marker = "listening on 127.0.0.1:" in
+  let rec poll () =
+    let text = read_all stderr_file in
+    if contains text marker then begin
+      let rec find i =
+        if String.sub text i (String.length marker) = marker then i
+        else find (i + 1)
+      in
+      let start = find 0 + String.length marker in
+      let rec digits i =
+        if i < String.length text && text.[i] >= '0' && text.[i] <= '9' then
+          digits (i + 1)
+        else i
+      in
+      let stop = digits start in
+      int_of_string (String.sub text start (stop - start))
+    end
+    else if Unix.gettimeofday () > deadline then
+      die "timed out waiting for the listen announcement in %s" stderr_file
+    else begin
+      Unix.sleepf 0.05;
+      poll ()
+    end
+  in
+  poll ()
+
+(* Reap PID, polling up to [timeout_s]; Some status, or None on timeout. *)
+let wait_with_timeout pid timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec poll () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if Unix.gettimeofday () > deadline then None
+      else begin
+        Unix.sleepf 0.05;
+        poll ()
+      end
+    | _, status -> Some status
+  in
+  poll ()
+
+let spawn exe args ~stdout_file ~stderr_file =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let openw f =
+    Unix.openfile f [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let out = openw stdout_file and err = openw stderr_file in
+  let pid = Unix.create_process exe (Array.of_list (exe :: args)) devnull out err in
+  Unix.close devnull;
+  Unix.close out;
+  Unix.close err;
+  pid
+
+let () =
+  let vcserve_exe, vcload_exe =
+    match Sys.argv with
+    | [| _; serve; load |] -> (serve, load)
+    | _ -> die "usage: smoke_loadgen VCSERVE_EXE VCLOAD_EXE"
+  in
+  let journal = "smoke_loadgen_journal.jsonl" in
+  let report = "smoke_loadgen_report.json" in
+  let server_pid =
+    spawn vcserve_exe
+      [ "-listen"; "0"; "-workers"; "2"; "--journal"; journal ]
+      ~stdout_file:"smoke_loadgen_server_out.txt"
+      ~stderr_file:"smoke_loadgen_server_err.txt"
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill server_pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore
+        (try Unix.waitpid [ Unix.WNOHANG ] server_pid
+         with Unix.Unix_error _ -> (0, Unix.WEXITED 0)))
+    (fun () ->
+      let port = wait_for_port "smoke_loadgen_server_err.txt" in
+      (* a short but real replay: ~2s, two client domains, the default
+         deadline spike, report written for the schema check *)
+      let load_pid =
+        spawn vcload_exe
+          [
+            "-port"; string_of_int port; "-clients"; "2"; "-rps"; "300";
+            "-duration"; "2"; "-participants"; "20000"; "-report"; report;
+          ]
+          ~stdout_file:"smoke_loadgen_load_out.txt"
+          ~stderr_file:"smoke_loadgen_load_err.txt"
+      in
+      (match wait_with_timeout load_pid 60.0 with
+      | Some (Unix.WEXITED 0) -> ()
+      | Some status ->
+        let s =
+          match status with
+          | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+          | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+          | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n
+        in
+        (try Unix.kill load_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        die "vcload failed (%s):\n%s" s
+          (read_all "smoke_loadgen_load_err.txt")
+      | None ->
+        (try Unix.kill load_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        die "vcload did not finish within 60s");
+      let summary = read_all "smoke_loadgen_load_out.txt" in
+      if not (contains summary "replayed ") then
+        die "vcload printed no replay summary:\n%s" summary;
+      if not (contains summary "cache_hit") then
+        die "vcload summary has no outcome breakdown:\n%s" summary;
+      (* one SIGINT must shut the server down promptly and exit 0 - the
+         graceful-drain path, not a crash *)
+      Unix.kill server_pid Sys.sigint;
+      (match wait_with_timeout server_pid 10.0 with
+      | Some (Unix.WEXITED 0) -> ()
+      | Some (Unix.WEXITED n) -> die "server exited %d after SIGINT" n
+      | Some (Unix.WSIGNALED n) -> die "server killed by signal %d" n
+      | Some (Unix.WSTOPPED _) -> die "server stopped unexpectedly"
+      | None -> die "server still running 10s after SIGINT");
+      (* the journal must have been flushed on the way out: lifecycle
+         events from both ends of the run, plus the submissions the
+         replay generated *)
+      let text = read_all journal in
+      List.iter
+        (fun needle ->
+          if not (contains text needle) then
+            die "journal %s missing %S after graceful shutdown" journal
+              needle)
+        [
+          "listener.start"; "conn.accepted"; "\"submission\"";
+          "server.stop"; "listener.stop";
+        ];
+      print_endline "smoke_loadgen: ok")
