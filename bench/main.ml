@@ -324,8 +324,8 @@ let loadgen_bench ?(participants = 1_000_000) ?(duration_s = 32.0)
   let listener = Wire.listen ~port:0 () in
   let acceptor =
     Domain.spawn (fun () ->
-        Wire.serve listener ~submit:(fun ~session_id tool input ->
-            Server.submit server ~session_id tool input))
+        Wire.serve listener ~submit:(fun ~session_id ~trace tool input ->
+            Server.submit server ~session_id ?trace tool input))
   in
   Printf.printf
     "~%d submission(s) from a %d-participant cohort (%d session(s)), %.0f \

@@ -126,10 +126,11 @@ let () =
   Printf.eprintf
     "vcload: replaying ~%d submission(s) (%.0f rps base over %.1f s, %d \
      session(s)) against %s:%d with %d client(s)\n\
+     vcload: trace ids: seed %d, %s\n\
      %!"
     (Trace.expected_items spec)
     spec.Trace.tr_rate_rps spec.Trace.tr_duration_s spec.Trace.tr_sessions
-    o.host port o.clients;
+    o.host port o.clients o.seed Vc_util.Trace_ctx.scheme;
   let config =
     {
       Loadgen.lg_host = o.host;

@@ -11,7 +11,8 @@
    of concurrent connections - one handler domain each, all funneling
    into the shared worker pool. See Mooc.Wire for the protocol:
 
-     TOOL <name> [<session>]  submit the following lines to a tool
+     TOOL <name> [<session>] [TRACE <id>]
+                              submit the following lines to a tool
      <input lines>            terminated by a line containing only "."
      SESSION <id>             switch the sticky client session
      LIST                     list the available tools
@@ -19,7 +20,10 @@
      QUIT                     close this connection (EOF works too)
 
    Responses are one status line (OK executed / OK cache_hit /
-   ERR <label> <msg>), an optional dot-stuffed body, and a "." line.
+   ERR <label> <msg>), an optional dot-stuffed body, and a "." line;
+   a traced request's status line ends in trace=<id>, and its journal
+   events carry the id as a trace_id attr (join them against a vcload
+   client journal with vcstat request).
 
    Shutdown is always graceful: on SHUTDOWN, SIGINT or SIGTERM the
    server stops admitting, drains queued jobs, and flushes the journal
@@ -118,8 +122,8 @@ let serve_script config file =
   (try
      ignore
        (Wire.session_loop ~input:ic ~output:stdout
-          ~submit:(fun ~session_id tool input ->
-            Server.submit server ~session_id tool input)
+          ~submit:(fun ~session_id ~trace tool input ->
+            Server.submit server ~session_id ?trace tool input)
           ())
    with Sys_error _ -> ());
   drain_and_exit server
@@ -137,8 +141,8 @@ let serve_tcp config port =
      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
    with Invalid_argument _ | Sys_error _ -> ());
-  Wire.serve listener ~submit:(fun ~session_id tool input ->
-      Server.submit server ~session_id tool input);
+  Wire.serve listener ~submit:(fun ~session_id ~trace tool input ->
+      Server.submit server ~session_id ?trace tool input);
   (* accept loop has exited (SHUTDOWN verb or signal): drain the worker
      queue so in-flight connections get their responses, give their
      handler domains a moment to finish writing, then flush *)

@@ -1,7 +1,9 @@
 (* vcstat: offline analytics over --journal JSONL files.
    Usage: vcstat summary [--format text|json] [--top N] FILE...
           vcstat spans   [--format text|json] FILE
-          vcstat funnel  [--format text|json] FILE *)
+          vcstat funnel  [--format text|json] FILE
+          vcstat request [--format text|json] [--top N] CLIENT SERVER...
+          vcstat phases  [--format text|json] [--top N] FILE... *)
 
 module Q = Vc_util.Journal_query
 
@@ -10,11 +12,17 @@ let usage () =
     "usage: vcstat summary [--format text|json] [--top N] FILE...\n\
     \       vcstat spans   [--format text|json] FILE\n\
     \       vcstat funnel  [--format text|json] FILE\n\
+    \       vcstat request [--format text|json] [--top N] CLIENT SERVER...\n\
+    \       vcstat phases  [--format text|json] [--top N] FILE...\n\
      Analyze journal JSONL files written by any tool's --journal FILE flag:\n\
     \  summary  per-component/per-event counts, error rate, latency\n\
     \           percentiles (p50/p90/p99) and the --top N slowest events\n\
     \  spans    text flamegraph reconstructed from *.begin/*.end pairs\n\
-    \  funnel   participation funnel over Mooc.Cohort funnel.stage events";
+    \  funnel   participation funnel over Mooc.Cohort funnel.stage events\n\
+    \  request  join a vcload client journal with a vcserve server journal\n\
+    \           by trace_id: match rate, per-phase (queue/cache/execute/\n\
+    \           reply/wire) latency breakdown, --top N slowest timelines\n\
+    \  phases   the same per-phase breakdown over server journals alone";
   exit 2
 
 type format = Text | Json
@@ -92,6 +100,16 @@ let () =
       (match !format with
       | Text -> Q.render_funnel stages
       | Json -> Q.funnel_to_json stages ^ "\n")
+  | Some ("request" | "phases") ->
+    (* both are the trace-id join; "request" conventionally gets the
+       client journal plus the server journal, "phases" server-side
+       files alone (the join is vacuous then and only the per-phase
+       breakdown is interesting) *)
+    let join = Q.join_requests (load ()) in
+    print_string
+      (match !format with
+      | Text -> Q.render_requests ~top:!top join
+      | Json -> Q.requests_to_json ~top:!top join ^ "\n")
   | Some cmd ->
     Printf.eprintf "vcstat: unknown command %S\n" cmd;
     usage ()

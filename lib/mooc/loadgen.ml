@@ -9,6 +9,8 @@ type config = {
 }
 
 type report = {
+  rp_seed : int;
+  rp_trace_scheme : string;
   rp_offered_rps : float;
   rp_achieved_rps : float;
   rp_wall_s : float;
@@ -33,10 +35,12 @@ type partial = {
   mutable p_errors : int;
 }
 
+(* cons patterns, not exact lists: a traced reply's status line carries
+   a trailing "trace=<id>" operand after the label *)
 let classify status =
   match String.split_on_char ' ' status with
-  | [ "OK"; "executed" ] -> `Executed
-  | [ "OK"; "cache_hit" ] -> `Cache_hit
+  | "OK" :: "executed" :: _ -> `Executed
+  | "OK" :: "cache_hit" :: _ -> `Cache_hit
   | "ERR" :: label :: _ -> `Rejected label
   | _ -> `Rejected "protocol"
 
@@ -45,9 +49,10 @@ let bump_label p label =
     (label, 1 + Option.value ~default:0 (List.assoc_opt label p.p_labels))
     :: List.remove_assoc label p.p_labels
 
-let journal_request ~tool ~outcome ~latency_s ?reason () =
+let journal_request ~trace ~tool ~outcome ~latency_s ?reason () =
   let attrs =
     [
+      ("trace_id", trace);
       ("tool", tool);
       ("outcome", outcome);
       ("latency_s", Printf.sprintf "%.6f" latency_s);
@@ -80,8 +85,15 @@ let run_client config t0 client_idx =
             in
             let delay = target -. Unix.gettimeofday () in
             if delay > 0.0 then Unix.sleepf delay;
+            (* one deterministic trace id per planned submission: any
+               replay with the same seed mints the same ids, so client
+               and server journals stay joinable after the fact *)
+            let trace =
+              Vc_util.Trace_ctx.mint_deterministic
+                ~seed:config.lg_spec.Trace.tr_seed ~seq:it.Trace.it_seq
+            in
             match
-              Wire.Client.submit conn ~session:it.Trace.it_session
+              Wire.Client.submit conn ~session:it.Trace.it_session ~trace
                 ~tool:it.Trace.it_tool it.Trace.it_input
             with
             | status, _body ->
@@ -90,19 +102,19 @@ let run_client config t0 client_idx =
               | `Executed ->
                 p.p_executed <- latency_s :: p.p_executed;
                 Vc_util.Telemetry.incr "vcload.executed";
-                journal_request ~tool:it.Trace.it_tool ~outcome:"executed"
-                  ~latency_s ()
+                journal_request ~trace ~tool:it.Trace.it_tool
+                  ~outcome:"executed" ~latency_s ()
               | `Cache_hit ->
                 p.p_cache_hit <- latency_s :: p.p_cache_hit;
                 Vc_util.Telemetry.incr "vcload.cache_hit";
-                journal_request ~tool:it.Trace.it_tool ~outcome:"cache_hit"
-                  ~latency_s ()
+                journal_request ~trace ~tool:it.Trace.it_tool
+                  ~outcome:"cache_hit" ~latency_s ()
               | `Rejected label ->
                 p.p_rejected <- latency_s :: p.p_rejected;
                 bump_label p label;
                 Vc_util.Telemetry.incr "vcload.rejected";
-                journal_request ~tool:it.Trace.it_tool ~outcome:"rejected"
-                  ~latency_s ~reason:label ())
+                journal_request ~trace ~tool:it.Trace.it_tool
+                  ~outcome:"rejected" ~latency_s ~reason:label ())
             | exception (Failure _ | Unix.Unix_error _ | Sys_error _) ->
               p.p_errors <- p.p_errors + 1;
               Vc_util.Telemetry.incr "vcload.errors"
@@ -152,6 +164,8 @@ let run config =
     /. Float.max config.lg_spec.Trace.tr_duration_s 1e-9
   in
   {
+    rp_seed = config.lg_spec.Trace.tr_seed;
+    rp_trace_scheme = Vc_util.Trace_ctx.scheme;
     rp_offered_rps = avg_rate /. Float.max config.lg_time_scale 1e-9;
     rp_achieved_rps =
       (if wall_s > 0.0 then float_of_int total /. wall_s else 0.0);
@@ -176,6 +190,8 @@ let render_report r =
        "replayed %d request(s) over %d client(s) in %.2f s (offered %.0f \
         rps, achieved %.0f rps)\n"
        r.rp_total r.rp_clients r.rp_wall_s r.rp_offered_rps r.rp_achieved_rps);
+  Buffer.add_string b
+    (Printf.sprintf "trace ids: seed %d, %s\n" r.rp_seed r.rp_trace_scheme);
   Buffer.add_string b
     (Printf.sprintf
        "outcomes: %d executed, %d cache_hit, %d rejected (shed rate %.2f%%)\n"
@@ -216,6 +232,10 @@ let report_to_json r =
   in
   Json.obj
     [
+      (* the reproducibility header: re-running with this seed mints
+         the same per-submission trace ids (see trace_scheme) *)
+      ("seed", Json.int r.rp_seed);
+      ("trace_scheme", Json.str r.rp_trace_scheme);
       ("offered_rps", Json.num r.rp_offered_rps);
       ("achieved_rps", Json.num r.rp_achieved_rps);
       ("wall_s", Json.num r.rp_wall_s);

@@ -28,6 +28,14 @@ type config = {
 }
 
 type report = {
+  rp_seed : int;
+      (** The trace's RNG seed - republished in the report (and its
+          JSON header) so the replay is reproducible and its
+          deterministic per-submission trace ids
+          ({!Vc_util.Trace_ctx.mint_deterministic}) can be re-derived
+          offline. *)
+  rp_trace_scheme : string;
+      (** {!Vc_util.Trace_ctx.scheme} - how the ids were minted. *)
   rp_offered_rps : float;  (** From the spec (after time scaling). *)
   rp_achieved_rps : float;  (** Completed requests / wall-clock. *)
   rp_wall_s : float;
@@ -49,10 +57,15 @@ type report = {
 }
 
 val run : config -> report
-(** Replay the trace. Each request emits one journal event (component
-    ["vcload"], name ["replay.request"], attrs [tool], [outcome],
+(** Replay the trace. Each planned submission is tagged with a
+    deterministic trace id
+    ({!Vc_util.Trace_ctx.mint_deterministic} over the spec's seed and
+    the item's sequence number), sent as the wire [TRACE] operand, and
+    emits one journal event (component ["vcload"], name
+    ["replay.request"], attrs [trace_id], [tool], [outcome],
     [latency_s] and [reason] for rejections) so the run is analyzable
-    offline with [vcstat summary]; counters [vcload.executed] /
+    offline with [vcstat summary] and joinable against the server
+    journal with [vcstat request]; counters [vcload.executed] /
     [vcload.cache_hit] / [vcload.rejected] / [vcload.errors] and the
     SLO gauges of {!set_slo_gauges} are maintained on telemetry.
     @raise Unix.Unix_error when the server cannot be reached. *)

@@ -380,7 +380,14 @@ let submit_result session tool input =
         end
         else begin
           let key = cache_key tool.tool_name input in
-          match cache_find key with
+          (* cache-probe and execute are timed into the ambient trace
+             context (no-ops outside a traced request), giving the
+             request timeline its cache and kernel phases *)
+          let probe_t0 = T.now () in
+          let probed = cache_find key in
+          Vc_util.Trace_ctx.record_current_phase "cache"
+            (T.now () -. probe_t0);
+          match probed with
           | Some out ->
             Atomic.incr stat_hits;
             T.incr (pre ^ ".cache_hits");
@@ -390,10 +397,17 @@ let submit_result session tool input =
             Atomic.incr stat_misses;
             T.incr "portal.cache.misses";
             T.incr (pre ^ ".executions");
+            let exec_t0 = T.now () in
             let out =
-              T.with_span ~attrs:[ ("tool", tool.tool_name) ] "portal.execute"
+              T.with_span
+                ~attrs:
+                  (("tool", tool.tool_name)
+                  :: Vc_util.Trace_ctx.ambient_attrs ())
+                "portal.execute"
                 (fun () -> tool.execute input)
             in
+            Vc_util.Trace_ctx.record_current_phase "execute"
+              (T.now () -. exec_t0);
             cache_add key out;
             Executed out
         end)
@@ -412,12 +426,13 @@ let submit_result session tool input =
     ~severity:(match outcome with Rejected _ -> J.Error | _ -> J.Info)
     ~component:"portal"
     ~attrs:
-      ([
-         ("tool", tool.tool_name);
-         ("digest", Digest.to_hex (cache_key tool.tool_name input));
-         ("outcome", outcome_name);
-         ("latency_s", Printf.sprintf "%.6f" latency_s);
-       ]
+      (Vc_util.Trace_ctx.ambient_attrs ()
+      @ [
+          ("tool", tool.tool_name);
+          ("digest", Digest.to_hex (cache_key tool.tool_name input));
+          ("outcome", outcome_name);
+          ("latency_s", Printf.sprintf "%.6f" latency_s);
+        ]
       @ match reject_reason with
         | Some r -> [ ("reason", r) ]
         | None -> [])

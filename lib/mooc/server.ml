@@ -1,5 +1,6 @@
 module T = Vc_util.Telemetry
 module J = Vc_util.Journal
+module Tc = Vc_util.Trace_ctx
 
 (* ------------------------------------------------------------------ *)
 (* token bucket                                                        *)
@@ -65,6 +66,8 @@ type job = {
   j_tool : Portal.tool;
   j_input : string;
   j_session : Portal.session;
+  j_session_id : string;
+  j_trace : Tc.t;
   j_enqueued : float;
   j_mu : Mutex.t;
   j_cond : Condition.t;
@@ -78,13 +81,14 @@ type session_slot = {
 
 type t = {
   config : config;
-  mu : Mutex.t;  (* guards queue, stopping, domains, sessions, idle *)
+  mu : Mutex.t;  (* guards queue, stopping, domains, sessions, idle, rng *)
   cond : Condition.t;  (* wakes one idle worker per enqueue; broadcast on stop *)
   queue : job Queue.t;
   mutable stopping : bool;
   mutable idle : int;  (* workers currently blocked in Condition.wait *)
   mutable domains : unit Domain.t list;
   sessions : (string, session_slot) Hashtbl.t;
+  rng : Vc_util.Rng.t;  (* mints trace ids for untraced submissions *)
 }
 
 let count_outcome outcome =
@@ -98,11 +102,13 @@ let count_outcome outcome =
    (overloaded), abuse (rate_limited) and staleness (deadline) apart at
    a glance. Runaway rejections keep their journal trail inside
    [Portal.submit_result]. *)
-let reject_server ~session_id ~tool_name label msg reason =
+let reject_server ~session_id ~tool_name ~ctx label msg reason =
   let outcome = Portal.Rejected reason in
   count_outcome outcome;
   J.emit ~severity:J.Warn ~component:"server"
-    ~attrs:[ ("session", session_id); ("tool", tool_name); ("reason", msg) ]
+    ~attrs:
+      (Tc.to_attrs ctx
+      @ [ ("session", session_id); ("tool", tool_name); ("reason", msg) ])
     ("job.rejected." ^ label);
   outcome
 
@@ -130,9 +136,19 @@ let rec worker_loop t =
   | None -> ()
   | Some (job, depth) ->
     T.set_gauge "server.queue_depth" (float_of_int depth);
+    let ctx = job.j_trace in
     let now = T.now () in
     let wait_s = Float.max 0.0 (now -. job.j_enqueued) in
     T.observe "server.queue_wait" wait_s;
+    Tc.record_phase ctx "queue" wait_s;
+    J.emit ~component:"server"
+      ~attrs:
+        (Tc.to_attrs ctx
+        @ [
+            ("tool", job.j_tool.Portal.tool_name);
+            ("queue_wait_s", Printf.sprintf "%.6f" wait_s);
+          ])
+      "request.dequeued";
     let outcome =
       if
         deadline_expired ~enqueued:job.j_enqueued
@@ -148,20 +164,49 @@ let rec worker_loop t =
         count_outcome outcome;
         J.emit ~severity:J.Warn ~component:"server"
           ~attrs:
-            [
-              ("tool", job.j_tool.Portal.tool_name);
-              ("wait_s", Printf.sprintf "%.6f" wait_s);
-              ("reason", msg);
-            ]
+            (Tc.to_attrs ctx
+            @ [
+                ("tool", job.j_tool.Portal.tool_name);
+                ("wait_s", Printf.sprintf "%.6f" wait_s);
+                ("reason", msg);
+              ])
           "job.rejected.deadline";
         outcome
       end
       else begin
-        let outcome = Portal.submit_result job.j_session job.j_tool job.j_input in
+        (* the ambient context lets the portal time its cache-probe and
+           execute phases into this request without plumbing *)
+        let outcome =
+          Tc.with_current ctx (fun () ->
+              Portal.submit_result job.j_session job.j_tool job.j_input)
+        in
         count_outcome outcome;
         outcome
       end
     in
+    (* close the timeline and journal it before waking the client, so a
+       reader that observes the outcome also observes the event *)
+    let total_s = Float.max 0.0 (T.now () -. job.j_enqueued) in
+    let reply_s = Float.max 0.0 (total_s -. Tc.phase_total ctx) in
+    Tc.record_phase ctx "reply" reply_s;
+    List.iter
+      (fun (name, d) -> T.observe ("server.phase." ^ name) d)
+      (Tc.phases ctx);
+    J.emit ~component:"server"
+      ~attrs:
+        (Tc.to_attrs ctx
+        @ [
+            ("tool", job.j_tool.Portal.tool_name);
+            ("session", job.j_session_id);
+            ( "outcome",
+              match outcome with
+              | Portal.Executed _ -> "executed"
+              | Portal.Cache_hit _ -> "cache_hit"
+              | Portal.Rejected _ -> "rejected" );
+            ("total_s", Printf.sprintf "%.6f" total_s);
+          ]
+        @ Tc.phase_attrs ctx)
+      "request.replied";
     Mutex.protect job.j_mu (fun () ->
         job.j_result <- Some outcome;
         Condition.signal job.j_cond);
@@ -177,6 +222,9 @@ let start ?(config = default_config) () =
   if config.queue_capacity < 0 then
     invalid_arg "Server.start: negative queue capacity";
   T.define_histogram "server.queue_wait";
+  List.iter
+    (fun phase -> T.define_histogram ("server.phase." ^ phase))
+    [ "queue"; "cache"; "execute"; "reply" ];
   T.set_gauge "server.queue_depth" 0.0;
   let t =
     {
@@ -188,6 +236,12 @@ let start ?(config = default_config) () =
       idle = 0;
       domains = [];
       sessions = Hashtbl.create 16;
+      (* wall clock, not Clock: server-minted ids must differ across
+         runs even under a frozen test clock *)
+      rng =
+        Vc_util.Rng.create
+          (int_of_float (Unix.gettimeofday () *. 1e6)
+          lxor (Unix.getpid () * 0x9E3779B1));
     }
   in
   t.domains <-
@@ -266,10 +320,17 @@ let session_slot t id =
 
 let session t id = (session_slot t id).sl_session
 
-let submit t ~session_id tool input =
+let submit t ~session_id ?trace tool input =
   T.incr "server.submitted";
   let slot = session_slot t session_id in
   let tool_name = tool.Portal.tool_name in
+  (* a valid client-supplied id is adopted; anything else gets a
+     server-minted one so every request has a joinable timeline *)
+  let ctx =
+    match Option.bind trace Tc.of_id with
+    | Some ctx -> ctx
+    | None -> Tc.make (Mutex.protect t.mu (fun () -> Tc.mint t.rng))
+  in
   let rate_ok =
     match slot.sl_bucket with
     | None -> true
@@ -279,7 +340,7 @@ let submit t ~session_id tool input =
       Mutex.protect t.mu (fun () -> Token_bucket.try_take b ~now:(T.now ()))
   in
   if not rate_ok then
-    reject_server ~session_id ~tool_name "rate_limited"
+    reject_server ~session_id ~tool_name ~ctx "rate_limited"
       (Printf.sprintf "session %S exceeded its submission rate limit"
          session_id)
       (Portal.Rate_limited
@@ -291,6 +352,8 @@ let submit t ~session_id tool input =
         j_tool = tool;
         j_input = input;
         j_session = slot.sl_session;
+        j_session_id = session_id;
+        j_trace = ctx;
         j_enqueued = T.now ();
         j_mu = Mutex.create ();
         j_cond = Condition.create ();
@@ -312,7 +375,7 @@ let submit t ~session_id tool input =
     in
     match admitted with
     | `Stopped ->
-      reject_server ~session_id ~tool_name "overloaded"
+      reject_server ~session_id ~tool_name ~ctx "overloaded"
         "server is shutting down"
         (Portal.Overloaded "server is shutting down")
     | `Full ->
@@ -320,10 +383,19 @@ let submit t ~session_id tool input =
         Printf.sprintf "submission queue full (capacity %d)"
           t.config.queue_capacity
       in
-      reject_server ~session_id ~tool_name "overloaded" msg
+      reject_server ~session_id ~tool_name ~ctx "overloaded" msg
         (Portal.Overloaded msg)
     | `Admitted depth ->
       T.set_gauge "server.queue_depth" (float_of_int depth);
+      J.emit ~component:"server"
+        ~attrs:
+          (Tc.to_attrs ctx
+          @ [
+              ("tool", tool_name);
+              ("session", session_id);
+              ("queue_depth", string_of_int depth);
+            ])
+        "request.admitted";
       Mutex.protect job.j_mu (fun () ->
           while job.j_result = None do
             Condition.wait job.j_cond job.j_mu

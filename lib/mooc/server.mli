@@ -18,11 +18,22 @@
     uploads are distinguishable on a dashboard.
 
     {b Observability.} The server maintains the [server.queue_depth]
-    gauge, the [server.queue_wait] latency histogram, the
-    [server.submitted] / [server.outcome.*] counters, and emits
-    [server.start] / [server.stop] / [job.rejected.*] journal events -
-    all exported over [/metrics] with the [vc_] prefix (see
+    gauge, the [server.queue_wait] and [server.phase.*] latency
+    histograms, the [server.submitted] / [server.outcome.*] counters,
+    and emits [server.start] / [server.stop] / [job.rejected.*] journal
+    events - all exported over [/metrics] with the [vc_] prefix (see
     [docs/SERVER.md] and [docs/OBSERVABILITY.md]).
+
+    {b Request tracing.} Every submission gets a {!Vc_util.Trace_ctx}:
+    the caller's trace id when one was supplied (the wire layer's
+    [TRACE] operand), else a server-minted one. The request's lifecycle
+    is journaled as [request.admitted] -> [request.dequeued] ->
+    [request.replied] events carrying a [trace_id] attr, with the
+    replied event also carrying the per-phase timeline
+    ([phase.queue] / [phase.cache] / [phase.execute] / [phase.reply]
+    attrs, seconds) whose aggregates feed the [server.phase.<name>]
+    histograms. [vcstat request] joins these against a [vcload] client
+    journal by trace id.
 
     {b Wake-up discipline.} The queue tracks how many workers are
     blocked idle; each admitted job signals {e one} idle worker
@@ -104,14 +115,21 @@ val stop : t -> unit
 
 (** {1 Submission} *)
 
-val submit : t -> session_id:string -> Portal.tool -> string -> Portal.outcome
+val submit :
+  t -> session_id:string -> ?trace:string -> Portal.tool -> string ->
+  Portal.outcome
 (** Submit one job on behalf of [session_id] (sessions are created on
     first use and hold the portal history plus the rate-limit bucket).
     Returns immediately with a rejection when rate-limited or the queue
     is full; otherwise blocks until a worker completes the job and
     returns its outcome. Increments [server.submitted] on every call
     and exactly one [server.outcome.*] counter per outcome. Safe to
-    call from any number of client domains concurrently. *)
+    call from any number of client domains concurrently.
+
+    [?trace] is the client-supplied trace id; when absent or invalid
+    ({!Vc_util.Trace_ctx.is_valid_id}) the server mints one. Either
+    way the request's [request.*] journal events carry it as
+    [trace_id]. *)
 
 val session : t -> string -> Portal.session
 (** The portal session behind [session_id] (created on first use) -

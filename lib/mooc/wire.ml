@@ -22,13 +22,27 @@ let read_body ic =
 (* the protocol engine                                                 *)
 (* ------------------------------------------------------------------ *)
 
-type submit_fn = session_id:string -> Portal.tool -> string -> Portal.outcome
+type submit_fn =
+  session_id:string ->
+  trace:string option ->
+  Portal.tool ->
+  string ->
+  Portal.outcome
 
 let protocol_help =
-  "expected TOOL <name> [<session>], SESSION <id>, LIST, SHUTDOWN or QUIT"
+  "expected TOOL <name> [<session>] [TRACE <id>], SESSION <id>, LIST, \
+   SHUTDOWN or QUIT"
 
-let respond oc status body =
+(* When the client supplied a TRACE id, every status line echoes it as
+   a trailing " trace=<id>" operand - the backward-compatible hook a
+   load generator joins its client-side journal on. *)
+let respond ?trace oc status body =
   Out_channel.output_string oc status;
+  (match trace with
+  | Some id ->
+    Out_channel.output_string oc " trace=";
+    Out_channel.output_string oc id
+  | None -> ());
   Out_channel.output_char oc '\n';
   if body <> "" then
     List.iter
@@ -39,20 +53,34 @@ let respond oc status body =
   Out_channel.output_string oc ".\n";
   Out_channel.flush oc
 
-let respond_outcome oc = function
-  | Portal.Executed out -> respond oc "OK executed" out
-  | Portal.Cache_hit out -> respond oc "OK cache_hit" out
+let respond_outcome ?trace oc = function
+  | Portal.Executed out -> respond ?trace oc "OK executed" out
+  | Portal.Cache_hit out -> respond ?trace oc "OK cache_hit" out
   | Portal.Rejected r ->
-    respond oc
+    respond ?trace oc
       (Printf.sprintf "ERR %s %s" (Portal.reason_label r)
          (Portal.reason_message r))
       ""
 
-let handle_tool ~input ~output ~submit ~session_id name =
+let trace_of_status status =
+  match String.rindex_opt status ' ' with
+  | Some i
+    when String.length status - i > 7
+         && String.sub status (i + 1) 6 = "trace=" ->
+    Some (String.sub status (i + 7) (String.length status - i - 7))
+  | _ -> None
+
+let handle_tool ~input ~output ~submit ~session_id ~trace name =
+  (* always read the dot-terminated body first - erroring out before
+     consuming it would desynchronize the stream *)
   let body = read_body input in
-  match Portal.resolve_tool name with
-  | Error msg -> respond output ("ERR unknown " ^ msg) ""
-  | Ok tool -> respond_outcome output (submit ~session_id tool body)
+  match trace with
+  | Some id when not (Vc_util.Trace_ctx.is_valid_id id) ->
+    respond output "ERR trace invalid trace id (4-64 lowercase hex chars)" ""
+  | _ -> (
+    match Portal.resolve_tool name with
+    | Error msg -> respond ?trace output ("ERR unknown " ^ msg) ""
+    | Ok tool -> respond_outcome ?trace output (submit ~session_id ~trace tool body))
 
 let session_loop ?(session_id = "default") ~input ~output ~submit () =
   let rec loop session_id =
@@ -77,12 +105,21 @@ let session_loop ?(session_id = "default") ~input ~output ~submit () =
         respond output ("OK session " ^ id) "";
         loop id
       | [ "TOOL"; name ] ->
-        handle_tool ~input ~output ~submit ~session_id name;
+        handle_tool ~input ~output ~submit ~session_id ~trace:None name;
+        loop session_id
+      | [ "TOOL"; name; "TRACE"; id ] ->
+        (* TRACE is a reserved word in the session position *)
+        handle_tool ~input ~output ~submit ~session_id ~trace:(Some id) name;
         loop session_id
       | [ "TOOL"; name; session ] ->
         (* per-request session: submit on its behalf without switching
            the connection's sticky session *)
-        handle_tool ~input ~output ~submit ~session_id:session name;
+        handle_tool ~input ~output ~submit ~session_id:session ~trace:None
+          name;
+        loop session_id
+      | [ "TOOL"; name; session; "TRACE"; id ] ->
+        handle_tool ~input ~output ~submit ~session_id:session
+          ~trace:(Some id) name;
         loop session_id
       | _ ->
         respond output ("ERR protocol " ^ protocol_help) "";
@@ -267,10 +304,13 @@ module Client = struct
     | None -> failwith "wire client: connection closed by server"
     | Some status -> (status, read_body t.ic)
 
-  let submit t ?session ~tool input =
+  let submit t ?session ?trace ~tool input =
+    let trace_op =
+      match trace with Some id -> " TRACE " ^ id | None -> ""
+    in
     (match session with
-    | None -> Printf.fprintf t.oc "TOOL %s\n" tool
-    | Some s -> Printf.fprintf t.oc "TOOL %s %s\n" tool s);
+    | None -> Printf.fprintf t.oc "TOOL %s%s\n" tool trace_op
+    | Some s -> Printf.fprintf t.oc "TOOL %s %s%s\n" tool s trace_op);
     List.iter
       (fun l ->
         Out_channel.output_string t.oc (stuff l);

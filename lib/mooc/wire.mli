@@ -6,7 +6,8 @@
     {b Protocol.} Requests are lines:
 
     {v
-    TOOL <name> [<session>]   submit the following lines to a tool
+    TOOL <name> [<session>] [TRACE <id>]
+                              submit the following lines to a tool
     <input lines>             terminated by a line containing only "."
     SESSION <id>              switch the connection's sticky session
     LIST                      list the available tools
@@ -21,6 +22,17 @@
     [<session>] operand on [TOOL] submits on behalf of that session
     without an extra [SESSION] round trip - what a load generator
     multiplexing many simulated participants over one connection needs.
+
+    {b Request tracing.} The optional [TRACE <id>] operand (a
+    {!Vc_util.Trace_ctx.is_valid_id} hex token; [TRACE] is therefore a
+    reserved session name) tags the submission with a client-minted
+    trace id. The status line then ends in [trace=<id>] - e.g.
+    [OK executed trace=1f00c0ffee1f00c0] - and every server-side journal
+    event for the request carries a [trace_id] attr, which is what
+    [vcstat request] joins client and server journals on. Requests
+    without [TRACE] behave exactly as before (the server mints an
+    internal id for its own journal, but the wire format is
+    unchanged).
 
     {b Concurrency.} The TCP listener accepts on the calling domain and
     spawns one domain per connection; all submissions funnel into the
@@ -42,10 +54,21 @@ val read_body : In_channel.t -> string
 
 (** {1 The protocol engine} *)
 
-type submit_fn = session_id:string -> Portal.tool -> string -> Portal.outcome
+type submit_fn =
+  session_id:string ->
+  trace:string option ->
+  Portal.tool ->
+  string ->
+  Portal.outcome
+(** [trace] is the client-supplied [TRACE] operand (already validated),
+    or [None] when the request carried none. *)
 
 val protocol_help : string
 (** The [ERR protocol ...] message listing the verbs. *)
+
+val trace_of_status : string -> string option
+(** The trailing [trace=<id>] operand of a response status line, if
+    present - the client-side parse of the server's echo. *)
 
 val session_loop :
   ?session_id:string ->
@@ -94,11 +117,15 @@ module Client : sig
 
   val connect : ?host:string -> port:int -> unit -> t
 
-  val submit : t -> ?session:string -> tool:string -> string -> string * string
+  val submit :
+    t -> ?session:string -> ?trace:string -> tool:string -> string ->
+    string * string
   (** [submit c ~tool input] sends one upload and reads the reply:
       [(status line, body)], e.g. [("OK cache_hit", output)]. With
       [?session] the per-request session operand is used, leaving the
-      connection's sticky session alone. *)
+      connection's sticky session alone; with [?trace] the [TRACE]
+      operand is sent and the status line echoes [trace=<id>] (see
+      {!trace_of_status}). *)
 
   val list_tools : t -> string
   (** The [LIST] response body. *)

@@ -216,9 +216,23 @@ type qspan = {
 (* A begin/end pair is an event name ending in ".begin" / ".end" with
    the same prefix, same component and (when present) the same "stage"
    attribute - flow's stage.begin/stage.end is the canonical producer.
-   Reconstruction is a stack walk in sequence order; an end with no
+   Events are first partitioned into independent streams - by trace_id
+   attr when present, else domain attr, else component - so the
+   interleaved output of concurrent requests never mis-nests (one
+   request's begin must not adopt another's as a child just because a
+   multi-domain journal interleaved them). Within a stream,
+   reconstruction is a stack walk in sequence order; an end with no
    matching open frame is ignored, frames left open at EOF close at the
-   last seen timestamp. *)
+   stream's last seen timestamp. *)
+
+type span_stream = {
+  (* open frames, innermost first: (key, label, start, children acc) *)
+  mutable st_stack :
+    ((string * string * string option) * string * float * qspan list ref) list;
+  mutable st_roots : qspan list;
+  mutable st_last_ts : float;
+}
+
 let spans_of events =
   let suffix s suf =
     String.length s > String.length suf
@@ -235,15 +249,31 @@ let spans_of events =
       | Some s -> s
       | None -> p
   in
-  (* open frames, innermost first: (key, label, start, children acc) *)
-  let stack = ref [] in
-  let roots = ref [] in
-  let last_ts = ref 0.0 in
-  let close_top ts =
-    match !stack with
+  let stream_key (e : Journal.event) =
+    match List.assoc_opt "trace_id" e.Journal.ev_attrs with
+    | Some id -> "trace:" ^ id
+    | None -> (
+      match List.assoc_opt "domain" e.Journal.ev_attrs with
+      | Some d -> "domain:" ^ d
+      | None -> "component:" ^ e.Journal.ev_component)
+  in
+  let streams : (string, span_stream) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  let stream_of e =
+    let k = stream_key e in
+    match Hashtbl.find_opt streams k with
+    | Some st -> st
+    | None ->
+      let st = { st_stack = []; st_roots = []; st_last_ts = 0.0 } in
+      Hashtbl.add streams k st;
+      order := st :: !order;
+      st
+  in
+  let close_top st ts =
+    match st.st_stack with
     | [] -> ()
     | (_, lbl, start, kids) :: rest ->
-      stack := rest;
+      st.st_stack <- rest;
       let sp =
         {
           q_name = lbl;
@@ -252,36 +282,47 @@ let spans_of events =
           q_children = List.rev !kids;
         }
       in
-      (match !stack with
+      (match st.st_stack with
       | (_, _, _, pkids) :: _ -> pkids := sp :: !pkids
-      | [] -> roots := sp :: !roots)
+      | [] -> st.st_roots <- sp :: st.st_roots)
   in
   List.iter
     (fun (e : Journal.event) ->
-      last_ts := e.Journal.ev_ts;
+      let st = stream_of e in
+      st.st_last_ts <- e.Journal.ev_ts;
       if suffix e.Journal.ev_name ".begin" then begin
         let p = prefix_of e.Journal.ev_name ".begin" in
-        stack := (key e p, label e p, e.Journal.ev_ts, ref []) :: !stack
+        st.st_stack <-
+          (key e p, label e p, e.Journal.ev_ts, ref []) :: st.st_stack
       end
       else if suffix e.Journal.ev_name ".end" then begin
         let p = prefix_of e.Journal.ev_name ".end" in
         let k = key e p in
-        if List.exists (fun (k', _, _, _) -> k' = k) !stack then begin
+        if List.exists (fun (k', _, _, _) -> k' = k) st.st_stack then begin
           (* close unterminated inner frames at this timestamp first *)
-          while (match !stack with
+          while (match st.st_stack with
                  | (k', _, _, _) :: _ -> k' <> k
                  | [] -> false)
           do
-            close_top e.Journal.ev_ts
+            close_top st e.Journal.ev_ts
           done;
-          close_top e.Journal.ev_ts
+          close_top st e.Journal.ev_ts
         end
       end)
     events;
-  while !stack <> [] do
-    close_top !last_ts
-  done;
-  List.rev !roots
+  let roots =
+    List.concat_map
+      (fun st ->
+        while st.st_stack <> [] do
+          close_top st st.st_last_ts
+        done;
+        List.rev st.st_roots)
+      (List.rev !order)
+  in
+  (* streams are reported in first-appearance order; within the merged
+     forest, sort roots by start time so concurrent streams read as a
+     timeline *)
+  List.stable_sort (fun a b -> compare a.q_start_s b.q_start_s) roots
 
 (* ------------------------------------------------------------------ *)
 (* funnel                                                              *)
@@ -305,6 +346,194 @@ let funnel_of events =
         | Some stage, Some count -> Some { f_stage = stage; f_count = count }
         | _ -> None)
     events
+
+(* ------------------------------------------------------------------ *)
+(* request timelines (trace-id join)                                   *)
+(* ------------------------------------------------------------------ *)
+
+type request_timeline = {
+  rt_trace : string;
+  rt_tool : string option;
+  rt_session : string option;
+  rt_outcome : string option;
+  rt_client_s : float option;
+  rt_server_s : float option;
+  rt_wire_s : float option;
+  rt_phases : (string * float) list;
+  rt_client : bool;
+  rt_server : bool;
+}
+
+type request_join = {
+  rj_timelines : request_timeline list;
+  rj_client_total : int;
+  rj_server_total : int;
+  rj_matched : int;
+  rj_match_rate : float;
+}
+
+(* The canonical phase order for reports: the server-side request
+   phases first (what request.replied events carry), then the derived
+   end-to-end rows. Unknown phases sort after these, alphabetically. *)
+let phase_order = [ "queue"; "cache"; "execute"; "reply"; "server"; "wire"; "client" ]
+
+let phase_rank name =
+  let rec go i = function
+    | [] -> List.length phase_order
+    | p :: rest -> if p = name then i else go (i + 1) rest
+  in
+  go 0 phase_order
+
+(* Join client- and server-side events by their trace_id attr. The
+   client side is a vcload "replay.request" event; the server side is a
+   "request.replied" event (phase.* attrs) or, for requests shed at
+   admission, a "job.rejected.*" event. Events may come from one
+   combined list or from load_files over both journals - only the attrs
+   matter. *)
+let join_requests events =
+  let tbl : (string, request_timeline ref) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  let slot trace =
+    match Hashtbl.find_opt tbl trace with
+    | Some r -> r
+    | None ->
+      let r =
+        ref
+          {
+            rt_trace = trace;
+            rt_tool = None;
+            rt_session = None;
+            rt_outcome = None;
+            rt_client_s = None;
+            rt_server_s = None;
+            rt_wire_s = None;
+            rt_phases = [];
+            rt_client = false;
+            rt_server = false;
+          }
+      in
+      Hashtbl.add tbl trace r;
+      order := r :: !order;
+      r
+  in
+  let starts_with ~prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  List.iter
+    (fun (e : Journal.event) ->
+      match List.assoc_opt "trace_id" e.Journal.ev_attrs with
+      | None -> ()
+      | Some trace ->
+        let attr k = List.assoc_opt k e.Journal.ev_attrs in
+        let fattr k = Option.bind (attr k) float_of_string_opt in
+        let r = slot trace in
+        let keep old fresh = if fresh = None then old else fresh in
+        if e.Journal.ev_component = "vcload"
+           && e.Journal.ev_name = "replay.request"
+        then
+          r :=
+            {
+              !r with
+              rt_client = true;
+              rt_client_s = keep !r.rt_client_s (fattr "latency_s");
+              rt_tool = keep !r.rt_tool (attr "tool");
+              rt_outcome = keep !r.rt_outcome (attr "outcome");
+            }
+        else if e.Journal.ev_name = "request.replied" then begin
+          let phases =
+            List.filter_map
+              (fun (k, v) ->
+                if starts_with ~prefix:"phase." k then
+                  Option.map
+                    (fun d ->
+                      (String.sub k 6 (String.length k - 6), d))
+                    (float_of_string_opt v)
+                else None)
+              e.Journal.ev_attrs
+          in
+          r :=
+            {
+              !r with
+              rt_server = true;
+              rt_server_s = keep !r.rt_server_s (fattr "total_s");
+              rt_phases = (if phases = [] then !r.rt_phases else phases);
+              rt_tool = keep !r.rt_tool (attr "tool");
+              rt_session = keep !r.rt_session (attr "session");
+              (* the server's outcome wins: it distinguishes reject
+                 labels the client only sees as a status line *)
+              rt_outcome =
+                (match attr "outcome" with
+                | Some o -> Some o
+                | None -> !r.rt_outcome);
+            }
+        end
+        else if
+          e.Journal.ev_component = "server"
+          && (starts_with ~prefix:"job.rejected." e.Journal.ev_name
+             || e.Journal.ev_name = "request.admitted"
+             || e.Journal.ev_name = "request.dequeued")
+        then
+          r :=
+            {
+              !r with
+              rt_server = true;
+              rt_tool = keep !r.rt_tool (attr "tool");
+              rt_session = keep !r.rt_session (attr "session");
+              rt_outcome =
+                (if starts_with ~prefix:"job.rejected." e.Journal.ev_name then
+                   Some "rejected"
+                 else !r.rt_outcome);
+            })
+    events;
+  let timelines =
+    List.rev_map
+      (fun r ->
+        let t = !r in
+        let wire =
+          match (t.rt_client_s, t.rt_server_s) with
+          | Some c, Some s -> Some (Float.max 0.0 (c -. s))
+          | _ -> None
+        in
+        { t with rt_wire_s = wire })
+      !order
+  in
+  let count p = List.length (List.filter p timelines) in
+  let clients = count (fun t -> t.rt_client) in
+  let servers = count (fun t -> t.rt_server) in
+  let matched = count (fun t -> t.rt_client && t.rt_server) in
+  {
+    rj_timelines = timelines;
+    rj_client_total = clients;
+    rj_server_total = servers;
+    rj_matched = matched;
+    rj_match_rate =
+      (if clients = 0 then 1.0
+       else float_of_int matched /. float_of_int clients);
+  }
+
+let phase_breakdown join =
+  let tbl : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  let push name v =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> r := v :: !r
+    | None -> Hashtbl.add tbl name (ref [ v ])
+  in
+  List.iter
+    (fun t ->
+      List.iter (fun (name, d) -> push name d) t.rt_phases;
+      Option.iter (push "server") t.rt_server_s;
+      Option.iter (push "wire") t.rt_wire_s;
+      Option.iter (push "client") t.rt_client_s)
+    join.rj_timelines;
+  Hashtbl.fold
+    (fun name r acc ->
+      match latency_stats_of !r with
+      | Some s -> (name, s) :: acc
+      | None -> acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) ->
+         compare (phase_rank a, a) (phase_rank b, b))
 
 (* ------------------------------------------------------------------ *)
 (* renderers: text                                                     *)
@@ -487,4 +716,103 @@ let funnel_to_json stages =
                    ("stage", Json.str s.f_stage); ("count", Json.int s.f_count);
                  ])
              stages) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* renderers: request timelines                                        *)
+(* ------------------------------------------------------------------ *)
+
+let slowest_timelines ?(top = 5) join =
+  let latency t =
+    match (t.rt_client_s, t.rt_server_s) with
+    | Some c, _ -> c
+    | None, Some s -> s
+    | None, None -> 0.0
+  in
+  let sorted =
+    List.stable_sort
+      (fun a b -> compare (latency b) (latency a))
+      join.rj_timelines
+  in
+  List.filteri (fun i _ -> i < top) sorted
+
+let render_requests ?(top = 5) join =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "requests: %d client, %d server, %d matched (%.2f%% of client)\n"
+       join.rj_client_total join.rj_server_total join.rj_matched
+       (100.0 *. join.rj_match_rate));
+  (match phase_breakdown join with
+  | [] -> ()
+  | phases ->
+    Buffer.add_string b
+      "per-phase latency (count / p50 ms / p90 ms / p99 ms / max ms):\n";
+    List.iter
+      (fun (name, st) -> Buffer.add_string b (render_latency_line name st))
+      phases);
+  (match slowest_timelines ~top join with
+  | [] -> ()
+  | slow ->
+    Buffer.add_string b "slowest requests:\n";
+    List.iter
+      (fun t ->
+        let opt f = function Some v -> f v | None -> "-" in
+        Buffer.add_string b
+          (Printf.sprintf "  %s  %-10s %-10s client %s  server %s  wire %s"
+             t.rt_trace
+             (Option.value ~default:"-" t.rt_tool)
+             (Option.value ~default:"-" t.rt_outcome)
+             (opt (fun v -> Printf.sprintf "%.3f ms" (ms v)) t.rt_client_s)
+             (opt (fun v -> Printf.sprintf "%.3f ms" (ms v)) t.rt_server_s)
+             (opt (fun v -> Printf.sprintf "%.3f ms" (ms v)) t.rt_wire_s));
+        if t.rt_phases <> [] then
+          Buffer.add_string b
+            (Printf.sprintf "  (%s)"
+               (String.concat " + "
+                  (List.map
+                     (fun (n, d) -> Printf.sprintf "%s %.3f ms" n (ms d))
+                     t.rt_phases)));
+        Buffer.add_char b '\n')
+      slow);
+  Buffer.contents b
+
+let requests_to_json ?(top = 5) join =
+  let opt_num = function Some v -> Json.num v | None -> "null" in
+  Json.obj
+    [
+      ("client_requests", Json.int join.rj_client_total);
+      ("server_requests", Json.int join.rj_server_total);
+      ("matched", Json.int join.rj_matched);
+      ("match_rate", Json.num join.rj_match_rate);
+      ( "phases",
+        Json.obj
+          (List.map
+             (fun (name, st) -> (name, latency_json st))
+             (phase_breakdown join)) );
+      ( "slowest",
+        Json.arr
+          (List.map
+             (fun t ->
+               Json.obj
+                 [
+                   ("trace_id", Json.str t.rt_trace);
+                   ( "tool",
+                     match t.rt_tool with
+                     | Some s -> Json.str s
+                     | None -> "null" );
+                   ( "outcome",
+                     match t.rt_outcome with
+                     | Some s -> Json.str s
+                     | None -> "null" );
+                   ("client_s", opt_num t.rt_client_s);
+                   ("server_s", opt_num t.rt_server_s);
+                   ("wire_s", opt_num t.rt_wire_s);
+                   ( "phases",
+                     Json.obj
+                       (List.map
+                          (fun (n, d) -> (n, Json.num d))
+                          t.rt_phases) );
+                 ])
+             (slowest_timelines ~top join)) );
     ]

@@ -98,9 +98,61 @@ type qspan = {
 val spans_of : Journal.event list -> qspan list
 (** Reconstruct the span forest from [*.begin]/[*.end] event pairs
     (matched on component, name prefix and the ["stage"] attribute when
-    present), in event order. A begin inside an open span nests under
-    it; an end with no matching open span is ignored; spans left open
-    at the end of the log are closed at the last seen timestamp. *)
+    present). Events are first partitioned into independent streams -
+    keyed by the [trace_id] attribute when present, else the [domain]
+    attribute, else the component - so the interleaved output of
+    concurrent requests in a multi-domain journal cannot mis-nest.
+    Within a stream: a begin inside an open span nests under it, an end
+    with no matching open span is ignored, and spans left open at the
+    end of the log are closed at that stream's last seen timestamp.
+    Roots across streams are ordered by start time. *)
+
+(** {1 Request timelines (trace-id join)} *)
+
+type request_timeline = {
+  rt_trace : string;  (** The joining [trace_id]. *)
+  rt_tool : string option;
+  rt_session : string option;
+  rt_outcome : string option;
+      (** Server outcome when known (it distinguishes reject labels),
+          else the client's. *)
+  rt_client_s : float option;
+      (** Client-observed latency ([vcload]'s coordinated-omission-
+          corrected [latency_s]). *)
+  rt_server_s : float option;  (** Server [total_s]: admit to reply. *)
+  rt_wire_s : float option;
+      (** Client minus server time, clamped [>= 0] - transport,
+          serialization and scheduling overhead outside the server. *)
+  rt_phases : (string * float) list;
+      (** Server-side phase durations ([queue], [cache], [execute],
+          [reply], ...), oldest first. *)
+  rt_client : bool;  (** Seen in a client journal. *)
+  rt_server : bool;  (** Seen in a server journal. *)
+}
+
+type request_join = {
+  rj_timelines : request_timeline list;  (** First-appearance order. *)
+  rj_client_total : int;
+  rj_server_total : int;
+  rj_matched : int;  (** Timelines seen on both sides. *)
+  rj_match_rate : float;
+      (** [matched / client_total]; [1.0] when there are no client
+          events (a server-only journal is vacuously joined). *)
+}
+
+val join_requests : Journal.event list -> request_join
+(** Join client- and server-side events by their [trace_id] attr - feed
+    it [load_files [client.jsonl; server.jsonl]]. Client side: [vcload]
+    ["replay.request"] events. Server side: ["request.replied"] events
+    (with [total_s] and [phase.*] attrs), plus ["request.admitted"] /
+    ["request.dequeued"] / ["job.rejected.*"] so shed or half-finished
+    requests still join. *)
+
+val phase_breakdown : request_join -> (string * latency_stats) list
+(** Aggregate percentiles per phase across all timelines, in canonical
+    order: the server phases ([queue], [cache], [execute], [reply]),
+    then the derived [server] / [wire] / [client] end-to-end rows, then
+    any unknown phases alphabetically. *)
 
 (** {1 Funnel} *)
 
@@ -141,3 +193,14 @@ val summary_to_json : summary -> string
 
 val spans_to_json : qspan list -> string
 val funnel_to_json : funnel_stage list -> string
+
+val render_requests : ?top:int -> request_join -> string
+(** Join counts, the per-phase latency table, and the [top] (default 5)
+    slowest request timelines - what [vcstat request] prints. *)
+
+val requests_to_json : ?top:int -> request_join -> string
+(** Fields [client_requests], [server_requests], [matched],
+    [match_rate], [phases] (one {!latency_stats} object per phase, keys
+    as in {!phase_breakdown}) and [slowest] (per-request timelines with
+    [trace_id], [tool], [outcome], [client_s]/[server_s]/[wire_s] and a
+    [phases] object). *)

@@ -180,6 +180,43 @@ let check_vcload_report file =
     | None -> die "%s: no latency.all object" file)
   | None -> die "%s: no latency object" file
 
+(* FILE must be a `vcstat request --format json` document from a real
+   client+server join: at least one matched request, >= 99% of client
+   requests matched by trace id, and a per-phase breakdown carrying the
+   queue/cache/execute/reply/wire phases with well-formed percentile
+   fields. *)
+let check_vcstat_request file =
+  let j = parse file (read file) in
+  (match Json.member "client_requests" j with
+  | Some (Json.Num n) when n > 0.0 -> ()
+  | _ -> die "%s: bad or zero \"client_requests\"" file);
+  (match Json.member "matched" j with
+  | Some (Json.Num n) when n > 0.0 -> ()
+  | _ -> die "%s: bad or zero \"matched\"" file);
+  (match Json.member "match_rate" j with
+  | Some (Json.Num r) when r >= 0.99 && r <= 1.0 -> ()
+  | Some (Json.Num r) -> die "%s: match_rate %.4f below the 0.99 floor" file r
+  | _ -> die "%s: bad \"match_rate\"" file);
+  (match Json.member "phases" j with
+  | Some phases ->
+    List.iter
+      (fun phase ->
+        match Json.member phase phases with
+        | Some st ->
+          List.iter
+            (fun field ->
+              match Json.member field st with
+              | Some (Json.Num v) when v >= 0.0 -> ()
+              | _ ->
+                die "%s: phases.%s.%s missing or negative" file phase field)
+            [ "count"; "p50_s"; "p90_s"; "p99_s"; "max_s" ]
+        | None -> die "%s: no phases.%s breakdown" file phase)
+      [ "queue"; "cache"; "execute"; "reply"; "wire" ]
+  | None -> die "%s: no phases object" file);
+  match Json.member "slowest" j with
+  | Some (Json.Arr (_ :: _)) -> ()
+  | _ -> die "%s: no slowest timelines" file
+
 (* FILE must be a `vcstat funnel --format json` document with the six
    Fig. 8 stages in order, counts bounded by the first stage. *)
 let check_vcstat_funnel file =
@@ -220,10 +257,11 @@ let () =
   | [ _; "component"; file; name ] -> check_component file name
   | [ _; "vcstat-summary"; file ] -> check_vcstat_summary file
   | [ _; "vcstat-funnel"; file ] -> check_vcstat_funnel file
+  | [ _; "vcstat-request"; file ] -> check_vcstat_request file
   | [ _; "vcload-report"; file ] -> check_vcload_report file
   | _ ->
     prerr_endline
       "usage: check_obs {contains FILE NEEDLE | trace FILE | jsonl FILE | \
        journal FILE | qor FILE | component FILE NAME | vcstat-summary FILE \
-       | vcstat-funnel FILE | vcload-report FILE}";
+       | vcstat-funnel FILE | vcstat-request FILE | vcload-report FILE}";
     exit 2

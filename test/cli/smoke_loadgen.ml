@@ -1,6 +1,6 @@
 (* smoke_loadgen: end-to-end check of the replay loop - vcserve over
    TCP, vcload as the client, SIGINT as the shutdown path.
-   Usage: smoke_loadgen VCSERVE_EXE VCLOAD_EXE
+   Usage: smoke_loadgen VCSERVE_EXE VCLOAD_EXE VCSTAT_EXE
 
    Starts `VCSERVE_EXE -listen 0` as a child with a journal, learns the
    ephemeral port from the stderr announcement, replays a short
@@ -9,7 +9,10 @@
    requires it to exit 0 promptly. The journal must contain the full
    lifecycle - accepted connections, portal submissions, server.stop
    and listener.stop - which proves the graceful-drain path flushed the
-   buffered batches (the tail of a replay run is never lost). Exits
+   buffered batches (the tail of a replay run is never lost). Finally
+   `VCSTAT_EXE request` joins the client and server journals by trace
+   id into smoke_loadgen_request.json, which the dune rule
+   schema-checks (>= 99% of client requests must match). Exits
    non-zero with a message on the first failure; children are always
    killed. *)
 
@@ -89,12 +92,13 @@ let spawn exe args ~stdout_file ~stderr_file =
   pid
 
 let () =
-  let vcserve_exe, vcload_exe =
+  let vcserve_exe, vcload_exe, vcstat_exe =
     match Sys.argv with
-    | [| _; serve; load |] -> (serve, load)
-    | _ -> die "usage: smoke_loadgen VCSERVE_EXE VCLOAD_EXE"
+    | [| _; serve; load; stat |] -> (serve, load, stat)
+    | _ -> die "usage: smoke_loadgen VCSERVE_EXE VCLOAD_EXE VCSTAT_EXE"
   in
   let journal = "smoke_loadgen_journal.jsonl" in
+  let client_journal = "smoke_loadgen_client.jsonl" in
   let report = "smoke_loadgen_report.json" in
   let server_pid =
     spawn vcserve_exe
@@ -115,6 +119,7 @@ let () =
       let load_pid =
         spawn vcload_exe
           [
+            "--journal"; client_journal;
             "-port"; string_of_int port; "-clients"; "2"; "-rps"; "300";
             "-duration"; "2"; "-participants"; "20000"; "-report"; report;
           ]
@@ -163,4 +168,24 @@ let () =
           "listener.start"; "conn.accepted"; "\"submission\"";
           "server.stop"; "listener.stop";
         ];
+      (* join the two journals by trace id: every vcload submission
+         carried a TRACE operand, so the server-side phase timeline
+         must line up with the client-side latency samples *)
+      let stat_pid =
+        spawn vcstat_exe
+          [ "request"; "--format"; "json"; client_journal; journal ]
+          ~stdout_file:"smoke_loadgen_request.json"
+          ~stderr_file:"smoke_loadgen_stat_err.txt"
+      in
+      (match wait_with_timeout stat_pid 30.0 with
+      | Some (Unix.WEXITED 0) -> ()
+      | Some _ ->
+        die "vcstat request failed:\n%s"
+          (read_all "smoke_loadgen_stat_err.txt")
+      | None ->
+        (try Unix.kill stat_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        die "vcstat request did not finish within 30s");
+      let join = read_all "smoke_loadgen_request.json" in
+      if not (contains join "\"match_rate\"") then
+        die "vcstat request produced no join document:\n%s" join;
       print_endline "smoke_loadgen: ok")

@@ -322,6 +322,136 @@ let server_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* wire protocol: the TRACE operand round-trips                        *)
+(* ------------------------------------------------------------------ *)
+
+module Wire = Vc_mooc.Wire
+
+(* Drive session_loop over temp-file channels with a stub submit that
+   records what reached it; returns (captured submissions, raw output). *)
+let run_wire_script script =
+  let in_file = Filename.temp_file "wire_in" ".txt" in
+  let out_file = Filename.temp_file "wire_out" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove in_file;
+      Sys.remove out_file)
+    (fun () ->
+      Out_channel.with_open_text in_file (fun oc ->
+          Out_channel.output_string oc script);
+      let captured = ref [] in
+      let submit ~session_id ~trace _tool input =
+        captured := (session_id, trace, input) :: !captured;
+        Portal.Executed ("ran: " ^ input)
+      in
+      In_channel.with_open_text in_file (fun input ->
+          Out_channel.with_open_text out_file (fun output ->
+              ignore (Wire.session_loop ~input ~output ~submit ())));
+      (List.rev !captured, In_channel.with_open_text out_file In_channel.input_all))
+
+let wire_tests =
+  [
+    tc "TRACE operand reaches submit and is echoed on the status line"
+      (fun () ->
+        let captured, out =
+          run_wire_script
+            "TOOL axb TRACE deadbeef\nhi\n.\nTOOL axb s9 TRACE \
+             00c0ffee00c0ffee\nhi\n.\nTOOL axb\nhi\n.\nQUIT\n"
+        in
+        check
+          Alcotest.(list (triple string (option string) string))
+          "captured submissions"
+          [
+            ("default", Some "deadbeef", "hi");
+            ("s9", Some "00c0ffee00c0ffee", "hi");
+            ("default", None, "hi");
+          ]
+          captured;
+        check Alcotest.string "responses"
+          "OK executed trace=deadbeef\nran: hi\n.\nOK executed \
+           trace=00c0ffee00c0ffee\nran: hi\n.\nOK executed\nran: hi\n.\n"
+          out);
+    tc "invalid TRACE id is rejected without calling submit or desyncing"
+      (fun () ->
+        let captured, out =
+          run_wire_script
+            "TOOL axb TRACE NotHex!\nignored\n.\nTOOL axb TRACE \
+             abc\nignored\n.\nTOOL axb\nhi\n.\nQUIT\n"
+        in
+        (* the bad uploads' bodies were consumed, so the follow-up
+           request still parsed cleanly *)
+        check
+          Alcotest.(list (triple string (option string) string))
+          "only the valid request got through"
+          [ ("default", None, "hi") ]
+          captured;
+        check Alcotest.string "responses"
+          "ERR trace invalid trace id (4-64 lowercase hex chars)\n.\n\
+           ERR trace invalid trace id (4-64 lowercase hex chars)\n.\n\
+           OK executed\nran: hi\n.\n"
+          out);
+    tc "trace_of_status parses the echo, absent on untraced lines"
+      (fun () ->
+        check
+          Alcotest.(option string)
+          "executed" (Some "deadbeef")
+          (Wire.trace_of_status "OK executed trace=deadbeef");
+        check
+          Alcotest.(option string)
+          "error lines echo too" (Some "00c0ffee")
+          (Wire.trace_of_status "ERR unknown no such tool; did you mean \
+                                 kbdd? trace=00c0ffee");
+        check
+          Alcotest.(option string)
+          "untraced" None
+          (Wire.trace_of_status "OK executed");
+        check
+          Alcotest.(option string)
+          "empty" None (Wire.trace_of_status ""));
+    tc "end-to-end over TCP: client trace id lands in the journal"
+      (fun () ->
+        fresh ();
+        let srv =
+          Server.start
+            ~config:{ Server.default_config with Server.workers = 2 }
+            ()
+        in
+        let listener = Wire.listen ~port:0 () in
+        let acceptor =
+          Domain.spawn (fun () ->
+              Wire.serve listener ~submit:(fun ~session_id ~trace tool input ->
+                  Server.submit srv ~session_id ?trace tool input))
+        in
+        let conn = Wire.Client.connect ~port:(Wire.port listener) () in
+        let status, _body =
+          Wire.Client.submit conn ~trace:"f00dfeedf00dfeed" ~tool:"axb"
+            "n 1\nrow 2\nrhs 4"
+        in
+        check
+          Alcotest.(option string)
+          "echoed back" (Some "f00dfeedf00dfeed")
+          (Wire.trace_of_status status);
+        Wire.Client.close conn;
+        Wire.shutdown listener;
+        Domain.join acceptor;
+        ignore (Wire.drain_connections listener);
+        Server.stop srv;
+        let traced name =
+          List.exists
+            (fun e ->
+              e.Journal.ev_name = name
+              && List.assoc_opt "trace_id" e.Journal.ev_attrs
+                 = Some "f00dfeedf00dfeed")
+            (Journal.events ())
+        in
+        List.iter
+          (fun name ->
+            check Alcotest.bool (name ^ " carries the trace id") true
+              (traced name))
+          [ "request.admitted"; "request.dequeued"; "request.replied" ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* sharded result cache                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -605,6 +735,7 @@ let () =
       ("resolve", resolve_tests);
       ("outcomes", outcome_tests);
       ("admission", server_tests);
+      ("wire-trace", wire_tests);
       ("cache-shards", shard_tests);
       ("telemetry-merge", merge_tests);
       ("stress", stress_tests);

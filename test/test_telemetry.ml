@@ -1230,6 +1230,178 @@ let journal_query_tests =
           check Alcotest.string "label" "flow/open" sp.Q.q_name;
           check (Alcotest.float 1e-9) "closed at last ts" 2.0 sp.Q.q_duration_s
         | l -> Alcotest.fail (Printf.sprintf "%d roots" (List.length l)));
+    tc "spans from interleaved traces reconstruct independently" (fun () ->
+        (* two requests in flight at once: without per-trace streams the
+           global stack would nest B inside A and corrupt both *)
+        let events =
+          [
+            ev ~seq:1 ~ts:1.0 ~component:"portal"
+              ~attrs:[ ("trace_id", "aaaa") ]
+              "exec.begin";
+            ev ~seq:2 ~ts:1.1 ~component:"portal"
+              ~attrs:[ ("trace_id", "bbbb") ]
+              "exec.begin";
+            ev ~seq:3 ~ts:1.5 ~component:"portal"
+              ~attrs:[ ("trace_id", "aaaa") ]
+              "exec.end";
+            ev ~seq:4 ~ts:2.0 ~component:"portal"
+              ~attrs:[ ("trace_id", "bbbb") ]
+              "exec.end";
+          ]
+        in
+        match Q.spans_of events with
+        | [ a; b ] ->
+          check Alcotest.int "no spurious nesting" 0
+            (List.length a.Q.q_children + List.length b.Q.q_children);
+          check (Alcotest.float 1e-9) "trace a duration" 0.5 a.Q.q_duration_s;
+          check (Alcotest.float 1e-9) "trace b duration" 0.9 b.Q.q_duration_s
+        | l -> Alcotest.fail (Printf.sprintf "%d roots" (List.length l)));
+    tc "a dangling begin closes at its own trace's last event" (fun () ->
+        let events =
+          [
+            ev ~seq:1 ~ts:1.0 ~component:"portal"
+              ~attrs:[ ("trace_id", "aaaa") ]
+              "exec.begin";
+            ev ~seq:2 ~ts:1.2 ~component:"portal"
+              ~attrs:[ ("trace_id", "aaaa") ]
+              "cache.probe";
+            (* another trace keeps running long after - it must not
+               stretch trace a's dangling span *)
+            ev ~seq:3 ~ts:9.0 ~component:"portal"
+              ~attrs:[ ("trace_id", "bbbb") ]
+              "late.event";
+          ]
+        in
+        match Q.spans_of events with
+        | [ sp ] ->
+          check (Alcotest.float 1e-9) "closed at trace-local last ts" 0.2
+            sp.Q.q_duration_s
+        | l -> Alcotest.fail (Printf.sprintf "%d roots" (List.length l)));
+    tc "join_requests matches client and server journals by trace id"
+      (fun () ->
+        let client trace latency =
+          ev ~component:"vcload"
+            ~attrs:
+              [
+                ("trace_id", trace); ("tool", "axb");
+                ("outcome", "sent");
+                ("latency_s", Printf.sprintf "%.6f" latency);
+              ]
+            "replay.request"
+        in
+        let replied trace total =
+          ev ~component:"server"
+            ~attrs:
+              [
+                ("trace_id", trace); ("tool", "axb"); ("session", "s1");
+                ("outcome", "executed");
+                ("total_s", Printf.sprintf "%.6f" total);
+                ("phase.queue", "0.010000"); ("phase.execute", "0.020000");
+              ]
+            "request.replied"
+        in
+        let join =
+          Q.join_requests
+            [
+              client "aaaa" 0.100;
+              ev ~component:"server"
+                ~attrs:[ ("trace_id", "aaaa"); ("session", "s1") ]
+                "request.admitted";
+              replied "aaaa" 0.080;
+              client "bbbb" 0.050;
+              replied "bbbb" 0.040;
+              (* server-only: a request someone submitted by hand *)
+              replied "cccc" 0.010;
+              (* client-only: the reply the server journal lost *)
+              client "dddd" 0.030;
+            ]
+        in
+        check Alcotest.int "client total" 3 join.Q.rj_client_total;
+        check Alcotest.int "server total" 3 join.Q.rj_server_total;
+        check Alcotest.int "matched" 2 join.Q.rj_matched;
+        check (Alcotest.float 1e-9) "match rate" (2.0 /. 3.0)
+          join.Q.rj_match_rate;
+        let t =
+          match join.Q.rj_timelines with t :: _ -> t | [] -> Alcotest.fail "empty"
+        in
+        check Alcotest.string "first-appearance order" "aaaa" t.Q.rt_trace;
+        check Alcotest.(option string) "server outcome wins" (Some "executed")
+          t.Q.rt_outcome;
+        check Alcotest.(option string) "session" (Some "s1") t.Q.rt_session;
+        check
+          Alcotest.(option (float 1e-9))
+          "wire = client - server" (Some 0.020) t.Q.rt_wire_s;
+        check
+          Alcotest.(list (pair string (float 1e-9)))
+          "phases parsed back"
+          [ ("queue", 0.010); ("execute", 0.020) ]
+          t.Q.rt_phases;
+        (* breakdown rows come out in the canonical phase order *)
+        check
+          Alcotest.(list string)
+          "phase order"
+          [ "queue"; "execute"; "server"; "wire"; "client" ]
+          (List.map fst (Q.phase_breakdown join));
+        (match List.assoc_opt "wire" (Q.phase_breakdown join) with
+        | Some s ->
+          check Alcotest.int "wire samples from matched pairs only" 2
+            s.Q.l_count
+        | None -> Alcotest.fail "no wire row");
+        (* the JSON document parses and carries the acceptance fields *)
+        let j = parse_json (Q.requests_to_json join) in
+        check Alcotest.bool "matched" true
+          (obj_field "matched" j = Some (Json.Num 2.0));
+        check Alcotest.bool "match_rate" true
+          (match obj_field "match_rate" j with
+          | Some (Json.Num r) -> Float.abs (r -. (2.0 /. 3.0)) < 1e-4
+          | _ -> false);
+        check Alcotest.bool "phases.queue.p50_s" true
+          (Option.bind
+             (Option.bind (obj_field "phases" j) (obj_field "queue"))
+             (obj_field "p50_s")
+          <> None);
+        match obj_field "slowest" j with
+        | Some (Json.Arr (_ :: _)) -> ()
+        | _ -> Alcotest.fail "no slowest array");
+    tc "join_requests treats admission rejects as server-side sightings"
+      (fun () ->
+        let join =
+          Q.join_requests
+            [
+              ev ~component:"vcload"
+                ~attrs:
+                  [
+                    ("trace_id", "eeee"); ("tool", "kbdd");
+                    ("latency_s", "0.002"); ("outcome", "rejected");
+                  ]
+                "replay.request";
+              ev ~component:"server"
+                ~attrs:[ ("trace_id", "eeee"); ("tool", "kbdd") ]
+                "job.rejected.overloaded";
+            ]
+        in
+        check Alcotest.int "matched" 1 join.Q.rj_matched;
+        check (Alcotest.float 1e-9) "rate" 1.0 join.Q.rj_match_rate;
+        match join.Q.rj_timelines with
+        | [ t ] ->
+          check Alcotest.(option string) "outcome" (Some "rejected")
+            t.Q.rt_outcome;
+          check Alcotest.bool "no server total without a reply" true
+            (t.Q.rt_server_s = None && t.Q.rt_wire_s = None)
+        | l -> Alcotest.fail (Printf.sprintf "%d timelines" (List.length l)));
+    tc "join_requests over server-only journals is vacuously matched"
+      (fun () ->
+        let join =
+          Q.join_requests
+            [
+              ev ~component:"server"
+                ~attrs:[ ("trace_id", "ffff"); ("total_s", "0.001") ]
+                "request.replied";
+            ]
+        in
+        check Alcotest.int "no clients" 0 join.Q.rj_client_total;
+        check (Alcotest.float 1e-9) "rate defaults to 1" 1.0
+          join.Q.rj_match_rate);
     tc "funnel_of extracts the cohort funnel in order" (fun () ->
         let stage seq name count =
           ev ~seq ~component:"cohort"

@@ -227,10 +227,97 @@ let validity_tests =
            with Invalid_argument _ -> true));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* end-to-end tracing: an 8-domain replay joins by trace id            *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Vc_mooc.Server
+module Wire = Vc_mooc.Wire
+module Loadgen = Vc_mooc.Loadgen
+module Q = Vc_util.Journal_query
+
+let tracing_tests =
+  [
+    tc "8-domain replay: >= 99% of submissions join by trace id" (fun () ->
+        (* client and server run in one process here, so the shared
+           flight recorder sees both journals; size it for the whole
+           run so no request's events rotate out before the join *)
+        let old_ring = Vc_util.Journal.ring_capacity () in
+        Vc_util.Journal.set_ring_capacity 100_000;
+        Fun.protect
+          ~finally:(fun () -> Vc_util.Journal.set_ring_capacity old_ring)
+          (fun () ->
+            Vc_util.Journal.clear ();
+            Portal.clear_cache ();
+            let spec =
+              {
+                small_spec with
+                Trace.tr_seed = 31;
+                tr_duration_s = 1.5;
+                tr_rate_rps = 400.0;
+                tr_spike = None;
+              }
+            in
+            let server =
+              Server.start
+                ~config:
+                  {
+                    Server.default_config with
+                    Server.workers = 4;
+                    queue_capacity = 256;
+                  }
+                ()
+            in
+            let listener = Wire.listen ~port:0 () in
+            let acceptor =
+              Domain.spawn (fun () ->
+                  Wire.serve listener
+                    ~submit:(fun ~session_id ~trace tool input ->
+                      Server.submit server ~session_id ?trace tool input))
+            in
+            let report =
+              Loadgen.run
+                {
+                  Loadgen.lg_host = "127.0.0.1";
+                  lg_port = Wire.port listener;
+                  lg_clients = 8;
+                  lg_spec = spec;
+                  lg_time_scale = 1.0;
+                }
+            in
+            Wire.shutdown listener;
+            Domain.join acceptor;
+            ignore (Wire.drain_connections listener);
+            Server.stop server;
+            check Alcotest.bool "replay ran" true (report.Loadgen.rp_total > 0);
+            check Alcotest.int "report publishes the minting seed" 31
+              report.Loadgen.rp_seed;
+            check Alcotest.string "report publishes the scheme"
+              Vc_util.Trace_ctx.scheme report.Loadgen.rp_trace_scheme;
+            let join = Q.join_requests (Vc_util.Journal.events ()) in
+            check Alcotest.int "every replayed request journaled client-side"
+              report.Loadgen.rp_total join.Q.rj_client_total;
+            check Alcotest.bool
+              (Printf.sprintf "match rate %.4f >= 0.99" join.Q.rj_match_rate)
+              true
+              (join.Q.rj_match_rate >= 0.99);
+            (* the matched pairs carry a usable per-phase breakdown *)
+            let phases = Q.phase_breakdown join in
+            List.iter
+              (fun name ->
+                match List.assoc_opt name phases with
+                | Some s ->
+                  check Alcotest.bool (name ^ " has samples") true
+                    (s.Q.l_count > 0)
+                | None -> Alcotest.failf "no %s phase in the breakdown" name)
+              [ "queue"; "cache"; "reply"; "wire" ]));
+  ]
+
 let () =
   Alcotest.run "trace"
     [
       ("cohort-streaming", cohort_tests);
       ("trace-generation", trace_tests);
       ("input-validity", validity_tests);
+      ("request-tracing", tracing_tests);
     ]

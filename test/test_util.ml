@@ -235,6 +235,130 @@ let tok_tests =
           (Tok.parse_float ~context:"c" "3"));
   ]
 
+(* -------------------------- trace_ctx -------------------------- *)
+
+module Trace_ctx = Vc_util.Trace_ctx
+
+let trace_ctx_tests =
+  [
+    tc "minted ids are well-formed and seeded deterministically" (fun () ->
+        let id = Trace_ctx.mint (Rng.create 99) in
+        check Alcotest.int "length" Trace_ctx.id_length (String.length id);
+        check Alcotest.bool "valid" true (Trace_ctx.is_valid_id id);
+        check Alcotest.string "same generator state, same id" id
+          (Trace_ctx.mint (Rng.create 99)));
+    tc "mint_deterministic is a pure function of (seed, seq)" (fun () ->
+        let a = Trace_ctx.mint_deterministic ~seed:2013 ~seq:7 in
+        check Alcotest.string "replayable" a
+          (Trace_ctx.mint_deterministic ~seed:2013 ~seq:7);
+        check Alcotest.bool "seq matters" true
+          (a <> Trace_ctx.mint_deterministic ~seed:2013 ~seq:8);
+        check Alcotest.bool "seed matters" true
+          (a <> Trace_ctx.mint_deterministic ~seed:2014 ~seq:7);
+        (* a replay's ids must not collide across a realistic range *)
+        let seen = Hashtbl.create 4096 in
+        for seq = 0 to 4095 do
+          Hashtbl.replace seen
+            (Trace_ctx.mint_deterministic ~seed:2013 ~seq) ()
+        done;
+        check Alcotest.int "no collisions over 4096 seqs" 4096
+          (Hashtbl.length seen));
+    tc "is_valid_id admits 4-64 lowercase hex, nothing else" (fun () ->
+        List.iter
+          (fun (id, expect) ->
+            check Alcotest.bool id expect (Trace_ctx.is_valid_id id))
+          [
+            ("deadbeef", true); ("abcd", true); (String.make 64 'a', true);
+            ("abc", false); (String.make 65 'a', false); ("", false);
+            ("DEADBEEF", false); ("dead beef", false); ("xyzt", false);
+            ("00c0ffee00c0ffee", true);
+          ]);
+    tc "of_id validates; make does not" (fun () ->
+        (match Trace_ctx.of_id "NotHex!" with
+        | None -> ()
+        | Some _ -> Alcotest.fail "invalid id accepted");
+        match Trace_ctx.of_id ~parent:"beefbeef" "deadbeef" with
+        | Some t ->
+          check Alcotest.string "id" "deadbeef" (Trace_ctx.id t);
+          check
+            Alcotest.(option string)
+            "parent" (Some "beefbeef") (Trace_ctx.parent t);
+          check
+            Alcotest.(list (pair string string))
+            "attrs carry both"
+            [ ("trace_id", "deadbeef"); ("trace_parent", "beefbeef") ]
+            (Trace_ctx.to_attrs t)
+        | None -> Alcotest.fail "valid id rejected");
+    tc "phases accumulate in order, clamped non-negative" (fun () ->
+        let t = Trace_ctx.make "deadbeef" in
+        check Alcotest.(list (pair string (float 0.0))) "empty" []
+          (Trace_ctx.phases t);
+        Trace_ctx.record_phase t "queue" 0.25;
+        Trace_ctx.record_phase t "cache" (-1.0);
+        Trace_ctx.record_phase t "execute" 0.5;
+        check
+          Alcotest.(list (pair string (float 1e-9)))
+          "oldest first, negative clamped"
+          [ ("queue", 0.25); ("cache", 0.0); ("execute", 0.5) ]
+          (Trace_ctx.phases t);
+        check (Alcotest.float 1e-9) "total" 0.75 (Trace_ctx.phase_total t);
+        check
+          Alcotest.(list (pair string string))
+          "phase attrs"
+          [
+            ("phase.queue", "0.250000"); ("phase.cache", "0.000000");
+            ("phase.execute", "0.500000");
+          ]
+          (Trace_ctx.phase_attrs t));
+    tc "with_current installs, nests and restores the ambient slot"
+      (fun () ->
+        check Alcotest.bool "empty outside requests" true
+          (Trace_ctx.current () = None);
+        check
+          Alcotest.(list (pair string string))
+          "no ambient attrs outside" [] (Trace_ctx.ambient_attrs ());
+        (* a no-op, not an error, outside any request *)
+        Trace_ctx.record_current_phase "cache" 1.0;
+        let outer = Trace_ctx.make "deadbeef" in
+        let inner = Trace_ctx.make "beefbeef" in
+        Trace_ctx.with_current outer (fun () ->
+            check Alcotest.bool "outer installed" true
+              (Trace_ctx.current () = Some outer);
+            Trace_ctx.with_current inner (fun () ->
+                check Alcotest.bool "inner shadows" true
+                  (Trace_ctx.current () = Some inner);
+                Trace_ctx.record_current_phase "execute" 0.125);
+            check Alcotest.bool "outer restored" true
+              (Trace_ctx.current () = Some outer);
+            check
+              Alcotest.(list (pair string string))
+              "ambient attrs read the installed context"
+              [ ("trace_id", "deadbeef") ]
+              (Trace_ctx.ambient_attrs ()));
+        check Alcotest.bool "cleared after" true (Trace_ctx.current () = None);
+        check
+          Alcotest.(list (pair string (float 1e-9)))
+          "record_current_phase hit the installed context"
+          [ ("execute", 0.125) ]
+          (Trace_ctx.phases inner);
+        (* restoration survives an escaping exception *)
+        (try
+           Trace_ctx.with_current outer (fun () -> failwith "boom")
+         with Failure _ -> ());
+        check Alcotest.bool "restored after raise" true
+          (Trace_ctx.current () = None));
+    tc "each domain has its own ambient slot" (fun () ->
+        let t = Trace_ctx.make "deadbeef" in
+        Trace_ctx.with_current t (fun () ->
+            let other =
+              Domain.spawn (fun () -> Trace_ctx.current () = None)
+            in
+            check Alcotest.bool "spawned domain starts empty" true
+              (Domain.join other);
+            check Alcotest.bool "this domain unaffected" true
+              (Trace_ctx.current () = Some t)));
+  ]
+
 (* ----------------------------- json ---------------------------- *)
 
 module Json = Vc_util.Json
@@ -306,5 +430,6 @@ let () =
       ("rng", rng_tests);
       ("stats", stats_tests);
       ("tok", tok_tests);
+      ("trace_ctx", trace_ctx_tests);
       ("json", json_tests);
     ]
