@@ -297,6 +297,8 @@ let loadgen_bench ?(participants = 1_000_000) ?(duration_s = 32.0)
   let module Trace = Vc_mooc.Trace in
   let module Loadgen = Vc_mooc.Loadgen in
   T.reset ();
+  Vc_util.Timeseries.reset ();
+  Vc_util.Profile.reset ();
   Vc_mooc.Portal.clear_cache ();
   (* the SLO workload: a planet-scale cohort (1M registered participants,
      streamed at constant memory) derives a ~128k-submission trace with
@@ -337,6 +339,12 @@ let loadgen_bench ?(participants = 1_000_000) ?(duration_s = 32.0)
     | Some s -> s.Trace.sp_factor
     | None -> 1.0)
     clients;
+  (* the live console rides along: the same sampler vcserve runs feeds
+     the worker-utilization gauges reported below *)
+  let sampler =
+    Vc_util.Timeseries.Sampler.start ~interval:0.25
+      ~sources:Vc_util.Timeseries.server_sources ()
+  in
   let report =
     Loadgen.run
       {
@@ -347,6 +355,7 @@ let loadgen_bench ?(participants = 1_000_000) ?(duration_s = 32.0)
         lg_time_scale = 1.0;
       }
   in
+  Vc_util.Timeseries.Sampler.stop sampler;
   Wire.shutdown listener;
   Domain.join acceptor;
   ignore (Wire.drain_connections listener);
@@ -364,13 +373,41 @@ let loadgen_bench ?(participants = 1_000_000) ?(duration_s = 32.0)
       report.Loadgen.rp_shed_rate )
   in
   Loadgen.set_slo_gauges report;
+  (* mean worker utilization over the run, from the sampler's
+     server.worker.<i>.util series; informational in the JSON (gauges
+     present on one side of a bench compare are notes, not gates) *)
+  let util_series =
+    List.filter
+      (fun name ->
+        String.starts_with ~prefix:"server.worker." name
+        && String.ends_with ~suffix:".util" name)
+      (Vc_util.Timeseries.names ())
+  in
+  let mean_util =
+    match
+      List.concat_map
+        (fun name ->
+          List.map
+            (fun p -> p.Vc_util.Timeseries.p_value)
+            (Vc_util.Timeseries.points name))
+        util_series
+    with
+    | [] -> 0.0
+    | vs -> List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs)
+  in
+  Printf.printf "mean worker utilization %.3f over %d series, %d profile tick(s)\n"
+    mean_util (List.length util_series)
+    (Vc_util.Profile.ticks ());
   Out_channel.with_open_text "BENCH_loadgen.json" (fun oc ->
       Printf.fprintf oc
         "{\"gauges\":{\"loadgen.slo.p99_ms\":%.3f,\
          \"loadgen.slo.shed_rate\":%.6f,\"loadgen.offered_rps\":%.1f,\
-         \"loadgen.achieved_rps\":%.1f,\"loadgen.requests\":%d.0}}\n"
+         \"loadgen.achieved_rps\":%.1f,\"loadgen.requests\":%d.0,\
+         \"loadgen.worker_utilization\":%.4f,\
+         \"loadgen.sampler_ticks\":%d.0}}\n"
         p99_ms shed report.Loadgen.rp_offered_rps
-        report.Loadgen.rp_achieved_rps report.Loadgen.rp_total);
+        report.Loadgen.rp_achieved_rps report.Loadgen.rp_total mean_util
+        (Vc_util.Profile.ticks ()));
   Printf.printf "wrote BENCH_loadgen.json\n"
 
 let fig5 () =

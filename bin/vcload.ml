@@ -5,7 +5,7 @@
                  [-rps R] [-duration S] [-participants N] [-seed N]
                  [-variants N] [-resubmit P] [-spike-at F] [-spike-len F]
                  [-spike-x F] [-no-spike] [-time-scale F]
-                 [-report FILE] [-shutdown]
+                 [-sample-interval S] [-report FILE] [-shutdown]
 
    Derives a submission trace from the cohort model (Mooc.Trace): the
    session population is the cohort's tried-software stage for
@@ -35,7 +35,8 @@ let usage () =
     \              -port N [-host H] [-clients N] [-rps R] [-duration S]\n\
     \              [-participants N] [-seed N] [-variants N] [-resubmit P]\n\
     \              [-spike-at F] [-spike-len F] [-spike-x F] [-no-spike]\n\
-    \              [-time-scale F] [-report FILE] [-shutdown]";
+    \              [-time-scale F] [-sample-interval S] [-report FILE] \
+     [-shutdown]";
   exit 2
 
 type options = {
@@ -52,6 +53,7 @@ type options = {
   time_scale : float;
   report_file : string option;
   shutdown : bool;
+  sample_interval : float;
 }
 
 let default_options =
@@ -69,6 +71,7 @@ let default_options =
     time_scale = 1.0;
     report_file = None;
     shutdown = false;
+    sample_interval = Vc_util.Timeseries.default_interval ();
   }
 
 let parse_args argv =
@@ -106,6 +109,8 @@ let parse_args argv =
         rest
     | "-no-spike" :: rest -> go { o with spike = None } rest
     | "-time-scale" :: f :: rest -> go { o with time_scale = float_of f } rest
+    | "-sample-interval" :: s :: rest ->
+      go { o with sample_interval = float_of s } rest
     | "-report" :: f :: rest -> go { o with report_file = Some f } rest
     | "-shutdown" :: rest -> go { o with shutdown = true } rest
     | _ -> usage ()
@@ -113,7 +118,7 @@ let parse_args argv =
   go default_options (List.tl (Array.to_list argv))
 
 let () =
-  let argv = Vc_util.Telemetry.cli Sys.argv in
+  let argv = Vc_util.Telemetry.cli ~server:true Sys.argv in
   let o = parse_args argv in
   let port = match o.port with Some p -> p | None -> usage () in
   let params =
@@ -140,6 +145,10 @@ let () =
       lg_time_scale = o.time_scale;
     }
   in
+  let sampler =
+    Vc_util.Timeseries.Sampler.start ~interval:o.sample_interval
+      ~sources:Vc_util.Timeseries.client_sources ()
+  in
   let report =
     try Loadgen.run config
     with Unix.Unix_error (e, _, _) ->
@@ -163,5 +172,6 @@ let () =
       Wire.Client.close conn
     | exception Unix.Unix_error _ -> ()
   end;
+  Vc_util.Timeseries.Sampler.stop sampler;
   Vc_util.Journal.flush ();
   if report.Loadgen.rp_total = 0 || report.Loadgen.rp_errors > 0 then exit 1

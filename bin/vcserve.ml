@@ -3,7 +3,7 @@
    Usage: vcserve [--stats] [--trace FILE] [--journal FILE]
                   [--metrics-port N] [-workers N] [-queue N]
                   [-deadline S] [-rate R] [-burst B] [-cache-shards N]
-                  [-listen PORT] [script-file]
+                  [-sample-interval S] [-listen PORT] [script-file]
 
    Without -listen, requests are read from the script file (stdin when
    absent); with -listen PORT the same protocol is served over TCP
@@ -25,6 +25,13 @@
    events carry the id as a trace_id attr (join them against a vcload
    client journal with vcstat request).
 
+   With --metrics-port the exporter serves live for the whole run:
+   GET /metrics, /healthz, /readyz (503 draining once shutdown starts),
+   /varz (the JSON console snapshot vctop polls) and /profile (folded
+   stacks). A background sampler feeds /varz every -sample-interval
+   seconds (default VC_SAMPLE_INTERVAL or 0.5; <= 0 disables) and
+   drives the continuous profiler.
+
    Shutdown is always graceful: on SHUTDOWN, SIGINT or SIGTERM the
    server stops admitting, drains queued jobs, and flushes the journal
    and telemetry sinks before exiting - the tail of a replay run is
@@ -33,6 +40,7 @@
 module Portal = Vc_mooc.Portal
 module Server = Vc_mooc.Server
 module Wire = Vc_mooc.Wire
+module Timeseries = Vc_util.Timeseries
 
 let usage () =
   prerr_endline
@@ -40,7 +48,8 @@ let usage () =
      [--metrics-port N]\n\
     \               [-workers N] [-queue N] [-deadline S] [-rate R] \
      [-burst B]\n\
-    \               [-cache-shards N] [-listen PORT] [script-file]";
+    \               [-cache-shards N] [-sample-interval S] [-listen PORT] \
+     [script-file]";
   exit 2
 
 let parse_args argv =
@@ -49,6 +58,7 @@ let parse_args argv =
   let rate = ref None in
   let burst = ref 5.0 in
   let listen_port = ref None in
+  let sample_interval = ref (Timeseries.default_interval ()) in
   let int_of s = match int_of_string_opt s with Some n -> n | None -> usage () in
   let float_of s =
     match float_of_string_opt s with Some f -> f | None -> usage ()
@@ -76,6 +86,9 @@ let parse_args argv =
       if n < 1 then usage ();
       Portal.set_cache_shards n;
       go rest
+    | "-sample-interval" :: s :: rest ->
+      sample_interval := float_of s;
+      go rest
     | "-listen" :: p :: rest ->
       listen_port := Some (int_of p);
       go rest
@@ -88,17 +101,30 @@ let parse_args argv =
   (match !rate with
   | Some r -> config := { !config with Server.rate_limit = Some (r, !burst) }
   | None -> ());
-  (!config, !file, !listen_port)
+  (!config, !file, !listen_port, !sample_interval)
+
+(* /readyz flips to 503 the moment any shutdown path begins, so a load
+   balancer stops routing to a draining replica before the socket
+   actually closes *)
+let draining = Atomic.make false
+
+let start_console sample_interval =
+  Vc_util.Metrics_server.set_ready_probe (fun () -> not (Atomic.get draining));
+  Timeseries.Sampler.start ~interval:sample_interval
+    ~sources:Timeseries.server_sources ()
 
 (* Graceful drain shared by every exit path: stop admitting, let the
-   workers finish the queue, then force the buffered journal batches to
-   the sinks - the fix for losing the tail of a run to a SIGINT. *)
-let drain_and_exit server =
+   workers finish the queue, stop the sampler, then force the buffered
+   journal batches to the sinks - the fix for losing the tail of a run
+   to a SIGINT. *)
+let drain_and_exit sampler server =
+  Atomic.set draining true;
   Server.stop server;
+  Timeseries.Sampler.stop sampler;
   Vc_util.Journal.flush ();
   exit 0
 
-let serve_script config file =
+let serve_script config sample_interval file =
   let ic =
     match file with
     | None -> stdin
@@ -109,12 +135,16 @@ let serve_script config file =
         exit 2)
   in
   let server = Server.start ~config () in
+  let sampler = start_console sample_interval in
   Printf.eprintf "vcserve: %d worker(s), queue capacity %d\n%!"
     config.Server.workers config.Server.queue_capacity;
   (* SIGINT/SIGTERM: close the input so the protocol loop sees EOF and
      the normal drain path runs *)
   let fd = Unix.descr_of_in_channel ic in
-  let on_signal _ = try Unix.close fd with Unix.Unix_error _ -> () in
+  let on_signal _ =
+    Atomic.set draining true;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
   (try
      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
@@ -126,17 +156,21 @@ let serve_script config file =
             Server.submit server ~session_id ?trace tool input)
           ())
    with Sys_error _ -> ());
-  drain_and_exit server
+  drain_and_exit sampler server
 
-let serve_tcp config port =
+let serve_tcp config sample_interval port =
   let server = Server.start ~config () in
+  let sampler = start_console sample_interval in
   let listener = Wire.listen ~port () in
   (* the test harness and vcload parse this line for the bound port *)
   Printf.eprintf "vcserve: listening on %s:%d (%d worker(s), queue %d)\n%!"
     (Wire.addr listener) (Wire.port listener) config.Server.workers
     config.Server.queue_capacity;
   (* Wire.shutdown is async-signal-safe: atomics and closes only *)
-  let on_signal _ = Wire.shutdown listener in
+  let on_signal _ =
+    Atomic.set draining true;
+    Wire.shutdown listener
+  in
   (try
      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
@@ -146,15 +180,17 @@ let serve_tcp config port =
   (* accept loop has exited (SHUTDOWN verb or signal): drain the worker
      queue so in-flight connections get their responses, give their
      handler domains a moment to finish writing, then flush *)
+  Atomic.set draining true;
   Server.stop server;
   if not (Wire.drain_connections listener) then
     prerr_endline "vcserve: timed out waiting for connections to close";
+  Timeseries.Sampler.stop sampler;
   Vc_util.Journal.flush ();
   exit 0
 
 let () =
-  let argv = Vc_util.Telemetry.cli Sys.argv in
-  let config, file, listen_port = parse_args argv in
+  let argv = Vc_util.Telemetry.cli ~server:true Sys.argv in
+  let config, file, listen_port, sample_interval = parse_args argv in
   match listen_port with
-  | Some port -> serve_tcp config port
-  | None -> serve_script config file
+  | Some port -> serve_tcp config sample_interval port
+  | None -> serve_script config sample_interval file

@@ -3,7 +3,8 @@
           vcstat spans   [--format text|json] FILE
           vcstat funnel  [--format text|json] FILE
           vcstat request [--format text|json] [--top N] CLIENT SERVER...
-          vcstat phases  [--format text|json] [--top N] FILE... *)
+          vcstat phases  [--format text|json] [--top N] FILE...
+          vcstat flame   [--format svg|text|json] FILE... *)
 
 module Q = Vc_util.Journal_query
 
@@ -14,6 +15,7 @@ let usage () =
     \       vcstat funnel  [--format text|json] FILE\n\
     \       vcstat request [--format text|json] [--top N] CLIENT SERVER...\n\
     \       vcstat phases  [--format text|json] [--top N] FILE...\n\
+    \       vcstat flame   [--format svg|text|json] FILE...\n\
      Analyze journal JSONL files written by any tool's --journal FILE flag:\n\
     \  summary  per-component/per-event counts, error rate, latency\n\
     \           percentiles (p50/p90/p99) and the --top N slowest events\n\
@@ -22,29 +24,32 @@ let usage () =
     \  request  join a vcload client journal with a vcserve server journal\n\
     \           by trace_id: match rate, per-phase (queue/cache/execute/\n\
     \           reply/wire) latency breakdown, --top N slowest timelines\n\
-    \  phases   the same per-phase breakdown over server journals alone";
+    \  phases   the same per-phase breakdown over server journals alone\n\
+    \  flame    flamegraph SVG (or folded text/JSON) from the continuous\n\
+    \           profiler's profile.sample events in a server journal";
   exit 2
 
-type format = Text | Json
+type format = Text | Json | Svg
 
 let () =
   let argv = Vc_util.Telemetry.cli Sys.argv in
   let command = ref None
-  and format = ref Text
+  and format = ref None
   and top = ref 5
   and files = ref [] in
   let rec parse = function
     | [] -> ()
     | "--format" :: fmt :: rest ->
       (match fmt with
-      | "text" -> format := Text
-      | "json" -> format := Json
+      | "text" -> format := Some Text
+      | "json" -> format := Some Json
+      | "svg" -> format := Some Svg
       | _ ->
-        Printf.eprintf "vcstat: unknown format %S (text or json)\n" fmt;
+        Printf.eprintf "vcstat: unknown format %S (text, json or svg)\n" fmt;
         exit 2);
       parse rest
     | [ "--format" ] ->
-      prerr_endline "vcstat: --format requires an argument (text or json)";
+      prerr_endline "vcstat: --format requires an argument (text, json or svg)";
       exit 2
     | "--top" :: n :: rest ->
       (match int_of_string_opt n with
@@ -64,6 +69,8 @@ let () =
   in
   (match Array.to_list argv with _ :: rest -> parse rest | [] -> ());
   let files = List.rev !files in
+  (* flame is the one command whose natural output is an image *)
+  let format ~default = Option.value ~default !format in
   let load () =
     if files = [] then begin
       prerr_endline "vcstat: no journal file given";
@@ -85,20 +92,20 @@ let () =
   | Some "summary" ->
     let s = Q.summarize ~top:!top (load ()) in
     print_string
-      (match !format with
-      | Text -> Q.render_summary s
+      (match format ~default:Text with
+      | Text | Svg -> Q.render_summary s
       | Json -> Q.summary_to_json s ^ "\n")
   | Some "spans" ->
     let roots = Q.spans_of (load ()) in
     print_string
-      (match !format with
-      | Text -> Q.render_spans roots
+      (match format ~default:Text with
+      | Text | Svg -> Q.render_spans roots
       | Json -> Q.spans_to_json roots ^ "\n")
   | Some "funnel" ->
     let stages = Q.funnel_of (load ()) in
     print_string
-      (match !format with
-      | Text -> Q.render_funnel stages
+      (match format ~default:Text with
+      | Text | Svg -> Q.render_funnel stages
       | Json -> Q.funnel_to_json stages ^ "\n")
   | Some ("request" | "phases") ->
     (* both are the trace-id join; "request" conventionally gets the
@@ -107,9 +114,26 @@ let () =
        breakdown is interesting) *)
     let join = Q.join_requests (load ()) in
     print_string
-      (match !format with
-      | Text -> Q.render_requests ~top:!top join
+      (match format ~default:Text with
+      | Text | Svg -> Q.render_requests ~top:!top join
       | Json -> Q.requests_to_json ~top:!top join ^ "\n")
+  | Some "flame" ->
+    let ticks, folded = Q.profile_folded (load ()) in
+    print_string
+      (match format ~default:Svg with
+      | Svg -> Vc_util.Profile.flamegraph_svg ~ticks folded
+      | Text -> Vc_util.Profile.to_folded_text folded
+      | Json ->
+        let module Json = Vc_util.Json in
+        Json.obj
+          [
+            ("ticks", Json.int ticks);
+            ( "samples",
+              Json.int (List.fold_left (fun a (_, n) -> a + n) 0 folded) );
+            ( "stacks",
+              Json.obj (List.map (fun (k, n) -> (k, Json.int n)) folded) );
+          ]
+        ^ "\n")
   | Some cmd ->
     Printf.eprintf "vcstat: unknown command %S\n" cmd;
     usage ()

@@ -1,0 +1,262 @@
+(* vctop: live operations console for a running vcserve (or vcload).
+
+   Usage: vctop -port N [-host H] [-interval S] [-once] [-dump FILE]
+
+   Polls GET /varz on the tool's --metrics-port exporter (the JSON
+   snapshot the Timeseries sampler maintains) and renders the operator
+   view of the paper's portal: offered/achieved qps, queue depth with
+   its high-water mark, shed rate, cache hit-rate, per-phase
+   (queue/cache/execute/reply) p50/p99 latency, the per-tool submission
+   mix, per-worker utilization sparklines and the continuous profiler's
+   sample counts.
+
+   By default it redraws every -interval seconds until interrupted;
+   -once prints a single snapshot and exits (the deterministic mode CI
+   and the smoke tests drive), and -dump FILE also writes the raw /varz
+   body for offline checks. Every row is "label key value ..." pairs,
+   so the output greps as well as it reads. *)
+
+module Json = Vc_util.Json
+
+let usage () =
+  prerr_endline
+    "usage: vctop -port N [-host H] [-interval S] [-once] [-dump FILE]";
+  exit 2
+
+type options = {
+  host : string;
+  port : int option;
+  interval : float;
+  once : bool;
+  dump : string option;
+}
+
+let parse_args argv =
+  let int_of s = match int_of_string_opt s with Some n -> n | None -> usage () in
+  let float_of s =
+    match float_of_string_opt s with Some f -> f | None -> usage ()
+  in
+  let rec go o = function
+    | [] -> o
+    | "-host" :: h :: rest -> go { o with host = h } rest
+    | "-port" :: p :: rest -> go { o with port = Some (int_of p) } rest
+    | "-interval" :: s :: rest -> go { o with interval = float_of s } rest
+    | "-once" :: rest -> go { o with once = true } rest
+    | "-dump" :: f :: rest -> go { o with dump = Some f } rest
+    | _ -> usage ()
+  in
+  go
+    { host = "127.0.0.1"; port = None; interval = 1.0; once = false;
+      dump = None }
+    (List.tl (Array.to_list argv))
+
+(* ------------------------------------------------------------------ *)
+(* /varz accessors                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mem path root =
+  List.fold_left (fun j k -> Option.bind j (Json.member k)) (Some root) path
+
+let series root name =
+  match mem [ "series"; name ] root with
+  | Some (Json.Arr pts) ->
+    List.filter_map
+      (function Json.Arr [ _; v ] -> Json.to_num v | _ -> None)
+      pts
+  | _ -> []
+
+let series_names root =
+  match Json.member "series" root with
+  | Some (Json.Obj fields) -> List.map fst fields
+  | _ -> []
+
+let counters root =
+  match mem [ "telemetry"; "counters" ] root with
+  | Some (Json.Obj fields) ->
+    List.filter_map
+      (fun (k, v) -> Option.map (fun n -> (k, int_of_float n)) (Json.to_num v))
+      fields
+  | _ -> []
+
+let gauge root name =
+  Option.bind (mem [ "telemetry"; "gauges"; name ] root) Json.to_num
+
+(* ------------------------------------------------------------------ *)
+(* rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let spark values =
+  let ramp = " .:-=+*#" in
+  let hi = List.fold_left Float.max 0.0 values in
+  if values = [] then ""
+  else
+    String.concat ""
+      (List.map
+         (fun v ->
+           let i =
+             if hi <= 0.0 then 0
+             else
+               min
+                 (String.length ramp - 1)
+                 (int_of_float (v /. hi *. float_of_int (String.length ramp - 1)))
+           in
+           String.make 1 ramp.[max 0 i])
+         values)
+
+(* sparklines show the trailing window; keep rows terminal-width *)
+let tail n l =
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let stats values =
+  match values with
+  | [] -> None
+  | vs ->
+    let n = List.length vs in
+    let sum = List.fold_left ( +. ) 0.0 vs in
+    let max_v = List.fold_left Float.max neg_infinity vs in
+    let now = List.nth vs (n - 1) in
+    Some (now, sum /. float_of_int n, max_v, n)
+
+let series_row b root ?extra label name =
+  match stats (series root name) with
+  | None -> ()
+  | Some (now, mean, max_v, n) ->
+    Buffer.add_string b
+      (Printf.sprintf "%-16s now %10.3f  mean %10.3f  max %10.3f  ticks %d%s  %s\n"
+         label now mean max_v n
+         (match extra with Some s -> "  " ^ s | None -> "")
+         (spark (tail 32 (series root name))))
+
+let phase_row b root phase =
+  let p50 = series root (Printf.sprintf "server.phase.%s.p50_ms" phase) in
+  let p99 = series root (Printf.sprintf "server.phase.%s.p99_ms" phase) in
+  match stats p99 with
+  | None -> ()
+  | Some (p99_now, _, _, n) ->
+    let p50_now = match stats p50 with Some (v, _, _, _) -> v | None -> 0.0 in
+    Buffer.add_string b
+      (Printf.sprintf "phase %-10s p50 %9.3f ms  p99 %9.3f ms  ticks %d  %s\n"
+         phase p50_now p99_now n
+         (spark (tail 32 p99)))
+
+let render root =
+  let b = Buffer.create 2048 in
+  let now =
+    match Option.bind (Json.member "now" root) Json.to_num with
+    | Some t -> t
+    | None -> 0.0
+  in
+  Buffer.add_string b (Printf.sprintf "vctop  now %.3f\n" now);
+  let hwm =
+    match gauge root "server.queue_depth.hwm" with
+    | Some v -> Printf.sprintf "hwm %.0f" v
+    | None -> ""
+  in
+  (* the server-side console; the same rows render for a vcload /varz
+     because absent series are simply skipped *)
+  series_row b root "qps" "server.qps";
+  series_row b root "qps" "vcload.qps";
+  series_row b root ~extra:hwm "queue_depth" "server.queue_depth";
+  series_row b root "shed_rate" "server.shed_rate";
+  series_row b root "shed_rate" "vcload.shed_rate";
+  series_row b root "cache_hit_rate" "portal.cache.hit_rate";
+  series_row b root "cache_size" "portal.cache.size";
+  List.iter (phase_row b root) [ "queue"; "cache"; "execute"; "reply" ];
+  (* per-tool submission mix, from the run-cumulative counters *)
+  let submits =
+    List.filter_map
+      (fun (name, v) ->
+        if
+          String.starts_with ~prefix:"portal." name
+          && String.ends_with ~suffix:".submits" name
+        then
+          Some (String.sub name 7 (String.length name - 15), v)
+        else None)
+      (counters root)
+  in
+  let total_submits = List.fold_left (fun a (_, v) -> a + v) 0 submits in
+  List.iter
+    (fun (tool, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "tool %-12s submits %8d  %5.1f%%\n" tool v
+           (if total_submits = 0 then 0.0
+            else 100.0 *. float_of_int v /. float_of_int total_submits)))
+    (List.sort (fun (_, a) (_, b) -> compare b a) submits);
+  (* per-worker utilization sparklines *)
+  List.iter
+    (fun name ->
+      if
+        String.starts_with ~prefix:"server.worker." name
+        && String.ends_with ~suffix:".util" name
+      then
+        match stats (series root name) with
+        | None -> ()
+        | Some (now, mean, _, _) ->
+          let id = String.sub name 14 (String.length name - 19) in
+          Buffer.add_string b
+            (Printf.sprintf "worker %-4s util %5.2f  mean %5.2f  %s\n" id now
+               mean
+               (spark (tail 32 (series root name)))))
+    (series_names root);
+  (match
+     ( Option.bind (mem [ "profile"; "ticks" ] root) Json.to_num,
+       Option.bind (mem [ "profile"; "samples" ] root) Json.to_num,
+       Option.bind (mem [ "profile"; "stacks" ] root) Json.to_num )
+   with
+  | Some t, Some s, Some k ->
+    Buffer.add_string b
+      (Printf.sprintf "profile ticks %.0f  samples %.0f  stacks %.0f\n" t s k)
+  | _ -> ());
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* main loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fetch_varz ~host ~port =
+  match Vc_util.Metrics_server.fetch ~host ~port "/varz" with
+  | status, body when String.length status >= 12 && String.sub status 9 3 = "200"
+    ->
+    body
+  | status, _ ->
+    Printf.eprintf "vctop: %s:%d/varz answered %S\n" host port status;
+    exit 1
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "vctop: cannot reach %s:%d: %s\n" host port
+      (Unix.error_message e);
+    exit 1
+
+let () =
+  let argv = Vc_util.Telemetry.cli Sys.argv in
+  let o = parse_args argv in
+  let port = match o.port with Some p -> p | None -> usage () in
+  let snapshot () =
+    let body = fetch_varz ~host:o.host ~port in
+    (match o.dump with
+    | None -> ()
+    | Some file ->
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc body));
+    match Json.parse body with
+    | root -> render root
+    | exception Failure msg ->
+      Printf.eprintf "vctop: /varz is not valid JSON: %s\n" msg;
+      exit 1
+  in
+  if o.once then print_string (snapshot ())
+  else begin
+    (* plain ANSI clear-and-home per frame; ^C exits *)
+    let continue = ref true in
+    (try
+       Sys.set_signal Sys.sigint
+         (Sys.Signal_handle (fun _ -> continue := false))
+     with Invalid_argument _ | Sys_error _ -> ());
+    while !continue do
+      let frame = snapshot () in
+      print_string "\027[2J\027[H";
+      print_string frame;
+      flush stdout;
+      Unix.sleepf (Float.max 0.05 o.interval)
+    done
+  end

@@ -384,7 +384,9 @@ let submit_result session tool input =
              context (no-ops outside a traced request), giving the
              request timeline its cache and kernel phases *)
           let probe_t0 = T.now () in
-          let probed = cache_find key in
+          let probed =
+            Vc_util.Profile.with_frame "cache" (fun () -> cache_find key)
+          in
           Vc_util.Trace_ctx.record_current_phase "cache"
             (T.now () -. probe_t0);
           match probed with
@@ -404,7 +406,13 @@ let submit_result session tool input =
                   (("tool", tool.tool_name)
                   :: Vc_util.Trace_ctx.ambient_attrs ())
                 "portal.execute"
-                (fun () -> tool.execute input)
+                (fun () ->
+                  (* sampler ticks landing here fold to
+                     "worker;execute;<tool>" - the inside-kernel
+                     attribution on the flamegraph *)
+                  Vc_util.Profile.with_frame "execute" (fun () ->
+                      Vc_util.Profile.with_frame tool.tool_name (fun () ->
+                          tool.execute input)))
             in
             Vc_util.Trace_ctx.record_current_phase "execute"
               (T.now () -. exec_t0);

@@ -1,6 +1,7 @@
 module T = Vc_util.Telemetry
 module J = Vc_util.Journal
 module Tc = Vc_util.Trace_ctx
+module Prof = Vc_util.Profile
 
 (* ------------------------------------------------------------------ *)
 (* token bucket                                                        *)
@@ -89,7 +90,18 @@ type t = {
   mutable domains : unit Domain.t list;
   sessions : (string, session_slot) Hashtbl.t;
   rng : Vc_util.Rng.t;  (* mints trace ids for untraced submissions *)
+  busy : int Atomic.t;  (* workers currently processing a job *)
+  depth_hwm : int Atomic.t;  (* queue-depth high-water mark *)
 }
+
+(* monotone CAS-max: the high-water mark survives the gauge's sawtooth,
+   so a console that polls between bursts still sees the peak *)
+let rec raise_hwm t depth =
+  let cur = Atomic.get t.depth_hwm in
+  if depth > cur then
+    if Atomic.compare_and_set t.depth_hwm cur depth then
+      T.set_gauge "server.queue_depth.hwm" (float_of_int depth)
+    else raise_hwm t depth
 
 let count_outcome outcome =
   match outcome with
@@ -116,7 +128,7 @@ let reject_server ~session_id ~tool_name ~ctx label msg reason =
 (* worker loop                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let rec worker_loop t =
+let rec worker_loop t w =
   let job_opt =
     Mutex.protect t.mu (fun () ->
         while Queue.is_empty t.queue && not t.stopping do
@@ -136,6 +148,23 @@ let rec worker_loop t =
   | None -> ()
   | Some (job, depth) ->
     T.set_gauge "server.queue_depth" (float_of_int depth);
+    (* per-worker busy accounting: the continuous profiler attributes
+       this span to "worker;..." and the busy-time timer feeds the
+       server.worker.<w>.util series *)
+    T.set_gauge "server.workers.busy"
+      (float_of_int (1 + Atomic.fetch_and_add t.busy 1));
+    let busy_from = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        T.observe
+          (Printf.sprintf "server.worker.%d.busy" w)
+          (Float.max 0.0 (Unix.gettimeofday () -. busy_from));
+        T.set_gauge "server.workers.busy"
+          (float_of_int (Atomic.fetch_and_add t.busy (-1) - 1)))
+      (fun () -> Prof.with_frame "worker" (fun () -> process_job t job));
+    worker_loop t w
+
+and process_job t job =
     let ctx = job.j_trace in
     let now = T.now () in
     let wait_s = Float.max 0.0 (now -. job.j_enqueued) in
@@ -209,8 +238,7 @@ let rec worker_loop t =
       "request.replied";
     Mutex.protect job.j_mu (fun () ->
         job.j_result <- Some outcome;
-        Condition.signal job.j_cond);
-    worker_loop t
+        Condition.signal job.j_cond)
 
 (* ------------------------------------------------------------------ *)
 (* lifecycle                                                           *)
@@ -226,6 +254,9 @@ let start ?(config = default_config) () =
     (fun phase -> T.define_histogram ("server.phase." ^ phase))
     [ "queue"; "cache"; "execute"; "reply" ];
   T.set_gauge "server.queue_depth" 0.0;
+  T.set_gauge "server.queue_depth.hwm" 0.0;
+  T.set_gauge "server.workers.busy" 0.0;
+  T.set_gauge "server.workers.total" (float_of_int config.workers);
   let t =
     {
       config;
@@ -242,10 +273,17 @@ let start ?(config = default_config) () =
         Vc_util.Rng.create
           (int_of_float (Unix.gettimeofday () *. 1e6)
           lxor (Unix.getpid () * 0x9E3779B1));
+      busy = Atomic.make 0;
+      depth_hwm = Atomic.make 0;
     }
   in
   t.domains <-
-    List.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    List.init config.workers (fun w ->
+        Domain.spawn (fun () ->
+            (* publish the empty frame stack before the first job, so
+               sampler ticks attribute worker idle time from the start *)
+            Prof.register ();
+            worker_loop t w));
   J.emit ~component:"server"
     ~attrs:
       [
@@ -387,6 +425,7 @@ let submit t ~session_id ?trace tool input =
         (Portal.Overloaded msg)
     | `Admitted depth ->
       T.set_gauge "server.queue_depth" (float_of_int depth);
+      raise_hwm t depth;
       J.emit ~component:"server"
         ~attrs:
           (Tc.to_attrs ctx

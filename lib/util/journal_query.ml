@@ -816,3 +816,36 @@ let requests_to_json ?(top = 5) join =
                  ])
              (slowest_timelines ~top join)) );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* continuous-profile samples                                          *)
+(* ------------------------------------------------------------------ *)
+
+let profile_folded events =
+  let tick_set = Hashtbl.create 64 in
+  let agg : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Journal.event) ->
+      if e.Journal.ev_component = "profile" && e.Journal.ev_name = "sample"
+      then begin
+        (match List.assoc_opt "tick" e.Journal.ev_attrs with
+        | Some t -> Hashtbl.replace tick_set t ()
+        | None -> ());
+        match
+          ( List.assoc_opt "stack" e.Journal.ev_attrs,
+            Option.bind
+              (List.assoc_opt "count" e.Journal.ev_attrs)
+              int_of_string_opt )
+        with
+        | Some stack, Some count ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt agg stack) in
+          Hashtbl.replace agg stack (prev + count)
+        | _ -> ()
+      end)
+    events;
+  let folded =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) agg []
+    |> List.sort (fun (ka, ca) (kb, cb) ->
+           match compare cb ca with 0 -> compare ka kb | c -> c)
+  in
+  (Hashtbl.length tick_set, folded)

@@ -204,3 +204,10 @@ val requests_to_json : ?top:int -> request_join -> string
     as in {!phase_breakdown}) and [slowest] (per-request timelines with
     [trace_id], [tool], [outcome], [client_s]/[server_s]/[wire_s] and a
     [phases] object). *)
+
+val profile_folded : Journal.event list -> int * (string * int) list
+(** Rebuild the continuous profiler's folded-stack aggregate from its
+    [profile.sample] journal events ({!Profile.tick} with
+    [journal:true]): the number of distinct sampler ticks seen, and the
+    stacks with their total sample counts, most samples first (then by
+    name). What [vcstat flame] renders. *)

@@ -44,11 +44,25 @@ let start ?(addr = "127.0.0.1") ?(announce = true) ?(on_request = ignore)
 (* ------------------------------------------------------------------ *)
 
 (* Read until the end of the request head (blank line) or a size cap;
-   we never read a body - both routes are GET. *)
+   we never read a body - every route is GET. Each chunk is scanned
+   once, in a window that carries the last 3 bytes of the previous
+   chunk (the longest terminator prefix that can span the boundary), so
+   the whole head costs O(length) instead of the old rescan-from-zero
+   O(length^2). *)
 let read_head fd =
   let buf = Buffer.create 256 in
   let chunk = Bytes.create 1024 in
-  let rec loop () =
+  let has_terminator s =
+    let n = String.length s in
+    let rec go i =
+      i + 2 <= n
+      && ((s.[i] = '\n' && s.[i + 1] = '\n')
+         || (i + 4 <= n && String.sub s i 4 = "\r\n\r\n")
+         || go (i + 1))
+    in
+    go 0
+  in
+  let rec loop carry =
     if Buffer.length buf > 8192 then Buffer.contents buf
     else begin
       let n =
@@ -58,26 +72,15 @@ let read_head fd =
       if n = 0 then Buffer.contents buf
       else begin
         Buffer.add_subbytes buf chunk 0 n;
-        let s = Buffer.contents buf in
-        let has_terminator =
-          let rec find i =
-            i + 4 <= String.length s
-            && (String.sub s i 4 = "\r\n\r\n" || find (i + 1))
-          in
-          String.length s >= 4
-          && (find 0
-             ||
-             let rec find_nl i =
-               i + 2 <= String.length s
-               && (String.sub s i 2 = "\n\n" || find_nl (i + 1))
-             in
-             find_nl 0)
-        in
-        if has_terminator then s else loop ()
+        let window = carry ^ Bytes.sub_string chunk 0 n in
+        if has_terminator window then Buffer.contents buf
+        else
+          let keep = min 3 (String.length window) in
+          loop (String.sub window (String.length window - keep) keep)
       end
     end
   in
-  loop ()
+  loop ""
 
 let request_line head =
   match String.index_opt head '\n' with
@@ -98,6 +101,40 @@ let response ~status ~content_type body =
     "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
      close\r\n\r\n%s"
     status content_type (String.length body) body
+
+(* ------------------------------------------------------------------ *)
+(* extra routes and readiness                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A process-global route registry: subsystems that want a live surface
+   (the Timeseries sampler's /varz and /profile) register here without
+   the exporter having to depend on them. /readyz consults a
+   caller-supplied probe - vcserve flips it to "draining" when graceful
+   shutdown starts, so a load balancer stops sending traffic while the
+   queue drains. *)
+
+type reply = { rp_status : string; rp_content_type : string; rp_body : string }
+
+let routes_mu = Mutex.create ()
+let extra_routes : (string, unit -> reply) Hashtbl.t = Hashtbl.create 8
+let ready_probe : (unit -> bool) option ref = ref None
+
+let register_route path handler =
+  if String.length path = 0 || path.[0] <> '/' then
+    invalid_arg "Metrics_server.register_route: path must start with '/'";
+  Mutex.protect routes_mu (fun () -> Hashtbl.replace extra_routes path handler)
+
+let unregister_route path =
+  Mutex.protect routes_mu (fun () -> Hashtbl.remove extra_routes path)
+
+let set_ready_probe f = Mutex.protect routes_mu (fun () -> ready_probe := Some f)
+
+let registered_routes () =
+  Mutex.protect routes_mu (fun () ->
+      Hashtbl.fold (fun k _ acc -> k :: acc) extra_routes [])
+  |> List.sort compare
+
+let all_routes () = [ "/metrics"; "/healthz"; "/readyz" ] @ registered_routes ()
 
 let route t line =
   match String.split_on_char ' ' line with
@@ -126,9 +163,38 @@ let route t line =
         ~content_type:"text/plain; version=0.0.4; charset=utf-8" body
     | "/healthz" ->
       response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
-    | _ ->
-      response ~status:"404 Not Found" ~content_type:"text/plain"
-        "not found (try /metrics or /healthz)\n"
+    | "/readyz" ->
+      let ready =
+        match Mutex.protect routes_mu (fun () -> !ready_probe) with
+        | None -> true (* no probe installed: alive means ready *)
+        | Some probe -> ( try probe () with _ -> false)
+      in
+      if ready then response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+      else
+        response ~status:"503 Service Unavailable" ~content_type:"text/plain"
+          "draining\n"
+    | path -> begin
+      match Mutex.protect routes_mu (fun () -> Hashtbl.find_opt extra_routes path) with
+      | Some handler ->
+        let rep =
+          match handler () with
+          | rep -> rep
+          | exception e ->
+            {
+              rp_status = "500 Internal Server Error";
+              rp_content_type = "text/plain";
+              rp_body =
+                Printf.sprintf "route handler failed: %s\n"
+                  (Printexc.to_string e);
+            }
+        in
+        response ~status:rep.rp_status ~content_type:rep.rp_content_type
+          rep.rp_body
+      | None ->
+        response ~status:"404 Not Found" ~content_type:"text/plain"
+          (Printf.sprintf "not found (try %s)\n"
+             (String.concat ", " (all_routes ())))
+    end
   end
   | _ ->
     response ~status:"400 Bad Request" ~content_type:"text/plain"
@@ -179,5 +245,66 @@ let serve_forever t =
 let stop t =
   if not t.stopped then begin
     t.stopped <- true;
+    (* a close from another domain does not wake a blocked accept on
+       Linux; poke the listener with a throwaway connection so the
+       serving loop observes [stopped] and exits *)
+    (try
+       let addr =
+         match Unix.getsockname t.sock with
+         | Unix.ADDR_INET (a, p) -> Unix.ADDR_INET (a, p)
+         | other -> other
+       in
+       let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       Fun.protect
+         ~finally:(fun () -> try Unix.close s with Unix.Unix_error _ -> ())
+         (fun () -> Unix.connect s addr)
+     with Unix.Unix_error _ -> ());
     try Unix.close t.sock with Unix.Unix_error _ -> ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The matching one-shot GET, for vctop and the smoke harnesses: the
+   exporter speaks Connection: close, so "read to EOF" is the framing. *)
+let fetch ?(host = "127.0.0.1") ~port path =
+  ignore_sigpipe ();
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock
+        (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      write_all sock
+        (Printf.sprintf
+           "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n" path
+           host);
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          ()
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status =
+        match String.index_opt raw '\n' with
+        | Some i -> String.trim (String.sub raw 0 i)
+        | None -> String.trim raw
+      in
+      let body =
+        let rec find i =
+          if i + 4 > String.length raw then String.length raw
+          else if String.sub raw i 4 = "\r\n\r\n" then i + 4
+          else find (i + 1)
+        in
+        let start = find 0 in
+        String.sub raw start (String.length raw - start)
+      in
+      (status, body))

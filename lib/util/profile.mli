@@ -1,0 +1,65 @@
+(** Continuous profiler: ambient per-domain frame stacks, sampled on a
+    timer into folded-stack aggregates and rendered as a flamegraph.
+
+    Instrumented code pushes frames with {!with_frame} (the server
+    worker pushes ["worker"], the portal pushes ["cache"] / ["execute"]
+    / the tool name beneath it); a sampler tick ({!tick}, driven by
+    {!Timeseries.Sampler}) reads every domain's current stack and bumps
+    one folded-stack counter per domain - the always-on "where is time
+    going" histogram an operator reads from [GET /profile] or renders
+    with [vcstat flame].
+
+    The frame hot path is one list cons and one field store; the
+    cross-domain stack read at tick time is a benign race on an
+    immutable list (documented in the implementation), so profiling
+    overhead is near zero whether or not a sampler is running. *)
+
+val register : unit -> unit
+(** Publish the calling domain's (initially empty) frame stack to the
+    sampler, so the domain's idle time is attributed to ["idle"] from
+    the first tick. Worker domains call this when they start;
+    {!with_frame} registers implicitly. *)
+
+val with_frame : string -> (unit -> 'a) -> 'a
+(** [with_frame name f] pushes [name] onto the calling domain's frame
+    stack for the duration of [f] (popped on return or exception).
+    Nested calls build the stack the sampler folds. *)
+
+val current_stack : unit -> string list
+(** The calling domain's own stack, outermost frame first. *)
+
+val tick : ?journal:bool -> unit -> unit
+(** Sample every registered domain's stack once: each domain
+    contributes one observation to the folded aggregate (["idle"] when
+    its stack is empty). With [journal:true], one
+    [profile.sample] journal event ([Debug] severity, component
+    ["profile"], attrs [tick]/[stack]/[count]) is emitted per distinct
+    stack observed this tick - the offline feed for [vcstat flame]. *)
+
+val ticks : unit -> int
+(** Number of {!tick} calls since start/{!reset}. *)
+
+val samples : unit -> int
+(** Total per-domain observations across all ticks. *)
+
+val folded : unit -> (string * int) list
+(** The aggregate as folded stacks ([["worker;execute;minisat"], 17]),
+    most samples first (name-ordered within equal counts). *)
+
+val to_folded_text : (string * int) list -> string
+(** Standard folded format, one ["stack count"] line each - the
+    [GET /profile] body, directly consumable by external flamegraph
+    tooling. *)
+
+val flamegraph_svg :
+  ?title:string -> ?ticks:int -> (string * int) list -> string
+(** Render folded stacks as a self-contained flamegraph SVG: x = share
+    of samples, y = stack depth (root row at the bottom), deterministic
+    layout and palette, hover [<title>] per frame. The document carries
+    a machine-readable
+    [<!-- flamegraph samples=N root_samples=N ticks=T -->] comment
+    that CI checks root-frame coverage against. *)
+
+val reset : unit -> unit
+(** Drop all aggregates and tick counts, and clear the calling domain's
+    own stack (other domains own theirs). Tests only. *)

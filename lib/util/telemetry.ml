@@ -682,11 +682,14 @@ let cli_parse argv =
       cli_metrics_port = !metrics_port;
     }
 
-let cli argv =
+let cli ?(server = false) argv =
   let o = cli_parse argv in
   (* Registered before the stats/trace hooks: at_exit runs LIFO, and the
      serving loop must be the last thing the process does - it keeps the
-     tool alive answering /metrics until the operator kills it. *)
+     tool alive answering /metrics until the operator kills it. With
+     [server:true] the exporter instead serves live from a background
+     domain for the whole run (vcserve and vcload need /varz answered
+     while they work) and shuts down cleanly at exit. *)
   (match o.cli_metrics_port with
   | Some port ->
     let srv =
@@ -696,7 +699,13 @@ let cli argv =
         ()
     in
     set_gauge "metrics.port" (float_of_int (Metrics_server.port srv));
-    at_exit (fun () -> Metrics_server.serve_forever srv)
+    if server then begin
+      let d = Domain.spawn (fun () -> Metrics_server.serve srv) in
+      at_exit (fun () ->
+          Metrics_server.stop srv;
+          Domain.join d)
+    end
+    else at_exit (fun () -> Metrics_server.serve_forever srv)
   | None -> ());
   Journal.install_crash_handler ();
   if o.cli_stats then at_exit (fun () -> prerr_string (report ()));

@@ -223,7 +223,7 @@ val now : unit -> float
 
 (** {1 Command-line integration} *)
 
-val cli : string array -> string array
+val cli : ?server:bool -> string array -> string array
 (** [cli Sys.argv] strips [--stats], [--trace FILE], [--journal FILE]
     and [--metrics-port N] from an argument vector and returns the rest
     (element 0 preserved). If [--stats] was present, the process prints
@@ -235,6 +235,10 @@ val cli : string array -> string array
     is announced on stderr) and, after the tool's own work and the
     other at-exit reports finish, the process stays alive serving
     [GET /metrics] ({!to_prometheus}) and [GET /healthz] until killed.
+    With [server:true] (vcserve, vcload) the exporter instead serves
+    from a background domain for the whole run - [/varz] and [/readyz]
+    answer live while the tool works - and stops at exit instead of
+    outliving it.
     Scrapes are counted on the ["metrics.http_requests"] counter and
     the bound port is published as the ["metrics.port"] gauge. Also
     installs the {!Journal.install_crash_handler} flight-recorder dump.

@@ -247,6 +247,116 @@ let check_vcstat_funnel file =
       | _ -> die "%s: %s: bad count" file name)
     expected stages
 
+(* FILE must be a /varz snapshot from a live, sampled vcserve: valid
+   JSON, a telemetry object, and the console's load-bearing series -
+   qps with >= 3 points and the queue/reply phase p99s with >= 2. *)
+let check_varz file =
+  let j = parse file (read file) in
+  (match Json.member "telemetry" j with
+  | Some (Json.Obj _) -> ()
+  | _ -> die "%s: no telemetry object" file);
+  let series name =
+    match Option.bind (Json.member "series" j) (Json.member name) with
+    | Some (Json.Arr pts) -> pts
+    | _ -> die "%s: no series %S" file name
+  in
+  let require name floor =
+    let n = List.length (series name) in
+    if n < floor then die "%s: series %S has %d point(s), need >= %d" file name n floor
+  in
+  require "server.qps" 3;
+  require "server.phase.queue.p99_ms" 2;
+  require "server.phase.reply.p99_ms" 2;
+  List.iter
+    (fun p ->
+      match p with
+      | Json.Arr [ Json.Num ts; Json.Num v ] ->
+        if ts <= 0.0 || v < 0.0 then die "%s: bad qps point" file
+      | _ -> die "%s: malformed series point" file)
+    (series "server.qps")
+
+(* FILE must be a `vctop -once` snapshot captured mid-replay: a qps row
+   whose max is positive over >= 3 ticks, a queue_depth row with a
+   positive high-water mark, and at least one phase row with >= 3
+   ticks. *)
+let check_vctop file =
+  let lines = String.split_on_char '\n' (read file) in
+  let tokens l = String.split_on_char ' ' l |> List.filter (( <> ) "") in
+  let field toks key =
+    let rec go = function
+      | k :: v :: _ when k = key -> float_of_string_opt v
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go toks
+  in
+  let row prefix =
+    List.find_opt (fun l -> String.starts_with ~prefix l) lines
+    |> Option.map tokens
+  in
+  (match row "qps" with
+  | None -> die "%s: no qps row" file
+  | Some toks ->
+    (match field toks "max" with
+    | Some v when v > 0.0 -> ()
+    | _ -> die "%s: qps max is not positive" file);
+    (match field toks "ticks" with
+    | Some n when n >= 3.0 -> ()
+    | _ -> die "%s: qps row has fewer than 3 ticks" file));
+  (match row "queue_depth" with
+  | None -> die "%s: no queue_depth row" file
+  | Some toks -> (
+    match field toks "hwm" with
+    | Some v when v > 0.0 -> ()
+    | _ -> die "%s: queue_depth high-water mark is not positive" file));
+  let phase_ok =
+    List.exists
+      (fun l ->
+        String.starts_with ~prefix:"phase " l
+        &&
+        let toks = tokens l in
+        (match field toks "p99" with Some v -> v >= 0.0 | None -> false)
+        && match field toks "ticks" with Some n -> n >= 3.0 | None -> false)
+      lines
+  in
+  if not phase_ok then die "%s: no phase row with p99 and >= 3 ticks" file
+
+(* FILE must be a `vcstat flame` SVG over a sampled server journal:
+   well-formed framing, at least one frame rectangle, and root frames
+   covering >= 95%% of sampled ticks (the flamegraph metadata
+   comment). *)
+let check_flame file =
+  let text = read file in
+  if not (String.starts_with ~prefix:"<svg" text) then
+    die "%s: does not start with <svg" file;
+  if not (contains text "</svg>") then die "%s: unterminated svg" file;
+  if not (contains text "<rect") then die "%s: no frame rectangles" file;
+  let meta_re = "<!-- flamegraph samples=" in
+  if not (contains text meta_re) then die "%s: no flamegraph metadata" file;
+  (* parse "samples=N root_samples=N ticks=T" out of the comment *)
+  let int_after key =
+    let kl = String.length key and tl = String.length text in
+    let rec find i =
+      if i + kl > tl then die "%s: no %s in metadata" file key
+      else if String.sub text i kl = key then i + kl
+      else find (i + 1)
+    in
+    let start = find 0 in
+    let rec stop i =
+      if i < tl && text.[i] >= '0' && text.[i] <= '9' then stop (i + 1) else i
+    in
+    let e = stop start in
+    if e = start then die "%s: empty %s in metadata" file key;
+    int_of_string (String.sub text start (e - start))
+  in
+  let root_samples = int_after "root_samples=" in
+  let ticks = int_after "ticks=" in
+  if ticks <= 0 then die "%s: flamegraph has no sampled ticks" file;
+  if root_samples <= 0 then die "%s: flamegraph has no root samples" file;
+  if float_of_int root_samples < 0.95 *. float_of_int ticks then
+    die "%s: root frames cover %d sample(s) over %d tick(s), below 95%%" file
+      root_samples ticks
+
 let () =
   match Array.to_list Sys.argv with
   | [ _; "contains"; file; needle ] -> check_contains file needle
@@ -259,9 +369,13 @@ let () =
   | [ _; "vcstat-funnel"; file ] -> check_vcstat_funnel file
   | [ _; "vcstat-request"; file ] -> check_vcstat_request file
   | [ _; "vcload-report"; file ] -> check_vcload_report file
+  | [ _; "varz"; file ] -> check_varz file
+  | [ _; "vctop"; file ] -> check_vctop file
+  | [ _; "flame"; file ] -> check_flame file
   | _ ->
     prerr_endline
       "usage: check_obs {contains FILE NEEDLE | trace FILE | jsonl FILE | \
        journal FILE | qor FILE | component FILE NAME | vcstat-summary FILE \
-       | vcstat-funnel FILE | vcstat-request FILE | vcload-report FILE}";
+       | vcstat-funnel FILE | vcstat-request FILE | vcload-report FILE \
+       | varz FILE | vctop FILE | flame FILE}";
     exit 2

@@ -1,20 +1,26 @@
-(* smoke_loadgen: end-to-end check of the replay loop - vcserve over
-   TCP, vcload as the client, SIGINT as the shutdown path.
-   Usage: smoke_loadgen VCSERVE_EXE VCLOAD_EXE VCSTAT_EXE
+(* smoke_loadgen: end-to-end check of the replay loop and the live
+   operations console - vcserve over TCP, vcload as the client, vctop
+   against /varz mid-replay, SIGINT as the shutdown path.
+   Usage: smoke_loadgen VCSERVE_EXE VCLOAD_EXE VCSTAT_EXE VCTOP_EXE
 
-   Starts `VCSERVE_EXE -listen 0` as a child with a journal, learns the
-   ephemeral port from the stderr announcement, replays a short
-   cohort-derived trace with `VCLOAD_EXE` (two client domains, a couple
-   of seconds), then interrupts the server with a single SIGINT and
-   requires it to exit 0 promptly. The journal must contain the full
-   lifecycle - accepted connections, portal submissions, server.stop
-   and listener.stop - which proves the graceful-drain path flushed the
-   buffered batches (the tail of a replay run is never lost). Finally
+   Starts `VCSERVE_EXE -listen 0 --metrics-port 0` as a child with a
+   journal and a fast sampler, learns both ephemeral ports from the
+   stderr announcements, and replays a short cohort-derived trace with
+   `VCLOAD_EXE` in the background. While the replay is running it
+   fetches GET /readyz (must answer 200 ok) and runs `VCTOP_EXE -once`
+   against the metrics port, dumping the raw /varz body - the live
+   console the dune rule then schema-checks (non-zero qps over >= 3
+   sampler ticks, a positive queue high-water mark, per-phase p99
+   rows). After the replay it interrupts the server with a single
+   SIGINT and requires it to exit 0 promptly. The journal must contain
+   the full lifecycle - accepted connections, portal submissions,
+   profile.sample ticks, server.stop and listener.stop - which proves
+   the graceful-drain path flushed the buffered batches. Finally
    `VCSTAT_EXE request` joins the client and server journals by trace
-   id into smoke_loadgen_request.json, which the dune rule
-   schema-checks (>= 99% of client requests must match). Exits
-   non-zero with a message on the first failure; children are always
-   killed. *)
+   id into smoke_loadgen_request.json and `VCSTAT_EXE flame` renders
+   the continuous-profile flamegraph SVG, both schema-checked by the
+   dune rule. Exits non-zero with a message on the first failure;
+   children are always killed. *)
 
 let die fmt =
   Printf.ksprintf
@@ -34,11 +40,10 @@ let read_all file =
   try In_channel.with_open_text file In_channel.input_all
   with Sys_error _ -> ""
 
-(* Wait (up to ~10s) for "listening on 127.0.0.1:PORT" in the server's
-   stderr file. *)
-let wait_for_port stderr_file =
+(* Wait (up to ~10s) for MARKER followed by a port number in the
+   server's stderr file. *)
+let wait_for_port ~marker stderr_file =
   let deadline = Unix.gettimeofday () +. 10.0 in
-  let marker = "listening on 127.0.0.1:" in
   let rec poll () =
     let text = read_all stderr_file in
     if contains text marker then begin
@@ -56,7 +61,7 @@ let wait_for_port stderr_file =
       int_of_string (String.sub text start (stop - start))
     end
     else if Unix.gettimeofday () > deadline then
-      die "timed out waiting for the listen announcement in %s" stderr_file
+      die "timed out waiting for %S in %s" marker stderr_file
     else begin
       Unix.sleepf 0.05;
       poll ()
@@ -91,18 +96,37 @@ let spawn exe args ~stdout_file ~stderr_file =
   Unix.close err;
   pid
 
+let run_to_file exe args ~stdout_file ~stderr_file ~timeout_s ~what =
+  let pid = spawn exe args ~stdout_file ~stderr_file in
+  match wait_with_timeout pid timeout_s with
+  | Some (Unix.WEXITED 0) -> ()
+  | Some status ->
+    let s =
+      match status with
+      | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+      | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+      | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n
+    in
+    die "%s failed (%s):\n%s" what s (read_all stderr_file)
+  | None ->
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    die "%s did not finish within %.0fs" what timeout_s
+
 let () =
-  let vcserve_exe, vcload_exe, vcstat_exe =
+  let vcserve_exe, vcload_exe, vcstat_exe, vctop_exe =
     match Sys.argv with
-    | [| _; serve; load; stat |] -> (serve, load, stat)
-    | _ -> die "usage: smoke_loadgen VCSERVE_EXE VCLOAD_EXE VCSTAT_EXE"
+    | [| _; serve; load; stat; top |] -> (serve, load, stat, top)
+    | _ -> die "usage: smoke_loadgen VCSERVE_EXE VCLOAD_EXE VCSTAT_EXE VCTOP_EXE"
   in
   let journal = "smoke_loadgen_journal.jsonl" in
   let client_journal = "smoke_loadgen_client.jsonl" in
   let report = "smoke_loadgen_report.json" in
   let server_pid =
     spawn vcserve_exe
-      [ "-listen"; "0"; "-workers"; "2"; "--journal"; journal ]
+      [
+        "-listen"; "0"; "-workers"; "2"; "--journal"; journal;
+        "--metrics-port"; "0"; "-sample-interval"; "0.15";
+      ]
       ~stdout_file:"smoke_loadgen_server_out.txt"
       ~stderr_file:"smoke_loadgen_server_err.txt"
   in
@@ -113,9 +137,14 @@ let () =
         (try Unix.waitpid [ Unix.WNOHANG ] server_pid
          with Unix.Unix_error _ -> (0, Unix.WEXITED 0)))
     (fun () ->
-      let port = wait_for_port "smoke_loadgen_server_err.txt" in
+      let err_file = "smoke_loadgen_server_err.txt" in
+      let port = wait_for_port ~marker:"listening on 127.0.0.1:" err_file in
+      let metrics_port =
+        wait_for_port ~marker:"serving http://127.0.0.1:" err_file
+      in
       (* a short but real replay: ~2s, two client domains, the default
-         deadline spike, report written for the schema check *)
+         deadline spike, report written for the schema check. Runs in
+         the background so the console can be sampled mid-replay. *)
       let load_pid =
         spawn vcload_exe
           [
@@ -126,6 +155,22 @@ let () =
           ~stdout_file:"smoke_loadgen_load_out.txt"
           ~stderr_file:"smoke_loadgen_load_err.txt"
       in
+      (* give the sampler a handful of in-traffic ticks (0.15s interval
+         over a 2s replay), then snapshot the live console *)
+      Unix.sleepf 1.2;
+      (match Vc_util.Metrics_server.fetch ~port:metrics_port "/readyz" with
+      | status, body when contains status "200" && contains body "ok" -> ()
+      | status, body -> die "/readyz answered %S %S mid-run" status body
+      | exception Unix.Unix_error (e, _, _) ->
+        die "cannot reach /readyz: %s" (Unix.error_message e));
+      run_to_file vctop_exe
+        [
+          "-once"; "-port"; string_of_int metrics_port;
+          "-dump"; "smoke_loadgen_varz.json";
+        ]
+        ~stdout_file:"smoke_loadgen_vctop.txt"
+        ~stderr_file:"smoke_loadgen_vctop_err.txt" ~timeout_s:30.0
+        ~what:"vctop -once";
       (match wait_with_timeout load_pid 60.0 with
       | Some (Unix.WEXITED 0) -> ()
       | Some status ->
@@ -156,8 +201,8 @@ let () =
       | Some (Unix.WSTOPPED _) -> die "server stopped unexpectedly"
       | None -> die "server still running 10s after SIGINT");
       (* the journal must have been flushed on the way out: lifecycle
-         events from both ends of the run, plus the submissions the
-         replay generated *)
+         events from both ends of the run, the submissions the replay
+         generated, and the continuous profiler's sample ticks *)
       let text = read_all journal in
       List.iter
         (fun needle ->
@@ -166,26 +211,22 @@ let () =
               needle)
         [
           "listener.start"; "conn.accepted"; "\"submission\"";
-          "server.stop"; "listener.stop";
+          "\"component\":\"profile\""; "server.stop"; "listener.stop";
         ];
       (* join the two journals by trace id: every vcload submission
          carried a TRACE operand, so the server-side phase timeline
          must line up with the client-side latency samples *)
-      let stat_pid =
-        spawn vcstat_exe
-          [ "request"; "--format"; "json"; client_journal; journal ]
-          ~stdout_file:"smoke_loadgen_request.json"
-          ~stderr_file:"smoke_loadgen_stat_err.txt"
-      in
-      (match wait_with_timeout stat_pid 30.0 with
-      | Some (Unix.WEXITED 0) -> ()
-      | Some _ ->
-        die "vcstat request failed:\n%s"
-          (read_all "smoke_loadgen_stat_err.txt")
-      | None ->
-        (try Unix.kill stat_pid Sys.sigkill with Unix.Unix_error _ -> ());
-        die "vcstat request did not finish within 30s");
+      run_to_file vcstat_exe
+        [ "request"; "--format"; "json"; client_journal; journal ]
+        ~stdout_file:"smoke_loadgen_request.json"
+        ~stderr_file:"smoke_loadgen_stat_err.txt" ~timeout_s:30.0
+        ~what:"vcstat request";
       let join = read_all "smoke_loadgen_request.json" in
       if not (contains join "\"match_rate\"") then
         die "vcstat request produced no join document:\n%s" join;
+      (* the same journal feeds the offline flamegraph *)
+      run_to_file vcstat_exe [ "flame"; journal ]
+        ~stdout_file:"smoke_loadgen_flame.svg"
+        ~stderr_file:"smoke_loadgen_flame_err.txt" ~timeout_s:30.0
+        ~what:"vcstat flame";
       print_endline "smoke_loadgen: ok")

@@ -1442,6 +1442,410 @@ let journal_query_tests =
         | _ -> Alcotest.fail "spans json");
   ]
 
+(* ------------------------------------------------------------------ *)
+(* time series (per-domain rings, merge-on-read, the sampler)          *)
+(* ------------------------------------------------------------------ *)
+
+module Ts = Vc_util.Timeseries
+module Prof = Vc_util.Profile
+
+let check_raises_invalid_arg f =
+  check Alcotest.bool "raises Invalid_argument" true
+    (match f () with _ -> false | exception Invalid_argument _ -> true)
+
+let timeseries_tests =
+  [
+    tc "points come back merged in timestamp order" (fun () ->
+        Ts.reset ();
+        Ts.record ~ts:3.0 "ts.a" 30.0;
+        Ts.record ~ts:1.0 "ts.a" 10.0;
+        Ts.record ~ts:2.0 "ts.a" 20.0;
+        check
+          Alcotest.(list (pair (float 1e-9) (float 1e-9)))
+          "sorted by ts"
+          [ (1.0, 10.0); (2.0, 20.0); (3.0, 30.0) ]
+          (List.map
+             (fun p -> (p.Ts.p_ts, p.Ts.p_value))
+             (Ts.points "ts.a")));
+    tc "the ring keeps only the newest capacity points" (fun () ->
+        Ts.reset ();
+        Ts.define ~capacity:4 "ts.ring";
+        for i = 1 to 10 do
+          Ts.record ~ts:(float_of_int i) "ts.ring" (float_of_int i)
+        done;
+        check
+          Alcotest.(list (float 1e-9))
+          "last four" [ 7.0; 8.0; 9.0; 10.0 ]
+          (List.map (fun p -> p.Ts.p_value) (Ts.points "ts.ring")));
+    tc "define validates capacity and first definition wins" (fun () ->
+        Ts.reset ();
+        check_raises_invalid_arg (fun () -> Ts.define ~capacity:0 "ts.bad");
+        Ts.define ~capacity:2 "ts.pin";
+        Ts.define ~capacity:99 "ts.pin";
+        for i = 1 to 5 do
+          Ts.record ~ts:(float_of_int i) "ts.pin" (float_of_int i)
+        done;
+        check Alcotest.int "capacity 2 held" 2
+          (List.length (Ts.points "ts.pin")));
+    tc "cells from different domains merge on read" (fun () ->
+        Ts.reset ();
+        Ts.record ~ts:1.0 "ts.merge" 1.0;
+        Domain.join
+          (Domain.spawn (fun () -> Ts.record ~ts:2.0 "ts.merge" 2.0));
+        check
+          Alcotest.(list (float 1e-9))
+          "both domains" [ 1.0; 2.0 ]
+          (List.map (fun p -> p.Ts.p_value) (Ts.points "ts.merge")));
+    tc "last and names" (fun () ->
+        Ts.reset ();
+        check Alcotest.bool "empty last" true (Ts.last "ts.x" = None);
+        Ts.record ~ts:1.0 "ts.x" 1.0;
+        Ts.record ~ts:2.0 "ts.x" 5.0;
+        Ts.record ~ts:1.0 "ts.b" 0.0;
+        (match Ts.last "ts.x" with
+        | Some p -> check (Alcotest.float 1e-9) "newest" 5.0 p.Ts.p_value
+        | None -> Alcotest.fail "no last point");
+        check Alcotest.bool "names sorted" true
+          (let names = Ts.names () in
+           List.mem "ts.b" names && List.mem "ts.x" names
+           && names = List.sort compare names));
+    tc "varz_json parses and carries telemetry, series and profile"
+      (fun () ->
+        T.reset ();
+        Ts.reset ();
+        T.incr "varz.c";
+        Ts.record ~ts:1.0 "varz.series" 42.0;
+        let j = parse_json (Ts.varz_json ()) in
+        (match obj_field "telemetry" j with
+        | Some (Json.Obj _) -> ()
+        | _ -> Alcotest.fail "no telemetry object");
+        (match
+           Option.bind (obj_field "series" j) (obj_field "varz.series")
+         with
+        | Some (Json.Arr [ Json.Arr [ Json.Num 1.0; Json.Num 42.0 ] ]) -> ()
+        | _ -> Alcotest.fail "series not rendered as [ts, value] pairs");
+        match Option.bind (obj_field "profile" j) (obj_field "ticks") with
+        | Some (Json.Num _) -> ()
+        | _ -> Alcotest.fail "no profile.ticks");
+    tc "sampler ticks derive gauge, rate, ratio and percentile series"
+      (fun () ->
+        T.reset ();
+        Ts.reset ();
+        with_fake_clock [ 100.0; 102.0; 104.0 ] (fun () ->
+            let sources =
+              [
+                Ts.Gauge "s.gauge";
+                Ts.Rate { counters = [ "s.count" ]; series = "s.qps" };
+                Ts.Ratio
+                  {
+                    num = [ "s.hit" ];
+                    den = [ "s.hit"; "s.miss" ];
+                    series = "s.hit_rate";
+                  };
+                Ts.Percentiles "s.lat";
+              ]
+            in
+            (* create reads the clock once (100.0) to stamp last_ts *)
+            let sampler =
+              Ts.Sampler.create ~profile:false ~sources ~interval:1.0 ()
+            in
+            T.set_gauge "s.gauge" 7.0;
+            T.incr ~by:20 "s.count";
+            T.incr ~by:3 "s.hit";
+            T.incr ~by:1 "s.miss";
+            T.observe "s.lat" 0.010;
+            Ts.Sampler.tick sampler;
+            (* tick at 102.0: dt = 2s *)
+            check (Alcotest.float 1e-9) "gauge copied" 7.0
+              (match Ts.last "s.gauge" with
+              | Some p -> p.Ts.p_value
+              | None -> nan);
+            check (Alcotest.float 1e-9) "rate = 20 / 2s" 10.0
+              (match Ts.last "s.qps" with
+              | Some p -> p.Ts.p_value
+              | None -> nan);
+            check (Alcotest.float 1e-9) "ratio = 3 / 4" 0.75
+              (match Ts.last "s.hit_rate" with
+              | Some p -> p.Ts.p_value
+              | None -> nan);
+            check (Alcotest.float 1e-9) "p99 in ms" 10.0
+              (match Ts.last "s.lat.p99_ms" with
+              | Some p -> p.Ts.p_value
+              | None -> nan);
+            (* second tick with no new counts: rate falls to 0, the
+               idle ratio records no point *)
+            Ts.Sampler.tick sampler;
+            check (Alcotest.float 1e-9) "idle rate" 0.0
+              (match Ts.last "s.qps" with
+              | Some p -> p.Ts.p_value
+              | None -> nan);
+            check Alcotest.int "ratio skipped the idle tick" 1
+              (List.length (Ts.points "s.hit_rate"))));
+    tc "sampler derives per-worker utilization from busy timers"
+      (fun () ->
+        T.reset ();
+        Ts.reset ();
+        with_fake_clock [ 100.0; 102.0; 104.0 ] (fun () ->
+            let sources =
+              [ Ts.Utilization { prefix = "w."; suffix = ".busy" } ]
+            in
+            let sampler =
+              Ts.Sampler.create ~profile:false ~sources ~interval:1.0 ()
+            in
+            Ts.Sampler.tick sampler;
+            (* the first tick snapshots the (empty) totals *)
+            T.observe "w.0.busy" 0.5;
+            T.observe "w.0.busy" 0.5;
+            T.observe "w.1.busy" 10.0;
+            Ts.Sampler.tick sampler;
+            (* dt = 2s: worker 0 was busy 1.0s -> 0.5; worker 1's 10s
+               clamps to 1.0 *)
+            check (Alcotest.float 1e-9) "half busy" 0.5
+              (match Ts.last "w.0.util" with
+              | Some p -> p.Ts.p_value
+              | None -> nan);
+            check (Alcotest.float 1e-9) "clamped" 1.0
+              (match Ts.last "w.1.util" with
+              | Some p -> p.Ts.p_value
+              | None -> nan)));
+    tc "sampler start/stop with a zero interval never spawns" (fun () ->
+        let s =
+          Ts.Sampler.start ~profile:false ~sources:[] ~interval:0.0 ()
+        in
+        Ts.Sampler.stop s;
+        Ts.Sampler.stop s (* idempotent *));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* continuous profiler                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let profile_tests =
+  [
+    tc "with_frame nests and restores on exception" (fun () ->
+        Prof.reset ();
+        Prof.with_frame "outer" (fun () ->
+            Prof.with_frame "inner" (fun () ->
+                check
+                  Alcotest.(list string)
+                  "outermost first" [ "outer"; "inner" ]
+                  (Prof.current_stack ())));
+        check Alcotest.(list string) "popped" [] (Prof.current_stack ());
+        (try
+           Prof.with_frame "boom" (fun () -> failwith "x")
+         with Failure _ -> ());
+        check Alcotest.(list string) "restored after raise" []
+          (Prof.current_stack ()));
+    tc "ticks aggregate folded stacks and count idle domains" (fun () ->
+        Prof.reset ();
+        Prof.register ();
+        Prof.tick ();
+        Prof.with_frame "worker" (fun () ->
+            Prof.with_frame "execute" (fun () -> Prof.tick ()));
+        check Alcotest.int "two ticks" 2 (Prof.ticks ());
+        check Alcotest.bool "at least one sample per tick" true
+          (Prof.samples () >= 2);
+        let folded = Prof.folded () in
+        check Alcotest.bool "idle observed" true
+          (List.mem_assoc "idle" folded);
+        check Alcotest.bool "folded stack observed" true
+          (List.mem_assoc "worker;execute" folded));
+    tc "journal:true emits one sample event per distinct stack" (fun () ->
+        Prof.reset ();
+        Journal.clear ();
+        Prof.with_frame "worker" (fun () -> Prof.tick ~journal:true ());
+        let samples =
+          List.filter
+            (fun e ->
+              e.Journal.ev_component = "profile"
+              && e.Journal.ev_name = "sample")
+            (Journal.events ())
+        in
+        check Alcotest.bool "at least the worker stack" true
+          (List.exists
+             (fun e ->
+               List.assoc_opt "stack" e.Journal.ev_attrs = Some "worker")
+             samples);
+        List.iter
+          (fun e ->
+            check Alcotest.bool "tick attr present" true
+              (List.mem_assoc "tick" e.Journal.ev_attrs);
+            check Alcotest.bool "count attr parses" true
+              (match List.assoc_opt "count" e.Journal.ev_attrs with
+              | Some c -> int_of_string_opt c <> None
+              | None -> false))
+          samples);
+    tc "to_folded_text renders stack-space-count lines" (fun () ->
+        check Alcotest.string "folded format" "a;b 3\nidle 1\n"
+          (Prof.to_folded_text [ ("a;b", 3); ("idle", 1) ]));
+    tc "flamegraph_svg is well-formed and accounts for every sample"
+      (fun () ->
+        let svg =
+          Prof.flamegraph_svg ~ticks:4
+            [ ("worker;execute;minisat", 3); ("worker;cache", 1); ("idle", 4) ]
+        in
+        check Alcotest.bool "svg element" true
+          (String.starts_with ~prefix:"<svg" svg);
+        check Alcotest.bool "closed" true (contains svg "</svg>");
+        check Alcotest.bool "frames drawn" true (contains svg "<rect");
+        check Alcotest.bool "metadata comment" true
+          (contains svg
+             "<!-- flamegraph samples=8 root_samples=8 ticks=4 -->");
+        check Alcotest.bool "tool frame titled" true
+          (contains svg "minisat: 3 sample(s)"));
+    tc "flamegraph_svg escapes frame names" (fun () ->
+        let svg = Prof.flamegraph_svg [ ("a<b>&\"c\"", 1) ] in
+        check Alcotest.bool "escaped" true
+          (contains svg "a&lt;b&gt;&amp;&quot;c&quot;");
+        check Alcotest.bool "raw angle gone" false (contains svg "a<b>"));
+    tc "empty input still renders a parseable document" (fun () ->
+        let svg = Prof.flamegraph_svg [] in
+        check Alcotest.bool "svg" true (String.starts_with ~prefix:"<svg" svg);
+        check Alcotest.bool "zero samples" true
+          (contains svg "samples=0 root_samples=0"));
+    tc "reset clears aggregates and the caller's stack" (fun () ->
+        Prof.with_frame "x" (fun () -> Prof.tick ());
+        Prof.reset ();
+        check Alcotest.int "ticks cleared" 0 (Prof.ticks ());
+        check Alcotest.int "samples cleared" 0 (Prof.samples ());
+        check Alcotest.(list string) "stack cleared" []
+          (Prof.current_stack ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* metrics server: registered routes, readiness, head scanning         *)
+(* ------------------------------------------------------------------ *)
+
+let routes_tests =
+  [
+    tc "registered routes serve, unregister 404s, and the 404 lists them"
+      (fun () ->
+        MS.register_route "/custom" (fun () ->
+            {
+              MS.rp_status = "200 OK";
+              rp_content_type = "application/json";
+              rp_body = "{\"ok\":true}\n";
+            });
+        Fun.protect
+          ~finally:(fun () -> MS.unregister_route "/custom")
+          (fun () ->
+            check Alcotest.bool "listed" true
+              (List.mem "/custom" (MS.registered_routes ()));
+            with_server
+              (fun () -> "")
+              (fun srv ->
+                let resp = roundtrip srv "GET /custom HTTP/1.1\r\n\r\n" in
+                check Alcotest.bool "served" true
+                  (contains resp "{\"ok\":true}");
+                check Alcotest.bool "content type" true
+                  (contains resp "application/json");
+                let missing = roundtrip srv "GET /nope HTTP/1.1\r\n\r\n" in
+                check Alcotest.bool "404 hints the custom route" true
+                  (contains missing "/custom");
+                check Alcotest.bool "404 hints the built-ins" true
+                  (contains missing "/metrics")));
+        with_server
+          (fun () -> "")
+          (fun srv ->
+            check Alcotest.bool "unregistered is 404" true
+              (contains (roundtrip srv "GET /custom HTTP/1.1\r\n\r\n") "404")));
+    tc "register_route rejects paths without a leading slash" (fun () ->
+        check_raises_invalid_arg (fun () ->
+            MS.register_route "nope" (fun () ->
+                {
+                  MS.rp_status = "200 OK";
+                  rp_content_type = "text/plain";
+                  rp_body = "";
+                })));
+    tc "a raising route handler degrades to a 500" (fun () ->
+        MS.register_route "/boom" (fun () -> failwith "handler broke");
+        Fun.protect
+          ~finally:(fun () -> MS.unregister_route "/boom")
+          (fun () ->
+            with_server
+              (fun () -> "")
+              (fun srv ->
+                let resp = roundtrip srv "GET /boom HTTP/1.1\r\n\r\n" in
+                check Alcotest.bool "500" true (contains resp "500");
+                check Alcotest.bool "reason" true
+                  (contains resp "route handler failed"))));
+    tc "/readyz follows the ready probe" (fun () ->
+        let ready = ref true in
+        MS.set_ready_probe (fun () -> !ready);
+        Fun.protect
+          ~finally:(fun () -> MS.set_ready_probe (fun () -> true))
+          (fun () ->
+            with_server
+              (fun () -> "")
+              (fun srv ->
+                check Alcotest.bool "ready is 200 ok" true
+                  (contains
+                     (roundtrip srv "GET /readyz HTTP/1.1\r\n\r\n")
+                     "200 OK");
+                ready := false;
+                let resp = roundtrip srv "GET /readyz HTTP/1.1\r\n\r\n" in
+                check Alcotest.bool "draining is 503" true
+                  (contains resp "503");
+                check Alcotest.bool "draining body" true
+                  (contains resp "draining"))));
+    tc "request heads larger than one read chunk still route" (fun () ->
+        (* read_head scans chunk windows with a 3-byte carry; a >1 KiB
+           header block crosses several chunks and the terminator can
+           straddle a boundary *)
+        with_server
+          (fun () -> "ok")
+          (fun srv ->
+            let pad = String.make 3000 'x' in
+            let resp =
+              roundtrip srv
+                (Printf.sprintf
+                   "GET /metrics HTTP/1.1\r\nX-Pad: %s\r\n\r\n" pad)
+            in
+            check Alcotest.bool "200 despite the long head" true
+              (contains resp "200 OK")));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* journal-query: continuous-profile reconstruction                    *)
+(* ------------------------------------------------------------------ *)
+
+let profile_query_tests =
+  [
+    tc "profile_folded rebuilds stacks and tick counts from the journal"
+      (fun () ->
+        let sample seq tick stack count =
+          ev ~seq ~component:"profile"
+            ~attrs:
+              [
+                ("tick", string_of_int tick); ("stack", stack);
+                ("count", string_of_int count);
+              ]
+            "sample"
+        in
+        let module Q = Vc_util.Journal_query in
+        let ticks, folded =
+          Q.profile_folded
+            [
+              sample 1 1 "idle" 3;
+              sample 2 1 "worker;execute;minisat" 1;
+              sample 3 2 "idle" 4;
+              ev ~seq:4 ~component:"server" "request.replied";
+            ]
+        in
+        check Alcotest.int "distinct ticks" 2 ticks;
+        check
+          Alcotest.(list (pair string int))
+          "aggregated, most samples first"
+          [ ("idle", 7); ("worker;execute;minisat", 1) ]
+          folded);
+    tc "profile_folded over an unrelated journal is empty" (fun () ->
+        let module Q = Vc_util.Journal_query in
+        check
+          Alcotest.(pair int (list (pair string int)))
+          "no samples" (0, [])
+          (Q.profile_folded [ ev ~seq:1 ~component:"portal" "submission" ]));
+  ]
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -1455,6 +1859,10 @@ let () =
       ("metric-kinds", metric_kinds_tests);
       ("prometheus", prometheus_tests);
       ("metrics-server", metrics_server_tests);
+      ("metrics-server-routes", routes_tests);
       ("journal-degrade", journal_degrade_tests);
       ("journal-query", journal_query_tests);
+      ("timeseries", timeseries_tests);
+      ("profile", profile_tests);
+      ("profile-query", profile_query_tests);
     ]
