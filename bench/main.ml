@@ -132,7 +132,10 @@ let fig4 () =
     (fun (tool, input) ->
       Printf.printf "\n-- portal %-8s : %s\n" tool.Vc_mooc.Portal.tool_name
         tool.Vc_mooc.Portal.description;
-      let out = Vc_mooc.Portal.submit session tool input in
+      let out =
+        Vc_mooc.Portal.outcome_output
+          (Vc_mooc.Portal.submit_result session tool input)
+      in
       String.split_on_char '\n' out
       |> List.iteri (fun i l -> if i < 8 && l <> "" then Printf.printf "   | %s\n" l))
     demos;
@@ -165,7 +168,7 @@ let portal_bench () =
       List.iter
         (fun (tool, input) ->
           for _ = 1 to repeats do
-            ignore (Vc_mooc.Portal.submit session tool input)
+            ignore (Vc_mooc.Portal.submit_result session tool input)
           done)
         demos);
   let hits, misses = Vc_mooc.Portal.cache_stats () in
@@ -243,8 +246,9 @@ let server_bench ?(configs = [ 1; 2; 4; 8 ]) () =
               while !i < num_jobs do
                 (match
                    Server.submit server
-                     ~session_id:(Printf.sprintf "bench-%d" c)
-                     Portal.minisat jobs.(!i)
+                     (Portal.request
+                        ~session:(Printf.sprintf "bench-%d" c)
+                        Portal.minisat jobs.(!i))
                  with
                 | Portal.Executed _ | Portal.Cache_hit _ -> ()
                 | Portal.Rejected r ->
@@ -326,8 +330,7 @@ let loadgen_bench ?(participants = 1_000_000) ?(duration_s = 32.0)
   let listener = Wire.listen ~port:0 () in
   let acceptor =
     Domain.spawn (fun () ->
-        Wire.serve listener ~submit:(fun ~session_id ~trace tool input ->
-            Server.submit server ~session_id ?trace tool input))
+        Wire.serve listener ~submit:(Server.submit server))
   in
   Printf.printf
     "~%d submission(s) from a %d-participant cohort (%d session(s)), %.0f \

@@ -1,8 +1,9 @@
 (* vcserve: the multicore portal service behind a line protocol.
 
    Usage: vcserve [--stats] [--trace FILE] [--journal FILE]
-                  [--metrics-port N] [-workers N] [-queue N]
-                  [-deadline S] [-rate R] [-burst B] [-cache-shards N]
+                  [--journal-segments BYTES] [--metrics-port N]
+                  [-workers N] [-queue N] [-deadline S] [-rate R]
+                  [-burst B] [-cache-shards N] [-cache-dir DIR]
                   [-sample-interval S] [-listen PORT] [script-file]
 
    Without -listen, requests are read from the script file (stdin when
@@ -16,6 +17,8 @@
      <input lines>            terminated by a line containing only "."
      SESSION <id>             switch the sticky client session
      LIST                     list the available tools
+     HELLO <version>          negotiate the protocol version
+     PING                     liveness probe (proto >= 2)
      SHUTDOWN                 stop the whole server (drain first)
      QUIT                     close this connection (EOF works too)
 
@@ -45,11 +48,11 @@ module Timeseries = Vc_util.Timeseries
 let usage () =
   prerr_endline
     "usage: vcserve [--stats] [--trace FILE] [--journal FILE] \
-     [--metrics-port N]\n\
-    \               [-workers N] [-queue N] [-deadline S] [-rate R] \
-     [-burst B]\n\
-    \               [-cache-shards N] [-sample-interval S] [-listen PORT] \
-     [script-file]";
+     [--journal-segments BYTES]\n\
+    \               [--metrics-port N] [-workers N] [-queue N] [-deadline S] \
+     [-rate R]\n\
+    \               [-burst B] [-cache-shards N] [-cache-dir DIR]\n\
+    \               [-sample-interval S] [-listen PORT] [script-file]";
   exit 2
 
 let parse_args argv =
@@ -58,6 +61,7 @@ let parse_args argv =
   let rate = ref None in
   let burst = ref 5.0 in
   let listen_port = ref None in
+  let cache_dir = ref (Sys.getenv_opt "VC_CACHE_DIR") in
   let sample_interval = ref (Timeseries.default_interval ()) in
   let int_of s = match int_of_string_opt s with Some n -> n | None -> usage () in
   let float_of s =
@@ -86,6 +90,11 @@ let parse_args argv =
       if n < 1 then usage ();
       Portal.set_cache_shards n;
       go rest
+    | "-cache-dir" :: dir :: rest ->
+      (* durable spill tier under the memory shards; warm-starts from
+         whatever a previous run left behind *)
+      cache_dir := Some dir;
+      go rest
     | "-sample-interval" :: s :: rest ->
       sample_interval := float_of s;
       go rest
@@ -101,6 +110,8 @@ let parse_args argv =
   (match !rate with
   | Some r -> config := { !config with Server.rate_limit = Some (r, !burst) }
   | None -> ());
+  (* open (and warm-start from) the spill directory before any traffic *)
+  Option.iter Portal.set_cache_dir !cache_dir;
   (!config, !file, !listen_port, !sample_interval)
 
 (* /readyz flips to 503 the moment any shutdown path begins, so a load
@@ -152,9 +163,7 @@ let serve_script config sample_interval file =
   (try
      ignore
        (Wire.session_loop ~input:ic ~output:stdout
-          ~submit:(fun ~session_id ~trace tool input ->
-            Server.submit server ~session_id ?trace tool input)
-          ())
+          ~submit:(Server.submit server) ())
    with Sys_error _ -> ());
   drain_and_exit sampler server
 
@@ -175,8 +184,7 @@ let serve_tcp config sample_interval port =
      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
    with Invalid_argument _ | Sys_error _ -> ());
-  Wire.serve listener ~submit:(fun ~session_id ~trace tool input ->
-      Server.submit server ~session_id ?trace tool input);
+  Wire.serve listener ~submit:(Server.submit server);
   (* accept loop has exited (SHUTDOWN verb or signal): drain the worker
      queue so in-flight connections get their responses, give their
      handler domains a moment to finish writing, then flush *)

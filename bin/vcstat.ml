@@ -68,7 +68,9 @@ let () =
       parse rest
   in
   (match Array.to_list argv with _ :: rest -> parse rest | [] -> ());
-  let files = List.rev !files in
+  (* rotated journals: a base FILE argument expands to its
+     FILE.00000.jsonl segment set, and globs work without a shell *)
+  let files = Q.expand_segments (List.rev !files) in
   (* flame is the one command whose natural output is an image *)
   let format ~default = Option.value ~default !format in
   let load () =

@@ -197,6 +197,24 @@ let outcome_output = function
   | Rejected r -> "error: " ^ reason_message r
 
 (* ------------------------------------------------------------------ *)
+(* requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The one submission envelope every layer shares: Server.submit takes
+   it, Wire's protocol engine builds it from a parsed TOOL line, and
+   vcfront forwards it to a backend - replacing the parallel positional
+   signatures those layers used to re-declare. *)
+type request = {
+  req_session : string;
+  req_tool : tool;
+  req_input : string;
+  req_trace : string option;
+}
+
+let request ?trace ~session tool input =
+  { req_session = session; req_tool = tool; req_input = input; req_trace = trace }
+
+(* ------------------------------------------------------------------ *)
 (* content-addressed result cache                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -276,8 +294,55 @@ let shard_of key =
 let stat_hits = Atomic.make 0
 let stat_misses = Atomic.make 0
 let stat_evictions = Atomic.make 0
+let stat_disk_hits = Atomic.make 0
 
-(* call with the shard's mutex held *)
+(* ---- the disk tier under the memory shards --------------------------
+
+   An optional Cache_store (vcserve -cache-dir / VC_CACHE_DIR): every
+   executed result is written through to it, an entry evicted from a
+   memory shard is spilled to it (if not already there), and a memory
+   miss probes it before re-executing the tool. At [set_cache_dir] the
+   spilled results are promoted back into the memory shards - the warm
+   start that makes a restarted server serve cache hits for work its
+   previous incarnation did. The handle lives in an Atomic so the hot
+   path never takes a configuration lock; store I/O always happens
+   OUTSIDE the shard mutexes (lanes have their own locks). A failing
+   store (disk full, yanked volume) is dropped with one warning - the
+   portal degrades to memory-only rather than failing submissions. *)
+
+module Store = Vc_util.Cache_store
+module J = Vc_util.Journal
+
+let store : Store.t option Atomic.t = Atomic.make None
+
+let drop_store st exn =
+  if Atomic.compare_and_set store (Some st) None then begin
+    Printf.eprintf
+      "portal: cache dir %s failed (%s); disk tier disabled\n%!"
+      (Store.dir st) (Printexc.to_string exn);
+    J.emit ~severity:J.Warn ~component:"portal"
+      ~attrs:[ ("dir", Store.dir st); ("error", Printexc.to_string exn) ]
+      "cache.disk_disabled";
+    try Store.close st with _ -> ()
+  end
+
+let store_append key output =
+  match Atomic.get store with
+  | None -> ()
+  | Some st -> ( try Store.append st ~key output with e -> drop_store st e)
+
+let store_find key =
+  match Atomic.get store with
+  | None -> None
+  | Some st -> ( try Store.find st key with e -> drop_store st e; None)
+
+let store_mem key =
+  match Atomic.get store with
+  | None -> false
+  | Some st -> ( try Store.mem st key with e -> drop_store st e; false)
+
+(* call with the shard's mutex held; returns the evicted entry so the
+   caller can spill it to the disk tier outside the lock *)
 let evict_lru sh =
   let victim =
     Hashtbl.fold
@@ -288,11 +353,17 @@ let evict_lru sh =
       sh.sh_tbl None
   in
   match victim with
-  | Some (k, _) ->
+  | Some (k, e) ->
     Hashtbl.remove sh.sh_tbl k;
     Atomic.incr stat_evictions;
-    T.incr "portal.cache.evictions"
-  | None -> ()
+    T.incr "portal.cache.evictions";
+    Some (k, e.output)
+  | None -> None
+
+let spill victims =
+  List.iter
+    (fun (k, out) -> if not (store_mem k) then store_append k out)
+    victims
 
 let set_cache_capacity n =
   if n < 0 then invalid_arg "Portal.set_cache_capacity: negative capacity";
@@ -302,11 +373,18 @@ let set_cache_capacity n =
       let caps = shard_caps n (Array.length a) in
       Array.iteri
         (fun i sh ->
-          Mutex.protect sh.sh_mu (fun () ->
-              sh.sh_cap <- caps.(i);
-              while Hashtbl.length sh.sh_tbl > sh.sh_cap do
-                evict_lru sh
-              done))
+          let victims =
+            Mutex.protect sh.sh_mu (fun () ->
+                sh.sh_cap <- caps.(i);
+                let acc = ref [] in
+                while Hashtbl.length sh.sh_tbl > sh.sh_cap do
+                  match evict_lru sh with
+                  | Some v -> acc := v :: !acc
+                  | None -> ()
+                done;
+                !acc)
+          in
+          spill victims)
         a)
 
 let set_cache_shards n =
@@ -330,10 +408,12 @@ let clear_cache () =
     !shards;
   Atomic.set stat_hits 0;
   Atomic.set stat_misses 0;
-  Atomic.set stat_evictions 0
+  Atomic.set stat_evictions 0;
+  Atomic.set stat_disk_hits 0
 
 let cache_stats () = (Atomic.get stat_hits, Atomic.get stat_misses)
 let cache_evictions () = Atomic.get stat_evictions
+let cache_disk_hits () = Atomic.get stat_disk_hits
 
 let cache_find key =
   let sh = shard_of key in
@@ -345,23 +425,76 @@ let cache_find key =
         Some e.output
       | None -> None)
 
-let cache_add key output =
+(* [spill:false] is the warm-start load path: the entry came from the
+   disk tier, so an eviction it forces must not be written back *)
+let cache_add ?(spill = true) key output =
   let sh = shard_of key in
-  Mutex.protect sh.sh_mu (fun () ->
-      if sh.sh_cap > 0 then begin
-        sh.sh_tick <- sh.sh_tick + 1;
-        if
-          (not (Hashtbl.mem sh.sh_tbl key))
-          && Hashtbl.length sh.sh_tbl >= sh.sh_cap
-        then evict_lru sh;
-        Hashtbl.replace sh.sh_tbl key { output; last_used = sh.sh_tick }
-      end)
+  let victim =
+    Mutex.protect sh.sh_mu (fun () ->
+        if sh.sh_cap > 0 then begin
+          sh.sh_tick <- sh.sh_tick + 1;
+          let v =
+            if
+              (not (Hashtbl.mem sh.sh_tbl key))
+              && Hashtbl.length sh.sh_tbl >= sh.sh_cap
+            then evict_lru sh
+            else None
+          in
+          Hashtbl.replace sh.sh_tbl key { output; last_used = sh.sh_tick };
+          v
+        end
+        else None)
+  in
+  match victim with
+  | Some (k, out) when spill && not (store_mem k) -> store_append k out
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* disk-tier configuration                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cache_dir () = Option.map Store.dir (Atomic.get store)
+
+let unset_cache_dir () =
+  match Atomic.exchange store None with
+  | Some st -> ( try Store.close st with _ -> ())
+  | None -> ()
+
+let set_cache_dir dirname =
+  match Store.open_store dirname with
+  | exception e ->
+    (* same degrade contract as the journal: a portal that cannot spill
+       must still serve *)
+    Printf.eprintf
+      "portal: cannot open cache dir %s (%s); continuing without it\n%!"
+      dirname (Printexc.to_string e);
+    J.emit ~severity:J.Warn ~component:"portal"
+      ~attrs:[ ("dir", dirname); ("error", Printexc.to_string e) ]
+      "cache.disk_error"
+  | st ->
+    (match Atomic.exchange store (Some st) with
+    | Some old -> ( try Store.close old with _ -> ())
+    | None -> ());
+    (* warm start: promote the spilled results into the memory shards
+       (up to capacity - anything over stays served by the disk probe) *)
+    let loaded = ref 0 in
+    Store.iter st (fun key output ->
+        incr loaded;
+        cache_add ~spill:false key output);
+    T.set_gauge "portal.cache.disk_entries" (float_of_int (Store.length st));
+    J.emit ~component:"portal"
+      ~attrs:
+        [
+          ("dir", dirname);
+          ("entries", string_of_int !loaded);
+          ("bytes", string_of_int (Store.file_bytes st));
+          ("lanes", string_of_int (Store.lanes st));
+        ]
+      "cache.warm_start"
 
 (* ------------------------------------------------------------------ *)
 (* instrumented submission                                             *)
 (* ------------------------------------------------------------------ *)
-
-module J = Vc_util.Journal
 
 let submit_result session tool input =
   let pre = "portal." ^ tool.tool_name in
@@ -385,7 +518,19 @@ let submit_result session tool input =
              request timeline its cache and kernel phases *)
           let probe_t0 = T.now () in
           let probed =
-            Vc_util.Profile.with_frame "cache" (fun () -> cache_find key)
+            Vc_util.Profile.with_frame "cache" (fun () ->
+                match cache_find key with
+                | Some out -> Some out
+                | None -> (
+                  (* memory miss: probe the disk tier, promoting a hit
+                     back into its memory shard *)
+                  match store_find key with
+                  | Some out ->
+                    Atomic.incr stat_disk_hits;
+                    T.incr "portal.cache.disk_hits";
+                    cache_add ~spill:false key out;
+                    Some out
+                  | None -> None))
           in
           Vc_util.Trace_ctx.record_current_phase "cache"
             (T.now () -. probe_t0);
@@ -417,6 +562,10 @@ let submit_result session tool input =
             Vc_util.Trace_ctx.record_current_phase "execute"
               (T.now () -. exec_t0);
             cache_add key out;
+            (* write-through: the result is durable the moment it is
+               computed, not only when LRU pressure spills it - this is
+               what a killed-and-restarted server warm-starts from *)
+            store_append key out;
             Executed out
         end)
   in
@@ -466,8 +615,6 @@ let submit_result session tool input =
       in
       log := (input, output) :: !log);
   outcome
-
-let submit session tool input = outcome_output (submit_result session tool input)
 
 let history session tool =
   Mutex.protect session.s_mu (fun () ->

@@ -104,8 +104,28 @@ val reason_label : reason -> string
     counters and the [vcserve] wire protocol. *)
 
 val outcome_output : outcome -> string
-(** Collapse an outcome to the legacy display string: the output for
+(** Collapse an outcome to a display string: the output for
     [Executed] / [Cache_hit], ["error: " ^ message] for [Rejected]. *)
+
+(** {1 Requests}
+
+    The one submission envelope every layer shares. {!Vc_mooc.Server}
+    takes it, {!Vc_mooc.Wire}'s protocol engine builds it from a parsed
+    [TOOL] line, and [vcfront] forwards it to a backend - one record
+    instead of parallel positional signatures, so adding a field is one
+    change, not four. *)
+
+type request = {
+  req_session : string;  (** Session id the submission runs under. *)
+  req_tool : tool;
+  req_input : string;  (** The uploaded text. *)
+  req_trace : string option;
+      (** Client-supplied trace id (already validated), if any. *)
+}
+
+val request : ?trace:string -> session:string -> tool -> string -> request
+(** [request ~session tool input] builds the envelope; [?trace] attaches
+    a client trace id. *)
 
 val submit_result : session -> tool -> string -> outcome
 (** Run the tool on the uploaded text (never raises; kernel errors come
@@ -128,11 +148,6 @@ val submit_result : session -> tool -> string -> outcome
     runaway rejection is emitted at [Error] severity and dumps the
     journal's flight recorder, so the trailing window of events that
     led up to it is preserved. *)
-
-val submit : session -> tool -> string -> string
-(** [submit s t i] is [outcome_output (submit_result s t i)].
-    @deprecated Legacy shim kept for existing drivers and tests; new
-    code should call {!submit_result} and match on the outcome. *)
 
 val history : session -> tool -> (string * string) list
 (** (input, output) pairs, oldest first - the "older outputs available by
@@ -190,3 +205,37 @@ val cache_stats : unit -> int * int
 val cache_evictions : unit -> int
 (** Evictions since the last {!clear_cache} (mirrored on
     [portal.cache.evictions]). *)
+
+(** {1 Disk tier}
+
+    An optional {!Vc_util.Cache_store} under the memory shards
+    ([vcserve -cache-dir DIR], or the [VC_CACHE_DIR] environment
+    variable). When enabled: every executed result is written through
+    to disk the moment it is computed, an entry evicted from a memory
+    shard is spilled to disk if not already there, and a memory miss
+    probes the disk tier (promoting a hit back into its shard) before
+    re-executing the tool. Store I/O always happens outside the shard
+    mutexes. A store that starts failing mid-run (disk full) is dropped
+    with one warning and a [cache.disk_disabled] journal event - the
+    portal degrades to memory-only rather than failing submissions. *)
+
+val set_cache_dir : string -> unit
+(** Open (or create) the spill directory and {e warm-start}: promote
+    every result the store holds into the memory shards (up to
+    capacity; the remainder stays served by the disk probe), emitting a
+    [cache.warm_start] journal event with the loaded count. A store
+    that cannot be opened degrades with one warning and a
+    [cache.disk_error] event instead of raising. Replaces (and closes)
+    any previously configured store. *)
+
+val cache_dir : unit -> string option
+(** The active spill directory, if the disk tier is enabled. *)
+
+val unset_cache_dir : unit -> unit
+(** Close and detach the disk tier (memory shards are untouched) - the
+    test hook for simulating a restart. *)
+
+val cache_disk_hits : unit -> int
+(** Memory misses served from the disk tier since the last
+    {!clear_cache} (mirrored on [portal.cache.disk_hits]). Disk hits
+    also count in {!cache_stats}' hit total. *)

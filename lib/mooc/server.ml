@@ -358,14 +358,17 @@ let session_slot t id =
 
 let session t id = (session_slot t id).sl_session
 
-let submit t ~session_id ?trace tool input =
+let submit t (req : Portal.request) =
+  let session_id = req.Portal.req_session
+  and tool = req.Portal.req_tool
+  and input = req.Portal.req_input in
   T.incr "server.submitted";
   let slot = session_slot t session_id in
   let tool_name = tool.Portal.tool_name in
   (* a valid client-supplied id is adopted; anything else gets a
      server-minted one so every request has a joinable timeline *)
   let ctx =
-    match Option.bind trace Tc.of_id with
+    match Option.bind req.Portal.req_trace Tc.of_id with
     | Some ctx -> ctx
     | None -> Tc.make (Mutex.protect t.mu (fun () -> Tc.mint t.rng))
   in

@@ -115,18 +115,16 @@ val stop : t -> unit
 
 (** {1 Submission} *)
 
-val submit :
-  t -> session_id:string -> ?trace:string -> Portal.tool -> string ->
-  Portal.outcome
-(** Submit one job on behalf of [session_id] (sessions are created on
-    first use and hold the portal history plus the rate-limit bucket).
-    Returns immediately with a rejection when rate-limited or the queue
-    is full; otherwise blocks until a worker completes the job and
-    returns its outcome. Increments [server.submitted] on every call
-    and exactly one [server.outcome.*] counter per outcome. Safe to
-    call from any number of client domains concurrently.
+val submit : t -> Portal.request -> Portal.outcome
+(** Submit one {!Portal.request} (sessions are created on first use
+    from [req_session] and hold the portal history plus the rate-limit
+    bucket). Returns immediately with a rejection when rate-limited or
+    the queue is full; otherwise blocks until a worker completes the
+    job and returns its outcome. Increments [server.submitted] on every
+    call and exactly one [server.outcome.*] counter per outcome. Safe
+    to call from any number of client domains concurrently.
 
-    [?trace] is the client-supplied trace id; when absent or invalid
+    [req_trace] is the client-supplied trace id; when absent or invalid
     ({!Vc_util.Trace_ctx.is_valid_id}) the server mints one. Either
     way the request's [request.*] journal events carry it as
     [trace_id]. *)

@@ -22,12 +22,9 @@ let read_body ic =
 (* the protocol engine                                                 *)
 (* ------------------------------------------------------------------ *)
 
-type submit_fn =
-  session_id:string ->
-  trace:string option ->
-  Portal.tool ->
-  string ->
-  Portal.outcome
+type submit_fn = Portal.request -> Portal.outcome
+
+let max_protocol_version = 2
 
 let protocol_help =
   "expected TOOL <name> [<session>] [TRACE <id>], SESSION <id>, LIST, \
@@ -80,52 +77,69 @@ let handle_tool ~input ~output ~submit ~session_id ~trace name =
   | _ -> (
     match Portal.resolve_tool name with
     | Error msg -> respond ?trace output ("ERR unknown " ^ msg) ""
-    | Ok tool -> respond_outcome ?trace output (submit ~session_id ~trace tool body))
+    | Ok tool ->
+      respond_outcome ?trace output
+        (submit (Portal.request ?trace ~session:session_id tool body)))
 
 let session_loop ?(session_id = "default") ~input ~output ~submit () =
-  let rec loop session_id =
+  (* [proto] is the negotiated protocol version: 1 until the client
+     sends HELLO (so a version-less client gets v1 byte-identically),
+     then [min requested max_protocol_version]. v2 adds PING. *)
+  let rec loop session_id proto =
     match In_channel.input_line input with
     | None -> `Eof
     | Some raw -> (
       let line = String.trim raw in
       match String.split_on_char ' ' line with
-      | [ "" ] -> loop session_id
+      | [ "" ] -> loop session_id proto
       | [ "QUIT" ] -> `Quit
       | [ "SHUTDOWN" ] ->
         respond output "OK shutting down" "";
         `Shutdown
+      | [ "HELLO"; v ] -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+          let negotiated = min n max_protocol_version in
+          respond output (Printf.sprintf "OK proto %d" negotiated) "";
+          loop session_id negotiated
+        | _ ->
+          respond output "ERR protocol HELLO takes a version number >= 1" "";
+          loop session_id proto)
+      | [ "PING" ] when proto >= 2 ->
+        respond output "OK pong" "";
+        loop session_id proto
       | [ "LIST" ] ->
         respond output "OK tools"
           (String.concat "\n"
              (List.map
                 (fun t -> t.Portal.tool_name ^ " - " ^ t.Portal.description)
                 Portal.all_tools));
-        loop session_id
+        loop session_id proto
       | [ "SESSION"; id ] ->
         respond output ("OK session " ^ id) "";
-        loop id
+        loop id proto
       | [ "TOOL"; name ] ->
         handle_tool ~input ~output ~submit ~session_id ~trace:None name;
-        loop session_id
+        loop session_id proto
       | [ "TOOL"; name; "TRACE"; id ] ->
         (* TRACE is a reserved word in the session position *)
         handle_tool ~input ~output ~submit ~session_id ~trace:(Some id) name;
-        loop session_id
+        loop session_id proto
       | [ "TOOL"; name; session ] ->
         (* per-request session: submit on its behalf without switching
            the connection's sticky session *)
         handle_tool ~input ~output ~submit ~session_id:session ~trace:None
           name;
-        loop session_id
+        loop session_id proto
       | [ "TOOL"; name; session; "TRACE"; id ] ->
         handle_tool ~input ~output ~submit ~session_id:session
           ~trace:(Some id) name;
-        loop session_id
+        loop session_id proto
       | _ ->
         respond output ("ERR protocol " ^ protocol_help) "";
-        loop session_id)
+        loop session_id proto)
   in
-  loop session_id
+  loop session_id 1
 
 (* ------------------------------------------------------------------ *)
 (* TCP server                                                          *)
@@ -319,6 +333,23 @@ module Client = struct
     Out_channel.output_string t.oc ".\n";
     Out_channel.flush t.oc;
     read_reply t
+
+  let hello t version =
+    Printf.fprintf t.oc "HELLO %d\n" version;
+    Out_channel.flush t.oc;
+    match read_reply t with
+    | status, _ -> (
+      match String.split_on_char ' ' status with
+      | [ "OK"; "proto"; v ] -> (
+        match int_of_string_opt v with
+        | Some n -> n
+        | None -> failwith ("wire client: bad HELLO reply: " ^ status))
+      | _ -> failwith ("wire client: HELLO rejected: " ^ status))
+
+  let ping t =
+    Out_channel.output_string t.oc "PING\n";
+    Out_channel.flush t.oc;
+    match read_reply t with status, _ -> status = "OK pong"
 
   let list_tools t =
     Out_channel.output_string t.oc "LIST\n";

@@ -11,6 +11,8 @@
     <input lines>             terminated by a line containing only "."
     SESSION <id>              switch the connection's sticky session
     LIST                      list the available tools
+    HELLO <version>           negotiate the protocol version (v2+)
+    PING                      liveness probe (proto >= 2 only)
     SHUTDOWN                  stop the whole server (drain, then exit)
     QUIT                      close this connection (EOF works too)
     v}
@@ -34,6 +36,17 @@
     internal id for its own journal, but the wire format is
     unchanged).
 
+    {b Versioning.} A connection starts at protocol version 1 - the
+    exact dialect every pre-[HELLO] client spoke, pinned byte-for-byte
+    by the [vcserve] golden transcripts. A client may send
+    [HELLO <version>] at any time; the server answers
+    [OK proto <negotiated>] where [negotiated = min requested
+    {!max_protocol_version}] and the connection switches to that
+    version. Version 2 adds the [PING] -> [OK pong] liveness probe
+    (what [vcfront]'s health checker uses); at version 1, [PING] is an
+    [ERR protocol] like any other unknown verb, exactly as before. A
+    client that never sends [HELLO] cannot observe any difference.
+
     {b Concurrency.} The TCP listener accepts on the calling domain and
     spawns one domain per connection; all submissions funnel into the
     shared {!Server.t}, whose worker pool and admission control do the
@@ -54,14 +67,16 @@ val read_body : In_channel.t -> string
 
 (** {1 The protocol engine} *)
 
-type submit_fn =
-  session_id:string ->
-  trace:string option ->
-  Portal.tool ->
-  string ->
-  Portal.outcome
-(** [trace] is the client-supplied [TRACE] operand (already validated),
-    or [None] when the request carried none. *)
+type submit_fn = Portal.request -> Portal.outcome
+(** The one submission hook every transport shares: the engine parses a
+    [TOOL] line and its body into a {!Portal.request} ([req_trace] is
+    the validated [TRACE] operand, if any) and hands it over -
+    [vcserve] plugs in {!Server.submit}, [vcfront] a forwarding
+    closure. *)
+
+val max_protocol_version : int
+(** The newest protocol version this engine speaks (currently 2);
+    [HELLO] negotiation never settles above it. *)
 
 val protocol_help : string
 (** The [ERR protocol ...] message listing the verbs. *)
@@ -126,6 +141,17 @@ module Client : sig
       connection's sticky session alone; with [?trace] the [TRACE]
       operand is sent and the status line echoes [trace=<id>] (see
       {!trace_of_status}). *)
+
+  val hello : t -> int -> int
+  (** [hello c v] negotiates the protocol version: sends [HELLO v] and
+      returns the server's negotiated version
+      ([min v] {!max_protocol_version}).
+      @raise Failure if the server rejects the handshake. *)
+
+  val ping : t -> bool
+  (** Send [PING] (requires a prior [hello c 2]) and return whether the
+      server answered [OK pong] - the health probe [vcfront] runs
+      against its backends. *)
 
   val list_tools : t -> string
   (** The [LIST] response body. *)

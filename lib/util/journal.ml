@@ -225,25 +225,114 @@ let to_jsonl () =
   String.concat ""
     (List.map (fun e -> event_to_json e ^ "\n") (events ()))
 
-let open_jsonl file =
-  (* A journal that cannot be written must never take the tool down:
-     warn once and run without the sink (write failures mid-run are
-     handled the same way by the flush guard, which detaches a raising
-     sink). *)
-  match Out_channel.open_text file with
+(* Split [file] into (stem, extension) around the last dot of its
+   basename: "logs/foo.jsonl" -> ("logs/foo", ".jsonl"). No-extension
+   names get an empty extension. *)
+let split_ext file =
+  let after_slash i =
+    match String.rindex_opt file '/' with Some s -> i > s + 1 | None -> i > 0
+  in
+  match String.rindex_opt file '.' with
+  | Some i when after_slash i ->
+    (String.sub file 0 i, String.sub file i (String.length file - i))
+  | Some _ | None -> (file, "")
+
+let segment_path file idx =
+  let stem, ext = split_ext file in
+  Printf.sprintf "%s.%05d%s" stem idx ext
+
+(* One past the highest existing segment index for [file] - scanning
+   the directory rather than probing indices from 0, so a gap (an
+   operator archived early segments) never makes a restart overwrite a
+   later segment. *)
+let next_segment_index file =
+  let stem, ext = split_ext file in
+  let prefix = Filename.basename stem ^ "." in
+  let pl = String.length prefix and sl = String.length ext in
+  match Sys.readdir (Filename.dirname file) with
+  | exception Sys_error _ -> 0
+  | entries ->
+    Array.fold_left
+      (fun acc name ->
+        let nl = String.length name in
+        if
+          nl = pl + 5 + sl
+          && String.sub name 0 pl = prefix
+          && String.sub name (nl - sl) sl = ext
+        then
+          match int_of_string_opt (String.sub name pl 5) with
+          | Some i when i >= 0 -> max acc (i + 1)
+          | Some _ | None -> acc
+        else acc)
+      0 entries
+
+(* A journal that cannot be written must never take the tool down: warn
+   once and run without the sink (write failures mid-run are handled
+   the same way by the flush guard, which detaches a raising sink). *)
+let open_sink_file file =
+  (* append, never truncate: a crash-restart writing to the same path
+     must not overwrite the pre-crash tail *)
+  match
+    Out_channel.open_gen
+      [ Open_wronly; Open_creat; Open_append; Open_text ]
+      0o644 file
+  with
+  | oc -> Some oc
   | exception Sys_error msg ->
     Printf.eprintf "journal: cannot open %s (%s); continuing without it\n%!"
-      file msg
-  | oc ->
-    (* drain events still buffered in the domains before the channel
-       closes at exit *)
-    at_exit (fun () ->
-        flush ();
-        try Out_channel.close oc with Sys_error _ -> ());
-    add_sink ("jsonl:" ^ file) (fun e ->
-        Out_channel.output_string oc (event_to_json e);
-        Out_channel.output_char oc '\n';
-        Out_channel.flush oc)
+      file msg;
+    None
+
+let open_jsonl ?segment_bytes file =
+  match segment_bytes with
+  | None -> (
+    match open_sink_file file with
+    | None -> ()
+    | Some oc ->
+      (* drain events still buffered in the domains before the channel
+         closes at exit *)
+      at_exit (fun () ->
+          flush ();
+          try Out_channel.close oc with Sys_error _ -> ());
+      add_sink ("jsonl:" ^ file) (fun e ->
+          Out_channel.output_string oc (event_to_json e);
+          Out_channel.output_char oc '\n';
+          Out_channel.flush oc))
+  | Some limit ->
+    if limit < 1 then invalid_arg "Journal.open_jsonl: segment_bytes under 1";
+    (* segment rotation: write FILE.00000.jsonl, FILE.00001.jsonl, ...
+       starting past any segments already on disk, rolling to the next
+       segment once the current one reaches [limit] bytes. The finished
+       segment is flushed and fsynced before the roll, so every
+       completed segment is durable even against power loss. *)
+    let idx = ref (next_segment_index file) in
+    (match open_sink_file (segment_path file !idx) with
+    | None -> ()
+    | Some first ->
+      let oc = ref first in
+      let bytes = ref 0 in
+      at_exit (fun () ->
+          flush ();
+          try Out_channel.close !oc with Sys_error _ -> ());
+      add_sink ("jsonl:" ^ file) (fun e ->
+          let line = event_to_json e ^ "\n" in
+          Out_channel.output_string !oc line;
+          Out_channel.flush !oc;
+          bytes := !bytes + String.length line;
+          if !bytes >= limit then begin
+            (try Unix.fsync (Unix.descr_of_out_channel !oc)
+             with Unix.Unix_error _ -> ());
+            (try Out_channel.close !oc with Sys_error _ -> ());
+            incr idx;
+            (* a failed open raises out of the sink; the flush guard
+               detaches it with a warning, same as any write failure *)
+            oc :=
+              Out_channel.open_gen
+                [ Open_wronly; Open_creat; Open_append; Open_text ]
+                0o644
+                (segment_path file !idx);
+            bytes := 0
+          end))
 
 (* ------------------------------------------------------------------ *)
 (* flight recorder dumps                                               *)

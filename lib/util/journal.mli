@@ -118,15 +118,40 @@ val add_sink : string -> (event -> unit) -> unit
 
 val remove_sink : string -> unit
 
-val open_jsonl : string -> unit
+val open_jsonl : ?segment_bytes:int -> string -> unit
 (** Install a sink (named ["jsonl:FILE"]) streaming every event to
     [FILE] as JSON Lines, flushed per line; the channel is closed at
-    process exit. Truncates an existing file. This is what
-    [--journal FILE] installs. Degrades instead of failing: if [FILE]
-    cannot be opened, one warning goes to stderr and no sink is
-    installed; if a write fails mid-run (disk full, closed descriptor),
-    {!emit}'s sink guard prints one warning and detaches the sink - the
-    tool keeps running either way. *)
+    process exit. Opens in {e append} mode - a crash-restart writing to
+    the same path extends the log and never overwrites the pre-crash
+    tail. This is what [--journal FILE] installs.
+
+    With [?segment_bytes] the sink rotates instead of writing [FILE]
+    itself: events go to the segment files {!segment_path}[ file 0],
+    [1], ... ([FILE.00000.jsonl]-style, the numbering inserted before
+    the extension), rolling to the next segment once the current one
+    reaches [segment_bytes] bytes. Finished segments are flushed and
+    [fsync]ed at the roll, so every completed segment survives even
+    power loss. A reopen (restart) starts one past the highest segment
+    index on disk, never overwriting; [vcstat] expands the base [FILE]
+    name back to the whole segment set. This is what
+    [--journal-segments BYTES] selects.
+
+    Degrades instead of failing: if the file cannot be opened, one
+    warning goes to stderr and no sink is installed; if a write (or a
+    rotation's open) fails mid-run, {!emit}'s sink guard prints one
+    warning and detaches the sink - the tool keeps running either way.
+    @raise Invalid_argument if [segment_bytes < 1]. *)
+
+val segment_path : string -> int -> string
+(** The [idx]-th segment name for a base file: the zero-padded index
+    inserted before the extension ([segment_path "j.jsonl" 3] is
+    ["j.00003.jsonl"]; an extension-less base gets the index suffixed).
+    Shared with {!Journal_query}'s segment-set expansion so writer and
+    reader cannot drift. *)
+
+val next_segment_index : string -> int
+(** One past the highest segment index existing on disk for the base
+    file (0 when none) - where a reopening writer continues. *)
 
 (** {1 Flight recorder} *)
 

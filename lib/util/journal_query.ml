@@ -83,6 +83,54 @@ let load_files files =
     files
 
 (* ------------------------------------------------------------------ *)
+(* segment-set expansion                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Tiny in-process glob: '*' matches any run (possibly empty), '?' one
+   character - enough for "journal.*.jsonl" without shell quoting
+   games. Applied to the basename only. *)
+let glob_match pat name =
+  let pl = String.length pat and nl = String.length name in
+  let rec go pi ni =
+    if pi = pl then ni = nl
+    else
+      match pat.[pi] with
+      | '*' -> go (pi + 1) ni || (ni < nl && go pi (ni + 1))
+      | '?' -> ni < nl && go (pi + 1) (ni + 1)
+      | c -> ni < nl && name.[ni] = c && go (pi + 1) (ni + 1)
+  in
+  go 0 0
+
+let segment_set file =
+  let n = Journal.next_segment_index file in
+  List.filter Sys.file_exists
+    (List.init n (fun i -> Journal.segment_path file i))
+
+let expand_segments args =
+  List.concat_map
+    (fun arg ->
+      if String.exists (fun c -> c = '*' || c = '?') arg then begin
+        let dir = Filename.dirname arg and pat = Filename.basename arg in
+        match Sys.readdir dir with
+        | exception Sys_error _ -> [ arg ]
+        | entries -> (
+          match
+            Array.to_list entries
+            |> List.filter (glob_match pat)
+            |> List.sort compare
+            |> List.map (Filename.concat dir)
+          with
+          | [] -> [ arg ] (* keep it: load_file reports the miss *)
+          | l -> l)
+      end
+      else if Sys.file_exists arg then [ arg ]
+      else
+        (* a rotated journal is named by its base file; expand it to
+           the segment set the writer actually produced *)
+        match segment_set arg with [] -> [ arg ] | segs -> segs)
+    args
+
+(* ------------------------------------------------------------------ *)
 (* summary                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -119,6 +167,10 @@ type summary = {
   s_by_severity : (string * int) list;  (** Only present severities. *)
   s_errors : int;
   s_error_rate : float;  (** ERROR events / total (0 when empty). *)
+  s_seq_min : int;  (** 0 when there are no events. *)
+  s_seq_max : int;
+  s_seq_distinct : int;  (** Distinct sequence numbers seen. *)
+  s_seq_gaps : int;  (** Missing seqs within [min..max]; 0 = no loss. *)
   s_latency : latency_stats option;  (** Over every latency-bearing event. *)
   s_latency_by_event : (string * latency_stats) list;
   s_latency_by_outcome : (string * latency_stats) list;
@@ -141,6 +193,7 @@ let summarize ?(top = 5) events =
   and by_event_latency : (string, float list ref) Hashtbl.t = Hashtbl.create 16
   and by_outcome_latency : (string, float list ref) Hashtbl.t =
     Hashtbl.create 8
+  and seqs = Hashtbl.create 1024
   and latencies = ref []
   and timed = ref []
   and errors = ref 0 in
@@ -154,6 +207,7 @@ let summarize ?(top = 5) events =
       bump by_component e.Journal.ev_component;
       bump by_event (event_key e);
       bump by_severity (Journal.severity_to_string e.Journal.ev_severity);
+      Hashtbl.replace seqs e.Journal.ev_seq ();
       if e.Journal.ev_severity = Journal.Error then incr errors;
       match latency_of e with
       | None -> ()
@@ -175,6 +229,20 @@ let summarize ?(top = 5) events =
     in
     List.filteri (fun i _ -> i < top) sorted
   in
+  (* Writers assign seqs contiguously, and a restart starts over at 1,
+     so over any union of segments the distinct seqs should tile
+     [min..max] exactly; a shortfall means a flushed segment (or a
+     slice of one) is missing from the set - the "no lost journal
+     segments" invariant the crash-recovery smoke checks. *)
+  let seq_min, seq_max =
+    Hashtbl.fold
+      (fun s () (lo, hi) -> (min lo s, max hi s))
+      seqs
+      (max_int, min_int)
+  in
+  let seq_distinct = Hashtbl.length seqs in
+  let seq_min = if seq_distinct = 0 then 0 else seq_min in
+  let seq_max = if seq_distinct = 0 then 0 else seq_max in
   {
     s_total = total;
     s_by_component = sorted_counts by_component;
@@ -182,6 +250,11 @@ let summarize ?(top = 5) events =
     s_by_severity = sorted_counts by_severity;
     s_errors = !errors;
     s_error_rate = (if total = 0 then 0.0 else float_of_int !errors /. float_of_int total);
+    s_seq_min = seq_min;
+    s_seq_max = seq_max;
+    s_seq_distinct = seq_distinct;
+    s_seq_gaps =
+      (if seq_distinct = 0 then 0 else seq_max - seq_min + 1 - seq_distinct);
     s_latency = latency_stats_of !latencies;
     s_latency_by_event =
       List.sort compare
@@ -550,6 +623,10 @@ let render_summary s =
   Buffer.add_string b
     (Printf.sprintf "events: %d   errors: %d (%.2f%%)\n" s.s_total s.s_errors
        (100.0 *. s.s_error_rate));
+  if s.s_seq_distinct > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "seq: %d..%d   distinct: %d   gaps: %d\n" s.s_seq_min
+         s.s_seq_max s.s_seq_distinct s.s_seq_gaps);
   if s.s_by_component <> [] then begin
     Buffer.add_string b "by component:\n";
     List.iter
@@ -663,6 +740,14 @@ let summary_to_json s =
       ("events", Json.int s.s_total);
       ("errors", Json.int s.s_errors);
       ("error_rate", Json.num s.s_error_rate);
+      ( "seq",
+        Json.obj
+          [
+            ("min", Json.int s.s_seq_min);
+            ("max", Json.int s.s_seq_max);
+            ("distinct", Json.int s.s_seq_distinct);
+            ("gaps", Json.int s.s_seq_gaps);
+          ] );
       ("by_component", counts s.s_by_component);
       ("by_event", counts s.s_by_event);
       ("by_severity", counts s.s_by_severity);

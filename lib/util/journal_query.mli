@@ -38,6 +38,22 @@ val load_files : string list -> load
 (** {!load_file} over several files, events concatenated in argument
     order. *)
 
+val expand_segments : string list -> string list
+(** Resolve journal arguments to concrete files, in order: an argument
+    containing ['*'] or ['?'] is globbed in-process against its
+    directory (basename only, sorted); an existing file passes through;
+    a missing file that names the {e base} of a rotated segment set
+    (see {!Journal.open_jsonl}'s [segment_bytes]) expands to its
+    [FILE.00000.jsonl]-style segments in index order. Anything else
+    passes through untouched so {!load_file} reports the miss. Every
+    [vcstat] subcommand applies this to its file arguments, so rotated
+    journals are read by their base name transparently. *)
+
+val glob_match : string -> string -> bool
+(** [glob_match pattern name]: the tiny glob {!expand_segments} uses -
+    ['*'] matches any (possibly empty) run, ['?'] exactly one
+    character, everything else literally. *)
+
 (** {1 Summary} *)
 
 val latency_of : Journal.event -> float option
@@ -68,6 +84,16 @@ type summary = {
   s_by_severity : (string * int) list;  (** Only present severities. *)
   s_errors : int;
   s_error_rate : float;  (** [ERROR] events / total events; 0 if empty. *)
+  s_seq_min : int;  (** Smallest sequence number seen; 0 when empty. *)
+  s_seq_max : int;  (** Largest sequence number seen; 0 when empty. *)
+  s_seq_distinct : int;  (** Distinct sequence numbers seen. *)
+  s_seq_gaps : int;
+      (** Sequence numbers missing within [[s_seq_min .. s_seq_max]].
+          Writers assign seqs contiguously (restarting at 1 after a
+          restart), so over any union of a run's segments this is 0;
+          a positive value means part of the journal is missing - the
+          lost-segment detector behind the crash-recovery smoke
+          check. *)
   s_latency : latency_stats option;
       (** Across every latency-bearing event; [None] if there are
           none. *)
@@ -184,7 +210,8 @@ val render_funnel : funnel_stage list -> string
     percent-of-previous and a proportional bar. *)
 
 val summary_to_json : summary -> string
-(** Fields [events], [errors], [error_rate], [by_component],
+(** Fields [events], [errors], [error_rate], [seq] (an object with
+    [min]/[max]/[distinct]/[gaps]), [by_component],
     [by_event], [by_severity], [latency] (an object keyed ["all"] plus
     one entry per [component.event], each with
     [count]/[mean_s]/[p50_s]/[p90_s]/[p99_s]/[max_s]),

@@ -626,6 +626,7 @@ type cli_options = {
   cli_stats : bool;
   cli_trace : string option;
   cli_journal : string option;
+  cli_journal_segments : int option;
   cli_metrics_port : int option;
 }
 
@@ -633,6 +634,7 @@ let cli_parse argv =
   let stats = ref false
   and trace = ref None
   and journal = ref None
+  and journal_segments = ref None
   and metrics_port = ref None in
   let missing flag what =
     Printf.eprintf "error: %s requires a %s argument\n" flag what;
@@ -651,6 +653,16 @@ let cli_parse argv =
     | "--journal" :: file :: rest ->
       journal := Some file;
       strip acc rest
+    | [ "--journal-segments" ] -> missing "--journal-segments" "BYTES"
+    | "--journal-segments" :: bytes :: rest -> begin
+      match int_of_string_opt bytes with
+      | Some n when n >= 1 ->
+        journal_segments := Some n;
+        strip acc rest
+      | Some _ | None ->
+        Printf.eprintf "error: --journal-segments: bad byte count %S\n" bytes;
+        exit 2
+    end
     | [ "--metrics-port" ] -> missing "--metrics-port" "PORT"
     | "--metrics-port" :: port :: rest -> begin
       match int_of_string_opt port with
@@ -670,6 +682,7 @@ let cli_parse argv =
       cli_stats = false;
       cli_trace = None;
       cli_journal = None;
+      cli_journal_segments = None;
       cli_metrics_port = None;
     }
   | prog :: args ->
@@ -679,6 +692,7 @@ let cli_parse argv =
       cli_stats = !stats;
       cli_trace = !trace;
       cli_journal = !journal;
+      cli_journal_segments = !journal_segments;
       cli_metrics_port = !metrics_port;
     }
 
@@ -715,5 +729,7 @@ let cli ?(server = false) argv =
         Out_channel.with_open_text file (fun oc ->
             Out_channel.output_string oc (spans_to_json ())))
   | None -> ());
-  (match o.cli_journal with Some file -> Journal.open_jsonl file | None -> ());
+  (match o.cli_journal with
+  | Some file -> Journal.open_jsonl ?segment_bytes:o.cli_journal_segments file
+  | None -> ());
   o.cli_argv

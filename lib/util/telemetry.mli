@@ -224,12 +224,16 @@ val now : unit -> float
 (** {1 Command-line integration} *)
 
 val cli : ?server:bool -> string array -> string array
-(** [cli Sys.argv] strips [--stats], [--trace FILE], [--journal FILE]
-    and [--metrics-port N] from an argument vector and returns the rest
-    (element 0 preserved). If [--stats] was present, the process prints
-    {!report} to stderr at exit; if [--trace FILE] was present, it
-    writes {!spans_to_json} to [FILE] at exit; if [--journal FILE] was
-    present, every {!Journal} event is streamed to [FILE] as JSON Lines.
+(** [cli Sys.argv] strips [--stats], [--trace FILE], [--journal FILE],
+    [--journal-segments BYTES] and [--metrics-port N] from an argument
+    vector and returns the rest (element 0 preserved). If [--stats] was
+    present, the process prints {!report} to stderr at exit; if
+    [--trace FILE] was present, it writes {!spans_to_json} to [FILE] at
+    exit; if [--journal FILE] was present, every {!Journal} event is
+    streamed as JSON Lines - to [FILE] (appending), or, when
+    [--journal-segments BYTES] was also given, to a rotated
+    [FILE.00000.jsonl]-style segment set with [BYTES]-sized segments
+    (see {!Journal.open_jsonl}).
     If [--metrics-port N] was present, a {!Metrics_server} is bound on
     [127.0.0.1:N] immediately (port [0] = ephemeral; the bound address
     is announced on stderr) and, after the tool's own work and the
@@ -250,11 +254,15 @@ type cli_options = {
   cli_stats : bool;
   cli_trace : string option;
   cli_journal : string option;
+  cli_journal_segments : int option;
+      (** [--journal-segments BYTES]: rotate the journal into
+          [BYTES]-sized segments instead of one growing file. *)
   cli_metrics_port : int option;
 }
 
 val cli_parse : string array -> cli_options
 (** The pure part of {!cli}: strips the flags without installing any
     hook. Exits with code 2 on a [--trace]/[--journal] missing its file
-    argument, or a [--metrics-port] missing its port or given one
-    outside 0-65535. *)
+    argument, a [--journal-segments] missing its byte count or given a
+    non-positive one, or a [--metrics-port] missing its port or given
+    one outside 0-65535. *)

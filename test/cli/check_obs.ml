@@ -247,6 +247,24 @@ let check_vcstat_funnel file =
       | _ -> die "%s: %s: bad count" file name)
     expected stages
 
+(* FILE must be a `vcstat summary --format json` document whose seq
+   object reports zero gaps - the lost-segment detector: over the union
+   of a run's rotated journal segments the writer's sequence numbers
+   are contiguous, so a positive gap count means a segment went
+   missing. *)
+let check_seq_gaps file =
+  let j = parse file (read file) in
+  match Json.member "seq" j with
+  | Some seq -> (
+    (match Json.member "distinct" seq with
+    | Some (Json.Num n) when n > 0.0 -> ()
+    | _ -> die "%s: seq.distinct missing or zero" file);
+    match Json.member "gaps" seq with
+    | Some (Json.Num 0.0) -> ()
+    | Some (Json.Num g) -> die "%s: %.0f missing journal seq(s)" file g
+    | _ -> die "%s: no seq.gaps field" file)
+  | None -> die "%s: no seq object" file
+
 (* FILE must be a /varz snapshot from a live, sampled vcserve: valid
    JSON, a telemetry object, and the console's load-bearing series -
    qps with >= 3 points and the queue/reply phase p99s with >= 2. *)
@@ -366,6 +384,7 @@ let () =
   | [ _; "qor"; file ] -> check_qor file
   | [ _; "component"; file; name ] -> check_component file name
   | [ _; "vcstat-summary"; file ] -> check_vcstat_summary file
+  | [ _; "seq-gaps"; file ] -> check_seq_gaps file
   | [ _; "vcstat-funnel"; file ] -> check_vcstat_funnel file
   | [ _; "vcstat-request"; file ] -> check_vcstat_request file
   | [ _; "vcload-report"; file ] -> check_vcload_report file
@@ -376,6 +395,6 @@ let () =
     prerr_endline
       "usage: check_obs {contains FILE NEEDLE | trace FILE | jsonl FILE | \
        journal FILE | qor FILE | component FILE NAME | vcstat-summary FILE \
-       | vcstat-funnel FILE | vcstat-request FILE | vcload-report FILE \
-       | varz FILE | vctop FILE | flame FILE}";
+       | seq-gaps FILE | vcstat-funnel FILE | vcstat-request FILE \
+       | vcload-report FILE | varz FILE | vctop FILE | flame FILE}";
     exit 2

@@ -43,7 +43,11 @@ let integration_tests =
     tc "espresso portal output stays equivalent through re-parse" (fun () ->
         let session = Vc_mooc.Portal.create_session () in
         let original = ".i 4\n.o 1\n1100 1\n1101 1\n1111 1\n1110 1\n0011 1\n0111 1\n.e\n" in
-        let out = Vc_mooc.Portal.submit session Vc_mooc.Portal.espresso original in
+        let out =
+          Vc_mooc.Portal.outcome_output
+            (Vc_mooc.Portal.submit_result session Vc_mooc.Portal.espresso
+               original)
+        in
         let before = Vc_two_level.Pla.parse original in
         let after = Vc_two_level.Pla.parse out in
         check Alcotest.bool "same function" true

@@ -163,12 +163,15 @@ let outcome_tests =
           check Alcotest.bool "mentions the limit" true
             (String.ends_with ~suffix:"portal limit 3)" msg)
         | _ -> Alcotest.fail "expected Rejected Runaway");
-    tc "submit shim collapses outcomes to the legacy strings" (fun () ->
+    tc "outcome_output collapses outcomes to display strings" (fun () ->
         fresh ();
         let s = Portal.create_session () in
-        check Alcotest.string "executed" "echo: x" (Portal.submit s echo "x");
-        check Alcotest.string "cache hit" "echo: x" (Portal.submit s echo "x");
-        let rejected = Portal.submit s echo "a\nb\nc\nd" in
+        let submit_str input =
+          Portal.outcome_output (Portal.submit_result s echo input)
+        in
+        check Alcotest.string "executed" "echo: x" (submit_str "x");
+        check Alcotest.string "cache hit" "echo: x" (submit_str "x");
+        let rejected = submit_str "a\nb\nc\nd" in
         check Alcotest.bool "error text" true
           (String.starts_with ~prefix:"error: " rejected));
     tc "reason labels are distinct and stable" (fun () ->
@@ -189,8 +192,8 @@ let outcome_tests =
     tc "cache stats survive a telemetry reset" (fun () ->
         fresh ();
         let s = Portal.create_session () in
-        ignore (Portal.submit s echo "x");
-        ignore (Portal.submit s echo "x");
+        ignore (Portal.submit_result s echo "x");
+        ignore (Portal.submit_result s echo "x");
         T.reset ();
         (* the mirrors are gone but the cache's own atomics are not *)
         check Alcotest.int "mirror reset" 0 (T.counter "portal.cache.hits");
@@ -220,7 +223,7 @@ let server_tests =
               { Server.default_config with Server.workers = 1; queue_capacity = 0 }
             ()
         in
-        (match Server.submit srv ~session_id:"s" echo "x" with
+        (match Server.submit srv (Portal.request ~session:"s" echo "x") with
         | Portal.Rejected (Portal.Overloaded _) -> ()
         | _ -> Alcotest.fail "expected Overloaded");
         Server.stop srv;
@@ -239,14 +242,14 @@ let server_tests =
               }
             ()
         in
-        (match Server.submit srv ~session_id:"a" echo "x" with
+        (match Server.submit srv (Portal.request ~session:"a" echo "x") with
         | Portal.Executed _ -> ()
         | _ -> Alcotest.fail "first submission should execute");
-        (match Server.submit srv ~session_id:"a" echo "y" with
+        (match Server.submit srv (Portal.request ~session:"a" echo "y") with
         | Portal.Rejected (Portal.Rate_limited _) -> ()
         | _ -> Alcotest.fail "expected Rate_limited");
         (* a different session has its own bucket *)
-        (match Server.submit srv ~session_id:"b" echo "z" with
+        (match Server.submit srv (Portal.request ~session:"b" echo "z") with
         | Portal.Executed _ -> ()
         | _ -> Alcotest.fail "fresh session should execute");
         Server.stop srv;
@@ -261,7 +264,7 @@ let server_tests =
               { Server.default_config with Server.workers = 1; deadline_s = 0.0 }
             ()
         in
-        (match Server.submit srv ~session_id:"s" echo "x" with
+        (match Server.submit srv (Portal.request ~session:"s" echo "x") with
         | Portal.Rejected (Portal.Deadline_exceeded _) -> ()
         | _ -> Alcotest.fail "expected Deadline_exceeded");
         Server.stop srv;
@@ -277,7 +280,7 @@ let server_tests =
             ~config:{ Server.default_config with Server.workers = 1 }
             ()
         in
-        (match Server.submit srv ~session_id:"s" echo "a\nb\nc\nd" with
+        (match Server.submit srv (Portal.request ~session:"s" echo "a\nb\nc\nd") with
         | Portal.Rejected (Portal.Runaway _) -> ()
         | _ -> Alcotest.fail "expected Runaway");
         Server.stop srv;
@@ -290,12 +293,12 @@ let server_tests =
             ~config:{ Server.default_config with Server.workers = 2 }
             ()
         in
-        (match Server.submit srv ~session_id:"s" echo "x" with
+        (match Server.submit srv (Portal.request ~session:"s" echo "x") with
         | Portal.Executed _ -> ()
         | _ -> Alcotest.fail "expected Executed");
         Server.stop srv;
         Server.stop srv;
-        (match Server.submit srv ~session_id:"s" echo "y" with
+        (match Server.submit srv (Portal.request ~session:"s" echo "y") with
         | Portal.Rejected (Portal.Overloaded msg) ->
           check Alcotest.string "message" "server is shutting down" msg
         | _ -> Alcotest.fail "expected Overloaded after stop");
@@ -309,8 +312,8 @@ let server_tests =
             ~config:{ Server.default_config with Server.workers = 1 }
             ()
         in
-        ignore (Server.submit srv ~session_id:"s" echo "one");
-        ignore (Server.submit srv ~session_id:"s" echo "two");
+        ignore (Server.submit srv (Portal.request ~session:"s" echo "one"));
+        ignore (Server.submit srv (Portal.request ~session:"s" echo "two"));
         Server.stop srv;
         let h = Portal.history (Server.session srv "s") echo in
         check Alcotest.int "two entries" 2 (List.length h);
@@ -340,9 +343,11 @@ let run_wire_script script =
       Out_channel.with_open_text in_file (fun oc ->
           Out_channel.output_string oc script);
       let captured = ref [] in
-      let submit ~session_id ~trace _tool input =
-        captured := (session_id, trace, input) :: !captured;
-        Portal.Executed ("ran: " ^ input)
+      let submit (req : Portal.request) =
+        captured :=
+          (req.Portal.req_session, req.Portal.req_trace, req.Portal.req_input)
+          :: !captured;
+        Portal.Executed ("ran: " ^ req.Portal.req_input)
       in
       In_channel.with_open_text in_file (fun input ->
           Out_channel.with_open_text out_file (fun output ->
@@ -419,8 +424,7 @@ let wire_tests =
         let listener = Wire.listen ~port:0 () in
         let acceptor =
           Domain.spawn (fun () ->
-              Wire.serve listener ~submit:(fun ~session_id ~trace tool input ->
-                  Server.submit srv ~session_id ?trace tool input))
+              Wire.serve listener ~submit:(Server.submit srv))
         in
         let conn = Wire.Client.connect ~port:(Wire.port listener) () in
         let status, _body =
@@ -694,8 +698,9 @@ let stress_tests =
                     in
                     match
                       Server.submit srv
-                        ~session_id:(Printf.sprintf "stress-%d" c)
-                        tool input
+                        (Portal.request
+                           ~session:(Printf.sprintf "stress-%d" c)
+                           tool input)
                     with
                     | Portal.Executed out | Portal.Cache_hit out ->
                       if out <> expect tool input then Atomic.incr mismatches

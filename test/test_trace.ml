@@ -271,9 +271,7 @@ let tracing_tests =
             let listener = Wire.listen ~port:0 () in
             let acceptor =
               Domain.spawn (fun () ->
-                  Wire.serve listener
-                    ~submit:(fun ~session_id ~trace tool input ->
-                      Server.submit server ~session_id ?trace tool input))
+                  Wire.serve listener ~submit:(Server.submit server))
             in
             let report =
               Loadgen.run
